@@ -1,0 +1,81 @@
+//! Criterion microbenches for the application-layer substrates: EMG
+//! generation and classification, fusion, integer inference, energy
+//! pricing, and the batched latency model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netcut_graph::zoo;
+use netcut_hand::emg::generate_windows;
+use netcut_hand::fusion::{fuse, FusionRule};
+use netcut_quant::{IntegerDense, QuantParams};
+use netcut_sim::{batched_network_latency_ms, DeviceModel, EnergyModel, Precision};
+use netcut_tensor::uniform;
+use std::hint::black_box;
+
+fn bench_emg(c: &mut Criterion) {
+    c.bench_function("emg_generate_100_windows", |b| {
+        b.iter(|| black_box(generate_windows(100, 42)))
+    });
+    let windows = generate_windows(1, 42);
+    c.bench_function("emg_rms_features", |b| {
+        b.iter(|| black_box(windows[0].rms_features()))
+    });
+}
+
+fn bench_fusion_rules(c: &mut Criterion) {
+    let sources: Vec<Vec<f32>> = (0..10)
+        .map(|i| {
+            let raw: Vec<f32> = (0..5).map(|j| ((i * 5 + j) % 7 + 1) as f32).collect();
+            let s: f32 = raw.iter().sum();
+            raw.into_iter().map(|v| v / s).collect()
+        })
+        .collect();
+    let mut g = c.benchmark_group("fusion");
+    for rule in [
+        FusionRule::Average,
+        FusionRule::Product,
+        FusionRule::ConfidenceWeighted,
+    ] {
+        g.bench_function(format!("{rule:?}"), |b| {
+            b.iter(|| black_box(fuse(&sources, rule)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_integer_dense(c: &mut Criterion) {
+    let weights = uniform(&[256, 128], 0.5, 1);
+    let bias = vec![0.0f32; 128];
+    let layer = IntegerDense::from_float(&weights, &bias);
+    let x = uniform(&[8, 256], 1.0, 2);
+    let act = QuantParams::from_abs_max(1.0);
+    c.bench_function("integer_dense_256x128_batch8", |b| {
+        b.iter(|| black_box(layer.forward(&x, act)))
+    });
+}
+
+fn bench_energy(c: &mut Criterion) {
+    let energy = EnergyModel::jetson_xavier();
+    let device = DeviceModel::jetson_xavier();
+    let net = zoo::resnet50();
+    c.bench_function("energy_price_resnet50", |b| {
+        b.iter(|| black_box(energy.network_energy_mj(&net, &device, Precision::Int8)))
+    });
+}
+
+fn bench_batched_latency(c: &mut Criterion) {
+    let device = DeviceModel::jetson_xavier();
+    let net = zoo::mobilenet_v2(1.0);
+    c.bench_function("batched_latency_mobilenet_v2_b16", |b| {
+        b.iter(|| black_box(batched_network_latency_ms(&net, &device, Precision::Int8, 16)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_emg,
+    bench_fusion_rules,
+    bench_integer_dense,
+    bench_energy,
+    bench_batched_latency
+);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion microbenches for the latency estimators: SVR training and
+//! prediction, linear regression, and the profiler table construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netcut_estimate::{LinearModel, ProfilerEstimator, Svr, SvrParams};
+use netcut_graph::zoo;
+use netcut_sim::{DeviceModel, Precision, Session};
+use std::hint::black_box;
+
+fn toy_regression(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let x: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            let t = i as f64 / n as f64;
+            vec![t, (3.0 * t).sin(), t * t]
+        })
+        .collect();
+    let y: Vec<f64> = x.iter().map(|r| r[0] + 0.5 * r[1] - 0.2 * r[2]).collect();
+    (x, y)
+}
+
+fn bench_svr(c: &mut Criterion) {
+    let (x, y) = toy_regression(145);
+    let params = SvrParams {
+        c: 1e3,
+        gamma: 0.5,
+        epsilon: 1e-3,
+    };
+    c.bench_function("svr_fit_145_samples", |b| {
+        b.iter(|| black_box(Svr::fit(&x, &y, &params)))
+    });
+    let model = Svr::fit(&x, &y, &params);
+    c.bench_function("svr_predict", |b| {
+        b.iter(|| black_box(model.predict(&[0.3, 0.7, 0.1])))
+    });
+}
+
+fn bench_linear(c: &mut Criterion) {
+    let (x, y) = toy_regression(145);
+    c.bench_function("linear_fit_145_samples", |b| {
+        b.iter(|| black_box(LinearModel::fit(&x, &y)))
+    });
+}
+
+fn bench_profiler(c: &mut Criterion) {
+    let session = Session::new(DeviceModel::jetson_xavier(), Precision::Int8);
+    let sources = zoo::paper_networks();
+    let mut g = c.benchmark_group("profiler");
+    g.sample_size(10);
+    g.bench_function("profile_all_seven_families", |b| {
+        b.iter(|| black_box(ProfilerEstimator::profile(&session, &sources, 3)))
+    });
+    g.finish();
+    let estimator = ProfilerEstimator::profile(&session, &sources, 3);
+    let trn = zoo::resnet50()
+        .cut_blocks(8)
+        .expect("valid cut")
+        .with_head(&netcut_graph::HeadSpec::default());
+    c.bench_function("profiler_estimate_one_trn", |b| {
+        b.iter(|| {
+            use netcut_estimate::LatencyEstimator;
+            black_box(estimator.estimate_ms(&trn))
+        })
+    });
+}
+
+criterion_group!(benches, bench_svr, bench_linear, bench_profiler);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion microbenches for the deployment pipeline: graph construction,
+//! fusion, latency evaluation, measurement, and the NetCut loop itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netcut::netcut::NetCut;
+use netcut_estimate::ProfilerEstimator;
+use netcut_graph::{zoo, HeadSpec};
+use netcut_sim::{fuse_network, network_latency_ms, DeviceModel, Precision, Session};
+use netcut_train::SurrogateRetrainer;
+use std::hint::black_box;
+
+fn bench_zoo_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("zoo_construction");
+    g.bench_function("mobilenet_v1", |b| b.iter(|| black_box(zoo::mobilenet_v1(0.5))));
+    g.bench_function("resnet50", |b| b.iter(|| black_box(zoo::resnet50())));
+    g.bench_function("densenet121", |b| b.iter(|| black_box(zoo::densenet121())));
+    g.bench_function("inception_v3", |b| b.iter(|| black_box(zoo::inception_v3())));
+    g.finish();
+}
+
+fn bench_fusion(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fusion_pass");
+    for net in zoo::paper_networks() {
+        g.bench_function(net.name(), |b| b.iter(|| black_box(fuse_network(&net))));
+    }
+    g.finish();
+}
+
+fn bench_latency_model(c: &mut Criterion) {
+    let device = DeviceModel::jetson_xavier();
+    let mut g = c.benchmark_group("latency_model");
+    for net in [zoo::mobilenet_v1(0.25), zoo::densenet121()] {
+        g.bench_function(net.name(), |b| {
+            b.iter(|| black_box(network_latency_ms(&net, &device, Precision::Int8)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_measurement(c: &mut Criterion) {
+    let session = Session::new(DeviceModel::jetson_xavier(), Precision::Int8);
+    let net = zoo::resnet50();
+    c.bench_function("measure_1000_runs", |b| {
+        b.iter(|| black_box(session.measure(&net, 42)))
+    });
+}
+
+fn bench_cut(c: &mut Criterion) {
+    let net = zoo::densenet121();
+    let head = HeadSpec::default();
+    c.bench_function("cut_blocks_densenet_mid", |b| {
+        b.iter(|| black_box(net.cut_blocks(29).expect("valid cut").with_head(&head)))
+    });
+}
+
+fn bench_netcut_run(c: &mut Criterion) {
+    let session = Session::new(DeviceModel::jetson_xavier(), Precision::Int8);
+    let sources = zoo::paper_networks();
+    let estimator = ProfilerEstimator::profile(&session, &sources, 3);
+    let retrainer = SurrogateRetrainer::paper();
+    let netcut = NetCut::new(&estimator, &retrainer);
+    let mut g = c.benchmark_group("netcut");
+    g.sample_size(10);
+    g.bench_function("full_run_0.9ms", |b| {
+        b.iter(|| black_box(netcut.run(&sources, 0.9, &session)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_zoo_construction,
+    bench_fusion,
+    bench_latency_model,
+    bench_measurement,
+    bench_cut,
+    bench_netcut_run
+);
+criterion_main!(benches);

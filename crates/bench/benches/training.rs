@@ -1,0 +1,70 @@
+//! Criterion microbenches for the training substrate: dataset generation,
+//! mini-CNN training steps, quantization, and the surrogate retrainer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netcut_data::Dataset;
+use netcut_graph::{zoo, HeadSpec};
+use netcut_quant::{quantize_model, ActivationQuant};
+use netcut_train::engine::{self, MiniConfig};
+use netcut_train::{Retrainer, SurrogateRetrainer};
+use netcut_tensor::{Adam, SoftCrossEntropy};
+use std::hint::black_box;
+
+fn bench_dataset(c: &mut Criterion) {
+    c.bench_function("generate_hands_256", |b| {
+        b.iter(|| black_box(Dataset::hands(256, 42)))
+    });
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let cfg = MiniConfig {
+        conv_blocks: 3,
+        width: 8,
+        seed: 1,
+    };
+    let data = Dataset::hands(32, 7);
+    let (x, y) = data.full_batch();
+    let mut model = engine::build(&cfg, 5);
+    let mut loss = SoftCrossEntropy::new();
+    let mut opt = Adam::new(1e-3);
+    c.bench_function("mini_cnn_train_step_batch32", |b| {
+        b.iter(|| black_box(model.train_step(&x, &y, &mut loss, &mut opt)))
+    });
+}
+
+fn bench_quantize(c: &mut Criterion) {
+    let cfg = MiniConfig {
+        conv_blocks: 3,
+        width: 8,
+        seed: 2,
+    };
+    let calib: Vec<_> = (0..4)
+        .map(|i| Dataset::hands(16, 50 + i).full_batch().0)
+        .collect();
+    c.bench_function("ptq_quantize_mini_cnn", |b| {
+        b.iter(|| {
+            let mut model = engine::build(&cfg, 5);
+            black_box(quantize_model(&mut model, &calib, ActivationQuant::Entropy))
+        })
+    });
+}
+
+fn bench_surrogate_retrain(c: &mut Criterion) {
+    let retrainer = SurrogateRetrainer::paper();
+    let trn = zoo::densenet121()
+        .cut_blocks(20)
+        .expect("valid cut")
+        .with_head(&HeadSpec::default());
+    c.bench_function("surrogate_retrain_densenet_trn", |b| {
+        b.iter(|| black_box(retrainer.retrain(&trn)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_dataset,
+    bench_train_step,
+    bench_quantize,
+    bench_surrogate_retrain
+);
+criterion_main!(benches);

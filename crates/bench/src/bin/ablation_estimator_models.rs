@@ -1,0 +1,90 @@
+//! Ablation — estimator model class: global linear vs per-family linear
+//! vs RBF-SVR vs the profiler ratio.
+//!
+//! Separates the two failure modes of the paper's linear baseline:
+//! cross-family slope mismatch versus small-sample instability. With the
+//! paper's 20 % train split each family contributes only 2–3 samples —
+//! too few for an independent 6-parameter OLS per family, which therefore
+//! *overfits* and loses even to the global linear model. The single RBF
+//! SVR shares statistical strength across families and beats both, which
+//! is precisely why the paper can train it on a small measurement set.
+
+use netcut_bench::estimator_study::{fit_all, measure_all, split_20_80};
+use netcut_bench::{print_table, write_json, Lab};
+use netcut_estimate::{mean_relative_error, LatencyEstimator, PerFamilyLinear};
+use netcut_graph::Network;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ModelResult {
+    model: String,
+    test_error: f64,
+    models_fitted: usize,
+}
+
+fn main() {
+    let lab = Lab::new();
+    let measured = measure_all(&lab);
+    let fitted = fit_all(&lab, &measured, 17);
+    let (train_idx, test_idx) = split_20_80(&measured, 17);
+    let train: Vec<(&Network, f64)> = train_idx
+        .iter()
+        .map(|&i| (&measured.trns[i], measured.latency_ms[i]))
+        .collect();
+    let per_family = PerFamilyLinear::fit(&train, &lab.sources, &measured.source_latency_ms);
+    let truth: Vec<f64> = test_idx.iter().map(|&i| measured.latency_ms[i]).collect();
+    let eval = |est: &dyn LatencyEstimator| -> f64 {
+        let pred: Vec<f64> = test_idx
+            .iter()
+            .map(|&i| est.estimate_ms(&measured.trns[i]))
+            .collect();
+        mean_relative_error(&pred, &truth)
+    };
+    let results = vec![
+        ModelResult {
+            model: "global linear".into(),
+            test_error: eval(&fitted.linear),
+            models_fitted: 1,
+        },
+        ModelResult {
+            model: "per-family linear".into(),
+            test_error: eval(&per_family),
+            models_fitted: lab.sources.len(),
+        },
+        ModelResult {
+            model: "global RBF SVR (paper)".into(),
+            test_error: eval(&fitted.svr),
+            models_fitted: 1,
+        },
+        ModelResult {
+            model: "profiler ratio (paper)".into(),
+            test_error: eval(&fitted.profiler),
+            models_fitted: lab.sources.len(),
+        },
+    ];
+    println!("Ablation — estimator model class (held-out mean relative error)");
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.model.clone(),
+                format!("{:.2} %", r.test_error * 100.0),
+                r.models_fitted.to_string(),
+            ]
+        })
+        .collect();
+    print_table(&["model", "error", "models fitted"], &rows);
+    println!();
+    println!(
+        "with only 2-3 train samples per family, an independent per-family OLS \
+         overfits ({:.1} %) and cannot even beat the global linear fit ({:.1} %); \
+         the shared RBF SVR pools the families and beats both at {:.1} %.",
+        results[1].test_error * 100.0,
+        results[0].test_error * 100.0,
+        results[2].test_error * 100.0
+    );
+    assert!(results[2].test_error < results[0].test_error, "SVR must beat global linear");
+    assert!(results[2].test_error < results[1].test_error, "SVR must beat per-family linear");
+    let path = write_json("ablation_estimator_models", &results);
+    println!("raw data: {}", path.display());
+}

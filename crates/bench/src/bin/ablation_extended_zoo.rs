@@ -1,0 +1,67 @@
+//! Ablation — extended candidate pool: NetCut over ten source families
+//! (the paper's seven plus AlexNet, VGG-16 and SqueezeNet 1.1).
+//!
+//! NetCut's pitch is that it makes *breadth* cheap: each extra family
+//! costs one profiling pass and one retrained TRN, so growing the pool is
+//! linear, unlike blockwise exploration which pays for every cut.
+
+use netcut::netcut::NetCut;
+use netcut::removal::blockwise_candidate_count;
+use netcut_bench::{print_table, write_json, DEADLINE_MS};
+use netcut_estimate::ProfilerEstimator;
+use netcut_graph::zoo;
+use netcut_sim::{DeviceModel, Precision, Session};
+use netcut_train::SurrogateRetrainer;
+
+fn main() {
+    let session = Session::new(DeviceModel::jetson_xavier(), Precision::Int8);
+    let retrainer = SurrogateRetrainer::paper();
+    println!("Ablation — candidate-pool size at the {DEADLINE_MS} ms deadline");
+    let mut rows = Vec::new();
+    for (label, sources) in [
+        ("paper 7", zoo::paper_networks()),
+        ("extended 10", zoo::extended_networks()),
+    ] {
+        let estimator = ProfilerEstimator::profile(&session, &sources, 3);
+        let outcome = NetCut::new(&estimator, &retrainer).run(&sources, DEADLINE_MS, &session);
+        let selected = outcome.selected().expect("selection exists");
+        rows.push(vec![
+            label.to_owned(),
+            sources.len().to_string(),
+            blockwise_candidate_count(sources.iter()).to_string(),
+            format!("{:.1}", outcome.exploration_hours),
+            selected.name.clone(),
+            format!("{:.3}", selected.accuracy),
+        ]);
+    }
+    print_table(
+        &[
+            "pool",
+            "families",
+            "blockwise TRNs",
+            "netcut hours",
+            "selection",
+            "accuracy",
+        ],
+        &rows,
+    );
+    println!();
+    println!("per-family proposals over the extended pool:");
+    let sources = zoo::extended_networks();
+    let estimator = ProfilerEstimator::profile(&session, &sources, 3);
+    let outcome = NetCut::new(&estimator, &retrainer).run(&sources, DEADLINE_MS, &session);
+    let table: Vec<Vec<String>> = outcome
+        .proposals
+        .iter()
+        .map(|p| {
+            vec![
+                p.name.clone(),
+                format!("{:.3}", p.latency_ms),
+                format!("{:.3}", p.accuracy),
+            ]
+        })
+        .collect();
+    print_table(&["proposal", "measured ms", "accuracy"], &table);
+    let path = write_json("ablation_extended_zoo", &outcome.proposals);
+    println!("raw data: {}", path.display());
+}

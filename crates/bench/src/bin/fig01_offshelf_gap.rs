@@ -1,0 +1,49 @@
+//! Fig. 1 — The latency/accuracy trade-off of the seven off-the-shelf
+//! networks and the accuracy gap at the 0.9 ms deadline.
+//!
+//! Paper shape: MobileNetV1 (0.5) is the most accurate network meeting the
+//! deadline (0.81 at 0.36 ms on the authors' Xavier); everything more
+//! accurate misses it, leaving slack time that off-the-shelf selection
+//! cannot convert into accuracy.
+
+use netcut::pareto::{accuracy_gap, best_meeting_deadline, pareto_frontier};
+use netcut_bench::{print_table, write_json, Lab, DEADLINE_MS};
+
+fn main() {
+    let lab = Lab::new();
+    let shelf = lab.off_the_shelf();
+    let frontier = pareto_frontier(&shelf.points);
+    let rows: Vec<Vec<String>> = shelf
+        .points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            vec![
+                p.name.clone(),
+                format!("{:.3}", p.latency_ms),
+                format!("{:.3}", p.accuracy),
+                if p.meets(DEADLINE_MS) { "yes" } else { "no" }.to_owned(),
+                if frontier.contains(&i) { "*" } else { "" }.to_owned(),
+            ]
+        })
+        .collect();
+    println!("Fig. 1 — off-the-shelf networks on the simulated Xavier (INT8, fused)");
+    print_table(
+        &["network", "latency_ms", "accuracy", "meets 0.9ms", "pareto"],
+        &rows,
+    );
+    let best = best_meeting_deadline(&shelf.points, DEADLINE_MS)
+        .expect("at least one network meets the deadline");
+    let gap = accuracy_gap(&shelf.points, DEADLINE_MS).expect("non-empty");
+    println!();
+    println!(
+        "best network meeting {DEADLINE_MS} ms: {} ({:.3} ms, accuracy {:.3})",
+        best.name, best.latency_ms, best.accuracy
+    );
+    println!(
+        "accuracy gap to the best network regardless of deadline: {gap:.3} \
+         (paper: selection is MobileNetV1 0.5 at 0.81 with a visible gap)"
+    );
+    let path = write_json("fig01_offshelf", &shelf.points);
+    println!("raw data: {}", path.display());
+}

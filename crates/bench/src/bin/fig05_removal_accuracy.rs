@@ -1,0 +1,70 @@
+//! Fig. 5 — The effects of layer removal on accuracy for all seven
+//! architectures (the full blockwise sweep, 145 TRNs).
+//!
+//! Paper shape: DenseNet and Inception lose almost nothing past 100
+//! removed layers then drop smoothly; MobileNets drop fast from the first
+//! removals; MobileNetV2 is hit harder than ResNet at equal depth.
+
+use netcut_bench::{print_table, write_json, Lab};
+
+fn main() {
+    let lab = Lab::new();
+    let sweep = lab.exhaustive();
+    println!(
+        "Fig. 5 — accuracy vs layers removed ({} TRNs in total; paper: 148)",
+        sweep.networks_trained()
+    );
+    for source in &lab.sources {
+        let family = sweep.family(source.name());
+        println!();
+        println!("{}:", source.name());
+        let rows: Vec<Vec<String>> = family
+            .iter()
+            .map(|p| {
+                vec![
+                    p.cutpoint.to_string(),
+                    p.layers_removed.to_string(),
+                    format!("{:.3}", p.accuracy),
+                ]
+            })
+            .collect();
+        print_table(&["cut", "layers removed", "accuracy"], &rows);
+    }
+    // Quantified paper claims.
+    let loss_at = |family: &str, min_layers_removed: usize| -> f64 {
+        let pts = sweep.family(family);
+        let base = pts[0].accuracy;
+        pts.iter()
+            .filter(|p| p.layers_removed >= min_layers_removed)
+            .map(|p| base - p.accuracy)
+            .fold(f64::INFINITY, f64::min)
+    };
+    println!();
+    let dense_loss = loss_at("densenet121", 100);
+    let incep_loss = loss_at("inception_v3", 60);
+    println!(
+        "DenseNet-121 accuracy loss at >=100 layers removed: {dense_loss:.3} \
+         (paper: low loss past 100 layers)"
+    );
+    println!("InceptionV3 accuracy loss at >=60 layers removed: {incep_loss:.3}");
+    let mob = sweep.family("mobilenet_v2_1.00");
+    let res = sweep.family("resnet50");
+    let frac_loss = |pts: &[&netcut::CandidatePoint], frac: f64| -> f64 {
+        let total = pts[0].kept_layers as f64;
+        let target = (total * frac) as usize;
+        let base = pts[0].accuracy;
+        pts.iter()
+            .filter(|p| p.layers_removed >= target)
+            .map(|p| base - p.accuracy)
+            .fold(f64::INFINITY, f64::min)
+    };
+    let mob_loss = frac_loss(&mob, 0.4);
+    let res_loss = frac_loss(&res, 0.4);
+    println!(
+        "at 40 % of layers removed: MobileNetV2 1.0 loses {mob_loss:.3}, \
+         ResNet-50 loses {res_loss:.3} (paper: V2 more adversely affected)"
+    );
+    assert!(mob_loss > res_loss, "Fig. 5 family ordering violated");
+    let path = write_json("fig05_removal_accuracy", &sweep.points);
+    println!("raw data: {}", path.display());
+}

@@ -1,0 +1,73 @@
+//! Fig. 6 — Accuracy-performance trade-off of all TRNs produced by
+//! blockwise layer removal.
+//!
+//! Paper shape: ResNet TRNs fill the latency gap before MobileNetV2 (1.4)
+//! with fairly accurate networks, and TRNs of MobileNetV1 (0.5) dominate
+//! the off-the-shelf MobileNetV1 (0.25).
+
+use netcut::pareto::dominates;
+use netcut_bench::{print_table, write_json, Lab, DEADLINE_MS};
+
+fn main() {
+    let lab = Lab::new();
+    let sweep = lab.exhaustive();
+    let shelf = lab.off_the_shelf();
+    println!("Fig. 6 — accuracy vs latency of all {} TRNs", sweep.points.len());
+    let rows: Vec<Vec<String>> = sweep
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.name.clone(),
+                format!("{:.3}", p.latency_ms),
+                format!("{:.3}", p.accuracy),
+            ]
+        })
+        .collect();
+    print_table(&["TRN", "latency_ms", "accuracy"], &rows);
+
+    // Claim 1: ResNet TRNs fill the gap between the deadline region and
+    // MobileNetV2 1.4's latency with accuracy above V2's level.
+    let v14 = shelf
+        .points
+        .iter()
+        .find(|p| p.family == "mobilenet_v2_1.40")
+        .expect("V2 1.4 present");
+    let fillers: Vec<_> = sweep
+        .family("resnet50")
+        .into_iter()
+        .filter(|p| p.latency_ms < v14.latency_ms && p.latency_ms > DEADLINE_MS * 0.8)
+        .collect();
+    println!();
+    println!(
+        "ResNet TRNs in the gap before MobileNetV2 1.4 ({:.3} ms): {}",
+        v14.latency_ms,
+        fillers.len()
+    );
+    assert!(
+        fillers.iter().any(|p| p.accuracy >= v14.accuracy - 0.01),
+        "no fairly-accurate ResNet TRN fills the gap"
+    );
+
+    // Claim 2: some MobileNetV1 0.5 TRN dominates off-the-shelf 0.25.
+    let v025 = shelf
+        .points
+        .iter()
+        .find(|p| p.family == "mobilenet_v1_0.25")
+        .expect("V1 0.25 present");
+    let dominator = sweep
+        .family("mobilenet_v1_0.50")
+        .into_iter()
+        .find(|p| dominates(p, v025));
+    match &dominator {
+        Some(d) => println!(
+            "MobileNetV1 0.5 TRN dominating off-the-shelf 0.25: {} \
+             ({:.3} ms / {:.3} vs {:.3} ms / {:.3})",
+            d.name, d.latency_ms, d.accuracy, v025.latency_ms, v025.accuracy
+        ),
+        None => println!("no MobileNetV1 0.5 TRN dominates 0.25"),
+    }
+    assert!(dominator.is_some(), "paper's domination claim not reproduced");
+    let path = write_json("fig06_trn_tradeoff", &sweep.points);
+    println!("raw data: {}", path.display());
+}

@@ -1,0 +1,84 @@
+//! Fig. 8 — Latency estimations vs ground truth for the TRNs of ResNet-50.
+//!
+//! Paper shape: the profiler-based ratio tracks the measured curve
+//! closely; the RBF-SVR analytical model adapts to the non-linearities;
+//! linear regression does not.
+
+use netcut_bench::estimator_study::{fit_all, measure_all};
+use netcut_bench::{print_table, write_json, Lab};
+use netcut_estimate::LatencyEstimator;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    name: String,
+    cutpoint: usize,
+    truth_ms: f64,
+    profiler_ms: f64,
+    svr_ms: f64,
+    linear_ms: f64,
+}
+
+fn main() {
+    let lab = Lab::new();
+    let measured = measure_all(&lab);
+    let fitted = fit_all(&lab, &measured, 17);
+    println!(
+        "Fig. 8 — estimations vs ground truth for ResNet-50 TRNs \
+         (SVR grid-searched to C={:.0e}, gamma={})",
+        fitted.svr_params.c, fitted.svr_params.gamma
+    );
+    let mut rows = Vec::new();
+    for (trn, &truth) in measured.trns.iter().zip(&measured.latency_ms) {
+        if trn.base_name() != "resnet50" {
+            continue;
+        }
+        rows.push(Row {
+            name: trn.name().to_owned(),
+            cutpoint: trn.cutpoint(),
+            truth_ms: truth,
+            profiler_ms: fitted.profiler.estimate_ms(trn),
+            svr_ms: fitted.svr.estimate_ms(trn),
+            linear_ms: fitted.linear.estimate_ms(trn),
+        });
+    }
+    rows.sort_by_key(|r| r.cutpoint);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                format!("{:.3}", r.truth_ms),
+                format!("{:.3}", r.profiler_ms),
+                format!("{:.3}", r.svr_ms),
+                format!("{:.3}", r.linear_ms),
+            ]
+        })
+        .collect();
+    print_table(
+        &["TRN", "measured", "profiler", "svr", "linear"],
+        &table,
+    );
+    // Shape check: the SVR must track the truth better than linear on this
+    // family.
+    let err = |f: &dyn Fn(&Row) -> f64| -> f64 {
+        rows.iter()
+            .map(|r| (f(r) - r.truth_ms).abs() / r.truth_ms)
+            .sum::<f64>()
+            / rows.len() as f64
+    };
+    let svr_err = err(&|r| r.svr_ms);
+    let lin_err = err(&|r| r.linear_ms);
+    println!();
+    println!(
+        "mean relative error on ResNet TRNs: svr {:.2} %, linear {:.2} %",
+        svr_err * 100.0,
+        lin_err * 100.0
+    );
+    assert!(
+        svr_err < lin_err,
+        "SVR must adapt to the non-linearity better than linear regression"
+    );
+    let path = write_json("fig08_resnet_estimates", &rows);
+    println!("raw data: {}", path.display());
+}

@@ -1,0 +1,263 @@
+//! Shared harness for the figure-regeneration binaries (`fig01` … `fig10`)
+//! and the Criterion microbenches.
+//!
+//! Every figure of the paper's evaluation has a binary that recomputes its
+//! data on the simulated testbed and prints the series the paper reports;
+//! each binary also writes its raw rows as JSON under `results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use netcut::explore::{exhaustive_blockwise, off_the_shelf, Exploration};
+use netcut_graph::{HeadSpec, Network};
+use netcut_sim::{DeviceModel, Precision, Session};
+use netcut_train::SurrogateRetrainer;
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// The common experimental setup: the paper's seven source networks on the
+/// Xavier-class device at INT8 with the surrogate retrainer.
+pub struct Lab {
+    /// Deployment session (device + precision).
+    pub session: Session,
+    /// The seven source networks.
+    pub sources: Vec<Network>,
+    /// Transfer head attached to every TRN.
+    pub head: HeadSpec,
+    /// Paper-scale retrainer.
+    pub retrainer: SurrogateRetrainer,
+}
+
+/// The application deadline of the robotic prosthetic hand's visual
+/// classifier (§III-A).
+pub const DEADLINE_MS: f64 = 0.9;
+
+impl Lab {
+    /// Builds the standard setup.
+    pub fn new() -> Self {
+        Lab {
+            session: Session::new(DeviceModel::jetson_xavier(), Precision::Int8),
+            sources: netcut_graph::zoo::paper_networks(),
+            head: HeadSpec::default(),
+            retrainer: SurrogateRetrainer::paper(),
+        }
+    }
+
+    /// The off-the-shelf baseline (Fig. 1): each source with a transfer
+    /// head, measured and retrained.
+    pub fn off_the_shelf(&self) -> Exploration {
+        off_the_shelf(
+            &self.sources,
+            &self.head,
+            &self.session,
+            &self.retrainer,
+            1,
+        )
+    }
+
+    /// The exhaustive blockwise sweep (Figs. 5–7): every TRN measured and
+    /// retrained.
+    pub fn exhaustive(&self) -> Exploration {
+        exhaustive_blockwise(
+            &self.sources,
+            &self.head,
+            &self.session,
+            &self.retrainer,
+            1,
+        )
+    }
+
+    /// A source network by family name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the family is not one of the seven.
+    pub fn source(&self, family: &str) -> &Network {
+        self.sources
+            .iter()
+            .find(|n| n.name() == family)
+            .unwrap_or_else(|| panic!("unknown family `{family}`"))
+    }
+}
+
+impl Default for Lab {
+    fn default() -> Self {
+        Lab::new()
+    }
+}
+
+/// Writes a figure's raw data as pretty JSON under `results/<name>.json`
+/// at the workspace root, returning the path.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written — the harness treats result loss
+/// as fatal.
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialize results");
+    std::fs::write(&path, json).expect("write results file");
+    path
+}
+
+/// Prints a fixed-width table row-by-row.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let joined: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        println!("  {}", joined.join("  "));
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Estimator-study helpers shared by the Fig. 8 and Fig. 9 binaries.
+pub mod estimator_study {
+    use super::Lab;
+    use netcut::removal::blockwise_trns;
+    use netcut_estimate::{
+        AnalyticalEstimator, LinearLatencyEstimator, ProfilerEstimator, SourceInfo, SvrParams,
+    };
+    use netcut_graph::Network;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::HashMap;
+
+    /// All blockwise TRNs with measured (ground-truth) latencies, plus the
+    /// per-family source latencies the analytical features require.
+    pub struct MeasuredTrns {
+        /// Every TRN (head attached).
+        pub trns: Vec<Network>,
+        /// Measured latency per TRN, milliseconds.
+        pub latency_ms: Vec<f64>,
+        /// Measured latency of each adapted source network.
+        pub source_latency_ms: HashMap<String, f64>,
+    }
+
+    /// Measures every blockwise TRN of every family on the lab device.
+    pub fn measure_all(lab: &Lab) -> MeasuredTrns {
+        let mut trns = Vec::new();
+        let mut latency_ms = Vec::new();
+        let mut source_latency_ms = HashMap::new();
+        for source in &lab.sources {
+            let mut adapted = source.backbone().with_head(&lab.head);
+            adapted.rename(source.name());
+            source_latency_ms.insert(
+                source.name().to_owned(),
+                lab.session.measure(&adapted, 11).mean_ms,
+            );
+            for trn in blockwise_trns(source, &lab.head) {
+                latency_ms.push(lab.session.measure(&trn, 13).mean_ms);
+                trns.push(trn);
+            }
+        }
+        MeasuredTrns {
+            trns,
+            latency_ms,
+            source_latency_ms,
+        }
+    }
+
+    /// The paper's split: 20 % of the samples train the analytical models
+    /// (with 10-fold CV grid search on that train set); the remaining 80 %
+    /// are the test set. The split is stratified per family so every
+    /// source architecture is represented in the train set. Returns
+    /// `(train_indices, test_indices)`.
+    pub fn split_20_80(measured: &MeasuredTrns, seed: u64) -> (Vec<usize>, Vec<usize>) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut families: Vec<&str> = measured
+            .trns
+            .iter()
+            .map(|t| t.base_name())
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        families.sort_unstable();
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        for family in families {
+            let mut idx: Vec<usize> = (0..measured.trns.len())
+                .filter(|&i| measured.trns[i].base_name() == family)
+                .collect();
+            for i in (1..idx.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                idx.swap(i, j);
+            }
+            let cut = ((idx.len() as f64 * 0.2).round() as usize).max(2);
+            train.extend_from_slice(&idx[..cut.min(idx.len())]);
+            test.extend_from_slice(&idx[cut.min(idx.len())..]);
+        }
+        (train, test)
+    }
+
+    /// The three estimators of §V, fitted exactly as the paper describes.
+    pub struct FittedEstimators {
+        /// Profiler-based ratio estimator (7 layer tables).
+        pub profiler: ProfilerEstimator,
+        /// RBF-SVR analytical model (grid-searched with 10-fold CV).
+        pub svr: AnalyticalEstimator,
+        /// Linear-regression baseline.
+        pub linear: LinearLatencyEstimator,
+        /// Hyper-parameters the grid search selected.
+        pub svr_params: SvrParams,
+        /// Indices of the held-out test samples.
+        pub test_indices: Vec<usize>,
+    }
+
+    /// Fits all three estimators on the 20 % train split of `measured`.
+    pub fn fit_all(lab: &Lab, measured: &MeasuredTrns, seed: u64) -> FittedEstimators {
+        let (train_idx, test_idx) = split_20_80(measured, seed);
+        let train: Vec<(&Network, f64)> = train_idx
+            .iter()
+            .map(|&i| (&measured.trns[i], measured.latency_ms[i]))
+            .collect();
+        let info = SourceInfo::new(&lab.sources, &measured.source_latency_ms);
+        let (svr, search) = AnalyticalEstimator::fit_with_grid_search(&train, &info, 10, seed);
+        let linear = LinearLatencyEstimator::fit(&train, &info);
+        let profiler = ProfilerEstimator::profile(&lab.session, &lab.sources, seed);
+        FittedEstimators {
+            profiler,
+            svr,
+            linear,
+            svr_params: search.params,
+            test_indices: test_idx,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lab_builds_seven_sources() {
+        let lab = Lab::new();
+        assert_eq!(lab.sources.len(), 7);
+        assert_eq!(lab.source("resnet50").num_blocks(), 16);
+    }
+
+    #[test]
+    fn write_json_round_trips() {
+        let path = write_json("self_test", &vec![1, 2, 3]);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let back: Vec<i32> = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, vec![1, 2, 3]);
+        std::fs::remove_file(path).unwrap();
+    }
+}

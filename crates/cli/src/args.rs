@@ -1,0 +1,292 @@
+//! Hand-rolled argument parsing (no external dependencies).
+
+use netcut_sim::Precision;
+
+/// Usage text printed on parse errors.
+pub const USAGE: &str = "\
+usage:
+  netcut-cli zoo [--extended]
+  netcut-cli show <network>
+  netcut-cli dot <network>
+  netcut-cli measure <network> [--precision fp32|fp16|int8]
+  netcut-cli cut <network> <blocks>
+  netcut-cli trace <network> [--precision fp32|fp16|int8] [--top N]
+  netcut-cli energy <network> [--precision fp32|fp16|int8]
+  netcut-cli budget
+  netcut-cli explore [--deadline MS] [--extended] [--json]
+  netcut-cli sweep [--json]";
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// List the zoo.
+    Zoo { extended: bool },
+    /// Print the per-block structure summary of a network.
+    Show { network: String },
+    /// Print a Graphviz DOT rendering of a network.
+    Dot { network: String },
+    /// Measure one network.
+    Measure { network: String, precision: Precision },
+    /// Construct and describe a TRN.
+    Cut { network: String, blocks: usize },
+    /// Print the per-kernel execution trace of a network.
+    Trace {
+        network: String,
+        precision: Precision,
+        top: usize,
+    },
+    /// Print the per-inference energy of a network.
+    Energy { network: String, precision: Precision },
+    /// Print the control-loop timing budget derivation.
+    Budget,
+    /// Run Algorithm 1.
+    Explore {
+        deadline_ms: f64,
+        extended: bool,
+        json: bool,
+    },
+    /// Run the exhaustive blockwise sweep and summarize.
+    Sweep { json: bool },
+}
+
+fn parse_precision(s: &str) -> Result<Precision, String> {
+    match s {
+        "fp32" => Ok(Precision::Fp32),
+        "fp16" => Ok(Precision::Fp16),
+        "int8" => Ok(Precision::Int8),
+        other => Err(format!("unknown precision `{other}` (fp32|fp16|int8)")),
+    }
+}
+
+/// Parses a full argument vector into a [`Command`].
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    let mut it = argv.iter().map(String::as_str);
+    let sub = it.next().ok_or("missing subcommand")?;
+    let rest: Vec<&str> = it.collect();
+    let has_flag = |flag: &str| rest.contains(&flag);
+    let flag_value = |flag: &str| -> Option<&str> {
+        rest.iter()
+            .position(|a| *a == flag)
+            .and_then(|i| rest.get(i + 1).copied())
+    };
+    let positionals: Vec<&str> = {
+        let mut out = Vec::new();
+        let mut skip = false;
+        for (i, a) in rest.iter().enumerate() {
+            if skip {
+                skip = false;
+                continue;
+            }
+            if a.starts_with("--") {
+                // Flags with values consume the next token.
+                if matches!(*a, "--precision" | "--deadline" | "--top") && i + 1 < rest.len() {
+                    skip = true;
+                }
+                continue;
+            }
+            out.push(*a);
+        }
+        out
+    };
+    match sub {
+        "zoo" => Ok(Command::Zoo {
+            extended: has_flag("--extended"),
+        }),
+        "show" => Ok(Command::Show {
+            network: positionals
+                .first()
+                .ok_or("show requires a network name")?
+                .to_string(),
+        }),
+        "dot" => Ok(Command::Dot {
+            network: positionals
+                .first()
+                .ok_or("dot requires a network name")?
+                .to_string(),
+        }),
+        "measure" => {
+            let network = positionals
+                .first()
+                .ok_or("measure requires a network name")?
+                .to_string();
+            let precision = match flag_value("--precision") {
+                Some(p) => parse_precision(p)?,
+                None => Precision::Int8,
+            };
+            Ok(Command::Measure { network, precision })
+        }
+        "cut" => {
+            let network = positionals
+                .first()
+                .ok_or("cut requires a network name")?
+                .to_string();
+            let blocks: usize = positionals
+                .get(1)
+                .ok_or("cut requires a block count")?
+                .parse()
+                .map_err(|_| "block count must be an integer".to_string())?;
+            Ok(Command::Cut { network, blocks })
+        }
+        "trace" => {
+            let network = positionals
+                .first()
+                .ok_or("trace requires a network name")?
+                .to_string();
+            let precision = match flag_value("--precision") {
+                Some(p) => parse_precision(p)?,
+                None => Precision::Int8,
+            };
+            let top = match flag_value("--top") {
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| "--top must be an integer".to_string())?,
+                None => 10,
+            };
+            Ok(Command::Trace {
+                network,
+                precision,
+                top,
+            })
+        }
+        "energy" => {
+            let network = positionals
+                .first()
+                .ok_or("energy requires a network name")?
+                .to_string();
+            let precision = match flag_value("--precision") {
+                Some(p) => parse_precision(p)?,
+                None => Precision::Int8,
+            };
+            Ok(Command::Energy { network, precision })
+        }
+        "budget" => Ok(Command::Budget),
+        "explore" => {
+            let deadline_ms = match flag_value("--deadline") {
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| "deadline must be a number (ms)".to_string())?,
+                None => 0.9,
+            };
+            Ok(Command::Explore {
+                deadline_ms,
+                extended: has_flag("--extended"),
+                json: has_flag("--json"),
+            })
+        }
+        "sweep" => Ok(Command::Sweep {
+            json: has_flag("--json"),
+        }),
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_zoo() {
+        assert_eq!(
+            parse(&argv(&["zoo"])).unwrap(),
+            Command::Zoo { extended: false }
+        );
+        assert_eq!(
+            parse(&argv(&["zoo", "--extended"])).unwrap(),
+            Command::Zoo { extended: true }
+        );
+    }
+
+    #[test]
+    fn parses_measure_with_precision() {
+        assert_eq!(
+            parse(&argv(&["measure", "resnet50", "--precision", "fp16"])).unwrap(),
+            Command::Measure {
+                network: "resnet50".into(),
+                precision: Precision::Fp16
+            }
+        );
+    }
+
+    #[test]
+    fn measure_defaults_to_int8() {
+        assert_eq!(
+            parse(&argv(&["measure", "resnet50"])).unwrap(),
+            Command::Measure {
+                network: "resnet50".into(),
+                precision: Precision::Int8
+            }
+        );
+    }
+
+    #[test]
+    fn parses_cut() {
+        assert_eq!(
+            parse(&argv(&["cut", "densenet121", "12"])).unwrap(),
+            Command::Cut {
+                network: "densenet121".into(),
+                blocks: 12
+            }
+        );
+    }
+
+    #[test]
+    fn parses_explore_with_deadline() {
+        assert_eq!(
+            parse(&argv(&["explore", "--deadline", "1.5", "--json"])).unwrap(),
+            Command::Explore {
+                deadline_ms: 1.5,
+                extended: false,
+                json: true
+            }
+        );
+    }
+
+    #[test]
+    fn parses_show_and_dot() {
+        assert_eq!(
+            parse(&argv(&["show", "vgg16"])).unwrap(),
+            Command::Show { network: "vgg16".into() }
+        );
+        assert_eq!(
+            parse(&argv(&["dot", "alexnet"])).unwrap(),
+            Command::Dot { network: "alexnet".into() }
+        );
+    }
+
+    #[test]
+    fn parses_trace() {
+        assert_eq!(
+            parse(&argv(&["trace", "resnet50", "--top", "5"])).unwrap(),
+            Command::Trace {
+                network: "resnet50".into(),
+                precision: Precision::Int8,
+                top: 5
+            }
+        );
+    }
+
+    #[test]
+    fn parses_energy_and_budget() {
+        assert_eq!(
+            parse(&argv(&["energy", "resnet50"])).unwrap(),
+            Command::Energy {
+                network: "resnet50".into(),
+                precision: Precision::Int8
+            }
+        );
+        assert_eq!(parse(&argv(&["budget"])).unwrap(), Command::Budget);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse(&argv(&["frobnicate"])).is_err());
+        assert!(parse(&argv(&[])).is_err());
+        assert!(parse(&argv(&["measure"])).is_err());
+        assert!(parse(&argv(&["cut", "resnet50", "many"])).is_err());
+        assert!(parse(&argv(&["measure", "x", "--precision", "int4"])).is_err());
+    }
+}

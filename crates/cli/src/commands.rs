@@ -1,0 +1,293 @@
+//! Command implementations.
+
+use crate::args::Command;
+use netcut::explore::exhaustive_blockwise;
+use netcut::netcut::NetCut;
+use netcut::pareto::{best_meeting_deadline, pareto_frontier};
+use netcut_estimate::ProfilerEstimator;
+use netcut_graph::{zoo, HeadSpec, Network};
+use netcut_sim::{DeviceModel, Precision, Session};
+use netcut_train::{Retrainer, SurrogateRetrainer};
+
+fn networks(extended: bool) -> Vec<Network> {
+    if extended {
+        zoo::extended_networks()
+    } else {
+        zoo::paper_networks()
+    }
+}
+
+fn find_network(name: &str) -> Result<Network, String> {
+    networks(true)
+        .into_iter()
+        .find(|n| n.name() == name)
+        .ok_or_else(|| {
+            let known: Vec<String> = networks(true)
+                .iter()
+                .map(|n| n.name().to_owned())
+                .collect();
+            format!("unknown network `{name}`; known: {}", known.join(", "))
+        })
+}
+
+/// Executes a parsed command.
+pub fn run(cmd: Command) -> Result<(), String> {
+    match cmd {
+        Command::Zoo { extended } => {
+            println!(
+                "{:22} {:>7} {:>8} {:>10} {:>9}",
+                "network", "blocks", "layers", "MFLOPs", "Mparams"
+            );
+            for net in networks(extended) {
+                let s = net.stats();
+                println!(
+                    "{:22} {:>7} {:>8} {:>10.1} {:>9.2}",
+                    net.name(),
+                    net.num_blocks(),
+                    net.layer_count(),
+                    s.total_flops as f64 / 1e6,
+                    s.total_params as f64 / 1e6
+                );
+            }
+            Ok(())
+        }
+        Command::Show { network } => {
+            let net = find_network(&network)?;
+            print!("{}", net.summary());
+            Ok(())
+        }
+        Command::Dot { network } => {
+            let net = find_network(&network)?;
+            print!("{}", net.to_dot());
+            Ok(())
+        }
+        Command::Measure { network, precision } => {
+            let net = find_network(&network)?;
+            let session = Session::new(DeviceModel::jetson_xavier(), precision);
+            let adapted = net.backbone().with_head(&HeadSpec::default());
+            let raw = session.measure(&net, 42);
+            let deployed = session.measure(&adapted, 42);
+            println!("{network} @ {precision:?} on {}", session.device().name);
+            println!("  imagenet head : {:.3} ms (± {:.3})", raw.mean_ms, raw.std_ms);
+            println!(
+                "  transfer head : {:.3} ms (± {:.3})",
+                deployed.mean_ms, deployed.std_ms
+            );
+            Ok(())
+        }
+        Command::Cut { network, blocks } => {
+            let net = find_network(&network)?;
+            let trn = net
+                .cut_blocks(blocks)
+                .map_err(|e| e.to_string())?
+                .with_head(&HeadSpec::default());
+            let session = Session::new(DeviceModel::jetson_xavier(), Precision::Int8);
+            let retrainer = SurrogateRetrainer::paper();
+            let m = session.measure(&trn, 42);
+            let t = retrainer.retrain(&trn);
+            let s = trn.stats();
+            println!("{}", trn.name());
+            println!("  blocks kept     : {}", trn.num_blocks());
+            println!("  layers kept     : {}", trn.backbone_layer_count());
+            println!("  MFLOPs          : {:.1}", s.total_flops as f64 / 1e6);
+            println!("  Mparams         : {:.2}", s.total_params as f64 / 1e6);
+            println!("  latency (int8)  : {:.3} ms", m.mean_ms);
+            println!("  accuracy        : {:.3}", t.accuracy);
+            println!("  retrain cost    : {:.2} h", t.train_hours);
+            Ok(())
+        }
+        Command::Trace {
+            network,
+            precision,
+            top,
+        } => {
+            let net = find_network(&network)?;
+            let adapted = net.backbone().with_head(&HeadSpec::default());
+            let session = Session::new(DeviceModel::jetson_xavier(), precision);
+            let trace = session.trace(&adapted);
+            println!(
+                "{network} @ {precision:?}: {} kernels, steady {:.3} ms, total {:.3} ms, {:.0} % memory-bound",
+                trace.kernels.len(),
+                trace.steady_ms,
+                trace.total_ms,
+                trace.memory_bound_fraction() * 100.0
+            );
+            println!("{:40} {:>9} {:>8} {:>10} {:>6}", "kernel", "ms", "bound", "kFLOPs", "occ");
+            for k in trace.hotspots().into_iter().take(top) {
+                println!(
+                    "{:40} {:>9.4} {:>8} {:>10.0} {:>5.0}%",
+                    k.name,
+                    k.duration_ms,
+                    format!("{:?}", k.bound),
+                    k.flops as f64 / 1e3,
+                    k.occupancy * 100.0
+                );
+            }
+            Ok(())
+        }
+        Command::Energy { network, precision } => {
+            let net = find_network(&network)?;
+            let adapted = net.backbone().with_head(&HeadSpec::default());
+            let session = Session::new(DeviceModel::jetson_xavier(), precision);
+            let energy = netcut_sim::EnergyModel::jetson_xavier();
+            let mj = energy.network_energy_mj(&adapted, session.device(), precision);
+            let latency = session.measure(&adapted, 42).mean_ms;
+            println!("{network} @ {precision:?}:");
+            println!("  latency : {latency:.3} ms");
+            println!("  energy  : {mj:.2} mJ/inference");
+            println!("  power   : {:.2} W sustained at frame-back-to-back", mj / latency);
+            Ok(())
+        }
+        Command::Budget => {
+            let b = netcut_hand::LoopBudget::paper();
+            println!("control-loop budget (paper SIII-A constants):");
+            println!("  reach window        : {:.0} ms", b.reach_window_ms);
+            println!("  actuation reserve   : {:.0} ms", b.actuation_ms);
+            println!("  decision window     : {:.0} ms", b.decision_window_ms());
+            println!("  decisions required  : {}", b.decisions_required);
+            println!("  frame period        : {:.1} ms", b.frame_period_ms());
+            println!("  fixed per-frame     : {:.1} ms", b.fixed_per_frame_ms());
+            println!("  visual budget       : {:.2} ms  <- the NetCut deadline", b.visual_budget_ms());
+            Ok(())
+        }
+        Command::Explore {
+            deadline_ms,
+            extended,
+            json,
+        } => {
+            let sources = networks(extended);
+            let session = Session::new(DeviceModel::jetson_xavier(), Precision::Int8);
+            let estimator = ProfilerEstimator::profile(&session, &sources, 42);
+            let retrainer = SurrogateRetrainer::paper();
+            let outcome = NetCut::new(&estimator, &retrainer).run(&sources, deadline_ms, &session);
+            if json {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&outcome.proposals)
+                        .map_err(|e| e.to_string())?
+                );
+                return Ok(());
+            }
+            println!("NetCut @ {deadline_ms} ms:");
+            for p in &outcome.proposals {
+                println!(
+                    "  {:30} est {:.3} ms | meas {:.3} ms | acc {:.3}",
+                    p.name,
+                    p.estimated_ms.unwrap_or(f64::NAN),
+                    p.latency_ms,
+                    p.accuracy
+                );
+            }
+            match outcome.selected() {
+                Some(best) => println!(
+                    "selected: {} (accuracy {:.3}, {:.2} h total retraining)",
+                    best.name, best.accuracy, outcome.exploration_hours
+                ),
+                None => println!("no family meets the deadline"),
+            }
+            Ok(())
+        }
+        Command::Sweep { json } => {
+            let sources = zoo::paper_networks();
+            let session = Session::new(DeviceModel::jetson_xavier(), Precision::Int8);
+            let retrainer = SurrogateRetrainer::paper();
+            let sweep =
+                exhaustive_blockwise(&sources, &HeadSpec::default(), &session, &retrainer, 42);
+            if json {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&sweep.points).map_err(|e| e.to_string())?
+                );
+                return Ok(());
+            }
+            println!(
+                "exhaustive blockwise exploration: {} TRNs, {:.1} h of retraining",
+                sweep.networks_trained(),
+                sweep.total_train_hours
+            );
+            let frontier = pareto_frontier(&sweep.points);
+            println!("Pareto frontier ({} points):", frontier.len());
+            for &i in &frontier {
+                let p = &sweep.points[i];
+                println!("  {:30} {:.3} ms  acc {:.3}", p.name, p.latency_ms, p.accuracy);
+            }
+            if let Some(best) = best_meeting_deadline(&sweep.points, 0.9) {
+                println!("best @0.9 ms: {} (acc {:.3})", best.name, best.accuracy);
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zoo_show_dot_run() {
+        run(Command::Zoo { extended: true }).expect("zoo");
+        run(Command::Show {
+            network: "alexnet".into(),
+        })
+        .expect("show");
+        run(Command::Dot {
+            network: "squeezenet".into(),
+        })
+        .expect("dot");
+    }
+
+    #[test]
+    fn measure_trace_energy_run() {
+        run(Command::Measure {
+            network: "mobilenet_v1_0.25".into(),
+            precision: Precision::Fp16,
+        })
+        .expect("measure");
+        run(Command::Trace {
+            network: "mobilenet_v1_0.25".into(),
+            precision: Precision::Int8,
+            top: 3,
+        })
+        .expect("trace");
+        run(Command::Energy {
+            network: "mobilenet_v1_0.25".into(),
+            precision: Precision::Int8,
+        })
+        .expect("energy");
+        run(Command::Budget).expect("budget");
+    }
+
+    #[test]
+    fn cut_command_validates_blocks() {
+        run(Command::Cut {
+            network: "mobilenet_v1_0.25".into(),
+            blocks: 3,
+        })
+        .expect("cut");
+        let err = run(Command::Cut {
+            network: "mobilenet_v1_0.25".into(),
+            blocks: 99,
+        })
+        .expect_err("out-of-range cut must fail");
+        assert!(err.contains("cutpoint"));
+    }
+
+    #[test]
+    fn unknown_network_reports_known_names() {
+        let err = run(Command::Show {
+            network: "resnet9000".into(),
+        })
+        .expect_err("unknown network");
+        assert!(err.contains("resnet50"), "error should list known networks");
+    }
+
+    #[test]
+    fn explore_json_runs() {
+        run(Command::Explore {
+            deadline_ms: 0.9,
+            extended: false,
+            json: true,
+        })
+        .expect("explore");
+    }
+}

@@ -1,0 +1,34 @@
+//! `netcut-cli` — command-line front end to the NetCut reproduction.
+//!
+//! ```text
+//! netcut-cli zoo                               list networks and their stats
+//! netcut-cli measure resnet50 [--precision X] measure a network (fp32|fp16|int8)
+//! netcut-cli cut resnet50 9                    construct and describe a TRN
+//! netcut-cli explore [--deadline 0.9] [--extended] [--json]
+//!                                              run Algorithm 1
+//! netcut-cli sweep [--json]                    exhaustive blockwise exploration summary
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv) {
+        Ok(cmd) => match commands::run(cmd) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("error: {message}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{}", args::USAGE);
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! A NetAdapt-like baseline (Yang et al., ECCV 2018) — the comparison
+//! point of the paper's §II: platform-aware *filter pruning* that adapts a
+//! single network to a latency budget by iteratively narrowing one layer
+//! at a time, short-fine-tuning every candidate.
+//!
+//! The paper's argument is not that NetAdapt finds worse networks, but
+//! that it "requires retraining in each iteration of its algorithm … and
+//! suffers from a long exploration time making it impractical to be
+//! applied to a diverse set of networks." This module makes that cost
+//! concrete: every candidate evaluation bills a short fine-tune, every
+//! iteration evaluates one candidate per prunable block, and the final
+//! network pays a full fine-tune — versus NetCut's single retrain per
+//! family.
+
+use netcut_graph::{zoo, HeadSpec, Network};
+use netcut_sim::Session;
+use netcut_train::{TrainingCostModel, WidthPruningModel};
+
+/// Configuration of the NetAdapt-like search.
+#[derive(Debug, Clone, Copy)]
+pub struct NetAdaptConfig {
+    /// Multiplicative width step per pruning move (NetAdapt shrinks one
+    /// layer by a small step each iteration).
+    pub width_step: f64,
+    /// Minimum relative width a block may reach.
+    pub min_width: f64,
+    /// Fraction of a full fine-tune billed per candidate evaluation
+    /// (NetAdapt's "short-term fine-tune").
+    pub short_finetune_fraction: f64,
+    /// Safety cap on iterations.
+    pub max_iterations: usize,
+}
+
+impl Default for NetAdaptConfig {
+    fn default() -> Self {
+        NetAdaptConfig {
+            width_step: 0.875,
+            min_width: 0.15,
+            short_finetune_fraction: 0.08,
+            max_iterations: 200,
+        }
+    }
+}
+
+/// Result of a NetAdapt-like run on MobileNetV1 (0.5).
+#[derive(Debug, Clone)]
+pub struct NetAdaptOutcome {
+    /// Final per-block relative widths.
+    pub widths: Vec<f64>,
+    /// The adapted network (with transfer head).
+    pub network: Network,
+    /// Fine-tuned accuracy of the final network.
+    pub accuracy: f64,
+    /// Measured latency of the final network, milliseconds.
+    pub latency_ms: f64,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Candidate networks short-fine-tuned along the way.
+    pub candidates_evaluated: usize,
+    /// Total retraining bill (short fine-tunes + final long fine-tune),
+    /// hours.
+    pub retrain_hours: f64,
+}
+
+fn build(widths: &[f64], base_width: f64, head: &HeadSpec) -> Network {
+    let mut absolute = vec![base_width; 14];
+    for (i, w) in widths.iter().enumerate() {
+        absolute[i + 1] = base_width * w;
+    }
+    let label: String = widths
+        .iter()
+        .map(|w| format!("{:.0}", w * 8.0))
+        .collect::<Vec<_>>()
+        .join("");
+    zoo::mobilenet_v1_widths(format!("mobilenet_v1_na_{label}"), &absolute)
+        .backbone()
+        .with_head(head)
+}
+
+/// Runs the NetAdapt-like adaptation of MobileNetV1 (0.5) down to
+/// `deadline_ms` on `session`, billing retraining through `cost` and
+/// predicting accuracy with `model`.
+///
+/// Each iteration narrows the single block whose narrowing loses the least
+/// accuracy while still reducing latency, exactly one width step at a
+/// time; the loop ends when the measured latency meets the deadline (or
+/// widths bottom out).
+pub fn netadapt_mobilenet_v1_05(
+    session: &Session,
+    deadline_ms: f64,
+    model: &WidthPruningModel,
+    cost: &TrainingCostModel,
+    config: &NetAdaptConfig,
+) -> NetAdaptOutcome {
+    let head = HeadSpec::default();
+    let blocks = model.blocks();
+    let mut widths = vec![1.0f64; blocks];
+    let mut hours = 0.0;
+    let mut candidates = 0usize;
+    let mut iterations = 0usize;
+    let mut current = build(&widths, 0.5, &head);
+    let mut latency = session.measure(&current, 31).mean_ms;
+    while latency > deadline_ms && iterations < config.max_iterations {
+        iterations += 1;
+        let mut best: Option<(usize, f64, f64, Network)> = None; // (block, acc, lat, net)
+        for b in 0..blocks {
+            let narrowed = widths[b] * config.width_step;
+            if narrowed < config.min_width {
+                continue;
+            }
+            let mut candidate_widths = widths.clone();
+            candidate_widths[b] = narrowed;
+            let candidate = build(&candidate_widths, 0.5, &head);
+            let cand_latency = session.measure(&candidate, 31).mean_ms;
+            if cand_latency >= latency {
+                continue; // rounding to channel multiples may change nothing
+            }
+            // NetAdapt short-fine-tunes every candidate to rank them.
+            hours += cost.train_hours(&candidate) * config.short_finetune_fraction;
+            candidates += 1;
+            let acc = model.accuracy(&candidate_widths);
+            let better = match &best {
+                None => true,
+                Some((_, best_acc, _, _)) => acc > *best_acc,
+            };
+            if better {
+                best = Some((b, acc, cand_latency, candidate));
+            }
+        }
+        let Some((b, _, cand_latency, candidate)) = best else {
+            break; // nothing prunable remains
+        };
+        widths[b] *= config.width_step;
+        latency = cand_latency;
+        current = candidate;
+    }
+    // Long fine-tune of the final network.
+    hours += cost.train_hours(&current);
+    let accuracy = model.accuracy(&widths);
+    NetAdaptOutcome {
+        widths,
+        accuracy,
+        latency_ms: latency,
+        iterations,
+        candidates_evaluated: candidates,
+        retrain_hours: hours,
+        network: current,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcut_sim::{DeviceModel, Precision};
+
+    fn session() -> Session {
+        Session::new(DeviceModel::jetson_xavier(), Precision::Int8)
+    }
+
+    fn run(deadline: f64) -> NetAdaptOutcome {
+        netadapt_mobilenet_v1_05(
+            &session(),
+            deadline,
+            &WidthPruningModel::mobilenet_v1_05(),
+            &TrainingCostModel::paper(),
+            &NetAdaptConfig::default(),
+        )
+    }
+
+    #[test]
+    fn adapts_to_the_deadline() {
+        let out = run(0.25);
+        assert!(out.latency_ms <= 0.25, "latency {}", out.latency_ms);
+        assert!(out.iterations > 0);
+        assert!(out.accuracy > 0.6);
+        // Some block was narrowed.
+        assert!(out.widths.iter().any(|&w| w < 1.0));
+    }
+
+    #[test]
+    fn loose_deadline_means_no_adaptation() {
+        let out = run(5.0);
+        assert_eq!(out.iterations, 0);
+        assert!(out.widths.iter().all(|&w| (w - 1.0).abs() < 1e-12));
+        // Only the final fine-tune is billed.
+        let full = TrainingCostModel::paper().train_hours(&out.network);
+        assert!((out.retrain_hours - full).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exploration_cost_grows_with_tightness() {
+        let loose = run(0.3);
+        let tight = run(0.2);
+        assert!(tight.candidates_evaluated > loose.candidates_evaluated);
+        assert!(tight.retrain_hours > loose.retrain_hours);
+        assert!(tight.accuracy < loose.accuracy);
+    }
+
+    #[test]
+    fn prefers_narrowing_insensitive_blocks_first() {
+        let out = run(0.28);
+        // The least-sensitive (latest) blocks should be narrowed at least
+        // as much as the most-sensitive (earliest) ones.
+        let early = out.widths[0];
+        let late = out.widths[12];
+        assert!(late <= early + 1e-9, "widths = {:?}", out.widths);
+    }
+}

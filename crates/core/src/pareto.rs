@@ -1,0 +1,196 @@
+//! Pareto-frontier analysis of the latency/accuracy trade-off (Figs. 1, 6
+//! and 7): dominance, frontier extraction, the accuracy available at a
+//! deadline, and the relative-improvement metric the paper reports
+//! ("up to 10.43 %, 5.0 % on average").
+
+use crate::report::CandidatePoint;
+
+/// `true` if `a` dominates `b`: at least as fast and as accurate, strictly
+/// better on one axis.
+pub fn dominates(a: &CandidatePoint, b: &CandidatePoint) -> bool {
+    a.latency_ms <= b.latency_ms
+        && a.accuracy >= b.accuracy
+        && (a.latency_ms < b.latency_ms || a.accuracy > b.accuracy)
+}
+
+/// Extracts the Pareto frontier of `points` (minimize latency, maximize
+/// accuracy), returned as indices into `points` sorted by latency.
+pub fn pareto_frontier(points: &[CandidatePoint]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by(|&i, &j| {
+        points[i]
+            .latency_ms
+            .total_cmp(&points[j].latency_ms)
+            .then(points[j].accuracy.total_cmp(&points[i].accuracy))
+    });
+    let mut frontier = Vec::new();
+    let mut best_acc = f64::NEG_INFINITY;
+    for idx in order {
+        if points[idx].accuracy > best_acc {
+            best_acc = points[idx].accuracy;
+            frontier.push(idx);
+        }
+    }
+    frontier
+}
+
+/// The most accurate point meeting `deadline_ms` (by measured latency), if
+/// any — the network-selection rule of §I.
+pub fn best_meeting_deadline(
+    points: &[CandidatePoint],
+    deadline_ms: f64,
+) -> Option<&CandidatePoint> {
+    points
+        .iter()
+        .filter(|p| p.meets(deadline_ms))
+        .max_by(|a, b| a.accuracy.total_cmp(&b.accuracy))
+}
+
+/// Relative accuracy improvement of `candidate` over the best `baseline`
+/// point meeting the same deadline (the candidate's own latency):
+/// `(acc_candidate − acc_baseline) / acc_baseline`.
+///
+/// Returns `None` when no baseline point is at least as fast as the
+/// candidate (nothing to improve upon).
+pub fn relative_improvement(
+    candidate: &CandidatePoint,
+    baseline: &[CandidatePoint],
+) -> Option<f64> {
+    let best = best_meeting_deadline(baseline, candidate.latency_ms)?;
+    Some((candidate.accuracy - best.accuracy) / best.accuracy)
+}
+
+/// Summary of how a TRN set expands an off-the-shelf baseline frontier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrontierExpansion {
+    /// Largest relative improvement of any TRN over the baseline frontier.
+    pub max_improvement: f64,
+    /// Mean relative improvement over TRNs that improve on the baseline.
+    pub mean_improvement: f64,
+    /// Number of TRNs improving on the baseline at their latency point.
+    pub improving_points: usize,
+    /// Number of TRNs evaluated (with a defined baseline).
+    pub evaluated_points: usize,
+}
+
+/// Measures the frontier expansion of `trns` over the `baseline`
+/// off-the-shelf points (the Fig. 7 analysis).
+pub fn frontier_expansion(trns: &[CandidatePoint], baseline: &[CandidatePoint]) -> FrontierExpansion {
+    let mut max_improvement = f64::NEG_INFINITY;
+    let mut positive_sum = 0.0;
+    let mut improving = 0usize;
+    let mut evaluated = 0usize;
+    for trn in trns {
+        let Some(delta) = relative_improvement(trn, baseline) else {
+            continue;
+        };
+        evaluated += 1;
+        max_improvement = max_improvement.max(delta);
+        if delta > 0.0 {
+            positive_sum += delta;
+            improving += 1;
+        }
+    }
+    FrontierExpansion {
+        max_improvement: if evaluated == 0 { 0.0 } else { max_improvement },
+        mean_improvement: if improving == 0 {
+            0.0
+        } else {
+            positive_sum / improving as f64
+        },
+        improving_points: improving,
+        evaluated_points: evaluated,
+    }
+}
+
+/// The accuracy gap at a deadline (Fig. 1): difference between the best
+/// accuracy of any point (regardless of latency) and the best accuracy
+/// actually achievable within the deadline.
+pub fn accuracy_gap(points: &[CandidatePoint], deadline_ms: f64) -> Option<f64> {
+    let within = best_meeting_deadline(points, deadline_ms)?;
+    let best = points
+        .iter()
+        .max_by(|a, b| a.accuracy.total_cmp(&b.accuracy))?;
+    Some(best.accuracy - within.accuracy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(name: &str, lat: f64, acc: f64) -> CandidatePoint {
+        CandidatePoint {
+            name: name.into(),
+            family: name.split('/').next().unwrap_or(name).into(),
+            cutpoint: 0,
+            kept_layers: 1,
+            layers_removed: 0,
+            latency_ms: lat,
+            estimated_ms: None,
+            accuracy: acc,
+            train_hours: 0.0,
+        }
+    }
+
+    #[test]
+    fn dominance_rules() {
+        let a = p("a", 0.5, 0.9);
+        let b = p("b", 0.6, 0.8);
+        let c = p("c", 0.5, 0.9);
+        assert!(dominates(&a, &b));
+        assert!(!dominates(&b, &a));
+        assert!(!dominates(&a, &c), "equal points do not dominate");
+    }
+
+    #[test]
+    fn frontier_is_monotone() {
+        let pts = vec![
+            p("slow-good", 2.0, 0.9),
+            p("fast-ok", 0.5, 0.7),
+            p("dominated", 1.0, 0.6),
+            p("mid", 1.0, 0.8),
+        ];
+        let f = pareto_frontier(&pts);
+        let names: Vec<&str> = f.iter().map(|&i| pts[i].name.as_str()).collect();
+        assert_eq!(names, vec!["fast-ok", "mid", "slow-good"]);
+    }
+
+    #[test]
+    fn best_meeting_deadline_picks_most_accurate() {
+        let pts = vec![p("a", 0.3, 0.7), p("b", 0.8, 0.85), p("c", 1.2, 0.9)];
+        let best = best_meeting_deadline(&pts, 0.9).unwrap();
+        assert_eq!(best.name, "b");
+        assert!(best_meeting_deadline(&pts, 0.1).is_none());
+    }
+
+    #[test]
+    fn relative_improvement_against_frontier() {
+        let baseline = vec![p("base-fast", 0.3, 0.7), p("base-slow", 1.0, 0.85)];
+        let trn = p("trn", 0.5, 0.77);
+        // At 0.5 ms the baseline offers 0.7.
+        let imp = relative_improvement(&trn, &baseline).unwrap();
+        assert!((imp - 0.1).abs() < 1e-9);
+        let too_fast = p("tiny", 0.1, 0.5);
+        assert!(relative_improvement(&too_fast, &baseline).is_none());
+    }
+
+    #[test]
+    fn expansion_summary() {
+        let baseline = vec![p("b1", 0.3, 0.7), p("b2", 1.0, 0.8)];
+        let trns = vec![p("t1", 0.5, 0.77), p("t2", 1.1, 0.78), p("t3", 0.4, 0.84)];
+        let e = frontier_expansion(&trns, &baseline);
+        assert_eq!(e.evaluated_points, 3);
+        assert_eq!(e.improving_points, 2);
+        assert!((e.max_improvement - 0.2).abs() < 1e-9);
+        assert!(e.mean_improvement > 0.0 && e.mean_improvement < 0.2);
+    }
+
+    #[test]
+    fn gap_shrinks_with_looser_deadline() {
+        let pts = vec![p("a", 0.3, 0.7), p("b", 0.8, 0.85), p("c", 1.2, 0.9)];
+        let tight = accuracy_gap(&pts, 0.4).unwrap();
+        let loose = accuracy_gap(&pts, 1.0).unwrap();
+        assert!(tight > loose);
+        assert_eq!(accuracy_gap(&pts, 2.0).unwrap(), 0.0);
+    }
+}

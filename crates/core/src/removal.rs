@@ -1,0 +1,156 @@
+//! TRN construction strategies (§IV): blockwise removal (the paper's
+//! chosen heuristic) and iterative per-layer removal (the exhaustive
+//! search it is validated against in Fig. 4).
+
+use netcut_graph::{HeadSpec, Network};
+
+/// All blockwise TRNs of a source network: cutpoints `0..num_blocks`
+/// (cutpoint 0 is the full backbone with the transfer head — the
+/// "retrained original"). Each TRN carries a fresh transfer head.
+///
+/// Over the paper's seven source networks this yields the ~148-candidate
+/// search space of §IV-B.
+///
+/// # Example
+///
+/// ```
+/// use netcut::removal::blockwise_trns;
+/// use netcut_graph::{zoo, HeadSpec};
+///
+/// let trns = blockwise_trns(&zoo::mobilenet_v1(0.5), &HeadSpec::default());
+/// assert_eq!(trns.len(), 13);
+/// assert_eq!(trns[0].cutpoint(), 0);
+/// ```
+pub fn blockwise_trns(source: &Network, head: &HeadSpec) -> Vec<Network> {
+    (0..source.num_blocks())
+        .map(|k| {
+            source
+                .cut_blocks(k)
+                .expect("cutpoint below block count")
+                .with_head(head)
+        })
+        .collect()
+}
+
+/// All iterative (per-layer) TRNs of a source network: one cut at every
+/// backbone compute node, deepest cuts first — the exhaustive search space
+/// blockwise removal is compared against in Fig. 4.
+///
+/// Cut networks are named `family/layer{n}` where `n` is the number of the
+/// kept output node.
+pub fn iterative_trns(source: &Network, head: &HeadSpec) -> Vec<Network> {
+    let backbone = source.backbone();
+    backbone
+        .layer_cutpoints()
+        .into_iter()
+        .map(|node| {
+            let cut = backbone.cut_at_node(
+                node,
+                format!("{}/layer{}", source.base_name(), node.index()),
+            );
+            cut.with_head(head)
+        })
+        .collect()
+}
+
+/// Stage-wise TRNs: an even coarser granularity than blockwise, cutting
+/// only where the spatial resolution changes (a new stage begins at every
+/// block containing a strided operation). Used by the granularity
+/// ablation.
+pub fn stagewise_trns(source: &Network, head: &HeadSpec) -> Vec<Network> {
+    let mut cuts = Vec::new();
+    let blocks = source.blocks();
+    for (i, block) in blocks.iter().enumerate() {
+        let strided = block.nodes().iter().any(|&id| {
+            use netcut_graph::LayerKind::*;
+            matches!(
+                source.node(id).kind(),
+                Conv2d { stride: 2.., .. }
+                    | Conv2dRect { stride: 2.., .. }
+                    | DepthwiseConv2d { stride: 2.., .. }
+                    | MaxPool2d { stride: 2.., .. }
+                    | AvgPool2d { stride: 2.., .. }
+            )
+        });
+        if strided || i == 0 {
+            // Cutting *before* this block keeps blocks 0..i, i.e. removes
+            // `len - i` blocks; cutting at k = len - i.
+            if i > 0 {
+                cuts.push(blocks.len() - i);
+            }
+        }
+    }
+    cuts.push(0); // the uncut network
+    cuts.sort_unstable();
+    cuts.dedup();
+    cuts.into_iter()
+        .filter(|&k| k < blocks.len())
+        .map(|k| {
+            source
+                .cut_blocks(k)
+                .expect("cutpoint below block count")
+                .with_head(head)
+        })
+        .collect()
+}
+
+/// The blockwise search-space size over a set of sources (the paper's
+/// "148 networks in total").
+pub fn blockwise_candidate_count<'a>(sources: impl IntoIterator<Item = &'a Network>) -> usize {
+    sources.into_iter().map(|s| s.num_blocks()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcut_graph::zoo;
+
+    #[test]
+    fn blockwise_count_matches_blocks() {
+        let net = zoo::mobilenet_v2(1.0);
+        let trns = blockwise_trns(&net, &HeadSpec::default());
+        assert_eq!(trns.len(), 17);
+        // All valid and head-bearing.
+        for t in &trns {
+            t.validate().unwrap();
+            assert!(t.head_start().is_some());
+        }
+    }
+
+    #[test]
+    fn paper_search_space_is_about_148() {
+        let sources = zoo::paper_networks();
+        let count = blockwise_candidate_count(sources.iter());
+        // 13 + 13 + 17 + 17 + 11 + 16 + 58 = 145 with our block inventory;
+        // the paper reports 148 with its (unpublished) exact inventory.
+        assert_eq!(count, 145);
+    }
+
+    #[test]
+    fn blockwise_trns_strictly_shrink() {
+        let net = zoo::resnet50();
+        let trns = blockwise_trns(&net, &HeadSpec::default());
+        let mut prev = usize::MAX;
+        for t in &trns {
+            let layers = t.weighted_layer_count();
+            assert!(layers < prev);
+            prev = layers;
+        }
+    }
+
+    #[test]
+    fn iterative_space_is_much_larger() {
+        let net = zoo::inception_v3();
+        let blockwise = blockwise_trns(&net, &HeadSpec::default());
+        let iterative = iterative_trns(&net, &HeadSpec::default());
+        assert!(iterative.len() > blockwise.len() * 10);
+    }
+
+    #[test]
+    fn iterative_trns_are_valid() {
+        let net = zoo::mobilenet_v1(0.25);
+        for t in iterative_trns(&net, &HeadSpec::default()).iter().step_by(7) {
+            t.validate().unwrap();
+        }
+    }
+}

@@ -1,0 +1,67 @@
+use serde::{Deserialize, Serialize};
+
+/// One fully evaluated network candidate: a TRN (or unmodified network)
+/// with its measured latency, fine-tuned accuracy, and cost accounting.
+/// This is the row type of every figure in the evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CandidatePoint {
+    /// Network name (`family/cutN` or the family name itself).
+    pub name: String,
+    /// Source family (`resnet50`, `mobilenet_v1_0.50`, …).
+    pub family: String,
+    /// Blockwise cutpoint (0 = full backbone).
+    pub cutpoint: usize,
+    /// Weighted backbone layers retained.
+    pub kept_layers: usize,
+    /// Weighted backbone layers removed relative to the source.
+    pub layers_removed: usize,
+    /// Measured (ground-truth) inference latency, milliseconds.
+    pub latency_ms: f64,
+    /// Estimator-predicted latency, if an estimator proposed this TRN.
+    pub estimated_ms: Option<f64>,
+    /// Fine-tuned angular-similarity accuracy.
+    pub accuracy: f64,
+    /// Retraining cost charged for this candidate, hours.
+    pub train_hours: f64,
+}
+
+impl CandidatePoint {
+    /// `true` if this candidate meets `deadline_ms` by *measured* latency.
+    pub fn meets(&self, deadline_ms: f64) -> bool {
+        self.latency_ms <= deadline_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(lat: f64) -> CandidatePoint {
+        CandidatePoint {
+            name: "x/cut1".into(),
+            family: "x".into(),
+            cutpoint: 1,
+            kept_layers: 10,
+            layers_removed: 2,
+            latency_ms: lat,
+            estimated_ms: None,
+            accuracy: 0.8,
+            train_hours: 1.0,
+        }
+    }
+
+    #[test]
+    fn meets_is_inclusive() {
+        assert!(point(0.9).meets(0.9));
+        assert!(!point(0.901).meets(0.9));
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let p = point(0.5);
+        let json = serde_json::to_string(&p).unwrap();
+        assert!(json.contains("\"latency_ms\":0.5"));
+        let back: CandidatePoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

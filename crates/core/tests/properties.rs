@@ -1,0 +1,122 @@
+//! Property-based tests of the Pareto machinery and the NetCut invariants
+//! over random candidate sets.
+
+use netcut::pareto::{
+    best_meeting_deadline, dominates, frontier_expansion, pareto_frontier, relative_improvement,
+};
+use netcut::CandidatePoint;
+use proptest::prelude::*;
+
+fn point(name: String, latency_ms: f64, accuracy: f64) -> CandidatePoint {
+    CandidatePoint {
+        family: name.clone(),
+        name,
+        cutpoint: 0,
+        kept_layers: 1,
+        layers_removed: 0,
+        latency_ms,
+        estimated_ms: None,
+        accuracy,
+        train_hours: 1.0,
+    }
+}
+
+fn points_strategy(max: usize) -> impl Strategy<Value = Vec<CandidatePoint>> {
+    prop::collection::vec((0.01f64..5.0, 0.2f64..0.99), 1..max).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (l, a))| point(format!("p{i}"), l, a))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn frontier_points_are_mutually_non_dominated(pts in points_strategy(40)) {
+        let frontier = pareto_frontier(&pts);
+        for &i in &frontier {
+            for &j in &frontier {
+                if i != j {
+                    prop_assert!(!dominates(&pts[i], &pts[j]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn non_frontier_points_are_dominated_or_tied(pts in points_strategy(40)) {
+        let frontier = pareto_frontier(&pts);
+        let on_frontier: std::collections::HashSet<usize> = frontier.iter().copied().collect();
+        for i in 0..pts.len() {
+            if on_frontier.contains(&i) {
+                continue;
+            }
+            let covered = frontier.iter().any(|&f| {
+                dominates(&pts[f], &pts[i])
+                    || (pts[f].latency_ms == pts[i].latency_ms
+                        && pts[f].accuracy == pts[i].accuracy)
+            });
+            prop_assert!(covered, "point {i} neither on frontier nor dominated");
+        }
+    }
+
+    #[test]
+    fn frontier_is_sorted_and_strictly_improving(pts in points_strategy(40)) {
+        let frontier = pareto_frontier(&pts);
+        for w in frontier.windows(2) {
+            prop_assert!(pts[w[0]].latency_ms <= pts[w[1]].latency_ms);
+            prop_assert!(pts[w[0]].accuracy < pts[w[1]].accuracy);
+        }
+    }
+
+    #[test]
+    fn best_meeting_deadline_is_maximal(pts in points_strategy(40), deadline in 0.01f64..5.0) {
+        match best_meeting_deadline(&pts, deadline) {
+            Some(best) => {
+                prop_assert!(best.latency_ms <= deadline);
+                for p in &pts {
+                    if p.latency_ms <= deadline {
+                        prop_assert!(best.accuracy >= p.accuracy);
+                    }
+                }
+            }
+            None => {
+                prop_assert!(pts.iter().all(|p| p.latency_ms > deadline));
+            }
+        }
+    }
+
+    #[test]
+    fn relaxing_the_deadline_never_hurts(pts in points_strategy(40), d in 0.01f64..4.0) {
+        let tight = best_meeting_deadline(&pts, d).map(|p| p.accuracy).unwrap_or(f64::MIN);
+        let loose = best_meeting_deadline(&pts, d + 1.0).map(|p| p.accuracy).unwrap_or(f64::MIN);
+        prop_assert!(loose >= tight);
+    }
+
+    #[test]
+    fn improvement_against_superset_is_never_positive(pts in points_strategy(30)) {
+        // A candidate drawn from the baseline set itself cannot improve on
+        // the baseline's own frontier.
+        for p in &pts {
+            if let Some(delta) = relative_improvement(p, &pts) {
+                prop_assert!(delta <= 1e-12, "self-improvement {delta}");
+            }
+        }
+    }
+
+    #[test]
+    fn expansion_counts_are_consistent(
+        base in points_strategy(20),
+        trns in points_strategy(20),
+    ) {
+        let e = frontier_expansion(&trns, &base);
+        prop_assert!(e.improving_points <= e.evaluated_points);
+        prop_assert!(e.evaluated_points <= trns.len());
+        if e.improving_points > 0 {
+            prop_assert!(e.mean_improvement > 0.0);
+            prop_assert!(e.max_improvement >= e.mean_improvement - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Training-time data augmentation for the synthetic grasp images:
+//! horizontal flips, integer shifts, and brightness jitter. Grasp
+//! affinities are viewpoint-invariant for these transforms (the latent
+//! shape factors do not change), so labels pass through unchanged.
+
+use crate::generate::{Dataset, Sample, IMAGE_CHANNELS, IMAGE_SIZE};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Augmentation policy.
+#[derive(Debug, Clone, Copy)]
+pub struct AugmentConfig {
+    /// Probability of a horizontal flip.
+    pub flip_prob: f64,
+    /// Maximum absolute shift in pixels (uniform per axis).
+    pub max_shift: usize,
+    /// Maximum absolute brightness offset.
+    pub brightness: f32,
+}
+
+impl Default for AugmentConfig {
+    fn default() -> Self {
+        AugmentConfig {
+            flip_prob: 0.5,
+            max_shift: 2,
+            brightness: 0.1,
+        }
+    }
+}
+
+fn flip_horizontal(image: &mut [f32]) {
+    let n = IMAGE_SIZE;
+    for c in 0..IMAGE_CHANNELS {
+        for y in 0..n {
+            let row = c * n * n + y * n;
+            image[row..row + n].reverse();
+        }
+    }
+}
+
+fn shift(image: &[f32], dx: isize, dy: isize) -> Vec<f32> {
+    let n = IMAGE_SIZE as isize;
+    let mut out = vec![0.08f32; image.len()];
+    for c in 0..IMAGE_CHANNELS as isize {
+        for y in 0..n {
+            for x in 0..n {
+                let sy = y - dy;
+                let sx = x - dx;
+                if (0..n).contains(&sy) && (0..n).contains(&sx) {
+                    out[(c * n * n + y * n + x) as usize] =
+                        image[(c * n * n + sy * n + sx) as usize];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Applies the policy to one sample, returning the augmented copy.
+pub fn augment_sample(sample: &Sample, config: &AugmentConfig, rng: &mut SmallRng) -> Sample {
+    let mut image = sample.image.clone();
+    if rng.gen_bool(config.flip_prob) {
+        flip_horizontal(&mut image);
+    }
+    if config.max_shift > 0 {
+        let m = config.max_shift as isize;
+        let dx = rng.gen_range(-m..=m);
+        let dy = rng.gen_range(-m..=m);
+        if dx != 0 || dy != 0 {
+            image = shift(&image, dx, dy);
+        }
+    }
+    if config.brightness > 0.0 {
+        let delta = rng.gen_range(-config.brightness..=config.brightness);
+        for px in &mut image {
+            *px = (*px + delta).clamp(0.0, 1.0);
+        }
+    }
+    Sample {
+        image,
+        label: sample.label.clone(),
+    }
+}
+
+impl Dataset {
+    /// Returns an augmented copy of this dataset with `copies` extra
+    /// variants of every sample appended (labels unchanged).
+    pub fn augmented(&self, copies: usize, config: &AugmentConfig, seed: u64) -> Dataset {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut out = self.clone();
+        for _ in 0..copies {
+            for i in 0..self.len() {
+                let aug = augment_sample(self.sample(i), config, &mut rng);
+                out.push_sample(aug);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn augmented_grows_by_copies() {
+        let d = Dataset::hands(10, 1);
+        let a = d.augmented(2, &AugmentConfig::default(), 7);
+        assert_eq!(a.len(), 30);
+        assert_eq!(a.classes(), 5);
+    }
+
+    #[test]
+    fn labels_pass_through() {
+        let d = Dataset::hands(5, 2);
+        let a = d.augmented(1, &AugmentConfig::default(), 8);
+        for i in 0..5 {
+            assert_eq!(a.sample(5 + i).label, d.sample(i).label);
+        }
+    }
+
+    #[test]
+    fn double_flip_is_identity() {
+        let d = Dataset::hands(1, 3);
+        let mut img = d.sample(0).image.clone();
+        flip_horizontal(&mut img);
+        flip_horizontal(&mut img);
+        assert_eq!(img, d.sample(0).image);
+    }
+
+    #[test]
+    fn shift_moves_mass_not_creates_it() {
+        let d = Dataset::hands(1, 4);
+        let img = &d.sample(0).image;
+        let shifted = shift(img, 2, -1);
+        assert_eq!(shifted.len(), img.len());
+        // Shifted image's bright mass cannot exceed the original's (border
+        // fill is background level).
+        let mass = |v: &[f32]| v.iter().filter(|&&p| p > 0.4).count();
+        assert!(mass(&shifted) <= mass(img));
+    }
+
+    #[test]
+    fn pixels_stay_in_range() {
+        let d = Dataset::hands(8, 5);
+        let a = d.augmented(
+            3,
+            &AugmentConfig {
+                brightness: 0.5,
+                ..AugmentConfig::default()
+            },
+            9,
+        );
+        for i in 0..a.len() {
+            assert!(a
+                .sample(i)
+                .image
+                .iter()
+                .all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn augmentation_is_seeded() {
+        let d = Dataset::hands(4, 6);
+        let a = d.augmented(1, &AugmentConfig::default(), 11);
+        let b = d.augmented(1, &AugmentConfig::default(), 11);
+        for i in 0..a.len() {
+            assert_eq!(a.sample(i).image, b.sample(i).image);
+        }
+    }
+}

@@ -1,0 +1,436 @@
+//! Procedural generation of the synthetic HANDS-like dataset.
+//!
+//! Each sample is drawn from latent shape factors (size, elongation,
+//! roundness, flatness, orientation). The factors drive both the rendered
+//! image (a rotated super-ellipse on a noisy background) and the grasp
+//! affinity scores, so the label is genuinely predictable from the pixels —
+//! the vision task is real, only miniaturized.
+
+use netcut_tensor::Tensor;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Image side length (pixels). Small enough that the naive CPU convolutions
+/// train in seconds.
+pub const IMAGE_SIZE: usize = 12;
+/// Image channel count.
+pub const IMAGE_CHANNELS: usize = 1;
+
+/// The five grasp types of the HANDS dataset (§III-B-2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraspType {
+    /// Open palm.
+    OpenPalm,
+    /// Medium wrap.
+    MediumWrap,
+    /// Power sphere.
+    PowerSphere,
+    /// Parallel extension.
+    ParallelExtension,
+    /// Palmar pinch.
+    PalmarPinch,
+}
+
+impl GraspType {
+    /// All grasp types in label order.
+    pub const ALL: [GraspType; 5] = [
+        GraspType::OpenPalm,
+        GraspType::MediumWrap,
+        GraspType::PowerSphere,
+        GraspType::ParallelExtension,
+        GraspType::PalmarPinch,
+    ];
+}
+
+impl fmt::Display for GraspType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            GraspType::OpenPalm => "open palm",
+            GraspType::MediumWrap => "medium wrap",
+            GraspType::PowerSphere => "power sphere",
+            GraspType::ParallelExtension => "parallel extension",
+            GraspType::PalmarPinch => "palmar pinch",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Latent object description.
+#[derive(Debug, Clone, Copy)]
+struct Object {
+    size: f32,       // 0.25 ..= 1.0 (fraction of frame)
+    elongation: f32, // 0 = round, 1 = stick-like
+    roundness: f32,  // super-ellipse exponent blend
+    flatness: f32,   // 0 = solid, 1 = plate-like (renders as low fill)
+    angle: f32,      // orientation, radians
+}
+
+impl Object {
+    fn sample(rng: &mut SmallRng) -> Self {
+        Object {
+            size: rng.gen_range(0.25..=1.0),
+            elongation: rng.gen_range(0.0..=1.0),
+            roundness: rng.gen_range(0.0..=1.0),
+            flatness: rng.gen_range(0.0..=1.0),
+            angle: rng.gen_range(0.0..std::f32::consts::PI),
+        }
+    }
+
+    /// Grasp-affinity scores; the probabilistic label is their softmax.
+    fn grasp_scores(&self) -> [f32; 5] {
+        [
+            // Open palm: large flat objects.
+            2.0 * self.flatness + self.size,
+            // Medium wrap: elongated, medium-size objects.
+            2.0 * self.elongation + (1.0 - (self.size - 0.6).abs()),
+            // Power sphere: large round objects.
+            2.0 * self.roundness + self.size,
+            // Parallel extension: thin flat objects.
+            self.flatness + 1.5 * (1.0 - self.size),
+            // Palmar pinch: small objects.
+            2.5 * (1.0 - self.size),
+        ]
+    }
+
+    /// Coarse 10-way object category for the "complex" pretraining task —
+    /// the stand-in for the original (ImageNet-like) source task.
+    fn category(&self) -> usize {
+        let a = usize::from(self.size > 0.6);
+        let b = usize::from(self.elongation > 0.5);
+        let c = if self.roundness > 0.66 {
+            2
+        } else {
+            usize::from(self.roundness > 0.33)
+        };
+        // 2 × 2 × 3 = 12 cells folded to 10 categories.
+        (a * 6 + b * 3 + c).min(9)
+    }
+
+    /// Renders the object as a rotated super-ellipse over a noisy
+    /// background.
+    fn render(&self, rng: &mut SmallRng) -> Vec<f32> {
+        let n = IMAGE_SIZE;
+        let mut img = vec![0.0f32; IMAGE_CHANNELS * n * n];
+        let half = (n as f32 - 1.0) / 2.0;
+        let rx = self.size * half * (1.0 - 0.5 * self.elongation).max(0.2);
+        let ry = self.size * half;
+        // Super-ellipse exponent: 2 = ellipse, higher = boxy.
+        let p = 2.0 + 2.0 * (1.0 - self.roundness);
+        let fill = 0.9 - 0.55 * self.flatness;
+        let (sin, cos) = self.angle.sin_cos();
+        for y in 0..n {
+            for x in 0..n {
+                let dx = x as f32 - half;
+                let dy = y as f32 - half;
+                let u = (cos * dx + sin * dy) / rx.max(0.3);
+                let v = (-sin * dx + cos * dy) / ry.max(0.3);
+                let inside = u.abs().powf(p) + v.abs().powf(p) <= 1.0;
+                let base = if inside { fill } else { 0.08 };
+                img[y * n + x] = (base + rng.gen_range(-0.05..=0.05)).clamp(0.0, 1.0);
+            }
+        }
+        img
+    }
+}
+
+/// One labelled image.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Flat image data, `IMAGE_CHANNELS × IMAGE_SIZE × IMAGE_SIZE`.
+    pub image: Vec<f32>,
+    /// Label distribution over the dataset's classes.
+    pub label: Vec<f32>,
+}
+
+/// An in-memory labelled dataset.
+///
+/// See the [crate-level example](crate) for typical use.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    samples: Vec<Sample>,
+    classes: usize,
+    name: String,
+}
+
+fn softmax(scores: &[f32], temperature: f32) -> Vec<f32> {
+    let max = scores.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = scores
+        .iter()
+        .map(|&s| ((s - max) / temperature).exp())
+        .collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+impl Dataset {
+    /// Generates `n` HANDS-like samples: 5 grasp classes with probabilistic
+    /// labels (softmax of the latent grasp affinities at temperature 0.5).
+    pub fn hands(n: usize, seed: u64) -> Dataset {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let samples = (0..n)
+            .map(|_| {
+                let obj = Object::sample(&mut rng);
+                Sample {
+                    image: obj.render(&mut rng),
+                    label: softmax(&obj.grasp_scores(), 0.5),
+                }
+            })
+            .collect();
+        Dataset {
+            samples,
+            classes: 5,
+            name: "hands-synthetic".to_owned(),
+        }
+    }
+
+    /// Generates `n` samples of the "complex" 10-way object-category task
+    /// used to *pretrain* the miniature networks (the ImageNet stand-in);
+    /// labels are one-hot.
+    pub fn objects(n: usize, seed: u64) -> Dataset {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let samples = (0..n)
+            .map(|_| {
+                let obj = Object::sample(&mut rng);
+                let mut label = vec![0.0; 10];
+                label[obj.category()] = 1.0;
+                Sample {
+                    image: obj.render(&mut rng),
+                    label,
+                }
+            })
+            .collect();
+        Dataset {
+            samples,
+            classes: 10,
+            name: "objects-synthetic".to_owned(),
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Number of label classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Dataset name for reports.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Borrow one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn sample(&self, index: usize) -> &Sample {
+        &self.samples[index]
+    }
+
+    /// Appends a sample (used by augmentation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample's label length differs from the dataset's
+    /// class count.
+    pub fn push_sample(&mut self, sample: Sample) {
+        assert_eq!(sample.label.len(), self.classes, "label arity mismatch");
+        self.samples.push(sample);
+    }
+
+    /// Splits off the first `⌊len × fraction⌋` samples as a second dataset
+    /// (e.g. a held-out test set). Samples are i.i.d. by construction, so a
+    /// prefix split is unbiased.
+    pub fn split(mut self, fraction: f64) -> (Dataset, Dataset) {
+        let cut = (self.samples.len() as f64 * fraction) as usize;
+        let rest = self.samples.split_off(cut);
+        let right = Dataset {
+            samples: rest,
+            classes: self.classes,
+            name: format!("{}/tail", self.name),
+        };
+        self.name = format!("{}/head", self.name);
+        (self, right)
+    }
+
+    /// Randomly selects `⌊len × fraction⌋` samples as a calibration set
+    /// (the paper uses 10 % of the training set for quantization
+    /// calibration, §III-B-4).
+    pub fn calibration_split(&self, fraction: f64, seed: u64) -> Dataset {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let k = ((self.samples.len() as f64 * fraction) as usize).max(1);
+        let mut idx: Vec<usize> = (0..self.samples.len()).collect();
+        for i in 0..k {
+            let j = rng.gen_range(i..idx.len());
+            idx.swap(i, j);
+        }
+        let samples = idx[..k].iter().map(|&i| self.samples[i].clone()).collect();
+        Dataset {
+            samples,
+            classes: self.classes,
+            name: format!("{}/calibration", self.name),
+        }
+    }
+
+    /// Assembles samples `indices` into an `([N, C, H, W], [N, classes])`
+    /// batch pair of tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn batch(&self, indices: &[usize]) -> (Tensor, Tensor) {
+        let n = indices.len();
+        let img_len = IMAGE_CHANNELS * IMAGE_SIZE * IMAGE_SIZE;
+        let mut images = Vec::with_capacity(n * img_len);
+        let mut labels = Vec::with_capacity(n * self.classes);
+        for &i in indices {
+            images.extend_from_slice(&self.samples[i].image);
+            labels.extend_from_slice(&self.samples[i].label);
+        }
+        (
+            Tensor::from_vec(images, &[n, IMAGE_CHANNELS, IMAGE_SIZE, IMAGE_SIZE]),
+            Tensor::from_vec(labels, &[n, self.classes]),
+        )
+    }
+
+    /// The whole dataset as one batch.
+    pub fn full_batch(&self) -> (Tensor, Tensor) {
+        let idx: Vec<usize> = (0..self.samples.len()).collect();
+        self.batch(&idx)
+    }
+
+    /// Shuffled mini-batch index lists for one epoch.
+    pub fn epoch_batches(&self, batch_size: usize, seed: u64) -> Vec<Vec<usize>> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut idx: Vec<usize> = (0..self.samples.len()).collect();
+        for i in (1..idx.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            idx.swap(i, j);
+        }
+        idx.chunks(batch_size).map(|c| c.to_vec()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distributions() {
+        let d = Dataset::hands(32, 1);
+        for i in 0..d.len() {
+            let s: f32 = d.sample(i).label.iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(d.sample(i).label.iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn labels_are_soft_not_one_hot() {
+        let d = Dataset::hands(64, 2);
+        let soft = (0..d.len())
+            .filter(|&i| {
+                d.sample(i)
+                    .label
+                    .iter()
+                    .filter(|&&p| p > 0.05)
+                    .count()
+                    > 1
+            })
+            .count();
+        assert!(soft > d.len() / 2, "labels look one-hot: {soft}/{}", d.len());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Dataset::hands(8, 7);
+        let b = Dataset::hands(8, 7);
+        assert_eq!(a.sample(3).image, b.sample(3).image);
+        assert_eq!(a.sample(3).label, b.sample(3).label);
+    }
+
+    #[test]
+    fn objects_are_one_hot_ten_way() {
+        let d = Dataset::objects(32, 3);
+        assert_eq!(d.classes(), 10);
+        for i in 0..d.len() {
+            let ones = d.sample(i).label.iter().filter(|&&p| p == 1.0).count();
+            assert_eq!(ones, 1);
+        }
+    }
+
+    #[test]
+    fn split_partitions() {
+        let (train, test) = Dataset::hands(100, 4).split(0.8);
+        assert_eq!(train.len(), 80);
+        assert_eq!(test.len(), 20);
+    }
+
+    #[test]
+    fn calibration_split_is_ten_percent() {
+        let d = Dataset::hands(100, 5);
+        let cal = d.calibration_split(0.1, 9);
+        assert_eq!(cal.len(), 10);
+        assert_eq!(d.len(), 100);
+    }
+
+    #[test]
+    fn batch_shapes() {
+        let d = Dataset::hands(10, 6);
+        let (x, y) = d.batch(&[0, 3, 5]);
+        assert_eq!(x.shape(), &[3, IMAGE_CHANNELS, IMAGE_SIZE, IMAGE_SIZE]);
+        assert_eq!(y.shape(), &[3, 5]);
+    }
+
+    #[test]
+    fn epoch_batches_cover_everything() {
+        let d = Dataset::hands(23, 8);
+        let batches = d.epoch_batches(8, 1);
+        let mut all: Vec<usize> = batches.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..23).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn image_pixels_in_range() {
+        let d = Dataset::hands(16, 9);
+        for i in 0..d.len() {
+            assert!(d
+                .sample(i)
+                .image
+                .iter()
+                .all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn images_carry_label_signal() {
+        // Mean brightness must correlate with object size, and size drives
+        // the pinch probability down — so pixels carry label information.
+        let d = Dataset::hands(200, 10);
+        let mut bright_pinch = Vec::new();
+        for i in 0..d.len() {
+            let s = d.sample(i);
+            let mean: f32 = s.image.iter().sum::<f32>() / s.image.len() as f32;
+            bright_pinch.push((mean, s.label[4]));
+        }
+        bright_pinch.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let darkest: f32 =
+            bright_pinch[..50].iter().map(|p| p.1).sum::<f32>() / 50.0;
+        let brightest: f32 =
+            bright_pinch[150..].iter().map(|p| p.1).sum::<f32>() / 50.0;
+        assert!(
+            darkest > brightest,
+            "small (dark) objects should prefer pinch: {darkest} vs {brightest}"
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! Synthetic HANDS-like grasp dataset and the angular-similarity metric.
+//!
+//! The paper trains on the HANDS dataset \[19\]: palm-camera images of
+//! graspable objects with **probabilistic** labels over five grasp types,
+//! evaluated by angular similarity rather than top-1 accuracy. HANDS is not
+//! publicly distributable, so this crate generates a synthetic equivalent:
+//! procedurally rendered object images whose grasp-affinity distributions
+//! derive from the same latent shape factors that drive the rendering —
+//! giving a real (learnable, non-trivial) vision task with the same label
+//! structure and the same metric.
+//!
+//! # Example
+//!
+//! ```
+//! use netcut_data::{Dataset, angular_similarity};
+//!
+//! let data = Dataset::hands(64, 42);
+//! assert_eq!(data.len(), 64);
+//! assert_eq!(data.classes(), 5);
+//! let s = data.sample(0);
+//! let total: f32 = s.label.iter().sum();
+//! assert!((total - 1.0).abs() < 1e-5);
+//! assert!((angular_similarity(&s.label, &s.label) - 1.0).abs() < 1e-6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod augment;
+mod generate;
+mod metric;
+
+pub use augment::{augment_sample, AugmentConfig};
+pub use generate::{Dataset, GraspType, Sample, IMAGE_CHANNELS, IMAGE_SIZE};
+pub use metric::{
+    angular_distance, angular_similarity, kl_divergence, mean_angular_similarity, top1_accuracy,
+};

@@ -1,0 +1,173 @@
+//! Angular similarity between probability distributions — the accuracy
+//! metric of the robotic-hand application (§III-B-3): because both
+//! prediction and label are distributions over grasp types, top-1 accuracy
+//! is meaningless and the angle between the two vectors is used instead.
+
+/// Angular similarity of two non-negative vectors:
+/// `1 − (2/π)·arccos(cos θ)` where `θ` is the angle between them.
+/// Identical directions give 1.0; orthogonal vectors give 0.0.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or either has zero norm.
+pub fn angular_similarity(p: &[f32], q: &[f32]) -> f64 {
+    1.0 - angular_distance(p, q)
+}
+
+/// Angular distance `(2/π)·arccos(cos θ)` in `[0, 1]` for non-negative
+/// vectors.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or either has zero norm.
+pub fn angular_distance(p: &[f32], q: &[f32]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distribution lengths differ");
+    let dot: f64 = p.iter().zip(q).map(|(&a, &b)| a as f64 * b as f64).sum();
+    let np: f64 = p.iter().map(|&a| (a as f64).powi(2)).sum::<f64>().sqrt();
+    let nq: f64 = q.iter().map(|&b| (b as f64).powi(2)).sum::<f64>().sqrt();
+    assert!(np > 0.0 && nq > 0.0, "zero-norm distribution");
+    let cos = (dot / (np * nq)).clamp(-1.0, 1.0);
+    cos.acos() * std::f64::consts::FRAC_2_PI
+}
+
+/// Mean angular similarity between paired rows of predictions and targets,
+/// both given as flat `[n × classes]` buffers.
+///
+/// # Panics
+///
+/// Panics if the buffer lengths differ or are not a multiple of `classes`.
+pub fn mean_angular_similarity(pred: &[f32], target: &[f32], classes: usize) -> f64 {
+    assert_eq!(pred.len(), target.len(), "buffer lengths differ");
+    assert_eq!(pred.len() % classes, 0, "length not a multiple of classes");
+    let n = pred.len() / classes;
+    assert!(n > 0, "empty prediction buffer");
+    let mut total = 0.0;
+    for i in 0..n {
+        let a = &pred[i * classes..(i + 1) * classes];
+        let b = &target[i * classes..(i + 1) * classes];
+        total += angular_similarity(a, b);
+    }
+    total / n as f64
+}
+
+/// Kullback–Leibler divergence `D(p ‖ q)` in nats over probability
+/// distributions (zero-mass `p` entries contribute nothing; `q` is floored
+/// at 1e-12).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn kl_divergence(p: &[f32], q: &[f32]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distribution lengths differ");
+    p.iter()
+        .zip(q)
+        .filter(|(&pi, _)| pi > 0.0)
+        .map(|(&pi, &qi)| {
+            let pi = pi as f64;
+            pi * (pi / (qi as f64).max(1e-12)).ln()
+        })
+        .sum()
+}
+
+/// Fraction of rows whose argmax prediction matches the argmax target —
+/// the conventional metric the paper argues is *inapplicable* to
+/// probabilistic grasp labels (§III-B-3), provided for comparison.
+///
+/// # Panics
+///
+/// Panics if the buffer lengths differ or are not a multiple of `classes`.
+pub fn top1_accuracy(pred: &[f32], target: &[f32], classes: usize) -> f64 {
+    assert_eq!(pred.len(), target.len(), "buffer lengths differ");
+    assert_eq!(pred.len() % classes, 0, "length not a multiple of classes");
+    let n = pred.len() / classes;
+    assert!(n > 0, "empty prediction buffer");
+    let argmax = |row: &[f32]| -> usize {
+        row.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    };
+    let mut hits = 0usize;
+    for i in 0..n {
+        let a = argmax(&pred[i * classes..(i + 1) * classes]);
+        let b = argmax(&target[i * classes..(i + 1) * classes]);
+        hits += usize::from(a == b);
+    }
+    hits as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kl_of_identical_is_zero() {
+        let p = [0.2f32, 0.3, 0.5];
+        assert!(kl_divergence(&p, &p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kl_is_positive_for_different_distributions() {
+        let p = [0.9f32, 0.05, 0.05];
+        let q = [0.1f32, 0.45, 0.45];
+        assert!(kl_divergence(&p, &q) > 0.5);
+    }
+
+    #[test]
+    fn kl_handles_zero_mass_in_p() {
+        let p = [1.0f32, 0.0];
+        let q = [0.5f32, 0.5];
+        let d = kl_divergence(&p, &q);
+        assert!((d - std::f64::consts::LN_2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn top1_counts_argmax_matches() {
+        let pred = [0.6f32, 0.4, 0.1, 0.9];
+        let tgt = [0.9f32, 0.1, 0.8, 0.2];
+        assert_eq!(top1_accuracy(&pred, &tgt, 2), 0.5);
+    }
+
+    #[test]
+    fn identical_distributions_are_similar() {
+        let p = [0.2, 0.3, 0.5];
+        assert!((angular_similarity(&p, &p) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn orthogonal_one_hots_have_zero_similarity() {
+        let p = [1.0, 0.0];
+        let q = [0.0, 1.0];
+        assert!(angular_similarity(&p, &q).abs() < 1e-9);
+    }
+
+    #[test]
+    fn similarity_is_symmetric() {
+        let p = [0.7, 0.2, 0.1];
+        let q = [0.1, 0.6, 0.3];
+        assert!((angular_similarity(&p, &q) - angular_similarity(&q, &p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closer_distributions_score_higher() {
+        let t = [0.8, 0.1, 0.1];
+        let close = [0.7, 0.2, 0.1];
+        let far = [0.1, 0.1, 0.8];
+        assert!(angular_similarity(&t, &close) > angular_similarity(&t, &far));
+    }
+
+    #[test]
+    fn mean_over_rows() {
+        let pred = [1.0, 0.0, 0.0, 1.0];
+        let tgt = [1.0, 0.0, 1.0, 0.0];
+        let m = mean_angular_similarity(&pred, &tgt, 2);
+        assert!((m - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-norm")]
+    fn zero_norm_panics() {
+        angular_similarity(&[0.0, 0.0], &[1.0, 0.0]);
+    }
+}

@@ -1,0 +1,151 @@
+//! Device-agnostic TRN features for the analytical model (§V-B-2): "the
+//! original network's latency, the total number of floating-point
+//! operations, parameters, layers, and filter sizes".
+//!
+//! The structural quantities are expressed as *fractions of the original
+//! network's backbone totals*: this is the same information the paper
+//! lists (the model receives the original latency alongside the TRN's
+//! FLOPs/parameters/layers/filter sizes, so the ratio is derivable) in a
+//! form that lets one regressor generalize across families whose absolute
+//! scales differ by two orders of magnitude.
+
+use netcut_graph::{Network, NetworkStats};
+
+/// Number of features per TRN.
+pub const FEATURE_COUNT: usize = 5;
+
+/// Extracts the analytical features from a TRN.
+///
+/// `source_latency_ms` is the measured latency of the *unmodified* source
+/// network (the only device-dependent input); `source` are the backbone
+/// statistics of that unmodified network, used as fraction denominators.
+pub fn trn_features(trn: &Network, source: &NetworkStats, source_latency_ms: f64) -> Vec<f64> {
+    let stats = trn.backbone_stats();
+    let frac = |num: u64, den: u64| num as f64 / (den as f64).max(1.0);
+    vec![
+        source_latency_ms,
+        frac(stats.total_flops, source.total_flops),
+        frac(stats.total_params, source.total_params),
+        frac(stats.weighted_layers, source.weighted_layers),
+        frac(stats.total_filter_size, source.total_filter_size),
+    ]
+}
+
+/// Per-dimension standardization (zero mean, unit variance) fitted on a
+/// training matrix — required for RBF kernels whose length scale is shared
+/// across dimensions.
+#[derive(Debug, Clone)]
+pub struct Standardizer {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fits means and standard deviations on `rows`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or ragged.
+    pub fn fit(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "cannot standardize an empty matrix");
+        let d = rows[0].len();
+        let n = rows.len() as f64;
+        let mut mean = vec![0.0; d];
+        for row in rows {
+            assert_eq!(row.len(), d, "ragged feature matrix");
+            for (m, v) in mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut std = vec![0.0; d];
+        for row in rows {
+            for ((s, v), m) in std.iter_mut().zip(row).zip(&mean) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        for s in &mut std {
+            *s = (*s / n).sqrt().max(1e-12);
+        }
+        Standardizer { mean, std }
+    }
+
+    /// Transforms one row.
+    pub fn transform(&self, row: &[f64]) -> Vec<f64> {
+        row.iter()
+            .zip(&self.mean)
+            .zip(&self.std)
+            .map(|((v, m), s)| (v - m) / s)
+            .collect()
+    }
+
+    /// Transforms a whole matrix.
+    pub fn transform_all(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        rows.iter().map(|r| self.transform(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcut_graph::{zoo, HeadSpec};
+
+    #[test]
+    fn features_have_five_dimensions() {
+        let net = zoo::mobilenet_v1(0.5);
+        let src = net.backbone_stats();
+        let trn = net.cut_blocks(2).unwrap().with_head(&HeadSpec::default());
+        let f = trn_features(&trn, &src, 0.35);
+        assert_eq!(f.len(), FEATURE_COUNT);
+        assert_eq!(f[0], 0.35);
+        for v in &f[1..] {
+            assert!(*v > 0.0 && *v <= 1.0, "fraction out of range: {v}");
+        }
+    }
+
+    #[test]
+    fn uncut_network_has_unit_fractions() {
+        let net = zoo::resnet50();
+        let src = net.backbone_stats();
+        let full = net.cut_blocks(0).unwrap().with_head(&HeadSpec::default());
+        let f = trn_features(&full, &src, 2.0);
+        for v in &f[1..] {
+            assert!((v - 1.0).abs() < 1e-12, "uncut fraction {v} != 1");
+        }
+    }
+
+    #[test]
+    fn deeper_cuts_shrink_structural_features() {
+        let net = zoo::resnet50();
+        let src = net.backbone_stats();
+        let head = HeadSpec::default();
+        let shallow = trn_features(&net.cut_blocks(1).unwrap().with_head(&head), &src, 2.0);
+        let deep = trn_features(&net.cut_blocks(10).unwrap().with_head(&head), &src, 2.0);
+        for d in 1..FEATURE_COUNT {
+            assert!(deep[d] < shallow[d], "feature {d} did not shrink");
+        }
+    }
+
+    #[test]
+    fn standardizer_zero_mean_unit_var() {
+        let rows = vec![vec![1.0, 10.0], vec![3.0, 20.0], vec![5.0, 60.0]];
+        let s = Standardizer::fit(&rows);
+        let t = s.transform_all(&rows);
+        for d in 0..2 {
+            let mean: f64 = t.iter().map(|r| r[d]).sum::<f64>() / 3.0;
+            let var: f64 = t.iter().map(|r| r[d] * r[d]).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-9);
+            assert!((var - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_dimension_is_safe() {
+        let rows = vec![vec![2.0], vec![2.0]];
+        let s = Standardizer::fit(&rows);
+        let t = s.transform(&[2.0]);
+        assert!(t[0].is_finite());
+    }
+}

@@ -1,0 +1,163 @@
+//! Ordinary least squares with intercept — the baseline the paper shows to
+//! be inadequate for latency prediction (23.81 % error vs 4.28 % for the
+//! RBF SVR, §V-C).
+
+/// A linear regression model `y = w·x + b` fitted by normal equations with
+/// a tiny ridge term for numerical stability.
+///
+/// # Example
+///
+/// ```
+/// use netcut_estimate::LinearModel;
+///
+/// let x = vec![vec![0.0], vec![1.0], vec![2.0]];
+/// let y = vec![1.0, 3.0, 5.0];
+/// let m = LinearModel::fit(&x, &y);
+/// assert!((m.predict(&[3.0]) - 7.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinearModel {
+    weights: Vec<f64>,
+    intercept: f64,
+}
+
+impl LinearModel {
+    /// Fits the model on rows `x` with targets `y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is empty, ragged, or `x.len() != y.len()`.
+    pub fn fit(x: &[Vec<f64>], y: &[f64]) -> Self {
+        assert!(!x.is_empty(), "empty training set");
+        assert_eq!(x.len(), y.len(), "x/y length mismatch");
+        let d = x[0].len();
+        let aug = d + 1; // trailing intercept column of ones
+        // Normal equations: (XᵀX + λI) w = Xᵀy.
+        let mut a = vec![0.0f64; aug * aug];
+        let mut b = vec![0.0f64; aug];
+        for (row, &target) in x.iter().zip(y) {
+            assert_eq!(row.len(), d, "ragged feature matrix");
+            let feat = |i: usize| if i < d { row[i] } else { 1.0 };
+            for i in 0..aug {
+                b[i] += feat(i) * target;
+                for j in 0..aug {
+                    a[i * aug + j] += feat(i) * feat(j);
+                }
+            }
+        }
+        let ridge = 1e-9 * (1.0 + a.iter().fold(0.0f64, |m, &v| m.max(v.abs())));
+        for i in 0..aug {
+            a[i * aug + i] += ridge;
+        }
+        let w = solve(a, b, aug);
+        LinearModel {
+            intercept: w[d],
+            weights: w[..d].to_vec(),
+        }
+    }
+
+    /// Predicts the target for one feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's dimension differs from the training data's.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.weights.len(), "dimension mismatch");
+        self.weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>() + self.intercept
+    }
+
+    /// The fitted coefficient vector.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The fitted intercept.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+}
+
+/// Solves `A·x = b` by Gaussian elimination with partial pivoting.
+fn solve(mut a: Vec<f64>, mut b: Vec<f64>, n: usize) -> Vec<f64> {
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i * n + col].abs().total_cmp(&a[j * n + col].abs()))
+            .expect("non-empty range");
+        if pivot != col {
+            for k in 0..n {
+                a.swap(col * n + k, pivot * n + k);
+            }
+            b.swap(col, pivot);
+        }
+        let diag = a[col * n + col];
+        for row in col + 1..n {
+            let factor = a[row * n + col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row * n + k] -= factor * a[col * n + k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    let mut x = vec![0.0f64; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in row + 1..n {
+            acc -= a[row * n + k] * x[k];
+        }
+        x[row] = acc / a[row * n + row];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_relation() {
+        let x: Vec<Vec<f64>> = (0..10)
+            .map(|i| vec![i as f64, (i * i % 7) as f64])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| 3.0 * r[0] - 2.0 * r[1] + 5.0).collect();
+        let m = LinearModel::fit(&x, &y);
+        assert!((m.weights()[0] - 3.0).abs() < 1e-6);
+        assert!((m.weights()[1] + 2.0).abs() < 1e-6);
+        assert!((m.intercept() - 5.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn least_squares_on_noisy_data() {
+        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 / 10.0]).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, r)| 2.0 * r[0] + if i % 2 == 0 { 0.1 } else { -0.1 })
+            .collect();
+        let m = LinearModel::fit(&x, &y);
+        assert!((m.weights()[0] - 2.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn underdetermined_is_stable() {
+        // Two points, three dims: ridge keeps the solve finite.
+        let x = vec![vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0]];
+        let y = vec![1.0, 2.0];
+        let m = LinearModel::fit(&x, &y);
+        assert!(m.predict(&[1.0, 0.0, 0.0]).is_finite());
+    }
+
+    #[test]
+    fn cannot_fit_quadratic() {
+        // The negative result the paper relies on: a linear model cannot
+        // capture y = x² over a wide range.
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 10.0]).collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0] * r[0]).collect();
+        let m = LinearModel::fit(&x, &y);
+        let err = (m.predict(&[0.0]) - 0.0).abs() + (m.predict(&[1.9]) - 3.61).abs();
+        assert!(err > 0.2, "linear model fit a parabola suspiciously well");
+    }
+}

@@ -1,0 +1,132 @@
+//! Per-family linear estimator: one ordinary-least-squares model per
+//! source architecture instead of one global regressor.
+//!
+//! This is an *ablation* model, not one the paper proposes: it quantifies
+//! how much of the global linear model's failure is cross-family slope
+//! mismatch (which per-family fitting removes) versus genuine per-family
+//! non-linearity (which it cannot).
+
+use crate::features::trn_features;
+use crate::linreg::LinearModel;
+use crate::LatencyEstimator;
+use netcut_graph::{Network, NetworkStats};
+use std::collections::HashMap;
+
+/// One independent linear model per family over the same five features.
+pub struct PerFamilyLinear {
+    models: HashMap<String, LinearModel>,
+    stats: HashMap<String, NetworkStats>,
+    latency_ms: HashMap<String, f64>,
+}
+
+impl PerFamilyLinear {
+    /// Fits one OLS model per family present in `samples`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sample's family is missing from `source_latency_ms` or
+    /// `sources`, or any family has no samples.
+    pub fn fit(
+        samples: &[(&Network, f64)],
+        sources: &[Network],
+        source_latency_ms: &HashMap<String, f64>,
+    ) -> Self {
+        let stats: HashMap<String, NetworkStats> = sources
+            .iter()
+            .map(|s| (s.base_name().to_owned(), s.backbone_stats()))
+            .collect();
+        let mut grouped: HashMap<String, (Vec<Vec<f64>>, Vec<f64>)> = HashMap::new();
+        for (trn, latency) in samples {
+            let family = trn.base_name().to_owned();
+            let src_stats = &stats[&family];
+            let src_latency = source_latency_ms[&family];
+            let entry = grouped.entry(family).or_default();
+            entry.0.push(trn_features(trn, src_stats, src_latency));
+            entry.1.push(*latency);
+        }
+        let models = grouped
+            .into_iter()
+            .map(|(family, (x, y))| (family, LinearModel::fit(&x, &y)))
+            .collect();
+        PerFamilyLinear {
+            models,
+            stats,
+            latency_ms: source_latency_ms.clone(),
+        }
+    }
+}
+
+impl LatencyEstimator for PerFamilyLinear {
+    fn estimate_ms(&self, trn: &Network) -> f64 {
+        let family = trn.base_name();
+        let model = self
+            .models
+            .get(family)
+            .unwrap_or_else(|| panic!("no model for family `{family}`"));
+        let f = trn_features(trn, &self.stats[family], self.latency_ms[family]);
+        model.predict(&f)
+    }
+
+    fn name(&self) -> &str {
+        "per-family-linear"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mean_relative_error;
+    use netcut_graph::{zoo, HeadSpec};
+    use netcut_sim::{DeviceModel, Precision, Session};
+
+    #[test]
+    fn per_family_linear_is_accurate_within_family() {
+        let session = Session::new(DeviceModel::jetson_xavier(), Precision::Int8);
+        let head = HeadSpec::default();
+        let sources = vec![zoo::mobilenet_v1(0.5), zoo::densenet121()];
+        let mut latencies = HashMap::new();
+        let mut trns = Vec::new();
+        let mut truth = Vec::new();
+        for s in &sources {
+            let mut adapted = s.backbone().with_head(&head);
+            adapted.rename(s.name());
+            latencies.insert(s.name().to_owned(), session.measure(&adapted, 1).mean_ms);
+            for k in 0..s.num_blocks() {
+                let trn = s.cut_blocks(k).expect("valid").with_head(&head);
+                truth.push(session.measure(&trn, 2).mean_ms);
+                trns.push(trn);
+            }
+        }
+        // Train on every third cut, test on the rest.
+        let train: Vec<(&Network, f64)> = trns
+            .iter()
+            .zip(&truth)
+            .enumerate()
+            .filter(|(i, _)| i % 3 == 0)
+            .map(|(_, (t, &l))| (t, l))
+            .collect();
+        let model = PerFamilyLinear::fit(&train, &sources, &latencies);
+        let test_idx: Vec<usize> = (0..trns.len()).filter(|i| i % 3 != 0).collect();
+        let pred: Vec<f64> = test_idx.iter().map(|&i| model.estimate_ms(&trns[i])).collect();
+        let t: Vec<f64> = test_idx.iter().map(|&i| truth[i]).collect();
+        let err = mean_relative_error(&pred, &t);
+        assert!(err < 0.06, "per-family linear error {:.2} %", err * 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no model for family")]
+    fn unknown_family_panics() {
+        let session = Session::new(DeviceModel::jetson_xavier(), Precision::Int8);
+        let head = HeadSpec::default();
+        let source = zoo::alexnet();
+        let mut latencies = HashMap::new();
+        let mut adapted = source.backbone().with_head(&head);
+        adapted.rename(source.name());
+        latencies.insert(source.name().to_owned(), session.measure(&adapted, 1).mean_ms);
+        let trn = source.cut_blocks(1).expect("valid").with_head(&head);
+        let samples = vec![(&trn, 0.5)];
+        let model = PerFamilyLinear::fit(&samples, std::slice::from_ref(&source), &latencies);
+        let other = zoo::vgg16().cut_blocks(1).expect("valid").with_head(&head);
+        model.estimate_ms(&other);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests of the regression machinery: the from-scratch SVR
+//! and linear solver must behave sanely on arbitrary well-posed inputs.
+
+use netcut_estimate::{
+    k_fold_indices, mean_absolute_error, LinearModel, Standardizer, Svr, SvrParams,
+};
+use proptest::prelude::*;
+
+fn matrix_strategy() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
+    // n samples of d features in [-2, 2], targets linear + bounded noise.
+    (2usize..5, 5usize..40).prop_flat_map(|(d, n)| {
+        (
+            prop::collection::vec(prop::collection::vec(-2.0f64..2.0, d), n),
+            prop::collection::vec(-0.05f64..0.05, n),
+            prop::collection::vec(-1.0f64..1.0, d),
+            -1.0f64..1.0,
+        )
+            .prop_map(|(x, noise, w, b)| {
+                let y: Vec<f64> = x
+                    .iter()
+                    .zip(&noise)
+                    .map(|(row, nz)| {
+                        row.iter().zip(&w).map(|(v, wi)| v * wi).sum::<f64>() + b + nz
+                    })
+                    .collect();
+                (x, y)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn linear_model_recovers_linear_data((x, y) in matrix_strategy()) {
+        let model = LinearModel::fit(&x, &y);
+        let pred: Vec<f64> = x.iter().map(|r| model.predict(r)).collect();
+        // Residuals bounded by the injected noise scale.
+        prop_assert!(mean_absolute_error(&pred, &y) < 0.08);
+    }
+
+    #[test]
+    fn svr_predictions_are_finite_and_bounded((x, y) in matrix_strategy()) {
+        let params = SvrParams { c: 100.0, gamma: 0.5, epsilon: 0.01 };
+        let model = Svr::fit(&x, &y, &params);
+        let y_min = y.iter().cloned().fold(f64::INFINITY, f64::min);
+        let y_max = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let span = (y_max - y_min).max(0.1);
+        for row in &x {
+            let p = model.predict(row);
+            prop_assert!(p.is_finite());
+            // RBF interpolation stays near the target range.
+            prop_assert!(p > y_min - span && p < y_max + span, "prediction {p} escapes [{y_min}, {y_max}]");
+        }
+    }
+
+    #[test]
+    fn svr_train_error_shrinks_with_larger_c((x, y) in matrix_strategy()) {
+        let loose = Svr::fit(&x, &y, &SvrParams { c: 0.1, gamma: 0.5, epsilon: 1e-3 });
+        let tight = Svr::fit(&x, &y, &SvrParams { c: 1e4, gamma: 0.5, epsilon: 1e-3 });
+        let err = |m: &Svr| {
+            let pred: Vec<f64> = x.iter().map(|r| m.predict(r)).collect();
+            mean_absolute_error(&pred, &y)
+        };
+        prop_assert!(err(&tight) <= err(&loose) + 1e-9);
+    }
+
+    #[test]
+    fn standardizer_transform_is_affine_invertible_shape(rows in prop::collection::vec(prop::collection::vec(-10.0f64..10.0, 3), 2..30)) {
+        let s = Standardizer::fit(&rows);
+        let t = s.transform_all(&rows);
+        prop_assert_eq!(t.len(), rows.len());
+        for row in &t {
+            prop_assert_eq!(row.len(), 3);
+            for v in row {
+                prop_assert!(v.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn k_folds_partition_and_balance(n in 10usize..200, k in 2usize..10, seed in 0u64..50) {
+        let k = k.min(n);
+        let folds = k_fold_indices(n, k, seed);
+        prop_assert_eq!(folds.len(), k);
+        let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+        let sizes: Vec<usize> = folds.iter().map(|f| f.len()).collect();
+        let max = sizes.iter().max().expect("non-empty");
+        let min = sizes.iter().min().expect("non-empty");
+        prop_assert!(max - min <= 1, "unbalanced folds: {sizes:?}");
+    }
+}

@@ -1,0 +1,70 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while constructing or transforming a [`Network`].
+///
+/// [`Network`]: crate::Network
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// Two inputs to an `Add` node had different shapes.
+    ShapeMismatch {
+        /// Node name where the mismatch was detected.
+        node: String,
+        /// Human-readable description of the mismatching shapes.
+        detail: String,
+    },
+    /// A layer expecting a feature-map input received a flat vector (or vice
+    /// versa).
+    WrongRank {
+        /// Node name where the wrong rank was detected.
+        node: String,
+    },
+    /// A node referenced an input id that does not exist (or appears after
+    /// it, breaking topological order).
+    InvalidInput {
+        /// Node name with the invalid input reference.
+        node: String,
+    },
+    /// The requested cutpoint does not exist in the network.
+    InvalidCutpoint {
+        /// The offending cutpoint index.
+        cutpoint: usize,
+        /// Number of available cut units.
+        available: usize,
+    },
+    /// A block was declared with no nodes inside it.
+    EmptyBlock {
+        /// Name of the empty block.
+        block: String,
+    },
+    /// The builder was finished without any node.
+    EmptyNetwork,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::ShapeMismatch { node, detail } => {
+                write!(f, "shape mismatch at node `{node}`: {detail}")
+            }
+            GraphError::WrongRank { node } => {
+                write!(f, "wrong input rank at node `{node}`")
+            }
+            GraphError::InvalidInput { node } => {
+                write!(f, "invalid input reference at node `{node}`")
+            }
+            GraphError::InvalidCutpoint {
+                cutpoint,
+                available,
+            } => write!(
+                f,
+                "invalid cutpoint {cutpoint}: network has {available} cut units"
+            ),
+            GraphError::EmptyBlock { block } => write!(f, "block `{block}` contains no nodes"),
+            GraphError::EmptyNetwork => write!(f, "network contains no nodes"),
+        }
+    }
+}
+
+impl Error for GraphError {}

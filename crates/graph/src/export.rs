@@ -1,0 +1,179 @@
+//! Export utilities: Graphviz DOT rendering and compact text summaries of
+//! a network's structure.
+
+use crate::layer::LayerKind;
+use crate::network::Network;
+use std::fmt::Write as _;
+
+impl Network {
+    /// Renders the network as a Graphviz DOT digraph. Blocks become
+    /// clusters; head nodes are shaded.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use netcut_graph::zoo;
+    ///
+    /// let dot = zoo::mobilenet_v1(0.25).to_dot();
+    /// assert!(dot.starts_with("digraph"));
+    /// assert!(dot.contains("cluster_dws1"));
+    /// ```
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", self.name());
+        let _ = writeln!(out, "  rankdir=TB;");
+        let _ = writeln!(out, "  node [shape=box, fontsize=10];");
+        // Block clusters.
+        let mut in_block = vec![None::<usize>; self.len()];
+        for (bi, block) in self.blocks().iter().enumerate() {
+            for id in block.nodes() {
+                in_block[id.index()] = Some(bi);
+            }
+        }
+        for (bi, block) in self.blocks().iter().enumerate() {
+            let _ = writeln!(out, "  subgraph \"cluster_{}\" {{", block.name());
+            let _ = writeln!(out, "    label=\"{}\";", block.name());
+            let _ = writeln!(out, "    style=rounded;");
+            for id in block.nodes() {
+                let node = self.node(*id);
+                let _ = writeln!(
+                    out,
+                    "    n{} [label=\"{}\\n{}\"];",
+                    id.index(),
+                    node.name(),
+                    node.kind()
+                );
+            }
+            let _ = writeln!(out, "  }}");
+            let _ = bi;
+        }
+        // Nodes outside blocks (stem, head).
+        for node in self.nodes() {
+            if in_block[node.id().index()].is_some() {
+                continue;
+            }
+            let style = if self.is_head_node(node.id()) {
+                ", style=filled, fillcolor=lightgray"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "  n{} [label=\"{}\\n{}\"{}];",
+                node.id().index(),
+                node.name(),
+                node.kind(),
+                style
+            );
+        }
+        // Edges.
+        for node in self.nodes() {
+            for input in node.inputs() {
+                let _ = writeln!(out, "  n{} -> n{};", input.index(), node.id().index());
+            }
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    /// A compact per-block text summary: one line per block with its
+    /// layers, output shape, FLOPs and parameters.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let stats = self.layer_stats();
+        let _ = writeln!(
+            out,
+            "{} — input {}, {} blocks, {} layers",
+            self.name(),
+            self.input_shape(),
+            self.num_blocks(),
+            self.layer_count()
+        );
+        let block_row = |name: &str, nodes: &[usize]| -> (u64, u64) {
+            let flops: u64 = nodes.iter().map(|&i| stats[i].flops).sum();
+            let params: u64 = nodes.iter().map(|&i| stats[i].params).sum();
+            let _ = name;
+            (flops, params)
+        };
+        // Stem: nodes before the first block.
+        let first_block_start = self
+            .blocks()
+            .first()
+            .and_then(|b| b.nodes().first())
+            .map(|id| id.index())
+            .unwrap_or(self.len());
+        let stem: Vec<usize> = (0..first_block_start)
+            .filter(|&i| !matches!(self.node(crate::network::NodeId::new(i)).kind(), LayerKind::Input))
+            .collect();
+        if !stem.is_empty() {
+            let (f, p) = block_row("stem", &stem);
+            let _ = writeln!(
+                out,
+                "  {:24} {:3} nodes  {:>10.1} MFLOPs  {:>8.3} Mparams",
+                "(stem)",
+                stem.len(),
+                f as f64 / 1e6,
+                p as f64 / 1e6
+            );
+        }
+        for block in self.blocks() {
+            let nodes: Vec<usize> = block.nodes().iter().map(|id| id.index()).collect();
+            let (f, p) = block_row(block.name(), &nodes);
+            let _ = writeln!(
+                out,
+                "  {:24} {:3} nodes  {:>10.1} MFLOPs  {:>8.3} Mparams  out {}",
+                block.name(),
+                nodes.len(),
+                f as f64 / 1e6,
+                p as f64 / 1e6,
+                self.shape(block.output())
+            );
+        }
+        let totals = self.stats();
+        let _ = writeln!(
+            out,
+            "  total: {:.1} MFLOPs, {:.2} Mparams",
+            totals.total_flops as f64 / 1e6,
+            totals.total_params as f64 / 1e6
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::zoo;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let net = zoo::mobilenet_v1(0.25);
+        let dot = net.to_dot();
+        // One declaration per node (input included) and one edge per input
+        // reference.
+        let decl_count = dot.matches(" [label=").count();
+        assert_eq!(decl_count, net.len());
+        let edge_count = dot.matches(" -> ").count();
+        let expected: usize = net.nodes().iter().map(|n| n.inputs().len()).sum();
+        assert_eq!(edge_count, expected);
+    }
+
+    #[test]
+    fn dot_clusters_every_block() {
+        let net = zoo::resnet50();
+        let dot = net.to_dot();
+        for block in net.blocks() {
+            assert!(dot.contains(&format!("cluster_{}", block.name())));
+        }
+    }
+
+    #[test]
+    fn summary_lists_blocks_and_totals() {
+        let net = zoo::inception_v3();
+        let s = net.summary();
+        assert!(s.contains("inception_v3"));
+        assert!(s.contains("inception_a1"));
+        assert!(s.contains("reduction_b"));
+        assert!(s.contains("total:"));
+        assert!(s.contains("(stem)"));
+    }
+}

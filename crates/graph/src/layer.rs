@@ -1,0 +1,259 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Spatial padding mode for convolutions and pooling, mirroring the
+/// TensorFlow convention used by the original networks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Padding {
+    /// Output spatial size is `ceil(input / stride)`.
+    Same,
+    /// No implicit padding: output is `floor((input - kernel) / stride) + 1`.
+    Valid,
+}
+
+impl Padding {
+    /// Output spatial extent for a 1-D dimension of size `input` under this
+    /// padding mode.
+    pub fn output_dim(self, input: usize, kernel: usize, stride: usize) -> usize {
+        match self {
+            Padding::Same => input.div_ceil(stride),
+            Padding::Valid => {
+                if input < kernel {
+                    0
+                } else {
+                    (input - kernel) / stride + 1
+                }
+            }
+        }
+    }
+}
+
+/// Pointwise non-linearity applied by an [`LayerKind::Activation`] node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Activation {
+    /// Rectified linear unit.
+    Relu,
+    /// ReLU clipped at 6 (MobileNet family).
+    Relu6,
+    /// Softmax over the feature dimension.
+    Softmax,
+}
+
+impl fmt::Display for Activation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Activation::Relu => write!(f, "relu"),
+            Activation::Relu6 => write!(f, "relu6"),
+            Activation::Softmax => write!(f, "softmax"),
+        }
+    }
+}
+
+/// The operation performed by one node of a [`Network`].
+///
+/// The IR is deliberately *static*: kinds carry only the hyper-parameters
+/// needed for shape inference and FLOPs/parameter/memory accounting, not
+/// weights. Weighted execution lives in `netcut-tensor`.
+///
+/// [`Network`]: crate::Network
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// Graph input placeholder.
+    Input,
+    /// Standard 2-D convolution.
+    Conv2d {
+        /// Number of output channels.
+        out_channels: usize,
+        /// Square kernel extent.
+        kernel: usize,
+        /// Stride in both spatial dimensions.
+        stride: usize,
+        /// Padding mode.
+        padding: Padding,
+    },
+    /// Non-square 2-D convolution (used by InceptionV3's factorized `1×7` /
+    /// `7×1` kernels).
+    Conv2dRect {
+        /// Number of output channels.
+        out_channels: usize,
+        /// Kernel height.
+        kernel_h: usize,
+        /// Kernel width.
+        kernel_w: usize,
+        /// Stride in both spatial dimensions.
+        stride: usize,
+        /// Padding mode.
+        padding: Padding,
+    },
+    /// Depthwise 2-D convolution (channel multiplier 1).
+    DepthwiseConv2d {
+        /// Square kernel extent.
+        kernel: usize,
+        /// Stride in both spatial dimensions.
+        stride: usize,
+        /// Padding mode.
+        padding: Padding,
+    },
+    /// Fully-connected layer over a flat vector.
+    Dense {
+        /// Number of output units.
+        units: usize,
+    },
+    /// Batch normalization (inference form: scale and shift per channel).
+    BatchNorm,
+    /// Pointwise non-linearity.
+    Activation(Activation),
+    /// Max pooling.
+    MaxPool2d {
+        /// Square window extent.
+        kernel: usize,
+        /// Stride in both spatial dimensions.
+        stride: usize,
+        /// Padding mode.
+        padding: Padding,
+    },
+    /// Average pooling.
+    AvgPool2d {
+        /// Square window extent.
+        kernel: usize,
+        /// Stride in both spatial dimensions.
+        stride: usize,
+        /// Padding mode.
+        padding: Padding,
+    },
+    /// Global average pooling: collapses a map to a vector of channel means.
+    GlobalAvgPool,
+    /// Elementwise addition of two equal-shape inputs (residual connection).
+    Add,
+    /// Channel-axis concatenation of two or more inputs.
+    Concat,
+    /// Reshape a map into a flat vector.
+    Flatten,
+    /// Dropout; identity at inference time, kept for architectural fidelity.
+    Dropout {
+        /// Drop probability in `[0, 100]` expressed as percent, to keep the
+        /// kind `Eq`/`Hash`.
+        rate_percent: u8,
+    },
+}
+
+impl LayerKind {
+    /// `true` for kinds that carry trainable weights and therefore count as a
+    /// "layer" in the paper's layer-removal accounting (convolutions and
+    /// fully-connected layers).
+    pub fn is_weighted(&self) -> bool {
+        matches!(
+            self,
+            LayerKind::Conv2d { .. }
+                | LayerKind::Conv2dRect { .. }
+                | LayerKind::DepthwiseConv2d { .. }
+                | LayerKind::Dense { .. }
+        )
+    }
+
+    /// `true` for kinds the device executes as a standalone kernel even after
+    /// fusion (everything except pure-metadata ops).
+    pub fn is_compute(&self) -> bool {
+        !matches!(
+            self,
+            LayerKind::Input | LayerKind::Flatten | LayerKind::Dropout { .. }
+        )
+    }
+
+    /// Short mnemonic used in generated node names and debug output.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            LayerKind::Input => "input",
+            LayerKind::Conv2d { .. } => "conv",
+            LayerKind::Conv2dRect { .. } => "conv_rect",
+            LayerKind::DepthwiseConv2d { .. } => "dwconv",
+            LayerKind::Dense { .. } => "dense",
+            LayerKind::BatchNorm => "bn",
+            LayerKind::Activation(_) => "act",
+            LayerKind::MaxPool2d { .. } => "maxpool",
+            LayerKind::AvgPool2d { .. } => "avgpool",
+            LayerKind::GlobalAvgPool => "gap",
+            LayerKind::Add => "add",
+            LayerKind::Concat => "concat",
+            LayerKind::Flatten => "flatten",
+            LayerKind::Dropout { .. } => "dropout",
+        }
+    }
+}
+
+impl fmt::Display for LayerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayerKind::Conv2d {
+                out_channels,
+                kernel,
+                stride,
+                ..
+            } => write!(f, "conv{kernel}x{kernel}/{stride}->{out_channels}"),
+            LayerKind::Conv2dRect {
+                out_channels,
+                kernel_h,
+                kernel_w,
+                stride,
+                ..
+            } => write!(f, "conv{kernel_h}x{kernel_w}/{stride}->{out_channels}"),
+            LayerKind::DepthwiseConv2d { kernel, stride, .. } => {
+                write!(f, "dwconv{kernel}x{kernel}/{stride}")
+            }
+            LayerKind::Dense { units } => write!(f, "dense->{units}"),
+            LayerKind::Activation(a) => write!(f, "{a}"),
+            LayerKind::MaxPool2d { kernel, stride, .. } => {
+                write!(f, "maxpool{kernel}/{stride}")
+            }
+            LayerKind::AvgPool2d { kernel, stride, .. } => {
+                write!(f, "avgpool{kernel}/{stride}")
+            }
+            other => write!(f, "{}", other.mnemonic()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_padding_divides_rounding_up() {
+        assert_eq!(Padding::Same.output_dim(224, 3, 2), 112);
+        assert_eq!(Padding::Same.output_dim(7, 3, 2), 4);
+        assert_eq!(Padding::Same.output_dim(224, 3, 1), 224);
+    }
+
+    #[test]
+    fn valid_padding_shrinks() {
+        assert_eq!(Padding::Valid.output_dim(224, 3, 2), 111);
+        assert_eq!(Padding::Valid.output_dim(5, 5, 1), 1);
+        assert_eq!(Padding::Valid.output_dim(3, 5, 1), 0);
+    }
+
+    #[test]
+    fn weighted_kinds() {
+        assert!(LayerKind::Conv2d {
+            out_channels: 8,
+            kernel: 3,
+            stride: 1,
+            padding: Padding::Same
+        }
+        .is_weighted());
+        assert!(LayerKind::Dense { units: 5 }.is_weighted());
+        assert!(!LayerKind::BatchNorm.is_weighted());
+        assert!(!LayerKind::Add.is_weighted());
+    }
+
+    #[test]
+    fn display_forms() {
+        let c = LayerKind::Conv2d {
+            out_channels: 64,
+            kernel: 3,
+            stride: 2,
+            padding: Padding::Same,
+        };
+        assert_eq!(c.to_string(), "conv3x3/2->64");
+        assert_eq!(LayerKind::Dense { units: 5 }.to_string(), "dense->5");
+    }
+}

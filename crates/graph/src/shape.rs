@@ -1,0 +1,107 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Shape of a single-sample activation flowing between layers.
+///
+/// Batch size is always 1 in this IR (the robotic-hand application performs
+/// single-frame inference), so shapes are either a `C×H×W` feature map or a
+/// flat feature vector.
+///
+/// # Example
+///
+/// ```
+/// use netcut_graph::Shape;
+///
+/// let s = Shape::map(3, 224, 224);
+/// assert_eq!(s.elements(), 3 * 224 * 224);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Shape {
+    /// A `channels × height × width` feature map.
+    Map {
+        /// Number of channels.
+        c: usize,
+        /// Spatial height.
+        h: usize,
+        /// Spatial width.
+        w: usize,
+    },
+    /// A flat feature vector of `n` elements.
+    Vector {
+        /// Number of features.
+        n: usize,
+    },
+}
+
+impl Shape {
+    /// Creates a feature-map shape.
+    pub fn map(c: usize, h: usize, w: usize) -> Self {
+        Shape::Map { c, h, w }
+    }
+
+    /// Creates a flat vector shape.
+    pub fn vector(n: usize) -> Self {
+        Shape::Vector { n }
+    }
+
+    /// Total number of scalar elements.
+    pub fn elements(&self) -> usize {
+        match *self {
+            Shape::Map { c, h, w } => c * h * w,
+            Shape::Vector { n } => n,
+        }
+    }
+
+    /// Number of channels for maps, or the vector length.
+    pub fn channels(&self) -> usize {
+        match *self {
+            Shape::Map { c, .. } => c,
+            Shape::Vector { n } => n,
+        }
+    }
+
+    /// Spatial `(h, w)` dimensions, if this is a feature map.
+    pub fn spatial(&self) -> Option<(usize, usize)> {
+        match *self {
+            Shape::Map { h, w, .. } => Some((h, w)),
+            Shape::Vector { .. } => None,
+        }
+    }
+
+    /// Returns `true` if this is a feature map rather than a flat vector.
+    pub fn is_map(&self) -> bool {
+        matches!(self, Shape::Map { .. })
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Shape::Map { c, h, w } => write!(f, "{c}x{h}x{w}"),
+            Shape::Vector { n } => write!(f, "[{n}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elements_of_map_and_vector() {
+        assert_eq!(Shape::map(3, 4, 5).elements(), 60);
+        assert_eq!(Shape::vector(7).elements(), 7);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(Shape::map(3, 224, 224).to_string(), "3x224x224");
+        assert_eq!(Shape::vector(1000).to_string(), "[1000]");
+    }
+
+    #[test]
+    fn spatial_only_for_maps() {
+        assert_eq!(Shape::map(1, 2, 3).spatial(), Some((2, 3)));
+        assert_eq!(Shape::vector(4).spatial(), None);
+    }
+}

@@ -1,0 +1,257 @@
+use crate::layer::LayerKind;
+use crate::network::{Network, NodeId};
+use crate::shape::Shape;
+use serde::{Deserialize, Serialize};
+
+/// Static cost accounting for a single node: the quantities the paper's
+/// analytical latency model consumes (FLOPs, parameters, filter sizes) plus
+/// the memory traffic the device simulator prices.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerStats {
+    /// Floating-point operations (multiply and add counted separately).
+    pub flops: u64,
+    /// Trainable parameter count (weights + biases / BN affine parameters).
+    pub params: u64,
+    /// Kernel area (`kh × kw`) for convolutions, 0 otherwise — the paper's
+    /// "filter size" feature.
+    pub filter_size: u64,
+    /// Bytes read from memory at FP32 (activations in + weights).
+    pub bytes_read: u64,
+    /// Bytes written to memory at FP32 (activations out).
+    pub bytes_written: u64,
+    /// Output activation element count.
+    pub output_elements: u64,
+}
+
+impl LayerStats {
+    /// Total bytes moved (read + written).
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+}
+
+/// Aggregated statistics over a whole [`Network`] (or a trimmed variant).
+///
+/// These are the device-agnostic, high-level features the paper's analytical
+/// SVR model is trained on (§V-B-2): total FLOPs, parameters, layer count and
+/// filter sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkStats {
+    /// Sum of per-layer FLOPs.
+    pub total_flops: u64,
+    /// Sum of per-layer parameters.
+    pub total_params: u64,
+    /// Number of weighted layers (conv + dense).
+    pub weighted_layers: u64,
+    /// Number of compute nodes (kernels before fusion).
+    pub compute_nodes: u64,
+    /// Sum of kernel areas over all convolutions.
+    pub total_filter_size: u64,
+    /// Total FP32 memory traffic in bytes.
+    pub total_bytes: u64,
+}
+
+const F32: u64 = 4;
+
+fn elems(s: Shape) -> u64 {
+    s.elements() as u64
+}
+
+/// Computes the static cost of one node of `net`.
+///
+/// FLOP conventions (per inference, batch 1):
+/// convolution `2·kh·kw·Cin·Cout·Hout·Wout`, depthwise `2·kh·kw·C·Hout·Wout`,
+/// dense `2·in·out`, batch-norm `2·N`, activation `N` (softmax `5·N`),
+/// pooling `k²·Nout`, add `N`, global-average-pool `Nin`.
+pub fn layer_stats(net: &Network, id: NodeId) -> LayerStats {
+    let node = net.node(id);
+    let out = net.shape(id);
+    let in_shape = |i: usize| net.shape(node.inputs()[i]);
+    let out_e = elems(out);
+    let (flops, params, filter_size): (u64, u64, u64) = match *node.kind() {
+        LayerKind::Input | LayerKind::Flatten | LayerKind::Dropout { .. } => (0, 0, 0),
+        LayerKind::Conv2d {
+            out_channels,
+            kernel,
+            ..
+        } => {
+            let cin = in_shape(0).channels() as u64;
+            let (h, w) = out.spatial().expect("conv output is a map");
+            let k = (kernel * kernel) as u64;
+            let macs = k * cin * out_channels as u64 * (h * w) as u64;
+            (2 * macs, k * cin * out_channels as u64 + out_channels as u64, k)
+        }
+        LayerKind::Conv2dRect {
+            out_channels,
+            kernel_h,
+            kernel_w,
+            ..
+        } => {
+            let cin = in_shape(0).channels() as u64;
+            let (h, w) = out.spatial().expect("conv output is a map");
+            let k = (kernel_h * kernel_w) as u64;
+            let macs = k * cin * out_channels as u64 * (h * w) as u64;
+            (2 * macs, k * cin * out_channels as u64 + out_channels as u64, k)
+        }
+        LayerKind::DepthwiseConv2d { kernel, .. } => {
+            let c = out.channels() as u64;
+            let (h, w) = out.spatial().expect("dwconv output is a map");
+            let k = (kernel * kernel) as u64;
+            (2 * k * c * (h * w) as u64, k * c + c, k)
+        }
+        LayerKind::Dense { units } => {
+            let input = in_shape(0).elements() as u64;
+            (2 * input * units as u64, input * units as u64 + units as u64, 0)
+        }
+        LayerKind::BatchNorm => {
+            let c = out.channels() as u64;
+            (2 * out_e, 4 * c, 0)
+        }
+        LayerKind::Activation(a) => {
+            let mult = if matches!(a, crate::layer::Activation::Softmax) {
+                5
+            } else {
+                1
+            };
+            (mult * out_e, 0, 0)
+        }
+        LayerKind::MaxPool2d { kernel, .. } | LayerKind::AvgPool2d { kernel, .. } => {
+            ((kernel * kernel) as u64 * out_e, 0, 0)
+        }
+        LayerKind::GlobalAvgPool => (elems(in_shape(0)), 0, 0),
+        LayerKind::Add => ((node.inputs().len() as u64 - 1) * out_e, 0, 0),
+        LayerKind::Concat => (0, 0, 0),
+    };
+    let in_bytes: u64 = (0..node.inputs().len())
+        .map(|i| elems(in_shape(i)) * F32)
+        .sum();
+    // Weights are streamed once per inference at batch 1.
+    let weight_bytes = params * F32;
+    LayerStats {
+        flops,
+        params,
+        filter_size,
+        bytes_read: in_bytes + weight_bytes,
+        bytes_written: out_e * F32,
+        output_elements: out_e,
+    }
+}
+
+impl Network {
+    /// Per-node static cost accounting, indexed like [`Network::nodes`].
+    pub fn layer_stats(&self) -> Vec<LayerStats> {
+        self.nodes()
+            .iter()
+            .map(|n| layer_stats(self, n.id()))
+            .collect()
+    }
+
+    /// Aggregated network statistics (the SVR feature source).
+    pub fn stats(&self) -> NetworkStats {
+        self.stats_over(self.nodes().iter())
+    }
+
+    /// Aggregated statistics over the backbone only (classification head
+    /// excluded) — the denominators for fraction-of-original features.
+    pub fn backbone_stats(&self) -> NetworkStats {
+        self.stats_over(self.backbone_nodes())
+    }
+
+    fn stats_over<'a>(&self, nodes: impl Iterator<Item = &'a crate::network::Node>) -> NetworkStats {
+        let mut total = NetworkStats {
+            total_flops: 0,
+            total_params: 0,
+            weighted_layers: 0,
+            compute_nodes: 0,
+            total_filter_size: 0,
+            total_bytes: 0,
+        };
+        for node in nodes {
+            let ls = layer_stats(self, node.id());
+            total.total_flops += ls.flops;
+            total.total_params += ls.params;
+            total.total_filter_size += ls.filter_size;
+            total.total_bytes += ls.bytes_moved();
+            if node.kind().is_weighted() {
+                total.weighted_layers += 1;
+            }
+            if node.kind().is_compute() {
+                total.compute_nodes += 1;
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Padding;
+    use crate::network::NetworkBuilder;
+
+    #[test]
+    fn conv_flops_match_formula() {
+        let mut b = NetworkBuilder::new("t", Shape::map(3, 8, 8));
+        let x = b.input();
+        let c = b.conv(x, 16, 3, 1, Padding::Same, "c");
+        let net = b.finish(c).unwrap();
+        let s = layer_stats(&net, c);
+        // 2 * 3*3 * 3 * 16 * 8*8
+        assert_eq!(s.flops, 2 * 9 * 3 * 16 * 64);
+        assert_eq!(s.params, 9 * 3 * 16 + 16);
+        assert_eq!(s.filter_size, 9);
+    }
+
+    #[test]
+    fn depthwise_flops_are_channelwise() {
+        let mut b = NetworkBuilder::new("t", Shape::map(8, 4, 4));
+        let x = b.input();
+        let d = b.depthwise_conv(x, 3, 1, Padding::Same, "d");
+        let net = b.finish(d).unwrap();
+        let s = layer_stats(&net, d);
+        assert_eq!(s.flops, 2 * 9 * 8 * 16);
+        assert_eq!(s.params, 9 * 8 + 8);
+    }
+
+    #[test]
+    fn dense_params_include_bias() {
+        let mut b = NetworkBuilder::new("t", Shape::vector(10));
+        let x = b.input();
+        let d = b.dense(x, 5, "d");
+        let net = b.finish(d).unwrap();
+        let s = layer_stats(&net, d);
+        assert_eq!(s.flops, 2 * 10 * 5);
+        assert_eq!(s.params, 55);
+    }
+
+    #[test]
+    fn network_totals_sum_layers() {
+        let mut b = NetworkBuilder::new("t", Shape::map(3, 8, 8));
+        let x = b.input();
+        let c = b.conv_bn_relu(x, 4, 3, 1, Padding::Same, "c");
+        let g = b.global_avg_pool(c, "gap");
+        let d = b.dense(g, 5, "fc");
+        let net = b.finish(d).unwrap();
+        let per_layer = net.layer_stats();
+        let total = net.stats();
+        assert_eq!(
+            total.total_flops,
+            per_layer.iter().map(|l| l.flops).sum::<u64>()
+        );
+        assert_eq!(
+            total.total_params,
+            per_layer.iter().map(|l| l.params).sum::<u64>()
+        );
+        assert_eq!(total.weighted_layers, 2);
+    }
+
+    #[test]
+    fn input_and_flatten_are_free() {
+        let mut b = NetworkBuilder::new("t", Shape::map(2, 3, 3));
+        let x = b.input();
+        let f = b.flatten(x, "f");
+        let net = b.finish(f).unwrap();
+        assert_eq!(layer_stats(&net, x).flops, 0);
+        assert_eq!(layer_stats(&net, f).flops, 0);
+    }
+}

@@ -1,0 +1,358 @@
+//! Cut operations: constructing TRimmed Networks (TRNs) from a source
+//! network, per §IV of the paper.
+
+use crate::error::GraphError;
+use crate::layer::Activation;
+use crate::network::{infer_shape, Block, Network, Node, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Specification of the transfer-learning classification head the paper
+/// attaches after cutting (§III-B-3): one global average pooling, a stack of
+/// FC/ReLU layers, and a final FC/Softmax over the grasp classes.
+///
+/// # Example
+///
+/// ```
+/// use netcut_graph::HeadSpec;
+///
+/// let head = HeadSpec::default();
+/// assert_eq!(head.classes, 5);
+/// assert_eq!(head.hidden, vec![256, 128]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeadSpec {
+    /// Sizes of the hidden FC/ReLU layers.
+    pub hidden: Vec<usize>,
+    /// Number of output classes (5 grasp types in the HANDS application).
+    pub classes: usize,
+}
+
+impl Default for HeadSpec {
+    fn default() -> Self {
+        HeadSpec {
+            hidden: vec![256, 128],
+            classes: 5,
+        }
+    }
+}
+
+impl HeadSpec {
+    /// Head with the given number of classes and the default hidden stack.
+    pub fn with_classes(classes: usize) -> Self {
+        HeadSpec {
+            classes,
+            ..HeadSpec::default()
+        }
+    }
+}
+
+impl Network {
+    /// Node ids at which blockwise removal may cut: the output of each
+    /// backbone block, in order. Cutting "after block `i`" keeps blocks
+    /// `0..=i`.
+    pub fn block_cutpoints(&self) -> Vec<NodeId> {
+        self.blocks.iter().map(|b| b.output).collect()
+    }
+
+    /// All candidate cutpoints for *iterative* (per-layer, exhaustive)
+    /// removal: every backbone compute node. This is the search space the
+    /// paper contrasts with blockwise removal in Fig. 4.
+    pub fn layer_cutpoints(&self) -> Vec<NodeId> {
+        self.backbone_nodes()
+            .filter(|n| n.kind().is_compute())
+            .map(|n| n.id())
+            .collect()
+    }
+
+    /// Returns the sub-network computing node `v` (its ancestor closure),
+    /// renamed to `name`, with no classification head attached.
+    ///
+    /// Blocks that survive intact (all nodes kept) are preserved so the
+    /// result can be cut again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a node of this network.
+    pub fn cut_at_node(&self, v: NodeId, name: impl Into<String>) -> Network {
+        assert!(v.0 < self.nodes.len(), "cutpoint outside network");
+        // Mark ancestors of v (inclusive) by reverse traversal; inputs always
+        // point backward, so a single reverse pass suffices.
+        let mut keep = vec![false; self.nodes.len()];
+        keep[v.0] = true;
+        for idx in (0..=v.0).rev() {
+            if keep[idx] {
+                for &inp in &self.nodes[idx].inputs {
+                    keep[inp.0] = true;
+                }
+            }
+        }
+        let mut remap = vec![usize::MAX; self.nodes.len()];
+        let mut nodes = Vec::new();
+        let mut shapes = Vec::new();
+        for (idx, node) in self.nodes.iter().enumerate() {
+            if !keep[idx] {
+                continue;
+            }
+            let new_id = NodeId(nodes.len());
+            remap[idx] = new_id.0;
+            nodes.push(Node {
+                id: new_id,
+                name: node.name.clone(),
+                kind: node.kind,
+                inputs: node.inputs.iter().map(|i| NodeId(remap[i.0])).collect(),
+            });
+            shapes.push(self.shapes[idx]);
+        }
+        let blocks = self
+            .blocks
+            .iter()
+            .filter(|b| b.nodes.iter().all(|n| keep[n.0]))
+            .map(|b| Block {
+                name: b.name.clone(),
+                nodes: b.nodes.iter().map(|n| NodeId(remap[n.0])).collect(),
+                output: NodeId(remap[b.output.0]),
+            })
+            .collect();
+        Network {
+            name: name.into(),
+            input_shape: self.input_shape,
+            nodes,
+            shapes,
+            output: NodeId(remap[v.0]),
+            blocks,
+            head_start: None,
+        }
+    }
+
+    /// Constructs the blockwise TRN that removes the last `k` blocks
+    /// (`k = 0` keeps the full backbone, head stripped). The result has no
+    /// head; attach one with [`Network::with_head`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidCutpoint`] if `k` exceeds the number of
+    /// removable blocks minus one (at least one block is always kept so a
+    /// feature extractor remains).
+    pub fn cut_blocks(&self, k: usize) -> Result<Network, GraphError> {
+        let nb = self.blocks.len();
+        if nb == 0 || k > nb - 1 {
+            return Err(GraphError::InvalidCutpoint {
+                cutpoint: k,
+                available: nb,
+            });
+        }
+        let cut_block = &self.blocks[nb - 1 - k];
+        let base = self.base_name();
+        Ok(self.cut_at_node(cut_block.output, format!("{base}/cut{k}")))
+    }
+
+    /// The family name without any cut suffix (`/cutN`, `/layerN`, …):
+    /// everything before the first `/`.
+    pub fn base_name(&self) -> &str {
+        match self.name.find('/') {
+            Some(pos) => &self.name[..pos],
+            None => &self.name,
+        }
+    }
+
+    /// The cutpoint encoded in the name (`/cutN` suffix), or 0.
+    pub fn cutpoint(&self) -> usize {
+        self.name
+            .find("/cut")
+            .and_then(|pos| self.name[pos + 4..].parse().ok())
+            .unwrap_or(0)
+    }
+
+    /// Returns a copy of this network's backbone (head stripped). If no head
+    /// is marked, this is an unmodified copy.
+    pub fn backbone(&self) -> Network {
+        match self.head_start {
+            None => self.clone(),
+            Some(h) => {
+                // The backbone output is the last non-head input feeding the
+                // head; for all zoo networks this is the input of the head's
+                // first node.
+                let first_head = &self.nodes[h.0];
+                let backbone_out = first_head
+                    .inputs
+                    .first()
+                    .copied()
+                    .expect("head node with no input");
+                self.cut_at_node(backbone_out, self.name.clone())
+            }
+        }
+    }
+
+    /// Attaches a fresh transfer-learning head (GAP → FC/ReLU… → FC/Softmax)
+    /// to this network's output, returning the completed model.
+    ///
+    /// If the output is already a flat vector the global-average-pool step is
+    /// skipped.
+    pub fn with_head(&self, spec: &HeadSpec) -> Network {
+        let mut net = self.clone();
+        net.head_start = Some(NodeId(net.nodes.len()));
+        let mut cur = net.output;
+        let push = |net: &mut Network, kind, inputs: &[NodeId], name: &str| -> NodeId {
+            let id = NodeId(net.nodes.len());
+            let node = Node {
+                id,
+                name: name.to_owned(),
+                kind,
+                inputs: inputs.to_vec(),
+            };
+            let shape = infer_shape(&node, &net.shapes, net.input_shape)
+                .expect("head shape inference cannot fail on a valid backbone");
+            net.nodes.push(node);
+            net.shapes.push(shape);
+            id
+        };
+        if net.shapes[cur.0].is_map() {
+            cur = push(
+                &mut net,
+                crate::layer::LayerKind::GlobalAvgPool,
+                &[cur],
+                "head/gap",
+            );
+        }
+        for (i, &units) in spec.hidden.iter().enumerate() {
+            cur = push(
+                &mut net,
+                crate::layer::LayerKind::Dense { units },
+                &[cur],
+                &format!("head/fc{i}"),
+            );
+            cur = push(
+                &mut net,
+                crate::layer::LayerKind::Activation(Activation::Relu),
+                &[cur],
+                &format!("head/relu{i}"),
+            );
+        }
+        cur = push(
+            &mut net,
+            crate::layer::LayerKind::Dense {
+                units: spec.classes,
+            },
+            &[cur],
+            "head/logits",
+        );
+        cur = push(
+            &mut net,
+            crate::layer::LayerKind::Activation(Activation::Softmax),
+            &[cur],
+            "head/softmax",
+        );
+        net.output = cur;
+        net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Padding;
+    use crate::network::NetworkBuilder;
+    use crate::shape::Shape;
+
+    fn chain(n_blocks: usize) -> Network {
+        let mut b = NetworkBuilder::new("chain", Shape::map(3, 64, 64));
+        let mut x = b.input();
+        for i in 0..n_blocks {
+            b.begin_block(format!("b{i}"));
+            x = b.conv_bn_relu(x, 8 * (i + 1), 3, 1, Padding::Same, &format!("c{i}"));
+            b.end_block(x).unwrap();
+        }
+        b.mark_head_start();
+        let g = b.global_avg_pool(x, "gap");
+        let d = b.dense(g, 5, "fc");
+        b.finish(d).unwrap()
+    }
+
+    #[test]
+    fn cut_zero_strips_head_only() {
+        let net = chain(4);
+        let trn = net.cut_blocks(0).unwrap();
+        assert_eq!(trn.num_blocks(), 4);
+        assert_eq!(trn.weighted_layer_count(), 4);
+        assert!(trn.head_start().is_none());
+        trn.validate().unwrap();
+    }
+
+    #[test]
+    fn cut_removes_top_blocks() {
+        let net = chain(4);
+        let trn = net.cut_blocks(2).unwrap();
+        assert_eq!(trn.num_blocks(), 2);
+        assert_eq!(trn.output_shape(), Shape::map(16, 64, 64));
+        assert_eq!(trn.name(), "chain/cut2");
+        assert_eq!(trn.cutpoint(), 2);
+        assert_eq!(trn.base_name(), "chain");
+    }
+
+    #[test]
+    fn cut_all_but_one_is_max() {
+        let net = chain(4);
+        assert!(net.cut_blocks(3).is_ok());
+        assert!(matches!(
+            net.cut_blocks(4),
+            Err(GraphError::InvalidCutpoint { .. })
+        ));
+    }
+
+    #[test]
+    fn with_head_appends_spec() {
+        let net = chain(3);
+        let trn = net.cut_blocks(1).unwrap().with_head(&HeadSpec::default());
+        assert_eq!(trn.output_shape(), Shape::vector(5));
+        assert!(trn.head_start().is_some());
+        // GAP + 2×(FC+ReLU) + FC + Softmax = 7 head nodes
+        let head_nodes = trn
+            .nodes()
+            .iter()
+            .filter(|n| trn.is_head_node(n.id()))
+            .count();
+        assert_eq!(head_nodes, 7);
+        trn.validate().unwrap();
+    }
+
+    #[test]
+    fn head_on_vector_output_skips_gap() {
+        let mut b = NetworkBuilder::new("v", Shape::vector(32));
+        let x = b.input();
+        let d = b.dense(x, 16, "d");
+        let net = b.finish(d).unwrap();
+        let with = net.with_head(&HeadSpec::with_classes(3));
+        assert_eq!(with.output_shape(), Shape::vector(3));
+        assert!(!with
+            .nodes()
+            .iter()
+            .any(|n| matches!(n.kind(), crate::LayerKind::GlobalAvgPool)));
+    }
+
+    #[test]
+    fn backbone_round_trips() {
+        let net = chain(3);
+        let bb = net.backbone();
+        assert!(bb.head_start().is_none());
+        assert_eq!(bb.num_blocks(), 3);
+        assert_eq!(bb.weighted_layer_count(), 3);
+        let again = bb.with_head(&HeadSpec::default());
+        assert_eq!(again.output_shape(), Shape::vector(5));
+    }
+
+    #[test]
+    fn cut_at_node_keeps_only_ancestors() {
+        // Diamond: input -> a -> add, input -> c -> add; cutting at `a`
+        // must drop `c` and `add`.
+        let mut b = NetworkBuilder::new("d", Shape::map(3, 8, 8));
+        let x = b.input();
+        let a = b.conv(x, 8, 3, 1, Padding::Same, "a");
+        let c = b.conv(x, 8, 3, 1, Padding::Same, "c");
+        let s = b.add(&[a, c], "sum");
+        let net = b.finish(s).unwrap();
+        let cut = net.cut_at_node(a, "d/cut1");
+        assert_eq!(cut.len(), 2); // input + a
+        assert_eq!(cut.output_shape(), Shape::map(8, 8, 8));
+        cut.validate().unwrap();
+    }
+}

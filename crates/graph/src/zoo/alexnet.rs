@@ -1,0 +1,88 @@
+use super::IMAGENET_CLASSES;
+use crate::layer::{Activation, Padding};
+use crate::network::{Network, NetworkBuilder};
+use crate::shape::Shape;
+
+/// Builds AlexNet (Krizhevsky et al., 2012) at 227×227 input, ImageNet
+/// head attached — an *extension* beyond the paper's seven networks (its
+/// intro opens with AlexNet's 8 layers). Each convolution is one removable
+/// block; local response normalization is modelled as batch-norm (its
+/// modern stand-in with identical cost shape).
+///
+/// # Example
+///
+/// ```
+/// use netcut_graph::zoo::alexnet;
+///
+/// let net = alexnet();
+/// assert_eq!(net.num_blocks(), 5);
+/// assert_eq!(net.total_weighted_layer_count(), 8);
+/// ```
+pub fn alexnet() -> Network {
+    let mut b = NetworkBuilder::new("alexnet", Shape::map(3, 227, 227));
+    let x = b.input();
+    b.begin_block("conv1");
+    let c = b.conv(x, 96, 11, 4, Padding::Valid, "conv1/conv");
+    let c = b.activation(c, Activation::Relu, "conv1/relu");
+    let c = b.batch_norm(c, "conv1/lrn");
+    let mut x = b.max_pool(c, 3, 2, Padding::Valid, "conv1/pool");
+    b.end_block(x).expect("block is non-empty");
+    b.begin_block("conv2");
+    let c = b.conv(x, 256, 5, 1, Padding::Same, "conv2/conv");
+    let c = b.activation(c, Activation::Relu, "conv2/relu");
+    let c = b.batch_norm(c, "conv2/lrn");
+    x = b.max_pool(c, 3, 2, Padding::Valid, "conv2/pool");
+    b.end_block(x).expect("block is non-empty");
+    b.begin_block("conv3");
+    let c = b.conv(x, 384, 3, 1, Padding::Same, "conv3/conv");
+    x = b.activation(c, Activation::Relu, "conv3/relu");
+    b.end_block(x).expect("block is non-empty");
+    b.begin_block("conv4");
+    let c = b.conv(x, 384, 3, 1, Padding::Same, "conv4/conv");
+    x = b.activation(c, Activation::Relu, "conv4/relu");
+    b.end_block(x).expect("block is non-empty");
+    b.begin_block("conv5");
+    let c = b.conv(x, 256, 3, 1, Padding::Same, "conv5/conv");
+    let c = b.activation(c, Activation::Relu, "conv5/relu");
+    x = b.max_pool(c, 3, 2, Padding::Valid, "conv5/pool");
+    b.end_block(x).expect("block is non-empty");
+    b.mark_head_start();
+    let f = b.flatten(x, "head/flatten");
+    let d1 = b.dense(f, 4096, "head/fc1");
+    let r1 = b.activation(d1, Activation::Relu, "head/relu1");
+    let dr1 = b.dropout(r1, 50, "head/drop1");
+    let d2 = b.dense(dr1, 4096, "head/fc2");
+    let r2 = b.activation(d2, Activation::Relu, "head/relu2");
+    let dr2 = b.dropout(r2, 50, "head/drop2");
+    let d3 = b.dense(dr2, IMAGENET_CLASSES, "head/logits");
+    let s = b.activation(d3, Activation::Softmax, "head/softmax");
+    b.finish(s).expect("alexnet construction is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_weighted_layers() {
+        let net = alexnet();
+        assert_eq!(net.total_weighted_layer_count(), 8);
+        assert_eq!(net.num_blocks(), 5);
+    }
+
+    #[test]
+    fn params_match_reference_scale() {
+        // Reference AlexNet: ~61 M parameters.
+        let p = alexnet().stats().total_params;
+        assert!(p > 55_000_000 && p < 66_000_000, "params = {p}");
+    }
+
+    #[test]
+    fn feature_map_sizes() {
+        let net = alexnet();
+        // conv1 output after pool: 96 × 27 × 27.
+        assert_eq!(net.shape(net.blocks()[0].output()), Shape::map(96, 27, 27));
+        // conv5 output after pool: 256 × 6 × 6.
+        assert_eq!(net.shape(net.blocks()[4].output()), Shape::map(256, 6, 6));
+    }
+}

@@ -1,0 +1,125 @@
+use super::IMAGENET_CLASSES;
+use crate::layer::{Activation, Padding};
+use crate::network::{Network, NetworkBuilder, NodeId};
+use crate::shape::Shape;
+
+/// Dense-block sizes of DenseNet-121 (Huang et al., 2017).
+const BLOCK_SIZES: [usize; 4] = [6, 12, 24, 16];
+const GROWTH: usize = 32;
+
+/// Builds DenseNet-121 at 224×224 input, ImageNet head attached.
+///
+/// DenseNet's repeating module is the *dense layer* (BN → ReLU → 1×1 conv →
+/// BN → ReLU → 3×3 conv → concat), so each of the 58 dense layers is one
+/// removable block; the transition layers travel with the dense layer that
+/// follows them, keeping every cut a well-formed feature extractor.
+///
+/// # Example
+///
+/// ```
+/// use netcut_graph::zoo::densenet121;
+///
+/// let net = densenet121();
+/// assert_eq!(net.num_blocks(), 58);
+/// ```
+pub fn densenet121() -> Network {
+    let mut b = NetworkBuilder::new("densenet121", Shape::map(3, 224, 224));
+    let x = b.input();
+    let x = b.conv(x, 2 * GROWTH, 7, 2, Padding::Same, "stem/conv");
+    let x = b.batch_norm(x, "stem/bn");
+    let x = b.activation(x, Activation::Relu, "stem/relu");
+    let mut x = b.max_pool(x, 3, 2, Padding::Same, "stem/maxpool");
+    let mut channels = 2 * GROWTH;
+    for (stage, &layers) in BLOCK_SIZES.iter().enumerate() {
+        for layer in 0..layers {
+            let name = format!("dense{}_{}", stage + 1, layer + 1);
+            b.begin_block(&name);
+            // A transition (compression + pooling) precedes the first dense
+            // layer of stages 2–4 and belongs to this removable unit.
+            if stage > 0 && layer == 0 {
+                channels /= 2;
+                x = transition(&mut b, x, channels, &format!("transition{stage}"));
+            }
+            x = dense_layer(&mut b, x, &name);
+            channels += GROWTH;
+            b.end_block(x).expect("block is non-empty");
+        }
+    }
+    // Final BN/ReLU before classification.
+    let x = b.batch_norm(x, "final/bn");
+    let x = b.activation(x, Activation::Relu, "final/relu");
+    b.mark_head_start();
+    let g = b.global_avg_pool(x, "head/gap");
+    let d = b.dense(g, IMAGENET_CLASSES, "head/logits");
+    let s = b.activation(d, Activation::Softmax, "head/softmax");
+    b.finish(s).expect("densenet121 construction is valid")
+}
+
+/// Appends one dense layer: BN → ReLU → 1×1 conv (4×growth) → BN → ReLU →
+/// 3×3 conv (growth) → concat with the input.
+fn dense_layer(b: &mut NetworkBuilder, input: NodeId, name: &str) -> NodeId {
+    let n = b.batch_norm(input, &format!("{name}/bn1"));
+    let n = b.activation(n, Activation::Relu, &format!("{name}/relu1"));
+    let n = b.conv(n, 4 * GROWTH, 1, 1, Padding::Same, &format!("{name}/conv1"));
+    let n = b.batch_norm(n, &format!("{name}/bn2"));
+    let n = b.activation(n, Activation::Relu, &format!("{name}/relu2"));
+    let n = b.conv(n, GROWTH, 3, 1, Padding::Same, &format!("{name}/conv2"));
+    b.concat(&[input, n], &format!("{name}/concat"))
+}
+
+/// Appends a transition layer: BN → ReLU → 1×1 compression conv → 2×2
+/// average pool.
+fn transition(b: &mut NetworkBuilder, input: NodeId, out_ch: usize, name: &str) -> NodeId {
+    let t = b.batch_norm(input, &format!("{name}/bn"));
+    let t = b.activation(t, Activation::Relu, &format!("{name}/relu"));
+    let t = b.conv(t, out_ch, 1, 1, Padding::Same, &format!("{name}/conv"));
+    b.avg_pool(t, 2, 2, Padding::Valid, &format!("{name}/pool"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifty_eight_dense_layers() {
+        assert_eq!(densenet121().num_blocks(), 58);
+    }
+
+    #[test]
+    fn weighted_layers_near_121() {
+        // 1 stem conv + 58 × 2 convs + 3 transition convs + 1 FC = 121.
+        assert_eq!(densenet121().total_weighted_layer_count(), 121);
+    }
+
+    #[test]
+    fn params_match_reference_scale() {
+        let p = densenet121().stats().total_params;
+        // Reference: ~8.0 M parameters.
+        assert!(p > 6_500_000 && p < 9_500_000, "params = {p}");
+    }
+
+    #[test]
+    fn channel_growth() {
+        let net = densenet121();
+        // After stage 1 (6 layers): 64 + 6·32 = 256 channels at 56×56.
+        assert_eq!(net.shape(net.blocks()[5].output()), Shape::map(256, 56, 56));
+        // Final: 1024 channels at 7×7.
+        assert_eq!(
+            net.shape(net.blocks()[57].output()),
+            Shape::map(1024, 7, 7)
+        );
+    }
+
+    #[test]
+    fn transitions_travel_with_following_unit() {
+        let net = densenet121();
+        // The 7th removable unit (first of stage 2) must contain the
+        // transition's pooling node.
+        let block = &net.blocks()[6];
+        let has_pool = block
+            .nodes()
+            .iter()
+            .any(|&id| matches!(net.node(id).kind(), crate::LayerKind::AvgPool2d { .. }));
+        assert!(has_pool);
+    }
+}

@@ -1,0 +1,177 @@
+use super::IMAGENET_CLASSES;
+use crate::layer::{Activation, Padding};
+use crate::network::{Network, NetworkBuilder, NodeId};
+use crate::shape::Shape;
+
+/// Builds InceptionV3 at 299×299 input, ImageNet head attached
+/// (Szegedy et al., 2016; auxiliary classifier omitted — it is train-time
+/// only and never deployed).
+///
+/// The 11 removable blocks are the inception modules in order:
+/// 3× Inception-A, Reduction-A, 4× Inception-B, Reduction-B,
+/// 2× Inception-C.
+///
+/// # Example
+///
+/// ```
+/// use netcut_graph::zoo::inception_v3;
+///
+/// let net = inception_v3();
+/// assert_eq!(net.num_blocks(), 11);
+/// ```
+pub fn inception_v3() -> Network {
+    let mut b = NetworkBuilder::new("inception_v3", Shape::map(3, 299, 299));
+    let x = b.input();
+    // Stem.
+    let x = b.conv_bn_relu(x, 32, 3, 2, Padding::Valid, "stem/conv1");
+    let x = b.conv_bn_relu(x, 32, 3, 1, Padding::Valid, "stem/conv2");
+    let x = b.conv_bn_relu(x, 64, 3, 1, Padding::Same, "stem/conv3");
+    let x = b.max_pool(x, 3, 2, Padding::Valid, "stem/pool1");
+    let x = b.conv_bn_relu(x, 80, 1, 1, Padding::Valid, "stem/conv4");
+    let x = b.conv_bn_relu(x, 192, 3, 1, Padding::Valid, "stem/conv5");
+    let mut x = b.max_pool(x, 3, 2, Padding::Valid, "stem/pool2");
+    // 3× Inception-A with pool-branch features 32, 64, 64.
+    for (i, &pool_features) in [32usize, 64, 64].iter().enumerate() {
+        let name = format!("inception_a{}", i + 1);
+        b.begin_block(&name);
+        x = inception_a(&mut b, x, pool_features, &name);
+        b.end_block(x).expect("block is non-empty");
+    }
+    // Reduction-A: 35×35 → 17×17.
+    b.begin_block("reduction_a");
+    x = reduction_a(&mut b, x);
+    b.end_block(x).expect("block is non-empty");
+    // 4× Inception-B with 7×7-factorized channels 128, 160, 160, 192.
+    for (i, &c7) in [128usize, 160, 160, 192].iter().enumerate() {
+        let name = format!("inception_b{}", i + 1);
+        b.begin_block(&name);
+        x = inception_b(&mut b, x, c7, &name);
+        b.end_block(x).expect("block is non-empty");
+    }
+    // Reduction-B: 17×17 → 8×8.
+    b.begin_block("reduction_b");
+    x = reduction_b(&mut b, x);
+    b.end_block(x).expect("block is non-empty");
+    // 2× Inception-C.
+    for i in 0..2 {
+        let name = format!("inception_c{}", i + 1);
+        b.begin_block(&name);
+        x = inception_c(&mut b, x, &name);
+        b.end_block(x).expect("block is non-empty");
+    }
+    b.mark_head_start();
+    let g = b.global_avg_pool(x, "head/gap");
+    let d = b.dense(g, IMAGENET_CLASSES, "head/logits");
+    let s = b.activation(d, Activation::Softmax, "head/softmax");
+    b.finish(s).expect("inception_v3 construction is valid")
+}
+
+/// Inception-A: 1×1 / 5×5 / double-3×3 / pool branches, 35×35 grid.
+fn inception_a(b: &mut NetworkBuilder, x: NodeId, pool_features: usize, name: &str) -> NodeId {
+    let b1 = b.conv_bn_relu(x, 64, 1, 1, Padding::Same, &format!("{name}/b1_1x1"));
+    let b2 = b.conv_bn_relu(x, 48, 1, 1, Padding::Same, &format!("{name}/b2_1x1"));
+    let b2 = b.conv_bn_relu(b2, 64, 5, 1, Padding::Same, &format!("{name}/b2_5x5"));
+    let b3 = b.conv_bn_relu(x, 64, 1, 1, Padding::Same, &format!("{name}/b3_1x1"));
+    let b3 = b.conv_bn_relu(b3, 96, 3, 1, Padding::Same, &format!("{name}/b3_3x3a"));
+    let b3 = b.conv_bn_relu(b3, 96, 3, 1, Padding::Same, &format!("{name}/b3_3x3b"));
+    let b4 = b.avg_pool(x, 3, 1, Padding::Same, &format!("{name}/b4_pool"));
+    let b4 = b.conv_bn_relu(b4, pool_features, 1, 1, Padding::Same, &format!("{name}/b4_1x1"));
+    b.concat(&[b1, b2, b3, b4], &format!("{name}/concat"))
+}
+
+/// Reduction-A: strided 3×3 / double-3×3 / max-pool branches.
+fn reduction_a(b: &mut NetworkBuilder, x: NodeId) -> NodeId {
+    let name = "reduction_a";
+    let b1 = b.conv_bn_relu(x, 384, 3, 2, Padding::Valid, &format!("{name}/b1_3x3"));
+    let b2 = b.conv_bn_relu(x, 64, 1, 1, Padding::Same, &format!("{name}/b2_1x1"));
+    let b2 = b.conv_bn_relu(b2, 96, 3, 1, Padding::Same, &format!("{name}/b2_3x3a"));
+    let b2 = b.conv_bn_relu(b2, 96, 3, 2, Padding::Valid, &format!("{name}/b2_3x3b"));
+    let b3 = b.max_pool(x, 3, 2, Padding::Valid, &format!("{name}/b3_pool"));
+    b.concat(&[b1, b2, b3], &format!("{name}/concat"))
+}
+
+/// Inception-B: 1×1 / factorized-7×7 / double-factorized-7×7 / pool
+/// branches, 17×17 grid.
+fn inception_b(b: &mut NetworkBuilder, x: NodeId, c7: usize, name: &str) -> NodeId {
+    let b1 = b.conv_bn_relu(x, 192, 1, 1, Padding::Same, &format!("{name}/b1_1x1"));
+    let b2 = b.conv_bn_relu(x, c7, 1, 1, Padding::Same, &format!("{name}/b2_1x1"));
+    let b2 = b.conv_rect_bn_relu(b2, c7, 1, 7, 1, Padding::Same, &format!("{name}/b2_1x7"));
+    let b2 = b.conv_rect_bn_relu(b2, 192, 7, 1, 1, Padding::Same, &format!("{name}/b2_7x1"));
+    let b3 = b.conv_bn_relu(x, c7, 1, 1, Padding::Same, &format!("{name}/b3_1x1"));
+    let b3 = b.conv_rect_bn_relu(b3, c7, 7, 1, 1, Padding::Same, &format!("{name}/b3_7x1a"));
+    let b3 = b.conv_rect_bn_relu(b3, c7, 1, 7, 1, Padding::Same, &format!("{name}/b3_1x7a"));
+    let b3 = b.conv_rect_bn_relu(b3, c7, 7, 1, 1, Padding::Same, &format!("{name}/b3_7x1b"));
+    let b3 = b.conv_rect_bn_relu(b3, 192, 1, 7, 1, Padding::Same, &format!("{name}/b3_1x7b"));
+    let b4 = b.avg_pool(x, 3, 1, Padding::Same, &format!("{name}/b4_pool"));
+    let b4 = b.conv_bn_relu(b4, 192, 1, 1, Padding::Same, &format!("{name}/b4_1x1"));
+    b.concat(&[b1, b2, b3, b4], &format!("{name}/concat"))
+}
+
+/// Reduction-B: strided 3×3 after 1×1 / factorized-7×7 then strided 3×3 /
+/// max-pool branches.
+fn reduction_b(b: &mut NetworkBuilder, x: NodeId) -> NodeId {
+    let name = "reduction_b";
+    let b1 = b.conv_bn_relu(x, 192, 1, 1, Padding::Same, &format!("{name}/b1_1x1"));
+    let b1 = b.conv_bn_relu(b1, 320, 3, 2, Padding::Valid, &format!("{name}/b1_3x3"));
+    let b2 = b.conv_bn_relu(x, 192, 1, 1, Padding::Same, &format!("{name}/b2_1x1"));
+    let b2 = b.conv_rect_bn_relu(b2, 192, 1, 7, 1, Padding::Same, &format!("{name}/b2_1x7"));
+    let b2 = b.conv_rect_bn_relu(b2, 192, 7, 1, 1, Padding::Same, &format!("{name}/b2_7x1"));
+    let b2 = b.conv_bn_relu(b2, 192, 3, 2, Padding::Valid, &format!("{name}/b2_3x3"));
+    let b3 = b.max_pool(x, 3, 2, Padding::Valid, &format!("{name}/b3_pool"));
+    b.concat(&[b1, b2, b3], &format!("{name}/concat"))
+}
+
+/// Inception-C: 1×1 / split-3×3 / 3×3-then-split-3×3 / pool branches,
+/// 8×8 grid with expanded filter banks.
+fn inception_c(b: &mut NetworkBuilder, x: NodeId, name: &str) -> NodeId {
+    let b1 = b.conv_bn_relu(x, 320, 1, 1, Padding::Same, &format!("{name}/b1_1x1"));
+    let b2 = b.conv_bn_relu(x, 384, 1, 1, Padding::Same, &format!("{name}/b2_1x1"));
+    let b2a = b.conv_rect_bn_relu(b2, 384, 1, 3, 1, Padding::Same, &format!("{name}/b2_1x3"));
+    let b2b = b.conv_rect_bn_relu(b2, 384, 3, 1, 1, Padding::Same, &format!("{name}/b2_3x1"));
+    let b2 = b.concat(&[b2a, b2b], &format!("{name}/b2_concat"));
+    let b3 = b.conv_bn_relu(x, 448, 1, 1, Padding::Same, &format!("{name}/b3_1x1"));
+    let b3 = b.conv_bn_relu(b3, 384, 3, 1, Padding::Same, &format!("{name}/b3_3x3"));
+    let b3a = b.conv_rect_bn_relu(b3, 384, 1, 3, 1, Padding::Same, &format!("{name}/b3_1x3"));
+    let b3b = b.conv_rect_bn_relu(b3, 384, 3, 1, 1, Padding::Same, &format!("{name}/b3_3x1"));
+    let b3 = b.concat(&[b3a, b3b], &format!("{name}/b3_concat"));
+    let b4 = b.avg_pool(x, 3, 1, Padding::Same, &format!("{name}/b4_pool"));
+    let b4 = b.conv_bn_relu(b4, 192, 1, 1, Padding::Same, &format!("{name}/b4_1x1"));
+    b.concat(&[b1, b2, b3, b4], &format!("{name}/concat"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eleven_modules() {
+        assert_eq!(inception_v3().num_blocks(), 11);
+    }
+
+    #[test]
+    fn grid_sizes_follow_reductions() {
+        let net = inception_v3();
+        // Inception-A grid: 35×35, 288 channels after a3.
+        assert_eq!(net.shape(net.blocks()[2].output()), Shape::map(288, 35, 35));
+        // After Reduction-A: 17×17, 768 channels.
+        assert_eq!(net.shape(net.blocks()[3].output()), Shape::map(768, 17, 17));
+        // After Reduction-B: 8×8, 1280 channels.
+        assert_eq!(net.shape(net.blocks()[8].output()), Shape::map(1280, 8, 8));
+        // Final: 8×8, 2048 channels.
+        assert_eq!(net.shape(net.blocks()[10].output()), Shape::map(2048, 8, 8));
+    }
+
+    #[test]
+    fn params_match_reference_scale() {
+        let p = inception_v3().stats().total_params;
+        // Reference: ~23.8 M parameters (without the auxiliary head).
+        assert!(p > 21_000_000 && p < 26_000_000, "params = {p}");
+    }
+
+    #[test]
+    fn conv_layer_count() {
+        // Reference InceptionV3 has 94 convolutions; plus 1 FC = 95
+        // weighted layers.
+        assert_eq!(inception_v3().total_weighted_layer_count(), 95);
+    }
+}

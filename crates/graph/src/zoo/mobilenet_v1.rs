@@ -1,0 +1,128 @@
+use super::{scaled_channels, IMAGENET_CLASSES};
+use crate::layer::{Activation, Padding};
+use crate::network::{Network, NetworkBuilder};
+use crate::shape::Shape;
+
+/// Per-block output channels (pre-multiplier) and strides of the 13
+/// depthwise-separable units of MobileNetV1 (Howard et al., 2017).
+const BLOCKS: [(usize, usize); 13] = [
+    (64, 1),
+    (128, 2),
+    (128, 1),
+    (256, 2),
+    (256, 1),
+    (512, 2),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (1024, 2),
+    (1024, 1),
+];
+
+/// Builds MobileNetV1 with the given width `multiplier` (the paper uses
+/// 0.25 and 0.5) at 224×224 input, ImageNet head attached.
+///
+/// The 13 depthwise-separable units are the removable blocks.
+///
+/// # Example
+///
+/// ```
+/// use netcut_graph::zoo::mobilenet_v1;
+///
+/// let net = mobilenet_v1(0.25);
+/// assert_eq!(net.num_blocks(), 13);
+/// assert_eq!(net.name(), "mobilenet_v1_0.25");
+/// ```
+pub fn mobilenet_v1(multiplier: f64) -> Network {
+    mobilenet_v1_widths(
+        format!("mobilenet_v1_{multiplier:.2}"),
+        &[multiplier; 14],
+    )
+}
+
+/// Builds MobileNetV1 with an independent width multiplier per layer
+/// group: `widths[0]` scales the stem, `widths[1..=13]` scale the 13
+/// depthwise-separable units. This is the search space of NetAdapt-style
+/// filter pruning (the paper's §II comparison point), which adapts widths
+/// instead of removing layers.
+///
+/// # Panics
+///
+/// Panics if `widths` does not have 14 entries.
+pub fn mobilenet_v1_widths(name: impl Into<String>, widths: &[f64]) -> Network {
+    assert_eq!(widths.len(), 14, "stem + 13 block widths required");
+    let ch = |c: usize, w: f64| scaled_channels(c, w, 8);
+    let mut b = NetworkBuilder::new(name, Shape::map(3, 224, 224));
+    let x = b.input();
+    let mut x = b.conv_bn_relu(x, ch(32, widths[0]), 3, 2, Padding::Same, "stem");
+    for (i, &(c, s)) in BLOCKS.iter().enumerate() {
+        let name = format!("dws{}", i + 1);
+        b.begin_block(&name);
+        let d = b.depthwise_conv(x, 3, s, Padding::Same, &format!("{name}/dw"));
+        let d = b.batch_norm(d, &format!("{name}/dw_bn"));
+        let d = b.activation(d, Activation::Relu, &format!("{name}/dw_relu"));
+        let p = b.conv(d, ch(c, widths[i + 1]), 1, 1, Padding::Same, &format!("{name}/pw"));
+        let p = b.batch_norm(p, &format!("{name}/pw_bn"));
+        x = b.activation(p, Activation::Relu, &format!("{name}/pw_relu"));
+        b.end_block(x).expect("block is non-empty");
+    }
+    b.mark_head_start();
+    let g = b.global_avg_pool(x, "head/gap");
+    let d = b.dense(g, IMAGENET_CLASSES, "head/logits");
+    let s = b.activation(d, Activation::Softmax, "head/softmax");
+    b.finish(s).expect("mobilenet_v1 construction is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_count_and_output() {
+        let net = mobilenet_v1(0.5);
+        assert_eq!(net.num_blocks(), 13);
+        assert_eq!(net.output_shape(), Shape::vector(1000));
+        // Backbone output before the head: 512 channels at 7×7 for α = 0.5.
+        let last = net.blocks()[12].output();
+        assert_eq!(net.shape(last), Shape::map(512, 7, 7));
+    }
+
+    #[test]
+    fn weighted_layers() {
+        // stem conv + 13 × (dw + pw) + final dense = 28.
+        assert_eq!(mobilenet_v1(1.0).total_weighted_layer_count(), 28);
+    }
+
+    #[test]
+    fn per_block_widths_compose() {
+        let mut widths = [0.5f64; 14];
+        widths[13] = 0.25; // prune the last unit harder
+        let net = super::mobilenet_v1_widths("mnv1_custom", &widths);
+        assert_eq!(net.num_blocks(), 13);
+        let uniform = mobilenet_v1(0.5);
+        assert!(net.stats().total_params < uniform.stats().total_params);
+        // Narrowing only the top block keeps earlier shapes identical.
+        assert_eq!(
+            net.shape(net.blocks()[11].output()),
+            uniform.shape(uniform.blocks()[11].output())
+        );
+    }
+
+    #[test]
+    fn quarter_multiplier_shrinks_params() {
+        let p25 = mobilenet_v1(0.25).stats().total_params;
+        let p50 = mobilenet_v1(0.5).stats().total_params;
+        assert!(p25 < p50);
+        // α = 0.25 MobileNetV1 has ~0.47 M params (paper-reported scale).
+        assert!(p25 > 200_000 && p25 < 700_000, "params = {p25}");
+    }
+
+    #[test]
+    fn half_multiplier_flops_scale() {
+        let f = mobilenet_v1(0.5).stats().total_flops;
+        // ~149 MFLOPs (×2 for MAC counting ≈ 300 M); allow generous bounds.
+        assert!(f > 100_000_000 && f < 400_000_000, "flops = {f}");
+    }
+}

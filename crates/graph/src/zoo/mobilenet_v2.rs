@@ -1,0 +1,152 @@
+use super::{scaled_channels, IMAGENET_CLASSES};
+use crate::layer::{Activation, Padding};
+use crate::network::{Network, NetworkBuilder, NodeId};
+use crate::shape::Shape;
+
+/// Inverted-residual stage table `(expansion t, channels c, repeats n,
+/// stride s)` from Sandler et al., 2018.
+const STAGES: [(usize, usize, usize, usize); 7] = [
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+];
+
+/// Builds MobileNetV2 with the given width `multiplier` (the paper uses
+/// 1.0 and 1.4) at 224×224 input, ImageNet head attached.
+///
+/// The 17 inverted-residual blocks are the removable blocks; the final
+/// 1×1 expansion conv stays with the last block so that every cut leaves a
+/// well-formed feature extractor.
+///
+/// # Example
+///
+/// ```
+/// use netcut_graph::zoo::mobilenet_v2;
+///
+/// let net = mobilenet_v2(1.0);
+/// assert_eq!(net.num_blocks(), 17);
+/// ```
+pub fn mobilenet_v2(multiplier: f64) -> Network {
+    let ch = |c: usize| scaled_channels(c, multiplier, 8);
+    let mut b = NetworkBuilder::new(
+        format!("mobilenet_v2_{multiplier:.2}"),
+        Shape::map(3, 224, 224),
+    );
+    let x = b.input();
+    let mut x = b.conv(x, ch(32), 3, 2, Padding::Same, "stem/conv");
+    x = b.batch_norm(x, "stem/bn");
+    x = b.activation(x, Activation::Relu6, "stem/relu6");
+    let mut in_ch = ch(32);
+    let mut block_no = 0usize;
+    let total_blocks: usize = STAGES.iter().map(|s| s.2).sum();
+    for &(t, c, n, s) in &STAGES {
+        let out_ch = ch(c);
+        for rep in 0..n {
+            block_no += 1;
+            let stride = if rep == 0 { s } else { 1 };
+            let name = format!("ir{block_no}");
+            b.begin_block(&name);
+            x = inverted_residual(&mut b, x, in_ch, out_ch, t, stride, &name);
+            // The final 1×1 conv to 1280 channels belongs to the last
+            // removable unit, mirroring how frameworks export the model.
+            if block_no == total_blocks {
+                let last_ch = if multiplier > 1.0 {
+                    scaled_channels(1280, multiplier, 8)
+                } else {
+                    1280
+                };
+                let c = b.conv(x, last_ch, 1, 1, Padding::Same, "top/conv");
+                let c = b.batch_norm(c, "top/bn");
+                x = b.activation(c, Activation::Relu6, "top/relu6");
+            }
+            b.end_block(x).expect("block is non-empty");
+            in_ch = out_ch;
+        }
+    }
+    b.mark_head_start();
+    let g = b.global_avg_pool(x, "head/gap");
+    let d = b.dense(g, IMAGENET_CLASSES, "head/logits");
+    let sm = b.activation(d, Activation::Softmax, "head/softmax");
+    b.finish(sm).expect("mobilenet_v2 construction is valid")
+}
+
+/// Appends one inverted-residual block: optional 1×1 expansion (ratio `t`),
+/// 3×3 depthwise, 1×1 linear projection, with a residual `Add` when the
+/// block preserves shape.
+fn inverted_residual(
+    b: &mut NetworkBuilder,
+    input: NodeId,
+    in_ch: usize,
+    out_ch: usize,
+    t: usize,
+    stride: usize,
+    name: &str,
+) -> NodeId {
+    let mut x = input;
+    if t != 1 {
+        let e = b.conv(x, in_ch * t, 1, 1, Padding::Same, &format!("{name}/expand"));
+        let e = b.batch_norm(e, &format!("{name}/expand_bn"));
+        x = b.activation(e, Activation::Relu6, &format!("{name}/expand_relu6"));
+    }
+    let d = b.depthwise_conv(x, 3, stride, Padding::Same, &format!("{name}/dw"));
+    let d = b.batch_norm(d, &format!("{name}/dw_bn"));
+    let d = b.activation(d, Activation::Relu6, &format!("{name}/dw_relu6"));
+    let p = b.conv(d, out_ch, 1, 1, Padding::Same, &format!("{name}/project"));
+    let p = b.batch_norm(p, &format!("{name}/project_bn"));
+    if stride == 1 && in_ch == out_ch {
+        b.add(&[input, p], &format!("{name}/add"))
+    } else {
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_count_is_17() {
+        assert_eq!(mobilenet_v2(1.0).num_blocks(), 17);
+        assert_eq!(mobilenet_v2(1.4).num_blocks(), 17);
+    }
+
+    #[test]
+    fn residual_adds_present() {
+        let net = mobilenet_v2(1.0);
+        let adds = net
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.kind(), crate::LayerKind::Add))
+            .count();
+        // Repeats with stride 1 and unchanged channels: stages give
+        // 1 + 2 + 3 + 2 + 2 = 10 residual additions.
+        assert_eq!(adds, 10);
+    }
+
+    #[test]
+    fn param_scale_is_sane() {
+        let p = mobilenet_v2(1.0).stats().total_params;
+        // Reference model: ~3.5 M parameters.
+        assert!(p > 2_500_000 && p < 4_500_000, "params = {p}");
+        let p14 = mobilenet_v2(1.4).stats().total_params;
+        assert!(p14 > p, "1.4 must be larger");
+    }
+
+    #[test]
+    fn wider_multiplier_expands_top_conv() {
+        let net = mobilenet_v2(1.4);
+        let last_block_out = net.blocks()[16].output();
+        assert_eq!(net.shape(last_block_out).channels(), 1792);
+    }
+
+    #[test]
+    fn final_spatial_resolution() {
+        let net = mobilenet_v2(1.0);
+        let out = net.blocks()[16].output();
+        assert_eq!(net.shape(out).spatial(), Some((7, 7)));
+    }
+}

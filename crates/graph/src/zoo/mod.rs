@@ -1,0 +1,114 @@
+//! Programmatic constructions of the seven ImageNet architectures the paper
+//! uses as transfer sources (§III-B-1): MobileNetV1 (0.25, 0.5),
+//! MobileNetV2 (1.0, 1.4), InceptionV3, ResNet-50 and DenseNet-121.
+//!
+//! Every network is built with its ImageNet classification head attached and
+//! flagged via [`Network::head_start`], and with its removable **block**
+//! decomposition recorded: depthwise-separable units for MobileNetV1,
+//! inverted residual blocks for MobileNetV2, bottleneck blocks for ResNet,
+//! inception modules for InceptionV3, and individual dense layers for
+//! DenseNet-121 (its repeating module).
+//!
+//! # Example
+//!
+//! ```
+//! use netcut_graph::zoo;
+//!
+//! let nets = zoo::paper_networks();
+//! assert_eq!(nets.len(), 7);
+//! let total_blocks: usize = nets.iter().map(|n| n.num_blocks()).sum();
+//! assert!(total_blocks > 100);
+//! ```
+
+mod alexnet;
+mod densenet;
+mod inception_v3;
+mod mobilenet_v1;
+mod mobilenet_v2;
+mod resnet;
+mod squeezenet;
+mod vgg;
+
+pub use alexnet::alexnet;
+pub use densenet::densenet121;
+pub use inception_v3::inception_v3;
+pub use mobilenet_v1::{mobilenet_v1, mobilenet_v1_widths};
+pub use mobilenet_v2::mobilenet_v2;
+pub use resnet::resnet50;
+pub use squeezenet::squeezenet;
+pub use vgg::vgg16;
+
+use crate::network::Network;
+
+/// Number of ImageNet classes used by every zoo head.
+pub const IMAGENET_CLASSES: usize = 1000;
+
+/// Rounds `channels × multiplier` to the nearest multiple of `divisor`
+/// (minimum `divisor`), matching the MobileNet reference implementation.
+pub fn scaled_channels(channels: usize, multiplier: f64, divisor: usize) -> usize {
+    let scaled = channels as f64 * multiplier;
+    let rounded = ((scaled / divisor as f64).round() as usize) * divisor;
+    let rounded = rounded.max(divisor);
+    // Never round down by more than 10 % (reference-implementation rule).
+    if (rounded as f64) < 0.9 * scaled {
+        rounded + divisor
+    } else {
+        rounded
+    }
+}
+
+/// The seven pretrained networks the paper studies, in the order used
+/// throughout the evaluation.
+pub fn paper_networks() -> Vec<Network> {
+    vec![
+        mobilenet_v1(0.25),
+        mobilenet_v1(0.5),
+        mobilenet_v2(1.0),
+        mobilenet_v2(1.4),
+        inception_v3(),
+        resnet50(),
+        densenet121(),
+    ]
+}
+
+/// The paper's seven networks plus three classic extensions (AlexNet,
+/// VGG-16, SqueezeNet 1.1) for the extended-zoo experiments.
+pub fn extended_networks() -> Vec<Network> {
+    let mut nets = paper_networks();
+    nets.push(alexnet());
+    nets.push(vgg16());
+    nets.push(squeezenet());
+    nets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_channels_matches_reference_rule() {
+        assert_eq!(scaled_channels(32, 0.25, 8), 8);
+        assert_eq!(scaled_channels(64, 0.25, 8), 16);
+        assert_eq!(scaled_channels(32, 1.0, 8), 32);
+        assert_eq!(scaled_channels(1024, 0.5, 8), 512);
+        assert_eq!(scaled_channels(96, 1.4, 8), 136);
+    }
+
+    #[test]
+    fn all_seven_are_valid() {
+        for net in paper_networks() {
+            net.validate().unwrap();
+            assert!(net.head_start().is_some(), "{} lacks head", net.name());
+            assert!(net.num_blocks() > 0, "{} lacks blocks", net.name());
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let nets = paper_networks();
+        let mut names: Vec<_> = nets.iter().map(|n| n.name().to_owned()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 7);
+    }
+}

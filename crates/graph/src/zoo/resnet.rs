@@ -1,0 +1,118 @@
+use super::IMAGENET_CLASSES;
+use crate::layer::{Activation, Padding};
+use crate::network::{Network, NetworkBuilder, NodeId};
+use crate::shape::Shape;
+
+/// Stage table of ResNet-50 (He et al., 2016): `(bottleneck repeats,
+/// mid channels, out channels)`.
+const STAGES: [(usize, usize, usize); 4] = [(3, 64, 256), (4, 128, 512), (6, 256, 1024), (3, 512, 2048)];
+
+/// Builds ResNet-50 at 224×224 input, ImageNet head attached.
+///
+/// The 16 bottleneck residual blocks are the removable blocks.
+///
+/// # Example
+///
+/// ```
+/// use netcut_graph::zoo::resnet50;
+///
+/// let net = resnet50();
+/// assert_eq!(net.num_blocks(), 16);
+/// assert_eq!(net.name(), "resnet50");
+/// ```
+pub fn resnet50() -> Network {
+    let mut b = NetworkBuilder::new("resnet50", Shape::map(3, 224, 224));
+    let x = b.input();
+    let x = b.conv(x, 64, 7, 2, Padding::Same, "stem/conv");
+    let x = b.batch_norm(x, "stem/bn");
+    let x = b.activation(x, Activation::Relu, "stem/relu");
+    let mut x = b.max_pool(x, 3, 2, Padding::Same, "stem/maxpool");
+    for (stage, &(reps, mid, out)) in STAGES.iter().enumerate() {
+        for rep in 0..reps {
+            let stride = if rep == 0 && stage > 0 { 2 } else { 1 };
+            let project = rep == 0;
+            let name = format!("res{}{}", stage + 2, (b'a' + rep as u8) as char);
+            b.begin_block(&name);
+            x = bottleneck(&mut b, x, mid, out, stride, project, &name);
+            b.end_block(x).expect("block is non-empty");
+        }
+    }
+    b.mark_head_start();
+    let g = b.global_avg_pool(x, "head/gap");
+    let d = b.dense(g, IMAGENET_CLASSES, "head/logits");
+    let s = b.activation(d, Activation::Softmax, "head/softmax");
+    b.finish(s).expect("resnet50 construction is valid")
+}
+
+/// Appends one bottleneck block: 1×1 reduce → 3×3 (strided) → 1×1 expand,
+/// each with batch-norm, residual `Add`, final ReLU. `project` adds the
+/// 1×1 projection shortcut used at stage entry.
+fn bottleneck(
+    b: &mut NetworkBuilder,
+    input: NodeId,
+    mid: usize,
+    out: usize,
+    stride: usize,
+    project: bool,
+    name: &str,
+) -> NodeId {
+    let c1 = b.conv(input, mid, 1, 1, Padding::Same, &format!("{name}/conv1"));
+    let c1 = b.batch_norm(c1, &format!("{name}/bn1"));
+    let c1 = b.activation(c1, Activation::Relu, &format!("{name}/relu1"));
+    let c2 = b.conv(c1, mid, 3, stride, Padding::Same, &format!("{name}/conv2"));
+    let c2 = b.batch_norm(c2, &format!("{name}/bn2"));
+    let c2 = b.activation(c2, Activation::Relu, &format!("{name}/relu2"));
+    let c3 = b.conv(c2, out, 1, 1, Padding::Same, &format!("{name}/conv3"));
+    let c3 = b.batch_norm(c3, &format!("{name}/bn3"));
+    let shortcut = if project {
+        let p = b.conv(input, out, 1, stride, Padding::Same, &format!("{name}/proj"));
+        b.batch_norm(p, &format!("{name}/proj_bn"))
+    } else {
+        input
+    };
+    let sum = b.add(&[shortcut, c3], &format!("{name}/add"));
+    b.activation(sum, Activation::Relu, &format!("{name}/relu_out"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_blocks() {
+        assert_eq!(resnet50().num_blocks(), 16);
+    }
+
+    #[test]
+    fn weighted_layer_count_is_54() {
+        // 49 backbone convs (1 stem + 16 blocks × 3 + 4 projections) +
+        // 1 dense = 54 weighted layers; the canonical "50" counts only the
+        // non-projection convs plus the FC.
+        let net = resnet50();
+        assert_eq!(net.total_weighted_layer_count(), 54);
+    }
+
+    #[test]
+    fn params_match_reference_scale() {
+        let p = resnet50().stats().total_params;
+        // Reference: 25.5 M parameters.
+        assert!(p > 23_000_000 && p < 28_000_000, "params = {p}");
+    }
+
+    #[test]
+    fn flops_match_reference_scale() {
+        let f = resnet50().stats().total_flops;
+        // Reference: ~4.1 GFLOPs (counting 2 per MAC ≈ 8.2 G); ours counts
+        // 2 per MAC.
+        assert!(f > 6_000_000_000 && f < 10_000_000_000, "flops = {f}");
+    }
+
+    #[test]
+    fn stage_outputs() {
+        let net = resnet50();
+        // res2c output: 256 × 56 × 56.
+        assert_eq!(net.shape(net.blocks()[2].output()), Shape::map(256, 56, 56));
+        // res5c output: 2048 × 7 × 7.
+        assert_eq!(net.shape(net.blocks()[15].output()), Shape::map(2048, 7, 7));
+    }
+}

@@ -1,0 +1,101 @@
+use super::IMAGENET_CLASSES;
+use crate::layer::{Activation, Padding};
+use crate::network::{Network, NetworkBuilder, NodeId};
+use crate::shape::Shape;
+
+/// Fire-module table of SqueezeNet 1.1 (Iandola et al.): `(squeeze,
+/// expand)` channels; expand splits evenly between 1×1 and 3×3 branches.
+const FIRES: [(usize, usize); 8] = [
+    (16, 128),
+    (16, 128),
+    (32, 256),
+    (32, 256),
+    (48, 384),
+    (48, 384),
+    (64, 512),
+    (64, 512),
+];
+
+/// Builds SqueezeNet 1.1 at 224×224 input, ImageNet head attached — an
+/// *extension* beyond the paper's seven networks (another
+/// efficiency-focused architecture with a clean block structure). The
+/// eight fire modules are the removable blocks.
+///
+/// # Example
+///
+/// ```
+/// use netcut_graph::zoo::squeezenet;
+///
+/// let net = squeezenet();
+/// assert_eq!(net.num_blocks(), 8);
+/// ```
+pub fn squeezenet() -> Network {
+    let mut b = NetworkBuilder::new("squeezenet", Shape::map(3, 224, 224));
+    let x = b.input();
+    let c = b.conv(x, 64, 3, 2, Padding::Valid, "stem/conv");
+    let c = b.activation(c, Activation::Relu, "stem/relu");
+    let mut x = b.max_pool(c, 3, 2, Padding::Valid, "stem/pool");
+    for (i, &(squeeze, expand)) in FIRES.iter().enumerate() {
+        let name = format!("fire{}", i + 2);
+        b.begin_block(&name);
+        // Pooling between fire groups (after fire3 and fire5 in v1.1)
+        // travels with the following module.
+        if i == 2 || i == 4 {
+            x = b.max_pool(x, 3, 2, Padding::Valid, &format!("{name}/pre_pool"));
+        }
+        x = fire(&mut b, x, squeeze, expand, &name);
+        b.end_block(x).expect("block is non-empty");
+    }
+    b.mark_head_start();
+    let d = b.dropout(x, 50, "head/drop");
+    let c = b.conv(d, IMAGENET_CLASSES, 1, 1, Padding::Same, "head/conv10");
+    let r = b.activation(c, Activation::Relu, "head/relu10");
+    let g = b.global_avg_pool(r, "head/gap");
+    let s = b.activation(g, Activation::Softmax, "head/softmax");
+    b.finish(s).expect("squeezenet construction is valid")
+}
+
+/// Appends one fire module: 1×1 squeeze, then parallel 1×1 / 3×3 expands
+/// concatenated.
+fn fire(b: &mut NetworkBuilder, input: NodeId, squeeze: usize, expand: usize, name: &str) -> NodeId {
+    let s = b.conv(input, squeeze, 1, 1, Padding::Same, &format!("{name}/squeeze"));
+    let s = b.activation(s, Activation::Relu, &format!("{name}/squeeze_relu"));
+    let e1 = b.conv(s, expand / 2, 1, 1, Padding::Same, &format!("{name}/expand1x1"));
+    let e1 = b.activation(e1, Activation::Relu, &format!("{name}/expand1x1_relu"));
+    let e3 = b.conv(s, expand / 2, 3, 1, Padding::Same, &format!("{name}/expand3x3"));
+    let e3 = b.activation(e3, Activation::Relu, &format!("{name}/expand3x3_relu"));
+    b.concat(&[e1, e3], &format!("{name}/concat"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_fire_modules() {
+        assert_eq!(squeezenet().num_blocks(), 8);
+    }
+
+    #[test]
+    fn params_match_reference_scale() {
+        // Reference SqueezeNet 1.1: ~1.24 M parameters.
+        let p = squeezenet().stats().total_params;
+        assert!(p > 1_000_000 && p < 1_500_000, "params = {p}");
+    }
+
+    #[test]
+    fn final_feature_map() {
+        let net = squeezenet();
+        assert_eq!(
+            net.shape(net.blocks()[7].output()),
+            Shape::map(512, 13, 13)
+        );
+    }
+
+    #[test]
+    fn fire_concat_combines_expands() {
+        let net = squeezenet();
+        let fire2_out = net.blocks()[0].output();
+        assert_eq!(net.shape(fire2_out).channels(), 128);
+    }
+}

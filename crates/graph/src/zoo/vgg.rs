@@ -1,0 +1,85 @@
+use super::IMAGENET_CLASSES;
+use crate::layer::{Activation, Padding};
+use crate::network::{Network, NetworkBuilder};
+use crate::shape::Shape;
+
+/// Per-stage `(conv count, channels)` of VGG-16 (Simonyan & Zisserman).
+const STAGES: [(usize, usize); 5] = [(2, 64), (2, 128), (3, 256), (3, 512), (3, 512)];
+
+/// Builds VGG-16 at 224×224 input, ImageNet head attached — an *extension*
+/// beyond the paper's seven networks (its intro cites VGG as the
+/// 19-layer-era depth driver). The five conv stages are the removable
+/// blocks.
+///
+/// # Example
+///
+/// ```
+/// use netcut_graph::zoo::vgg16;
+///
+/// let net = vgg16();
+/// assert_eq!(net.num_blocks(), 5);
+/// assert_eq!(net.total_weighted_layer_count(), 16);
+/// ```
+pub fn vgg16() -> Network {
+    let mut b = NetworkBuilder::new("vgg16", Shape::map(3, 224, 224));
+    let mut x = b.input();
+    for (stage, &(convs, channels)) in STAGES.iter().enumerate() {
+        let name = format!("stage{}", stage + 1);
+        b.begin_block(&name);
+        for conv in 0..convs {
+            let c = b.conv(
+                x,
+                channels,
+                3,
+                1,
+                Padding::Same,
+                &format!("{name}/conv{}", conv + 1),
+            );
+            x = b.activation(c, Activation::Relu, &format!("{name}/relu{}", conv + 1));
+        }
+        x = b.max_pool(x, 2, 2, Padding::Valid, &format!("{name}/pool"));
+        b.end_block(x).expect("block is non-empty");
+    }
+    b.mark_head_start();
+    let f = b.flatten(x, "head/flatten");
+    let d1 = b.dense(f, 4096, "head/fc1");
+    let r1 = b.activation(d1, Activation::Relu, "head/relu1");
+    let d2 = b.dense(r1, 4096, "head/fc2");
+    let r2 = b.activation(d2, Activation::Relu, "head/relu2");
+    let d3 = b.dense(r2, IMAGENET_CLASSES, "head/logits");
+    let s = b.activation(d3, Activation::Softmax, "head/softmax");
+    b.finish(s).expect("vgg16 construction is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_stages_sixteen_weighted_layers() {
+        let net = vgg16();
+        assert_eq!(net.num_blocks(), 5);
+        assert_eq!(net.total_weighted_layer_count(), 16);
+    }
+
+    #[test]
+    fn params_match_reference_scale() {
+        // Reference VGG-16: 138 M parameters (dominated by the FC head).
+        let p = vgg16().stats().total_params;
+        assert!(p > 125_000_000 && p < 150_000_000, "params = {p}");
+    }
+
+    #[test]
+    fn flops_are_vgg_scale() {
+        // Reference: 15.5 G MACs → ~31 G FLOPs under our 2-per-MAC count.
+        let f = vgg16().stats().total_flops;
+        assert!(f > 25_000_000_000 && f < 36_000_000_000, "flops = {f}");
+    }
+
+    #[test]
+    fn stage_outputs_halve_spatially() {
+        let net = vgg16();
+        assert_eq!(net.shape(net.blocks()[0].output()), Shape::map(64, 112, 112));
+        assert_eq!(net.shape(net.blocks()[4].output()), Shape::map(512, 7, 7));
+    }
+}

@@ -1,0 +1,134 @@
+//! The control-loop timing budget (§III-A): "given all the system
+//! constraints and design parameters, the visual classifier needs to
+//! predict within 0.9 ms of receiving a frame and preprocessing it prior
+//! to writing back to the main memory."
+//!
+//! This module makes that derivation explicit: the reach window, the
+//! number of fused predictions required for a reliable decision, and the
+//! fixed per-frame costs (capture, preprocessing, EMG inference, fusion,
+//! memory write-back) determine how much of each frame period is left for
+//! the visual classifier.
+
+use serde::{Deserialize, Serialize};
+
+/// Timing parameters of the prosthetic-hand control loop.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoopBudget {
+    /// Duration of a reach toward the object, milliseconds.
+    pub reach_window_ms: f64,
+    /// Time the actuation unit needs to form the grasp before contact,
+    /// milliseconds.
+    pub actuation_ms: f64,
+    /// Fused predictions required before committing a decision.
+    pub decisions_required: usize,
+    /// Frame capture + ISP time, per frame.
+    pub capture_ms: f64,
+    /// Image preprocessing (resize/normalize) per frame.
+    pub preprocess_ms: f64,
+    /// EMG window classification per frame.
+    pub emg_ms: f64,
+    /// Fusion arithmetic per frame.
+    pub fusion_ms: f64,
+    /// Result write-back to main memory per frame.
+    pub writeback_ms: f64,
+}
+
+impl LoopBudget {
+    /// The paper-calibrated configuration: these constants reproduce the
+    /// 0.9 ms visual budget stated in §III-A.
+    pub fn paper() -> Self {
+        LoopBudget {
+            reach_window_ms: 600.0,
+            actuation_ms: 350.0,
+            decisions_required: 50,
+            capture_ms: 1.6,
+            preprocess_ms: 1.2,
+            emg_ms: 0.8,
+            fusion_ms: 0.1,
+            writeback_ms: 0.4,
+        }
+    }
+
+    /// Time available for classification frames: the reach window minus
+    /// the actuation reserve.
+    pub fn decision_window_ms(&self) -> f64 {
+        self.reach_window_ms - self.actuation_ms
+    }
+
+    /// The frame period required to gather `decisions_required` fused
+    /// predictions inside the decision window.
+    pub fn frame_period_ms(&self) -> f64 {
+        self.decision_window_ms() / self.decisions_required as f64
+    }
+
+    /// Fixed per-frame cost outside the visual classifier.
+    pub fn fixed_per_frame_ms(&self) -> f64 {
+        self.capture_ms + self.preprocess_ms + self.emg_ms + self.fusion_ms + self.writeback_ms
+    }
+
+    /// What remains of each frame period for the visual classifier — the
+    /// deadline NetCut optimizes against (≈ 0.9 ms with the paper
+    /// constants).
+    pub fn visual_budget_ms(&self) -> f64 {
+        self.frame_period_ms() - self.fixed_per_frame_ms()
+    }
+
+    /// `true` if a visual classifier with the given latency sustains the
+    /// loop.
+    pub fn sustains(&self, visual_latency_ms: f64) -> bool {
+        visual_latency_ms <= self.visual_budget_ms()
+    }
+
+    /// Decisions actually gathered in the reach window for a given visual
+    /// latency (fewer than required if the classifier is too slow —
+    /// degrading fusion reliability instead of missing grasps outright).
+    pub fn decisions_achieved(&self, visual_latency_ms: f64) -> usize {
+        let frame = self.fixed_per_frame_ms() + visual_latency_ms;
+        (self.decision_window_ms() / frame).floor() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_budget_is_point_nine_ms() {
+        let b = LoopBudget::paper();
+        let v = b.visual_budget_ms();
+        assert!((v - 0.9).abs() < 1e-9, "visual budget = {v}");
+    }
+
+    #[test]
+    fn budget_arithmetic_is_consistent() {
+        let b = LoopBudget::paper();
+        assert_eq!(b.decision_window_ms(), 250.0);
+        assert_eq!(b.frame_period_ms(), 5.0);
+        assert!((b.fixed_per_frame_ms() - 4.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sustains_matches_budget() {
+        let b = LoopBudget::paper();
+        assert!(b.sustains(0.36)); // MobileNetV1 0.5
+        assert!(b.sustains(0.88)); // the trimmed ResNet
+        assert!(!b.sustains(2.0)); // full ResNet-50
+    }
+
+    #[test]
+    fn slow_classifiers_lose_decisions() {
+        let b = LoopBudget::paper();
+        let on_time = b.decisions_achieved(0.88);
+        let slow = b.decisions_achieved(2.0);
+        assert!(on_time >= b.decisions_required);
+        assert!(slow < b.decisions_required);
+    }
+
+    #[test]
+    fn more_required_decisions_tighten_the_budget() {
+        let mut b = LoopBudget::paper();
+        let base = b.visual_budget_ms();
+        b.decisions_required = 60;
+        assert!(b.visual_budget_ms() < base);
+    }
+}

@@ -1,0 +1,165 @@
+//! Fusion of grasp-distribution estimates (§III-A): the control loop
+//! combines EMG and vision predictions per frame, and frames over the
+//! reach window, into a final actuation decision.
+
+/// How distributions are combined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FusionRule {
+    /// Normalized arithmetic mean (calibrated mixture): robust when the
+    /// labels themselves are soft.
+    Average,
+    /// Normalized product (independent-evidence Bayes with uniform prior):
+    /// sharpens quickly; best when sources are independent and calibrated.
+    Product,
+    /// Confidence-weighted average: each source weighted by its own
+    /// negentropy (peakier sources count more).
+    ConfidenceWeighted,
+}
+
+fn normalize(mut p: Vec<f32>) -> Vec<f32> {
+    let sum: f32 = p.iter().sum();
+    if sum > 0.0 {
+        for v in &mut p {
+            *v /= sum;
+        }
+    } else {
+        let k = p.len() as f32;
+        for v in &mut p {
+            *v = 1.0 / k;
+        }
+    }
+    p
+}
+
+fn entropy(p: &[f32]) -> f32 {
+    -p.iter()
+        .filter(|&&v| v > 0.0)
+        .map(|&v| v * v.ln())
+        .sum::<f32>()
+}
+
+/// Fuses distribution estimates under the given rule.
+///
+/// # Panics
+///
+/// Panics if `sources` is empty or the distributions disagree in length.
+pub fn fuse(sources: &[Vec<f32>], rule: FusionRule) -> Vec<f32> {
+    assert!(!sources.is_empty(), "nothing to fuse");
+    let k = sources[0].len();
+    for s in sources {
+        assert_eq!(s.len(), k, "distribution arity mismatch");
+    }
+    match rule {
+        FusionRule::Average => {
+            let mut out = vec![0.0f32; k];
+            for s in sources {
+                for (o, &v) in out.iter_mut().zip(s) {
+                    *o += v;
+                }
+            }
+            normalize(out)
+        }
+        FusionRule::Product => {
+            let mut log_sum = vec![0.0f32; k];
+            for s in sources {
+                for (l, &v) in log_sum.iter_mut().zip(s) {
+                    *l += v.max(1e-6).ln();
+                }
+            }
+            let max = log_sum.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            normalize(log_sum.iter().map(|&l| (l - max).exp()).collect())
+        }
+        FusionRule::ConfidenceWeighted => {
+            let max_entropy = (k as f32).ln();
+            let mut out = vec![0.0f32; k];
+            for s in sources {
+                let confidence = (max_entropy - entropy(s)).max(0.05);
+                for (o, &v) in out.iter_mut().zip(s) {
+                    *o += confidence * v;
+                }
+            }
+            normalize(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn average_of_identical_is_identity() {
+        let p = vec![0.5, 0.3, 0.2];
+        let fused = fuse(&[p.clone(), p.clone()], FusionRule::Average);
+        for (a, b) in fused.iter().zip(&p) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn product_sharpens_agreement() {
+        let p = vec![0.6, 0.3, 0.1];
+        let fused = fuse(&[p.clone(), p.clone()], FusionRule::Product);
+        assert!(fused[0] > p[0], "agreement should sharpen: {fused:?}");
+    }
+
+    #[test]
+    fn confidence_weighting_prefers_the_confident_source() {
+        let confident = vec![0.9, 0.05, 0.05];
+        let vague = vec![0.2, 0.4, 0.4];
+        let weighted = fuse(
+            &[confident.clone(), vague.clone()],
+            FusionRule::ConfidenceWeighted,
+        );
+        let plain = fuse(&[confident, vague], FusionRule::Average);
+        assert!(weighted[0] > plain[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to fuse")]
+    fn empty_input_panics() {
+        fuse(&[], FusionRule::Average);
+    }
+
+    proptest! {
+        #[test]
+        fn fused_outputs_are_distributions(
+            raw in prop::collection::vec(prop::collection::vec(0.01f32..1.0, 5), 1..6),
+            rule_idx in 0usize..3,
+        ) {
+            let sources: Vec<Vec<f32>> = raw
+                .into_iter()
+                .map(|s| {
+                    let sum: f32 = s.iter().sum();
+                    s.into_iter().map(|v| v / sum).collect()
+                })
+                .collect();
+            let rule = [FusionRule::Average, FusionRule::Product, FusionRule::ConfidenceWeighted][rule_idx];
+            let fused = fuse(&sources, rule);
+            let sum: f32 = fused.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(fused.iter().all(|&v| v >= 0.0));
+        }
+
+        #[test]
+        fn fusion_is_permutation_equivariant(
+            a in prop::collection::vec(0.01f32..1.0, 4),
+            b in prop::collection::vec(0.01f32..1.0, 4),
+        ) {
+            let norm = |v: &[f32]| {
+                let s: f32 = v.iter().sum();
+                v.iter().map(|x| x / s).collect::<Vec<f32>>()
+            };
+            let (a, b) = (norm(&a), norm(&b));
+            let fused = fuse(&[a.clone(), b.clone()], FusionRule::Average);
+            // Reverse both inputs: the fused output reverses too.
+            let ra: Vec<f32> = a.iter().rev().copied().collect();
+            let rb: Vec<f32> = b.iter().rev().copied().collect();
+            let rfused = fuse(&[ra, rb], FusionRule::Average);
+            for (x, y) in fused.iter().zip(rfused.iter().rev()) {
+                prop_assert!((x - y).abs() < 1e-6);
+            }
+        }
+    }
+}

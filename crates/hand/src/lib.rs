@@ -1,0 +1,41 @@
+//! The robotic prosthetic hand application of the paper's §III: the system
+//! NetCut's deadline comes from.
+//!
+//! The control loop fuses two grasp-intent estimators — an EMG classifier
+//! on the amputee's residual muscle signals (Myo-band-like, 8 channels)
+//! and the visual classifier NetCut optimizes — into a probability
+//! distribution over five grasp types, several times during the reach
+//! toward an object, before committing actuation.
+//!
+//! This crate provides every piece of that loop except the visual
+//! classifier itself:
+//!
+//! * [`emg`] — synthetic surface-EMG generation from per-grasp muscle
+//!   synergies, plus RMS feature extraction;
+//! * [`EmgClassifier`] — a small MLP trained on the real tensor engine;
+//! * [`fusion`] — distribution-fusion strategies;
+//! * [`LoopBudget`] — the timing budget derivation that pins the visual
+//!   classifier's deadline near 0.9 ms.
+//!
+//! # Example
+//!
+//! ```
+//! use netcut_hand::LoopBudget;
+//!
+//! let budget = LoopBudget::paper();
+//! let visual = budget.visual_budget_ms();
+//! assert!((0.8..=1.0).contains(&visual));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod budget;
+mod classifier;
+mod control;
+pub mod emg;
+pub mod fusion;
+
+pub use budget::LoopBudget;
+pub use classifier::{EmgClassifier, EmgTrainConfig};
+pub use control::{ControlLoop, ReachOutcome, ReachStats};

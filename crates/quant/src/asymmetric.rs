@@ -1,0 +1,138 @@
+//! Asymmetric (affine) INT8 quantization: scale + zero-point, covering
+//! `[min, max]` ranges that are not centred on zero — the standard choice
+//! for post-ReLU activations, whose support is `[0, max]` and would waste
+//! half the symmetric grid.
+
+use netcut_tensor::Tensor;
+
+/// Affine quantization parameters mapping `[min, max]` onto `0..=255`
+/// (unsigned-byte convention).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AffineParams {
+    scale: f32,
+    zero_point: i32,
+}
+
+impl AffineParams {
+    /// Parameters covering `[min, max]`. Degenerate ranges fall back to a
+    /// unit scale; the range is widened to include zero so that zero is
+    /// exactly representable (required for zero padding to stay exact).
+    pub fn from_range(min: f32, max: f32) -> Self {
+        let min = min.min(0.0);
+        let max = max.max(0.0);
+        let span = (max - min).max(1e-6);
+        let scale = span / 255.0;
+        let zero_point = (-min / scale).round().clamp(0.0, 255.0) as i32;
+        AffineParams { scale, zero_point }
+    }
+
+    /// The grid step.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// The integer value representing real zero.
+    pub fn zero_point(&self) -> i32 {
+        self.zero_point
+    }
+
+    /// Quantizes one value (round-to-nearest, saturating into `0..=255`).
+    pub fn quantize(&self, value: f32) -> u8 {
+        ((value / self.scale).round() as i32 + self.zero_point).clamp(0, 255) as u8
+    }
+
+    /// Maps a quantized value back to real space.
+    pub fn dequantize(&self, value: u8) -> f32 {
+        (value as i32 - self.zero_point) as f32 * self.scale
+    }
+
+    /// Quantize-dequantize round trip.
+    pub fn fake(&self, value: f32) -> f32 {
+        self.dequantize(self.quantize(value))
+    }
+
+    /// Fake-quantizes a whole tensor.
+    pub fn fake_tensor(&self, t: &Tensor) -> Tensor {
+        let data = t.data().iter().map(|&v| self.fake(v)).collect();
+        Tensor::from_vec(data, t.shape())
+    }
+
+    /// Parameters from a tensor's observed range.
+    pub fn from_tensor(t: &Tensor) -> Self {
+        let min = t.data().iter().cloned().fold(f32::INFINITY, f32::min);
+        let max = t.data().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        AffineParams::from_range(min, max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::QuantParams;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_is_exactly_representable() {
+        for (min, max) in [(-1.0f32, 3.0), (0.0, 6.0), (-5.0, 0.5)] {
+            let p = AffineParams::from_range(min, max);
+            assert_eq!(p.fake(0.0), 0.0, "range [{min}, {max}]");
+        }
+    }
+
+    #[test]
+    fn covers_endpoints() {
+        let p = AffineParams::from_range(0.0, 6.0);
+        assert!((p.fake(6.0) - 6.0).abs() <= p.scale() / 2.0 + 1e-6);
+        assert!((p.fake(0.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relu_range_beats_symmetric_resolution() {
+        // Activations in [0, 6]: affine uses 255 levels over the span while
+        // symmetric wastes half its grid on negatives.
+        let affine = AffineParams::from_range(0.0, 6.0);
+        let symmetric = QuantParams::from_abs_max(6.0);
+        let values: Vec<f32> = (0..=600).map(|i| i as f32 / 100.0).collect();
+        let err = |f: &dyn Fn(f32) -> f32| -> f32 {
+            values.iter().map(|&v| (f(v) - v).abs()).sum::<f32>() / values.len() as f32
+        };
+        let affine_err = err(&|v| affine.fake(v));
+        let sym_err = err(&|v| symmetric.fake(v));
+        assert!(
+            affine_err < sym_err * 0.6,
+            "affine {affine_err} vs symmetric {sym_err}"
+        );
+    }
+
+    #[test]
+    fn degenerate_range_is_safe() {
+        let p = AffineParams::from_range(0.0, 0.0);
+        assert!(p.scale() > 0.0);
+        assert_eq!(p.fake(0.0), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip_within_half_step(min in -8.0f32..0.0, span in 0.1f32..16.0, t in 0.0f32..1.0) {
+            let max = min + span;
+            let p = AffineParams::from_range(min, max);
+            let v = min + t * span;
+            prop_assert!((p.fake(v) - v).abs() <= p.scale() / 2.0 + 1e-5);
+        }
+
+        #[test]
+        fn prop_quantize_is_monotone(a in -4.0f32..4.0, b in -4.0f32..4.0) {
+            let p = AffineParams::from_range(-4.0, 4.0);
+            if a <= b {
+                prop_assert!(p.quantize(a) <= p.quantize(b));
+            }
+        }
+
+        #[test]
+        fn prop_saturation_is_bounded(v in -100.0f32..100.0) {
+            let p = AffineParams::from_range(-1.0, 1.0);
+            let q = p.fake(v);
+            prop_assert!((-1.1..=1.1).contains(&q));
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Activation-range calibration: histogram collection over a calibration
+//! set, plus two scale-selection rules — simple min/max, and an
+//! entropy-based search that clips outliers to "minimize the information
+//! loss" (§III-B-4, after Krishnamoorthi 2018).
+
+use crate::params::QuantParams;
+use netcut_tensor::Tensor;
+
+/// Fixed-width histogram of absolute activation values.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bins: Vec<u64>,
+    abs_max: f32,
+    total: u64,
+}
+
+const NUM_BINS: usize = 512;
+
+impl Histogram {
+    /// An empty histogram covering `[0, abs_max_hint]`; the range grows by
+    /// rebinning when larger values arrive.
+    pub fn new(abs_max_hint: f32) -> Self {
+        Histogram {
+            bins: vec![0; NUM_BINS],
+            abs_max: abs_max_hint.max(1e-6),
+            total: 0,
+        }
+    }
+
+    /// Accumulates a tensor's absolute values.
+    pub fn observe(&mut self, t: &Tensor) {
+        let batch_max = t.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        if batch_max > self.abs_max {
+            self.rebin(batch_max);
+        }
+        let w = self.abs_max / NUM_BINS as f32;
+        for &v in t.data() {
+            let b = ((v.abs() / w) as usize).min(NUM_BINS - 1);
+            self.bins[b] += 1;
+        }
+        self.total += t.len() as u64;
+    }
+
+    fn rebin(&mut self, new_max: f32) {
+        let ratio = new_max / self.abs_max;
+        let mut new_bins = vec![0u64; NUM_BINS];
+        for (i, &count) in self.bins.iter().enumerate() {
+            let center = (i as f32 + 0.5) / NUM_BINS as f32 / ratio;
+            let nb = ((center * NUM_BINS as f32) as usize).min(NUM_BINS - 1);
+            new_bins[nb] += count;
+        }
+        self.bins = new_bins;
+        self.abs_max = new_max;
+    }
+
+    /// Largest absolute value observed (bin upper edge).
+    pub fn abs_max(&self) -> f32 {
+        self.abs_max
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Fraction of observations above `threshold`.
+    pub fn tail_fraction(&self, threshold: f32) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let w = self.abs_max / NUM_BINS as f32;
+        let start = ((threshold / w) as usize).min(NUM_BINS);
+        let tail: u64 = self.bins[start..].iter().sum();
+        tail as f64 / self.total as f64
+    }
+}
+
+/// Scale selection by plain min/max: covers every observed value, at the
+/// cost of resolution when outliers are present.
+pub fn minmax_params(hist: &Histogram) -> QuantParams {
+    QuantParams::from_abs_max(hist.abs_max())
+}
+
+/// Scale selection minimizing information loss (the paper's calibration
+/// objective, §III-B-4): searches clip thresholds and picks the one with
+/// the smallest expected distortion — in-range values suffer uniform
+/// quantization noise `step²/12`, clipped values suffer their squared
+/// distance to the threshold.
+pub fn entropy_params(hist: &Histogram) -> QuantParams {
+    if hist.total == 0 {
+        return minmax_params(hist);
+    }
+    let w = (hist.abs_max / NUM_BINS as f32) as f64;
+    let mut best = (f64::INFINITY, hist.abs_max);
+    for t_bins in (NUM_BINS / 8..=NUM_BINS).step_by(4) {
+        let threshold = t_bins as f64 * w;
+        let cost = clip_distortion(&hist.bins, t_bins, w, threshold);
+        if cost < best.0 {
+            best = (cost, threshold as f32);
+        }
+    }
+    QuantParams::from_abs_max(best.1)
+}
+
+/// Expected squared distortion of quantizing the histogram with clip
+/// threshold `threshold` (= `t_bins · w`) onto 127 positive levels.
+fn clip_distortion(bins: &[u64], t_bins: usize, w: f64, threshold: f64) -> f64 {
+    let step = threshold / 127.0;
+    let noise = step * step / 12.0;
+    let mut cost = 0.0;
+    for (i, &count) in bins.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let center = (i as f64 + 0.5) * w;
+        if i < t_bins {
+            cost += count as f64 * noise;
+        } else {
+            let over = center - threshold;
+            cost += count as f64 * (over * over + noise);
+        }
+    }
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tensor_of(values: Vec<f32>) -> Tensor {
+        let n = values.len();
+        Tensor::from_vec(values, &[n])
+    }
+
+    #[test]
+    fn histogram_tracks_max_and_total() {
+        let mut h = Histogram::new(1.0);
+        h.observe(&tensor_of(vec![0.5, -2.0, 1.5]));
+        assert!(h.abs_max() >= 2.0);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn rebin_preserves_total() {
+        let mut h = Histogram::new(0.1);
+        h.observe(&tensor_of(vec![0.05; 100]));
+        h.observe(&tensor_of(vec![10.0])); // forces rebin
+        assert_eq!(h.total(), 101);
+        let kept: u64 = h.tail_fraction(0.0).round() as u64;
+        assert_eq!(kept, 1); // all mass still accounted for
+    }
+
+    #[test]
+    fn minmax_covers_outliers() {
+        let mut h = Histogram::new(1.0);
+        h.observe(&tensor_of(vec![0.1, 0.2, 8.0]));
+        let p = minmax_params(&h);
+        assert!(p.scale() * 127.0 >= 8.0 * 0.99);
+    }
+
+    #[test]
+    fn entropy_clips_heavy_tail() {
+        // Bulk of mass near zero with rare large outliers: the entropy rule
+        // should pick a smaller range than min/max.
+        // Calibration sets observe hundreds of thousands of activations;
+        // at that scale the resolution gain from clipping one outlier far
+        // outweighs its clip error.
+        let mut h = Histogram::new(1.0);
+        let mut values = vec![0.0f32; 400_000];
+        for (i, v) in values.iter_mut().enumerate() {
+            *v = (i % 100) as f32 / 100.0; // bulk in [0, 1)
+        }
+        values.push(50.0); // outlier
+        h.observe(&tensor_of(values));
+        let ent = entropy_params(&h);
+        let mm = minmax_params(&h);
+        assert!(
+            ent.scale() < mm.scale() / 2.0,
+            "entropy {} should clip below minmax {}",
+            ent.scale(),
+            mm.scale()
+        );
+    }
+
+    #[test]
+    fn entropy_matches_minmax_on_uniform() {
+        // With no outliers both rules land near the same range.
+        let mut h = Histogram::new(1.0);
+        let values: Vec<f32> = (0..10_000).map(|i| (i % 1000) as f32 / 1000.0).collect();
+        h.observe(&tensor_of(values));
+        let ent = entropy_params(&h);
+        let mm = minmax_params(&h);
+        assert!(ent.scale() > mm.scale() * 0.5);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = Histogram::new(1.0);
+        let p = entropy_params(&h);
+        assert!(p.scale() > 0.0);
+    }
+}

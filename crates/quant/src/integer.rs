@@ -1,0 +1,187 @@
+//! True integer inference: an INT8 dense layer executed with `i8` weights,
+//! quantized activations and `i32` accumulation — the arithmetic the
+//! deployed device actually performs (§III-B-4 "exploit the fast integer
+//! arithmetic operations").
+//!
+//! Everywhere else the workspace uses *fake quantization* (float round
+//! trips) for convenience; this module proves the fake is faithful: the
+//! integer path and the fake-quant path agree to within accumulation
+//! rounding.
+
+use crate::params::QuantParams;
+use netcut_tensor::Tensor;
+
+/// A dense layer stored and executed in INT8: per-output-channel weight
+/// scales, symmetric `i8` weights, `f32` bias, `i32` accumulators.
+#[derive(Debug, Clone)]
+pub struct IntegerDense {
+    weights_q: Vec<i8>, // [outputs, inputs], row-major
+    weight_scales: Vec<f32>,
+    bias: Vec<f32>,
+    inputs: usize,
+    outputs: usize,
+}
+
+impl IntegerDense {
+    /// Quantizes a float weight matrix `[inputs, outputs]` (the layout of
+    /// [`netcut_tensor::layers::Dense`]) and bias into integer form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight tensor is not rank 2 or the bias length does
+    /// not match the output count.
+    pub fn from_float(weights: &Tensor, bias: &[f32]) -> Self {
+        assert_eq!(weights.shape().len(), 2, "dense weights are rank 2");
+        let inputs = weights.shape()[0];
+        let outputs = weights.shape()[1];
+        assert_eq!(bias.len(), outputs, "bias arity mismatch");
+        let mut weights_q = vec![0i8; outputs * inputs];
+        let mut weight_scales = vec![0.0f32; outputs];
+        for o in 0..outputs {
+            let abs_max = (0..inputs)
+                .map(|i| weights.at(&[i, o]).abs())
+                .fold(0.0f32, f32::max);
+            let params = QuantParams::from_abs_max(abs_max);
+            weight_scales[o] = params.scale();
+            for i in 0..inputs {
+                weights_q[o * inputs + i] = params.quantize(weights.at(&[i, o]));
+            }
+        }
+        IntegerDense {
+            weights_q,
+            weight_scales,
+            bias: bias.to_vec(),
+            inputs,
+            outputs,
+        }
+    }
+
+    /// Runs the layer on a batch `[n, inputs]`: activations are quantized
+    /// per tensor with `act_params`, multiplied in integers with `i32`
+    /// accumulation, then dequantized and biased in `f32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input's feature dimension disagrees.
+    pub fn forward(&self, input: &Tensor, act_params: QuantParams) -> Tensor {
+        assert_eq!(input.shape().len(), 2, "input is [n, features]");
+        let n = input.shape()[0];
+        assert_eq!(input.shape()[1], self.inputs, "feature arity mismatch");
+        // Quantize activations once.
+        let x_q: Vec<i8> = input.data().iter().map(|&v| act_params.quantize(v)).collect();
+        let mut out = Tensor::zeros(&[n, self.outputs]);
+        for b in 0..n {
+            let row = &x_q[b * self.inputs..(b + 1) * self.inputs];
+            for o in 0..self.outputs {
+                let w_row = &self.weights_q[o * self.inputs..(o + 1) * self.inputs];
+                let mut acc: i32 = 0;
+                for (&x, &w) in row.iter().zip(w_row) {
+                    acc += x as i32 * w as i32;
+                }
+                let real = acc as f32 * act_params.scale() * self.weight_scales[o] + self.bias[o];
+                out.data_mut()[b * self.outputs + o] = real;
+            }
+        }
+        out
+    }
+
+    /// Number of integer multiply-accumulates per sample.
+    pub fn macs(&self) -> usize {
+        self.inputs * self.outputs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcut_tensor::uniform;
+
+    fn float_reference(weights: &Tensor, bias: &[f32], input: &Tensor) -> Tensor {
+        let mut out = input.matmul(weights);
+        let outputs = bias.len();
+        for row in out.data_mut().chunks_mut(outputs) {
+            for (o, b) in row.iter_mut().zip(bias) {
+                *o += b;
+            }
+        }
+        out
+    }
+
+    /// Fake-quant reference: quantize-dequantize weights per channel and
+    /// activations per tensor, then run in floats.
+    fn fake_quant_reference(
+        weights: &Tensor,
+        bias: &[f32],
+        input: &Tensor,
+        act: QuantParams,
+    ) -> Tensor {
+        let inputs = weights.shape()[0];
+        let outputs = weights.shape()[1];
+        let mut wq = weights.clone();
+        for o in 0..outputs {
+            let abs_max = (0..inputs)
+                .map(|i| weights.at(&[i, o]).abs())
+                .fold(0.0f32, f32::max);
+            let p = QuantParams::from_abs_max(abs_max);
+            for i in 0..inputs {
+                wq.set(&[i, o], p.fake(weights.at(&[i, o])));
+            }
+        }
+        let xq = act.fake_tensor(input);
+        float_reference(&wq, bias, &xq)
+    }
+
+    #[test]
+    fn integer_path_matches_fake_quant_path() {
+        let weights = uniform(&[6, 4], 0.8, 1);
+        let bias = vec![0.1, -0.2, 0.05, 0.0];
+        let input = uniform(&[3, 6], 1.5, 2);
+        let act = QuantParams::from_abs_max(1.5);
+        let layer = IntegerDense::from_float(&weights, &bias);
+        let int_out = layer.forward(&input, act);
+        let fake_out = fake_quant_reference(&weights, &bias, &input, act);
+        for (a, b) in int_out.data().iter().zip(fake_out.data()) {
+            assert!((a - b).abs() < 1e-4, "integer {a} vs fake {b}");
+        }
+    }
+
+    #[test]
+    fn integer_path_tracks_float_reference() {
+        let weights = uniform(&[8, 5], 0.5, 3);
+        let bias = vec![0.0; 5];
+        let input = uniform(&[4, 8], 1.0, 4);
+        let act = QuantParams::from_abs_max(1.0);
+        let layer = IntegerDense::from_float(&weights, &bias);
+        let int_out = layer.forward(&input, act);
+        let float_out = float_reference(&weights, &bias, &input);
+        // Quantization noise bound: ~|x|·step summed over the fan-in.
+        for (a, b) in int_out.data().iter().zip(float_out.data()) {
+            assert!((a - b).abs() < 0.08, "integer {a} vs float {b}");
+        }
+    }
+
+    #[test]
+    fn accumulators_do_not_saturate_at_full_range() {
+        // Worst case: all inputs and weights at ±127 over a wide fan-in
+        // still fits i32 (127² × fan-in ≪ 2³¹).
+        let inputs = 4096;
+        let weights = Tensor::full(&[inputs, 1], 10.0);
+        let bias = vec![0.0];
+        let layer = IntegerDense::from_float(&weights, &bias);
+        let x = Tensor::full(&[1, inputs], 10.0);
+        let act = QuantParams::from_abs_max(10.0);
+        let out = layer.forward(&x, act);
+        let expected = 100.0 * inputs as f32;
+        let got = out.data()[0];
+        assert!(
+            (got - expected).abs() / expected < 0.01,
+            "{got} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn macs_reports_work() {
+        let layer = IntegerDense::from_float(&uniform(&[10, 3], 1.0, 5), &[0.0; 3]);
+        assert_eq!(layer.macs(), 30);
+    }
+}

@@ -1,0 +1,34 @@
+//! Post-training quantization (PTQ), reproducing the paper's deployment
+//! optimization (§III-B-4): weights are quantized **per-feature** (per
+//! output channel) offline; activations are quantized **per-tensor** with
+//! scale factors chosen on a calibration set (10 % of the training data) to
+//! minimize information loss.
+//!
+//! Quantization here is *fake-quant*: values round-trip through the INT8
+//! grid but stay `f32`, so quantized models run on the same
+//! [`netcut_tensor`] engine while exhibiting the real accuracy loss.
+//!
+//! # Example
+//!
+//! ```
+//! use netcut_quant::QuantParams;
+//!
+//! let p = QuantParams::from_abs_max(2.0);
+//! let q = p.quantize(1.0);
+//! assert!((p.dequantize(q) - 1.0).abs() < p.scale());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod asymmetric;
+mod calibrate;
+mod integer;
+mod params;
+mod ptq;
+
+pub use asymmetric::AffineParams;
+pub use calibrate::{entropy_params, minmax_params, Histogram};
+pub use integer::IntegerDense;
+pub use params::QuantParams;
+pub use ptq::{quantize_model, ActivationQuant, QuantReport};

@@ -1,0 +1,163 @@
+use netcut_tensor::Tensor;
+
+/// Symmetric INT8 quantization parameters: a single positive scale mapping
+/// `[-127·scale, 127·scale]` onto the signed-byte grid.
+///
+/// # Example
+///
+/// ```
+/// use netcut_quant::QuantParams;
+///
+/// let p = QuantParams::from_abs_max(12.7);
+/// assert_eq!(p.quantize(12.7), 127);
+/// assert_eq!(p.quantize(-100.0), -127);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantParams {
+    scale: f32,
+}
+
+impl QuantParams {
+    /// Parameters covering `[-abs_max, abs_max]`. Degenerate (zero or
+    /// non-finite) ranges fall back to a unit scale.
+    pub fn from_abs_max(abs_max: f32) -> Self {
+        let scale = if abs_max.is_finite() && abs_max > 0.0 {
+            abs_max / 127.0
+        } else {
+            1.0 / 127.0
+        };
+        QuantParams { scale }
+    }
+
+    /// The grid step (one INT8 unit in real value).
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Quantizes one value to the INT8 grid (round-to-nearest, saturating).
+    pub fn quantize(&self, value: f32) -> i8 {
+        (value / self.scale).round().clamp(-127.0, 127.0) as i8
+    }
+
+    /// Maps an INT8 value back to real space.
+    pub fn dequantize(&self, value: i8) -> f32 {
+        value as f32 * self.scale
+    }
+
+    /// Quantize-dequantize round trip of one value ("fake quant").
+    pub fn fake(&self, value: f32) -> f32 {
+        self.dequantize(self.quantize(value))
+    }
+
+    /// Fake-quantizes a whole tensor with these per-tensor parameters.
+    pub fn fake_tensor(&self, t: &Tensor) -> Tensor {
+        let data = t.data().iter().map(|&v| self.fake(v)).collect();
+        Tensor::from_vec(data, t.shape())
+    }
+
+    /// Per-output-channel parameters for a weight tensor whose axis 0 is
+    /// the output channel (`[out, ...]`) — the paper's "per-feature"
+    /// weight quantization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is rank 0 or empty.
+    pub fn per_channel(weights: &Tensor) -> Vec<QuantParams> {
+        assert!(!weights.is_empty(), "empty weight tensor");
+        let out = weights.shape()[0];
+        let per = weights.len() / out;
+        (0..out)
+            .map(|c| {
+                let chunk = &weights.data()[c * per..(c + 1) * per];
+                let abs_max = chunk.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+                QuantParams::from_abs_max(abs_max)
+            })
+            .collect()
+    }
+
+    /// Fake-quantizes a weight tensor per output channel (axis 0).
+    pub fn fake_per_channel(weights: &Tensor) -> Tensor {
+        let params = Self::per_channel(weights);
+        let out = weights.shape()[0];
+        let per = weights.len() / out;
+        let mut data = Vec::with_capacity(weights.len());
+        for (c, p) in params.iter().enumerate().take(out) {
+            for &v in &weights.data()[c * per..(c + 1) * per] {
+                data.push(p.fake(v));
+            }
+        }
+        Tensor::from_vec(data, weights.shape())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip_error_bounded_by_half_step() {
+        let p = QuantParams::from_abs_max(1.0);
+        for i in -100..=100 {
+            let v = i as f32 / 100.0;
+            assert!((p.fake(v) - v).abs() <= p.scale() / 2.0 + 1e-7);
+        }
+    }
+
+    #[test]
+    fn saturates_outside_range() {
+        let p = QuantParams::from_abs_max(1.0);
+        assert_eq!(p.quantize(5.0), 127);
+        assert_eq!(p.quantize(-5.0), -127);
+    }
+
+    #[test]
+    fn degenerate_range_is_safe() {
+        let p = QuantParams::from_abs_max(0.0);
+        assert!(p.scale() > 0.0);
+        assert_eq!(p.fake(0.0), 0.0);
+    }
+
+    #[test]
+    fn per_channel_beats_per_tensor_on_mixed_scales() {
+        // Channel 0 has tiny weights, channel 1 has huge ones; a shared
+        // scale destroys channel 0.
+        let w = Tensor::from_vec(vec![0.01, -0.02, 10.0, -20.0], &[2, 2]);
+        let per_tensor = QuantParams::from_abs_max(20.0).fake_tensor(&w);
+        let per_channel = QuantParams::fake_per_channel(&w);
+        let err_t: f32 = w
+            .data()
+            .iter()
+            .zip(per_tensor.data())
+            .map(|(a, b)| (a - b).abs())
+            .take(2)
+            .sum();
+        let err_c: f32 = w
+            .data()
+            .iter()
+            .zip(per_channel.data())
+            .map(|(a, b)| (a - b).abs())
+            .take(2)
+            .sum();
+        assert!(err_c < err_t / 10.0, "per-channel {err_c} vs per-tensor {err_t}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip_within_half_step(values in prop::collection::vec(-8.0f32..8.0, 1..64)) {
+            let abs_max = values.iter().fold(0.0f32, |m, &v| m.max(v.abs())).max(1e-3);
+            let p = QuantParams::from_abs_max(abs_max);
+            for &v in &values {
+                prop_assert!((p.fake(v) - v).abs() <= p.scale() / 2.0 + 1e-6);
+            }
+        }
+
+        #[test]
+        fn prop_quantize_is_monotone(a in -4.0f32..4.0, b in -4.0f32..4.0) {
+            let p = QuantParams::from_abs_max(4.0);
+            if a <= b {
+                prop_assert!(p.quantize(a) <= p.quantize(b));
+            }
+        }
+    }
+}

@@ -1,0 +1,222 @@
+use netcut_graph::LayerKind;
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic precision of a deployed network.
+///
+/// The paper deploys with post-training INT8 quantization (§III-B-4);
+/// FP32/FP16 are provided for the precision ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Precision {
+    /// 32-bit floating point.
+    Fp32,
+    /// 16-bit floating point.
+    Fp16,
+    /// 8-bit integer (post-training quantized).
+    Int8,
+}
+
+impl Precision {
+    /// Compute-throughput multiplier relative to FP32.
+    pub fn compute_speedup(self, device: &DeviceModel) -> f64 {
+        match self {
+            Precision::Fp32 => 1.0,
+            Precision::Fp16 => device.fp16_speedup,
+            Precision::Int8 => device.int8_speedup,
+        }
+    }
+
+    /// Bytes per scalar relative to FP32 (memory-traffic scale factor).
+    pub fn byte_scale(self) -> f64 {
+        match self {
+            Precision::Fp32 => 1.0,
+            Precision::Fp16 => 0.5,
+            Precision::Int8 => 0.25,
+        }
+    }
+}
+
+/// Analytical model of an embedded accelerator.
+///
+/// Latency of one fused kernel is
+/// `max(flops / effective_throughput, bytes / bandwidth) + launch_overhead`,
+/// where the effective throughput folds in a per-operation-kind efficiency
+/// and an occupancy term that penalizes kernels with too little parallelism
+/// to fill the device (this is what makes latency non-linear in FLOPs for
+/// narrow networks such as MobileNetV1 0.25).
+///
+/// # Example
+///
+/// ```
+/// use netcut_sim::DeviceModel;
+///
+/// let xavier = DeviceModel::jetson_xavier();
+/// assert!(xavier.peak_gflops > 1000.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceModel {
+    /// Device name used in reports.
+    pub name: String,
+    /// Peak FP32 throughput in GFLOP/s.
+    pub peak_gflops: f64,
+    /// FP16 compute speedup over FP32.
+    pub fp16_speedup: f64,
+    /// INT8 compute speedup over FP32.
+    pub int8_speedup: f64,
+    /// Main-memory bandwidth in GB/s.
+    pub mem_bandwidth_gbs: f64,
+    /// Fixed cost of launching one kernel, in microseconds.
+    pub kernel_overhead_us: f64,
+    /// Extra cost added to each *profiled* layer when recording with
+    /// CUDA-event-style instrumentation, in microseconds.
+    pub event_overhead_us: f64,
+    /// Relative standard deviation of run-to-run measurement noise.
+    pub jitter_rel: f64,
+    /// Output-element count at which a kernel reaches half of full
+    /// occupancy (smaller kernels run at lower effective throughput).
+    pub occupancy_half_elems: f64,
+    /// DVFS clock-ramp penalty: short inference pipelines finish before
+    /// the GPU reaches steady-state clocks, inflating their latency by up
+    /// to this fraction. This is the main *non-linearity* of the device —
+    /// the one the paper's RBF-SVR adapts to and linear regression cannot
+    /// (§V-C).
+    pub ramp_penalty: f64,
+    /// Pipeline length (milliseconds of steady-state work) at which half
+    /// of the ramp penalty still applies.
+    pub ramp_halfpoint_ms: f64,
+}
+
+impl DeviceModel {
+    /// NVIDIA Jetson Xavier-class preset — the paper's deployment target.
+    ///
+    /// Constants are calibrated so that the seven zoo networks land at the
+    /// latency scale of the paper's Fig. 1 under INT8 with fusion
+    /// (MobileNetV1 0.5 ≈ 0.36 ms, deadline 0.9 ms separating the
+    /// MobileNetV1 family from the rest).
+    pub fn jetson_xavier() -> Self {
+        DeviceModel {
+            name: "jetson-xavier".to_owned(),
+            peak_gflops: 1400.0,
+            fp16_speedup: 2.0,
+            int8_speedup: 12.0,
+            // Effective (achieved) bandwidth for batch-1 activation tensors,
+            // well below the 137 GB/s peak.
+            mem_bandwidth_gbs: 40.0,
+            kernel_overhead_us: 5.0,
+            event_overhead_us: 2.0,
+            jitter_rel: 0.02,
+            occupancy_half_elems: 40_000.0,
+            ramp_penalty: 0.30,
+            ramp_halfpoint_ms: 0.3,
+        }
+    }
+
+    /// NVIDIA Jetson Nano-class preset — a weaker embedded target for the
+    /// device ablation: no INT8 tensor cores (INT8 barely beats FP16),
+    /// a third of the Xavier's compute, and slower memory.
+    pub fn jetson_nano() -> Self {
+        DeviceModel {
+            name: "jetson-nano".to_owned(),
+            peak_gflops: 472.0,
+            fp16_speedup: 2.0,
+            int8_speedup: 2.2,
+            mem_bandwidth_gbs: 14.0,
+            kernel_overhead_us: 9.0,
+            event_overhead_us: 3.0,
+            jitter_rel: 0.03,
+            occupancy_half_elems: 25_000.0,
+            ramp_penalty: 0.25,
+            ramp_halfpoint_ms: 0.6,
+        }
+    }
+
+    /// NVIDIA Tesla K20m-class preset — the paper's *training* device, used
+    /// by the exploration-time cost model.
+    pub fn tesla_k20m() -> Self {
+        DeviceModel {
+            name: "tesla-k20m".to_owned(),
+            peak_gflops: 3520.0,
+            fp16_speedup: 1.0,
+            int8_speedup: 1.0,
+            mem_bandwidth_gbs: 208.0,
+            kernel_overhead_us: 8.0,
+            event_overhead_us: 3.0,
+            jitter_rel: 0.03,
+            occupancy_half_elems: 150_000.0,
+            ramp_penalty: 0.10,
+            ramp_halfpoint_ms: 1.0,
+        }
+    }
+
+    /// Efficiency (fraction of peak throughput) achieved by an operation
+    /// kind at full occupancy. Depthwise convolutions are notoriously
+    /// inefficient on GPUs; elementwise ops are bandwidth-limited.
+    pub fn kind_efficiency(&self, kind: &LayerKind) -> f64 {
+        match kind {
+            LayerKind::Conv2d { kernel, .. } if *kernel == 1 => 0.50,
+            LayerKind::Conv2d { .. } | LayerKind::Conv2dRect { .. } => 0.60,
+            LayerKind::DepthwiseConv2d { .. } => 0.08,
+            LayerKind::Dense { .. } => 0.35,
+            LayerKind::BatchNorm
+            | LayerKind::Activation(_)
+            | LayerKind::Add
+            | LayerKind::GlobalAvgPool => 0.10,
+            LayerKind::MaxPool2d { .. } | LayerKind::AvgPool2d { .. } => 0.15,
+            LayerKind::Concat
+            | LayerKind::Input
+            | LayerKind::Flatten
+            | LayerKind::Dropout { .. } => 0.10,
+        }
+    }
+
+    /// Occupancy factor in `(0, 1]` for a kernel producing `output_elements`
+    /// scalars.
+    pub fn occupancy(&self, output_elements: u64) -> f64 {
+        let e = output_elements as f64;
+        e / (e + self.occupancy_half_elems)
+    }
+
+    /// DVFS clock-ramp factor (≥ 1) applied to a whole inference whose
+    /// steady-state duration is `steady_ms`: short pipelines pay up to
+    /// `1 + ramp_penalty`.
+    pub fn ramp_factor(&self, steady_ms: f64) -> f64 {
+        1.0 + self.ramp_penalty * self.ramp_halfpoint_ms / (self.ramp_halfpoint_ms + steady_ms.max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_scales() {
+        let d = DeviceModel::jetson_xavier();
+        assert_eq!(Precision::Fp32.compute_speedup(&d), 1.0);
+        assert!(Precision::Int8.compute_speedup(&d) > Precision::Fp16.compute_speedup(&d));
+        assert_eq!(Precision::Int8.byte_scale(), 0.25);
+    }
+
+    #[test]
+    fn occupancy_monotone() {
+        let d = DeviceModel::jetson_xavier();
+        assert!(d.occupancy(1_000) < d.occupancy(100_000));
+        assert!(d.occupancy(100_000_000) > 0.99);
+    }
+
+    #[test]
+    fn depthwise_is_inefficient() {
+        use netcut_graph::Padding;
+        let d = DeviceModel::jetson_xavier();
+        let dw = LayerKind::DepthwiseConv2d {
+            kernel: 3,
+            stride: 1,
+            padding: Padding::Same,
+        };
+        let conv = LayerKind::Conv2d {
+            out_channels: 64,
+            kernel: 3,
+            stride: 1,
+            padding: Padding::Same,
+        };
+        assert!(d.kind_efficiency(&dw) < d.kind_efficiency(&conv) / 4.0);
+    }
+}

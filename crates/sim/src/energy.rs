@@ -1,0 +1,167 @@
+//! Per-inference energy model — the other resource embedded systems
+//! budget. Energy is not part of the paper's evaluation but is a natural
+//! extension: TRNs save energy the same way they save latency, and a
+//! battery-powered prosthetic cares about both.
+//!
+//! Energy per inference = compute energy (pJ/FLOP, precision-dependent)
+//! + memory energy (pJ/byte of DRAM traffic) + kernel-launch energy
+//! + static power integrated over the inference latency.
+
+use crate::device::{DeviceModel, Precision};
+use crate::fusion::fuse_network;
+use crate::latency::{kernel_latency_ms, network_latency_ms};
+use netcut_graph::Network;
+use serde::{Deserialize, Serialize};
+
+/// Energy coefficients of an embedded accelerator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Compute energy per FP32 FLOP, picojoules.
+    pub pj_per_flop_fp32: f64,
+    /// INT8 compute-energy advantage (divide by this at INT8).
+    pub int8_energy_gain: f64,
+    /// FP16 compute-energy advantage.
+    pub fp16_energy_gain: f64,
+    /// DRAM access energy per byte, picojoules.
+    pub pj_per_byte: f64,
+    /// Energy per kernel launch, microjoules.
+    pub kernel_overhead_uj: f64,
+    /// Static (leakage + rail) power, watts.
+    pub idle_power_w: f64,
+}
+
+impl EnergyModel {
+    /// Jetson-Xavier-class coefficients (≈30 GFLOPS/W FP32 core
+    /// efficiency, LPDDR4x memory, ~5 W static rail).
+    pub fn jetson_xavier() -> Self {
+        EnergyModel {
+            pj_per_flop_fp32: 33.0,
+            int8_energy_gain: 4.0,
+            fp16_energy_gain: 2.0,
+            pj_per_byte: 40.0,
+            kernel_overhead_uj: 2.0,
+            idle_power_w: 5.0,
+        }
+    }
+
+    fn compute_gain(&self, precision: Precision) -> f64 {
+        match precision {
+            Precision::Fp32 => 1.0,
+            Precision::Fp16 => self.fp16_energy_gain,
+            Precision::Int8 => self.int8_energy_gain,
+        }
+    }
+
+    /// Energy of one inference of `net`, millijoules.
+    pub fn network_energy_mj(
+        &self,
+        net: &Network,
+        device: &DeviceModel,
+        precision: Precision,
+    ) -> f64 {
+        let kernels = fuse_network(net);
+        let mut dynamic_pj = 0.0;
+        for k in &kernels {
+            dynamic_pj += k.flops as f64 * self.pj_per_flop_fp32 / self.compute_gain(precision);
+            let bytes = (k.bytes_read + k.bytes_written) as f64 * precision.byte_scale();
+            dynamic_pj += bytes * self.pj_per_byte;
+        }
+        let launch_mj = kernels.len() as f64 * self.kernel_overhead_uj * 1e-3;
+        let latency_ms = network_latency_ms(net, device, precision);
+        let static_mj = self.idle_power_w * latency_ms; // W·ms = mJ
+        dynamic_pj * 1e-9 + launch_mj + static_mj
+    }
+
+    /// Per-kernel energy breakdown (millijoules per kernel, execution
+    /// order), excluding the shared static term.
+    pub fn kernel_energies_mj(
+        &self,
+        net: &Network,
+        device: &DeviceModel,
+        precision: Precision,
+    ) -> Vec<f64> {
+        fuse_network(net)
+            .iter()
+            .map(|k| {
+                let compute =
+                    k.flops as f64 * self.pj_per_flop_fp32 / self.compute_gain(precision) * 1e-9;
+                let bytes = (k.bytes_read + k.bytes_written) as f64 * precision.byte_scale();
+                let mem = bytes * self.pj_per_byte * 1e-9;
+                let launch = self.kernel_overhead_uj * 1e-3;
+                // Attribute static power by the kernel's share of latency.
+                let static_mj =
+                    self.idle_power_w * kernel_latency_ms(k, device, precision);
+                compute + mem + launch + static_mj
+            })
+            .collect()
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel::jetson_xavier()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcut_graph::{zoo, HeadSpec};
+
+    fn xavier() -> (EnergyModel, DeviceModel) {
+        (EnergyModel::jetson_xavier(), DeviceModel::jetson_xavier())
+    }
+
+    #[test]
+    fn bigger_networks_cost_more_energy() {
+        let (e, d) = xavier();
+        let small = e.network_energy_mj(&zoo::mobilenet_v1(0.25), &d, Precision::Int8);
+        let big = e.network_energy_mj(&zoo::resnet50(), &d, Precision::Int8);
+        assert!(big > small * 3.0, "{big} vs {small}");
+    }
+
+    #[test]
+    fn int8_saves_energy() {
+        let (e, d) = xavier();
+        let net = zoo::mobilenet_v2(1.0);
+        let fp32 = e.network_energy_mj(&net, &d, Precision::Fp32);
+        let int8 = e.network_energy_mj(&net, &d, Precision::Int8);
+        assert!(int8 < fp32 * 0.6, "int8 {int8} vs fp32 {fp32}");
+    }
+
+    #[test]
+    fn energy_scale_is_plausible() {
+        // A MobileNet inference on an embedded GPU costs single-digit
+        // millijoules; ResNet tens of millijoules.
+        let (e, d) = xavier();
+        let mn = e.network_energy_mj(&zoo::mobilenet_v1(0.5), &d, Precision::Int8);
+        assert!((1.0..=20.0).contains(&mn), "mobilenet {mn} mJ");
+        let rn = e.network_energy_mj(&zoo::resnet50(), &d, Precision::Int8);
+        assert!((10.0..=200.0).contains(&rn), "resnet {rn} mJ");
+    }
+
+    #[test]
+    fn cutting_reduces_energy_monotonically() {
+        let (e, d) = xavier();
+        let net = zoo::resnet50();
+        let head = HeadSpec::default();
+        let mut prev = f64::INFINITY;
+        for k in 0..net.num_blocks() {
+            let trn = net.cut_blocks(k).expect("valid cut").with_head(&head);
+            let mj = e.network_energy_mj(&trn, &d, Precision::Int8);
+            assert!(mj < prev);
+            prev = mj;
+        }
+    }
+
+    #[test]
+    fn kernel_breakdown_is_close_to_total() {
+        let (e, d) = xavier();
+        let net = zoo::squeezenet();
+        let per_kernel: f64 = e.kernel_energies_mj(&net, &d, Precision::Int8).iter().sum();
+        let total = e.network_energy_mj(&net, &d, Precision::Int8);
+        // The breakdown omits the ramp contribution to static energy.
+        assert!(per_kernel <= total + 1e-9);
+        assert!(per_kernel > total * 0.8, "{per_kernel} vs {total}");
+    }
+}

@@ -1,0 +1,271 @@
+//! Measurement harness replicating the paper's methodology (§IV-B-2):
+//! warm the device with 200 inferences, then report the mean over another
+//! 800 runs. Run-to-run noise is seeded and reproducible.
+
+use crate::device::{DeviceModel, Precision};
+use crate::fusion::fuse_network;
+use crate::latency::{kernel_latency_ms, network_latency_ms};
+use crate::profile::{LatencyTable, LayerProfile};
+use netcut_graph::Network;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Number of warm-up inferences before timing starts.
+pub const WARMUP_RUNS: usize = 200;
+/// Number of timed inferences averaged into a [`Measurement`].
+pub const TIMED_RUNS: usize = 800;
+
+/// Result of timing a network on the device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Mean latency over the timed runs, milliseconds.
+    pub mean_ms: f64,
+    /// Sample standard deviation over the timed runs, milliseconds.
+    pub std_ms: f64,
+    /// 95th-percentile run latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile run latency, milliseconds — the figure a hard
+    /// real-time budget should be checked against.
+    pub p99_ms: f64,
+    /// Worst observed run, milliseconds.
+    pub max_ms: f64,
+    /// Number of timed runs.
+    pub runs: usize,
+}
+
+impl Measurement {
+    /// Fraction of timed runs that exceeded `deadline_ms`, assuming the
+    /// observed Gaussian-like jitter (computed from mean/std rather than
+    /// stored samples).
+    pub fn miss_rate(&self, deadline_ms: f64) -> f64 {
+        if self.std_ms <= 0.0 {
+            return if self.mean_ms > deadline_ms { 1.0 } else { 0.0 };
+        }
+        // Normal-tail approximation via the complementary error function
+        // (Abramowitz–Stegun rational approximation).
+        let z = (deadline_ms - self.mean_ms) / self.std_ms;
+        0.5 * erfc_approx(z / std::f64::consts::SQRT_2)
+    }
+}
+
+/// Rational approximation of `erfc(x)` accurate to ~1e-7.
+fn erfc_approx(x: f64) -> f64 {
+    let ax = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * ax);
+    let tau = t
+        * (-ax * ax - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587
+                                        + t * (-0.82215223 + t * 0.17087277)))))))))
+        .exp();
+    if x >= 0.0 {
+        tau
+    } else {
+        2.0 - tau
+    }
+}
+
+/// A device + precision pair on which networks are timed and profiled.
+///
+/// # Example
+///
+/// ```
+/// use netcut_graph::zoo;
+/// use netcut_sim::{DeviceModel, Precision, Session};
+///
+/// let session = Session::new(DeviceModel::jetson_xavier(), Precision::Int8);
+/// let table = session.profile(&zoo::resnet50(), 7);
+/// assert!(table.total_layer_time_ms() > table.end_to_end_ms());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Session {
+    device: DeviceModel,
+    precision: Precision,
+}
+
+impl Session {
+    /// Creates a session for `device` at `precision`.
+    pub fn new(device: DeviceModel, precision: Precision) -> Self {
+        Session { device, precision }
+    }
+
+    /// The device model in use.
+    pub fn device(&self) -> &DeviceModel {
+        &self.device
+    }
+
+    /// The deployment precision in use.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Noise-free analytic latency of `net` (no measurement jitter).
+    pub fn ideal_latency_ms(&self, net: &Network) -> f64 {
+        network_latency_ms(net, &self.device, self.precision)
+    }
+
+    /// Times `net` end to end: 200 warm-up runs followed by 800 timed runs
+    /// whose mean and standard deviation are returned. The RNG is seeded
+    /// from `seed` and the network name, so measurements are reproducible.
+    pub fn measure(&self, net: &Network, seed: u64) -> Measurement {
+        let base = self.ideal_latency_ms(net);
+        let mut rng = self.rng(net, seed);
+        // Warm-up: the first runs are slower (cold caches, clock ramp);
+        // they are simulated and discarded exactly as the paper does.
+        let mut warm_penalty = 0.35;
+        for _ in 0..WARMUP_RUNS {
+            let _cold = base * (1.0 + warm_penalty + self.noise(&mut rng));
+            warm_penalty *= 0.97;
+        }
+        let mut samples = Vec::with_capacity(TIMED_RUNS);
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..TIMED_RUNS {
+            let run = base * (1.0 + self.noise(&mut rng));
+            sum += run;
+            sum_sq += run * run;
+            samples.push(run);
+        }
+        let n = TIMED_RUNS as f64;
+        let mean = sum / n;
+        let var = (sum_sq / n - mean * mean).max(0.0) * n / (n - 1.0);
+        samples.sort_by(f64::total_cmp);
+        let pct = |q: f64| samples[((TIMED_RUNS - 1) as f64 * q).round() as usize];
+        Measurement {
+            mean_ms: mean,
+            std_ms: var.sqrt(),
+            p95_ms: pct(0.95),
+            p99_ms: pct(0.99),
+            max_ms: samples[TIMED_RUNS - 1],
+            runs: TIMED_RUNS,
+        }
+    }
+
+    /// Profiles `net` per fused kernel with CUDA-event-style
+    /// instrumentation: each recorded kernel pays
+    /// [`DeviceModel::event_overhead_us`] extra, so the per-layer sum
+    /// exceeds the end-to-end measurement — the over-additivity the paper's
+    /// ratio estimator corrects for.
+    pub fn profile(&self, net: &Network, seed: u64) -> LatencyTable {
+        let kernels = fuse_network(net);
+        let mut rng = self.rng(net, seed ^ 0x9e3779b97f4a7c15);
+        let event_ms = self.device.event_overhead_us * 1e-3;
+        // Per-layer records are taken during full-network runs, so every
+        // layer executes under the same (ramped) clocks as the end-to-end
+        // measurement.
+        let steady: f64 = kernels
+            .iter()
+            .map(|k| kernel_latency_ms(k, &self.device, self.precision))
+            .sum();
+        let ramp = self.device.ramp_factor(steady);
+        let layers = kernels
+            .iter()
+            .map(|k| {
+                let base = kernel_latency_ms(k, &self.device, self.precision) * ramp;
+                let noisy = base * (1.0 + self.noise(&mut rng)) + event_ms;
+                LayerProfile {
+                    tail: k.tail(),
+                    name: net.node(k.primary).name().to_owned(),
+                    members: k.members.clone(),
+                    latency_ms: noisy,
+                }
+            })
+            .collect();
+        let end_to_end = self.measure(net, seed).mean_ms;
+        LatencyTable::new(net.name().to_owned(), layers, end_to_end)
+    }
+
+    fn rng(&self, net: &Network, seed: u64) -> SmallRng {
+        let mut h = 0xcbf29ce484222325u64;
+        for b in net.name().bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+        SmallRng::seed_from_u64(h ^ seed)
+    }
+
+    fn noise(&self, rng: &mut SmallRng) -> f64 {
+        // Sum of uniforms ≈ Gaussian; cheap, deterministic, bounded.
+        let u: f64 = (0..4).map(|_| rng.gen::<f64>()).sum::<f64>() / 4.0 - 0.5;
+        u * 2.0 * 1.732 * self.device.jitter_rel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcut_graph::zoo;
+
+    fn session() -> Session {
+        Session::new(DeviceModel::jetson_xavier(), Precision::Int8)
+    }
+
+    #[test]
+    fn measurement_is_reproducible() {
+        let net = zoo::mobilenet_v1(0.5);
+        let a = session().measure(&net, 1);
+        let b = session().measure(&net, 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_jitter_slightly() {
+        let net = zoo::mobilenet_v1(0.5);
+        let a = session().measure(&net, 1);
+        let b = session().measure(&net, 2);
+        assert_ne!(a.mean_ms, b.mean_ms);
+        assert!((a.mean_ms - b.mean_ms).abs() / a.mean_ms < 0.02);
+    }
+
+    #[test]
+    fn mean_tracks_ideal_latency() {
+        let net = zoo::mobilenet_v2(1.0);
+        let s = session();
+        let m = s.measure(&net, 3);
+        let ideal = s.ideal_latency_ms(&net);
+        assert!((m.mean_ms - ideal).abs() / ideal < 0.01);
+        assert!(m.std_ms > 0.0);
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let net = zoo::resnet50();
+        let m = session().measure(&net, 21);
+        assert!(m.mean_ms <= m.p95_ms);
+        assert!(m.p95_ms <= m.p99_ms);
+        assert!(m.p99_ms <= m.max_ms);
+        // With 2 % jitter the p99 sits roughly 2.3 sigma above the mean.
+        let sigmas = (m.p99_ms - m.mean_ms) / m.std_ms;
+        assert!((1.8..=3.2).contains(&sigmas), "p99 at {sigmas} sigma");
+    }
+
+    #[test]
+    fn miss_rate_tracks_the_tail() {
+        let net = zoo::mobilenet_v2(1.0);
+        let m = session().measure(&net, 22);
+        assert!(m.miss_rate(m.mean_ms * 2.0) < 1e-6);
+        assert!(m.miss_rate(m.mean_ms * 0.5) > 0.999);
+        let at_mean = m.miss_rate(m.mean_ms);
+        assert!((0.4..=0.6).contains(&at_mean), "miss at mean = {at_mean}");
+        // Around p99 the miss rate is ≈ 1 %.
+        let at_p99 = m.miss_rate(m.p99_ms);
+        assert!((0.001..=0.05).contains(&at_p99), "miss at p99 = {at_p99}");
+    }
+
+    #[test]
+    fn profile_is_over_additive() {
+        let net = zoo::resnet50();
+        let table = session().profile(&net, 11);
+        assert!(
+            table.total_layer_time_ms() > table.end_to_end_ms(),
+            "event overhead must inflate the per-layer sum"
+        );
+        // ...but not wildly: within ~25 %.
+        assert!(table.total_layer_time_ms() < table.end_to_end_ms() * 1.25);
+    }
+}

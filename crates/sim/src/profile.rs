@@ -1,0 +1,115 @@
+//! Per-layer latency tables — the artifact the profiler-based estimator
+//! consumes (§V-B-1). One table exists per unmodified source network.
+
+use netcut_graph::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Recorded latency of one profiled (fused) layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerProfile {
+    /// Node producing the layer's output.
+    pub tail: NodeId,
+    /// Name of the layer's primary node.
+    pub name: String,
+    /// All graph nodes executed inside this layer.
+    pub members: Vec<NodeId>,
+    /// Recorded latency, milliseconds (includes the per-layer event
+    /// overhead).
+    pub latency_ms: f64,
+}
+
+/// A per-layer latency table for one source network, together with its
+/// end-to-end measurement.
+///
+/// # Example
+///
+/// ```
+/// use netcut_graph::zoo;
+/// use netcut_sim::{DeviceModel, Precision, Session};
+///
+/// let session = Session::new(DeviceModel::jetson_xavier(), Precision::Int8);
+/// let table = session.profile(&zoo::mobilenet_v1(0.25), 1);
+/// assert_eq!(table.network(), "mobilenet_v1_0.25");
+/// assert!(!table.layers().is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyTable {
+    network: String,
+    layers: Vec<LayerProfile>,
+    end_to_end_ms: f64,
+}
+
+impl LatencyTable {
+    /// Builds a table from recorded layers and an end-to-end measurement.
+    pub fn new(network: String, layers: Vec<LayerProfile>, end_to_end_ms: f64) -> Self {
+        LatencyTable {
+            network,
+            layers,
+            end_to_end_ms,
+        }
+    }
+
+    /// Name of the profiled network.
+    pub fn network(&self) -> &str {
+        &self.network
+    }
+
+    /// The recorded layers in execution order.
+    pub fn layers(&self) -> &[LayerProfile] {
+        &self.layers
+    }
+
+    /// End-to-end mean latency of the profiled network, milliseconds.
+    pub fn end_to_end_ms(&self) -> f64 {
+        self.end_to_end_ms
+    }
+
+    /// Sum of all recorded per-layer latencies — slightly *more* than
+    /// [`end_to_end_ms`](Self::end_to_end_ms) because each record carries
+    /// event overhead.
+    pub fn total_layer_time_ms(&self) -> f64 {
+        self.layers.iter().map(|l| l.latency_ms).sum()
+    }
+
+    /// Sum of recorded latencies over layers whose **every member node** is
+    /// contained in `removed` — the `Σ Latency(Layer_i)` term of the
+    /// paper's ratio formula for a cut that removes those nodes.
+    pub fn removed_time_ms(&self, removed: &dyn Fn(NodeId) -> bool) -> f64 {
+        self.layers
+            .iter()
+            .filter(|l| l.members.iter().all(|&m| removed(m)))
+            .map(|l| l.latency_ms)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> LatencyTable {
+        let layers = (0..4)
+            .map(|i| LayerProfile {
+                tail: NodeId::new(i),
+                name: format!("l{i}"),
+                members: vec![NodeId::new(i)],
+                latency_ms: (i + 1) as f64,
+            })
+            .collect();
+        LatencyTable::new("t".to_owned(), layers, 9.5)
+    }
+
+    #[test]
+    fn totals() {
+        let t = table();
+        assert_eq!(t.total_layer_time_ms(), 10.0);
+        assert_eq!(t.end_to_end_ms(), 9.5);
+    }
+
+    #[test]
+    fn removed_time_filters_by_membership() {
+        let t = table();
+        let removed = |id: NodeId| id.index() >= 2;
+        assert_eq!(t.removed_time_ms(&removed), 3.0 + 4.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Per-kernel execution traces: a deployment-debugging view of where a
+//! network's time goes (compute- vs memory-bound, launch overhead,
+//! fusion grouping).
+
+use crate::device::Precision;
+use crate::fusion::fuse_network;
+use crate::measure::Session;
+use netcut_graph::Network;
+use serde::{Deserialize, Serialize};
+
+/// Why a kernel's duration is what it is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Bound {
+    /// Arithmetic throughput limits the kernel.
+    Compute,
+    /// Memory bandwidth limits the kernel.
+    Memory,
+}
+
+/// One kernel's row in a [`Trace`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Primary node name.
+    pub name: String,
+    /// Number of fused graph nodes.
+    pub fused_nodes: usize,
+    /// Kernel duration, milliseconds (steady-state, before ramp).
+    pub duration_ms: f64,
+    /// FLOPs executed.
+    pub flops: u64,
+    /// Bytes moved at the deployed precision.
+    pub bytes: u64,
+    /// Limiting resource.
+    pub bound: Bound,
+    /// Fraction of device occupancy achieved.
+    pub occupancy: f64,
+}
+
+/// A full per-kernel execution trace of one network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Trace {
+    /// Network name.
+    pub network: String,
+    /// Kernel rows in execution order.
+    pub kernels: Vec<TraceEntry>,
+    /// Steady-state total (sum of kernels), milliseconds.
+    pub steady_ms: f64,
+    /// End-to-end latency including the clock-ramp factor, milliseconds.
+    pub total_ms: f64,
+}
+
+impl Trace {
+    /// Kernel rows sorted by descending duration (the hot spots).
+    pub fn hotspots(&self) -> Vec<&TraceEntry> {
+        let mut rows: Vec<&TraceEntry> = self.kernels.iter().collect();
+        rows.sort_by(|a, b| b.duration_ms.total_cmp(&a.duration_ms));
+        rows
+    }
+
+    /// Fraction of steady-state time spent in memory-bound kernels.
+    pub fn memory_bound_fraction(&self) -> f64 {
+        if self.steady_ms == 0.0 {
+            return 0.0;
+        }
+        self.kernels
+            .iter()
+            .filter(|k| k.bound == Bound::Memory)
+            .map(|k| k.duration_ms)
+            .sum::<f64>()
+            / self.steady_ms
+    }
+}
+
+impl Session {
+    /// Produces the noise-free per-kernel trace of `net` on this session's
+    /// device and precision.
+    pub fn trace(&self, net: &Network) -> Trace {
+        let device = self.device();
+        let precision = self.precision();
+        let kernels = fuse_network(net);
+        let mut rows = Vec::with_capacity(kernels.len());
+        let mut steady = 0.0;
+        for k in &kernels {
+            let eff = device.kind_efficiency(&k.primary_kind);
+            let occ = device.occupancy(k.output_elements);
+            let throughput =
+                device.peak_gflops * 1e9 * eff * occ * precision.compute_speedup(device);
+            let compute_s = k.flops as f64 / throughput.max(1.0);
+            let bytes = ((k.bytes_read + k.bytes_written) as f64 * precision.byte_scale()) as u64;
+            let memory_s = bytes as f64 / (device.mem_bandwidth_gbs * 1e9);
+            let duration_ms =
+                compute_s.max(memory_s) * 1e3 + device.kernel_overhead_us * 1e-3;
+            steady += duration_ms;
+            rows.push(TraceEntry {
+                name: net.node(k.primary).name().to_owned(),
+                fused_nodes: k.members.len(),
+                duration_ms,
+                flops: k.flops,
+                bytes,
+                bound: if compute_s >= memory_s {
+                    Bound::Compute
+                } else {
+                    Bound::Memory
+                },
+                occupancy: occ,
+            });
+        }
+        Trace {
+            network: net.name().to_owned(),
+            kernels: rows,
+            steady_ms: steady,
+            total_ms: steady * device.ramp_factor(steady),
+        }
+    }
+}
+
+/// Convenience: trace at a given precision on the Xavier preset.
+pub fn trace_network(net: &Network, precision: Precision) -> Trace {
+    Session::new(crate::device::DeviceModel::jetson_xavier(), precision).trace(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceModel;
+    use netcut_graph::zoo;
+
+    fn session() -> Session {
+        Session::new(DeviceModel::jetson_xavier(), Precision::Int8)
+    }
+
+    #[test]
+    fn trace_sums_match_latency_model() {
+        let net = zoo::mobilenet_v2(1.0);
+        let s = session();
+        let trace = s.trace(&net);
+        let ideal = s.ideal_latency_ms(&net);
+        assert!((trace.total_ms - ideal).abs() < 1e-9);
+        let sum: f64 = trace.kernels.iter().map(|k| k.duration_ms).sum();
+        assert!((sum - trace.steady_ms).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hotspots_are_sorted_descending() {
+        let trace = session().trace(&zoo::resnet50());
+        let hs = trace.hotspots();
+        for w in hs.windows(2) {
+            assert!(w[0].duration_ms >= w[1].duration_ms);
+        }
+        // The biggest kernel in ResNet-50 is a convolution.
+        assert!(hs[0].name.contains("conv") || hs[0].name.contains("stem"));
+    }
+
+    #[test]
+    fn every_kernel_is_classified() {
+        let trace = session().trace(&zoo::inception_v3());
+        assert!(!trace.kernels.is_empty());
+        let frac = trace.memory_bound_fraction();
+        assert!((0.0..=1.0).contains(&frac));
+        for k in &trace.kernels {
+            assert!(k.duration_ms > 0.0);
+            assert!(k.occupancy > 0.0 && k.occupancy <= 1.0);
+        }
+    }
+
+    #[test]
+    fn trace_serializes() {
+        let trace = session().trace(&zoo::mobilenet_v1(0.25));
+        let json = serde_json::to_string(&trace).expect("serializable");
+        assert!(!json.contains("jetson")); // device not embedded
+        assert!(json.contains("mobilenet_v1_0.25"));
+    }
+}

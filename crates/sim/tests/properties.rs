@@ -1,0 +1,117 @@
+//! Property-based tests of the device simulator: fusion and latency
+//! invariants over randomly generated networks.
+
+use netcut_graph::{Activation, HeadSpec, Network, NetworkBuilder, Padding, Shape};
+use netcut_sim::{fuse_network, network_latency_ms, DeviceModel, Precision, Session};
+use proptest::prelude::*;
+
+/// Random sequential network: a list of (channels, kernel, stride,
+/// with_bn, with_relu) conv stages.
+fn build(stages: &[(usize, usize, usize, bool, bool)]) -> Network {
+    let mut b = NetworkBuilder::new("sim-random", Shape::map(3, 48, 48));
+    let mut x = b.input();
+    for (i, &(c, k, s, bn, relu)) in stages.iter().enumerate() {
+        b.begin_block(format!("s{i}"));
+        x = b.conv(x, c, k, s, Padding::Same, &format!("s{i}/conv"));
+        if bn {
+            x = b.batch_norm(x, &format!("s{i}/bn"));
+        }
+        if relu {
+            x = b.activation(x, Activation::Relu, &format!("s{i}/relu"));
+        }
+        b.end_block(x).expect("non-empty block");
+    }
+    b.finish(x).expect("valid network")
+}
+
+fn stage_strategy() -> impl Strategy<Value = (usize, usize, usize, bool, bool)> {
+    (1usize..=6, 0usize..2, 1usize..=2, any::<bool>(), any::<bool>())
+        .prop_map(|(c, k, s, bn, relu)| (8 * c, [1, 3][k], s, bn, relu))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fusion_preserves_flops_and_covers_nodes(
+        stages in prop::collection::vec(stage_strategy(), 1..10)
+    ) {
+        let net = build(&stages);
+        let kernels = fuse_network(&net);
+        let fused_flops: u64 = kernels.iter().map(|k| k.flops).sum();
+        prop_assert_eq!(fused_flops, net.stats().total_flops);
+        let member_count: usize = kernels.iter().map(|k| k.members.len()).sum();
+        let compute_nodes = net.len() - 1; // every node except Input
+        prop_assert_eq!(member_count, compute_nodes);
+        // No node appears twice.
+        let mut seen = std::collections::HashSet::new();
+        for k in &kernels {
+            for m in &k.members {
+                prop_assert!(seen.insert(*m));
+            }
+        }
+    }
+
+    #[test]
+    fn latency_is_positive_and_finite(
+        stages in prop::collection::vec(stage_strategy(), 1..10)
+    ) {
+        let net = build(&stages);
+        for precision in [Precision::Fp32, Precision::Fp16, Precision::Int8] {
+            let lat = network_latency_ms(&net, &DeviceModel::jetson_xavier(), precision);
+            prop_assert!(lat.is_finite() && lat > 0.0);
+        }
+    }
+
+    #[test]
+    fn lower_precision_is_never_slower(
+        stages in prop::collection::vec(stage_strategy(), 1..10)
+    ) {
+        let net = build(&stages);
+        let d = DeviceModel::jetson_xavier();
+        let fp32 = network_latency_ms(&net, &d, Precision::Fp32);
+        let fp16 = network_latency_ms(&net, &d, Precision::Fp16);
+        let int8 = network_latency_ms(&net, &d, Precision::Int8);
+        prop_assert!(int8 <= fp16 + 1e-12);
+        prop_assert!(fp16 <= fp32 + 1e-12);
+    }
+
+    #[test]
+    fn cutting_never_increases_latency(
+        stages in prop::collection::vec(stage_strategy(), 2..10)
+    ) {
+        let net = build(&stages);
+        let head = HeadSpec::default();
+        let d = DeviceModel::jetson_xavier();
+        let mut prev = f64::INFINITY;
+        for k in 0..net.num_blocks() {
+            let trn = net.cut_blocks(k).expect("valid cutpoint").with_head(&head);
+            let lat = network_latency_ms(&trn, &d, Precision::Int8);
+            prop_assert!(lat <= prev + 1e-12, "cut {} raised latency", k);
+            prev = lat;
+        }
+    }
+
+    #[test]
+    fn measurement_mean_is_near_ideal(
+        stages in prop::collection::vec(stage_strategy(), 1..6),
+        seed in 0u64..1000,
+    ) {
+        let net = build(&stages);
+        let session = Session::new(DeviceModel::jetson_xavier(), Precision::Int8);
+        let ideal = session.ideal_latency_ms(&net);
+        let measured = session.measure(&net, seed).mean_ms;
+        prop_assert!(((measured - ideal) / ideal).abs() < 0.02);
+    }
+
+    #[test]
+    fn profiling_is_over_additive_for_any_network(
+        stages in prop::collection::vec(stage_strategy(), 2..8),
+        seed in 0u64..100,
+    ) {
+        let net = build(&stages);
+        let session = Session::new(DeviceModel::jetson_xavier(), Precision::Int8);
+        let table = session.profile(&net, seed);
+        prop_assert!(table.total_layer_time_ms() > table.end_to_end_ms() * 0.98);
+    }
+}

@@ -1,0 +1,62 @@
+//! Seeded weight initializers.
+
+use crate::tensor::Tensor;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform initialization in `[-limit, limit]`.
+pub fn uniform(shape: &[usize], limit: f32, seed: u64) -> Tensor {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let data = (0..shape.iter().product::<usize>())
+        .map(|_| rng.gen_range(-limit..=limit))
+        .collect();
+    Tensor::from_vec(data, shape)
+}
+
+/// Xavier/Glorot uniform initialization for a layer with the given fan-in
+/// and fan-out.
+pub fn xavier_uniform(shape: &[usize], fan_in: usize, fan_out: usize, seed: u64) -> Tensor {
+    let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(shape, limit, seed)
+}
+
+/// He (Kaiming) normal-ish initialization (uniform with matched variance)
+/// for ReLU networks with the given fan-in.
+pub fn he_normal(shape: &[usize], fan_in: usize, seed: u64) -> Tensor {
+    // Uniform on [-a, a] has variance a²/3; match 2/fan_in.
+    let limit = (6.0 / fan_in as f32).sqrt();
+    uniform(shape, limit, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = he_normal(&[4, 4], 4, 7);
+        let b = he_normal(&[4, 4], 4, 7);
+        let c = he_normal(&[4, 4], 4, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn xavier_limit_shrinks_with_fan() {
+        let small = xavier_uniform(&[1000], 10, 10, 1);
+        let large = xavier_uniform(&[1000], 1000, 1000, 1);
+        let max_small = small.data().iter().cloned().fold(0.0f32, |a, b| a.max(b.abs()));
+        let max_large = large.data().iter().cloned().fold(0.0f32, |a, b| a.max(b.abs()));
+        assert!(max_large < max_small);
+    }
+
+    #[test]
+    fn variance_matches_he() {
+        let t = he_normal(&[10_000], 100, 3);
+        let mean: f32 = t.sum() / t.len() as f32;
+        let var: f32 =
+            t.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / t.len() as f32;
+        // Target variance 2 / fan_in = 0.02.
+        assert!((var - 0.02).abs() < 0.004, "var = {var}");
+    }
+}

@@ -1,0 +1,696 @@
+//! Neural-network layers with hand-derived backward passes.
+//!
+//! Every layer caches whatever it needs during `forward` and consumes the
+//! cache in `backward`; parameter gradients accumulate into [`Param::grad`]
+//! until the optimizer steps and clears them.
+
+use crate::init::he_normal;
+use crate::tensor::Tensor;
+
+/// A trainable parameter: value, accumulated gradient, and a freeze flag
+/// (frozen parameters are skipped by optimizers — this is how the transfer
+/// recipe's "features frozen" phase is expressed).
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Tensor,
+    /// When `true`, optimizers skip this parameter.
+    pub frozen: bool,
+}
+
+impl Param {
+    /// Creates a parameter from an initial value with zeroed gradient.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Param {
+            value,
+            grad,
+            frozen: false,
+        }
+    }
+}
+
+/// One differentiable operation in a [`Sequential`](crate::Sequential)
+/// model.
+pub trait Layer {
+    /// Computes the layer output; caches activations when `train` is true.
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Propagates `grad_out` (∂loss/∂output) to ∂loss/∂input, accumulating
+    /// parameter gradients along the way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a training-mode `forward`.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// This layer's trainable parameters (possibly empty).
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// Layer name for debugging and freeze control.
+    fn name(&self) -> &str;
+}
+
+/// Fully-connected layer: `y = x·W + b` with `W: [in, out]`.
+#[derive(Debug)]
+pub struct Dense {
+    weight: Param,
+    bias: Param,
+    cached_input: Option<Tensor>,
+    label: String,
+}
+
+impl Dense {
+    /// New dense layer with He initialization from `seed`.
+    pub fn new(inputs: usize, outputs: usize, seed: u64) -> Self {
+        Dense {
+            weight: Param::new(he_normal(&[inputs, outputs], inputs, seed)),
+            bias: Param::new(Tensor::zeros(&[outputs])),
+            cached_input: None,
+            label: format!("dense_{inputs}x{outputs}"),
+        }
+    }
+
+    /// Number of input features.
+    pub fn inputs(&self) -> usize {
+        self.weight.value.shape()[0]
+    }
+
+    /// Number of output features.
+    pub fn outputs(&self) -> usize {
+        self.weight.value.shape()[1]
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut out = input.matmul(&self.weight.value);
+        let outputs = self.outputs();
+        for row in out.data_mut().chunks_mut(outputs) {
+            for (o, b) in row.iter_mut().zip(self.bias.value.data()) {
+                *o += b;
+            }
+        }
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward before forward");
+        // dW = xᵀ · g ;  db = Σ_batch g ;  dx = g · Wᵀ
+        let dw = input.transposed().matmul(grad_out);
+        for (g, d) in self.weight.grad.data_mut().iter_mut().zip(dw.data()) {
+            *g += d;
+        }
+        let outputs = self.outputs();
+        for row in grad_out.data().chunks(outputs) {
+            for (b, g) in self.bias.grad.data_mut().iter_mut().zip(row) {
+                *b += g;
+            }
+        }
+        grad_out.matmul(&self.weight.value.transposed())
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+/// Rectified linear unit.
+#[derive(Debug, Default)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+    label: &'static str,
+}
+
+impl Relu {
+    /// New ReLU layer.
+    pub fn new() -> Self {
+        Relu {
+            mask: None,
+            label: "relu",
+        }
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut out = input.clone();
+        let mask: Vec<bool> = out
+            .data_mut()
+            .iter_mut()
+            .map(|v| {
+                if *v < 0.0 {
+                    *v = 0.0;
+                    false
+                } else {
+                    true
+                }
+            })
+            .collect();
+        if train {
+            self.mask = Some(mask);
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mask = self.mask.as_ref().expect("backward before forward");
+        let data = grad_out
+            .data()
+            .iter()
+            .zip(mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Tensor::from_vec(data, grad_out.shape())
+    }
+
+    fn name(&self) -> &str {
+        self.label
+    }
+}
+
+/// 2-D convolution over `[N, C, H, W]` with square kernel, stride 1,
+/// symmetric zero padding `k/2` ("same" for odd kernels), executed as
+/// im2col + GEMM; the test suite checks it against a naive reference.
+#[derive(Debug)]
+pub struct Conv2d {
+    weight: Param, // [out_c, in_c, k, k]
+    bias: Param,   // [out_c]
+    kernel: usize,
+    cached_input: Option<Tensor>,
+    label: String,
+}
+
+impl Conv2d {
+    /// New convolution with He initialization from `seed`.
+    pub fn new(in_channels: usize, out_channels: usize, kernel: usize, seed: u64) -> Self {
+        let fan_in = in_channels * kernel * kernel;
+        Conv2d {
+            weight: Param::new(he_normal(
+                &[out_channels, in_channels, kernel, kernel],
+                fan_in,
+                seed,
+            )),
+            bias: Param::new(Tensor::zeros(&[out_channels])),
+            kernel,
+            cached_input: None,
+            label: format!("conv{kernel}x{kernel}_{in_channels}to{out_channels}"),
+        }
+    }
+
+    fn dims(&self) -> (usize, usize) {
+        let s = self.weight.value.shape();
+        (s[0], s[1])
+    }
+}
+
+impl Conv2d {
+    /// Lowers the padded input into the im2col matrix
+    /// `[n*h*w, in_c*k*k]` whose row `r` holds the receptive field of
+    /// output position `r`.
+    fn im2col(&self, input: &Tensor) -> Tensor {
+        let (_, in_c) = self.dims();
+        let k = self.kernel;
+        let pad = k / 2;
+        let [n, _, h, w] = [
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        ];
+        let cols_width = in_c * k * k;
+        let mut cols = vec![0.0f32; n * h * w * cols_width];
+        let data = input.data();
+        for b in 0..n {
+            for oy in 0..h {
+                for ox in 0..w {
+                    let row = ((b * h + oy) * w + ox) * cols_width;
+                    for ic in 0..in_c {
+                        let plane = (b * in_c + ic) * h * w;
+                        for ky in 0..k {
+                            let iy = oy + ky;
+                            if iy < pad || iy - pad >= h {
+                                continue;
+                            }
+                            let src_row = plane + (iy - pad) * w;
+                            let dst = row + (ic * k + ky) * k;
+                            for kx in 0..k {
+                                let ix = ox + kx;
+                                if ix < pad || ix - pad >= w {
+                                    continue;
+                                }
+                                cols[dst + kx] = data[src_row + ix - pad];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(cols, &[n * h * w, cols_width])
+    }
+
+    /// Scatters an im2col-shaped gradient back into input layout
+    /// (the transpose of [`im2col`](Self::im2col)).
+    fn col2im(&self, cols: &Tensor, shape: &[usize]) -> Tensor {
+        let (_, in_c) = self.dims();
+        let k = self.kernel;
+        let pad = k / 2;
+        let [n, _, h, w] = [shape[0], shape[1], shape[2], shape[3]];
+        let cols_width = in_c * k * k;
+        let mut out = Tensor::zeros(shape);
+        let dst = out.data_mut();
+        let src = cols.data();
+        for b in 0..n {
+            for oy in 0..h {
+                for ox in 0..w {
+                    let row = ((b * h + oy) * w + ox) * cols_width;
+                    for ic in 0..in_c {
+                        let plane = (b * in_c + ic) * h * w;
+                        for ky in 0..k {
+                            let iy = oy + ky;
+                            if iy < pad || iy - pad >= h {
+                                continue;
+                            }
+                            let dst_row = plane + (iy - pad) * w;
+                            let s_off = row + (ic * k + ky) * k;
+                            for kx in 0..k {
+                                let ix = ox + kx;
+                                if ix < pad || ix - pad >= w {
+                                    continue;
+                                }
+                                dst[dst_row + ix - pad] += src[s_off + kx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Weight matrix view `[in_c*k*k, out_c]` (transposed for the GEMM).
+    fn weight_matrix_t(&self) -> Tensor {
+        let (out_c, in_c) = self.dims();
+        let k = self.kernel;
+        self.weight
+            .value
+            .reshaped(&[out_c, in_c * k * k])
+            .transposed()
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let (out_c, in_c) = self.dims();
+        let [n, c, h, w] = [
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        ];
+        assert_eq!(c, in_c, "channel mismatch in {}", self.label);
+        // im2col + GEMM: rows are output positions, columns are filters.
+        let cols = self.im2col(input);
+        let flat = cols.matmul(&self.weight_matrix_t()); // [n*h*w, out_c]
+        // Transpose position-major [n, h*w, out_c] into channel-major
+        // [n, out_c, h, w] and add the bias.
+        let hw = h * w;
+        let mut out = Tensor::zeros(&[n, out_c, h, w]);
+        {
+            let src = flat.data();
+            let bias = self.bias.value.data().to_vec();
+            let dst = out.data_mut();
+            for b in 0..n {
+                for pos in 0..hw {
+                    let row = (b * hw + pos) * out_c;
+                    for (oc, bias_v) in bias.iter().enumerate() {
+                        dst[(b * out_c + oc) * hw + pos] = src[row + oc] + bias_v;
+                    }
+                }
+            }
+        }
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward before forward");
+        let (out_c, in_c) = self.dims();
+        let k = self.kernel;
+        let [n, _, h, w] = [
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        ];
+        let hw = h * w;
+        // Re-layout grad_out into position-major [n*h*w, out_c].
+        let mut g_flat = vec![0.0f32; n * hw * out_c];
+        {
+            let src = grad_out.data();
+            for b in 0..n {
+                for oc in 0..out_c {
+                    let plane = (b * out_c + oc) * hw;
+                    for pos in 0..hw {
+                        g_flat[(b * hw + pos) * out_c + oc] = src[plane + pos];
+                    }
+                }
+            }
+        }
+        let g = Tensor::from_vec(g_flat, &[n * hw, out_c]);
+        // Bias gradient: column sums of g.
+        for row in g.data().chunks(out_c) {
+            for (bg, &gv) in self.bias.grad.data_mut().iter_mut().zip(row) {
+                *bg += gv;
+            }
+        }
+        // Weight gradient: gT · cols, shaped [out_c, in_c*k*k].
+        let cols = self.im2col(input);
+        let dw = g.transposed().matmul(&cols);
+        for (wg, d) in self.weight.grad.data_mut().iter_mut().zip(dw.data()) {
+            *wg += d;
+        }
+        // Input gradient: g · W, scattered back through col2im.
+        let w_mat = self.weight.value.reshaped(&[out_c, in_c * k * k]);
+        let dcols = g.matmul(&w_mat);
+        self.col2im(&dcols, input.shape())
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+/// 2×2 max pooling with stride 2 over `[N, C, H, W]`.
+#[derive(Debug, Default)]
+pub struct MaxPool2 {
+    argmax: Option<Vec<usize>>,
+    in_shape: Vec<usize>,
+    label: &'static str,
+}
+
+impl MaxPool2 {
+    /// New 2×2/2 max-pool layer.
+    pub fn new() -> Self {
+        MaxPool2 {
+            argmax: None,
+            in_shape: Vec::new(),
+            label: "maxpool2",
+        }
+    }
+}
+
+impl Layer for MaxPool2 {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let [n, c, h, w] = [
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        ];
+        let (oh, ow) = (h / 2, w / 2);
+        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        let mut argmax = vec![0usize; n * c * oh * ow];
+        let mut oi = 0;
+        for b in 0..n {
+            for ch in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_off = 0;
+                        for dy in 0..2 {
+                            for dx in 0..2 {
+                                let off = ((b * c + ch) * h + oy * 2 + dy) * w + ox * 2 + dx;
+                                let v = input.data()[off];
+                                if v > best {
+                                    best = v;
+                                    best_off = off;
+                                }
+                            }
+                        }
+                        out.data_mut()[oi] = best;
+                        argmax[oi] = best_off;
+                        oi += 1;
+                    }
+                }
+            }
+        }
+        if train {
+            self.argmax = Some(argmax);
+            self.in_shape = input.shape().to_vec();
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let argmax = self.argmax.as_ref().expect("backward before forward");
+        let mut grad_in = Tensor::zeros(&self.in_shape);
+        for (g, &off) in grad_out.data().iter().zip(argmax) {
+            grad_in.data_mut()[off] += g;
+        }
+        grad_in
+    }
+
+    fn name(&self) -> &str {
+        self.label
+    }
+}
+
+/// Global average pooling: `[N, C, H, W] → [N, C]`.
+#[derive(Debug, Default)]
+pub struct GlobalAvgPool {
+    in_shape: Vec<usize>,
+    label: &'static str,
+}
+
+impl GlobalAvgPool {
+    /// New global-average-pool layer.
+    pub fn new() -> Self {
+        GlobalAvgPool {
+            in_shape: Vec::new(),
+            label: "gap",
+        }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let [n, c, h, w] = [
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        ];
+        let mut out = Tensor::zeros(&[n, c]);
+        let area = (h * w) as f32;
+        for b in 0..n {
+            for ch in 0..c {
+                let start = (b * c + ch) * h * w;
+                let s: f32 = input.data()[start..start + h * w].iter().sum();
+                out.data_mut()[b * c + ch] = s / area;
+            }
+        }
+        if train {
+            self.in_shape = input.shape().to_vec();
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let [n, c, h, w] = [
+            self.in_shape[0],
+            self.in_shape[1],
+            self.in_shape[2],
+            self.in_shape[3],
+        ];
+        let mut grad_in = Tensor::zeros(&self.in_shape);
+        let area = (h * w) as f32;
+        for b in 0..n {
+            for ch in 0..c {
+                let g = grad_out.data()[b * c + ch] / area;
+                let start = (b * c + ch) * h * w;
+                for v in &mut grad_in.data_mut()[start..start + h * w] {
+                    *v = g;
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn name(&self) -> &str {
+        self.label
+    }
+}
+
+/// Reshapes `[N, ...]` to `[N, F]`.
+#[derive(Debug, Default)]
+pub struct Flatten {
+    in_shape: Vec<usize>,
+    label: &'static str,
+}
+
+impl Flatten {
+    /// New flatten layer.
+    pub fn new() -> Self {
+        Flatten {
+            in_shape: Vec::new(),
+            label: "flatten",
+        }
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let n = input.shape()[0];
+        let f = input.len() / n;
+        if train {
+            self.in_shape = input.shape().to_vec();
+        }
+        input.reshaped(&[n, f])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        grad_out.reshaped(&self.in_shape)
+    }
+
+    fn name(&self) -> &str {
+        self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Finite-difference gradient check of a layer's input gradient and
+    /// parameter gradients against the analytic backward pass.
+    fn grad_check<L: Layer>(layer: &mut L, input: Tensor, tol: f32) {
+        let eps = 1e-3f32;
+        // Loss = sum of outputs (so dL/dout = 1 everywhere).
+        let out = layer.forward(&input, true);
+        let ones = Tensor::full(out.shape(), 1.0);
+        let grad_in = layer.backward(&ones);
+        // Check input gradient at a few positions.
+        for probe in 0..input.len().min(8) {
+            let mut plus = input.clone();
+            plus.data_mut()[probe] += eps;
+            let mut minus = input.clone();
+            minus.data_mut()[probe] -= eps;
+            let lp = layer.forward(&plus, false).sum();
+            let lm = layer.forward(&minus, false).sum();
+            let fd = (lp - lm) / (2.0 * eps);
+            let an = grad_in.data()[probe];
+            assert!(
+                (fd - an).abs() <= tol * (1.0 + fd.abs()),
+                "input grad mismatch at {probe}: fd={fd} analytic={an}"
+            );
+        }
+        // Check parameter gradients at a few positions.
+        let n_params = layer.params_mut().len();
+        for pi in 0..n_params {
+            let plen = layer.params_mut()[pi].value.len();
+            for probe in (0..plen).step_by((plen / 4).max(1)) {
+                let analytic = layer.params_mut()[pi].grad.data()[probe];
+                layer.params_mut()[pi].value.data_mut()[probe] += eps;
+                let lp = layer.forward(&input, false).sum();
+                layer.params_mut()[pi].value.data_mut()[probe] -= 2.0 * eps;
+                let lm = layer.forward(&input, false).sum();
+                layer.params_mut()[pi].value.data_mut()[probe] += eps;
+                let fd = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (fd - analytic).abs() <= tol * (1.0 + fd.abs()),
+                    "param {pi} grad mismatch at {probe}: fd={fd} analytic={analytic}"
+                );
+            }
+        }
+    }
+
+    fn seeded_input(shape: &[usize], seed: u64) -> Tensor {
+        crate::init::uniform(shape, 1.0, seed)
+    }
+
+    #[test]
+    fn dense_grad_check() {
+        let mut layer = Dense::new(5, 3, 1);
+        grad_check(&mut layer, seeded_input(&[2, 5], 2), 2e-2);
+    }
+
+    #[test]
+    fn conv_grad_check() {
+        let mut layer = Conv2d::new(2, 3, 3, 3);
+        grad_check(&mut layer, seeded_input(&[1, 2, 5, 5], 4), 3e-2);
+    }
+
+    #[test]
+    fn relu_grad_check() {
+        let mut layer = Relu::new();
+        grad_check(&mut layer, seeded_input(&[2, 6], 5), 1e-2);
+    }
+
+    #[test]
+    fn maxpool_grad_check() {
+        let mut layer = MaxPool2::new();
+        grad_check(&mut layer, seeded_input(&[1, 2, 4, 4], 6), 1e-2);
+    }
+
+    #[test]
+    fn gap_grad_check() {
+        let mut layer = GlobalAvgPool::new();
+        grad_check(&mut layer, seeded_input(&[2, 3, 4, 4], 7), 1e-2);
+    }
+
+    #[test]
+    fn conv_shape_preserving() {
+        let mut layer = Conv2d::new(3, 8, 3, 1);
+        let out = layer.forward(&Tensor::zeros(&[2, 3, 8, 8]), false);
+        assert_eq!(out.shape(), &[2, 8, 8, 8]);
+    }
+
+    #[test]
+    fn maxpool_halves_spatial() {
+        let mut layer = MaxPool2::new();
+        let out = layer.forward(&Tensor::zeros(&[1, 4, 8, 8]), false);
+        assert_eq!(out.shape(), &[1, 4, 4, 4]);
+    }
+
+    #[test]
+    fn flatten_round_trip() {
+        let mut layer = Flatten::new();
+        let x = seeded_input(&[2, 3, 2, 2], 8);
+        let out = layer.forward(&x, true);
+        assert_eq!(out.shape(), &[2, 12]);
+        let back = layer.backward(&out);
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut layer = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 2.0, -3.0, 4.0], &[1, 4]);
+        let out = layer.forward(&x, false);
+        assert_eq!(out.data(), &[0.0, 2.0, 0.0, 4.0]);
+    }
+}

@@ -1,0 +1,212 @@
+//! Depthwise 2-D convolution — the building block of the MobileNet family,
+//! added so the miniature engine can train separable architectures and the
+//! removal-robustness contrast of the paper's Fig. 5 can be reproduced
+//! with real gradient descent.
+
+use crate::layers::{Layer, Param};
+use crate::tensor::Tensor;
+
+/// Depthwise 3×3-style convolution over `[N, C, H, W]`: one `k×k` filter
+/// per channel, stride 1, "same" zero padding.
+#[derive(Debug)]
+pub struct DepthwiseConv2d {
+    weight: Param, // [channels, k, k]
+    bias: Param,   // [channels]
+    kernel: usize,
+    cached_input: Option<Tensor>,
+    label: String,
+}
+
+impl DepthwiseConv2d {
+    /// New depthwise convolution with He initialization from `seed`.
+    pub fn new(channels: usize, kernel: usize, seed: u64) -> Self {
+        let fan_in = kernel * kernel;
+        DepthwiseConv2d {
+            weight: Param::new(crate::init::he_normal(
+                &[channels, kernel, kernel],
+                fan_in,
+                seed,
+            )),
+            bias: Param::new(Tensor::zeros(&[channels])),
+            kernel,
+            cached_input: None,
+            label: format!("dwconv{kernel}x{kernel}_{channels}"),
+        }
+    }
+
+    fn channels(&self) -> usize {
+        self.weight.value.shape()[0]
+    }
+}
+
+impl Layer for DepthwiseConv2d {
+    #[allow(clippy::needless_range_loop)] // channel-indexed math reads clearest
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let k = self.kernel;
+        let pad = k / 2;
+        let [n, c, h, w] = [
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        ];
+        assert_eq!(c, self.channels(), "channel mismatch in {}", self.label);
+        let mut out = Tensor::zeros(&[n, c, h, w]);
+        let x = input.data();
+        let wt = self.weight.value.data();
+        let bias = self.bias.value.data();
+        {
+            let o = out.data_mut();
+            for b in 0..n {
+                for ch in 0..c {
+                    let plane = (b * c + ch) * h * w;
+                    let wbase = ch * k * k;
+                    for oy in 0..h {
+                        for ox in 0..w {
+                            let mut acc = bias[ch];
+                            for ky in 0..k {
+                                let iy = oy + ky;
+                                if iy < pad || iy - pad >= h {
+                                    continue;
+                                }
+                                for kx in 0..k {
+                                    let ix = ox + kx;
+                                    if ix < pad || ix - pad >= w {
+                                        continue;
+                                    }
+                                    acc += x[plane + (iy - pad) * w + ix - pad]
+                                        * wt[wbase + ky * k + kx];
+                                }
+                            }
+                            o[plane + oy * w + ox] = acc;
+                        }
+                    }
+                }
+            }
+        }
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward before forward");
+        let k = self.kernel;
+        let pad = k / 2;
+        let [n, c, h, w] = [
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        ];
+        let mut grad_in = Tensor::zeros(input.shape());
+        let x = input.data();
+        let wt = self.weight.value.data();
+        for b in 0..n {
+            for ch in 0..c {
+                let plane = (b * c + ch) * h * w;
+                let wbase = ch * k * k;
+                for oy in 0..h {
+                    for ox in 0..w {
+                        let g = grad_out.data()[plane + oy * w + ox];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        self.bias.grad.data_mut()[ch] += g;
+                        for ky in 0..k {
+                            let iy = oy + ky;
+                            if iy < pad || iy - pad >= h {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = ox + kx;
+                                if ix < pad || ix - pad >= w {
+                                    continue;
+                                }
+                                let off = plane + (iy - pad) * w + ix - pad;
+                                self.weight.grad.data_mut()[wbase + ky * k + kx] += g * x[off];
+                                grad_in.data_mut()[off] += g * wt[wbase + ky * k + kx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::uniform;
+
+    #[test]
+    fn shape_preserving() {
+        let mut layer = DepthwiseConv2d::new(4, 3, 1);
+        let out = layer.forward(&Tensor::zeros(&[2, 4, 6, 6]), false);
+        assert_eq!(out.shape(), &[2, 4, 6, 6]);
+    }
+
+    #[test]
+    fn channels_do_not_mix() {
+        // Energize channel 0 only; channel 1's output must stay at bias
+        // level (zero).
+        let mut layer = DepthwiseConv2d::new(2, 3, 2);
+        let mut x = Tensor::zeros(&[1, 2, 4, 4]);
+        for i in 0..16 {
+            x.data_mut()[i] = 1.0;
+        }
+        let out = layer.forward(&x, false);
+        for v in &out.data()[16..] {
+            assert_eq!(*v, 0.0, "cross-channel leakage");
+        }
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut layer = DepthwiseConv2d::new(2, 3, 3);
+        let x = uniform(&[1, 2, 5, 5], 1.0, 4);
+        let out = layer.forward(&x, true);
+        let ones = Tensor::full(out.shape(), 1.0);
+        let grad_in = layer.backward(&ones);
+        let eps = 1e-3f32;
+        for probe in [0usize, 7, 23, 40] {
+            let mut plus = x.clone();
+            plus.data_mut()[probe] += eps;
+            let mut minus = x.clone();
+            minus.data_mut()[probe] -= eps;
+            let lp = layer.forward(&plus, false).sum();
+            let lm = layer.forward(&minus, false).sum();
+            let fd = (lp - lm) / (2.0 * eps);
+            let an = grad_in.data()[probe];
+            assert!(
+                (fd - an).abs() < 3e-2 * (1.0 + fd.abs()),
+                "input grad mismatch at {probe}: fd={fd} analytic={an}"
+            );
+        }
+        // Weight gradient probe.
+        let analytic = layer.params_mut()[0].grad.data()[4];
+        layer.params_mut()[0].value.data_mut()[4] += eps;
+        let lp = layer.forward(&x, false).sum();
+        layer.params_mut()[0].value.data_mut()[4] -= 2.0 * eps;
+        let lm = layer.forward(&x, false).sum();
+        let fd = (lp - lm) / (2.0 * eps);
+        assert!(
+            (fd - analytic).abs() < 3e-2 * (1.0 + fd.abs()),
+            "weight grad mismatch: fd={fd} analytic={analytic}"
+        );
+    }
+}

@@ -1,0 +1,327 @@
+//! Normalization and regularization layers: 2-D batch normalization with
+//! running statistics, and inverted dropout.
+
+use crate::layers::{Layer, Param};
+use crate::tensor::Tensor;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Batch normalization over the channel axis of `[N, C, H, W]` inputs,
+/// with learnable scale/shift and running statistics for inference.
+#[derive(Debug)]
+pub struct BatchNorm2d {
+    gamma: Param,
+    beta: Param,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    momentum: f32,
+    eps: f32,
+    cache: Option<BnCache>,
+    label: String,
+}
+
+#[derive(Debug)]
+struct BnCache {
+    normalized: Tensor,
+    std_inv: Vec<f32>,
+    in_shape: Vec<usize>,
+}
+
+impl BatchNorm2d {
+    /// New batch-norm layer over `channels` feature maps.
+    pub fn new(channels: usize) -> Self {
+        BatchNorm2d {
+            gamma: Param::new(Tensor::full(&[channels], 1.0)),
+            beta: Param::new(Tensor::zeros(&[channels])),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            momentum: 0.1,
+            eps: 1e-5,
+            cache: None,
+            label: format!("batchnorm_{channels}"),
+        }
+    }
+
+    fn channels(&self) -> usize {
+        self.gamma.value.len()
+    }
+}
+
+impl Layer for BatchNorm2d {
+    #[allow(clippy::needless_range_loop)] // channel-indexed math reads clearest
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let [n, c, h, w] = [
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        ];
+        assert_eq!(c, self.channels(), "channel mismatch in {}", self.label);
+        let per = n * h * w;
+        let mut out = input.clone();
+        let mut normalized = input.clone();
+        let mut std_inv = vec![0.0f32; c];
+        for ch in 0..c {
+            let (mean, var) = if train {
+                let mut sum = 0.0f64;
+                let mut sum_sq = 0.0f64;
+                for b in 0..n {
+                    let start = (b * c + ch) * h * w;
+                    for &v in &input.data()[start..start + h * w] {
+                        sum += v as f64;
+                        sum_sq += (v as f64) * (v as f64);
+                    }
+                }
+                let mean = (sum / per as f64) as f32;
+                let var = (sum_sq / per as f64) as f32 - mean * mean;
+                self.running_mean[ch] =
+                    (1.0 - self.momentum) * self.running_mean[ch] + self.momentum * mean;
+                self.running_var[ch] =
+                    (1.0 - self.momentum) * self.running_var[ch] + self.momentum * var;
+                (mean, var)
+            } else {
+                (self.running_mean[ch], self.running_var[ch])
+            };
+            let inv = 1.0 / (var + self.eps).sqrt();
+            std_inv[ch] = inv;
+            let g = self.gamma.value.data()[ch];
+            let bta = self.beta.value.data()[ch];
+            for b in 0..n {
+                let start = (b * c + ch) * h * w;
+                for i in start..start + h * w {
+                    let norm = (input.data()[i] - mean) * inv;
+                    normalized.data_mut()[i] = norm;
+                    out.data_mut()[i] = g * norm + bta;
+                }
+            }
+        }
+        if train {
+            self.cache = Some(BnCache {
+                normalized,
+                std_inv,
+                in_shape: input.shape().to_vec(),
+            });
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("backward before forward");
+        let [n, c, h, w] = [
+            cache.in_shape[0],
+            cache.in_shape[1],
+            cache.in_shape[2],
+            cache.in_shape[3],
+        ];
+        let per = (n * h * w) as f32;
+        let mut grad_in = Tensor::zeros(&cache.in_shape);
+        for ch in 0..c {
+            // Accumulate dL/dgamma, dL/dbeta and the two correction sums.
+            let mut dgamma = 0.0f32;
+            let mut dbeta = 0.0f32;
+            for b in 0..n {
+                let start = (b * c + ch) * h * w;
+                for i in start..start + h * w {
+                    dgamma += grad_out.data()[i] * cache.normalized.data()[i];
+                    dbeta += grad_out.data()[i];
+                }
+            }
+            self.gamma.grad.data_mut()[ch] += dgamma;
+            self.beta.grad.data_mut()[ch] += dbeta;
+            let g = self.gamma.value.data()[ch];
+            let inv = cache.std_inv[ch];
+            for b in 0..n {
+                let start = (b * c + ch) * h * w;
+                for i in start..start + h * w {
+                    let go = grad_out.data()[i];
+                    let xn = cache.normalized.data()[i];
+                    grad_in.data_mut()[i] =
+                        g * inv / per * (per * go - dbeta - xn * dgamma);
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+/// Inverted dropout: active in training (zeroing with probability `rate`
+/// and scaling survivors by `1/(1-rate)`), identity at inference.
+#[derive(Debug)]
+pub struct Dropout {
+    rate: f32,
+    rng: SmallRng,
+    mask: Option<Vec<f32>>,
+    label: String,
+}
+
+impl Dropout {
+    /// New dropout layer with the given drop probability in `[0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1)`.
+    pub fn new(rate: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&rate), "rate must be in [0, 1)");
+        Dropout {
+            rate,
+            rng: SmallRng::seed_from_u64(seed),
+            mask: None,
+            label: format!("dropout_{rate}"),
+        }
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if !train || self.rate == 0.0 {
+            self.mask = None;
+            return input.clone();
+        }
+        let keep = 1.0 - self.rate;
+        let mask: Vec<f32> = (0..input.len())
+            .map(|_| {
+                if self.rng.gen::<f32>() < keep {
+                    1.0 / keep
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let data = input
+            .data()
+            .iter()
+            .zip(&mask)
+            .map(|(v, m)| v * m)
+            .collect();
+        self.mask = Some(mask);
+        Tensor::from_vec(data, input.shape())
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        match &self.mask {
+            None => grad_out.clone(),
+            Some(mask) => {
+                let data = grad_out
+                    .data()
+                    .iter()
+                    .zip(mask)
+                    .map(|(g, m)| g * m)
+                    .collect();
+                Tensor::from_vec(data, grad_out.shape())
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::uniform;
+
+    #[test]
+    fn batchnorm_normalizes_in_training() {
+        let mut bn = BatchNorm2d::new(2);
+        let x = uniform(&[4, 2, 3, 3], 5.0, 1);
+        let out = bn.forward(&x, true);
+        // Per-channel mean ≈ 0, var ≈ 1 (gamma=1, beta=0).
+        for ch in 0..2 {
+            let mut vals = Vec::new();
+            for b in 0..4 {
+                for i in 0..9 {
+                    vals.push(out.at(&[b, ch, i / 3, i % 3]));
+                }
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn batchnorm_inference_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1);
+        let x = uniform(&[8, 1, 4, 4], 3.0, 2);
+        for _ in 0..50 {
+            bn.forward(&x, true);
+        }
+        let train_out = bn.forward(&x, true);
+        let eval_out = bn.forward(&x, false);
+        // After the running stats converge to the batch stats, the two
+        // modes agree closely.
+        for (a, b) in train_out.data().iter().zip(eval_out.data()) {
+            assert!((a - b).abs() < 0.05, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn batchnorm_gradient_check() {
+        let mut bn = BatchNorm2d::new(2);
+        let x = uniform(&[2, 2, 3, 3], 1.0, 3);
+        let out = bn.forward(&x, true);
+        let ones = Tensor::full(out.shape(), 1.0);
+        let grad_in = bn.backward(&ones);
+        let eps = 1e-2f32;
+        for probe in [0usize, 5, 17, 30] {
+            let mut plus = x.clone();
+            plus.data_mut()[probe] += eps;
+            let mut minus = x.clone();
+            minus.data_mut()[probe] -= eps;
+            // Fresh layers so running stats do not interfere.
+            let mut bn_p = BatchNorm2d::new(2);
+            let mut bn_m = BatchNorm2d::new(2);
+            let lp = bn_p.forward(&plus, true).sum();
+            let lm = bn_m.forward(&minus, true).sum();
+            let fd = (lp - lm) / (2.0 * eps);
+            let an = grad_in.data()[probe];
+            assert!(
+                (fd - an).abs() < 5e-2 * (1.0 + fd.abs()),
+                "grad mismatch at {probe}: fd={fd} analytic={an}"
+            );
+        }
+    }
+
+    #[test]
+    fn dropout_is_identity_at_inference() {
+        let mut d = Dropout::new(0.5, 1);
+        let x = uniform(&[2, 8], 1.0, 4);
+        assert_eq!(d.forward(&x, false), x);
+    }
+
+    #[test]
+    fn dropout_preserves_expected_magnitude() {
+        let mut d = Dropout::new(0.3, 2);
+        let x = Tensor::full(&[1, 10_000], 1.0);
+        let out = d.forward(&x, true);
+        let mean: f32 = out.sum() / out.len() as f32;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn dropout_backward_matches_mask() {
+        let mut d = Dropout::new(0.5, 3);
+        let x = uniform(&[1, 32], 1.0, 5);
+        let out = d.forward(&x, true);
+        let grad = d.backward(&Tensor::full(&[1, 32], 1.0));
+        for (o, (g, xi)) in out.data().iter().zip(grad.data().iter().zip(x.data())) {
+            if *o == 0.0 && *xi != 0.0 {
+                assert_eq!(*g, 0.0);
+            } else if *xi != 0.0 {
+                assert_eq!(*g, 2.0); // 1 / (1 - 0.5)
+            }
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! A small CPU tensor library with explicit-backprop neural-network layers.
+//!
+//! This crate is the *real* training substrate of the reproduction: where
+//! the paper fine-tunes ImageNet models on a GPU farm, we demonstrate the
+//! identical pipeline — pretrain, cut layers, attach a fresh head, freeze,
+//! fine-tune — on miniature convolutional networks that train in seconds on
+//! a CPU. Gradients are hand-derived per layer and verified against finite
+//! differences in the test suite.
+//!
+//! # Example
+//!
+//! ```
+//! use netcut_tensor::{layers, Sequential, SoftCrossEntropy, Sgd, Optimizer, Tensor};
+//!
+//! let mut model = Sequential::new(vec![
+//!     Box::new(layers::Dense::new(4, 8, 1)),
+//!     Box::new(layers::Relu::new()),
+//!     Box::new(layers::Dense::new(8, 3, 2)),
+//! ]);
+//! let x = Tensor::zeros(&[2, 4]);
+//! let logits = model.forward(&x, true);
+//! assert_eq!(logits.shape(), &[2, 3]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod init;
+pub mod layers;
+mod layers_depthwise;
+mod layers_norm;
+mod loss;
+mod model;
+mod optim;
+mod tensor;
+
+pub use init::{he_normal, uniform, xavier_uniform};
+pub use layers::{Layer, Param};
+pub use layers_depthwise::DepthwiseConv2d;
+pub use layers_norm::{BatchNorm2d, Dropout};
+pub use loss::{mse, SoftCrossEntropy};
+pub use model::Sequential;
+pub use optim::{Adam, Optimizer, Sgd};
+pub use tensor::Tensor;

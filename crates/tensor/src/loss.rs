@@ -1,0 +1,168 @@
+//! Loss functions. The HANDS labels are probability distributions, so the
+//! primary loss is soft-label cross-entropy (equivalently KL divergence up
+//! to the label entropy constant).
+
+use crate::tensor::Tensor;
+
+/// Softmax + soft-label cross-entropy, fused for numerical stability.
+///
+/// Forward takes *logits* `[N, K]` and target distributions `[N, K]`,
+/// returning the mean cross-entropy `−Σ t·log softmax(z)` and caching the
+/// probabilities; `grad` returns `(p − t)/N`, the gradient with respect to
+/// the logits.
+///
+/// # Example
+///
+/// ```
+/// use netcut_tensor::{SoftCrossEntropy, Tensor};
+///
+/// let logits = Tensor::from_vec(vec![2.0, 0.0, 0.0], &[1, 3]);
+/// let target = Tensor::from_vec(vec![1.0, 0.0, 0.0], &[1, 3]);
+/// let mut loss = SoftCrossEntropy::new();
+/// let value = loss.forward(&logits, &target);
+/// assert!(value > 0.0 && value < 1.0);
+/// ```
+#[derive(Debug, Default)]
+pub struct SoftCrossEntropy {
+    probs: Option<Tensor>,
+    target: Option<Tensor>,
+}
+
+impl SoftCrossEntropy {
+    /// New loss instance.
+    pub fn new() -> Self {
+        SoftCrossEntropy::default()
+    }
+
+    /// Computes softmax probabilities from logits (row-wise, stable).
+    pub fn softmax(logits: &Tensor) -> Tensor {
+        let k = *logits.shape().last().expect("logits must have a class axis");
+        let mut out = logits.clone();
+        for row in out.data_mut().chunks_mut(k) {
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+        out
+    }
+
+    /// Mean soft-label cross-entropy of `logits` against `target`
+    /// distributions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ or are not rank 2.
+    pub fn forward(&mut self, logits: &Tensor, target: &Tensor) -> f32 {
+        assert_eq!(logits.shape(), target.shape(), "shape mismatch in loss");
+        assert_eq!(logits.shape().len(), 2, "loss expects [N, K]");
+        let probs = Self::softmax(logits);
+        let n = logits.shape()[0] as f32;
+        let loss = probs
+            .data()
+            .iter()
+            .zip(target.data())
+            .map(|(&p, &t)| if t > 0.0 { -t * (p.max(1e-12)).ln() } else { 0.0 })
+            .sum::<f32>()
+            / n;
+        self.probs = Some(probs);
+        self.target = Some(target.clone());
+        loss
+    }
+
+    /// Gradient of the last [`forward`](Self::forward) with respect to the
+    /// logits: `(softmax(z) − t) / N`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    pub fn grad(&self) -> Tensor {
+        let probs = self.probs.as_ref().expect("grad before forward");
+        let target = self.target.as_ref().expect("grad before forward");
+        let n = probs.shape()[0] as f32;
+        let data = probs
+            .data()
+            .iter()
+            .zip(target.data())
+            .map(|(&p, &t)| (p - t) / n)
+            .collect();
+        Tensor::from_vec(data, probs.shape())
+    }
+}
+
+/// Mean squared error between two equal-shape tensors.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn mse(a: &Tensor, b: &Tensor) -> f32 {
+    assert_eq!(a.shape(), b.shape(), "shape mismatch in mse");
+    let n = a.len() as f32;
+    a.data()
+        .iter()
+        .zip(b.data())
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum::<f32>()
+        / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]);
+        let p = SoftCrossEntropy::softmax(&t);
+        for row in p.data().chunks(3) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn perfect_prediction_has_label_entropy_loss() {
+        // When prediction equals a one-hot target exactly, loss → 0.
+        let logits = Tensor::from_vec(vec![50.0, 0.0, 0.0], &[1, 3]);
+        let target = Tensor::from_vec(vec![1.0, 0.0, 0.0], &[1, 3]);
+        let mut l = SoftCrossEntropy::new();
+        assert!(l.forward(&logits, &target) < 1e-6);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec(vec![0.5, -0.3, 0.1, 0.9, 0.2, -0.7], &[2, 3]);
+        let target = Tensor::from_vec(vec![0.7, 0.2, 0.1, 0.1, 0.3, 0.6], &[2, 3]);
+        let mut l = SoftCrossEntropy::new();
+        l.forward(&logits, &target);
+        let g = l.grad();
+        let eps = 1e-3;
+        for i in 0..logits.len() {
+            let mut plus = logits.clone();
+            plus.data_mut()[i] += eps;
+            let mut minus = logits.clone();
+            minus.data_mut()[i] -= eps;
+            let lp = SoftCrossEntropy::new().forward(&plus, &target);
+            let lm = SoftCrossEntropy::new().forward(&minus, &target);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - g.data()[i]).abs() < 1e-3,
+                "grad mismatch at {i}: fd={fd} analytic={}",
+                g.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn mse_of_identical_is_zero() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        assert_eq!(mse(&a, &a), 0.0);
+        let b = Tensor::from_vec(vec![2.0, 4.0], &[2]);
+        assert_eq!(mse(&a, &b), 2.5);
+    }
+}

@@ -1,0 +1,237 @@
+//! Sequential model container with cut / freeze support — the mini-scale
+//! mirror of the paper's TRN construction and transfer recipe.
+
+use crate::layers::{Layer, Param};
+use crate::loss::SoftCrossEntropy;
+use crate::optim::Optimizer;
+use crate::tensor::Tensor;
+
+/// A stack of layers executed in order.
+///
+/// Beyond plain forward/backward, `Sequential` supports the two structural
+/// operations the reproduction needs:
+///
+/// * [`truncate`](Self::truncate) — cut the top layers (layer removal);
+/// * [`freeze_below`](Self::freeze_below) — freeze the retained features
+///   for the first transfer phase.
+///
+/// # Example
+///
+/// ```
+/// use netcut_tensor::{layers, Sequential, Tensor};
+///
+/// let mut model = Sequential::new(vec![
+///     Box::new(layers::Dense::new(4, 16, 1)),
+///     Box::new(layers::Relu::new()),
+///     Box::new(layers::Dense::new(16, 2, 2)),
+/// ]);
+/// let out = model.forward(&Tensor::zeros(&[1, 4]), false);
+/// assert_eq!(out.shape(), &[1, 2]);
+/// model.truncate(2); // drop the classification layer
+/// assert_eq!(model.len(), 2);
+/// ```
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.layers.iter().map(|l| l.name()).collect();
+        f.debug_struct("Sequential").field("layers", &names).finish()
+    }
+}
+
+impl Sequential {
+    /// Builds a model from a layer stack.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Sequential { layers }
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// `true` if the model has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Layer names in order.
+    pub fn layer_names(&self) -> Vec<&str> {
+        self.layers.iter().map(|l| l.name()).collect()
+    }
+
+    /// Appends a layer at the top.
+    pub fn push(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Cuts the model down to its first `keep` layers — layer removal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep` exceeds the current depth.
+    pub fn truncate(&mut self, keep: usize) {
+        assert!(keep <= self.layers.len(), "cannot keep more layers than exist");
+        self.layers.truncate(keep);
+    }
+
+    /// Runs the full stack forward.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train);
+        }
+        x
+    }
+
+    /// Runs the stack forward, returning every layer's output in order
+    /// (used by quantization calibration to observe activation ranges).
+    pub fn forward_layers(&mut self, input: &Tensor) -> Vec<Tensor> {
+        let mut outputs = Vec::with_capacity(self.layers.len());
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, false);
+            outputs.push(x.clone());
+        }
+        outputs
+    }
+
+    /// Propagates a loss gradient back through the stack, accumulating
+    /// parameter gradients.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// All parameters, bottom layer first.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
+    }
+
+    /// Freezes every parameter in layers `0..boundary` and unfreezes the
+    /// rest — phase one of the transfer recipe trains only the new head.
+    pub fn freeze_below(&mut self, boundary: usize) {
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            for p in layer.params_mut() {
+                p.frozen = i < boundary;
+            }
+        }
+    }
+
+    /// Unfreezes everything (phase two: full fine-tuning at a lower
+    /// learning rate).
+    pub fn unfreeze_all(&mut self) {
+        for layer in &mut self.layers {
+            for p in layer.params_mut() {
+                p.frozen = false;
+            }
+        }
+    }
+
+    /// One training step on a `(batch, soft-label)` pair: forward, loss,
+    /// backward, optimizer step. Returns the batch loss.
+    pub fn train_step<O: Optimizer>(
+        &mut self,
+        x: &Tensor,
+        target: &Tensor,
+        loss: &mut SoftCrossEntropy,
+        opt: &mut O,
+    ) -> f32 {
+        let logits = self.forward(x, true);
+        let value = loss.forward(&logits, target);
+        self.backward(&loss.grad());
+        opt.step(&mut self.params_mut());
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Relu};
+    use crate::optim::{Adam, Sgd};
+
+    fn xor_data() -> (Tensor, Tensor) {
+        let x = Tensor::from_vec(
+            vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0],
+            &[4, 2],
+        );
+        // Soft labels: class 0 = "same", class 1 = "different".
+        let y = Tensor::from_vec(
+            vec![1.0, 0.0, 0.0, 1.0, 0.0, 1.0, 1.0, 0.0],
+            &[4, 2],
+        );
+        (x, y)
+    }
+
+    fn xor_model(seed: u64) -> Sequential {
+        Sequential::new(vec![
+            Box::new(Dense::new(2, 16, seed)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(16, 2, seed + 1)),
+        ])
+    }
+
+    #[test]
+    fn learns_xor() {
+        let (x, y) = xor_data();
+        let mut model = xor_model(11);
+        let mut loss = SoftCrossEntropy::new();
+        let mut opt = Adam::new(0.05);
+        let first = model.train_step(&x, &y, &mut loss, &mut opt);
+        let mut last = first;
+        for _ in 0..300 {
+            last = model.train_step(&x, &y, &mut loss, &mut opt);
+        }
+        assert!(last < first * 0.05, "loss did not drop: {first} -> {last}");
+        let pred = model.forward(&x, false).argmax_rows();
+        assert_eq!(pred, vec![0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn truncate_cuts_top() {
+        let mut model = xor_model(1);
+        model.truncate(2);
+        assert_eq!(model.len(), 2);
+        let out = model.forward(&Tensor::zeros(&[1, 2]), false);
+        assert_eq!(out.shape(), &[1, 16]);
+    }
+
+    #[test]
+    fn freeze_below_keeps_features_fixed() {
+        let (x, y) = xor_data();
+        let mut model = xor_model(3);
+        model.freeze_below(2);
+        let before: Vec<f32> = model.params_mut()[0].value.data().to_vec();
+        let mut loss = SoftCrossEntropy::new();
+        let mut opt = Sgd::new(0.1, 0.0);
+        for _ in 0..5 {
+            model.train_step(&x, &y, &mut loss, &mut opt);
+        }
+        let after: Vec<f32> = model.params_mut()[0].value.data().to_vec();
+        assert_eq!(before, after, "frozen features moved");
+        model.unfreeze_all();
+        for _ in 0..5 {
+            model.train_step(&x, &y, &mut loss, &mut opt);
+        }
+        let after2: Vec<f32> = model.params_mut()[0].value.data().to_vec();
+        assert_ne!(before, after2, "unfrozen features did not move");
+    }
+
+    #[test]
+    fn debug_lists_layer_names() {
+        let model = xor_model(1);
+        let dbg = format!("{model:?}");
+        assert!(dbg.contains("dense_2x16"));
+        assert!(dbg.contains("relu"));
+    }
+}

@@ -1,0 +1,198 @@
+//! Gradient-descent optimizers operating on [`Param`] lists.
+
+use crate::layers::Param;
+
+/// An optimizer that applies accumulated gradients to parameters and clears
+/// them. Frozen parameters are skipped (their gradients are still cleared so
+/// they do not leak into later unfrozen phases).
+pub trait Optimizer {
+    /// Applies one update step over `params` in order. Parameter identity is
+    /// positional: callers must pass the same parameter list in the same
+    /// order on every step.
+    fn step(&mut self, params: &mut [&mut Param]);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Changes the learning rate (the transfer recipe drops it from 1e-3 to
+    /// 1e-4 for the fine-tuning phase, §III-B-3).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with classical momentum.
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// New SGD optimizer with the given learning rate and momentum.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.velocity.len() != params.len() {
+            self.velocity = params.iter().map(|p| vec![0.0; p.value.len()]).collect();
+        }
+        for (param, vel) in params.iter_mut().zip(&mut self.velocity) {
+            if !param.frozen {
+                for ((w, g), v) in param
+                    .value
+                    .data_mut()
+                    .iter_mut()
+                    .zip(param.grad.data())
+                    .zip(vel.iter_mut())
+                {
+                    *v = self.momentum * *v - self.lr * g;
+                    *w += *v;
+                }
+            }
+            for g in param.grad.data_mut() {
+                *g = 0.0;
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam optimizer (Kingma & Ba) with bias correction.
+#[derive(Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: i32,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// New Adam optimizer with standard β₁ = 0.9, β₂ = 0.999.
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.m.len() != params.len() {
+            self.m = params.iter().map(|p| vec![0.0; p.value.len()]).collect();
+            self.v = params.iter().map(|p| vec![0.0; p.value.len()]).collect();
+            self.t = 0;
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t);
+        let bc2 = 1.0 - self.beta2.powi(self.t);
+        for ((param, m), v) in params.iter_mut().zip(&mut self.m).zip(&mut self.v) {
+            if !param.frozen {
+                for (((w, g), mi), vi) in param
+                    .value
+                    .data_mut()
+                    .iter_mut()
+                    .zip(param.grad.data())
+                    .zip(m.iter_mut())
+                    .zip(v.iter_mut())
+                {
+                    *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
+                    *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;
+                    let m_hat = *mi / bc1;
+                    let v_hat = *vi / bc2;
+                    *w -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+                }
+            }
+            for g in param.grad.data_mut() {
+                *g = 0.0;
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+
+    fn quadratic_param(start: f32) -> Param {
+        Param::new(Tensor::from_vec(vec![start], &[1]))
+    }
+
+    /// Minimize f(w) = w² with analytic gradient 2w.
+    fn run<O: Optimizer>(opt: &mut O, steps: usize) -> f32 {
+        let mut p = quadratic_param(1.0);
+        for _ in 0..steps {
+            let w = p.value.data()[0];
+            p.grad.data_mut()[0] = 2.0 * w;
+            opt.step(&mut [&mut p]);
+        }
+        p.value.data()[0].abs()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        assert!(run(&mut Sgd::new(0.1, 0.0), 50) < 1e-3);
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        let plain = run(&mut Sgd::new(0.02, 0.0), 40);
+        let momentum = run(&mut Sgd::new(0.02, 0.9), 40);
+        assert!(momentum < plain);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        assert!(run(&mut Adam::new(0.2), 100) < 1e-2);
+    }
+
+    #[test]
+    fn frozen_params_do_not_move_but_grads_clear() {
+        let mut p = quadratic_param(1.0);
+        p.frozen = true;
+        p.grad.data_mut()[0] = 5.0;
+        let mut opt = Sgd::new(0.1, 0.0);
+        opt.step(&mut [&mut p]);
+        assert_eq!(p.value.data()[0], 1.0);
+        assert_eq!(p.grad.data()[0], 0.0);
+    }
+
+    #[test]
+    fn learning_rate_is_adjustable() {
+        let mut opt = Sgd::new(1e-3, 0.9);
+        assert_eq!(opt.learning_rate(), 1e-3);
+        opt.set_learning_rate(1e-4);
+        assert_eq!(opt.learning_rate(), 1e-4);
+    }
+}

@@ -1,0 +1,182 @@
+//! Property-based tests of the tensor engine: algebraic identities of the
+//! core ops and gradient-flow invariants of the layers.
+
+use netcut_tensor::layers::{Conv2d, Dense, GlobalAvgPool, Layer, MaxPool2, Relu};
+use netcut_tensor::{uniform, SoftCrossEntropy, Tensor};
+use proptest::prelude::*;
+
+fn tensor_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-3.0f32..3.0, rows * cols)
+        .prop_map(move |data| Tensor::from_vec(data, &[rows, cols]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in tensor_strategy(3, 4),
+        b in tensor_strategy(4, 2),
+        c in tensor_strategy(4, 2),
+    ) {
+        let left = a.matmul(&b.add(&c));
+        let right = a.matmul(&b).add(&a.matmul(&c));
+        for (l, r) in left.data().iter().zip(right.data()) {
+            prop_assert!((l - r).abs() < 1e-3, "{l} vs {r}");
+        }
+    }
+
+    #[test]
+    fn transpose_reverses_matmul(a in tensor_strategy(3, 4), b in tensor_strategy(4, 2)) {
+        let ab_t = a.matmul(&b).transposed();
+        let bt_at = b.transposed().matmul(&a.transposed());
+        for (l, r) in ab_t.data().iter().zip(bt_at.data()) {
+            prop_assert!((l - r).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(logits in tensor_strategy(4, 5)) {
+        let p = SoftCrossEntropy::softmax(&logits);
+        for row in p.data().chunks(5) {
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-5);
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant(logits in tensor_strategy(2, 4), shift in -5.0f32..5.0) {
+        let base = SoftCrossEntropy::softmax(&logits);
+        let mut shifted = logits.clone();
+        for v in shifted.data_mut() {
+            *v += shift;
+        }
+        let after = SoftCrossEntropy::softmax(&shifted);
+        for (a, b) in base.data().iter().zip(after.data()) {
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn relu_backward_passes_only_active_gradients(seed in 0u64..500) {
+        let x = uniform(&[2, 10], 2.0, seed);
+        let mut relu = Relu::new();
+        let out = relu.forward(&x, true);
+        let ones = Tensor::full(out.shape(), 1.0);
+        let grad = relu.backward(&ones);
+        for (g, v) in grad.data().iter().zip(x.data()) {
+            if *v < 0.0 {
+                prop_assert_eq!(*g, 0.0);
+            } else {
+                prop_assert_eq!(*g, 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn dense_is_linear_in_its_input(seed in 0u64..500, alpha in -2.0f32..2.0) {
+        let mut layer = Dense::new(6, 4, seed);
+        // Zero the bias so f is strictly linear.
+        for p in layer.params_mut() {
+            if p.value.shape().len() == 1 {
+                for v in p.value.data_mut() {
+                    *v = 0.0;
+                }
+            }
+        }
+        let x = uniform(&[1, 6], 1.0, seed + 1);
+        let fx = layer.forward(&x, false);
+        let fax = layer.forward(&x.scaled(alpha), false);
+        for (a, b) in fax.data().iter().zip(fx.data()) {
+            prop_assert!((a - alpha * b).abs() < 1e-3, "{a} vs {}", alpha * b);
+        }
+    }
+
+    #[test]
+    fn gap_preserves_mean_mass(seed in 0u64..500) {
+        let x = uniform(&[2, 3, 4, 4], 1.0, seed);
+        let mut gap = GlobalAvgPool::new();
+        let out = gap.forward(&x, false);
+        // Total mass is preserved up to the area factor.
+        prop_assert!((out.sum() * 16.0 - x.sum()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn maxpool_output_bounded_by_input_max(seed in 0u64..500) {
+        let x = uniform(&[1, 2, 6, 6], 3.0, seed);
+        let mut pool = MaxPool2::new();
+        let out = pool.forward(&x, false);
+        let in_max = x.data().iter().cloned().fold(f32::MIN, f32::max);
+        let out_max = out.data().iter().cloned().fold(f32::MIN, f32::max);
+        prop_assert_eq!(in_max, out_max);
+        for v in out.data() {
+            prop_assert!(*v <= in_max);
+        }
+    }
+
+    #[test]
+    fn conv_matches_naive_reference(seed in 0u64..200) {
+        // The production Conv2d runs im2col + GEMM; compare it against a
+        // direct 7-loop convolution on random inputs and weights.
+        let (in_c, out_c, k, h, w) = (2usize, 3usize, 3usize, 5usize, 6usize);
+        let mut conv = Conv2d::new(in_c, out_c, k, seed);
+        let x = uniform(&[2, in_c, h, w], 1.5, seed + 1);
+        let fast = conv.forward(&x, false);
+        // Naive reference.
+        let params = conv.params_mut();
+        let weight = params[0].value.clone();
+        let bias = params[1].value.clone();
+        let pad = k / 2;
+        for b in 0..2 {
+            for oc in 0..out_c {
+                for oy in 0..h {
+                    for ox in 0..w {
+                        let mut acc = bias.data()[oc];
+                        for ic in 0..in_c {
+                            for ky in 0..k {
+                                for kx in 0..k {
+                                    let iy = oy + ky;
+                                    let ix = ox + kx;
+                                    if iy < pad || iy - pad >= h || ix < pad || ix - pad >= w {
+                                        continue;
+                                    }
+                                    acc += x.at(&[b, ic, iy - pad, ix - pad])
+                                        * weight.at(&[oc, ic, ky, kx]);
+                                }
+                            }
+                        }
+                        let got = fast.at(&[b, oc, oy, ox]);
+                        prop_assert!(
+                            (got - acc).abs() < 1e-4,
+                            "mismatch at [{b},{oc},{oy},{ox}]: {got} vs {acc}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conv_of_zero_input_is_pure_bias(seed in 0u64..200) {
+        let mut conv = Conv2d::new(2, 3, 3, seed);
+        let out = conv.forward(&Tensor::zeros(&[1, 2, 5, 5]), false);
+        // Every output position of channel c equals bias[c] (zero here).
+        for v in out.data() {
+            prop_assert_eq!(*v, 0.0);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_is_minimized_by_the_target(target_row in prop::collection::vec(0.05f32..1.0, 4)) {
+        let sum: f32 = target_row.iter().sum();
+        let target: Vec<f32> = target_row.iter().map(|v| v / sum).collect();
+        let t = Tensor::from_vec(target.clone(), &[1, 4]);
+        // Logits matching log-target give lower loss than uniform logits.
+        let matched = Tensor::from_vec(target.iter().map(|v| v.ln()).collect(), &[1, 4]);
+        let uniform_logits = Tensor::zeros(&[1, 4]);
+        let l_match = SoftCrossEntropy::new().forward(&matched, &t);
+        let l_uniform = SoftCrossEntropy::new().forward(&uniform_logits, &t);
+        prop_assert!(l_match <= l_uniform + 1e-6);
+    }
+}

@@ -1,0 +1,45 @@
+//! Training substrates for the NetCut reproduction.
+//!
+//! Three pieces, replacing the paper's GPU-farm fine-tuning runs:
+//!
+//! 1. [`TransferModel`] — a calibrated *surrogate* that assigns every TRN a
+//!    post-deployment angular-similarity accuracy consistent with the
+//!    paper's observed family behaviours (Fig. 5): DenseNet/InceptionV3
+//!    tolerate deep cuts, ResNet degrades gently, MobileNets degrade fast,
+//!    and MobileNetV2 additionally pays the per-tensor INT8 quantization
+//!    penalty documented in the paper's own reference \[20\].
+//! 2. [`engine`] — a *real* transfer pipeline on the [`netcut_tensor`]
+//!    engine: pretrain a miniature CNN on the complex synthetic task, cut
+//!    its top layers, attach a fresh head, and run the paper's two-phase
+//!    recipe (features frozen at lr 1e-3, then everything at 1e-4).
+//! 3. [`TrainingCostModel`] — FLOPs-based retraining-time accounting on a
+//!    Tesla K20m-class device, powering the 183 h vs 6.7 h exploration
+//!    comparison (§V-C).
+//!
+//! # Example
+//!
+//! ```
+//! use netcut_graph::{zoo, HeadSpec};
+//! use netcut_train::TransferModel;
+//!
+//! let model = TransferModel::paper();
+//! let net = zoo::resnet50();
+//! let trn = net.cut_blocks(2)?.with_head(&HeadSpec::default());
+//! let acc = model.accuracy(&trn);
+//! assert!(acc > 0.5 && acc < 1.0);
+//! # Ok::<(), netcut_graph::GraphError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost;
+pub mod engine;
+mod retrain;
+mod schedule;
+mod surrogate;
+
+pub use cost::TrainingCostModel;
+pub use retrain::{Retrainer, SurrogateRetrainer, TrainedTrn};
+pub use schedule::{EarlyStopping, LrSchedule};
+pub use surrogate::{TransferModel, TransferProfile, WidthPruningModel};

@@ -1,0 +1,148 @@
+//! Learning-rate schedules and early stopping for the fine-tuning engine —
+//! quality-of-life tooling around the paper's fixed two-phase recipe.
+
+use serde::{Deserialize, Serialize};
+
+/// Epoch-indexed learning-rate policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LrSchedule {
+    /// Fixed learning rate (the paper's choice within each phase).
+    Constant,
+    /// Multiply by `factor` every `every` epochs.
+    Step {
+        /// Epochs between drops.
+        every: usize,
+        /// Multiplicative factor per drop (usually < 1).
+        factor: f32,
+    },
+    /// Cosine annealing from the base rate down to `min_lr` over
+    /// `total_epochs`.
+    Cosine {
+        /// Epochs over which to anneal.
+        total_epochs: usize,
+        /// Terminal learning rate.
+        min_lr: f32,
+    },
+}
+
+impl LrSchedule {
+    /// The learning rate for `epoch` (0-based) given the base rate.
+    pub fn lr_at(&self, epoch: usize, base: f32) -> f32 {
+        match *self {
+            LrSchedule::Constant => base,
+            LrSchedule::Step { every, factor } => {
+                let drops = epoch.checked_div(every).unwrap_or(0);
+                base * factor.powi(drops as i32)
+            }
+            LrSchedule::Cosine {
+                total_epochs,
+                min_lr,
+            } => {
+                if total_epochs == 0 {
+                    return base;
+                }
+                let t = (epoch.min(total_epochs) as f32) / total_epochs as f32;
+                let cos = 0.5 * (1.0 + (std::f32::consts::PI * t).cos());
+                min_lr + (base - min_lr) * cos
+            }
+        }
+    }
+}
+
+/// Early stopping on a monitored loss: stop after `patience` epochs
+/// without an improvement of at least `min_delta`.
+#[derive(Debug, Clone)]
+pub struct EarlyStopping {
+    patience: usize,
+    min_delta: f32,
+    best: f32,
+    stale: usize,
+}
+
+impl EarlyStopping {
+    /// New monitor with the given patience and improvement threshold.
+    pub fn new(patience: usize, min_delta: f32) -> Self {
+        EarlyStopping {
+            patience,
+            min_delta,
+            best: f32::INFINITY,
+            stale: 0,
+        }
+    }
+
+    /// Records an epoch's loss; returns `true` when training should stop.
+    pub fn should_stop(&mut self, loss: f32) -> bool {
+        if loss < self.best - self.min_delta {
+            self.best = loss;
+            self.stale = 0;
+        } else {
+            self.stale += 1;
+        }
+        self.stale > self.patience
+    }
+
+    /// The best loss observed so far.
+    pub fn best(&self) -> f32 {
+        self.best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant;
+        assert_eq!(s.lr_at(0, 1e-3), 1e-3);
+        assert_eq!(s.lr_at(100, 1e-3), 1e-3);
+    }
+
+    #[test]
+    fn step_drops_at_boundaries() {
+        let s = LrSchedule::Step {
+            every: 10,
+            factor: 0.1,
+        };
+        assert_eq!(s.lr_at(9, 1.0), 1.0);
+        assert!((s.lr_at(10, 1.0) - 0.1).abs() < 1e-9);
+        assert!((s.lr_at(25, 1.0) - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cosine_anneals_monotonically() {
+        let s = LrSchedule::Cosine {
+            total_epochs: 20,
+            min_lr: 1e-5,
+        };
+        let mut prev = f32::INFINITY;
+        for e in 0..=20 {
+            let lr = s.lr_at(e, 1e-3);
+            assert!(lr <= prev + 1e-9);
+            prev = lr;
+        }
+        assert!((s.lr_at(0, 1e-3) - 1e-3).abs() < 1e-9);
+        assert!((s.lr_at(20, 1e-3) - 1e-5).abs() < 1e-7);
+        // Past the horizon the rate stays at the floor.
+        assert!((s.lr_at(50, 1e-3) - 1e-5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn early_stopping_waits_out_patience() {
+        let mut es = EarlyStopping::new(2, 0.0);
+        assert!(!es.should_stop(1.0));
+        assert!(!es.should_stop(0.9)); // improvement resets
+        assert!(!es.should_stop(0.95)); // stale 1
+        assert!(!es.should_stop(0.95)); // stale 2
+        assert!(es.should_stop(0.95)); // stale 3 > patience
+        assert_eq!(es.best(), 0.9);
+    }
+
+    #[test]
+    fn min_delta_filters_noise_improvements() {
+        let mut es = EarlyStopping::new(1, 0.1);
+        assert!(!es.should_stop(1.0));
+        assert!(!es.should_stop(0.95)); // within delta: stale
+        assert!(es.should_stop(0.93)); // still within delta: stop
+    }
+}

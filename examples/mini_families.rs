@@ -1,0 +1,127 @@
+//! Family-dependent removal robustness with *real* training: the paper's
+//! Fig. 5 observes that MobileNet-style (depthwise-separable) networks
+//! lose accuracy from the slightest layer removal while conventional
+//! architectures degrade gracefully. This example pretrains a plain CNN
+//! and a depthwise-separable CNN of matched depth on the complex synthetic
+//! task, then cuts each at every depth and fine-tunes — measuring the
+//! robustness contrast with actual gradient descent rather than the
+//! surrogate.
+//!
+//! ```text
+//! cargo run --release --example mini_families
+//! ```
+
+use netcut_data::Dataset;
+use netcut_tensor::layers::{Conv2d, Dense, GlobalAvgPool, MaxPool2, Relu};
+use netcut_tensor::{DepthwiseConv2d, Layer, Sequential, Tensor};
+use netcut_train::engine;
+
+const BLOCKS: usize = 4;
+const WIDTH: usize = 8;
+
+fn plain_features(cut: usize, seed: u64) -> Vec<Box<dyn Layer>> {
+    let mut layers: Vec<Box<dyn Layer>> = Vec::new();
+    let mut in_ch = netcut_data::IMAGE_CHANNELS;
+    for b in 0..BLOCKS - cut {
+        layers.push(Box::new(Conv2d::new(in_ch, WIDTH, 3, seed + b as u64)));
+        layers.push(Box::new(Relu::new()));
+        if b == 0 {
+            layers.push(Box::new(MaxPool2::new()));
+        }
+        in_ch = WIDTH;
+    }
+    layers
+}
+
+fn separable_features(cut: usize, seed: u64) -> Vec<Box<dyn Layer>> {
+    let mut layers: Vec<Box<dyn Layer>> = Vec::new();
+    // Stem: a full conv to reach WIDTH channels.
+    layers.push(Box::new(Conv2d::new(
+        netcut_data::IMAGE_CHANNELS,
+        WIDTH,
+        3,
+        seed,
+    )));
+    layers.push(Box::new(Relu::new()));
+    layers.push(Box::new(MaxPool2::new()));
+    for b in 0..BLOCKS - 1 - cut {
+        layers.push(Box::new(DepthwiseConv2d::new(WIDTH, 3, seed + 10 + b as u64)));
+        layers.push(Box::new(Relu::new()));
+        layers.push(Box::new(Conv2d::new(WIDTH, WIDTH, 1, seed + 20 + b as u64)));
+        layers.push(Box::new(Relu::new()));
+    }
+    layers
+}
+
+fn with_head(mut features: Vec<Box<dyn Layer>>, classes: usize, seed: u64) -> Sequential {
+    features.push(Box::new(GlobalAvgPool::new()));
+    features.push(Box::new(Dense::new(WIDTH, classes, seed + 1000)));
+    let mut model = Sequential::new(features);
+    let head = model.params_mut().len() - 2;
+    for p in &mut model.params_mut()[head..] {
+        p.value = p.value.scaled(0.05);
+    }
+    model
+}
+
+fn family_curve(
+    label: &str,
+    builder: &dyn Fn(usize, u64) -> Vec<Box<dyn Layer>>,
+    max_cut: usize,
+    source: &Dataset,
+    train: &Dataset,
+    test: &Dataset,
+    seed: u64,
+) -> Vec<f64> {
+    // Pretrain the full feature stack on the complex task.
+    let mut full = with_head(builder(0, seed), source.classes(), seed);
+    engine::train(&mut full, source, 30, 1e-3, 32, seed ^ 0xAA);
+    let weights: Vec<Tensor> = engine::snapshot(&mut full);
+    let mut curve = Vec::new();
+    for cut in 0..=max_cut {
+        let mut model = with_head(builder(cut, seed), train.classes(), seed + 77);
+        // Restore the retained feature prefix (all params except the fresh
+        // head's final dense weight+bias).
+        let feature_params = model.params_mut().len() - 2;
+        let mut prefix = weights.clone();
+        prefix.truncate(feature_params);
+        engine::restore_prefix(&mut model, &prefix);
+        // Two-phase fine-tune: head only, then everything.
+        let feature_layers = model.len() - 2;
+        model.freeze_below(feature_layers);
+        engine::train(&mut model, train, 25, 1e-3, 32, seed + 1);
+        model.unfreeze_all();
+        engine::train(&mut model, train, 12, 1e-4, 32, seed + 2);
+        let acc = engine::evaluate(&mut model, test);
+        curve.push(acc);
+        println!("  {label} cut {cut}: angular accuracy {acc:.3}");
+    }
+    curve
+}
+
+fn main() {
+    let source = Dataset::objects(500, 61);
+    let (train, test) = Dataset::hands(480, 62).split(0.25);
+    println!("pretraining both families on {} object images...\n", source.len());
+    println!("plain CNN (conventional blocks):");
+    let plain = family_curve("plain", &plain_features, 2, &source, &train, &test, 5);
+    println!();
+    println!("separable CNN (MobileNet-style blocks):");
+    let separable = family_curve("separable", &separable_features, 2, &source, &train, &test, 6);
+    println!();
+    let plain_drop = plain[0] - plain[2];
+    let separable_drop = separable[0] - separable[2];
+    println!(
+        "removing 2 blocks costs the plain CNN {plain_drop:.3} and the separable \
+         CNN {separable_drop:.3} angular accuracy."
+    );
+    println!(
+        "paper's Fig. 5 claim at mini scale: separable features are {} transferable \
+         under removal.",
+        if separable_drop > plain_drop {
+            "less"
+        } else {
+            "not measurably less"
+        }
+    );
+}

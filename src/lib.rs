@@ -1,0 +1,27 @@
+//! Umbrella crate for the NetCut (DATE 2021) reproduction.
+//!
+//! Re-exports every workspace crate under one roof so the runnable examples
+//! in `examples/` and the cross-crate integration tests in `tests/` have a
+//! single dependency. Library users should depend on the individual crates
+//! (`netcut`, `netcut-graph`, …) directly.
+//!
+//! # Example
+//!
+//! ```
+//! use netcut_repro::graph::zoo;
+//!
+//! let nets = zoo::paper_networks();
+//! assert_eq!(nets.len(), 7);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use netcut as core;
+pub use netcut_data as data;
+pub use netcut_estimate as estimate;
+pub use netcut_graph as graph;
+pub use netcut_hand as hand;
+pub use netcut_quant as quant;
+pub use netcut_sim as sim;
+pub use netcut_tensor as tensor;
+pub use netcut_train as train;

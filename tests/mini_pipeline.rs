@@ -1,0 +1,114 @@
+//! End-to-end *real-training* pipeline test: synthetic data →
+//! augmentation → pretraining → layer removal → two-phase fine-tuning →
+//! post-training quantization → angular-similarity evaluation. This is the
+//! paper's §III-B pipeline executed with actual gradient descent at mini
+//! scale.
+
+use netcut_data::{AugmentConfig, Dataset};
+use netcut_quant::{quantize_model, ActivationQuant};
+use netcut_train::engine::{self, FineTuneConfig, MiniConfig};
+
+#[test]
+fn full_transfer_and_quantization_pipeline() {
+    let cfg = MiniConfig {
+        conv_blocks: 3,
+        width: 8,
+        seed: 17,
+    };
+    // §III-B-2: dataset with probabilistic labels; train/test split plus a
+    // 10 % calibration subset of the training data (§III-B-4).
+    let source = Dataset::objects(400, 71);
+    let (train, test) = Dataset::hands(400, 72).split(0.3);
+    let train = train.augmented(1, &AugmentConfig::default(), 73);
+    let calibration = train.calibration_split(0.1, 74);
+
+    // Pretrain on the complex task, cut one block, fine-tune per the
+    // paper's recipe.
+    let mut pretrained = engine::pretrain(&cfg, &source, 20);
+    let weights = engine::snapshot(&mut pretrained);
+    let mut model = engine::build_trimmed(&cfg, &weights, 1, 5);
+    let ft = FineTuneConfig {
+        head_epochs: 20,
+        finetune_epochs: 10,
+        ..FineTuneConfig::default()
+    };
+    let float_accuracy = engine::fine_tune(&mut model, &cfg, 1, &train, &test, &ft);
+    assert!(
+        float_accuracy > 0.55,
+        "fine-tuned accuracy too low: {float_accuracy}"
+    );
+
+    // Post-training INT8 quantization with entropy calibration.
+    let calib_batches: Vec<_> = calibration
+        .epoch_batches(16, 75)
+        .into_iter()
+        .map(|idx| calibration.batch(&idx).0)
+        .collect();
+    let report = quantize_model(&mut model, &calib_batches, ActivationQuant::Entropy);
+    assert!(report.quantized_params > 0);
+    let quant_accuracy = engine::evaluate(&mut model, &test);
+    let drop = float_accuracy - quant_accuracy;
+    assert!(
+        drop < 0.02,
+        "quantization cost {drop:.4} accuracy (float {float_accuracy:.3}, int8 {quant_accuracy:.3})"
+    );
+}
+
+#[test]
+fn augmentation_does_not_hurt_generalization() {
+    let cfg = MiniConfig {
+        conv_blocks: 2,
+        width: 6,
+        seed: 23,
+    };
+    let (train, test) = Dataset::hands(320, 81).split(0.25);
+    let ft = FineTuneConfig {
+        head_epochs: 0,
+        finetune_epochs: 12,
+        finetune_lr: 1e-3,
+        ..FineTuneConfig::default()
+    };
+    let mut plain = engine::build(&cfg, 5);
+    let plain_acc = engine::fine_tune(&mut plain, &cfg, 0, &train, &test, &ft);
+    let augmented = train.augmented(2, &AugmentConfig::default(), 82);
+    let mut aug_model = engine::build(&cfg, 5);
+    let aug_acc = engine::fine_tune(&mut aug_model, &cfg, 0, &augmented, &test, &ft);
+    assert!(
+        aug_acc > plain_acc - 0.02,
+        "augmentation regressed accuracy: {plain_acc:.3} -> {aug_acc:.3}"
+    );
+}
+
+#[test]
+fn calibration_rules_agree_on_wellbehaved_activations() {
+    // MinMax and entropy calibration should both keep the mini model's
+    // accuracy; entropy never does worse on these outlier-free activations.
+    let cfg = MiniConfig {
+        conv_blocks: 2,
+        width: 6,
+        seed: 29,
+    };
+    let (train, test) = Dataset::hands(300, 91).split(0.4);
+    let ft = FineTuneConfig {
+        head_epochs: 10,
+        finetune_epochs: 8,
+        ..FineTuneConfig::default()
+    };
+    let calib: Vec<_> = (0..4)
+        .map(|i| Dataset::hands(16, 300 + i).full_batch().0)
+        .collect();
+    let mut results = Vec::new();
+    for rule in [ActivationQuant::MinMax, ActivationQuant::Entropy] {
+        let mut model = engine::build(&cfg, 5);
+        let acc = engine::fine_tune(&mut model, &cfg, 0, &train, &test, &ft);
+        quantize_model(&mut model, &calib, rule);
+        let quant_acc = engine::evaluate(&mut model, &test);
+        results.push((acc, quant_acc));
+    }
+    for (float_acc, quant_acc) in &results {
+        assert!(
+            float_acc - quant_acc < 0.02,
+            "quantization drop too large: {float_acc:.3} -> {quant_acc:.3}"
+        );
+    }
+}
