@@ -66,7 +66,14 @@ fn bench_batched_latency(c: &mut Criterion) {
     let device = DeviceModel::jetson_xavier();
     let net = zoo::mobilenet_v2(1.0);
     c.bench_function("batched_latency_mobilenet_v2_b16", |b| {
-        b.iter(|| black_box(batched_network_latency_ms(&net, &device, Precision::Int8, 16)))
+        b.iter(|| {
+            black_box(batched_network_latency_ms(
+                &net,
+                &device,
+                Precision::Int8,
+                16,
+            ))
+        })
     });
 }
 

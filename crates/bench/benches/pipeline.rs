@@ -11,10 +11,14 @@ use std::hint::black_box;
 
 fn bench_zoo_construction(c: &mut Criterion) {
     let mut g = c.benchmark_group("zoo_construction");
-    g.bench_function("mobilenet_v1", |b| b.iter(|| black_box(zoo::mobilenet_v1(0.5))));
+    g.bench_function("mobilenet_v1", |b| {
+        b.iter(|| black_box(zoo::mobilenet_v1(0.5)))
+    });
     g.bench_function("resnet50", |b| b.iter(|| black_box(zoo::resnet50())));
     g.bench_function("densenet121", |b| b.iter(|| black_box(zoo::densenet121())));
-    g.bench_function("inception_v3", |b| b.iter(|| black_box(zoo::inception_v3())));
+    g.bench_function("inception_v3", |b| {
+        b.iter(|| black_box(zoo::inception_v3()))
+    });
     g.finish();
 }
 

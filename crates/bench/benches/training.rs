@@ -5,9 +5,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use netcut_data::Dataset;
 use netcut_graph::{zoo, HeadSpec};
 use netcut_quant::{quantize_model, ActivationQuant};
+use netcut_tensor::{Adam, SoftCrossEntropy};
 use netcut_train::engine::{self, MiniConfig};
 use netcut_train::{Retrainer, SurrogateRetrainer};
-use netcut_tensor::{Adam, SoftCrossEntropy};
 use std::hint::black_box;
 
 fn bench_dataset(c: &mut Criterion) {

@@ -24,12 +24,8 @@ fn main() {
     for family in ["mobilenet_v1_0.50", "resnet50"] {
         let net = lab.source(family).backbone().with_head(&lab.head);
         for batch in [1usize, 2, 4, 8, 16, 32] {
-            let lat = batched_network_latency_ms(
-                &net,
-                lab.session.device(),
-                Precision::Int8,
-                batch,
-            );
+            let lat =
+                batched_network_latency_ms(&net, lab.session.device(), Precision::Int8, batch);
             rows.push(Row {
                 network: family.to_owned(),
                 batch,
@@ -54,12 +50,25 @@ fn main() {
         })
         .collect();
     print_table(
-        &["network", "batch", "latency ms", "ms/sample", "fps", "meets 0.9ms"],
+        &[
+            "network",
+            "batch",
+            "latency ms",
+            "ms/sample",
+            "fps",
+            "meets 0.9ms",
+        ],
         &table,
     );
     // The trade-off in one line: ResNet-50 at batch 16 vs batch 1.
-    let b1 = rows.iter().find(|r| r.network == "resnet50" && r.batch == 1).expect("row");
-    let b16 = rows.iter().find(|r| r.network == "resnet50" && r.batch == 16).expect("row");
+    let b1 = rows
+        .iter()
+        .find(|r| r.network == "resnet50" && r.batch == 1)
+        .expect("row");
+    let b16 = rows
+        .iter()
+        .find(|r| r.network == "resnet50" && r.batch == 16)
+        .expect("row");
     println!();
     println!(
         "batching ResNet-50 to 16 raises throughput {:.1}x but inflates frame \
@@ -74,4 +83,5 @@ fn main() {
     assert!(!b16.meets_deadline);
     let path = write_json("ablation_batching", &rows);
     println!("raw data: {}", path.display());
+    netcut_bench::print_run_summary(&netcut_bench::RunMetadata::collect(&lab, 1));
 }

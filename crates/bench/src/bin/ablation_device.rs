@@ -57,7 +57,13 @@ fn main() {
         })
         .collect();
     print_table(
-        &["device", "MNv1(0.5) ms", "ResNet-50 ms", "selection", "accuracy"],
+        &[
+            "device",
+            "MNv1(0.5) ms",
+            "ResNet-50 ms",
+            "selection",
+            "accuracy",
+        ],
         &table,
     );
     println!();
@@ -70,4 +76,10 @@ fn main() {
     assert!(rows[1].accuracy <= rows[0].accuracy);
     let path = write_json("ablation_device", &rows);
     println!("raw data: {}", path.display());
+    netcut_bench::print_run_summary(&netcut_bench::RunMetadata {
+        seed: 5,
+        device: "jetson_xavier+jetson_nano".into(),
+        precision: "int8".into(),
+        git: netcut_bench::git_describe(),
+    });
 }

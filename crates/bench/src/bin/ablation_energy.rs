@@ -81,4 +81,5 @@ fn main() {
     assert!(selected_row.energy_mj >= cheapest);
     let path = write_json("ablation_energy", &rows);
     println!("raw data: {}", path.display());
+    netcut_bench::print_run_summary(&netcut_bench::RunMetadata::collect(&lab, 3));
 }

@@ -95,4 +95,5 @@ fn main() {
     assert!(full <= best_single + 1e-9);
     let path = write_json("ablation_estimator_features", &results);
     println!("raw data: {}", path.display());
+    netcut_bench::print_run_summary(&netcut_bench::RunMetadata::collect(&lab, 17));
 }

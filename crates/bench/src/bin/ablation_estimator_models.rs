@@ -83,8 +83,15 @@ fn main() {
         results[0].test_error * 100.0,
         results[2].test_error * 100.0
     );
-    assert!(results[2].test_error < results[0].test_error, "SVR must beat global linear");
-    assert!(results[2].test_error < results[1].test_error, "SVR must beat per-family linear");
+    assert!(
+        results[2].test_error < results[0].test_error,
+        "SVR must beat global linear"
+    );
+    assert!(
+        results[2].test_error < results[1].test_error,
+        "SVR must beat per-family linear"
+    );
     let path = write_json("ablation_estimator_models", &results);
     println!("raw data: {}", path.display());
+    netcut_bench::print_run_summary(&netcut_bench::RunMetadata::collect(&lab, 17));
 }

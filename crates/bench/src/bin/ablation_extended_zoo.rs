@@ -64,4 +64,5 @@ fn main() {
     print_table(&["proposal", "measured ms", "accuracy"], &table);
     let path = write_json("ablation_extended_zoo", &outcome.proposals);
     println!("raw data: {}", path.display());
+    netcut_bench::print_run_summary(&netcut_bench::RunMetadata::from_session(&session, 3));
 }

@@ -72,7 +72,10 @@ fn main() {
             ]
         })
         .collect();
-    print_table(&["network", "fused ms", "unfused ms", "fusion speedup"], &table);
+    print_table(
+        &["network", "fused ms", "unfused ms", "fusion speedup"],
+        &table,
+    );
     for r in &rows {
         assert!(r.speedup > 1.2, "{}: fusion must matter", r.network);
     }
@@ -91,4 +94,5 @@ fn main() {
     );
     let path = write_json("ablation_fusion", &rows);
     println!("raw data: {}", path.display());
+    netcut_bench::print_run_summary(&netcut_bench::RunMetadata::collect(&lab, 3));
 }

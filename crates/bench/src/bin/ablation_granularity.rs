@@ -77,7 +77,12 @@ fn main() {
         })
         .collect();
     print_table(
-        &["granularity", "candidates", "retrain hours", "best acc @0.9ms"],
+        &[
+            "granularity",
+            "candidates",
+            "retrain hours",
+            "best acc @0.9ms",
+        ],
         &rows,
     );
     let stage = &results[0];
@@ -96,4 +101,5 @@ fn main() {
     assert!(block.retrain_hours < layer.retrain_hours / 3.0);
     let path = write_json("ablation_granularity", &results);
     println!("raw data: {}", path.display());
+    netcut_bench::print_run_summary(&netcut_bench::RunMetadata::collect(&lab, 5));
 }

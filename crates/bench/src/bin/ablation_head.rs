@@ -19,11 +19,35 @@ struct Row {
 fn main() {
     let lab = Lab::new();
     let heads = [
-        ("none (GAP+softmax)", HeadSpec { hidden: vec![], classes: 5 }),
-        ("1x256", HeadSpec { hidden: vec![256], classes: 5 }),
+        (
+            "none (GAP+softmax)",
+            HeadSpec {
+                hidden: vec![],
+                classes: 5,
+            },
+        ),
+        (
+            "1x256",
+            HeadSpec {
+                hidden: vec![256],
+                classes: 5,
+            },
+        ),
         ("256+128 (paper)", HeadSpec::default()),
-        ("1024+512", HeadSpec { hidden: vec![1024, 512], classes: 5 }),
-        ("4x512", HeadSpec { hidden: vec![512; 4], classes: 5 }),
+        (
+            "1024+512",
+            HeadSpec {
+                hidden: vec![1024, 512],
+                classes: 5,
+            },
+        ),
+        (
+            "4x512",
+            HeadSpec {
+                hidden: vec![512; 4],
+                classes: 5,
+            },
+        ),
     ];
     println!("Ablation — transfer-head capacity vs deployed latency");
     let mut rows = Vec::new();
@@ -69,4 +93,5 @@ fn main() {
     );
     let path = write_json("ablation_head", &rows);
     println!("raw data: {}", path.display());
+    netcut_bench::print_run_summary(&netcut_bench::RunMetadata::collect(&lab, 9));
 }

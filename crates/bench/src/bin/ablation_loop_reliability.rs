@@ -69,7 +69,11 @@ fn main() {
             .with_head(&lab.head)
     };
     let candidates: Vec<(String, netcut_graph::Network, bool)> = vec![
-        ("mobilenet_v1_0.50 @xavier".into(), make("mobilenet_v1_0.50", 0), false),
+        (
+            "mobilenet_v1_0.50 @xavier".into(),
+            make("mobilenet_v1_0.50", 0),
+            false,
+        ),
         ("resnet50/cut9 @xavier".into(), make("resnet50", 9), false),
         ("resnet50 @xavier".into(), make("resnet50", 0), false),
         ("resnet50/cut9 @nano".into(), make("resnet50", 9), true),
@@ -104,7 +108,13 @@ fn main() {
         })
         .collect();
     print_table(
-        &["classifier", "ms", "frames fused", "meets budget", "decision quality"],
+        &[
+            "classifier",
+            "ms",
+            "frames fused",
+            "meets budget",
+            "decision quality",
+        ],
         &table,
     );
     let netcut_pick = &rows[1];
@@ -123,4 +133,5 @@ fn main() {
     assert!(netcut_pick.deadline_met && !violator.deadline_met);
     let path = write_json("ablation_loop_reliability", &rows);
     println!("raw data: {}", path.display());
+    netcut_bench::print_run_summary(&netcut_bench::RunMetadata::collect(&lab, 9));
 }

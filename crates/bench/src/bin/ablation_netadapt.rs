@@ -79,12 +79,26 @@ fn main() {
         })
         .collect();
     print_table(
-        &["method", "deadline", "result", "ms", "accuracy", "nets trained", "hours"],
+        &[
+            "method",
+            "deadline",
+            "result",
+            "ms",
+            "accuracy",
+            "nets trained",
+            "hours",
+        ],
         &table,
     );
     // The paper's point, quantified at 0.30 ms.
-    let na = rows.iter().find(|r| r.method == "netadapt" && r.deadline_ms == 0.30).expect("row");
-    let nc = rows.iter().find(|r| r.method == "netcut" && r.deadline_ms == 0.30).expect("row");
+    let na = rows
+        .iter()
+        .find(|r| r.method == "netadapt" && r.deadline_ms == 0.30)
+        .expect("row");
+    let nc = rows
+        .iter()
+        .find(|r| r.method == "netcut" && r.deadline_ms == 0.30)
+        .expect("row");
     println!();
     println!(
         "at 0.30 ms NetAdapt short-fine-tunes {} candidates of ONE family for \
@@ -100,7 +114,11 @@ fn main() {
         na.hours / (nc.hours / 7.0)
     );
     assert!(na.hours > nc.hours, "NetAdapt must cost more in total");
-    assert!(nc.accuracy >= na.accuracy - 0.02, "NetCut must stay competitive");
+    assert!(
+        nc.accuracy >= na.accuracy - 0.02,
+        "NetCut must stay competitive"
+    );
     let path = write_json("ablation_netadapt", &rows);
     println!("raw data: {}", path.display());
+    netcut_bench::print_run_summary(&netcut_bench::RunMetadata::collect(&lab, 3));
 }

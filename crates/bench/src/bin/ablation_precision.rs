@@ -70,4 +70,5 @@ fn main() {
     );
     let path = write_json("ablation_precision", &rows);
     println!("raw data: {}", path.display());
+    netcut_bench::print_run_summary(&netcut_bench::RunMetadata::collect(&lab, 3));
 }

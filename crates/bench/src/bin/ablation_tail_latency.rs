@@ -57,10 +57,20 @@ fn main() {
         })
         .collect();
     print_table(
-        &["proposal", "mean ms", "p99 ms", "mean ok", "p99 ok", "frame miss rate"],
+        &[
+            "proposal",
+            "mean ms",
+            "p99 ms",
+            "mean ok",
+            "p99 ok",
+            "frame miss rate",
+        ],
         &table,
     );
-    let marginal: Vec<&Row> = rows.iter().filter(|r| r.mean_meets && !r.p99_meets).collect();
+    let marginal: Vec<&Row> = rows
+        .iter()
+        .filter(|r| r.mean_meets && !r.p99_meets)
+        .collect();
     println!();
     if marginal.is_empty() {
         println!(
@@ -86,4 +96,5 @@ fn main() {
     assert!(safe.miss_rate_percent < 1e-6);
     let path = write_json("ablation_tail_latency", &rows);
     println!("raw data: {}", path.display());
+    netcut_bench::print_run_summary(&netcut_bench::RunMetadata::collect(&lab, 13));
 }

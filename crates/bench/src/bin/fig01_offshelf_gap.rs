@@ -46,4 +46,5 @@ fn main() {
     );
     let path = write_json("fig01_offshelf", &shelf.points);
     println!("raw data: {}", path.display());
+    netcut_bench::print_run_summary(&netcut_bench::RunMetadata::collect(&lab, 1));
 }

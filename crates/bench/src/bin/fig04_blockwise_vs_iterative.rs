@@ -89,4 +89,5 @@ fn main() {
         &serde_json::json!({ "blockwise": blockwise, "iterative": iterative }),
     );
     println!("raw data: {}", path.display());
+    netcut_bench::print_run_summary(&netcut_bench::RunMetadata::collect(&lab, 1));
 }

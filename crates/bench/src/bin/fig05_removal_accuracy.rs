@@ -67,4 +67,5 @@ fn main() {
     assert!(mob_loss > res_loss, "Fig. 5 family ordering violated");
     let path = write_json("fig05_removal_accuracy", &sweep.points);
     println!("raw data: {}", path.display());
+    netcut_bench::print_run_summary(&netcut_bench::RunMetadata::collect(&lab, 1));
 }

@@ -12,7 +12,10 @@ fn main() {
     let lab = Lab::new();
     let sweep = lab.exhaustive();
     let shelf = lab.off_the_shelf();
-    println!("Fig. 6 — accuracy vs latency of all {} TRNs", sweep.points.len());
+    println!(
+        "Fig. 6 — accuracy vs latency of all {} TRNs",
+        sweep.points.len()
+    );
     let rows: Vec<Vec<String>> = sweep
         .points
         .iter()
@@ -67,7 +70,11 @@ fn main() {
         ),
         None => println!("no MobileNetV1 0.5 TRN dominates 0.25"),
     }
-    assert!(dominator.is_some(), "paper's domination claim not reproduced");
+    assert!(
+        dominator.is_some(),
+        "paper's domination claim not reproduced"
+    );
     let path = write_json("fig06_trn_tradeoff", &sweep.points);
     println!("raw data: {}", path.display());
+    netcut_bench::print_run_summary(&netcut_bench::RunMetadata::collect(&lab, 1));
 }

@@ -32,7 +32,12 @@ fn main() {
         })
         .collect();
     print_table(
-        &["frontier point", "latency_ms", "accuracy", "vs off-the-shelf"],
+        &[
+            "frontier point",
+            "latency_ms",
+            "accuracy",
+            "vs off-the-shelf",
+        ],
         &rows,
     );
     // Frontier-level improvement statistics.
@@ -80,4 +85,5 @@ fn main() {
         }),
     );
     println!("raw data: {}", path.display());
+    netcut_bench::print_run_summary(&netcut_bench::RunMetadata::collect(&lab, 1));
 }

@@ -55,10 +55,7 @@ fn main() {
             ]
         })
         .collect();
-    print_table(
-        &["TRN", "measured", "profiler", "svr", "linear"],
-        &table,
-    );
+    print_table(&["TRN", "measured", "profiler", "svr", "linear"], &table);
     // Shape check: the SVR must track the truth better than linear on this
     // family.
     let err = |f: &dyn Fn(&Row) -> f64| -> f64 {
@@ -81,4 +78,5 @@ fn main() {
     );
     let path = write_json("fig08_resnet_estimates", &rows);
     println!("raw data: {}", path.display());
+    netcut_bench::print_run_summary(&netcut_bench::RunMetadata::collect(&lab, 17));
 }

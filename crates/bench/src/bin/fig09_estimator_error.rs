@@ -86,7 +86,9 @@ fn main() {
         lin_rel * 100.0,
         mean_absolute_error(&all_lin, &all_truth),
     );
-    println!("paper:   profiler 3.50 % (0.024 ms) | svr 4.28 % (0.029 ms) | linear 23.81 % (0.092 ms)");
+    println!(
+        "paper:   profiler 3.50 % (0.024 ms) | svr 4.28 % (0.029 ms) | linear 23.81 % (0.092 ms)"
+    );
     println!(
         "ranking quality (Kendall tau; what Algorithm 1 depends on): profiler {:.3} | svr {:.3} | linear {:.3}",
         kendall_tau(&all_prof, &all_truth),
@@ -112,4 +114,5 @@ fn main() {
     );
     let path = write_json("fig09_estimator_error", &rows);
     println!("raw data: {}", path.display());
+    netcut_bench::print_run_summary(&netcut_bench::RunMetadata::collect(&lab, 17));
 }

@@ -35,7 +35,10 @@ fn main() {
             .iter()
             .map(|p| {
                 vec![
-                    format!("{}  (ResNet-style label: {}/{})", p.name, p.family, p.kept_layers),
+                    format!(
+                        "{}  (ResNet-style label: {}/{})",
+                        p.name, p.family, p.kept_layers
+                    ),
                     format!("{:.3}", p.estimated_ms.unwrap_or(f64::NAN)),
                     format!("{:.3}", p.latency_ms),
                     format!("{:.3}", p.accuracy),
@@ -87,7 +90,10 @@ fn main() {
             sel.family, "resnet50",
             "both estimators should land on a trimmed ResNet at 0.9 ms"
         );
-        assert!(sel.accuracy > best_shelf.accuracy, "selection must beat the shelf");
+        assert!(
+            sel.accuracy > best_shelf.accuracy,
+            "selection must beat the shelf"
+        );
     }
     let path = write_json(
         "fig10_netcut_selection",
@@ -101,4 +107,5 @@ fn main() {
         }),
     );
     println!("raw data: {}", path.display());
+    netcut_bench::print_run_summary(&netcut_bench::RunMetadata::collect(&lab, 17));
 }

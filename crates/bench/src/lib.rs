@@ -46,25 +46,13 @@ impl Lab {
     /// The off-the-shelf baseline (Fig. 1): each source with a transfer
     /// head, measured and retrained.
     pub fn off_the_shelf(&self) -> Exploration {
-        off_the_shelf(
-            &self.sources,
-            &self.head,
-            &self.session,
-            &self.retrainer,
-            1,
-        )
+        off_the_shelf(&self.sources, &self.head, &self.session, &self.retrainer, 1)
     }
 
     /// The exhaustive blockwise sweep (Figs. 5–7): every TRN measured and
     /// retrained.
     pub fn exhaustive(&self) -> Exploration {
-        exhaustive_blockwise(
-            &self.sources,
-            &self.head,
-            &self.session,
-            &self.retrainer,
-            1,
-        )
+        exhaustive_blockwise(&self.sources, &self.head, &self.session, &self.retrainer, 1)
     }
 
     /// A source network by family name.
@@ -102,6 +90,105 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) -> PathBuf {
     let json = serde_json::to_string_pretty(value).expect("serialize results");
     std::fs::write(&path, json).expect("write results file");
     path
+}
+
+/// Metadata identifying one benchmark run, reported alongside its metrics
+/// so results files are traceable to a code state and configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunMetadata {
+    /// Master measurement seed of the run.
+    pub seed: u64,
+    /// Simulated device name.
+    pub device: String,
+    /// Deployment precision.
+    pub precision: String,
+    /// `git describe` of the working tree (`unknown` outside a checkout).
+    pub git: String,
+}
+
+impl RunMetadata {
+    /// Collects the metadata for a run of `lab` seeded with `seed`.
+    pub fn collect(lab: &Lab, seed: u64) -> Self {
+        Self::from_session(&lab.session, seed)
+    }
+
+    /// Collects the metadata for a run on an arbitrary session.
+    pub fn from_session(session: &Session, seed: u64) -> Self {
+        RunMetadata {
+            seed,
+            device: session.device().name.clone(),
+            precision: format!("{:?}", session.precision()).to_lowercase(),
+            git: git_describe(),
+        }
+    }
+}
+
+/// `git describe --always --dirty` of the workspace, or `unknown` when git
+/// or the repository is unavailable.
+pub fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// Runs `f` as a named phase: a span (visible in traces when a sink is
+/// installed) plus an always-on wall-clock histogram entry under `name`,
+/// in seconds.
+pub fn timed_phase<T>(name: &'static str, f: impl FnOnce() -> T) -> T {
+    let _span = netcut_obs::span(name);
+    let start = std::time::Instant::now();
+    let out = f();
+    netcut_obs::observe(name, start.elapsed().as_secs_f64());
+    out
+}
+
+/// Prints the run-metadata and metrics summary block every figure binary
+/// emits after its results: seed/device/git provenance, then the counters
+/// (candidates, measurements, retrains) and histograms (retrain-hours,
+/// per-phase wall-clock) accumulated during the run.
+pub fn print_run_summary(meta: &RunMetadata) {
+    println!();
+    println!("run summary:");
+    println!("  seed      : {}", meta.seed);
+    println!("  device    : {}", meta.device);
+    println!("  precision : {}", meta.precision);
+    println!("  git       : {}", meta.git);
+    let metrics = netcut_obs::snapshot();
+    if !metrics.is_empty() {
+        print!("{}", metrics.render_text());
+    }
+}
+
+/// The same summary block as [`print_run_summary`], rendered as markdown
+/// for `REPORT.md`.
+pub fn metrics_markdown(meta: &RunMetadata) -> String {
+    use std::fmt::Write as _;
+    let mut md = String::new();
+    let _ = writeln!(md, "| field | value |");
+    let _ = writeln!(md, "|---|---|");
+    let _ = writeln!(md, "| seed | {} |", meta.seed);
+    let _ = writeln!(md, "| device | {} |", meta.device);
+    let _ = writeln!(md, "| precision | {} |", meta.precision);
+    let _ = writeln!(md, "| git | {} |", meta.git);
+    let metrics = netcut_obs::snapshot();
+    for (name, value) in &metrics.counters {
+        let _ = writeln!(md, "| {name} | {value} |");
+    }
+    for (name, s) in &metrics.histograms {
+        let _ = writeln!(
+            md,
+            "| {name} | n={} mean={:.4} p95={:.4} max={:.4} |",
+            s.count, s.mean, s.p95, s.max
+        );
+    }
+    md
 }
 
 /// Prints a fixed-width table row-by-row.
@@ -250,6 +337,38 @@ mod tests {
         let lab = Lab::new();
         assert_eq!(lab.sources.len(), 7);
         assert_eq!(lab.source("resnet50").num_blocks(), 16);
+    }
+
+    #[test]
+    fn run_metadata_collects_lab_setup() {
+        let lab = Lab::new();
+        let meta = RunMetadata::collect(&lab, 42);
+        assert_eq!(meta.seed, 42);
+        assert_eq!(meta.precision, "int8");
+        assert!(!meta.device.is_empty());
+        assert!(!meta.git.is_empty(), "git field must never be empty");
+    }
+
+    #[test]
+    fn timed_phase_records_wall_clock() {
+        // Metrics are process-global and other tests run concurrently, so
+        // assert only on this test's own histogram (never reset here).
+        let out = timed_phase("phase.test_bench_s", || 7);
+        assert_eq!(out, 7);
+        let snap = netcut_obs::snapshot();
+        let h = snap
+            .histogram("phase.test_bench_s")
+            .expect("phase recorded");
+        assert!(h.count >= 1);
+    }
+
+    #[test]
+    fn metrics_markdown_includes_metadata_and_metrics() {
+        netcut_obs::counter_add("bench.test_counter", 3);
+        let lab = Lab::new();
+        let md = metrics_markdown(&RunMetadata::collect(&lab, 9));
+        assert!(md.contains("| seed | 9 |"));
+        assert!(md.contains("bench.test_counter"));
     }
 
     #[test]

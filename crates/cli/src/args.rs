@@ -14,7 +14,31 @@ usage:
   netcut-cli energy <network> [--precision fp32|fp16|int8]
   netcut-cli budget
   netcut-cli explore [--deadline MS] [--extended] [--json]
-  netcut-cli sweep [--json]";
+  netcut-cli sweep [--json]
+
+global options (any command):
+  -v, --verbose       log structured events to stderr
+  --trace-out <path>  write a trace file: `.jsonl` -> JSON-lines events,
+                      any other extension -> Chrome trace_event JSON
+                      (open in chrome://tracing or ui.perfetto.dev)";
+
+/// Process-wide observability options, settable on any subcommand.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ObsOptions {
+    /// Log structured events to stderr (`-v` / `--verbose`).
+    pub verbose: bool,
+    /// Trace file path (`--trace-out`); format chosen by extension.
+    pub trace_out: Option<String>,
+}
+
+/// A fully parsed invocation: global options plus the subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Invocation {
+    /// Observability options.
+    pub obs: ObsOptions,
+    /// The subcommand to run.
+    pub command: Command,
+}
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,7 +50,10 @@ pub enum Command {
     /// Print a Graphviz DOT rendering of a network.
     Dot { network: String },
     /// Measure one network.
-    Measure { network: String, precision: Precision },
+    Measure {
+        network: String,
+        precision: Precision,
+    },
     /// Construct and describe a TRN.
     Cut { network: String, blocks: usize },
     /// Print the per-kernel execution trace of a network.
@@ -36,7 +63,10 @@ pub enum Command {
         top: usize,
     },
     /// Print the per-inference energy of a network.
-    Energy { network: String, precision: Precision },
+    Energy {
+        network: String,
+        precision: Precision,
+    },
     /// Print the control-loop timing budget derivation.
     Budget,
     /// Run Algorithm 1.
@@ -58,11 +88,47 @@ fn parse_precision(s: &str) -> Result<Precision, String> {
     }
 }
 
-/// Parses a full argument vector into a [`Command`].
-pub fn parse(argv: &[String]) -> Result<Command, String> {
-    let mut it = argv.iter().map(String::as_str);
+/// Parses a full argument vector into an [`Invocation`]. The global
+/// observability flags may appear anywhere in the vector, before or after
+/// the subcommand.
+pub fn parse(argv: &[String]) -> Result<Invocation, String> {
+    let mut obs = ObsOptions::default();
+    let mut remaining: Vec<&str> = Vec::new();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "-v" | "--verbose" => obs.verbose = true,
+            "--trace-out" => {
+                i += 1;
+                obs.trace_out = Some(
+                    argv.get(i)
+                        .ok_or("--trace-out requires a file path")?
+                        .clone(),
+                );
+            }
+            other => remaining.push(other),
+        }
+        i += 1;
+    }
+    let command = parse_command(&remaining)?;
+    Ok(Invocation { obs, command })
+}
+
+/// Every per-subcommand flag; anything else starting with `-` is a typo
+/// (global flags are consumed before this check).
+const KNOWN_FLAGS: &[&str] = &["--extended", "--precision", "--deadline", "--top", "--json"];
+
+/// Parses the subcommand and its own arguments (global flags removed).
+fn parse_command(argv: &[&str]) -> Result<Command, String> {
+    let mut it = argv.iter().copied();
     let sub = it.next().ok_or("missing subcommand")?;
     let rest: Vec<&str> = it.collect();
+    if let Some(unknown) = rest
+        .iter()
+        .find(|a| a.starts_with('-') && !KNOWN_FLAGS.contains(a))
+    {
+        return Err(format!("unknown flag `{unknown}`"));
+    }
     let has_flag = |flag: &str| rest.contains(&flag);
     let flag_value = |flag: &str| -> Option<&str> {
         rest.iter()
@@ -188,22 +254,21 @@ mod tests {
         parts.iter().map(|s| s.to_string()).collect()
     }
 
+    /// Parses and returns just the subcommand.
+    fn cmd(parts: &[&str]) -> Command {
+        parse(&argv(parts)).unwrap().command
+    }
+
     #[test]
     fn parses_zoo() {
-        assert_eq!(
-            parse(&argv(&["zoo"])).unwrap(),
-            Command::Zoo { extended: false }
-        );
-        assert_eq!(
-            parse(&argv(&["zoo", "--extended"])).unwrap(),
-            Command::Zoo { extended: true }
-        );
+        assert_eq!(cmd(&["zoo"]), Command::Zoo { extended: false });
+        assert_eq!(cmd(&["zoo", "--extended"]), Command::Zoo { extended: true });
     }
 
     #[test]
     fn parses_measure_with_precision() {
         assert_eq!(
-            parse(&argv(&["measure", "resnet50", "--precision", "fp16"])).unwrap(),
+            cmd(&["measure", "resnet50", "--precision", "fp16"]),
             Command::Measure {
                 network: "resnet50".into(),
                 precision: Precision::Fp16
@@ -214,7 +279,7 @@ mod tests {
     #[test]
     fn measure_defaults_to_int8() {
         assert_eq!(
-            parse(&argv(&["measure", "resnet50"])).unwrap(),
+            cmd(&["measure", "resnet50"]),
             Command::Measure {
                 network: "resnet50".into(),
                 precision: Precision::Int8
@@ -225,7 +290,7 @@ mod tests {
     #[test]
     fn parses_cut() {
         assert_eq!(
-            parse(&argv(&["cut", "densenet121", "12"])).unwrap(),
+            cmd(&["cut", "densenet121", "12"]),
             Command::Cut {
                 network: "densenet121".into(),
                 blocks: 12
@@ -236,7 +301,7 @@ mod tests {
     #[test]
     fn parses_explore_with_deadline() {
         assert_eq!(
-            parse(&argv(&["explore", "--deadline", "1.5", "--json"])).unwrap(),
+            cmd(&["explore", "--deadline", "1.5", "--json"]),
             Command::Explore {
                 deadline_ms: 1.5,
                 extended: false,
@@ -248,19 +313,23 @@ mod tests {
     #[test]
     fn parses_show_and_dot() {
         assert_eq!(
-            parse(&argv(&["show", "vgg16"])).unwrap(),
-            Command::Show { network: "vgg16".into() }
+            cmd(&["show", "vgg16"]),
+            Command::Show {
+                network: "vgg16".into()
+            }
         );
         assert_eq!(
-            parse(&argv(&["dot", "alexnet"])).unwrap(),
-            Command::Dot { network: "alexnet".into() }
+            cmd(&["dot", "alexnet"]),
+            Command::Dot {
+                network: "alexnet".into()
+            }
         );
     }
 
     #[test]
     fn parses_trace() {
         assert_eq!(
-            parse(&argv(&["trace", "resnet50", "--top", "5"])).unwrap(),
+            cmd(&["trace", "resnet50", "--top", "5"]),
             Command::Trace {
                 network: "resnet50".into(),
                 precision: Precision::Int8,
@@ -272,13 +341,77 @@ mod tests {
     #[test]
     fn parses_energy_and_budget() {
         assert_eq!(
-            parse(&argv(&["energy", "resnet50"])).unwrap(),
+            cmd(&["energy", "resnet50"]),
             Command::Energy {
                 network: "resnet50".into(),
                 precision: Precision::Int8
             }
         );
-        assert_eq!(parse(&argv(&["budget"])).unwrap(), Command::Budget);
+        assert_eq!(cmd(&["budget"]), Command::Budget);
+    }
+
+    #[test]
+    fn obs_flags_default_off() {
+        let inv = parse(&argv(&["zoo"])).unwrap();
+        assert_eq!(inv.obs, ObsOptions::default());
+        assert!(!inv.obs.verbose);
+        assert!(inv.obs.trace_out.is_none());
+    }
+
+    #[test]
+    fn parses_global_verbose_anywhere() {
+        for parts in [
+            &["-v", "measure", "resnet50"][..],
+            &["measure", "-v", "resnet50"],
+            &["measure", "resnet50", "--verbose"],
+        ] {
+            let inv = parse(&argv(parts)).unwrap();
+            assert!(inv.obs.verbose, "verbose not seen in {parts:?}");
+            assert_eq!(
+                inv.command,
+                Command::Measure {
+                    network: "resnet50".into(),
+                    precision: Precision::Int8
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn parses_trace_out_with_other_flags() {
+        let inv = parse(&argv(&[
+            "explore",
+            "--trace-out",
+            "run.jsonl",
+            "--deadline",
+            "0.9",
+            "-v",
+        ]))
+        .unwrap();
+        assert_eq!(inv.obs.trace_out.as_deref(), Some("run.jsonl"));
+        assert!(inv.obs.verbose);
+        assert_eq!(
+            inv.command,
+            Command::Explore {
+                deadline_ms: 0.9,
+                extended: false,
+                json: false
+            }
+        );
+    }
+
+    #[test]
+    fn trace_out_requires_a_path() {
+        let err = parse(&argv(&["zoo", "--trace-out"])).unwrap_err();
+        assert!(err.contains("--trace-out"));
+    }
+
+    #[test]
+    fn rejects_mistyped_flags() {
+        let err = parse(&argv(&["explore", "--trace-ou", "x.jsonl"])).unwrap_err();
+        assert!(err.contains("--trace-ou"), "{err}");
+        let err = parse(&argv(&["explore", "--deadlin", "0.9"])).unwrap_err();
+        assert!(err.contains("--deadlin"), "{err}");
     }
 
     #[test]

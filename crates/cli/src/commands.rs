@@ -22,16 +22,30 @@ fn find_network(name: &str) -> Result<Network, String> {
         .into_iter()
         .find(|n| n.name() == name)
         .ok_or_else(|| {
-            let known: Vec<String> = networks(true)
-                .iter()
-                .map(|n| n.name().to_owned())
-                .collect();
+            let known: Vec<String> = networks(true).iter().map(|n| n.name().to_owned()).collect();
             format!("unknown network `{name}`; known: {}", known.join(", "))
         })
 }
 
+/// Span name for a command, used to group its whole execution in traces.
+fn span_name(cmd: &Command) -> &'static str {
+    match cmd {
+        Command::Zoo { .. } => "cli.zoo",
+        Command::Show { .. } => "cli.show",
+        Command::Dot { .. } => "cli.dot",
+        Command::Measure { .. } => "cli.measure",
+        Command::Cut { .. } => "cli.cut",
+        Command::Trace { .. } => "cli.trace",
+        Command::Energy { .. } => "cli.energy",
+        Command::Budget => "cli.budget",
+        Command::Explore { .. } => "cli.explore",
+        Command::Sweep { .. } => "cli.sweep",
+    }
+}
+
 /// Executes a parsed command.
 pub fn run(cmd: Command) -> Result<(), String> {
+    let _span = netcut_obs::span(span_name(&cmd));
     match cmd {
         Command::Zoo { extended } => {
             println!(
@@ -68,7 +82,10 @@ pub fn run(cmd: Command) -> Result<(), String> {
             let raw = session.measure(&net, 42);
             let deployed = session.measure(&adapted, 42);
             println!("{network} @ {precision:?} on {}", session.device().name);
-            println!("  imagenet head : {:.3} ms (± {:.3})", raw.mean_ms, raw.std_ms);
+            println!(
+                "  imagenet head : {:.3} ms (± {:.3})",
+                raw.mean_ms, raw.std_ms
+            );
             println!(
                 "  transfer head : {:.3} ms (± {:.3})",
                 deployed.mean_ms, deployed.std_ms
@@ -112,7 +129,10 @@ pub fn run(cmd: Command) -> Result<(), String> {
                 trace.total_ms,
                 trace.memory_bound_fraction() * 100.0
             );
-            println!("{:40} {:>9} {:>8} {:>10} {:>6}", "kernel", "ms", "bound", "kFLOPs", "occ");
+            println!(
+                "{:40} {:>9} {:>8} {:>10} {:>6}",
+                "kernel", "ms", "bound", "kFLOPs", "occ"
+            );
             for k in trace.hotspots().into_iter().take(top) {
                 println!(
                     "{:40} {:>9.4} {:>8} {:>10.0} {:>5.0}%",
@@ -135,7 +155,10 @@ pub fn run(cmd: Command) -> Result<(), String> {
             println!("{network} @ {precision:?}:");
             println!("  latency : {latency:.3} ms");
             println!("  energy  : {mj:.2} mJ/inference");
-            println!("  power   : {:.2} W sustained at frame-back-to-back", mj / latency);
+            println!(
+                "  power   : {:.2} W sustained at frame-back-to-back",
+                mj / latency
+            );
             Ok(())
         }
         Command::Budget => {
@@ -147,7 +170,10 @@ pub fn run(cmd: Command) -> Result<(), String> {
             println!("  decisions required  : {}", b.decisions_required);
             println!("  frame period        : {:.1} ms", b.frame_period_ms());
             println!("  fixed per-frame     : {:.1} ms", b.fixed_per_frame_ms());
-            println!("  visual budget       : {:.2} ms  <- the NetCut deadline", b.visual_budget_ms());
+            println!(
+                "  visual budget       : {:.2} ms  <- the NetCut deadline",
+                b.visual_budget_ms()
+            );
             Ok(())
         }
         Command::Explore {
@@ -163,8 +189,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
             if json {
                 println!(
                     "{}",
-                    serde_json::to_string_pretty(&outcome.proposals)
-                        .map_err(|e| e.to_string())?
+                    serde_json::to_string_pretty(&outcome.proposals).map_err(|e| e.to_string())?
                 );
                 return Ok(());
             }
@@ -209,7 +234,10 @@ pub fn run(cmd: Command) -> Result<(), String> {
             println!("Pareto frontier ({} points):", frontier.len());
             for &i in &frontier {
                 let p = &sweep.points[i];
-                println!("  {:30} {:.3} ms  acc {:.3}", p.name, p.latency_ms, p.accuracy);
+                println!(
+                    "  {:30} {:.3} ms  acc {:.3}",
+                    p.name, p.latency_ms, p.accuracy
+                );
             }
             if let Some(best) = best_meeting_deadline(&sweep.points, 0.9) {
                 println!("best @0.9 ms: {} (acc {:.3})", best.name, best.accuracy);

@@ -8,27 +8,71 @@
 //!                                              run Algorithm 1
 //! netcut-cli sweep [--json]                    exhaustive blockwise exploration summary
 //! ```
+//!
+//! Every command accepts `-v/--verbose` (structured events on stderr) and
+//! `--trace-out <path>` (JSON-lines for `.jsonl`, Chrome trace otherwise).
 
 mod args;
 mod commands;
 
+use args::ObsOptions;
+use netcut_obs as obs;
 use std::process::ExitCode;
+use std::sync::Arc;
+
+/// Installs the event sinks requested by the global flags. Returns an error
+/// if the trace file cannot be created.
+fn install_sinks(options: &ObsOptions) -> Result<(), String> {
+    let mut sinks: Vec<Arc<dyn obs::EventSink>> = Vec::new();
+    if options.verbose {
+        sinks.push(Arc::new(obs::StderrSink));
+    }
+    if let Some(path) = &options.trace_out {
+        if path.ends_with(".jsonl") {
+            let sink = obs::JsonLinesSink::create(path)
+                .map_err(|e| format!("cannot create trace file `{path}`: {e}"))?;
+            sinks.push(Arc::new(sink));
+        } else {
+            sinks.push(Arc::new(obs::ChromeTraceSink::create(path)));
+        }
+    }
+    match sinks.len() {
+        0 => {}
+        1 => obs::set_sink(sinks.pop().expect("one sink")),
+        _ => obs::set_sink(Arc::new(obs::MultiSink::new(sinks))),
+    }
+    Ok(())
+}
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    match args::parse(&argv) {
-        Ok(cmd) => match commands::run(cmd) {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(message) => {
-                eprintln!("error: {message}");
-                ExitCode::FAILURE
-            }
-        },
+    let invocation = match args::parse(&argv) {
+        Ok(invocation) => invocation,
         Err(message) => {
             eprintln!("error: {message}");
             eprintln!();
             eprintln!("{}", args::USAGE);
-            ExitCode::from(2)
+            return ExitCode::from(2);
+        }
+    };
+    if let Err(message) = install_sinks(&invocation.obs) {
+        eprintln!("error: {message}");
+        return ExitCode::FAILURE;
+    }
+    let result = commands::run(invocation.command);
+    // Flush trace files before reporting, whatever the outcome.
+    obs::clear_sink();
+    if invocation.obs.verbose {
+        let metrics = obs::snapshot();
+        if !metrics.is_empty() {
+            eprint!("{}", metrics.render_text());
+        }
+    }
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
         }
     }
 }

@@ -6,6 +6,7 @@
 use crate::removal::blockwise_trns;
 use crate::report::CandidatePoint;
 use netcut_graph::{HeadSpec, Network};
+use netcut_obs as obs;
 use netcut_sim::Session;
 use netcut_train::Retrainer;
 
@@ -17,12 +18,23 @@ pub fn evaluate_candidate<R: Retrainer>(
     retrainer: &R,
     seed: u64,
 ) -> CandidatePoint {
+    let mut span = obs::span("explore.candidate");
+    if span.is_recording() {
+        span.field("candidate", trn.name());
+        span.field("family", trn.base_name());
+        span.field("cutpoint", trn.cutpoint());
+    }
     let measurement = session.measure(trn, seed);
     let trained = retrainer.retrain(trn);
     // Layer counts in the framework sense (BN/activation/pool nodes
     // included), matching the paper's `ResNet/94`-style labels.
     let kept = trn.backbone_layer_count();
     let source_layers = source.backbone_layer_count();
+    obs::counter_add("explore.candidates", 1);
+    obs::observe("explore.train_hours", trained.train_hours);
+    span.field("measured_ms", measurement.mean_ms);
+    span.field("accuracy", trained.accuracy);
+    span.field("train_hours", trained.train_hours);
     CandidatePoint {
         name: trn.name().to_owned(),
         family: trn.base_name().to_owned(),
@@ -89,6 +101,8 @@ pub fn exhaustive_blockwise<R: Retrainer>(
     retrainer: &R,
     seed: u64,
 ) -> Exploration {
+    let mut span = obs::span("explore.exhaustive");
+    span.field("sources", sources.len());
     let mut points = Vec::new();
     for source in sources {
         for trn in blockwise_trns(source, head) {
@@ -96,6 +110,8 @@ pub fn exhaustive_blockwise<R: Retrainer>(
         }
     }
     let total_train_hours = points.iter().map(|p| p.train_hours).sum();
+    span.field("candidates", points.len());
+    span.field("total_train_hours", total_train_hours);
     Exploration {
         points,
         total_train_hours,

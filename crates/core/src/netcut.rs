@@ -10,6 +10,7 @@ use crate::explore::evaluate_candidate;
 use crate::report::CandidatePoint;
 use netcut_estimate::LatencyEstimator;
 use netcut_graph::{HeadSpec, Network};
+use netcut_obs as obs;
 use netcut_sim::Session;
 use netcut_train::Retrainer;
 
@@ -80,8 +81,15 @@ impl<'a, E: LatencyEstimator, R: Retrainer> NetCut<'a, E, R> {
     /// provides the measured latency of each *source* network (an
     /// algorithm input) and the ground-truth validation of each proposal.
     pub fn run(&self, sources: &[Network], deadline_ms: f64, session: &Session) -> NetCutOutcome {
+        let mut run_span = obs::span("netcut.run");
+        run_span.field("deadline_ms", deadline_ms);
+        run_span.field("sources", sources.len());
         let mut proposals = Vec::with_capacity(sources.len());
         for source in sources {
+            let mut family_span = obs::span("netcut.family");
+            if family_span.is_recording() {
+                family_span.field("family", source.name());
+            }
             // The trained source network: backbone + transfer head.
             let mut adapted = source.backbone().with_head(&self.head);
             adapted.rename(source.name());
@@ -99,14 +107,54 @@ impl<'a, E: LatencyEstimator, R: Retrainer> NetCut<'a, E, R> {
                     .expect("cutpoint below block count")
                     .with_head(&self.head);
                 est_latency = self.estimator.estimate_ms(&trn);
+                obs::counter_add("netcut.steps", 1);
+                if obs::enabled() {
+                    obs::instant(
+                        "netcut.step",
+                        &[
+                            ("family", source.name().into()),
+                            ("cutpoint", cutpoint.into()),
+                            ("predicted_ms", est_latency.into()),
+                            ("deadline_ms", deadline_ms.into()),
+                        ],
+                    );
+                }
             }
             // Line 10: retrain the proposed TRN; also deploy it to record
             // ground truth.
             let mut point = evaluate_candidate(&trn, source, session, self.retrainer, 13);
             point.estimated_ms = Some(est_latency);
+            let accept = est_latency <= deadline_ms;
+            obs::counter_add(
+                if accept {
+                    "netcut.proposals_accepted"
+                } else {
+                    "netcut.proposals_rejected"
+                },
+                1,
+            );
+            obs::observe("netcut.residual_ms", (est_latency - point.latency_ms).abs());
+            if family_span.is_recording() {
+                family_span.field("cutpoint", cutpoint);
+                family_span.field("predicted_ms", est_latency);
+                family_span.field("measured_ms", point.latency_ms);
+                family_span.field("accept", accept);
+                family_span.field(
+                    "reason",
+                    if !accept {
+                        "blocks_exhausted_above_deadline"
+                    } else if cutpoint == 0 {
+                        "source_already_meets_deadline"
+                    } else {
+                        "first_trn_predicted_under_deadline"
+                    },
+                );
+            }
             proposals.push(point);
         }
         let exploration_hours = proposals.iter().map(|p| p.train_hours).sum();
+        run_span.field("proposals", proposals.len());
+        run_span.field("exploration_hours", exploration_hours);
         NetCutOutcome {
             proposals,
             deadline_ms,
@@ -272,7 +320,10 @@ mod tests {
             .map(|(_, o)| o.selected().map(|p| p.accuracy).unwrap_or(0.0))
             .collect();
         for w in accs.windows(2) {
-            assert!(w[0] <= w[1] + 1e-9, "accuracy decreased with looser deadline: {accs:?}");
+            assert!(
+                w[0] <= w[1] + 1e-9,
+                "accuracy decreased with looser deadline: {accs:?}"
+            );
         }
     }
 

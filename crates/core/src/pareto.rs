@@ -75,7 +75,10 @@ pub struct FrontierExpansion {
 
 /// Measures the frontier expansion of `trns` over the `baseline`
 /// off-the-shelf points (the Fig. 7 analysis).
-pub fn frontier_expansion(trns: &[CandidatePoint], baseline: &[CandidatePoint]) -> FrontierExpansion {
+pub fn frontier_expansion(
+    trns: &[CandidatePoint],
+    baseline: &[CandidatePoint],
+) -> FrontierExpansion {
     let mut max_improvement = f64::NEG_INFINITY;
     let mut positive_sum = 0.0;
     let mut improving = 0usize;

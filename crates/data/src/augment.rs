@@ -152,11 +152,7 @@ mod tests {
             9,
         );
         for i in 0..a.len() {
-            assert!(a
-                .sample(i)
-                .image
-                .iter()
-                .all(|&p| (0.0..=1.0).contains(&p)));
+            assert!(a.sample(i).image.iter().all(|&p| (0.0..=1.0).contains(&p)));
         }
     }
 

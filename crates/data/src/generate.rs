@@ -338,16 +338,13 @@ mod tests {
     fn labels_are_soft_not_one_hot() {
         let d = Dataset::hands(64, 2);
         let soft = (0..d.len())
-            .filter(|&i| {
-                d.sample(i)
-                    .label
-                    .iter()
-                    .filter(|&&p| p > 0.05)
-                    .count()
-                    > 1
-            })
+            .filter(|&i| d.sample(i).label.iter().filter(|&&p| p > 0.05).count() > 1)
             .count();
-        assert!(soft > d.len() / 2, "labels look one-hot: {soft}/{}", d.len());
+        assert!(
+            soft > d.len() / 2,
+            "labels look one-hot: {soft}/{}",
+            d.len()
+        );
     }
 
     #[test]
@@ -404,11 +401,7 @@ mod tests {
     fn image_pixels_in_range() {
         let d = Dataset::hands(16, 9);
         for i in 0..d.len() {
-            assert!(d
-                .sample(i)
-                .image
-                .iter()
-                .all(|&p| (0.0..=1.0).contains(&p)));
+            assert!(d.sample(i).image.iter().all(|&p| (0.0..=1.0).contains(&p)));
         }
     }
 
@@ -424,10 +417,8 @@ mod tests {
             bright_pinch.push((mean, s.label[4]));
         }
         bright_pinch.sort_by(|a, b| a.0.total_cmp(&b.0));
-        let darkest: f32 =
-            bright_pinch[..50].iter().map(|p| p.1).sum::<f32>() / 50.0;
-        let brightest: f32 =
-            bright_pinch[150..].iter().map(|p| p.1).sum::<f32>() / 50.0;
+        let darkest: f32 = bright_pinch[..50].iter().map(|p| p.1).sum::<f32>() / 50.0;
+        let brightest: f32 = bright_pinch[150..].iter().map(|p| p.1).sum::<f32>() / 50.0;
         assert!(
             darkest > brightest,
             "small (dark) objects should prefer pinch: {darkest} vs {brightest}"

@@ -294,8 +294,7 @@ mod tests {
     #[test]
     fn grid_search_beats_or_matches_paper_defaults() {
         let (trns, lats, info) = dataset();
-        let samples: Vec<(&Network, f64)> =
-            trns.iter().zip(lats.iter().copied()).collect();
+        let samples: Vec<(&Network, f64)> = trns.iter().zip(lats.iter().copied()).collect();
         let (est, result) = AnalyticalEstimator::fit_with_grid_search(&samples, &info, 5, 7);
         assert!(result.cv_error.is_finite());
         // Fitted model must reproduce the training points reasonably.
@@ -307,8 +306,7 @@ mod tests {
     #[test]
     fn linear_baseline_fits_but_worse_than_svr() {
         let (trns, lats, info) = dataset();
-        let samples: Vec<(&Network, f64)> =
-            trns.iter().zip(lats.iter().copied()).collect();
+        let samples: Vec<(&Network, f64)> = trns.iter().zip(lats.iter().copied()).collect();
         let linear = LinearLatencyEstimator::fit(&samples, &info);
         let svr = AnalyticalEstimator::fit(&samples, &info, &SvrParams::paper());
         let lin_pred: Vec<f64> = trns.iter().map(|t| linear.estimate_ms(t)).collect();
@@ -326,12 +324,14 @@ mod tests {
     #[test]
     fn estimator_names() {
         let (trns, lats, info) = dataset();
-        let samples: Vec<(&Network, f64)> =
-            trns.iter().zip(lats.iter().copied()).collect();
+        let samples: Vec<(&Network, f64)> = trns.iter().zip(lats.iter().copied()).collect();
         assert_eq!(
             AnalyticalEstimator::fit(&samples, &info, &SvrParams::paper()).name(),
             "analytical-svr"
         );
-        assert_eq!(LinearLatencyEstimator::fit(&samples, &info).name(), "linear");
+        assert_eq!(
+            LinearLatencyEstimator::fit(&samples, &info).name(),
+            "linear"
+        );
     }
 }

@@ -79,9 +79,12 @@ pub fn mean_relative_error(pred: &[f64], truth: &[f64]) -> f64 {
 pub fn mean_absolute_error(pred: &[f64], truth: &[f64]) -> f64 {
     assert_eq!(pred.len(), truth.len(), "length mismatch");
     assert!(!pred.is_empty(), "empty error computation");
-    pred.iter().zip(truth).map(|(p, t)| (p - t).abs()).sum::<f64>() / pred.len() as f64
+    pred.iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t).abs())
+        .sum::<f64>()
+        / pred.len() as f64
 }
-
 
 /// Kendall rank correlation `tau` between predictions and ground truth —
 /// the quality NetCut actually depends on: the estimator must *order*

@@ -30,9 +30,12 @@ impl LinearModel {
     pub fn fit(x: &[Vec<f64>], y: &[f64]) -> Self {
         assert!(!x.is_empty(), "empty training set");
         assert_eq!(x.len(), y.len(), "x/y length mismatch");
+        let mut span = netcut_obs::span("estimate.fit.linear");
+        span.field("samples", x.len());
         let d = x[0].len();
+        span.field("features", d);
         let aug = d + 1; // trailing intercept column of ones
-        // Normal equations: (XᵀX + λI) w = Xᵀy.
+                         // Normal equations: (XᵀX + λI) w = Xᵀy.
         let mut a = vec![0.0f64; aug * aug];
         let mut b = vec![0.0f64; aug];
         for (row, &target) in x.iter().zip(y) {

@@ -3,11 +3,10 @@
 //! set** and notes that grid search outperformed random search at this
 //! sample size (§V-B-2).
 
-use crate::svr::{Svr, SvrParams};
 use crate::mean_absolute_error;
+use crate::svr::{Svr, SvrParams};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-
 
 /// Outcome of a hyper-parameter search.
 #[derive(Debug, Clone, Copy)]

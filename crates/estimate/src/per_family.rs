@@ -107,7 +107,10 @@ mod tests {
             .collect();
         let model = PerFamilyLinear::fit(&train, &sources, &latencies);
         let test_idx: Vec<usize> = (0..trns.len()).filter(|i| i % 3 != 0).collect();
-        let pred: Vec<f64> = test_idx.iter().map(|&i| model.estimate_ms(&trns[i])).collect();
+        let pred: Vec<f64> = test_idx
+            .iter()
+            .map(|&i| model.estimate_ms(&trns[i]))
+            .collect();
         let t: Vec<f64> = test_idx.iter().map(|&i| truth[i]).collect();
         let err = mean_relative_error(&pred, &t);
         assert!(err < 0.06, "per-family linear error {:.2} %", err * 100.0);
@@ -122,7 +125,10 @@ mod tests {
         let mut latencies = HashMap::new();
         let mut adapted = source.backbone().with_head(&head);
         adapted.rename(source.name());
-        latencies.insert(source.name().to_owned(), session.measure(&adapted, 1).mean_ms);
+        latencies.insert(
+            source.name().to_owned(),
+            session.measure(&adapted, 1).mean_ms,
+        );
         let trn = source.cut_blocks(1).expect("valid").with_head(&head);
         let samples = vec![(&trn, 0.5)];
         let model = PerFamilyLinear::fit(&samples, std::slice::from_ref(&source), &latencies);

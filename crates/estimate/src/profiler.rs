@@ -13,6 +13,7 @@
 
 use crate::LatencyEstimator;
 use netcut_graph::Network;
+use netcut_obs as obs;
 use netcut_sim::{LatencyTable, Session};
 use std::collections::{HashMap, HashSet};
 
@@ -56,13 +57,22 @@ impl ProfilerEstimator {
     /// transfer head are profiled as-is.
     pub fn profile(session: &Session, sources: &[Network], seed: u64) -> Self {
         use netcut_graph::HeadSpec;
+        let mut span = obs::span("estimate.profile");
+        span.field("families", sources.len());
         let head = HeadSpec::default();
         let profiles = sources
             .iter()
             .map(|net| {
+                let mut fit_span = obs::span("estimate.fit");
+                if fit_span.is_recording() {
+                    fit_span.field("family", net.base_name());
+                }
                 let mut adapted = net.backbone().with_head(&head);
                 adapted.rename(net.name());
                 let table = session.profile(&adapted, seed);
+                obs::counter_add("estimate.tables_built", 1);
+                fit_span.field("layers", table.layers().len());
+                fit_span.field("end_to_end_ms", table.end_to_end_ms());
                 (
                     net.base_name().to_owned(),
                     FamilyProfile {
@@ -110,7 +120,20 @@ impl LatencyEstimator for ProfilerEstimator {
             .sum();
         let removed_ms = profile.table.removed_time_ms(&removed);
         let ratio = if total > 0.0 { removed_ms / total } else { 0.0 };
-        profile.table.end_to_end_ms() * (1.0 - ratio)
+        let predicted = profile.table.end_to_end_ms() * (1.0 - ratio);
+        obs::counter_add("estimate.predictions", 1);
+        if obs::enabled() {
+            obs::instant(
+                "estimate.predict",
+                &[
+                    ("candidate", trn.name().into()),
+                    ("family", trn.base_name().into()),
+                    ("predicted_ms", predicted.into()),
+                    ("removed_ratio", ratio.into()),
+                ],
+            );
+        }
+        predicted
     }
 
     fn name(&self) -> &str {

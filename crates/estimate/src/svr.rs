@@ -58,8 +58,11 @@ impl Svr {
     pub fn fit(x: &[Vec<f64>], y: &[f64], params: &SvrParams) -> Self {
         assert!(!x.is_empty(), "empty training set");
         assert_eq!(x.len(), y.len(), "x/y length mismatch");
+        let mut span = netcut_obs::span("estimate.fit.svr");
         let n = x.len();
         let d = x[0].len();
+        span.field("samples", n);
+        span.field("features", d);
         for row in x {
             assert_eq!(row.len(), d, "ragged feature matrix");
         }
@@ -138,14 +141,24 @@ mod tests {
     use super::*;
 
     fn grid(n: usize) -> Vec<Vec<f64>> {
-        (0..n).map(|i| vec![i as f64 / (n - 1) as f64 * 2.0 - 1.0]).collect()
+        (0..n)
+            .map(|i| vec![i as f64 / (n - 1) as f64 * 2.0 - 1.0])
+            .collect()
     }
 
     #[test]
     fn fits_linear_function() {
         let x = grid(15);
         let y: Vec<f64> = x.iter().map(|v| 2.0 * v[0] + 0.5).collect();
-        let m = Svr::fit(&x, &y, &SvrParams { c: 1e3, gamma: 0.5, epsilon: 1e-3 });
+        let m = Svr::fit(
+            &x,
+            &y,
+            &SvrParams {
+                c: 1e3,
+                gamma: 0.5,
+                epsilon: 1e-3,
+            },
+        );
         for v in [-0.8, 0.0, 0.9] {
             let p = m.predict(&[v]);
             assert!((p - (2.0 * v + 0.5)).abs() < 0.05, "at {v}: {p}");
@@ -157,7 +170,15 @@ mod tests {
         // y = sin(3x): strongly non-linear over [-1, 1].
         let x = grid(30);
         let y: Vec<f64> = x.iter().map(|v| (3.0 * v[0]).sin()).collect();
-        let m = Svr::fit(&x, &y, &SvrParams { c: 1e4, gamma: 5.0, epsilon: 1e-3 });
+        let m = Svr::fit(
+            &x,
+            &y,
+            &SvrParams {
+                c: 1e4,
+                gamma: 5.0,
+                epsilon: 1e-3,
+            },
+        );
         for v in [-0.7, -0.2, 0.4, 0.8] {
             let p = m.predict(&[v]);
             assert!((p - (3.0 * v).sin()).abs() < 0.05, "at {v}: {p}");
@@ -168,8 +189,24 @@ mod tests {
     fn epsilon_tube_sparsifies() {
         let x = grid(30);
         let y: Vec<f64> = x.iter().map(|v| v[0]).collect();
-        let tight = Svr::fit(&x, &y, &SvrParams { c: 1e3, gamma: 0.5, epsilon: 1e-4 });
-        let loose = Svr::fit(&x, &y, &SvrParams { c: 1e3, gamma: 0.5, epsilon: 0.3 });
+        let tight = Svr::fit(
+            &x,
+            &y,
+            &SvrParams {
+                c: 1e3,
+                gamma: 0.5,
+                epsilon: 1e-4,
+            },
+        );
+        let loose = Svr::fit(
+            &x,
+            &y,
+            &SvrParams {
+                c: 1e3,
+                gamma: 0.5,
+                epsilon: 0.3,
+            },
+        );
         assert!(loose.support_vector_count() < tight.support_vector_count());
     }
 
@@ -177,7 +214,15 @@ mod tests {
     fn c_bounds_coefficients() {
         let x = grid(10);
         let y: Vec<f64> = x.iter().map(|v| 100.0 * v[0]).collect();
-        let m = Svr::fit(&x, &y, &SvrParams { c: 1.0, gamma: 0.5, epsilon: 1e-3 });
+        let m = Svr::fit(
+            &x,
+            &y,
+            &SvrParams {
+                c: 1.0,
+                gamma: 0.5,
+                epsilon: 1e-3,
+            },
+        );
         for &b in &m.beta {
             assert!(b.abs() <= 1.0 + 1e-9);
         }
@@ -187,7 +232,15 @@ mod tests {
     fn interpolates_training_points_with_large_c() {
         let x = vec![vec![0.0], vec![0.5], vec![1.0]];
         let y = vec![1.0, 4.0, 2.0];
-        let m = Svr::fit(&x, &y, &SvrParams { c: 1e6, gamma: 1.0, epsilon: 1e-4 });
+        let m = Svr::fit(
+            &x,
+            &y,
+            &SvrParams {
+                c: 1e6,
+                gamma: 1.0,
+                epsilon: 1e-4,
+            },
+        );
         for (xi, yi) in x.iter().zip(&y) {
             assert!((m.predict(xi) - yi).abs() < 0.01);
         }
@@ -199,7 +252,15 @@ mod tests {
             .map(|i| vec![(i % 5) as f64 / 4.0, (i / 5) as f64 / 4.0])
             .collect();
         let y: Vec<f64> = x.iter().map(|v| v[0] * v[1]).collect();
-        let m = Svr::fit(&x, &y, &SvrParams { c: 1e4, gamma: 2.0, epsilon: 1e-3 });
+        let m = Svr::fit(
+            &x,
+            &y,
+            &SvrParams {
+                c: 1e4,
+                gamma: 2.0,
+                epsilon: 1e-3,
+            },
+        );
         assert!((m.predict(&[0.5, 0.5]) - 0.25).abs() < 0.05);
     }
 }

@@ -19,9 +19,7 @@ fn matrix_strategy() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
                 let y: Vec<f64> = x
                     .iter()
                     .zip(&noise)
-                    .map(|(row, nz)| {
-                        row.iter().zip(&w).map(|(v, wi)| v * wi).sum::<f64>() + b + nz
-                    })
+                    .map(|(row, nz)| row.iter().zip(&w).map(|(v, wi)| v * wi).sum::<f64>() + b + nz)
                     .collect();
                 (x, y)
             })

@@ -103,7 +103,12 @@ impl Network {
             .map(|id| id.index())
             .unwrap_or(self.len());
         let stem: Vec<usize> = (0..first_block_start)
-            .filter(|&i| !matches!(self.node(crate::network::NodeId::new(i)).kind(), LayerKind::Input))
+            .filter(|&i| {
+                !matches!(
+                    self.node(crate::network::NodeId::new(i)).kind(),
+                    LayerKind::Input
+                )
+            })
             .collect();
         if !stem.is_empty() {
             let (f, p) = block_row("stem", &stem);

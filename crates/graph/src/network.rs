@@ -730,7 +730,10 @@ impl NetworkBuilder {
     ///
     /// Panics if a block is still open.
     pub fn finish(self, output: NodeId) -> Result<Network, GraphError> {
-        assert!(self.open_block.is_none(), "finish called with an open block");
+        assert!(
+            self.open_block.is_none(),
+            "finish called with an open block"
+        );
         if self.nodes.is_empty() {
             return Err(GraphError::EmptyNetwork);
         }
@@ -824,10 +827,7 @@ mod tests {
         let mut b = NetworkBuilder::new("e", Shape::map(3, 8, 8));
         let x = b.input();
         b.begin_block("empty");
-        assert!(matches!(
-            b.end_block(x),
-            Err(GraphError::EmptyBlock { .. })
-        ));
+        assert!(matches!(b.end_block(x), Err(GraphError::EmptyBlock { .. })));
     }
 
     #[test]

@@ -79,7 +79,11 @@ pub fn layer_stats(net: &Network, id: NodeId) -> LayerStats {
             let (h, w) = out.spatial().expect("conv output is a map");
             let k = (kernel * kernel) as u64;
             let macs = k * cin * out_channels as u64 * (h * w) as u64;
-            (2 * macs, k * cin * out_channels as u64 + out_channels as u64, k)
+            (
+                2 * macs,
+                k * cin * out_channels as u64 + out_channels as u64,
+                k,
+            )
         }
         LayerKind::Conv2dRect {
             out_channels,
@@ -91,7 +95,11 @@ pub fn layer_stats(net: &Network, id: NodeId) -> LayerStats {
             let (h, w) = out.spatial().expect("conv output is a map");
             let k = (kernel_h * kernel_w) as u64;
             let macs = k * cin * out_channels as u64 * (h * w) as u64;
-            (2 * macs, k * cin * out_channels as u64 + out_channels as u64, k)
+            (
+                2 * macs,
+                k * cin * out_channels as u64 + out_channels as u64,
+                k,
+            )
         }
         LayerKind::DepthwiseConv2d { kernel, .. } => {
             let c = out.channels() as u64;
@@ -101,7 +109,11 @@ pub fn layer_stats(net: &Network, id: NodeId) -> LayerStats {
         }
         LayerKind::Dense { units } => {
             let input = in_shape(0).elements() as u64;
-            (2 * input * units as u64, input * units as u64 + units as u64, 0)
+            (
+                2 * input * units as u64,
+                input * units as u64 + units as u64,
+                0,
+            )
         }
         LayerKind::BatchNorm => {
             let c = out.channels() as u64;
@@ -157,7 +169,10 @@ impl Network {
         self.stats_over(self.backbone_nodes())
     }
 
-    fn stats_over<'a>(&self, nodes: impl Iterator<Item = &'a crate::network::Node>) -> NetworkStats {
+    fn stats_over<'a>(
+        &self,
+        nodes: impl Iterator<Item = &'a crate::network::Node>,
+    ) -> NetworkStats {
         let mut total = NetworkStats {
             total_flops: 0,
             total_params: 0,

@@ -104,10 +104,7 @@ mod tests {
         // After stage 1 (6 layers): 64 + 6·32 = 256 channels at 56×56.
         assert_eq!(net.shape(net.blocks()[5].output()), Shape::map(256, 56, 56));
         // Final: 1024 channels at 7×7.
-        assert_eq!(
-            net.shape(net.blocks()[57].output()),
-            Shape::map(1024, 7, 7)
-        );
+        assert_eq!(net.shape(net.blocks()[57].output()), Shape::map(1024, 7, 7));
     }
 
     #[test]

@@ -75,7 +75,14 @@ fn inception_a(b: &mut NetworkBuilder, x: NodeId, pool_features: usize, name: &s
     let b3 = b.conv_bn_relu(b3, 96, 3, 1, Padding::Same, &format!("{name}/b3_3x3a"));
     let b3 = b.conv_bn_relu(b3, 96, 3, 1, Padding::Same, &format!("{name}/b3_3x3b"));
     let b4 = b.avg_pool(x, 3, 1, Padding::Same, &format!("{name}/b4_pool"));
-    let b4 = b.conv_bn_relu(b4, pool_features, 1, 1, Padding::Same, &format!("{name}/b4_1x1"));
+    let b4 = b.conv_bn_relu(
+        b4,
+        pool_features,
+        1,
+        1,
+        Padding::Same,
+        &format!("{name}/b4_1x1"),
+    );
     b.concat(&[b1, b2, b3, b4], &format!("{name}/concat"))
 }
 

@@ -36,10 +36,7 @@ const BLOCKS: [(usize, usize); 13] = [
 /// assert_eq!(net.name(), "mobilenet_v1_0.25");
 /// ```
 pub fn mobilenet_v1(multiplier: f64) -> Network {
-    mobilenet_v1_widths(
-        format!("mobilenet_v1_{multiplier:.2}"),
-        &[multiplier; 14],
-    )
+    mobilenet_v1_widths(format!("mobilenet_v1_{multiplier:.2}"), &[multiplier; 14])
 }
 
 /// Builds MobileNetV1 with an independent width multiplier per layer
@@ -63,7 +60,14 @@ pub fn mobilenet_v1_widths(name: impl Into<String>, widths: &[f64]) -> Network {
         let d = b.depthwise_conv(x, 3, s, Padding::Same, &format!("{name}/dw"));
         let d = b.batch_norm(d, &format!("{name}/dw_bn"));
         let d = b.activation(d, Activation::Relu, &format!("{name}/dw_relu"));
-        let p = b.conv(d, ch(c, widths[i + 1]), 1, 1, Padding::Same, &format!("{name}/pw"));
+        let p = b.conv(
+            d,
+            ch(c, widths[i + 1]),
+            1,
+            1,
+            Padding::Same,
+            &format!("{name}/pw"),
+        );
         let p = b.batch_norm(p, &format!("{name}/pw_bn"));
         x = b.activation(p, Activation::Relu, &format!("{name}/pw_relu"));
         b.end_block(x).expect("block is non-empty");

@@ -5,7 +5,8 @@ use crate::shape::Shape;
 
 /// Stage table of ResNet-50 (He et al., 2016): `(bottleneck repeats,
 /// mid channels, out channels)`.
-const STAGES: [(usize, usize, usize); 4] = [(3, 64, 256), (4, 128, 512), (6, 256, 1024), (3, 512, 2048)];
+const STAGES: [(usize, usize, usize); 4] =
+    [(3, 64, 256), (4, 128, 512), (6, 256, 1024), (3, 512, 2048)];
 
 /// Builds ResNet-50 at 224×224 input, ImageNet head attached.
 ///
@@ -65,7 +66,14 @@ fn bottleneck(
     let c3 = b.conv(c2, out, 1, 1, Padding::Same, &format!("{name}/conv3"));
     let c3 = b.batch_norm(c3, &format!("{name}/bn3"));
     let shortcut = if project {
-        let p = b.conv(input, out, 1, stride, Padding::Same, &format!("{name}/proj"));
+        let p = b.conv(
+            input,
+            out,
+            1,
+            stride,
+            Padding::Same,
+            &format!("{name}/proj"),
+        );
         b.batch_norm(p, &format!("{name}/proj_bn"))
     } else {
         input

@@ -57,12 +57,39 @@ pub fn squeezenet() -> Network {
 
 /// Appends one fire module: 1×1 squeeze, then parallel 1×1 / 3×3 expands
 /// concatenated.
-fn fire(b: &mut NetworkBuilder, input: NodeId, squeeze: usize, expand: usize, name: &str) -> NodeId {
-    let s = b.conv(input, squeeze, 1, 1, Padding::Same, &format!("{name}/squeeze"));
+fn fire(
+    b: &mut NetworkBuilder,
+    input: NodeId,
+    squeeze: usize,
+    expand: usize,
+    name: &str,
+) -> NodeId {
+    let s = b.conv(
+        input,
+        squeeze,
+        1,
+        1,
+        Padding::Same,
+        &format!("{name}/squeeze"),
+    );
     let s = b.activation(s, Activation::Relu, &format!("{name}/squeeze_relu"));
-    let e1 = b.conv(s, expand / 2, 1, 1, Padding::Same, &format!("{name}/expand1x1"));
+    let e1 = b.conv(
+        s,
+        expand / 2,
+        1,
+        1,
+        Padding::Same,
+        &format!("{name}/expand1x1"),
+    );
     let e1 = b.activation(e1, Activation::Relu, &format!("{name}/expand1x1_relu"));
-    let e3 = b.conv(s, expand / 2, 3, 1, Padding::Same, &format!("{name}/expand3x3"));
+    let e3 = b.conv(
+        s,
+        expand / 2,
+        3,
+        1,
+        Padding::Same,
+        &format!("{name}/expand3x3"),
+    );
     let e3 = b.activation(e3, Activation::Relu, &format!("{name}/expand3x3_relu"));
     b.concat(&[e1, e3], &format!("{name}/concat"))
 }
@@ -86,10 +113,7 @@ mod tests {
     #[test]
     fn final_feature_map() {
         let net = squeezenet();
-        assert_eq!(
-            net.shape(net.blocks()[7].output()),
-            Shape::map(512, 13, 13)
-        );
+        assert_eq!(net.shape(net.blocks()[7].output()), Shape::map(512, 13, 13));
     }
 
     #[test]

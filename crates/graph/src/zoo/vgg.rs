@@ -79,7 +79,10 @@ mod tests {
     #[test]
     fn stage_outputs_halve_spatially() {
         let net = vgg16();
-        assert_eq!(net.shape(net.blocks()[0].output()), Shape::map(64, 112, 112));
+        assert_eq!(
+            net.shape(net.blocks()[0].output()),
+            Shape::map(64, 112, 112)
+        );
         assert_eq!(net.shape(net.blocks()[4].output()), Shape::map(512, 7, 7));
     }
 }

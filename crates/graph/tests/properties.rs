@@ -8,9 +8,17 @@ use proptest::prelude::*;
 /// One randomly chosen backbone block.
 #[derive(Debug, Clone)]
 enum BlockSpec {
-    Conv { channels: usize, kernel: usize, stride: usize },
-    Separable { channels: usize },
-    Residual { channels: usize },
+    Conv {
+        channels: usize,
+        kernel: usize,
+        stride: usize,
+    },
+    Separable {
+        channels: usize,
+    },
+    Residual {
+        channels: usize,
+    },
 }
 
 fn block_strategy() -> impl Strategy<Value = BlockSpec> {

@@ -70,11 +70,20 @@ impl ControlLoop {
         let frames_used = achievable.min(frame_estimates.len());
         let decision = fuse(&frame_estimates[..frames_used], self.rule);
         let similarity = angular_similarity(&decision, truth);
+        let deadline_met = self.budget.sustains(visual_latency_ms);
+        netcut_obs::counter_add(
+            if deadline_met {
+                "hand.deadline_met"
+            } else {
+                "hand.deadline_missed"
+            },
+            1,
+        );
         ReachOutcome {
             decision,
             similarity,
             frames_used,
-            deadline_met: self.budget.sustains(visual_latency_ms),
+            deadline_met,
         }
     }
 
@@ -89,6 +98,9 @@ impl ControlLoop {
         visual_latency_ms: f64,
     ) -> ReachStats {
         assert!(!reaches.is_empty(), "no reaches to simulate");
+        let mut span = netcut_obs::span("hand.reaches");
+        span.field("reaches", reaches.len());
+        span.field("visual_latency_ms", visual_latency_ms);
         let mut sim = 0.0;
         let mut met = 0usize;
         let mut frames = 0usize;
@@ -99,11 +111,14 @@ impl ControlLoop {
             frames += outcome.frames_used;
         }
         let n = reaches.len() as f64;
-        ReachStats {
+        let stats = ReachStats {
             mean_similarity: sim / n,
             deadline_met_fraction: met as f64 / n,
             mean_frames: frames as f64 / n,
-        }
+        };
+        span.field("deadline_met_fraction", stats.deadline_met_fraction);
+        span.field("mean_similarity", stats.mean_similarity);
+        stats
     }
 }
 
@@ -114,7 +129,12 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     /// Noisy frame estimates around a fixed truth.
-    fn synthetic_reaches(n: usize, frames: usize, noise: f32, seed: u64) -> Vec<(Vec<Vec<f32>>, Vec<f32>)> {
+    fn synthetic_reaches(
+        n: usize,
+        frames: usize,
+        noise: f32,
+        seed: u64,
+    ) -> Vec<(Vec<Vec<f32>>, Vec<f32>)> {
         let mut rng = SmallRng::seed_from_u64(seed);
         (0..n)
             .map(|_| {

@@ -86,8 +86,8 @@ pub fn generate_windows(n: usize, seed: u64) -> Vec<EmgWindow> {
             // Muscle activations: blended synergy × slow envelope.
             let mut activation = [0.0f32; MUSCLES];
             for m in 0..MUSCLES {
-                activation[m] = (1.0 - blend) * SYNERGIES[primary][m]
-                    + blend * SYNERGIES[secondary][m];
+                activation[m] =
+                    (1.0 - blend) * SYNERGIES[primary][m] + blend * SYNERGIES[secondary][m];
             }
             // Per-electrode gain drift (skin impedance changes).
             let gains: Vec<f32> = (0..CHANNELS).map(|_| rng.gen_range(0.8..1.2f32)).collect();

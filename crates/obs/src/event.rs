@@ -1,0 +1,255 @@
+//! The structured event record and its hand-rolled JSON encoding.
+
+use std::fmt::Write as _;
+
+/// Version of the JSON-lines event schema. Bump when a field is renamed,
+/// retyped, or removed; consumers should check it before parsing.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// A single field value attached to an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// UTF-8 text.
+    Str(String),
+    /// Floating-point number (non-finite values encode as JSON `null`).
+    F64(f64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Boolean flag.
+    Bool(bool),
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_owned())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+/// What an [`Event`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opened (work started).
+    SpanBegin,
+    /// A span closed; carries `dur_us` and the span's fields.
+    SpanEnd,
+    /// A point-in-time observation.
+    Instant,
+}
+
+impl EventKind {
+    /// Stable wire name of the kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::SpanBegin => "span_begin",
+            EventKind::SpanEnd => "span_end",
+            EventKind::Instant => "instant",
+        }
+    }
+}
+
+/// One structured trace event.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Microseconds since the process trace epoch (monotonic).
+    pub ts_us: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Event name, dot-separated taxonomy (`sim.measure`, `netcut.family`).
+    pub name: String,
+    /// Span id (`0` for events outside any span).
+    pub span_id: u64,
+    /// Parent span id (`0` for roots).
+    pub parent_id: u64,
+    /// Span duration, only meaningful for [`EventKind::SpanEnd`].
+    pub dur_us: u64,
+    /// Key/value payload.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+/// Escapes `s` into `out` as the contents of a JSON string literal.
+pub fn escape_json_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Writes a [`FieldValue`] as a JSON value into `out`.
+pub fn write_value(out: &mut String, value: &FieldValue) {
+    match value {
+        FieldValue::Str(s) => {
+            out.push('"');
+            escape_json_into(out, s);
+            out.push('"');
+        }
+        FieldValue::F64(f) if f.is_finite() => {
+            let _ = write!(out, "{f}");
+        }
+        FieldValue::F64(_) => out.push_str("null"),
+        FieldValue::U64(u) => {
+            let _ = write!(out, "{u}");
+        }
+        FieldValue::I64(i) => {
+            let _ = write!(out, "{i}");
+        }
+        FieldValue::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+    }
+}
+
+impl Event {
+    /// Encodes the event as one JSON object (no trailing newline), the
+    /// JSON-lines wire format of schema [`SCHEMA_VERSION`].
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96 + 24 * self.fields.len());
+        let _ = write!(
+            out,
+            "{{\"v\":{SCHEMA_VERSION},\"ts_us\":{},\"kind\":\"{}\",\"name\":\"",
+            self.ts_us,
+            self.kind.as_str()
+        );
+        escape_json_into(&mut out, &self.name);
+        out.push('"');
+        if self.span_id != 0 {
+            let _ = write!(out, ",\"span\":{}", self.span_id);
+        }
+        if self.parent_id != 0 {
+            let _ = write!(out, ",\"parent\":{}", self.parent_id);
+        }
+        if self.kind == EventKind::SpanEnd {
+            let _ = write!(out, ",\"dur_us\":{}", self.dur_us);
+        }
+        if !self.fields.is_empty() {
+            out.push_str(",\"fields\":{");
+            for (i, (key, value)) in self.fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                escape_json_into(&mut out, key);
+                out.push_str("\":");
+                write_value(&mut out, value);
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event() -> Event {
+        Event {
+            ts_us: 42,
+            kind: EventKind::SpanEnd,
+            name: "sim.measure".into(),
+            span_id: 3,
+            parent_id: 1,
+            dur_us: 7,
+            fields: vec![
+                ("network", FieldValue::from("resnet50")),
+                ("mean_ms", FieldValue::from(1.25)),
+                ("runs", FieldValue::from(800usize)),
+                ("accept", FieldValue::from(true)),
+            ],
+        }
+    }
+
+    #[test]
+    fn json_line_has_schema_and_fields() {
+        let json = event().to_json();
+        assert!(json.starts_with("{\"v\":1,\"ts_us\":42,"));
+        assert!(json.contains("\"kind\":\"span_end\""));
+        assert!(json.contains("\"span\":3"));
+        assert!(json.contains("\"parent\":1"));
+        assert!(json.contains("\"dur_us\":7"));
+        assert!(json.contains("\"network\":\"resnet50\""));
+        assert!(json.contains("\"mean_ms\":1.25"));
+        assert!(json.contains("\"runs\":800"));
+        assert!(json.contains("\"accept\":true"));
+        assert!(json.ends_with('}'));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut e = event();
+        e.fields = vec![("path", FieldValue::from("a\"b\\c\nd"))];
+        let json = e.to_json();
+        assert!(json.contains(r#""path":"a\"b\\c\nd""#));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut e = event();
+        e.fields = vec![("x", FieldValue::from(f64::NAN))];
+        assert!(e.to_json().contains("\"x\":null"));
+    }
+
+    #[test]
+    fn zero_ids_and_empty_fields_are_omitted() {
+        let e = Event {
+            ts_us: 1,
+            kind: EventKind::Instant,
+            name: "tick".into(),
+            span_id: 0,
+            parent_id: 0,
+            dur_us: 0,
+            fields: Vec::new(),
+        };
+        let json = e.to_json();
+        assert!(!json.contains("span"));
+        assert!(!json.contains("parent"));
+        assert!(!json.contains("dur_us"));
+        assert!(!json.contains("fields"));
+    }
+}

@@ -1,0 +1,294 @@
+//! Always-on process-wide metrics: named counters and latency histograms.
+//!
+//! Metrics are aggregated in memory regardless of whether an event sink is
+//! installed (one mutexed map update per observation — negligible next to
+//! the measurement and retraining work they count) and rendered on demand
+//! via [`snapshot`].
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+/// Number of log-scaled histogram buckets.
+const BUCKETS: usize = 44;
+/// Exponent offset: bucket 0 covers values below 2^-20 (~1e-6).
+const BUCKET_OFFSET: i32 = 20;
+
+/// Streaming histogram: count/sum/min/max plus power-of-two buckets for
+/// approximate quantiles.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+fn bucket_index(value: f64) -> usize {
+    if value <= 0.0 {
+        return 0;
+    }
+    let exp = value.log2().floor() as i32 + BUCKET_OFFSET;
+    exp.clamp(0, BUCKETS as i32 - 1) as usize
+}
+
+/// Upper edge of bucket `i`, used as the quantile estimate.
+fn bucket_upper(i: usize) -> f64 {
+    2f64.powi(i as i32 - BUCKET_OFFSET + 1)
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[bucket_index(value)] += 1;
+    }
+
+    /// Approximate quantile `q` in `[0, 1]` from the log buckets (within a
+    /// factor of 2), clamped to the observed min/max.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Immutable summary of the histogram.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { 0.0 } else { self.min },
+            max: if self.count == 0 { 0.0 } else { self.max },
+            mean: if self.count == 0 {
+                0.0
+            } else {
+                self.sum / self.count as f64
+            },
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+        }
+    }
+}
+
+/// Snapshot statistics of one histogram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (approximate, log-bucketed).
+    pub p50: f64,
+    /// 95th percentile (approximate, log-bucketed).
+    pub p95: f64,
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+static REGISTRY: Mutex<Option<Registry>> = Mutex::new(None);
+
+fn with_registry<T>(f: impl FnOnce(&mut Registry) -> T) -> T {
+    let mut guard = REGISTRY.lock().expect("metrics registry poisoned");
+    f(guard.get_or_insert_with(Registry::default))
+}
+
+/// Adds `delta` to the named counter.
+pub fn counter_add(name: &'static str, delta: u64) {
+    with_registry(|r| *r.counters.entry(name).or_insert(0) += delta);
+}
+
+/// Records one observation into the named histogram.
+pub fn observe(name: &'static str, value: f64) {
+    with_registry(|r| r.histograms.entry(name).or_default().observe(value));
+}
+
+/// Point-in-time copy of every metric.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Counter name → value, sorted by name.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Histogram name → summary, sorted by name.
+    pub histograms: Vec<(&'static str, HistogramSummary)>,
+}
+
+impl MetricsSnapshot {
+    /// Value of a counter, `0` if never incremented.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Summary of a histogram, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, s)| s)
+    }
+
+    /// `true` when no metric has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Renders the snapshot as an aligned plain-text block.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "counters:");
+            for (name, value) in &self.counters {
+                let _ = writeln!(out, "  {name:<32} {value:>12}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(
+                out,
+                "histograms:{:>24} {:>10} {:>10} {:>10} {:>10}",
+                "count", "mean", "p50", "p95", "max"
+            );
+            for (name, s) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {name:<32} {:>10} {:>10.4} {:>10.4} {:>10.4} {:>10.4}",
+                    s.count, s.mean, s.p50, s.p95, s.max
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Copies the current state of every counter and histogram.
+pub fn snapshot() -> MetricsSnapshot {
+    with_registry(|r| MetricsSnapshot {
+        counters: r.counters.iter().map(|(n, v)| (*n, *v)).collect(),
+        histograms: r
+            .histograms
+            .iter()
+            .map(|(n, h)| (*n, h.summary()))
+            .collect(),
+    })
+}
+
+/// Clears every metric (used by tests and long-lived hosts between runs).
+pub fn reset() {
+    with_registry(|r| {
+        r.counters.clear();
+        r.histograms.clear();
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        reset();
+        counter_add("test.counter_a", 2);
+        counter_add("test.counter_a", 3);
+        counter_add("test.counter_b", 1);
+        let snap = snapshot();
+        assert_eq!(snap.counter("test.counter_a"), 5);
+        assert_eq!(snap.counter("test.counter_b"), 1);
+        assert_eq!(snap.counter("test.counter_missing"), 0);
+        reset();
+        assert_eq!(snapshot().counter("test.counter_a"), 0);
+    }
+
+    #[test]
+    fn histogram_summary_tracks_distribution() {
+        let mut h = Histogram::default();
+        for i in 1..=100 {
+            h.observe(i as f64);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        // Log-bucketed quantiles are within a factor of two.
+        assert!(s.p50 >= 25.0 && s.p50 <= 100.0, "p50 = {}", s.p50);
+        assert!(s.p95 >= 64.0 && s.p95 <= 100.0, "p95 = {}", s.p95);
+    }
+
+    #[test]
+    fn histogram_ignores_non_finite() {
+        let mut h = Histogram::default();
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        h.observe(1.0);
+        assert_eq!(h.summary().count, 1);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let s = Histogram::default().summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 0.0);
+    }
+
+    #[test]
+    fn render_text_lists_metrics() {
+        reset();
+        counter_add("test.render", 7);
+        observe("test.render_ms", 0.5);
+        let text = snapshot().render_text();
+        assert!(text.contains("test.render"));
+        assert!(text.contains("test.render_ms"));
+        assert!(text.contains('7'));
+        reset();
+    }
+
+    #[test]
+    fn bucket_quantiles_clamp_to_range() {
+        let mut h = Histogram::default();
+        h.observe(0.9);
+        h.observe(0.9);
+        let s = h.summary();
+        assert!(s.p50 <= 0.9 + 1e-12);
+        assert!(s.p95 <= 0.9 + 1e-12);
+    }
+}

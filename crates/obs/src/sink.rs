@@ -1,0 +1,298 @@
+//! Event sinks: where structured events go.
+//!
+//! * [`StderrSink`] — human-readable log lines (the CLI's `-v`).
+//! * [`JsonLinesSink`] — one JSON object per line, schema
+//!   [`crate::SCHEMA_VERSION`]; parse each line independently.
+//! * [`ChromeTraceSink`] — Chrome `trace_event` JSON; open the file in
+//!   `chrome://tracing` or <https://ui.perfetto.dev>.
+//! * [`MultiSink`] — fan-out to several sinks.
+
+use crate::event::{escape_json_into, write_value, Event, EventKind};
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A destination for structured events. Implementations must be cheap per
+/// call and thread-safe; `record` is invoked from the instrumented hot
+/// paths (once per span or instant, never per inference run).
+pub trait EventSink: Send + Sync {
+    /// Consumes one event.
+    fn record(&self, event: &Event);
+    /// Flushes buffered output (called at program exit).
+    fn flush(&self) {}
+}
+
+/// Human-readable event log on stderr.
+#[derive(Debug, Default)]
+pub struct StderrSink;
+
+impl EventSink for StderrSink {
+    fn record(&self, event: &Event) {
+        let mut line = String::with_capacity(96);
+        let ms = event.ts_us as f64 / 1e3;
+        let marker = match event.kind {
+            EventKind::SpanBegin => ">",
+            EventKind::SpanEnd => "<",
+            EventKind::Instant => "·",
+        };
+        let _ = write!(line, "[{ms:>12.3} ms] {marker} {}", event.name);
+        if event.span_id != 0 {
+            let _ = write!(line, " #{}", event.span_id);
+        }
+        if event.kind == EventKind::SpanEnd {
+            let _ = write!(line, " ({:.3} ms)", event.dur_us as f64 / 1e3);
+        }
+        for (key, value) in &event.fields {
+            let mut rendered = String::new();
+            write_value(&mut rendered, value);
+            let _ = write!(line, " {key}={rendered}");
+        }
+        eprintln!("{line}");
+    }
+}
+
+/// JSON-lines event file: every event is one self-contained JSON object.
+pub struct JsonLinesSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonLinesSink {
+    /// Creates (truncates) the event file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JsonLinesSink {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+}
+
+impl EventSink for JsonLinesSink {
+    fn record(&self, event: &Event) {
+        let line = event.to_json();
+        let mut writer = self.writer.lock().expect("trace writer poisoned");
+        let _ = writeln!(writer, "{line}");
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().expect("trace writer poisoned").flush();
+    }
+}
+
+/// Numeric id for the current thread, for the Chrome `tid` field.
+fn thread_tid() -> u64 {
+    static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|tid| *tid)
+}
+
+/// Chrome `trace_event`-format exporter. Events buffer in memory and are
+/// written as one JSON document on [`EventSink::flush`] (and on drop), so
+/// exploration runs open directly in `chrome://tracing` / Perfetto.
+pub struct ChromeTraceSink {
+    path: PathBuf,
+    entries: Mutex<Vec<String>>,
+}
+
+impl ChromeTraceSink {
+    /// Creates the exporter; the file is written when flushed/dropped.
+    pub fn create(path: impl Into<PathBuf>) -> Self {
+        ChromeTraceSink {
+            path: path.into(),
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn entry(event: &Event) -> String {
+        let ph = match event.kind {
+            EventKind::SpanBegin => "B",
+            EventKind::SpanEnd => "E",
+            EventKind::Instant => "i",
+        };
+        let mut out = String::with_capacity(96);
+        let _ = write!(out, "{{\"name\":\"");
+        escape_json_into(&mut out, &event.name);
+        let _ = write!(
+            out,
+            "\",\"cat\":\"netcut\",\"ph\":\"{ph}\",\"ts\":{},\"pid\":1,\"tid\":{}",
+            event.ts_us,
+            thread_tid()
+        );
+        if event.kind == EventKind::Instant {
+            out.push_str(",\"s\":\"t\"");
+        }
+        if !event.fields.is_empty() {
+            out.push_str(",\"args\":{");
+            for (i, (key, value)) in event.fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                escape_json_into(&mut out, key);
+                out.push_str("\":");
+                write_value(&mut out, value);
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+}
+
+impl EventSink for ChromeTraceSink {
+    fn record(&self, event: &Event) {
+        let entry = Self::entry(event);
+        self.entries
+            .lock()
+            .expect("trace buffer poisoned")
+            .push(entry);
+    }
+
+    fn flush(&self) {
+        let entries = self.entries.lock().expect("trace buffer poisoned");
+        let mut doc = String::with_capacity(64 + entries.iter().map(String::len).sum::<usize>());
+        doc.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+        for (i, entry) in entries.iter().enumerate() {
+            if i > 0 {
+                doc.push_str(",\n");
+            }
+            doc.push_str(entry);
+        }
+        doc.push_str("\n]}\n");
+        let _ = std::fs::write(&self.path, doc);
+    }
+}
+
+impl Drop for ChromeTraceSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Fans every event out to several sinks.
+pub struct MultiSink {
+    sinks: Vec<Arc<dyn EventSink>>,
+}
+
+impl MultiSink {
+    /// Builds a fan-out over `sinks`.
+    pub fn new(sinks: Vec<Arc<dyn EventSink>>) -> Self {
+        MultiSink { sinks }
+    }
+}
+
+impl EventSink for MultiSink {
+    fn record(&self, event: &Event) {
+        for sink in &self.sinks {
+            sink.record(event);
+        }
+    }
+
+    fn flush(&self) {
+        for sink in &self.sinks {
+            sink.flush();
+        }
+    }
+}
+
+/// In-memory sink capturing events for tests.
+#[derive(Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// An empty capture buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of every recorded event.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("memory sink poisoned").clone()
+    }
+}
+
+impl EventSink for MemorySink {
+    fn record(&self, event: &Event) {
+        self.events
+            .lock()
+            .expect("memory sink poisoned")
+            .push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::FieldValue;
+
+    fn event(kind: EventKind, name: &str) -> Event {
+        Event {
+            ts_us: 10,
+            kind,
+            name: name.into(),
+            span_id: 1,
+            parent_id: 0,
+            dur_us: 5,
+            fields: vec![("x", FieldValue::from(1.5))],
+        }
+    }
+
+    #[test]
+    fn chrome_entries_are_phase_tagged() {
+        let begin = ChromeTraceSink::entry(&event(EventKind::SpanBegin, "a"));
+        assert!(begin.contains("\"ph\":\"B\""));
+        assert!(begin.contains("\"ts\":10"));
+        let end = ChromeTraceSink::entry(&event(EventKind::SpanEnd, "a"));
+        assert!(end.contains("\"ph\":\"E\""));
+        assert!(end.contains("\"args\":{\"x\":1.5}"));
+        let instant = ChromeTraceSink::entry(&event(EventKind::Instant, "i"));
+        assert!(instant.contains("\"ph\":\"i\""));
+        assert!(instant.contains("\"s\":\"t\""));
+    }
+
+    #[test]
+    fn chrome_file_is_one_json_document() {
+        let path = std::env::temp_dir().join("netcut_obs_chrome_test.json");
+        let sink = ChromeTraceSink::create(&path);
+        sink.record(&event(EventKind::SpanBegin, "run"));
+        sink.record(&event(EventKind::SpanEnd, "run"));
+        sink.flush();
+        let doc = std::fs::read_to_string(&path).unwrap();
+        assert!(doc.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(doc.trim_end().ends_with("]}"));
+        assert_eq!(doc.matches("\"ph\":").count(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let path = std::env::temp_dir().join("netcut_obs_jsonl_test.jsonl");
+        let sink = JsonLinesSink::create(&path).unwrap();
+        sink.record(&event(EventKind::SpanBegin, "a"));
+        sink.record(&event(EventKind::Instant, "b"));
+        sink.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn multi_sink_fans_out() {
+        let a = Arc::new(MemorySink::new());
+        let b = Arc::new(MemorySink::new());
+        let multi = MultiSink::new(vec![a.clone(), b.clone()]);
+        multi.record(&event(EventKind::Instant, "tick"));
+        assert_eq!(a.events().len(), 1);
+        assert_eq!(b.events().len(), 1);
+    }
+}

@@ -1,0 +1,108 @@
+//! RAII spans with thread-local parent tracking.
+
+use crate::event::{Event, EventKind, FieldValue};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Id of the innermost open span on this thread (`0` if none).
+pub(crate) fn current_span() -> u64 {
+    SPAN_STACK.with(|stack| stack.borrow().last().copied().unwrap_or(0))
+}
+
+/// An open span. Created by [`crate::span`]; emits a `span_begin` event on
+/// creation and a `span_end` event (carrying the duration and every field
+/// added via [`SpanGuard::field`]) when dropped.
+///
+/// When no sink is installed the guard is inert: construction is one atomic
+/// load and `field` calls are no-ops.
+#[must_use = "a span measures the scope it lives in"]
+pub struct SpanGuard {
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    start_us: u64,
+    fields: Vec<(&'static str, FieldValue)>,
+    active: bool,
+}
+
+impl SpanGuard {
+    pub(crate) fn inert() -> Self {
+        SpanGuard {
+            id: 0,
+            parent: 0,
+            name: "",
+            start_us: 0,
+            fields: Vec::new(),
+            active: false,
+        }
+    }
+
+    pub(crate) fn begin(name: &'static str) -> Self {
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let parent = current_span();
+        SPAN_STACK.with(|stack| stack.borrow_mut().push(id));
+        let start_us = crate::now_us();
+        crate::dispatch(&Event {
+            ts_us: start_us,
+            kind: EventKind::SpanBegin,
+            name: name.into(),
+            span_id: id,
+            parent_id: parent,
+            dur_us: 0,
+            fields: Vec::new(),
+        });
+        SpanGuard {
+            id,
+            parent,
+            name,
+            start_us,
+            fields: Vec::new(),
+            active: true,
+        }
+    }
+
+    /// `true` when events from this span reach a sink. Use to skip field
+    /// values that are costly to build (e.g. formatted strings).
+    pub fn is_recording(&self) -> bool {
+        self.active
+    }
+
+    /// Attaches a key/value pair, reported on the closing `span_end` event.
+    pub fn field(&mut self, key: &'static str, value: impl Into<FieldValue>) {
+        if self.active {
+            self.fields.push((key, value.into()));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Guards drop in reverse creation order under normal scoping;
+            // remove by value to stay correct even if they do not.
+            if let Some(pos) = stack.iter().rposition(|&id| id == self.id) {
+                stack.remove(pos);
+            }
+        });
+        let end_us = crate::now_us();
+        crate::dispatch(&Event {
+            ts_us: end_us,
+            kind: EventKind::SpanEnd,
+            name: self.name.into(),
+            span_id: self.id,
+            parent_id: self.parent,
+            dur_us: end_us.saturating_sub(self.start_us),
+            fields: std::mem::take(&mut self.fields),
+        });
+    }
+}

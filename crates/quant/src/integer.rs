@@ -68,7 +68,11 @@ impl IntegerDense {
         let n = input.shape()[0];
         assert_eq!(input.shape()[1], self.inputs, "feature arity mismatch");
         // Quantize activations once.
-        let x_q: Vec<i8> = input.data().iter().map(|&v| act_params.quantize(v)).collect();
+        let x_q: Vec<i8> = input
+            .data()
+            .iter()
+            .map(|&v| act_params.quantize(v))
+            .collect();
         let mut out = Tensor::zeros(&[n, self.outputs]);
         for b in 0..n {
             let row = &x_q[b * self.inputs..(b + 1) * self.inputs];

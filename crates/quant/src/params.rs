@@ -139,7 +139,10 @@ mod tests {
             .map(|(a, b)| (a - b).abs())
             .take(2)
             .sum();
-        assert!(err_c < err_t / 10.0, "per-channel {err_c} vs per-tensor {err_t}");
+        assert!(
+            err_c < err_t / 10.0,
+            "per-channel {err_c} vs per-tensor {err_t}"
+        );
     }
 
     proptest! {

@@ -72,7 +72,11 @@ pub fn quantize_model(
     }
     QuantReport {
         activation_params,
-        weight_mse: if count > 0 { weight_err / count as f64 } else { 0.0 },
+        weight_mse: if count > 0 {
+            weight_err / count as f64
+        } else {
+            0.0
+        },
         quantized_params: count,
     }
 }
@@ -81,7 +85,7 @@ pub fn quantize_model(
 mod tests {
     use super::*;
     use netcut_tensor::layers::{Dense, Relu};
-    use netcut_tensor::{uniform, SoftCrossEntropy, Sgd};
+    use netcut_tensor::{uniform, Sgd, SoftCrossEntropy};
 
     fn model(seed: u64) -> Sequential {
         Sequential::new(vec![

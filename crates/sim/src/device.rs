@@ -179,7 +179,8 @@ impl DeviceModel {
     /// steady-state duration is `steady_ms`: short pipelines pay up to
     /// `1 + ramp_penalty`.
     pub fn ramp_factor(&self, steady_ms: f64) -> f64 {
-        1.0 + self.ramp_penalty * self.ramp_halfpoint_ms / (self.ramp_halfpoint_ms + steady_ms.max(0.0))
+        1.0 + self.ramp_penalty * self.ramp_halfpoint_ms
+            / (self.ramp_halfpoint_ms + steady_ms.max(0.0))
     }
 }
 

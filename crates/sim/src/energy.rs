@@ -89,8 +89,7 @@ impl EnergyModel {
                 let mem = bytes * self.pj_per_byte * 1e-9;
                 let launch = self.kernel_overhead_uj * 1e-3;
                 // Attribute static power by the kernel's share of latency.
-                let static_mj =
-                    self.idle_power_w * kernel_latency_ms(k, device, precision);
+                let static_mj = self.idle_power_w * kernel_latency_ms(k, device, precision);
                 compute + mem + launch + static_mj
             })
             .collect()

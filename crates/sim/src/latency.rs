@@ -12,8 +12,7 @@ use netcut_graph::Network;
 pub fn kernel_latency_ms(kernel: &FusedKernel, device: &DeviceModel, precision: Precision) -> f64 {
     let eff = device.kind_efficiency(&kernel.primary_kind);
     let occ = device.occupancy(kernel.output_elements);
-    let throughput_flops =
-        device.peak_gflops * 1e9 * eff * occ * precision.compute_speedup(device);
+    let throughput_flops = device.peak_gflops * 1e9 * eff * occ * precision.compute_speedup(device);
     let compute_s = kernel.flops as f64 / throughput_flops.max(1.0);
     let bytes = (kernel.bytes_read + kernel.bytes_written) as f64 * precision.byte_scale();
     let memory_s = bytes / (device.mem_bandwidth_gbs * 1e9);
@@ -59,8 +58,7 @@ pub fn batched_network_latency_ms(
             let throughput =
                 device.peak_gflops * 1e9 * eff * occ * precision.compute_speedup(device);
             let compute_s = k.flops as f64 * b / throughput.max(1.0);
-            let activation_bytes =
-                (k.bytes_read - k.weight_bytes + k.bytes_written) as f64 * b;
+            let activation_bytes = (k.bytes_read - k.weight_bytes + k.bytes_written) as f64 * b;
             let bytes = (activation_bytes + k.weight_bytes as f64) * precision.byte_scale();
             let memory_s = bytes / (device.mem_bandwidth_gbs * 1e9);
             compute_s.max(memory_s) * 1e3 + device.kernel_overhead_us * 1e-3

@@ -7,9 +7,19 @@ use crate::fusion::fuse_network;
 use crate::latency::{kernel_latency_ms, network_latency_ms};
 use crate::profile::{LatencyTable, LayerProfile};
 use netcut_graph::Network;
+use netcut_obs as obs;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+
+/// Short stable label for a precision, used in trace fields.
+fn precision_label(precision: Precision) -> &'static str {
+    match precision {
+        Precision::Fp32 => "fp32",
+        Precision::Fp16 => "fp16",
+        Precision::Int8 => "int8",
+    }
+}
 
 /// Number of warm-up inferences before timing starts.
 pub const WARMUP_RUNS: usize = 200;
@@ -61,9 +71,8 @@ fn erfc_approx(x: f64) -> f64 {
                         + t * (-0.18628806
                             + t * (0.27886807
                                 + t * (-1.13520398
-                                    + t * (1.48851587
-                                        + t * (-0.82215223 + t * 0.17087277)))))))))
-        .exp();
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
     if x >= 0.0 {
         tau
     } else {
@@ -114,15 +123,28 @@ impl Session {
     /// whose mean and standard deviation are returned. The RNG is seeded
     /// from `seed` and the network name, so measurements are reproducible.
     pub fn measure(&self, net: &Network, seed: u64) -> Measurement {
+        let mut span = obs::span("sim.measure");
+        if span.is_recording() {
+            span.field("network", net.name());
+            span.field("device", self.device.name.as_str());
+            span.field("precision", precision_label(self.precision));
+            span.field("seed", seed);
+        }
         let base = self.ideal_latency_ms(net);
         let mut rng = self.rng(net, seed);
         // Warm-up: the first runs are slower (cold caches, clock ramp);
         // they are simulated and discarded exactly as the paper does.
-        let mut warm_penalty = 0.35;
-        for _ in 0..WARMUP_RUNS {
-            let _cold = base * (1.0 + warm_penalty + self.noise(&mut rng));
-            warm_penalty *= 0.97;
+        {
+            let mut warmup = obs::span("sim.measure.warmup");
+            warmup.field("runs", WARMUP_RUNS);
+            let mut warm_penalty = 0.35;
+            for _ in 0..WARMUP_RUNS {
+                let _cold = base * (1.0 + warm_penalty + self.noise(&mut rng));
+                warm_penalty *= 0.97;
+            }
         }
+        let mut timed = obs::span("sim.measure.timed");
+        timed.field("runs", TIMED_RUNS);
         let mut samples = Vec::with_capacity(TIMED_RUNS);
         let mut sum = 0.0;
         let mut sum_sq = 0.0;
@@ -132,19 +154,26 @@ impl Session {
             sum_sq += run * run;
             samples.push(run);
         }
+        drop(timed);
         let n = TIMED_RUNS as f64;
         let mean = sum / n;
         let var = (sum_sq / n - mean * mean).max(0.0) * n / (n - 1.0);
         samples.sort_by(f64::total_cmp);
         let pct = |q: f64| samples[((TIMED_RUNS - 1) as f64 * q).round() as usize];
-        Measurement {
+        let measurement = Measurement {
             mean_ms: mean,
             std_ms: var.sqrt(),
             p95_ms: pct(0.95),
             p99_ms: pct(0.99),
             max_ms: samples[TIMED_RUNS - 1],
             runs: TIMED_RUNS,
-        }
+        };
+        obs::counter_add("sim.measurements", 1);
+        obs::observe("sim.measure.mean_ms", measurement.mean_ms);
+        span.field("mean_ms", measurement.mean_ms);
+        span.field("std_ms", measurement.std_ms);
+        span.field("p99_ms", measurement.p99_ms);
+        measurement
     }
 
     /// Profiles `net` per fused kernel with CUDA-event-style
@@ -153,7 +182,14 @@ impl Session {
     /// exceeds the end-to-end measurement — the over-additivity the paper's
     /// ratio estimator corrects for.
     pub fn profile(&self, net: &Network, seed: u64) -> LatencyTable {
+        let mut span = obs::span("sim.profile");
+        if span.is_recording() {
+            span.field("network", net.name());
+            span.field("device", self.device.name.as_str());
+            span.field("precision", precision_label(self.precision));
+        }
         let kernels = fuse_network(net);
+        span.field("kernels", kernels.len());
         let mut rng = self.rng(net, seed ^ 0x9e3779b97f4a7c15);
         let event_ms = self.device.event_overhead_us * 1e-3;
         // Per-layer records are taken during full-network runs, so every
@@ -169,6 +205,15 @@ impl Session {
             .map(|k| {
                 let base = kernel_latency_ms(k, &self.device, self.precision) * ramp;
                 let noisy = base * (1.0 + self.noise(&mut rng)) + event_ms;
+                if obs::enabled() {
+                    obs::instant(
+                        "sim.profile.layer",
+                        &[
+                            ("layer", net.node(k.primary).name().into()),
+                            ("latency_ms", noisy.into()),
+                        ],
+                    );
+                }
                 LayerProfile {
                     tail: k.tail(),
                     name: net.node(k.primary).name().to_owned(),
@@ -178,6 +223,8 @@ impl Session {
             })
             .collect();
         let end_to_end = self.measure(net, seed).mean_ms;
+        obs::counter_add("sim.profiles", 1);
+        span.field("end_to_end_ms", end_to_end);
         LatencyTable::new(net.name().to_owned(), layers, end_to_end)
     }
 
@@ -255,6 +302,106 @@ mod tests {
         // Around p99 the miss rate is ≈ 1 %.
         let at_p99 = m.miss_rate(m.p99_ms);
         assert!((0.001..=0.05).contains(&at_p99), "miss at p99 = {at_p99}");
+    }
+
+    #[test]
+    fn miss_rate_with_zero_std_is_a_step() {
+        let mut m = Measurement {
+            mean_ms: 1.0,
+            std_ms: 0.0,
+            p95_ms: 1.0,
+            p99_ms: 1.0,
+            max_ms: 1.0,
+            runs: 800,
+        };
+        // Deterministic latency: miss iff the mean exceeds the deadline.
+        assert_eq!(m.miss_rate(2.0), 0.0);
+        assert_eq!(m.miss_rate(0.5), 1.0);
+        // Exactly on the deadline counts as a hit (<=, not <).
+        assert_eq!(m.miss_rate(1.0), 0.0);
+        // Negative std (corrupt input) degrades to the same step function.
+        m.std_ms = -0.1;
+        assert_eq!(m.miss_rate(2.0), 0.0);
+        assert_eq!(m.miss_rate(0.5), 1.0);
+    }
+
+    #[test]
+    fn miss_rate_saturates_at_extreme_z() {
+        let m = Measurement {
+            mean_ms: 1.0,
+            std_ms: 1e-9,
+            p95_ms: 1.0,
+            p99_ms: 1.0,
+            max_ms: 1.0,
+            runs: 800,
+        };
+        // z -> +inf / -inf must saturate cleanly, not overflow to NaN.
+        let far_above = m.miss_rate(1e9);
+        let far_below = m.miss_rate(-1e9);
+        assert!(far_above.is_finite() && far_above >= 0.0);
+        assert!(far_below.is_finite() && far_below <= 1.0);
+        assert!(far_above < 1e-12, "miss far above deadline = {far_above}");
+        assert!(far_below > 1.0 - 1e-12, "miss far below = {far_below}");
+    }
+
+    #[test]
+    fn miss_rate_at_mean_is_one_half() {
+        let m = Measurement {
+            mean_ms: 3.0,
+            std_ms: 0.2,
+            p95_ms: 3.3,
+            p99_ms: 3.5,
+            max_ms: 3.6,
+            runs: 800,
+        };
+        // Deadline at the mean of a symmetric distribution: 50 % misses.
+        assert!((m.miss_rate(3.0) - 0.5).abs() < 1e-6);
+        // Symmetry: P(miss at mean - d) + P(miss at mean + d) = 1.
+        for d in [0.01, 0.1, 0.5, 1.0] {
+            let total = m.miss_rate(3.0 - d) + m.miss_rate(3.0 + d);
+            assert!((total - 1.0).abs() < 1e-6, "asymmetric at d={d}: {total}");
+        }
+    }
+
+    #[test]
+    fn miss_rate_is_monotone_in_the_deadline() {
+        let m = Measurement {
+            mean_ms: 1.0,
+            std_ms: 0.05,
+            p95_ms: 1.08,
+            p99_ms: 1.12,
+            max_ms: 1.2,
+            runs: 800,
+        };
+        let mut prev = 1.0;
+        let mut deadline = 0.5;
+        while deadline <= 1.5 {
+            let rate = m.miss_rate(deadline);
+            assert!((0.0..=1.0).contains(&rate), "rate out of range: {rate}");
+            assert!(rate <= prev + 1e-9, "not monotone at {deadline}");
+            prev = rate;
+            deadline += 0.01;
+        }
+    }
+
+    #[test]
+    fn erfc_matches_known_values() {
+        // Reference values for the Abramowitz–Stegun approximation
+        // (accurate to ~1.2e-7): erfc(0) = 1, erfc(±1), erfc(2).
+        assert!((erfc_approx(0.0) - 1.0).abs() < 1e-6);
+        assert!((erfc_approx(1.0) - 0.157_299_2).abs() < 1e-6);
+        assert!((erfc_approx(-1.0) - 1.842_700_8).abs() < 1e-6);
+        assert!((erfc_approx(2.0) - 0.004_677_735).abs() < 1e-6);
+        // One-sigma deadline headroom corresponds to ~15.87 % miss rate.
+        let m = Measurement {
+            mean_ms: 1.0,
+            std_ms: 0.1,
+            p95_ms: 1.16,
+            p99_ms: 1.23,
+            max_ms: 1.3,
+            runs: 800,
+        };
+        assert!((m.miss_rate(1.1) - 0.158_655_3).abs() < 1e-4);
     }
 
     #[test]

@@ -88,8 +88,7 @@ impl Session {
             let compute_s = k.flops as f64 / throughput.max(1.0);
             let bytes = ((k.bytes_read + k.bytes_written) as f64 * precision.byte_scale()) as u64;
             let memory_s = bytes as f64 / (device.mem_bandwidth_gbs * 1e9);
-            let duration_ms =
-                compute_s.max(memory_s) * 1e3 + device.kernel_overhead_us * 1e-3;
+            let duration_ms = compute_s.max(memory_s) * 1e3 + device.kernel_overhead_us * 1e-3;
             steady += duration_ms;
             rows.push(TraceEntry {
                 name: net.node(k.primary).name().to_owned(),

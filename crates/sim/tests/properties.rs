@@ -25,7 +25,13 @@ fn build(stages: &[(usize, usize, usize, bool, bool)]) -> Network {
 }
 
 fn stage_strategy() -> impl Strategy<Value = (usize, usize, usize, bool, bool)> {
-    (1usize..=6, 0usize..2, 1usize..=2, any::<bool>(), any::<bool>())
+    (
+        1usize..=6,
+        0usize..2,
+        1usize..=2,
+        any::<bool>(),
+        any::<bool>(),
+    )
         .prop_map(|(c, k, s, bn, relu)| (8 * c, [1, 3][k], s, bn, relu))
 }
 

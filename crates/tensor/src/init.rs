@@ -45,8 +45,16 @@ mod tests {
     fn xavier_limit_shrinks_with_fan() {
         let small = xavier_uniform(&[1000], 10, 10, 1);
         let large = xavier_uniform(&[1000], 1000, 1000, 1);
-        let max_small = small.data().iter().cloned().fold(0.0f32, |a, b| a.max(b.abs()));
-        let max_large = large.data().iter().cloned().fold(0.0f32, |a, b| a.max(b.abs()));
+        let max_small = small
+            .data()
+            .iter()
+            .cloned()
+            .fold(0.0f32, |a, b| a.max(b.abs()));
+        let max_large = large
+            .data()
+            .iter()
+            .cloned()
+            .fold(0.0f32, |a, b| a.max(b.abs()));
         assert!(max_large < max_small);
     }
 
@@ -54,8 +62,12 @@ mod tests {
     fn variance_matches_he() {
         let t = he_normal(&[10_000], 100, 3);
         let mean: f32 = t.sum() / t.len() as f32;
-        let var: f32 =
-            t.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / t.len() as f32;
+        let var: f32 = t
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / t.len() as f32;
         // Target variance 2 / fan_in = 0.02.
         assert!((var - 0.02).abs() < 0.004, "var = {var}");
     }

@@ -102,10 +102,7 @@ impl Layer for Dense {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let input = self
-            .cached_input
-            .as_ref()
-            .expect("backward before forward");
+        let input = self.cached_input.as_ref().expect("backward before forward");
         // dW = xᵀ · g ;  db = Σ_batch g ;  dx = g · Wᵀ
         let dw = input.transposed().matmul(grad_out);
         for (g, d) in self.weight.grad.data_mut().iter_mut().zip(dw.data()) {
@@ -326,8 +323,8 @@ impl Layer for Conv2d {
         // im2col + GEMM: rows are output positions, columns are filters.
         let cols = self.im2col(input);
         let flat = cols.matmul(&self.weight_matrix_t()); // [n*h*w, out_c]
-        // Transpose position-major [n, h*w, out_c] into channel-major
-        // [n, out_c, h, w] and add the bias.
+                                                         // Transpose position-major [n, h*w, out_c] into channel-major
+                                                         // [n, out_c, h, w] and add the bias.
         let hw = h * w;
         let mut out = Tensor::zeros(&[n, out_c, h, w]);
         {
@@ -350,10 +347,7 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let input = self
-            .cached_input
-            .as_ref()
-            .expect("backward before forward");
+        let input = self.cached_input.as_ref().expect("backward before forward");
         let (out_c, in_c) = self.dims();
         let k = self.kernel;
         let [n, _, h, w] = [

@@ -91,10 +91,7 @@ impl Layer for DepthwiseConv2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let input = self
-            .cached_input
-            .as_ref()
-            .expect("backward before forward");
+        let input = self.cached_input.as_ref().expect("backward before forward");
         let k = self.kernel;
         let pad = k / 2;
         let [n, c, h, w] = [

@@ -135,8 +135,7 @@ impl Layer for BatchNorm2d {
                 for i in start..start + h * w {
                     let go = grad_out.data()[i];
                     let xn = cache.normalized.data()[i];
-                    grad_in.data_mut()[i] =
-                        g * inv / per * (per * go - dbeta - xn * dgamma);
+                    grad_in.data_mut()[i] = g * inv / per * (per * go - dbeta - xn * dgamma);
                 }
             }
         }
@@ -195,12 +194,7 @@ impl Layer for Dropout {
                 }
             })
             .collect();
-        let data = input
-            .data()
-            .iter()
-            .zip(&mask)
-            .map(|(v, m)| v * m)
-            .collect();
+        let data = input.data().iter().zip(&mask).map(|(v, m)| v * m).collect();
         self.mask = Some(mask);
         Tensor::from_vec(data, input.shape())
     }

@@ -36,7 +36,10 @@ impl SoftCrossEntropy {
 
     /// Computes softmax probabilities from logits (row-wise, stable).
     pub fn softmax(logits: &Tensor) -> Tensor {
-        let k = *logits.shape().last().expect("logits must have a class axis");
+        let k = *logits
+            .shape()
+            .last()
+            .expect("logits must have a class axis");
         let mut out = logits.clone();
         for row in out.data_mut().chunks_mut(k) {
             let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
@@ -67,7 +70,13 @@ impl SoftCrossEntropy {
             .data()
             .iter()
             .zip(target.data())
-            .map(|(&p, &t)| if t > 0.0 { -t * (p.max(1e-12)).ln() } else { 0.0 })
+            .map(|(&p, &t)| {
+                if t > 0.0 {
+                    -t * (p.max(1e-12)).ln()
+                } else {
+                    0.0
+                }
+            })
             .sum::<f32>()
             / n;
         self.probs = Some(probs);

@@ -38,7 +38,9 @@ pub struct Sequential {
 impl std::fmt::Debug for Sequential {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let names: Vec<&str> = self.layers.iter().map(|l| l.name()).collect();
-        f.debug_struct("Sequential").field("layers", &names).finish()
+        f.debug_struct("Sequential")
+            .field("layers", &names)
+            .finish()
     }
 }
 
@@ -74,7 +76,10 @@ impl Sequential {
     ///
     /// Panics if `keep` exceeds the current depth.
     pub fn truncate(&mut self, keep: usize) {
-        assert!(keep <= self.layers.len(), "cannot keep more layers than exist");
+        assert!(
+            keep <= self.layers.len(),
+            "cannot keep more layers than exist"
+        );
         self.layers.truncate(keep);
     }
 
@@ -161,15 +166,9 @@ mod tests {
     use crate::optim::{Adam, Sgd};
 
     fn xor_data() -> (Tensor, Tensor) {
-        let x = Tensor::from_vec(
-            vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0],
-            &[4, 2],
-        );
+        let x = Tensor::from_vec(vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0], &[4, 2]);
         // Soft labels: class 0 = "same", class 1 = "different".
-        let y = Tensor::from_vec(
-            vec![1.0, 0.0, 0.0, 1.0, 0.0, 1.0, 1.0, 0.0],
-            &[4, 2],
-        );
+        let y = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 0.0, 1.0, 1.0, 0.0], &[4, 2]);
         (x, y)
     }
 

@@ -96,11 +96,7 @@ pub fn build(cfg: &MiniConfig, classes: usize) -> Sequential {
         in_ch = cfg.width;
     }
     layers.push(Box::new(GlobalAvgPool::new()));
-    layers.push(Box::new(Dense::new(
-        cfg.width,
-        classes,
-        cfg.seed + 1000,
-    )));
+    layers.push(Box::new(Dense::new(cfg.width, classes, cfg.seed + 1000)));
     let mut model = Sequential::new(layers);
     // Classifier heads start near zero so initial predictions are soft;
     // He-scale logits saturate the softmax and stall fine-tuning.
@@ -121,6 +117,8 @@ pub fn train(
     batch_size: usize,
     seed: u64,
 ) -> f32 {
+    let mut span = netcut_obs::span("train.fit");
+    span.field("epochs", epochs);
     let mut loss = SoftCrossEntropy::new();
     let mut opt = Adam::new(lr);
     let mut last = 0.0;
@@ -133,7 +131,14 @@ pub fn train(
             epoch_loss += model.train_step(&x, &y, &mut loss, &mut opt);
         }
         last = epoch_loss / n;
+        if netcut_obs::enabled() {
+            netcut_obs::instant(
+                "train.epoch",
+                &[("epoch", epoch.into()), ("loss", (last as f64).into())],
+            );
+        }
     }
+    span.field("final_loss", last as f64);
     last
 }
 
@@ -150,6 +155,8 @@ pub fn train_scheduled(
     batch_size: usize,
     seed: u64,
 ) -> (usize, f32) {
+    let mut span = netcut_obs::span("train.fit_scheduled");
+    span.field("max_epochs", max_epochs);
     let mut loss = SoftCrossEntropy::new();
     let mut opt = Adam::new(base_lr);
     for epoch in 0..max_epochs {
@@ -162,10 +169,21 @@ pub fn train_scheduled(
             let (x, y) = data.batch(&idx);
             epoch_loss += model.train_step(&x, &y, &mut loss, &mut opt);
         }
+        if netcut_obs::enabled() {
+            netcut_obs::instant(
+                "train.epoch",
+                &[
+                    ("epoch", epoch.into()),
+                    ("loss", ((epoch_loss / n) as f64).into()),
+                ],
+            );
+        }
         if stopper.should_stop(epoch_loss / n) {
+            span.field("epochs_run", epoch + 1);
             return (epoch + 1, stopper.best());
         }
     }
+    span.field("epochs_run", max_epochs);
     (max_epochs, stopper.best())
 }
 
@@ -384,8 +402,7 @@ mod tests {
             ..FineTuneConfig::default()
         };
         let mut transferred = build_trimmed(&cfg, &weights, 0, 5);
-        let acc_transfer =
-            fine_tune(&mut transferred, &cfg, 0, &target_train, &target_test, &ft);
+        let acc_transfer = fine_tune(&mut transferred, &cfg, 0, &target_train, &target_test, &ft);
         // Baseline: identical architecture and schedule but *random*
         // (untrained) features — isolates the value of the pretrained
         // representation.

@@ -76,11 +76,20 @@ impl SurrogateRetrainer {
 
 impl Retrainer for SurrogateRetrainer {
     fn retrain(&self, trn: &Network) -> TrainedTrn {
-        TrainedTrn {
+        let mut span = netcut_obs::span("train.retrain");
+        if span.is_recording() {
+            span.field("candidate", trn.name());
+        }
+        let trained = TrainedTrn {
             name: trn.name().to_owned(),
             accuracy: self.accuracy_model.accuracy(trn),
             train_hours: self.cost_model.train_hours(trn),
-        }
+        };
+        netcut_obs::counter_add("train.retrains", 1);
+        netcut_obs::observe("train.retrain_hours", trained.train_hours);
+        span.field("accuracy", trained.accuracy);
+        span.field("train_hours", trained.train_hours);
+        trained
     }
 }
 

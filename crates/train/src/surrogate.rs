@@ -97,7 +97,11 @@ impl TransferModel {
     }
 
     /// Builds a model from explicit profiles (for tests and ablations).
-    pub fn from_profiles(profiles: HashMap<String, TransferProfile>, noise_sigma: f64, seed: u64) -> Self {
+    pub fn from_profiles(
+        profiles: HashMap<String, TransferProfile>,
+        noise_sigma: f64,
+        seed: u64,
+    ) -> Self {
         TransferModel {
             profiles,
             noise_sigma,
@@ -287,8 +291,7 @@ mod tests {
         let full = m.accuracy(&net.cut_blocks(0).unwrap().with_head(&head));
         // 26 dense layers removed = 52 convs plus the transition convs.
         let trn = net.cut_blocks(26).unwrap().with_head(&head);
-        let removed =
-            net.weighted_layer_count() - trn.weighted_layer_count();
+        let removed = net.weighted_layer_count() - trn.weighted_layer_count();
         assert!(removed > 50, "removed = {removed}");
         let cut = m.accuracy(&trn);
         assert!(full - cut < 0.03, "densenet dropped {:.3}", full - cut);

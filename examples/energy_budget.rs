@@ -26,7 +26,8 @@ fn main() {
     // vision subsystem may spend a quarter.
     let vision_budget_j = 26_640.0 * 0.25;
 
-    let outcome = NetCut::new(&estimator, &retrainer).run(&sources, budget.visual_budget_ms(), &session);
+    let outcome =
+        NetCut::new(&estimator, &retrainer).run(&sources, budget.visual_budget_ms(), &session);
     println!(
         "per-proposal energy at the {:.1} ms deadline (vision battery share: {:.1} kJ):",
         budget.visual_budget_ms(),

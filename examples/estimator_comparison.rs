@@ -37,7 +37,11 @@ fn main() {
             trns.push(trn);
         }
     }
-    println!("measured {} TRNs across {} families", trns.len(), sources.len());
+    println!(
+        "measured {} TRNs across {} families",
+        trns.len(),
+        sources.len()
+    );
     let info = SourceInfo::new(&sources, &source_latency);
 
     // 20 % train / 80 % test, as in the paper.
@@ -55,7 +59,10 @@ fn main() {
     let profiler = ProfilerEstimator::profile(&session, &sources, 7);
 
     let eval = |est: &dyn LatencyEstimator| -> f64 {
-        let pred: Vec<f64> = test_idx.iter().map(|&i| est.estimate_ms(&trns[i])).collect();
+        let pred: Vec<f64> = test_idx
+            .iter()
+            .map(|&i| est.estimate_ms(&trns[i]))
+            .collect();
         let t: Vec<f64> = test_idx.iter().map(|&i| truth[i]).collect();
         mean_relative_error(&pred, &t)
     };

@@ -45,7 +45,11 @@ fn separable_features(cut: usize, seed: u64) -> Vec<Box<dyn Layer>> {
     layers.push(Box::new(Relu::new()));
     layers.push(Box::new(MaxPool2::new()));
     for b in 0..BLOCKS - 1 - cut {
-        layers.push(Box::new(DepthwiseConv2d::new(WIDTH, 3, seed + 10 + b as u64)));
+        layers.push(Box::new(DepthwiseConv2d::new(
+            WIDTH,
+            3,
+            seed + 10 + b as u64,
+        )));
         layers.push(Box::new(Relu::new()));
         layers.push(Box::new(Conv2d::new(WIDTH, WIDTH, 1, seed + 20 + b as u64)));
         layers.push(Box::new(Relu::new()));
@@ -102,12 +106,23 @@ fn family_curve(
 fn main() {
     let source = Dataset::objects(500, 61);
     let (train, test) = Dataset::hands(480, 62).split(0.25);
-    println!("pretraining both families on {} object images...\n", source.len());
+    println!(
+        "pretraining both families on {} object images...\n",
+        source.len()
+    );
     println!("plain CNN (conventional blocks):");
     let plain = family_curve("plain", &plain_features, 2, &source, &train, &test, 5);
     println!();
     println!("separable CNN (MobileNet-style blocks):");
-    let separable = family_curve("separable", &separable_features, 2, &source, &train, &test, 6);
+    let separable = family_curve(
+        "separable",
+        &separable_features,
+        2,
+        &source,
+        &train,
+        &test,
+        6,
+    );
     println!();
     let plain_drop = plain[0] - plain[2];
     let separable_drop = separable[0] - separable[2];

@@ -49,13 +49,7 @@ fn main() {
         results.push(acc);
     }
     // A randomly initialized baseline under the same schedule, for scale.
-    let mut scratch = engine::build(
-        &MiniConfig {
-            seed: 999,
-            ..cfg
-        },
-        5,
-    );
+    let mut scratch = engine::build(&MiniConfig { seed: 999, ..cfg }, 5);
     let scratch_acc = engine::fine_tune(&mut scratch, &cfg, 0, &train, &test, &ft);
     println!();
     println!("random-features baseline (same schedule): {scratch_acc:.3}");

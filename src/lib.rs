@@ -21,6 +21,7 @@ pub use netcut_data as data;
 pub use netcut_estimate as estimate;
 pub use netcut_graph as graph;
 pub use netcut_hand as hand;
+pub use netcut_obs as obs;
 pub use netcut_quant as quant;
 pub use netcut_sim as sim;
 pub use netcut_tensor as tensor;

@@ -79,7 +79,12 @@ fn impossible_deadline_still_returns_proposals() {
             .iter()
             .find(|n| n.name() == p.family)
             .expect("family exists");
-        assert_eq!(p.cutpoint, family.num_blocks() - 1, "{} not fully cut", p.name);
+        assert_eq!(
+            p.cutpoint,
+            family.num_blocks() - 1,
+            "{} not fully cut",
+            p.name
+        );
     }
 }
 

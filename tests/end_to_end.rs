@@ -93,13 +93,8 @@ fn retrainer_is_consistent_between_exploration_paths() {
     let retrainer = SurrogateRetrainer::paper();
     let estimator = ProfilerEstimator::profile(&s, &sources, 3);
     let outcome = NetCut::new(&estimator, &retrainer).run(&sources, 0.9, &s);
-    let sweep = netcut::explore::exhaustive_blockwise(
-        &sources,
-        &HeadSpec::default(),
-        &s,
-        &retrainer,
-        1,
-    );
+    let sweep =
+        netcut::explore::exhaustive_blockwise(&sources, &HeadSpec::default(), &s, &retrainer, 1);
     for p in &outcome.proposals {
         if let Some(match_point) = sweep.points.iter().find(|q| q.name == p.name) {
             assert!(

@@ -29,7 +29,11 @@ fn fig1_mobilenet_v1_05_is_the_off_the_shelf_selection() {
     );
     let best = best_meeting_deadline(&shelf.points, DEADLINE_MS).expect("a network meets 0.9 ms");
     assert_eq!(best.family, "mobilenet_v1_0.50");
-    assert!((best.accuracy - 0.81).abs() < 0.01, "accuracy {}", best.accuracy);
+    assert!(
+        (best.accuracy - 0.81).abs() < 0.01,
+        "accuracy {}",
+        best.accuracy
+    );
     assert!(best.latency_ms < 0.45);
     // There is an accuracy gap: slower nets are clearly better.
     let best_overall = shelf
