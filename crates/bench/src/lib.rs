@@ -8,15 +8,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use netcut::explore::{exhaustive_blockwise, off_the_shelf, Exploration};
+use netcut::eval::{EvalCaches, EvalContext, EvalStats};
+use netcut::explore::{exhaustive_blockwise_with, off_the_shelf_with, Exploration};
 use netcut_graph::{HeadSpec, Network};
 use netcut_sim::{DeviceModel, Precision, Session};
 use netcut_train::SurrogateRetrainer;
 use serde::Serialize;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// The common experimental setup: the paper's seven source networks on the
-/// Xavier-class device at INT8 with the surrogate retrainer.
+/// Xavier-class device at INT8 with the surrogate retrainer. Every phase
+/// run through the lab evaluates via a shared [`EvalContext`], so repeated
+/// measurements / retrains of the same network are served from one memo
+/// cache across the whole run.
 pub struct Lab {
     /// Deployment session (device + precision).
     pub session: Session,
@@ -26,6 +31,9 @@ pub struct Lab {
     pub head: HeadSpec,
     /// Paper-scale retrainer.
     pub retrainer: SurrogateRetrainer,
+    caches: Arc<EvalCaches>,
+    jobs: usize,
+    use_cache: bool,
 }
 
 /// The application deadline of the robotic prosthetic hand's visual
@@ -33,26 +41,57 @@ pub struct Lab {
 pub const DEADLINE_MS: f64 = 0.9;
 
 impl Lab {
-    /// Builds the standard setup.
+    /// Builds the standard setup: shared cache enabled, one worker per
+    /// available CPU.
     pub fn new() -> Self {
         Lab {
             session: Session::new(DeviceModel::jetson_xavier(), Precision::Int8),
             sources: netcut_graph::zoo::paper_networks(),
             head: HeadSpec::default(),
             retrainer: SurrogateRetrainer::paper(),
+            caches: Arc::new(EvalCaches::new()),
+            jobs: 0,
+            use_cache: true,
         }
+    }
+
+    /// Sets the evaluation worker count (`0` = one per available CPU,
+    /// `1` = sequential).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Enables or disables evaluation memoization.
+    pub fn with_cache(mut self, use_cache: bool) -> Self {
+        self.use_cache = use_cache;
+        self
+    }
+
+    /// Mints an [`EvalContext`] bound to this lab's session, retrainer and
+    /// shared caches. Contexts are cheap: build one per phase.
+    pub fn ctx(&self) -> EvalContext<'_, SurrogateRetrainer> {
+        EvalContext::new(&self.session, &self.retrainer)
+            .with_shared_caches(self.caches.clone())
+            .with_jobs(self.jobs)
+            .with_cache(self.use_cache)
+    }
+
+    /// Snapshot of the shared cache statistics accumulated so far.
+    pub fn eval_stats(&self) -> EvalStats {
+        self.caches.stats()
     }
 
     /// The off-the-shelf baseline (Fig. 1): each source with a transfer
     /// head, measured and retrained.
     pub fn off_the_shelf(&self) -> Exploration {
-        off_the_shelf(&self.sources, &self.head, &self.session, &self.retrainer, 1)
+        off_the_shelf_with(&self.ctx(), &self.sources, &self.head, 1)
     }
 
     /// The exhaustive blockwise sweep (Figs. 5–7): every TRN measured and
     /// retrained.
     pub fn exhaustive(&self) -> Exploration {
-        exhaustive_blockwise(&self.sources, &self.head, &self.session, &self.retrainer, 1)
+        exhaustive_blockwise_with(&self.ctx(), &self.sources, &self.head, 1)
     }
 
     /// A source network by family name.
@@ -237,23 +276,21 @@ pub mod estimator_study {
         pub source_latency_ms: HashMap<String, f64>,
     }
 
-    /// Measures every blockwise TRN of every family on the lab device.
+    /// Measures every blockwise TRN of every family on the lab device,
+    /// through the lab's shared evaluation context (parallel workers,
+    /// memoized — NetCut runs later in the same process reuse these
+    /// measurements instead of re-timing).
     pub fn measure_all(lab: &Lab) -> MeasuredTrns {
+        let ctx = lab.ctx();
         let mut trns = Vec::new();
-        let mut latency_ms = Vec::new();
         let mut source_latency_ms = HashMap::new();
         for source in &lab.sources {
             let mut adapted = source.backbone().with_head(&lab.head);
             adapted.rename(source.name());
-            source_latency_ms.insert(
-                source.name().to_owned(),
-                lab.session.measure(&adapted, 11).mean_ms,
-            );
-            for trn in blockwise_trns(source, &lab.head) {
-                latency_ms.push(lab.session.measure(&trn, 13).mean_ms);
-                trns.push(trn);
-            }
+            source_latency_ms.insert(source.name().to_owned(), ctx.measure(&adapted, 11).mean_ms);
+            trns.extend(blockwise_trns(source, &lab.head));
         }
+        let latency_ms = ctx.par_map(trns.iter().collect(), |_, trn| ctx.measure(trn, 13).mean_ms);
         MeasuredTrns {
             trns,
             latency_ms,
@@ -317,7 +354,7 @@ pub mod estimator_study {
         let info = SourceInfo::new(&lab.sources, &measured.source_latency_ms);
         let (svr, search) = AnalyticalEstimator::fit_with_grid_search(&train, &info, 10, seed);
         let linear = LinearLatencyEstimator::fit(&train, &info);
-        let profiler = ProfilerEstimator::profile(&lab.session, &lab.sources, seed);
+        let profiler = ProfilerEstimator::profile_with(&lab.ctx(), &lab.sources, seed);
         FittedEstimators {
             profiler,
             svr,

@@ -13,14 +13,20 @@ usage:
   netcut-cli trace <network> [--precision fp32|fp16|int8] [--top N]
   netcut-cli energy <network> [--precision fp32|fp16|int8]
   netcut-cli budget
-  netcut-cli explore [--deadline MS] [--extended] [--json]
-  netcut-cli sweep [--json]
+  netcut-cli explore [--deadline MS] [--extended] [--json] [--jobs N] [--no-cache]
+  netcut-cli sweep [--json] [--jobs N] [--no-cache]
 
 global options (any command):
   -v, --verbose       log structured events to stderr
   --trace-out <path>  write a trace file: `.jsonl` -> JSON-lines events,
                       any other extension -> Chrome trace_event JSON
-                      (open in chrome://tracing or ui.perfetto.dev)";
+                      (open in chrome://tracing or ui.perfetto.dev)
+
+evaluation options (explore, sweep):
+  --jobs N            evaluation worker threads (0 = one per CPU; default 1);
+                      results are identical for any N
+  --no-cache          disable evaluation memoization (recompute every
+                      measurement and retraining)";
 
 /// Process-wide observability options, settable on any subcommand.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -74,9 +80,24 @@ pub enum Command {
         deadline_ms: f64,
         extended: bool,
         json: bool,
+        jobs: usize,
+        no_cache: bool,
     },
     /// Run the exhaustive blockwise sweep and summarize.
-    Sweep { json: bool },
+    Sweep {
+        json: bool,
+        jobs: usize,
+        no_cache: bool,
+    },
+}
+
+fn parse_jobs(value: Option<&str>) -> Result<usize, String> {
+    match value {
+        Some(v) => v
+            .parse()
+            .map_err(|_| "--jobs must be an integer (0 = one per CPU)".to_string()),
+        None => Ok(1),
+    }
 }
 
 fn parse_precision(s: &str) -> Result<Precision, String> {
@@ -116,7 +137,15 @@ pub fn parse(argv: &[String]) -> Result<Invocation, String> {
 
 /// Every per-subcommand flag; anything else starting with `-` is a typo
 /// (global flags are consumed before this check).
-const KNOWN_FLAGS: &[&str] = &["--extended", "--precision", "--deadline", "--top", "--json"];
+const KNOWN_FLAGS: &[&str] = &[
+    "--extended",
+    "--precision",
+    "--deadline",
+    "--top",
+    "--json",
+    "--jobs",
+    "--no-cache",
+];
 
 /// Parses the subcommand and its own arguments (global flags removed).
 fn parse_command(argv: &[&str]) -> Result<Command, String> {
@@ -145,7 +174,9 @@ fn parse_command(argv: &[&str]) -> Result<Command, String> {
             }
             if a.starts_with("--") {
                 // Flags with values consume the next token.
-                if matches!(*a, "--precision" | "--deadline" | "--top") && i + 1 < rest.len() {
+                if matches!(*a, "--precision" | "--deadline" | "--top" | "--jobs")
+                    && i + 1 < rest.len()
+                {
                     skip = true;
                 }
                 continue;
@@ -237,10 +268,14 @@ fn parse_command(argv: &[&str]) -> Result<Command, String> {
                 deadline_ms,
                 extended: has_flag("--extended"),
                 json: has_flag("--json"),
+                jobs: parse_jobs(flag_value("--jobs"))?,
+                no_cache: has_flag("--no-cache"),
             })
         }
         "sweep" => Ok(Command::Sweep {
             json: has_flag("--json"),
+            jobs: parse_jobs(flag_value("--jobs"))?,
+            no_cache: has_flag("--no-cache"),
         }),
         other => Err(format!("unknown subcommand `{other}`")),
     }
@@ -305,9 +340,39 @@ mod tests {
             Command::Explore {
                 deadline_ms: 1.5,
                 extended: false,
-                json: true
+                json: true,
+                jobs: 1,
+                no_cache: false
             }
         );
+    }
+
+    #[test]
+    fn parses_jobs_and_no_cache() {
+        assert_eq!(
+            cmd(&["explore", "--jobs", "8", "--no-cache"]),
+            Command::Explore {
+                deadline_ms: 0.9,
+                extended: false,
+                json: false,
+                jobs: 8,
+                no_cache: true
+            }
+        );
+        assert_eq!(
+            cmd(&["sweep", "--jobs", "0", "--json"]),
+            Command::Sweep {
+                json: true,
+                jobs: 0,
+                no_cache: false
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_jobs_value() {
+        let err = parse(&argv(&["explore", "--jobs", "many"])).unwrap_err();
+        assert!(err.contains("--jobs"), "{err}");
     }
 
     #[test]
@@ -395,7 +460,9 @@ mod tests {
             Command::Explore {
                 deadline_ms: 0.9,
                 extended: false,
-                json: false
+                json: false,
+                jobs: 1,
+                no_cache: false
             }
         );
     }

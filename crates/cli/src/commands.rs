@@ -1,7 +1,8 @@
 //! Command implementations.
 
 use crate::args::Command;
-use netcut::explore::exhaustive_blockwise;
+use netcut::eval::EvalContext;
+use netcut::explore::exhaustive_blockwise_with;
 use netcut::netcut::NetCut;
 use netcut::pareto::{best_meeting_deadline, pareto_frontier};
 use netcut_estimate::ProfilerEstimator;
@@ -180,12 +181,17 @@ pub fn run(cmd: Command) -> Result<(), String> {
             deadline_ms,
             extended,
             json,
+            jobs,
+            no_cache,
         } => {
             let sources = networks(extended);
             let session = Session::new(DeviceModel::jetson_xavier(), Precision::Int8);
-            let estimator = ProfilerEstimator::profile(&session, &sources, 42);
             let retrainer = SurrogateRetrainer::paper();
-            let outcome = NetCut::new(&estimator, &retrainer).run(&sources, deadline_ms, &session);
+            let ctx = EvalContext::new(&session, &retrainer)
+                .with_jobs(jobs)
+                .with_cache(!no_cache);
+            let estimator = ProfilerEstimator::profile_with(&ctx, &sources, 42);
+            let outcome = NetCut::new(&estimator, &retrainer).run_with(&sources, deadline_ms, &ctx);
             if json {
                 println!(
                     "{}",
@@ -212,12 +218,18 @@ pub fn run(cmd: Command) -> Result<(), String> {
             }
             Ok(())
         }
-        Command::Sweep { json } => {
+        Command::Sweep {
+            json,
+            jobs,
+            no_cache,
+        } => {
             let sources = zoo::paper_networks();
             let session = Session::new(DeviceModel::jetson_xavier(), Precision::Int8);
             let retrainer = SurrogateRetrainer::paper();
-            let sweep =
-                exhaustive_blockwise(&sources, &HeadSpec::default(), &session, &retrainer, 42);
+            let ctx = EvalContext::new(&session, &retrainer)
+                .with_jobs(jobs)
+                .with_cache(!no_cache);
+            let sweep = exhaustive_blockwise_with(&ctx, &sources, &HeadSpec::default(), 42);
             if json {
                 println!(
                     "{}",
@@ -315,7 +327,21 @@ mod tests {
             deadline_ms: 0.9,
             extended: false,
             json: true,
+            jobs: 1,
+            no_cache: false,
         })
         .expect("explore");
+    }
+
+    #[test]
+    fn explore_parallel_no_cache_runs() {
+        run(Command::Explore {
+            deadline_ms: 0.9,
+            extended: false,
+            json: true,
+            jobs: 4,
+            no_cache: true,
+        })
+        .expect("explore --jobs 4 --no-cache");
     }
 }

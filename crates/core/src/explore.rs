@@ -3,6 +3,7 @@
 //! retrain each one — the 148-candidate, 183-hour sweep that NetCut's
 //! deadline-aware exploration avoids.
 
+use crate::eval::{EvalContext, EvalTask};
 use crate::removal::blockwise_trns;
 use crate::report::CandidatePoint;
 use netcut_graph::{HeadSpec, Network};
@@ -11,6 +12,11 @@ use netcut_sim::Session;
 use netcut_train::Retrainer;
 
 /// Measures and retrains one TRN into a [`CandidatePoint`].
+///
+/// Compatibility shim over [`EvalContext::evaluate`]: each call builds a
+/// throwaway non-caching context, so it recomputes every time exactly like
+/// the original direct implementation. Callers evaluating more than one
+/// candidate should hold an [`EvalContext`] instead.
 pub fn evaluate_candidate<R: Retrainer>(
     trn: &Network,
     source: &Network,
@@ -18,34 +24,9 @@ pub fn evaluate_candidate<R: Retrainer>(
     retrainer: &R,
     seed: u64,
 ) -> CandidatePoint {
-    let mut span = obs::span("explore.candidate");
-    if span.is_recording() {
-        span.field("candidate", trn.name());
-        span.field("family", trn.base_name());
-        span.field("cutpoint", trn.cutpoint());
-    }
-    let measurement = session.measure(trn, seed);
-    let trained = retrainer.retrain(trn);
-    // Layer counts in the framework sense (BN/activation/pool nodes
-    // included), matching the paper's `ResNet/94`-style labels.
-    let kept = trn.backbone_layer_count();
-    let source_layers = source.backbone_layer_count();
-    obs::counter_add("explore.candidates", 1);
-    obs::observe("explore.train_hours", trained.train_hours);
-    span.field("measured_ms", measurement.mean_ms);
-    span.field("accuracy", trained.accuracy);
-    span.field("train_hours", trained.train_hours);
-    CandidatePoint {
-        name: trn.name().to_owned(),
-        family: trn.base_name().to_owned(),
-        cutpoint: trn.cutpoint(),
-        kept_layers: kept,
-        layers_removed: source_layers.saturating_sub(kept),
-        latency_ms: measurement.mean_ms,
-        estimated_ms: None,
-        accuracy: trained.accuracy,
-        train_hours: trained.train_hours,
-    }
+    EvalContext::new(session, retrainer)
+        .with_cache(false)
+        .evaluate(trn, source, seed)
 }
 
 /// Result of an exploration run (exhaustive or otherwise): the evaluated
@@ -101,14 +82,34 @@ pub fn exhaustive_blockwise<R: Retrainer>(
     retrainer: &R,
     seed: u64,
 ) -> Exploration {
+    exhaustive_blockwise_with(&EvalContext::new(session, retrainer), sources, head, seed)
+}
+
+/// [`exhaustive_blockwise`] evaluated through an existing [`EvalContext`]:
+/// candidates run on the context's worker pool and hit its memo caches.
+/// Point order matches the sequential sweep regardless of worker count.
+pub fn exhaustive_blockwise_with<R: Retrainer>(
+    ctx: &EvalContext<'_, R>,
+    sources: &[Network],
+    head: &HeadSpec,
+    seed: u64,
+) -> Exploration {
     let mut span = obs::span("explore.exhaustive");
     span.field("sources", sources.len());
-    let mut points = Vec::new();
-    for source in sources {
-        for trn in blockwise_trns(source, head) {
-            points.push(evaluate_candidate(&trn, source, session, retrainer, seed));
-        }
-    }
+    let tasks: Vec<EvalTask> = sources
+        .iter()
+        .flat_map(|source| {
+            let source_layers = source.backbone_layer_count();
+            blockwise_trns(source, head)
+                .into_iter()
+                .map(move |trn| EvalTask {
+                    trn,
+                    source_layers,
+                    seed,
+                })
+        })
+        .collect();
+    let points = ctx.evaluate_many(tasks);
     let total_train_hours = points.iter().map(|p| p.train_hours).sum();
     span.field("candidates", points.len());
     span.field("total_train_hours", total_train_hours);
@@ -127,14 +128,29 @@ pub fn off_the_shelf<R: Retrainer>(
     retrainer: &R,
     seed: u64,
 ) -> Exploration {
-    let mut points = Vec::new();
-    for source in sources {
-        let mut adapted = source.backbone().with_head(head);
-        adapted.rename(source.name());
-        points.push(evaluate_candidate(
-            &adapted, source, session, retrainer, seed,
-        ));
-    }
+    off_the_shelf_with(&EvalContext::new(session, retrainer), sources, head, seed)
+}
+
+/// [`off_the_shelf`] evaluated through an existing [`EvalContext`].
+pub fn off_the_shelf_with<R: Retrainer>(
+    ctx: &EvalContext<'_, R>,
+    sources: &[Network],
+    head: &HeadSpec,
+    seed: u64,
+) -> Exploration {
+    let tasks: Vec<EvalTask> = sources
+        .iter()
+        .map(|source| {
+            let mut adapted = source.backbone().with_head(head);
+            adapted.rename(source.name());
+            EvalTask {
+                trn: adapted,
+                source_layers: source.backbone_layer_count(),
+                seed,
+            }
+        })
+        .collect();
+    let points = ctx.evaluate_many(tasks);
     let total_train_hours = points.iter().map(|p| p.train_hours).sum();
     Exploration {
         points,

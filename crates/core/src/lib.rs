@@ -11,7 +11,11 @@
 //!   relative-improvement analysis of Figs. 1, 6 and 7;
 //! * [`netcut`] — **Algorithm 1**: deadline-aware exploration that uses a
 //!   latency estimator to propose one TRN per source family and retrains
-//!   only those (§V).
+//!   only those (§V);
+//! * [`eval`] — the shared evaluation core: an [`eval::EvalContext`]
+//!   memoizes measurement / retraining / profiling behind structural
+//!   fingerprints and runs candidate batches on a deterministic
+//!   scoped-thread work queue.
 //!
 //! # Example
 //!
@@ -33,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod eval;
 pub mod explore;
 pub mod netadapt;
 pub mod netcut;

@@ -6,7 +6,7 @@
 //! paper's study, versus 148 blockwise candidates — a 95 % reduction),
 //! then pick the retrained proposal with the highest accuracy.
 
-use crate::explore::evaluate_candidate;
+use crate::eval::EvalContext;
 use crate::report::CandidatePoint;
 use netcut_estimate::LatencyEstimator;
 use netcut_graph::{HeadSpec, Network};
@@ -59,15 +59,21 @@ pub struct NetCut<'a, E: LatencyEstimator, R: Retrainer> {
     estimator: &'a E,
     retrainer: &'a R,
     head: HeadSpec,
+    source_seed: u64,
+    eval_seed: u64,
 }
 
 impl<'a, E: LatencyEstimator, R: Retrainer> NetCut<'a, E, R> {
-    /// Creates an explorer with the default transfer head.
+    /// Creates an explorer with the default transfer head and the paper
+    /// runs' measurement seeds (`11` for source networks, `13` for
+    /// proposal validation).
     pub fn new(estimator: &'a E, retrainer: &'a R) -> Self {
         NetCut {
             estimator,
             retrainer,
             head: HeadSpec::default(),
+            source_seed: 11,
+            eval_seed: 13,
         }
     }
 
@@ -77,81 +83,47 @@ impl<'a, E: LatencyEstimator, R: Retrainer> NetCut<'a, E, R> {
         self
     }
 
+    /// Overrides the measurement seeds: `source_seed` times the unmodified
+    /// source networks (an algorithm input), `eval_seed` validates the
+    /// proposed TRNs.
+    pub fn with_seeds(mut self, source_seed: u64, eval_seed: u64) -> Self {
+        self.source_seed = source_seed;
+        self.eval_seed = eval_seed;
+        self
+    }
+
     /// Runs Algorithm 1 over `sources` for the given deadline. `session`
     /// provides the measured latency of each *source* network (an
     /// algorithm input) and the ground-truth validation of each proposal.
+    ///
+    /// Compatibility shim over [`run_with`](Self::run_with) with a fresh
+    /// sequential [`EvalContext`].
     pub fn run(&self, sources: &[Network], deadline_ms: f64, session: &Session) -> NetCutOutcome {
+        self.run_with(
+            sources,
+            deadline_ms,
+            &EvalContext::new(session, self.retrainer),
+        )
+    }
+
+    /// [`run`](Self::run) evaluated through an existing [`EvalContext`]:
+    /// families explore on the context's worker pool, and source
+    /// measurements / proposal evaluations hit its memo caches (so a second
+    /// run at a nearby deadline pays only for newly proposed TRNs).
+    /// Proposal order matches the sequential run regardless of worker
+    /// count.
+    pub fn run_with(
+        &self,
+        sources: &[Network],
+        deadline_ms: f64,
+        ctx: &EvalContext<'_, R>,
+    ) -> NetCutOutcome {
         let mut run_span = obs::span("netcut.run");
         run_span.field("deadline_ms", deadline_ms);
         run_span.field("sources", sources.len());
-        let mut proposals = Vec::with_capacity(sources.len());
-        for source in sources {
-            let mut family_span = obs::span("netcut.family");
-            if family_span.is_recording() {
-                family_span.field("family", source.name());
-            }
-            // The trained source network: backbone + transfer head.
-            let mut adapted = source.backbone().with_head(&self.head);
-            adapted.rename(source.name());
-            // Algorithm 1 lines 2–4: start from the full network with its
-            // *measured* latency.
-            let mut trn = adapted.clone();
-            let mut est_latency = session.measure(&adapted, 11).mean_ms;
-            let mut cutpoint = 0usize;
-            // Lines 5–9: cut until the estimate meets the deadline (or the
-            // family runs out of blocks).
-            while est_latency > deadline_ms && cutpoint + 1 < source.num_blocks() {
-                cutpoint += 1;
-                trn = source
-                    .cut_blocks(cutpoint)
-                    .expect("cutpoint below block count")
-                    .with_head(&self.head);
-                est_latency = self.estimator.estimate_ms(&trn);
-                obs::counter_add("netcut.steps", 1);
-                if obs::enabled() {
-                    obs::instant(
-                        "netcut.step",
-                        &[
-                            ("family", source.name().into()),
-                            ("cutpoint", cutpoint.into()),
-                            ("predicted_ms", est_latency.into()),
-                            ("deadline_ms", deadline_ms.into()),
-                        ],
-                    );
-                }
-            }
-            // Line 10: retrain the proposed TRN; also deploy it to record
-            // ground truth.
-            let mut point = evaluate_candidate(&trn, source, session, self.retrainer, 13);
-            point.estimated_ms = Some(est_latency);
-            let accept = est_latency <= deadline_ms;
-            obs::counter_add(
-                if accept {
-                    "netcut.proposals_accepted"
-                } else {
-                    "netcut.proposals_rejected"
-                },
-                1,
-            );
-            obs::observe("netcut.residual_ms", (est_latency - point.latency_ms).abs());
-            if family_span.is_recording() {
-                family_span.field("cutpoint", cutpoint);
-                family_span.field("predicted_ms", est_latency);
-                family_span.field("measured_ms", point.latency_ms);
-                family_span.field("accept", accept);
-                family_span.field(
-                    "reason",
-                    if !accept {
-                        "blocks_exhausted_above_deadline"
-                    } else if cutpoint == 0 {
-                        "source_already_meets_deadline"
-                    } else {
-                        "first_trn_predicted_under_deadline"
-                    },
-                );
-            }
-            proposals.push(point);
-        }
+        let proposals = ctx.par_map(sources.iter().collect(), |_, source| {
+            self.propose(source, deadline_ms, ctx)
+        });
         let exploration_hours = proposals.iter().map(|p| p.train_hours).sum();
         run_span.field("proposals", proposals.len());
         run_span.field("exploration_hours", exploration_hours);
@@ -160,6 +132,80 @@ impl<'a, E: LatencyEstimator, R: Retrainer> NetCut<'a, E, R> {
             deadline_ms,
             exploration_hours,
         }
+    }
+
+    /// Algorithm 1 for a single source family.
+    fn propose(
+        &self,
+        source: &Network,
+        deadline_ms: f64,
+        ctx: &EvalContext<'_, R>,
+    ) -> CandidatePoint {
+        let mut family_span = obs::span("netcut.family");
+        if family_span.is_recording() {
+            family_span.field("family", source.name());
+        }
+        // The trained source network: backbone + transfer head.
+        let mut adapted = source.backbone().with_head(&self.head);
+        adapted.rename(source.name());
+        // Algorithm 1 lines 2–4: start from the full network with its
+        // *measured* latency.
+        let mut trn = adapted.clone();
+        let mut est_latency = ctx.measure(&adapted, self.source_seed).mean_ms;
+        let mut cutpoint = 0usize;
+        // Lines 5–9: cut until the estimate meets the deadline (or the
+        // family runs out of blocks).
+        while est_latency > deadline_ms && cutpoint + 1 < source.num_blocks() {
+            cutpoint += 1;
+            trn = source
+                .cut_blocks(cutpoint)
+                .expect("cutpoint below block count")
+                .with_head(&self.head);
+            est_latency = self.estimator.estimate_ms(&trn);
+            obs::counter_add("netcut.steps", 1);
+            if obs::enabled() {
+                obs::instant(
+                    "netcut.step",
+                    &[
+                        ("family", source.name().into()),
+                        ("cutpoint", cutpoint.into()),
+                        ("predicted_ms", est_latency.into()),
+                        ("deadline_ms", deadline_ms.into()),
+                    ],
+                );
+            }
+        }
+        // Line 10: retrain the proposed TRN; also deploy it to record
+        // ground truth.
+        let mut point = ctx.evaluate(&trn, source, self.eval_seed);
+        point.estimated_ms = Some(est_latency);
+        let accept = est_latency <= deadline_ms;
+        obs::counter_add(
+            if accept {
+                "netcut.proposals_accepted"
+            } else {
+                "netcut.proposals_rejected"
+            },
+            1,
+        );
+        obs::observe("netcut.residual_ms", (est_latency - point.latency_ms).abs());
+        if family_span.is_recording() {
+            family_span.field("cutpoint", cutpoint);
+            family_span.field("predicted_ms", est_latency);
+            family_span.field("measured_ms", point.latency_ms);
+            family_span.field("accept", accept);
+            family_span.field(
+                "reason",
+                if !accept {
+                    "blocks_exhausted_above_deadline"
+                } else if cutpoint == 0 {
+                    "source_already_meets_deadline"
+                } else {
+                    "first_trn_predicted_under_deadline"
+                },
+            );
+        }
+        point
     }
 }
 
@@ -178,29 +224,43 @@ impl<'a, E: LatencyEstimator, R: Retrainer> NetCut<'a, E, R> {
     /// Runs Algorithm 1 for several deadlines, billing each distinct TRN's
     /// retraining once: adjacent deadlines usually propose overlapping
     /// TRNs, so a product line with several latency tiers pays far less
-    /// than `deadlines.len()` full explorations.
+    /// than `deadlines.len()` full explorations. The sharing comes from the
+    /// evaluation cache — overlapping proposals hit the retrain sub-cache
+    /// instead of being billed again.
     pub fn run_deadlines(
         &self,
         sources: &[Network],
         deadlines_ms: &[f64],
         session: &Session,
     ) -> DeadlineSweep {
+        self.run_deadlines_with(
+            sources,
+            deadlines_ms,
+            &EvalContext::new(session, self.retrainer),
+        )
+    }
+
+    /// [`run_deadlines`](Self::run_deadlines) evaluated through an existing
+    /// [`EvalContext`]. The sweep's cost accounting is read from the
+    /// context's cache statistics, so `ctx` must have memoization enabled —
+    /// with the cache off every run is billed in full, as if each deadline
+    /// were explored independently.
+    pub fn run_deadlines_with(
+        &self,
+        sources: &[Network],
+        deadlines_ms: &[f64],
+        ctx: &EvalContext<'_, R>,
+    ) -> DeadlineSweep {
+        let before = ctx.stats();
         let mut outcomes = Vec::with_capacity(deadlines_ms.len());
-        let mut billed: std::collections::HashSet<String> = std::collections::HashSet::new();
-        let mut total_hours = 0.0;
         for &deadline in deadlines_ms {
-            let outcome = self.run(sources, deadline, session);
-            for p in &outcome.proposals {
-                if billed.insert(p.name.clone()) {
-                    total_hours += p.train_hours;
-                }
-            }
-            outcomes.push((deadline, outcome));
+            outcomes.push((deadline, self.run_with(sources, deadline, ctx)));
         }
+        let after = ctx.stats();
         DeadlineSweep {
             outcomes,
-            total_hours,
-            distinct_trained: billed.len(),
+            total_hours: after.fresh_train_hours - before.fresh_train_hours,
+            distinct_trained: (after.distinct_retrains - before.distinct_retrains) as usize,
         }
     }
 }

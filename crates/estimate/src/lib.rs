@@ -45,15 +45,35 @@ pub use profiler::ProfilerEstimator;
 pub use svr::{Svr, SvrParams};
 
 use netcut_graph::Network;
+use netcut_sim::{LatencyTable, Session};
 
 /// Predicts the deployed inference latency of a TRN from static
 /// information, in milliseconds.
-pub trait LatencyEstimator {
+///
+/// Estimators are `Send + Sync` so a fitted model can be shared by
+/// reference across evaluation worker threads (every estimator here is
+/// immutable after fitting).
+pub trait LatencyEstimator: Send + Sync {
     /// Predicted latency of `trn`, milliseconds.
     fn estimate_ms(&self, trn: &Network) -> f64;
 
     /// Estimator name for reports.
     fn name(&self) -> &str;
+}
+
+/// A source of per-layer latency tables, abstracted so estimator fitting
+/// can run against either a raw [`Session`] (always profiles) or a memoized
+/// evaluation context that reuses cached tables across fits.
+pub trait ProfileProvider {
+    /// Builds (or retrieves) the per-layer latency table of `net` under
+    /// measurement seed `seed`.
+    fn profile_table(&self, net: &Network, seed: u64) -> LatencyTable;
+}
+
+impl ProfileProvider for Session {
+    fn profile_table(&self, net: &Network, seed: u64) -> LatencyTable {
+        self.profile(net, seed)
+    }
 }
 
 /// Mean relative error `|pred − truth| / truth` over paired slices.

@@ -56,6 +56,17 @@ impl ProfilerEstimator {
     /// which is also the head every TRN carries. Sources already carrying a
     /// transfer head are profiled as-is.
     pub fn profile(session: &Session, sources: &[Network], seed: u64) -> Self {
+        Self::profile_with(session, sources, seed)
+    }
+
+    /// [`profile`](Self::profile) generalized over any table source: pass a
+    /// memoizing provider (e.g. the evaluation context in `netcut::eval`)
+    /// to reuse previously recorded tables instead of re-profiling.
+    pub fn profile_with<P: crate::ProfileProvider>(
+        provider: &P,
+        sources: &[Network],
+        seed: u64,
+    ) -> Self {
         use netcut_graph::HeadSpec;
         let mut span = obs::span("estimate.profile");
         span.field("families", sources.len());
@@ -69,7 +80,7 @@ impl ProfilerEstimator {
                 }
                 let mut adapted = net.backbone().with_head(&head);
                 adapted.rename(net.name());
-                let table = session.profile(&adapted, seed);
+                let table = provider.profile_table(&adapted, seed);
                 obs::counter_add("estimate.tables_built", 1);
                 fit_span.field("layers", table.layers().len());
                 fit_span.field("end_to_end_ms", table.end_to_end_ms());

@@ -1,0 +1,291 @@
+//! Canonical structural fingerprinting.
+//!
+//! [`Network::structural_fingerprint`] hashes everything that determines how
+//! a network *executes* — layer kinds and hyper-parameters, wiring, inferred
+//! shapes, block decomposition and head boundary — while deliberately
+//! excluding the network's display [`Network::name`]. Two networks share a
+//! fingerprint exactly when they are structurally equal, so the value is
+//! usable as a memo-cache key alongside device, precision and seed.
+//!
+//! The hash is a hand-rolled 64-bit FNV-1a over an explicit, versioned byte
+//! encoding: it does not go through `std::hash::Hash`, whose derived byte
+//! layout is an implementation detail, so fingerprints are stable across
+//! runs, platforms and compiler versions.
+
+use crate::layer::{Activation, LayerKind, Padding};
+use crate::network::Network;
+use crate::shape::Shape;
+
+/// Version tag mixed into every fingerprint; bump when the encoding changes
+/// so stale cross-process caches can never alias.
+const ENCODING_VERSION: u64 = 1;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental 64-bit FNV-1a over an explicit canonical encoding.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 = (self.0 ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.byte(b);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Length-prefixed string, so adjacent fields cannot alias.
+    fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.bytes(s.as_bytes());
+    }
+
+    fn shape(&mut self, s: Shape) {
+        match s {
+            Shape::Map { c, h, w } => {
+                self.byte(0);
+                self.usize(c);
+                self.usize(h);
+                self.usize(w);
+            }
+            Shape::Vector { n } => {
+                self.byte(1);
+                self.usize(n);
+            }
+        }
+    }
+
+    fn padding(&mut self, p: Padding) {
+        self.byte(match p {
+            Padding::Same => 0,
+            Padding::Valid => 1,
+        });
+    }
+
+    fn kind(&mut self, k: &LayerKind) {
+        match *k {
+            LayerKind::Input => self.byte(0),
+            LayerKind::Conv2d {
+                out_channels,
+                kernel,
+                stride,
+                padding,
+            } => {
+                self.byte(1);
+                self.usize(out_channels);
+                self.usize(kernel);
+                self.usize(stride);
+                self.padding(padding);
+            }
+            LayerKind::Conv2dRect {
+                out_channels,
+                kernel_h,
+                kernel_w,
+                stride,
+                padding,
+            } => {
+                self.byte(2);
+                self.usize(out_channels);
+                self.usize(kernel_h);
+                self.usize(kernel_w);
+                self.usize(stride);
+                self.padding(padding);
+            }
+            LayerKind::DepthwiseConv2d {
+                kernel,
+                stride,
+                padding,
+            } => {
+                self.byte(3);
+                self.usize(kernel);
+                self.usize(stride);
+                self.padding(padding);
+            }
+            LayerKind::Dense { units } => {
+                self.byte(4);
+                self.usize(units);
+            }
+            LayerKind::BatchNorm => self.byte(5),
+            LayerKind::Activation(a) => {
+                self.byte(6);
+                self.byte(match a {
+                    Activation::Relu => 0,
+                    Activation::Relu6 => 1,
+                    Activation::Softmax => 2,
+                });
+            }
+            LayerKind::MaxPool2d {
+                kernel,
+                stride,
+                padding,
+            } => {
+                self.byte(7);
+                self.usize(kernel);
+                self.usize(stride);
+                self.padding(padding);
+            }
+            LayerKind::AvgPool2d {
+                kernel,
+                stride,
+                padding,
+            } => {
+                self.byte(8);
+                self.usize(kernel);
+                self.usize(stride);
+                self.padding(padding);
+            }
+            LayerKind::GlobalAvgPool => self.byte(9),
+            LayerKind::Add => self.byte(10),
+            LayerKind::Concat => self.byte(11),
+            LayerKind::Flatten => self.byte(12),
+            LayerKind::Dropout { rate_percent } => {
+                self.byte(13);
+                self.byte(rate_percent);
+            }
+        }
+    }
+}
+
+impl Network {
+    /// A stable 64-bit hash of the network's *structure*: input shape,
+    /// every node's name, kind, hyper-parameters and wiring, the inferred
+    /// activation shapes, the graph output, the block decomposition and the
+    /// head boundary. The network's own [`name`](Network::name) is
+    /// excluded, so a renamed copy fingerprints identically while any
+    /// structural change — a different head, one more cut block, a changed
+    /// stride — yields a different value.
+    ///
+    /// Node *names* are included because downstream consumers (fusion, the
+    /// profiler estimator's kept-layer matching) identify layers by name;
+    /// two graphs whose layers answer to different names are not
+    /// interchangeable.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use netcut_graph::zoo;
+    ///
+    /// let a = zoo::mobilenet_v1(0.5);
+    /// let mut renamed = a.clone();
+    /// renamed.rename("other");
+    /// assert_eq!(a.structural_fingerprint(), renamed.structural_fingerprint());
+    /// assert_ne!(
+    ///     a.structural_fingerprint(),
+    ///     zoo::mobilenet_v1(0.25).structural_fingerprint()
+    /// );
+    /// ```
+    pub fn structural_fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.u64(ENCODING_VERSION);
+        h.shape(self.input_shape);
+        h.usize(self.nodes.len());
+        for node in &self.nodes {
+            h.str(&node.name);
+            h.kind(&node.kind);
+            h.usize(node.inputs.len());
+            for &input in &node.inputs {
+                h.usize(input.index());
+            }
+        }
+        for &shape in &self.shapes {
+            h.shape(shape);
+        }
+        h.usize(self.output.index());
+        h.usize(self.blocks.len());
+        for block in &self.blocks {
+            h.str(&block.name);
+            h.usize(block.nodes.len());
+            for &id in &block.nodes {
+                h.usize(id.index());
+            }
+            h.usize(block.output.index());
+        }
+        match self.head_start {
+            Some(id) => {
+                h.byte(1);
+                h.usize(id.index());
+            }
+            None => h.byte(0),
+        }
+        h.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::trim::HeadSpec;
+    use crate::zoo;
+
+    #[test]
+    fn fingerprint_ignores_network_name() {
+        let net = zoo::mobilenet_v1(0.5);
+        let mut renamed = net.clone();
+        renamed.rename("something/else");
+        assert_eq!(
+            net.structural_fingerprint(),
+            renamed.structural_fingerprint()
+        );
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic() {
+        let a = zoo::resnet50().structural_fingerprint();
+        let b = zoo::resnet50().structural_fingerprint();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zoo_fingerprints_are_distinct() {
+        let nets = zoo::paper_networks();
+        let mut fps: Vec<u64> = nets.iter().map(|n| n.structural_fingerprint()).collect();
+        fps.sort_unstable();
+        fps.dedup();
+        assert_eq!(fps.len(), nets.len(), "zoo fingerprints collide");
+    }
+
+    #[test]
+    fn cut_depth_changes_fingerprint() {
+        let net = zoo::mobilenet_v1(0.25);
+        let head = HeadSpec::default();
+        let mut fps: Vec<u64> = (0..net.num_blocks())
+            .map(|k| {
+                net.cut_blocks(k)
+                    .unwrap()
+                    .with_head(&head)
+                    .structural_fingerprint()
+            })
+            .collect();
+        fps.sort_unstable();
+        fps.dedup();
+        assert_eq!(fps.len(), net.num_blocks());
+    }
+
+    #[test]
+    fn head_spec_changes_fingerprint() {
+        let net = zoo::mobilenet_v1(0.25);
+        let a = net
+            .backbone()
+            .with_head(&HeadSpec::default())
+            .structural_fingerprint();
+        let b = net
+            .backbone()
+            .with_head(&HeadSpec::with_classes(7))
+            .structural_fingerprint();
+        assert_ne!(a, b);
+    }
+}

@@ -23,6 +23,7 @@
 
 mod error;
 mod export;
+mod fingerprint;
 mod layer;
 mod network;
 mod shape;

@@ -146,4 +146,50 @@ proptest! {
         prop_assert_eq!(a.stats(), b.stats());
         prop_assert_eq!(a.output_shape(), b.output_shape());
     }
+
+    #[test]
+    fn fingerprint_is_deterministic_and_name_invariant(
+        blocks in prop::collection::vec(block_strategy(), 1..8),
+    ) {
+        let net = build(&blocks);
+        // Deterministic: recomputing never changes the value.
+        prop_assert_eq!(net.structural_fingerprint(), net.structural_fingerprint());
+        // Rebuilding the identical structure yields the identical value.
+        prop_assert_eq!(build(&blocks).structural_fingerprint(), net.structural_fingerprint());
+        // The network name does not participate.
+        let mut renamed = net.clone();
+        renamed.rename("something/else");
+        prop_assert_eq!(renamed.structural_fingerprint(), net.structural_fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_separates_structurally_unequal_networks(
+        blocks in prop::collection::vec(block_strategy(), 2..8),
+    ) {
+        let net = build(&blocks);
+        let fp = net.structural_fingerprint();
+        // Every blockwise cut, and the head-attached variant, must hash
+        // differently from the full backbone (and from each other).
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(fp);
+        for k in 1..net.num_blocks() {
+            let cut = net.cut_blocks(k).expect("valid cutpoint");
+            prop_assert!(
+                seen.insert(cut.structural_fingerprint()),
+                "cut {} collided", k
+            );
+        }
+        prop_assert!(seen.insert(net.with_head(&HeadSpec::default()).structural_fingerprint()));
+    }
+
+    #[test]
+    fn fingerprint_equal_structures_collide(blocks in prop::collection::vec(block_strategy(), 3..8)) {
+        // double_cut_equals_deep_cut at the fingerprint level: two routes to
+        // the same structure must produce the same fingerprint even though
+        // the intermediate networks (and names) differ.
+        let net = build(&blocks);
+        let a = net.cut_blocks(1).expect("valid").cut_blocks(1).expect("valid");
+        let b = net.cut_blocks(2).expect("valid");
+        prop_assert_eq!(a.structural_fingerprint(), b.structural_fingerprint());
+    }
 }

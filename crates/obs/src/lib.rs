@@ -119,6 +119,26 @@ pub fn span(name: &'static str) -> SpanGuard {
     }
 }
 
+/// Id of the innermost open span on the calling thread (`0` if none).
+/// Capture this before spawning workers and hand it to
+/// [`span_with_parent`] so per-worker spans link back to the spawning
+/// scope in traces.
+pub fn current_span_id() -> u64 {
+    span::current_span()
+}
+
+/// Opens a span explicitly parented to `parent` (a value previously
+/// obtained from [`current_span_id`], possibly on another thread) instead
+/// of this thread's innermost open span. Returns an inert guard when no
+/// sink is installed.
+pub fn span_with_parent(name: &'static str, parent: u64) -> SpanGuard {
+    if enabled() {
+        SpanGuard::begin_with_parent(name, parent)
+    } else {
+        SpanGuard::inert()
+    }
+}
+
 /// Emits a point-in-time event with the given fields, parented to the
 /// innermost open span on this thread. No-op when no sink is installed;
 /// callers building costly field values should still gate on [`enabled`].
@@ -193,6 +213,39 @@ mod tests {
         for pair in events.windows(2) {
             assert!(pair[0].ts_us <= pair[1].ts_us);
         }
+    }
+
+    #[test]
+    fn cross_thread_span_parents_to_spawning_scope() {
+        let _guard = sink_lock();
+        let sink = Arc::new(MemorySink::new());
+        set_sink(sink.clone());
+        {
+            let _outer = span("outer");
+            let parent = current_span_id();
+            assert_ne!(parent, 0);
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    let mut worker = span_with_parent("worker", parent);
+                    worker.field("n", 1u64);
+                    let _inner = span("inner.task");
+                });
+            });
+        }
+        clear_sink();
+        let events = sink.events();
+        let outer_id = events[0].span_id;
+        let worker_begin = events
+            .iter()
+            .find(|e| e.name == "worker" && e.kind == EventKind::SpanBegin)
+            .expect("worker span_begin");
+        assert_eq!(worker_begin.parent_id, outer_id);
+        let inner_begin = events
+            .iter()
+            .find(|e| e.name == "inner.task" && e.kind == EventKind::SpanBegin)
+            .expect("inner span_begin");
+        // Spans opened on the worker thread nest under the worker span.
+        assert_eq!(inner_begin.parent_id, worker_begin.span_id);
     }
 
     #[test]

@@ -44,8 +44,15 @@ impl SpanGuard {
     }
 
     pub(crate) fn begin(name: &'static str) -> Self {
+        Self::begin_with_parent(name, current_span())
+    }
+
+    /// Opens a span with an explicit parent id instead of the calling
+    /// thread's innermost span. The new span still becomes the innermost
+    /// open span *on this thread*, so nested spans parent to it — this is
+    /// how worker threads link their span trees to the spawning scope.
+    pub(crate) fn begin_with_parent(name: &'static str, parent: u64) -> Self {
         let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
-        let parent = current_span();
         SPAN_STACK.with(|stack| stack.borrow_mut().push(id));
         let start_us = crate::now_us();
         crate::dispatch(&Event {

@@ -98,10 +98,55 @@ pub struct Session {
     precision: Precision,
 }
 
+// Sessions are shared across evaluation worker threads by reference; they
+// are plain data, so this holds structurally — assert it stays that way.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Session>();
+};
+
 impl Session {
     /// Creates a session for `device` at `precision`.
     pub fn new(device: DeviceModel, precision: Precision) -> Self {
         Session { device, precision }
+    }
+
+    /// A stable 64-bit hash of the measurement configuration: every
+    /// [`DeviceModel`] constant plus the precision. Two sessions with the
+    /// same fingerprint produce bit-identical measurements for the same
+    /// network and seed, so the value is usable as a memo-cache key
+    /// component alongside the network's structural fingerprint.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+            }
+        };
+        let d = &self.device;
+        mix(&(d.name.len() as u64).to_le_bytes());
+        mix(d.name.as_bytes());
+        for v in [
+            d.peak_gflops,
+            d.fp16_speedup,
+            d.int8_speedup,
+            d.mem_bandwidth_gbs,
+            d.kernel_overhead_us,
+            d.event_overhead_us,
+            d.jitter_rel,
+            d.occupancy_half_elems,
+            d.ramp_penalty,
+            d.ramp_halfpoint_ms,
+        ] {
+            mix(&v.to_bits().to_le_bytes());
+        }
+        mix(&[match self.precision {
+            Precision::Fp32 => 0u8,
+            Precision::Fp16 => 1,
+            Precision::Int8 => 2,
+        }]);
+        h
     }
 
     /// The device model in use.
@@ -250,6 +295,16 @@ mod tests {
 
     fn session() -> Session {
         Session::new(DeviceModel::jetson_xavier(), Precision::Int8)
+    }
+
+    #[test]
+    fn session_fingerprint_separates_configurations() {
+        let a = session();
+        assert_eq!(a.fingerprint(), session().fingerprint());
+        let fp16 = Session::new(DeviceModel::jetson_xavier(), Precision::Fp16);
+        assert_ne!(a.fingerprint(), fp16.fingerprint());
+        let nano = Session::new(DeviceModel::jetson_nano(), Precision::Int8);
+        assert_ne!(a.fingerprint(), nano.fingerprint());
     }
 
     #[test]

@@ -20,7 +20,11 @@ pub struct TrainedTrn {
 
 /// Anything that can fine-tune a TRN and report its deployed accuracy plus
 /// the training time spent.
-pub trait Retrainer {
+///
+/// Retrainers are `Send + Sync` so the evaluation core can share one
+/// instance across worker threads; implementations must be internally
+/// thread-safe (the surrogate is plain data and trivially so).
+pub trait Retrainer: Send + Sync {
     /// Fine-tunes `trn` and returns its evaluation.
     fn retrain(&self, trn: &Network) -> TrainedTrn;
 }
