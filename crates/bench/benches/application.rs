@@ -13,11 +13,11 @@ use std::hint::black_box;
 
 fn bench_emg(c: &mut Criterion) {
     c.bench_function("emg_generate_100_windows", |b| {
-        b.iter(|| black_box(generate_windows(100, 42)))
+        b.iter(|| black_box(generate_windows(100, 42)));
     });
     let windows = generate_windows(1, 42);
     c.bench_function("emg_rms_features", |b| {
-        b.iter(|| black_box(windows[0].rms_features()))
+        b.iter(|| black_box(windows[0].rms_features()));
     });
 }
 
@@ -36,7 +36,7 @@ fn bench_fusion_rules(c: &mut Criterion) {
         FusionRule::ConfidenceWeighted,
     ] {
         g.bench_function(format!("{rule:?}"), |b| {
-            b.iter(|| black_box(fuse(&sources, rule)))
+            b.iter(|| black_box(fuse(&sources, rule)));
         });
     }
     g.finish();
@@ -49,7 +49,7 @@ fn bench_integer_dense(c: &mut Criterion) {
     let x = uniform(&[8, 256], 1.0, 2);
     let act = QuantParams::from_abs_max(1.0);
     c.bench_function("integer_dense_256x128_batch8", |b| {
-        b.iter(|| black_box(layer.forward(&x, act)))
+        b.iter(|| black_box(layer.forward(&x, act)));
     });
 }
 
@@ -58,7 +58,7 @@ fn bench_energy(c: &mut Criterion) {
     let device = DeviceModel::jetson_xavier();
     let net = zoo::resnet50();
     c.bench_function("energy_price_resnet50", |b| {
-        b.iter(|| black_box(energy.network_energy_mj(&net, &device, Precision::Int8)))
+        b.iter(|| black_box(energy.network_energy_mj(&net, &device, Precision::Int8)));
     });
 }
 
@@ -72,8 +72,8 @@ fn bench_batched_latency(c: &mut Criterion) {
                 &device,
                 Precision::Int8,
                 16,
-            ))
-        })
+            ));
+        });
     });
 }
 

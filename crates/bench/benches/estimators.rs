@@ -26,18 +26,18 @@ fn bench_svr(c: &mut Criterion) {
         epsilon: 1e-3,
     };
     c.bench_function("svr_fit_145_samples", |b| {
-        b.iter(|| black_box(Svr::fit(&x, &y, &params)))
+        b.iter(|| black_box(Svr::fit(&x, &y, &params)));
     });
     let model = Svr::fit(&x, &y, &params);
     c.bench_function("svr_predict", |b| {
-        b.iter(|| black_box(model.predict(&[0.3, 0.7, 0.1])))
+        b.iter(|| black_box(model.predict(&[0.3, 0.7, 0.1])));
     });
 }
 
 fn bench_linear(c: &mut Criterion) {
     let (x, y) = toy_regression(145);
     c.bench_function("linear_fit_145_samples", |b| {
-        b.iter(|| black_box(LinearModel::fit(&x, &y)))
+        b.iter(|| black_box(LinearModel::fit(&x, &y)));
     });
 }
 
@@ -47,7 +47,7 @@ fn bench_profiler(c: &mut Criterion) {
     let mut g = c.benchmark_group("profiler");
     g.sample_size(10);
     g.bench_function("profile_all_seven_families", |b| {
-        b.iter(|| black_box(ProfilerEstimator::profile(&session, &sources, 3)))
+        b.iter(|| black_box(ProfilerEstimator::profile(&session, &sources, 3)));
     });
     g.finish();
     let estimator = ProfilerEstimator::profile(&session, &sources, 3);
@@ -58,8 +58,8 @@ fn bench_profiler(c: &mut Criterion) {
     c.bench_function("profiler_estimate_one_trn", |b| {
         b.iter(|| {
             use netcut_estimate::LatencyEstimator;
-            black_box(estimator.estimate_ms(&trn))
-        })
+            black_box(estimator.estimate_ms(&trn));
+        });
     });
 }
 

@@ -12,12 +12,12 @@ use std::hint::black_box;
 fn bench_zoo_construction(c: &mut Criterion) {
     let mut g = c.benchmark_group("zoo_construction");
     g.bench_function("mobilenet_v1", |b| {
-        b.iter(|| black_box(zoo::mobilenet_v1(0.5)))
+        b.iter(|| black_box(zoo::mobilenet_v1(0.5)));
     });
     g.bench_function("resnet50", |b| b.iter(|| black_box(zoo::resnet50())));
     g.bench_function("densenet121", |b| b.iter(|| black_box(zoo::densenet121())));
     g.bench_function("inception_v3", |b| {
-        b.iter(|| black_box(zoo::inception_v3()))
+        b.iter(|| black_box(zoo::inception_v3()));
     });
     g.finish();
 }
@@ -35,7 +35,7 @@ fn bench_latency_model(c: &mut Criterion) {
     let mut g = c.benchmark_group("latency_model");
     for net in [zoo::mobilenet_v1(0.25), zoo::densenet121()] {
         g.bench_function(net.name(), |b| {
-            b.iter(|| black_box(network_latency_ms(&net, &device, Precision::Int8)))
+            b.iter(|| black_box(network_latency_ms(&net, &device, Precision::Int8)));
         });
     }
     g.finish();
@@ -45,7 +45,7 @@ fn bench_measurement(c: &mut Criterion) {
     let session = Session::new(DeviceModel::jetson_xavier(), Precision::Int8);
     let net = zoo::resnet50();
     c.bench_function("measure_1000_runs", |b| {
-        b.iter(|| black_box(session.measure(&net, 42)))
+        b.iter(|| black_box(session.measure(&net, 42)));
     });
 }
 
@@ -53,7 +53,7 @@ fn bench_cut(c: &mut Criterion) {
     let net = zoo::densenet121();
     let head = HeadSpec::default();
     c.bench_function("cut_blocks_densenet_mid", |b| {
-        b.iter(|| black_box(net.cut_blocks(29).expect("valid cut").with_head(&head)))
+        b.iter(|| black_box(net.cut_blocks(29).expect("valid cut").with_head(&head)));
     });
 }
 
@@ -66,7 +66,7 @@ fn bench_netcut_run(c: &mut Criterion) {
     let mut g = c.benchmark_group("netcut");
     g.sample_size(10);
     g.bench_function("full_run_0.9ms", |b| {
-        b.iter(|| black_box(netcut.run(&sources, 0.9, &session)))
+        b.iter(|| black_box(netcut.run(&sources, 0.9, &session)));
     });
     g.finish();
 }

@@ -12,7 +12,7 @@ use std::hint::black_box;
 
 fn bench_dataset(c: &mut Criterion) {
     c.bench_function("generate_hands_256", |b| {
-        b.iter(|| black_box(Dataset::hands(256, 42)))
+        b.iter(|| black_box(Dataset::hands(256, 42)));
     });
 }
 
@@ -28,7 +28,7 @@ fn bench_train_step(c: &mut Criterion) {
     let mut loss = SoftCrossEntropy::new();
     let mut opt = Adam::new(1e-3);
     c.bench_function("mini_cnn_train_step_batch32", |b| {
-        b.iter(|| black_box(model.train_step(&x, &y, &mut loss, &mut opt)))
+        b.iter(|| black_box(model.train_step(&x, &y, &mut loss, &mut opt)));
     });
 }
 
@@ -44,8 +44,8 @@ fn bench_quantize(c: &mut Criterion) {
     c.bench_function("ptq_quantize_mini_cnn", |b| {
         b.iter(|| {
             let mut model = engine::build(&cfg, 5);
-            black_box(quantize_model(&mut model, &calib, ActivationQuant::Entropy))
-        })
+            black_box(quantize_model(&mut model, &calib, ActivationQuant::Entropy));
+        });
     });
 }
 
@@ -56,7 +56,7 @@ fn bench_surrogate_retrain(c: &mut Criterion) {
         .expect("valid cut")
         .with_head(&HeadSpec::default());
     c.bench_function("surrogate_retrain_densenet_trn", |b| {
-        b.iter(|| black_box(retrainer.retrain(&trn)))
+        b.iter(|| black_box(retrainer.retrain(&trn)));
     });
 }
 

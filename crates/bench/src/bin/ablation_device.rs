@@ -32,8 +32,7 @@ fn main() {
         let outcome = NetCut::new(&estimator, &retrainer).run(&sources, DEADLINE_MS, &session);
         let (selection, accuracy) = outcome
             .selected()
-            .map(|p| (p.name.clone(), p.accuracy))
-            .unwrap_or_else(|| ("(none)".into(), 0.0));
+            .map_or_else(|| ("(none)".into(), 0.0), |p| (p.name.clone(), p.accuracy));
         rows.push(Row {
             device: device.name.clone(),
             mobilenet_ms: session

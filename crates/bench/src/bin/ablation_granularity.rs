@@ -42,9 +42,7 @@ fn main() {
                 train_hours: t.train_hours,
             });
         }
-        let best = best_meeting_deadline(&points, DEADLINE_MS)
-            .map(|p| p.accuracy)
-            .unwrap_or(0.0);
+        let best = best_meeting_deadline(&points, DEADLINE_MS).map_or(0.0, |p| p.accuracy);
         GranularityResult {
             granularity: label.to_owned(),
             candidates: nets.len(),

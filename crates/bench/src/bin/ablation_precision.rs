@@ -33,9 +33,10 @@ fn main() {
         let estimator = ProfilerEstimator::profile(&session, &sources, 3);
         let outcome = NetCut::new(&estimator, &retrainer).run(&sources, DEADLINE_MS, &session);
         let selected = outcome.selected();
-        let (name, acc) = selected
-            .map(|p| (p.name.clone(), p.accuracy))
-            .unwrap_or_else(|| ("(none)".to_owned(), 0.0));
+        let (name, acc) = selected.map_or_else(
+            || ("(none)".to_owned(), 0.0),
+            |p| (p.name.clone(), p.accuracy),
+        );
         let mnv1 = session.measure(lab.source("mobilenet_v1_0.50"), 5).mean_ms;
         let resnet = session.measure(lab.source("resnet50"), 5).mean_ms;
         table.push(vec![

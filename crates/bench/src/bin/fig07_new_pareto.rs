@@ -20,9 +20,10 @@ fn main() {
         .iter()
         .map(|&i| {
             let p = &all[i];
-            let improvement = relative_improvement(p, &shelf.points)
-                .map(|v| format!("{:+.2} %", v * 100.0))
-                .unwrap_or_else(|| "frontier extension".to_owned());
+            let improvement = relative_improvement(p, &shelf.points).map_or_else(
+                || "frontier extension".to_owned(),
+                |v| format!("{:+.2} %", v * 100.0),
+            );
             vec![
                 p.name.clone(),
                 format!("{:.3}", p.latency_ms),

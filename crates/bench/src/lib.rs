@@ -246,7 +246,7 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
             .collect();
         println!("  {}", joined.join("  "));
     };
-    line(headers.iter().map(|h| h.to_string()).collect());
+    line(headers.iter().map(ToString::to_string).collect());
     line(widths.iter().map(|w| "-".repeat(*w)).collect());
     for row in rows {
         line(row.clone());
@@ -308,7 +308,7 @@ pub mod estimator_study {
         let mut families: Vec<&str> = measured
             .trns
             .iter()
-            .map(|t| t.base_name())
+            .map(netcut_graph::Network::base_name)
             .collect::<std::collections::BTreeSet<_>>()
             .into_iter()
             .collect();

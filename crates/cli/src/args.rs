@@ -15,18 +15,26 @@ usage:
   netcut-cli budget
   netcut-cli explore [--deadline MS] [--extended] [--json] [--jobs N] [--no-cache]
   netcut-cli sweep [--json] [--jobs N] [--no-cache]
+  netcut-cli lint <network|all|file.json> [--json]
 
 global options (any command):
   -v, --verbose       log structured events to stderr
   --trace-out <path>  write a trace file: `.jsonl` -> JSON-lines events,
                       any other extension -> Chrome trace_event JSON
                       (open in chrome://tracing or ui.perfetto.dev)
+  --strict            run the netcut-verify analyzer before every fresh
+                      evaluation even in release builds, and make `lint`
+                      treat warnings as errors
 
 evaluation options (explore, sweep):
   --jobs N            evaluation worker threads (0 = one per CPU; default 1);
                       results are identical for any N
   --no-cache          disable evaluation memoization (recompute every
-                      measurement and retraining)";
+                      measurement and retraining)
+
+lint: analyzes a zoo network (or `all`, or an exported network JSON file)
+plus every blockwise TRN of it, raw and with the transfer head attached;
+exits non-zero when any Error-severity diagnostic is reported";
 
 /// Process-wide observability options, settable on any subcommand.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -42,6 +50,10 @@ pub struct ObsOptions {
 pub struct Invocation {
     /// Observability options.
     pub obs: ObsOptions,
+    /// Strict verification (`--strict`): run the static analyzer at every
+    /// evaluation boundary even in release builds, and promote lint
+    /// warnings to failures.
+    pub strict: bool,
     /// The subcommand to run.
     pub command: Command,
 }
@@ -89,6 +101,9 @@ pub enum Command {
         jobs: usize,
         no_cache: bool,
     },
+    /// Run the `netcut-verify` static analyzer over a network (or the
+    /// whole zoo) and every blockwise TRN of it.
+    Lint { target: String, json: bool },
 }
 
 fn parse_jobs(value: Option<&str>) -> Result<usize, String> {
@@ -114,11 +129,13 @@ fn parse_precision(s: &str) -> Result<Precision, String> {
 /// the subcommand.
 pub fn parse(argv: &[String]) -> Result<Invocation, String> {
     let mut obs = ObsOptions::default();
+    let mut strict = false;
     let mut remaining: Vec<&str> = Vec::new();
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
             "-v" | "--verbose" => obs.verbose = true,
+            "--strict" => strict = true,
             "--trace-out" => {
                 i += 1;
                 obs.trace_out = Some(
@@ -132,7 +149,11 @@ pub fn parse(argv: &[String]) -> Result<Invocation, String> {
         i += 1;
     }
     let command = parse_command(&remaining)?;
-    Ok(Invocation { obs, command })
+    Ok(Invocation {
+        obs,
+        strict,
+        command,
+    })
 }
 
 /// Every per-subcommand flag; anything else starting with `-` is a typo
@@ -277,6 +298,13 @@ fn parse_command(argv: &[&str]) -> Result<Command, String> {
             jobs: parse_jobs(flag_value("--jobs"))?,
             no_cache: has_flag("--no-cache"),
         }),
+        "lint" => Ok(Command::Lint {
+            target: positionals
+                .first()
+                .ok_or("lint requires a network name, `all`, or a .json file")?
+                .to_string(),
+            json: has_flag("--json"),
+        }),
         other => Err(format!("unknown subcommand `{other}`")),
     }
 }
@@ -286,7 +314,7 @@ mod tests {
     use super::*;
 
     fn argv(parts: &[&str]) -> Vec<String> {
-        parts.iter().map(|s| s.to_string()).collect()
+        parts.iter().map(ToString::to_string).collect()
     }
 
     /// Parses and returns just the subcommand.
@@ -367,6 +395,45 @@ mod tests {
                 no_cache: false
             }
         );
+    }
+
+    #[test]
+    fn parses_lint() {
+        assert_eq!(
+            cmd(&["lint", "resnet50"]),
+            Command::Lint {
+                target: "resnet50".into(),
+                json: false
+            }
+        );
+        assert_eq!(
+            cmd(&["lint", "all", "--json"]),
+            Command::Lint {
+                target: "all".into(),
+                json: true
+            }
+        );
+        assert!(parse(&argv(&["lint"])).is_err());
+    }
+
+    #[test]
+    fn parses_global_strict_anywhere() {
+        for parts in [
+            &["--strict", "lint", "all"][..],
+            &["lint", "--strict", "all"],
+            &["lint", "all", "--strict"],
+        ] {
+            let inv = parse(&argv(parts)).unwrap();
+            assert!(inv.strict, "--strict not seen in {parts:?}");
+            assert_eq!(
+                inv.command,
+                Command::Lint {
+                    target: "all".into(),
+                    json: false
+                }
+            );
+        }
+        assert!(!parse(&argv(&["zoo"])).unwrap().strict);
     }
 
     #[test]

@@ -41,11 +41,14 @@ fn span_name(cmd: &Command) -> &'static str {
         Command::Budget => "cli.budget",
         Command::Explore { .. } => "cli.explore",
         Command::Sweep { .. } => "cli.sweep",
+        Command::Lint { .. } => "cli.lint",
     }
 }
 
-/// Executes a parsed command.
-pub fn run(cmd: Command) -> Result<(), String> {
+/// Executes a parsed command. `strict` extends debug-only verification to
+/// release builds (evaluation boundaries) and promotes lint warnings to
+/// failures.
+pub fn run(cmd: Command, strict: bool) -> Result<(), String> {
     let _span = netcut_obs::span(span_name(&cmd));
     match cmd {
         Command::Zoo { extended } => {
@@ -189,7 +192,8 @@ pub fn run(cmd: Command) -> Result<(), String> {
             let retrainer = SurrogateRetrainer::paper();
             let ctx = EvalContext::new(&session, &retrainer)
                 .with_jobs(jobs)
-                .with_cache(!no_cache);
+                .with_cache(!no_cache)
+                .with_strict(strict);
             let estimator = ProfilerEstimator::profile_with(&ctx, &sources, 42);
             let outcome = NetCut::new(&estimator, &retrainer).run_with(&sources, deadline_ms, &ctx);
             if json {
@@ -228,7 +232,8 @@ pub fn run(cmd: Command) -> Result<(), String> {
             let retrainer = SurrogateRetrainer::paper();
             let ctx = EvalContext::new(&session, &retrainer)
                 .with_jobs(jobs)
-                .with_cache(!no_cache);
+                .with_cache(!no_cache)
+                .with_strict(strict);
             let sweep = exhaustive_blockwise_with(&ctx, &sources, &HeadSpec::default(), 42);
             if json {
                 println!(
@@ -256,6 +261,70 @@ pub fn run(cmd: Command) -> Result<(), String> {
             }
             Ok(())
         }
+        Command::Lint { target, json } => lint(&target, json, strict),
+    }
+}
+
+/// The networks `lint` analyzes for one source: the source itself, then for
+/// every blockwise cut depth the raw (headless) TRN and the TRN with the
+/// transfer head attached. Head-attached TRNs are checked against the
+/// default [`HeadSpec`] (NC009) on top of the structural rules.
+fn lint_reports(source: &Network) -> Vec<netcut_verify::Report> {
+    let structural = netcut_verify::Analyzer::new();
+    let with_head = netcut_verify::Analyzer::with_expected_head(HeadSpec::default());
+    let mut reports = vec![structural.analyze(source)];
+    for k in 0..source.num_blocks() {
+        if let Ok(trn) = source.cut_blocks(k) {
+            reports.push(structural.analyze(&trn));
+            reports.push(with_head.analyze(&trn.with_head(&HeadSpec::default())));
+        }
+    }
+    reports
+}
+
+/// `netcut-cli lint`: run the static analyzer over the target and all its
+/// blockwise TRNs; non-zero exit on any Error (or, under `--strict`, any
+/// Warning).
+fn lint(target: &str, json: bool, strict: bool) -> Result<(), String> {
+    let sources: Vec<Network> = if target == "all" {
+        networks(true)
+    } else if target.ends_with(".json") {
+        let text =
+            std::fs::read_to_string(target).map_err(|e| format!("cannot read `{target}`: {e}"))?;
+        let net: Network = serde_json::from_str(&text)
+            .map_err(|e| format!("`{target}` is not an exported network: {e}"))?;
+        vec![net]
+    } else {
+        vec![find_network(target)?]
+    };
+    let mut total = netcut_verify::Summary::default();
+    let mut graphs = 0usize;
+    for source in &sources {
+        for report in lint_reports(source) {
+            graphs += 1;
+            total.merge(report.summary());
+            if json {
+                print!("{}", report.to_json_lines());
+            } else if report.summary().total() > 0 {
+                print!("{}", report.render_text());
+            }
+        }
+    }
+    if !json {
+        println!(
+            "linted {graphs} graphs: {} error(s), {} warning(s), {} note(s)",
+            total.errors, total.warnings, total.notes
+        );
+    }
+    if total.errors > 0 {
+        Err(format!("{} error-severity diagnostics", total.errors))
+    } else if strict && total.warnings > 0 {
+        Err(format!(
+            "{} warning-severity diagnostics (strict mode)",
+            total.warnings
+        ))
+    } else {
+        Ok(())
     }
 }
 
@@ -265,83 +334,146 @@ mod tests {
 
     #[test]
     fn zoo_show_dot_run() {
-        run(Command::Zoo { extended: true }).expect("zoo");
-        run(Command::Show {
-            network: "alexnet".into(),
-        })
+        run(Command::Zoo { extended: true }, false).expect("zoo");
+        run(
+            Command::Show {
+                network: "alexnet".into(),
+            },
+            false,
+        )
         .expect("show");
-        run(Command::Dot {
-            network: "squeezenet".into(),
-        })
+        run(
+            Command::Dot {
+                network: "squeezenet".into(),
+            },
+            false,
+        )
         .expect("dot");
     }
 
     #[test]
     fn measure_trace_energy_run() {
-        run(Command::Measure {
-            network: "mobilenet_v1_0.25".into(),
-            precision: Precision::Fp16,
-        })
+        run(
+            Command::Measure {
+                network: "mobilenet_v1_0.25".into(),
+                precision: Precision::Fp16,
+            },
+            false,
+        )
         .expect("measure");
-        run(Command::Trace {
-            network: "mobilenet_v1_0.25".into(),
-            precision: Precision::Int8,
-            top: 3,
-        })
+        run(
+            Command::Trace {
+                network: "mobilenet_v1_0.25".into(),
+                precision: Precision::Int8,
+                top: 3,
+            },
+            false,
+        )
         .expect("trace");
-        run(Command::Energy {
-            network: "mobilenet_v1_0.25".into(),
-            precision: Precision::Int8,
-        })
+        run(
+            Command::Energy {
+                network: "mobilenet_v1_0.25".into(),
+                precision: Precision::Int8,
+            },
+            false,
+        )
         .expect("energy");
-        run(Command::Budget).expect("budget");
+        run(Command::Budget, false).expect("budget");
     }
 
     #[test]
     fn cut_command_validates_blocks() {
-        run(Command::Cut {
-            network: "mobilenet_v1_0.25".into(),
-            blocks: 3,
-        })
+        run(
+            Command::Cut {
+                network: "mobilenet_v1_0.25".into(),
+                blocks: 3,
+            },
+            false,
+        )
         .expect("cut");
-        let err = run(Command::Cut {
-            network: "mobilenet_v1_0.25".into(),
-            blocks: 99,
-        })
+        let err = run(
+            Command::Cut {
+                network: "mobilenet_v1_0.25".into(),
+                blocks: 99,
+            },
+            false,
+        )
         .expect_err("out-of-range cut must fail");
         assert!(err.contains("cutpoint"));
     }
 
     #[test]
     fn unknown_network_reports_known_names() {
-        let err = run(Command::Show {
-            network: "resnet9000".into(),
-        })
+        let err = run(
+            Command::Show {
+                network: "resnet9000".into(),
+            },
+            false,
+        )
         .expect_err("unknown network");
         assert!(err.contains("resnet50"), "error should list known networks");
     }
 
     #[test]
+    fn lint_zoo_network_is_clean() {
+        run(
+            Command::Lint {
+                target: "mobilenet_v1_0.25".into(),
+                json: false,
+            },
+            false,
+        )
+        .expect("lint");
+        // Strict (warnings fatal) and JSON output over a conv-headed net.
+        run(
+            Command::Lint {
+                target: "squeezenet".into(),
+                json: true,
+            },
+            true,
+        )
+        .expect("lint --strict --json");
+    }
+
+    #[test]
+    fn lint_unknown_target_fails() {
+        assert!(run(
+            Command::Lint {
+                target: "resnet9000".into(),
+                json: false,
+            },
+            false,
+        )
+        .is_err());
+    }
+
+    #[test]
     fn explore_json_runs() {
-        run(Command::Explore {
-            deadline_ms: 0.9,
-            extended: false,
-            json: true,
-            jobs: 1,
-            no_cache: false,
-        })
+        run(
+            Command::Explore {
+                deadline_ms: 0.9,
+                extended: false,
+                json: true,
+                jobs: 1,
+                no_cache: false,
+            },
+            false,
+        )
         .expect("explore");
     }
 
     #[test]
     fn explore_parallel_no_cache_runs() {
-        run(Command::Explore {
-            deadline_ms: 0.9,
-            extended: false,
-            json: true,
-            jobs: 4,
-            no_cache: true,
-        })
+        run(
+            Command::Explore {
+                deadline_ms: 0.9,
+                extended: false,
+                json: true,
+                jobs: 4,
+                no_cache: true,
+            },
+            false,
+        )
         .expect("explore --jobs 4 --no-cache");
     }
 }

@@ -59,7 +59,7 @@ fn main() -> ExitCode {
         eprintln!("error: {message}");
         return ExitCode::FAILURE;
     }
-    let result = commands::run(invocation.command);
+    let result = commands::run(invocation.command, invocation.strict);
     // Flush trace files before reporting, whatever the outcome.
     obs::clear_sink();
     if invocation.obs.verbose {

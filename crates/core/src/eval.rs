@@ -221,6 +221,7 @@ pub struct EvalContext<'a, R: Retrainer> {
     session_fp: u64,
     jobs: usize,
     use_cache: bool,
+    strict: bool,
 }
 
 /// One evaluation request for [`EvalContext::evaluate_many`].
@@ -246,6 +247,7 @@ impl<'a, R: Retrainer> EvalContext<'a, R> {
             session_fp: session.fingerprint(),
             jobs: 1,
             use_cache: true,
+            strict: false,
         }
     }
 
@@ -254,9 +256,7 @@ impl<'a, R: Retrainer> EvalContext<'a, R> {
     /// spawning at all.
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = if jobs == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
         } else {
             jobs
         };
@@ -275,6 +275,16 @@ impl<'a, R: Retrainer> EvalContext<'a, R> {
     /// (or several phases of one process) reuse each other's work.
     pub fn with_shared_caches(mut self, caches: Arc<EvalCaches>) -> Self {
         self.caches = caches;
+        self
+    }
+
+    /// Enables strict verification: every network is run through the
+    /// `netcut-verify` analyzer before a *fresh* evaluation (cache hits
+    /// skip it — the entry was verified when it was computed). Debug builds
+    /// always verify; this flag extends the check to release builds (the
+    /// CLI's `--strict`).
+    pub fn with_strict(mut self, strict: bool) -> Self {
+        self.strict = strict;
         self
     }
 
@@ -301,6 +311,26 @@ impl<'a, R: Retrainer> EvalContext<'a, R> {
     /// Snapshot of the cache statistics.
     pub fn stats(&self) -> EvalStats {
         self.caches.stats()
+    }
+
+    /// Transformation-boundary check: refuses to spend evaluation work on a
+    /// structurally broken network. Runs inside the cache-miss path only,
+    /// in debug builds always and in release builds under
+    /// [`with_strict`](Self::with_strict).
+    ///
+    /// # Panics
+    ///
+    /// Panics with the rendered diagnostic when the analyzer reports an
+    /// Error-severity finding. Warnings and notes never panic.
+    fn verify_boundary(&self, net: &Network) {
+        if self.strict || cfg!(debug_assertions) {
+            if let Err(diag) = netcut_verify::validate(net) {
+                panic!(
+                    "refusing to evaluate structurally broken network `{}`: {diag}",
+                    net.name()
+                );
+            }
+        }
     }
 
     fn key(&self, net: &Network, seed: u64) -> Key {
@@ -345,6 +375,7 @@ impl<'a, R: Retrainer> EvalContext<'a, R> {
     /// Memoized [`Session::measure`].
     pub fn measure(&self, net: &Network, seed: u64) -> Measurement {
         self.lookup(&self.caches.measure, self.key(net, seed), || {
+            self.verify_boundary(net);
             self.session.measure(net, seed)
         })
         .0
@@ -353,6 +384,7 @@ impl<'a, R: Retrainer> EvalContext<'a, R> {
     /// Memoized [`Session::profile`].
     pub fn profile(&self, net: &Network, seed: u64) -> LatencyTable {
         self.lookup(&self.caches.profile, self.key(net, seed), || {
+            self.verify_boundary(net);
             self.session.profile(net, seed)
         })
         .0
@@ -363,6 +395,7 @@ impl<'a, R: Retrainer> EvalContext<'a, R> {
     /// measurement seed probing the same TRN.
     pub fn retrain(&self, trn: &Network) -> TrainedTrn {
         let (trained, hit) = self.lookup(&self.caches.retrain, self.key(trn, 0), || {
+            self.verify_boundary(trn);
             self.retrainer.retrain(trn)
         });
         let mut t = self.caches.totals.lock().expect("eval totals");

@@ -377,7 +377,7 @@ mod tests {
         let accs: Vec<f64> = sweep
             .outcomes
             .iter()
-            .map(|(_, o)| o.selected().map(|p| p.accuracy).unwrap_or(0.0))
+            .map(|(_, o)| o.selected().map_or(0.0, |p| p.accuracy))
             .collect();
         for w in accs.windows(2) {
             assert!(

@@ -97,7 +97,7 @@ pub fn stagewise_trns(source: &Network, head: &HeadSpec) -> Vec<Network> {
 /// The blockwise search-space size over a set of sources (the paper's
 /// "148 networks in total").
 pub fn blockwise_candidate_count<'a>(sources: impl IntoIterator<Item = &'a Network>) -> usize {
-    sources.into_iter().map(|s| s.num_blocks()).sum()
+    sources.into_iter().map(Network::num_blocks).sum()
 }
 
 #[cfg(test)]
@@ -112,7 +112,7 @@ mod tests {
         assert_eq!(trns.len(), 17);
         // All valid and head-bearing.
         for t in &trns {
-            t.validate().unwrap();
+            netcut_verify::validate(t).unwrap();
             assert!(t.head_start().is_some());
         }
     }
@@ -150,7 +150,7 @@ mod tests {
     fn iterative_trns_are_valid() {
         let net = zoo::mobilenet_v1(0.25);
         for t in iterative_trns(&net, &HeadSpec::default()).iter().step_by(7) {
-            t.validate().unwrap();
+            netcut_verify::validate(t).unwrap();
         }
     }
 }

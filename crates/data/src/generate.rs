@@ -154,7 +154,7 @@ pub struct Dataset {
 }
 
 fn softmax(scores: &[f32], temperature: f32) -> Vec<f32> {
-    let max = scores.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
     let exps: Vec<f32> = scores
         .iter()
         .map(|&s| ((s - max) / temperature).exp())
@@ -316,7 +316,7 @@ impl Dataset {
             let j = rng.gen_range(0..=i);
             idx.swap(i, j);
         }
-        idx.chunks(batch_size).map(|c| c.to_vec()).collect()
+        idx.chunks(batch_size).map(<[usize]>::to_vec).collect()
     }
 }
 

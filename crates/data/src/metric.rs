@@ -85,8 +85,7 @@ pub fn top1_accuracy(pred: &[f32], target: &[f32], classes: usize) -> f64 {
         row.iter()
             .enumerate()
             .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, _)| i)
-            .unwrap_or(0)
+            .map_or(0, |(i, _)| i)
     };
     let mut hits = 0usize;
     for i in 0..n {

@@ -115,7 +115,7 @@ impl LatencyEstimator for ProfilerEstimator {
             .unwrap_or_else(|| panic!("family `{}` was not profiled", trn.base_name()));
         let source = &profile.source;
         // Kept nodes are identified by name: cutting preserves names.
-        let kept: HashSet<&str> = trn.nodes().iter().map(|n| n.name()).collect();
+        let kept: HashSet<&str> = trn.nodes().iter().map(netcut_graph::Node::name).collect();
         let removed = |id: netcut_graph::NodeId| -> bool {
             let node = source.node(id);
             // Head (classification) layers are excluded from both sums per

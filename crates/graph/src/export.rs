@@ -100,8 +100,7 @@ impl Network {
             .blocks()
             .first()
             .and_then(|b| b.nodes().first())
-            .map(|id| id.index())
-            .unwrap_or(self.len());
+            .map_or(self.len(), |id| id.index());
         let stem: Vec<usize> = (0..first_block_start)
             .filter(|&i| {
                 !matches!(

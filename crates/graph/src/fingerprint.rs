@@ -228,6 +228,7 @@ impl Network {
 
 #[cfg(test)]
 mod tests {
+    use crate::network::Network;
     use crate::trim::HeadSpec;
     use crate::zoo;
 
@@ -252,7 +253,7 @@ mod tests {
     #[test]
     fn zoo_fingerprints_are_distinct() {
         let nets = zoo::paper_networks();
-        let mut fps: Vec<u64> = nets.iter().map(|n| n.structural_fingerprint()).collect();
+        let mut fps: Vec<u64> = nets.iter().map(Network::structural_fingerprint).collect();
         fps.sort_unstable();
         fps.dedup();
         assert_eq!(fps.len(), nets.len(), "zoo fingerprints collide");

@@ -37,6 +37,19 @@ pub struct Node {
 }
 
 impl Node {
+    /// Constructs a node from raw parts. Intended for importers and
+    /// verification tooling that reassemble graphs outside
+    /// [`NetworkBuilder`]; nothing is checked here, so anything built this
+    /// way should be run through the `netcut-verify` analyzer.
+    pub fn new(id: NodeId, name: impl Into<String>, kind: LayerKind, inputs: Vec<NodeId>) -> Self {
+        Node {
+            id,
+            name: name.into(),
+            kind,
+            inputs,
+        }
+    }
+
     /// Identifier of this node.
     pub fn id(&self) -> NodeId {
         self.id
@@ -71,6 +84,15 @@ pub struct Block {
 }
 
 impl Block {
+    /// Constructs a block from raw parts, unchecked; see [`Node::new`].
+    pub fn new(name: impl Into<String>, nodes: Vec<NodeId>, output: NodeId) -> Self {
+        Block {
+            name: name.into(),
+            nodes,
+            output,
+        }
+    }
+
     /// Block name (e.g. `res4b`, `inception_b2`).
     pub fn name(&self) -> &str {
         &self.name
@@ -181,6 +203,13 @@ impl Network {
         self.shapes[id.0]
     }
 
+    /// All inferred node output shapes, indexed like [`Network::nodes`].
+    /// On well-formed networks this always has one entry per node; the
+    /// `netcut-verify` analyzer checks that before trusting lookups.
+    pub fn shapes(&self) -> &[Shape] {
+        &self.shapes
+    }
+
     /// The graph output node.
     pub fn output(&self) -> NodeId {
         self.output
@@ -216,7 +245,7 @@ impl Network {
 
     /// Iterator over backbone (non-head) nodes.
     pub fn backbone_nodes(&self) -> impl Iterator<Item = &Node> {
-        let head = self.head_start.map(|h| h.0).unwrap_or(self.nodes.len());
+        let head = self.head_start.map_or(self.nodes.len(), |h| h.0);
         self.nodes[..head].iter()
     }
 
@@ -249,13 +278,40 @@ impl Network {
         self.nodes.iter().filter(|n| n.kind.is_weighted()).count()
     }
 
-    /// Validates internal invariants: topological input ordering and shape
-    /// consistency. Built networks always pass; exposed for property tests.
+    /// Assembles a network from raw parts without any validation.
     ///
-    /// # Errors
-    ///
-    /// Returns a [`GraphError`] describing the first violated invariant.
-    pub fn validate(&self) -> Result<(), GraphError> {
+    /// This is the escape hatch for importers (deserialized JSON, external
+    /// graph formats) and for verification tooling that needs to construct
+    /// deliberately broken graphs. Nothing is checked: run the
+    /// `netcut-verify` analyzer over the result before trusting it. Graphs
+    /// built through [`NetworkBuilder`] never need this.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        name: impl Into<String>,
+        input_shape: Shape,
+        nodes: Vec<Node>,
+        shapes: Vec<Shape>,
+        output: NodeId,
+        blocks: Vec<Block>,
+        head_start: Option<NodeId>,
+    ) -> Network {
+        Network {
+            name: name.into(),
+            input_shape,
+            nodes,
+            shapes,
+            output,
+            blocks,
+            head_start,
+        }
+    }
+
+    /// Minimal well-formedness check run by [`NetworkBuilder::finish`]:
+    /// non-empty, topological input ordering, and inferable shapes. The
+    /// full invariant surface (block boundaries, head structure, stats
+    /// coherence, …) lives in the `netcut-verify` analyzer, which callers
+    /// that assemble or deserialize networks should prefer.
+    pub(crate) fn check_built(&self) -> Result<(), GraphError> {
         if self.nodes.is_empty() {
             return Err(GraphError::EmptyNetwork);
         }
@@ -292,12 +348,19 @@ impl fmt::Display for Network {
     }
 }
 
-/// Infers the output shape of `node` given the shapes of all earlier nodes.
-pub(crate) fn infer_shape(
-    node: &Node,
-    shapes: &[Shape],
-    input_shape: Shape,
-) -> Result<Shape, GraphError> {
+/// Infers the output shape of `node` given the shapes of all earlier nodes
+/// (`shapes[i]` is the output shape of node `i`; only the node's input
+/// indices are read).
+///
+/// This is the single source of truth for shape propagation: the builder
+/// uses it node-by-node, and the `netcut-verify` analyzer re-runs it along
+/// every edge to detect corrupted graphs.
+///
+/// # Errors
+///
+/// Returns a [`GraphError`] when the input shapes are incompatible with the
+/// node's kind (mismatched `Add` operands, wrong rank, …).
+pub fn infer_shape(node: &Node, shapes: &[Shape], input_shape: Shape) -> Result<Shape, GraphError> {
     let in_shape = |i: usize| -> Shape { shapes[node.inputs[i].0] };
     let require_map = |s: Shape| -> Result<(usize, usize, usize), GraphError> {
         match s {
@@ -746,7 +809,7 @@ impl NetworkBuilder {
             blocks: self.blocks,
             head_start: self.head_start,
         };
-        net.validate()?;
+        net.check_built()?;
         Ok(net)
     }
 }
@@ -778,7 +841,7 @@ mod tests {
         assert_eq!(net.output_shape(), Shape::vector(5));
         assert_eq!(net.weighted_layer_count(), 2);
         assert_eq!(net.total_weighted_layer_count(), 3);
-        net.validate().unwrap();
+        net.check_built().unwrap();
     }
 
     #[test]

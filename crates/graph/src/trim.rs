@@ -60,7 +60,7 @@ impl Network {
     pub fn layer_cutpoints(&self) -> Vec<NodeId> {
         self.backbone_nodes()
             .filter(|n| n.kind().is_compute())
-            .map(|n| n.id())
+            .map(Node::id)
             .collect()
     }
 
@@ -275,7 +275,7 @@ mod tests {
         assert_eq!(trn.num_blocks(), 4);
         assert_eq!(trn.weighted_layer_count(), 4);
         assert!(trn.head_start().is_none());
-        trn.validate().unwrap();
+        trn.check_built().unwrap();
     }
 
     #[test]
@@ -312,7 +312,7 @@ mod tests {
             .filter(|n| trn.is_head_node(n.id()))
             .count();
         assert_eq!(head_nodes, 7);
-        trn.validate().unwrap();
+        trn.check_built().unwrap();
     }
 
     #[test]
@@ -353,6 +353,6 @@ mod tests {
         let cut = net.cut_at_node(a, "d/cut1");
         assert_eq!(cut.len(), 2); // input + a
         assert_eq!(cut.output_shape(), Shape::map(8, 8, 8));
-        cut.validate().unwrap();
+        cut.check_built().unwrap();
     }
 }

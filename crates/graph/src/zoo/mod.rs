@@ -97,7 +97,7 @@ mod tests {
     #[test]
     fn all_seven_are_valid() {
         for net in paper_networks() {
-            net.validate().unwrap();
+            net.check_built().unwrap();
             assert!(net.head_start().is_some(), "{} lacks head", net.name());
             assert!(net.num_blocks() > 0, "{} lacks blocks", net.name());
         }

@@ -77,7 +77,7 @@ proptest! {
     #[test]
     fn random_networks_validate(blocks in prop::collection::vec(block_strategy(), 1..8)) {
         let net = build(&blocks);
-        prop_assert!(net.validate().is_ok());
+        prop_assert!(netcut_verify::validate(&net).is_ok());
         prop_assert_eq!(net.num_blocks(), blocks.len());
     }
 
@@ -87,7 +87,7 @@ proptest! {
         let full_stats = net.stats();
         for k in 0..net.num_blocks() {
             let trn = net.cut_blocks(k).expect("valid cutpoint");
-            prop_assert!(trn.validate().is_ok());
+            prop_assert!(netcut_verify::validate(&trn).is_ok());
             let s = trn.stats();
             prop_assert!(s.total_flops <= full_stats.total_flops);
             prop_assert!(s.total_params <= full_stats.total_params);
@@ -117,7 +117,7 @@ proptest! {
     ) {
         let net = build(&blocks);
         let with = net.with_head(&HeadSpec::with_classes(classes));
-        prop_assert!(with.validate().is_ok());
+        prop_assert!(netcut_verify::validate(&with).is_ok());
         prop_assert_eq!(with.output_shape(), Shape::vector(classes));
         // The backbone round-trips through head attachment.
         let bb = with.backbone();
@@ -129,7 +129,7 @@ proptest! {
         let net = build(&blocks);
         for node in net.layer_cutpoints().into_iter().step_by(3) {
             let cut = net.cut_at_node(node, "random/cutX");
-            prop_assert!(cut.validate().is_ok());
+            prop_assert!(netcut_verify::validate(&cut).is_ok());
             prop_assert!(cut.len() <= net.len());
             // The cut output reproduces the original node's shape.
             prop_assert_eq!(cut.output_shape(), net.shape(node));

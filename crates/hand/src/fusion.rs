@@ -66,7 +66,7 @@ pub fn fuse(sources: &[Vec<f32>], rule: FusionRule) -> Vec<f32> {
                     *l += v.max(1e-6).ln();
                 }
             }
-            let max = log_sum.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let max = log_sum.iter().copied().fold(f32::NEG_INFINITY, f32::max);
             normalize(log_sum.iter().map(|&l| (l - max).exp()).collect())
         }
         FusionRule::ConfidenceWeighted => {

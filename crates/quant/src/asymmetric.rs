@@ -59,8 +59,8 @@ impl AffineParams {
 
     /// Parameters from a tensor's observed range.
     pub fn from_tensor(t: &Tensor) -> Self {
-        let min = t.data().iter().cloned().fold(f32::INFINITY, f32::min);
-        let max = t.data().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let min = t.data().iter().copied().fold(f32::INFINITY, f32::min);
+        let max = t.data().iter().copied().fold(f32::NEG_INFINITY, f32::max);
         AffineParams::from_range(min, max)
     }
 }

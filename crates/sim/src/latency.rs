@@ -113,8 +113,8 @@ mod tests {
         for d in &deltas {
             assert!(*d > 0.0);
         }
-        let max = deltas.iter().cloned().fold(f64::MIN, f64::max);
-        let min = deltas.iter().cloned().fold(f64::MAX, f64::min);
+        let max = deltas.iter().copied().fold(f64::MIN, f64::max);
+        let min = deltas.iter().copied().fold(f64::MAX, f64::min);
         assert!(max / min < 4.0, "deltas too uneven: {deltas:?}");
     }
 

@@ -48,12 +48,12 @@ mod tests {
         let max_small = small
             .data()
             .iter()
-            .cloned()
+            .copied()
             .fold(0.0f32, |a, b| a.max(b.abs()));
         let max_large = large
             .data()
             .iter()
-            .cloned()
+            .copied()
             .fold(0.0f32, |a, b| a.max(b.abs()));
         assert!(max_large < max_small);
     }

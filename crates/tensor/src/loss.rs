@@ -42,7 +42,7 @@ impl SoftCrossEntropy {
             .expect("logits must have a class axis");
         let mut out = logits.clone();
         for row in out.data_mut().chunks_mut(k) {
-            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
             let mut sum = 0.0;
             for v in row.iter_mut() {
                 *v = (*v - max).exp();

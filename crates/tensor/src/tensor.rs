@@ -216,8 +216,7 @@ impl Tensor {
                 row.iter()
                     .enumerate()
                     .max_by(|a, b| a.1.total_cmp(b.1))
-                    .map(|(i, _)| i)
-                    .unwrap_or(0)
+                    .map_or(0, |(i, _)| i)
             })
             .collect()
     }

@@ -61,7 +61,7 @@ impl TransferModel {
         let layer_count = |name: &str| -> usize {
             nets.iter()
                 .find(|n| n.name() == name)
-                .map(|n| n.weighted_layer_count())
+                .map(netcut_graph::Network::weighted_layer_count)
                 .expect("zoo network exists")
         };
         let mut profiles = HashMap::new();

@@ -1,0 +1,372 @@
+//! Structured diagnostics: stable codes, severities, graph spans, and the
+//! rendered [`Report`] (human text plus schema-v1 JSON lines).
+
+use netcut_graph::NodeId;
+use netcut_obs as obs;
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: legitimate but worth knowing (e.g. a network with no
+    /// convolutions has a zero filter-size feature).
+    Note,
+    /// Suspicious but not structurally fatal; strict mode promotes these to
+    /// failures.
+    Warning,
+    /// The graph violates an invariant the pipeline relies on; downstream
+    /// latency estimates and retraining would be garbage.
+    Error,
+}
+
+impl Severity {
+    /// Stable wire name (`"error"`, `"warning"`, `"note"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Stable diagnostic codes. Codes are append-only: a code is never reused
+/// for a different rule, so log consumers and the mutation harness can rely
+/// on them across versions. The full table lives in DESIGN.md §11.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Code {
+    /// NC001 — the network has no nodes.
+    NC001,
+    /// NC002 — broken topology: an input reference that does not strictly
+    /// precede its consumer, a stored node id that disagrees with its
+    /// position, or an out-of-range graph output.
+    NC002,
+    /// NC003 — shape-inference inconsistency along an edge: a stored shape
+    /// that re-inference from the stored input shapes contradicts.
+    NC003,
+    /// NC004 — a node unreachable from the graph output (dangling).
+    NC004,
+    /// NC005 — a block that is empty or references nodes outside the graph.
+    NC005,
+    /// NC006 — block-boundary integrity: a non-contiguous block, a block
+    /// output that is not a member, or an edge tapping a block's interior
+    /// from outside (a cut through the block would sever it).
+    NC006,
+    /// NC007 — cutpoint monotonicity: block outputs not strictly increasing,
+    /// a node owned by two blocks, or a block extending into the head.
+    NC007,
+    /// NC008 — head structure: the head boundary is out of range, the graph
+    /// output is not a head node, the head has no weighted layer, or the
+    /// output is not a class vector.
+    NC008,
+    /// NC009 — head-reattachment compatibility: the head's FC stack or
+    /// class count does not match the expected [`netcut_graph::HeadSpec`].
+    NC009,
+    /// NC010 — stats coherence: aggregate FLOPs/params disagree with the
+    /// per-layer recomputation, or a weighted layer has zero cost.
+    NC010,
+    /// NC011 — fingerprint instability: refingerprinting (or fingerprinting
+    /// a clone) yields a different value.
+    NC011,
+    /// NC012 — estimator-feature sanity: a backbone statistic that feeds a
+    /// zero (or NaN, after normalization) feature to the latency SVR.
+    NC012,
+}
+
+impl Code {
+    /// Stable wire name, e.g. `"NC003"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::NC001 => "NC001",
+            Code::NC002 => "NC002",
+            Code::NC003 => "NC003",
+            Code::NC004 => "NC004",
+            Code::NC005 => "NC005",
+            Code::NC006 => "NC006",
+            Code::NC007 => "NC007",
+            Code::NC008 => "NC008",
+            Code::NC009 => "NC009",
+            Code::NC010 => "NC010",
+            Code::NC011 => "NC011",
+            Code::NC012 => "NC012",
+        }
+    }
+
+    /// Short kebab-case rule name, e.g. `"shape-consistency"`.
+    pub fn rule_name(self) -> &'static str {
+        match self {
+            Code::NC001 => "empty-network",
+            Code::NC002 => "topological-order",
+            Code::NC003 => "shape-consistency",
+            Code::NC004 => "reachability",
+            Code::NC005 => "block-structure",
+            Code::NC006 => "block-boundary",
+            Code::NC007 => "cutpoint-monotonicity",
+            Code::NC008 => "head-structure",
+            Code::NC009 => "head-spec",
+            Code::NC010 => "stats-coherence",
+            Code::NC011 => "fingerprint-stability",
+            Code::NC012 => "estimator-features",
+        }
+    }
+
+    /// The fixed severity findings of this code carry.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::NC004 => Severity::Warning,
+            Code::NC012 => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Where in the graph a finding is anchored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphSpan {
+    /// The network as a whole.
+    Network,
+    /// One node.
+    Node {
+        /// The node's id.
+        id: NodeId,
+        /// The node's name at analysis time.
+        name: String,
+    },
+    /// One edge (producer → consumer).
+    Edge {
+        /// Producer node.
+        from: NodeId,
+        /// Consumer node.
+        to: NodeId,
+        /// Consumer name at analysis time.
+        to_name: String,
+    },
+    /// One backbone block.
+    Block {
+        /// Index into [`netcut_graph::Network::blocks`].
+        index: usize,
+        /// The block's name at analysis time.
+        name: String,
+    },
+    /// The classification head (every node from `head_start` on).
+    Head {
+        /// First head node.
+        start: NodeId,
+    },
+}
+
+impl fmt::Display for GraphSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphSpan::Network => write!(f, "network"),
+            GraphSpan::Node { id, name } => write!(f, "node {id} `{name}`"),
+            GraphSpan::Edge { from, to, to_name } => {
+                write!(f, "edge {from} -> {to} `{to_name}`")
+            }
+            GraphSpan::Block { index, name } => write!(f, "block #{index} `{name}`"),
+            GraphSpan::Head { start } => write!(f, "head (from {start})"),
+        }
+    }
+}
+
+/// One finding: a stable code, its severity, where it is, and what went
+/// wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The stable rule code.
+    pub code: Code,
+    /// Severity, fixed per code.
+    pub severity: Severity,
+    /// Graph location.
+    pub span: GraphSpan,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic; the severity comes from the code.
+    pub fn new(code: Code, span: GraphSpan, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            span,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] at {}: {}",
+            self.severity, self.code, self.span, self.message
+        )
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+/// Count of findings by severity; cheap to merge across many reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Summary {
+    /// Error-severity findings.
+    pub errors: usize,
+    /// Warning-severity findings.
+    pub warnings: usize,
+    /// Note-severity findings.
+    pub notes: usize,
+}
+
+impl Summary {
+    /// Adds another summary's counts into this one.
+    pub fn merge(&mut self, other: Summary) {
+        self.errors += other.errors;
+        self.warnings += other.warnings;
+        self.notes += other.notes;
+    }
+
+    /// Total findings of any severity.
+    pub fn total(&self) -> usize {
+        self.errors + self.warnings + self.notes
+    }
+}
+
+/// The analyzer's output for one network: every finding plus identity
+/// (name, structural fingerprint) for report provenance.
+#[derive(Debug, Clone)]
+pub struct Report {
+    pub(crate) network: String,
+    pub(crate) fingerprint: u64,
+    pub(crate) diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Name of the analyzed network.
+    pub fn network(&self) -> &str {
+        &self.network
+    }
+
+    /// Structural fingerprint of the analyzed network.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Every finding, in rule-registry order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// `true` when no Error-severity finding was produced.
+    pub fn is_clean(&self) -> bool {
+        self.summary().errors == 0
+    }
+
+    /// First Error-severity finding, if any.
+    pub fn first_error(&self) -> Option<&Diagnostic> {
+        self.diagnostics
+            .iter()
+            .find(|d| d.severity == Severity::Error)
+    }
+
+    /// Consumes the report, returning the first Error-severity finding.
+    pub fn into_first_error(self) -> Option<Diagnostic> {
+        self.diagnostics
+            .into_iter()
+            .find(|d| d.severity == Severity::Error)
+    }
+
+    /// Findings counted by severity.
+    pub fn summary(&self) -> Summary {
+        let mut s = Summary::default();
+        for d in &self.diagnostics {
+            match d.severity {
+                Severity::Error => s.errors += 1,
+                Severity::Warning => s.warnings += 1,
+                Severity::Note => s.notes += 1,
+            }
+        }
+        s
+    }
+
+    /// Multi-line human rendering: one line per finding plus a trailing
+    /// verdict line. Clean reports render as a single `ok` line.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            let _ = writeln!(out, "{}: {d}", self.network);
+        }
+        let s = self.summary();
+        if s.total() == 0 {
+            let _ = writeln!(out, "{}: ok", self.network);
+        } else {
+            let _ = writeln!(
+                out,
+                "{}: {} error(s), {} warning(s), {} note(s)",
+                self.network, s.errors, s.warnings, s.notes
+            );
+        }
+        out
+    }
+
+    /// Schema-v1 JSON-lines rendering, reusing the `netcut-obs` event
+    /// envelope: one `verify.diagnostic` instant event per finding, then a
+    /// `verify.summary` event with counts by severity, each on its own
+    /// line. Consumers can mix these lines into a `--trace-out` stream.
+    pub fn to_json_lines(&self) -> String {
+        let ts_us = obs::now_us();
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            let event = obs::Event {
+                ts_us,
+                kind: obs::EventKind::Instant,
+                name: "verify.diagnostic".to_owned(),
+                span_id: 0,
+                parent_id: 0,
+                dur_us: 0,
+                fields: vec![
+                    ("network", obs::FieldValue::from(self.network.clone())),
+                    ("code", obs::FieldValue::from(d.code.as_str())),
+                    ("severity", obs::FieldValue::from(d.severity.as_str())),
+                    ("span", obs::FieldValue::from(d.span.to_string())),
+                    ("message", obs::FieldValue::from(d.message.clone())),
+                ],
+            };
+            out.push_str(&event.to_json());
+            out.push('\n');
+        }
+        let s = self.summary();
+        let summary = obs::Event {
+            ts_us,
+            kind: obs::EventKind::Instant,
+            name: "verify.summary".to_owned(),
+            span_id: 0,
+            parent_id: 0,
+            dur_us: 0,
+            fields: vec![
+                ("network", obs::FieldValue::from(self.network.clone())),
+                ("fingerprint", obs::FieldValue::from(self.fingerprint)),
+                ("errors", obs::FieldValue::from(s.errors)),
+                ("warnings", obs::FieldValue::from(s.warnings)),
+                ("notes", obs::FieldValue::from(s.notes)),
+            ],
+        };
+        out.push_str(&summary.to_json());
+        out.push('\n');
+        out
+    }
+}

@@ -1,0 +1,67 @@
+//! Rule-based static analyzer for the `netcut-graph` IR.
+//!
+//! NetCut's correctness rests on every trimmed-and-reheaded network (TRN)
+//! being structurally sound: a cut that severs a residual branch, a stored
+//! shape that drifts from what the wiring implies, or a head whose class
+//! count disagrees with the target task silently poisons every downstream
+//! latency estimate and retraining run. This crate makes those invariants
+//! explicit and machine-checkable.
+//!
+//! - [`Diagnostic`]: one finding — a stable `NC0xx` [`Code`], a fixed
+//!   [`Severity`], a [`GraphSpan`] locating it, and a message.
+//! - [`Rule`] / [`Analyzer`]: the registry of ~11 structural rules (shape
+//!   consistency, reachability, block-boundary integrity, cutpoint
+//!   monotonicity, head structure, stats coherence, fingerprint stability,
+//!   estimator-feature sanity, …) producing a [`Report`].
+//! - [`mutate`]: a harness of structured corruptions, each documented with
+//!   the exact code the analyzer must produce — the negative test surface.
+//! - [`validate`]: drop-in replacement for the old ad-hoc
+//!   `Network::validate()`, returning the first Error-severity finding.
+//!
+//! Reports render as human-readable text ([`Report::render_text`]) and as
+//! schema-v1 JSON lines reusing the `netcut-obs` event envelope
+//! ([`Report::to_json_lines`]), so lint output can flow into the same trace
+//! files as the rest of the pipeline.
+//!
+//! # Example
+//!
+//! ```
+//! use netcut_graph::zoo;
+//! use netcut_verify::{analyze, validate};
+//!
+//! let net = zoo::mobilenet_v1(0.25);
+//! assert!(validate(&net).is_ok());
+//! let report = analyze(&net.cut_blocks(3).unwrap());
+//! assert!(report.is_clean());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod diagnostic;
+pub mod mutate;
+mod rules;
+
+pub use diagnostic::{Code, Diagnostic, GraphSpan, Report, Severity, Summary};
+pub use rules::{Analyzer, HeadSpecRule, Rule};
+
+use netcut_graph::Network;
+
+/// Runs the default rule registry over `net`.
+pub fn analyze(net: &Network) -> Report {
+    Analyzer::new().analyze(net)
+}
+
+/// Drop-in replacement for the retired `Network::validate()`: runs the
+/// default rules and returns the first Error-severity finding, if any.
+/// Warnings and notes do not fail validation.
+///
+/// # Errors
+///
+/// Returns the first [`Diagnostic`] with [`Severity::Error`].
+pub fn validate(net: &Network) -> Result<(), Diagnostic> {
+    match analyze(net).into_first_error() {
+        Some(diag) => Err(diag),
+        None => Ok(()),
+    }
+}

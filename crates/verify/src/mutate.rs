@@ -1,0 +1,224 @@
+//! Mutation harness: structured ways of breaking a valid network, each with
+//! a documented diagnostic the analyzer must produce.
+//!
+//! This is the negative half of the analyzer's test surface: property tests
+//! assert that builder/zoo networks are clean, and this module asserts that
+//! each class of corruption is caught with its *specific* `NC0xx` code — a
+//! verifier that flags everything as "invalid" would pass the positive tests
+//! but fail these.
+
+use crate::diagnostic::Code;
+use netcut_graph::{infer_shape, Block, LayerKind, Network, Node, NodeId, Shape};
+
+/// A structured corruption applied to a valid network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Drop one input of a residual `Add` whose producer has no other
+    /// consumer, leaving a dangling sub-graph → NC004.
+    DropEdge,
+    /// Bump the stored channel count of a convolution's shape so it no
+    /// longer matches re-inference → NC003.
+    CorruptShape,
+    /// Remove a block's output node from its member list, so the recorded
+    /// cutpoint is no longer inside the block → NC006.
+    SpliceBlockBoundary,
+    /// Extend a block to also claim the first node of the next block,
+    /// making the two overlap → NC007.
+    OverlapBlocks,
+    /// Grow the head's logits layer by one unit (shapes re-inferred, so the
+    /// graph stays structurally consistent) → NC009 under an expected
+    /// [`netcut_graph::HeadSpec`].
+    MismatchHeadClasses,
+    /// Rewire one input to point at the consumer itself, breaking
+    /// topological order → NC002.
+    ForwardEdge,
+}
+
+impl Mutation {
+    /// Every mutation class, for exhaustive harness loops.
+    pub fn all() -> [Mutation; 6] {
+        [
+            Mutation::DropEdge,
+            Mutation::CorruptShape,
+            Mutation::SpliceBlockBoundary,
+            Mutation::OverlapBlocks,
+            Mutation::MismatchHeadClasses,
+            Mutation::ForwardEdge,
+        ]
+    }
+
+    /// The diagnostic code the analyzer must produce for this mutation.
+    pub fn expected_code(self) -> Code {
+        match self {
+            Mutation::DropEdge => Code::NC004,
+            Mutation::CorruptShape => Code::NC003,
+            Mutation::SpliceBlockBoundary => Code::NC006,
+            Mutation::OverlapBlocks => Code::NC007,
+            Mutation::MismatchHeadClasses => Code::NC009,
+            Mutation::ForwardEdge => Code::NC002,
+        }
+    }
+}
+
+fn parts(net: &Network) -> (Vec<Node>, Vec<Shape>, Vec<Block>) {
+    (
+        net.nodes().to_vec(),
+        net.shapes().to_vec(),
+        net.blocks().to_vec(),
+    )
+}
+
+fn rebuild(net: &Network, nodes: Vec<Node>, shapes: Vec<Shape>, blocks: Vec<Block>) -> Network {
+    Network::from_parts(
+        format!("{}~mutated", net.name()),
+        net.input_shape(),
+        nodes,
+        shapes,
+        net.output(),
+        blocks,
+        net.head_start(),
+    )
+}
+
+/// Number of consumers of `id` within the node list (graph-output use not
+/// counted).
+fn consumer_count(nodes: &[Node], id: NodeId) -> usize {
+    nodes
+        .iter()
+        .flat_map(Node::inputs)
+        .filter(|&&inp| inp == id)
+        .count()
+}
+
+/// Applies `mutation` to a copy of `net`, returning `None` when the network
+/// has no site for it (e.g. [`Mutation::DropEdge`] on a network with no
+/// residual connections). The result is crafted so the analyzer reports the
+/// mutation's [`expected_code`](Mutation::expected_code) — see each variant
+/// for which companion diagnostics are possible.
+pub fn apply(net: &Network, mutation: Mutation) -> Option<Network> {
+    match mutation {
+        Mutation::DropEdge => {
+            let (mut nodes, shapes, blocks) = parts(net);
+            // Find an Add whose dropped input has exactly one consumer, so
+            // removing the edge strands that producer's entire branch.
+            let (pos, victim) = nodes.iter().enumerate().rev().find_map(|(i, n)| {
+                if !matches!(n.kind(), LayerKind::Add) || n.inputs().len() < 2 {
+                    return None;
+                }
+                n.inputs()
+                    .iter()
+                    .position(|&inp| consumer_count(&nodes, inp) == 1)
+                    .map(|slot| (i, slot))
+            })?;
+            let node = &nodes[pos];
+            let mut inputs = node.inputs().to_vec();
+            inputs.remove(victim);
+            nodes[pos] = Node::new(node.id(), node.name(), *node.kind(), inputs);
+            // Note: the Add's shape still re-infers identically (all Add
+            // inputs share a shape), so the only finding is the dangling
+            // branch — NC004 exactly.
+            Some(rebuild(net, nodes, shapes, blocks))
+        }
+        Mutation::CorruptShape => {
+            let (nodes, mut shapes, blocks) = parts(net);
+            let pos = nodes.iter().position(|n| {
+                matches!(n.kind(), LayerKind::Conv2d { .. }) && !net.is_head_node(n.id())
+            })?;
+            let Shape::Map { c, h, w } = shapes.get(pos).copied()? else {
+                return None;
+            };
+            shapes[pos] = Shape::map(c + 1, h, w);
+            Some(rebuild(net, nodes, shapes, blocks))
+        }
+        Mutation::SpliceBlockBoundary => {
+            let (nodes, shapes, mut blocks) = parts(net);
+            let bi = blocks.iter().position(|b| b.nodes().len() >= 2)?;
+            let block = &blocks[bi];
+            let members: Vec<NodeId> = block
+                .nodes()
+                .iter()
+                .copied()
+                .filter(|&id| id != block.output())
+                .collect();
+            blocks[bi] = Block::new(block.name(), members, block.output());
+            // The member list stays contiguous (the output is a block's last
+            // node), so the sole finding is the output falling outside the
+            // block — NC006 exactly.
+            Some(rebuild(net, nodes, shapes, blocks))
+        }
+        Mutation::OverlapBlocks => {
+            let (nodes, shapes, mut blocks) = parts(net);
+            if blocks.len() < 2 {
+                return None;
+            }
+            let stolen = *blocks[1].nodes().first()?;
+            let block = &blocks[0];
+            let mut members = block.nodes().to_vec();
+            members.push(stolen);
+            // Blocks are adjacent in the zoo, so the grown list stays
+            // contiguous and the only finding is dual ownership — NC007.
+            blocks[0] = Block::new(block.name(), members, block.output());
+            Some(rebuild(net, nodes, shapes, blocks))
+        }
+        Mutation::MismatchHeadClasses => {
+            let (mut nodes, _, blocks) = parts(net);
+            let head = net.head_start()?;
+            let pos = nodes
+                .iter()
+                .rposition(|n| n.id() >= head && matches!(n.kind(), LayerKind::Dense { .. }))?;
+            let node = &nodes[pos];
+            let LayerKind::Dense { units } = *node.kind() else {
+                return None;
+            };
+            nodes[pos] = Node::new(
+                node.id(),
+                node.name(),
+                LayerKind::Dense { units: units + 1 },
+                node.inputs().to_vec(),
+            );
+            // Re-infer every shape so the graph remains structurally
+            // consistent: the *only* thing wrong is the class count, which
+            // just the head-spec rule (NC009) can see.
+            let mut inferred: Vec<Shape> = Vec::with_capacity(nodes.len());
+            for node in &nodes {
+                let s = infer_shape(node, &inferred, net.input_shape()).ok()?;
+                inferred.push(s);
+            }
+            Some(rebuild(net, nodes, inferred, blocks))
+        }
+        Mutation::ForwardEdge => {
+            let (mut nodes, shapes, blocks) = parts(net);
+            let pos = nodes.iter().rposition(|n| !n.inputs().is_empty())?;
+            let node = &nodes[pos];
+            let mut inputs = node.inputs().to_vec();
+            inputs[0] = node.id();
+            nodes[pos] = Node::new(node.id(), node.name(), *node.kind(), inputs);
+            // The node's former producer may become unreachable, so NC004
+            // can accompany NC002 — the harness asserts membership, not
+            // exact equality, for this class.
+            Some(rebuild(net, nodes, shapes, blocks))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Analyzer;
+    use netcut_graph::zoo;
+
+    #[test]
+    fn drop_edge_needs_a_residual() {
+        // MobileNetV1 has no Add nodes; the mutation must decline.
+        assert!(apply(&zoo::mobilenet_v1(0.25), Mutation::DropEdge).is_none());
+        assert!(apply(&zoo::resnet50(), Mutation::DropEdge).is_some());
+    }
+
+    #[test]
+    fn corrupt_shape_is_caught_exactly() {
+        let net = zoo::mobilenet_v1(0.25);
+        let broken = apply(&net, Mutation::CorruptShape).unwrap();
+        let report = Analyzer::new().analyze(&broken);
+        assert!(report.diagnostics().iter().any(|d| d.code == Code::NC003));
+    }
+}

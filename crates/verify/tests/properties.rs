@@ -1,0 +1,118 @@
+//! Property-style tests over randomly generated networks: any well-formed
+//! builder output must pass the analyzer with zero errors, and stay clean
+//! through the cut/reattach pipeline.
+//!
+//! Uses a seeded [`rand::rngs::SmallRng`] rather than proptest so the cases
+//! are fully deterministic and the suite needs no shrinking machinery.
+
+use netcut_graph::{Activation, HeadSpec, Network, NetworkBuilder, Padding, Shape};
+use netcut_verify::Analyzer;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One randomly chosen backbone block, mirroring the generator used by the
+/// graph crate's proptest suite.
+#[derive(Debug, Clone, Copy)]
+enum BlockSpec {
+    Conv {
+        channels: usize,
+        kernel: usize,
+        stride: usize,
+    },
+    Separable {
+        channels: usize,
+    },
+    Residual {
+        channels: usize,
+    },
+}
+
+fn random_block(rng: &mut SmallRng) -> BlockSpec {
+    let channels = 8 * rng.gen_range(1..=4usize);
+    match rng.gen_range(0..3u8) {
+        0 => BlockSpec::Conv {
+            channels,
+            kernel: [1, 3, 5][rng.gen_range(0..3usize)],
+            stride: rng.gen_range(1..=2),
+        },
+        1 => BlockSpec::Separable { channels },
+        _ => BlockSpec::Residual { channels },
+    }
+}
+
+/// Builds a random-but-valid network from block specs.
+fn build(blocks: &[BlockSpec]) -> Network {
+    let mut b = NetworkBuilder::new("random", Shape::map(3, 64, 64));
+    let mut x = b.input();
+    for (i, spec) in blocks.iter().enumerate() {
+        let name = format!("b{i}");
+        b.begin_block(&name);
+        match *spec {
+            BlockSpec::Conv {
+                channels,
+                kernel,
+                stride,
+            } => {
+                x = b.conv_bn_relu(x, channels, kernel, stride, Padding::Same, &name);
+            }
+            BlockSpec::Separable { channels } => {
+                let d = b.depthwise_conv(x, 3, 1, Padding::Same, &format!("{name}/dw"));
+                let d = b.batch_norm(d, &format!("{name}/dw_bn"));
+                let d = b.activation(d, Activation::Relu, &format!("{name}/dw_relu"));
+                x = b.conv_bn_relu(d, channels, 1, 1, Padding::Same, &format!("{name}/pw"));
+            }
+            BlockSpec::Residual { channels } => {
+                let p = b.conv_bn_relu(x, channels, 1, 1, Padding::Same, &format!("{name}/proj"));
+                let inner =
+                    b.conv_bn_relu(p, channels, 3, 1, Padding::Same, &format!("{name}/conv"));
+                x = b.add(&[p, inner], &format!("{name}/add"));
+            }
+        }
+        b.end_block(x).expect("non-empty block");
+    }
+    b.finish(x).expect("random network is valid")
+}
+
+/// 64 random backbones, each analyzed raw and through every blockwise cut
+/// with the HANDS head reattached: zero findings everywhere.
+#[test]
+fn random_networks_are_clean_through_the_pipeline() {
+    let mut rng = SmallRng::seed_from_u64(0x4E43_5631); // "NCV1"
+    let structural = Analyzer::new();
+    let with_head = Analyzer::with_expected_head(HeadSpec::default());
+    for case in 0..64 {
+        let len = rng.gen_range(1..=8usize);
+        let specs: Vec<BlockSpec> = (0..len).map(|_| random_block(&mut rng)).collect();
+        let net = build(&specs);
+        let report = structural.analyze(&net);
+        assert_eq!(
+            report.summary().total(),
+            0,
+            "case {case} ({specs:?}) not clean:\n{}",
+            report.render_text()
+        );
+        for k in 0..net.num_blocks() {
+            let trn = net.cut_blocks(k).expect("generated cutpoints are valid");
+            let headed = trn.with_head(&HeadSpec::default());
+            let report = with_head.analyze(&headed);
+            assert_eq!(
+                report.summary().total(),
+                0,
+                "case {case} cut at {k} not clean:\n{}",
+                report.render_text()
+            );
+        }
+    }
+}
+
+/// The validate() shim agrees with the analyzer on random networks.
+#[test]
+fn validate_accepts_random_networks() {
+    let mut rng = SmallRng::seed_from_u64(0x4E43_5632);
+    for _ in 0..32 {
+        let len = rng.gen_range(1..=6usize);
+        let specs: Vec<BlockSpec> = (0..len).map(|_| random_block(&mut rng)).collect();
+        let net = build(&specs);
+        netcut_verify::validate(&net).expect("builder output is valid");
+    }
+}

@@ -53,7 +53,7 @@ fn main() {
     let scratch_acc = engine::fine_tune(&mut scratch, &cfg, 0, &train, &test, &ft);
     println!();
     println!("random-features baseline (same schedule): {scratch_acc:.3}");
-    let best = results.iter().cloned().fold(f64::MIN, f64::max);
+    let best = results.iter().copied().fold(f64::MIN, f64::max);
     println!(
         "best TRN: {best:.3} — shallow cuts retain accuracy; the deepest cut drops {:.3}",
         results[0] - results[results.len() - 1]

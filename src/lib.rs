@@ -26,3 +26,4 @@ pub use netcut_quant as quant;
 pub use netcut_sim as sim;
 pub use netcut_tensor as tensor;
 pub use netcut_train as train;
+pub use netcut_verify as verify;

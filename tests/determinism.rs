@@ -48,7 +48,7 @@ fn network_serializes_and_round_trips() {
     let json = serde_json::to_string(&net).expect("network serializes");
     let back: Network = serde_json::from_str(&json).expect("network deserializes");
     assert_eq!(back, net);
-    back.validate().expect("deserialized network is valid");
+    netcut_verify::validate(&back).expect("deserialized network is valid");
     assert_eq!(back.stats(), net.stats());
 }
 

@@ -153,5 +153,5 @@ fn many_class_head_scales() {
     let head = HeadSpec::with_classes(1000);
     let net = netcut_graph::zoo::squeezenet().backbone().with_head(&head);
     assert_eq!(net.output_shape(), Shape::vector(1000));
-    net.validate().expect("valid with wide head");
+    netcut_verify::validate(&net).expect("valid with wide head");
 }

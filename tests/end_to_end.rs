@@ -20,7 +20,7 @@ fn every_blockwise_trn_of_every_family_is_deployable() {
     let head = HeadSpec::default();
     for source in zoo::paper_networks() {
         for trn in blockwise_trns(&source, &head) {
-            trn.validate().expect("TRN is a valid graph");
+            netcut_verify::validate(&trn).expect("TRN is a valid graph");
             let kernels = fuse_network(&trn);
             assert!(!kernels.is_empty());
             let m = s.measure(&trn, 5);

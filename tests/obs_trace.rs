@@ -14,7 +14,8 @@ use std::sync::{Arc, Mutex, MutexGuard};
 /// The obs sink is process-global; serialize the tests that install one.
 fn sink_lock() -> MutexGuard<'static, ()> {
     static LOCK: Mutex<()> = Mutex::new(());
-    LOCK.lock().unwrap_or_else(|poison| poison.into_inner())
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Runs NetCut over two small families with the given deadline.
@@ -56,13 +57,13 @@ fn explore_emits_well_formed_jsonl_trace() {
             .parse()
             .unwrap_or_else(|e| panic!("line {i} is not JSON ({e:?}): {line}"));
         assert_eq!(
-            event.get("v").and_then(|v| v.as_u64()),
+            event.get("v").and_then(serde_json::Value::as_u64),
             Some(u64::from(obs::SCHEMA_VERSION)),
             "line {i} has wrong schema version: {line}"
         );
         let ts = event
             .get("ts_us")
-            .and_then(|v| v.as_u64())
+            .and_then(serde_json::Value::as_u64)
             .unwrap_or_else(|| panic!("line {i} lacks ts_us: {line}"));
         assert!(ts >= last_ts, "timestamps regress at line {i}");
         last_ts = ts;
@@ -74,9 +75,15 @@ fn explore_emits_well_formed_jsonl_trace() {
         assert!(!name.is_empty(), "line {i} lacks a name: {line}");
         match kind {
             "span_begin" => {
-                let id = event.get("span").and_then(|v| v.as_u64()).expect("span id");
+                let id = event
+                    .get("span")
+                    .and_then(serde_json::Value::as_u64)
+                    .expect("span id");
                 // Nesting discipline: the parent is the innermost open span.
-                let parent = event.get("parent").and_then(|v| v.as_u64()).unwrap_or(0);
+                let parent = event
+                    .get("parent")
+                    .and_then(serde_json::Value::as_u64)
+                    .unwrap_or(0);
                 assert_eq!(
                     parent,
                     stack.last().copied().unwrap_or(0),
@@ -88,13 +95,16 @@ fn explore_emits_well_formed_jsonl_trace() {
                 open_spans += 1;
             }
             "span_end" => {
-                let id = event.get("span").and_then(|v| v.as_u64()).expect("span id");
+                let id = event
+                    .get("span")
+                    .and_then(serde_json::Value::as_u64)
+                    .expect("span id");
                 assert_eq!(
                     stack.pop(),
                     Some(id),
                     "line {i}: span {id} closed out of order"
                 );
-                let dur = event.get("dur_us").and_then(|v| v.as_u64());
+                let dur = event.get("dur_us").and_then(serde_json::Value::as_u64);
                 assert!(dur.is_some(), "line {i}: span_end lacks dur_us");
                 let fields = event.get("fields");
                 let field = |key: &str| fields.and_then(|f| f.get(key)).cloned();
@@ -165,7 +175,7 @@ fn explore_emits_loadable_chrome_trace() {
     for e in &events {
         let ph = e.get("ph").and_then(|v| v.as_str()).expect("phase");
         assert!(matches!(ph, "B" | "E" | "i"), "unknown phase {ph}");
-        assert!(e.get("ts").and_then(|v| v.as_u64()).is_some());
+        assert!(e.get("ts").and_then(serde_json::Value::as_u64).is_some());
         assert!(e.get("name").and_then(|v| v.as_str()).is_some());
         match ph {
             "B" => begins += 1,
@@ -173,8 +183,14 @@ fn explore_emits_loadable_chrome_trace() {
                 ends += 1;
                 if e.get("name").and_then(|v| v.as_str()) == Some("netcut.family") {
                     let args = e.get("args").expect("family args");
-                    if args.get("predicted_ms").and_then(|v| v.as_f64()).is_some()
-                        && args.get("measured_ms").and_then(|v| v.as_f64()).is_some()
+                    if args
+                        .get("predicted_ms")
+                        .and_then(serde_json::Value::as_f64)
+                        .is_some()
+                        && args
+                            .get("measured_ms")
+                            .and_then(serde_json::Value::as_f64)
+                            .is_some()
                     {
                         family_ends_with_latency += 1;
                     }
