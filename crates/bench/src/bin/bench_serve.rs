@@ -1,0 +1,68 @@
+//! BENCH_serve — the deadline-aware serving runtime under the paper
+//! scenario (900 µs deadline, 2000 rps, 5 s, seed 11), with and without
+//! TRN-ladder degradation.
+//!
+//! Prints both run summaries and the headline comparison (degradation
+//! must strictly reduce the miss rate), and writes the raw summaries to
+//! `results/BENCH_serve.json`. The summaries themselves are hand-rolled
+//! integer-only JSON, so reruns at any `--jobs`-equivalent parallelism
+//! byte-match; only the wall-clock fields vary run to run.
+
+use netcut_serve::{run_scenario, ScenarioConfig};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn timed(cfg: ScenarioConfig) -> (netcut_serve::ServeSummary, f64) {
+    let start = Instant::now();
+    let summary = run_scenario(cfg);
+    (summary, start.elapsed().as_secs_f64() * 1e3)
+}
+
+fn main() {
+    let base = ScenarioConfig {
+        jobs: 0, // one evaluation worker per CPU for ladder construction
+        ..ScenarioConfig::default()
+    };
+    println!(
+        "BENCH_serve — serving runtime, paper scenario (seed {})",
+        base.seed
+    );
+    println!();
+
+    let (degrade, degrade_ms) = timed(base.clone());
+    print!("{}", degrade.render_text());
+    let (pinned, pinned_ms) = timed(ScenarioConfig {
+        degrade: false,
+        ..base
+    });
+    print!("{}", pinned.render_text());
+
+    println!();
+    println!(
+        "miss rate: {:.4}% degrading vs {:.4}% pinned to the top rung",
+        degrade.miss_rate_ppm as f64 / 10_000.0,
+        pinned.miss_rate_ppm as f64 / 10_000.0
+    );
+    assert!(
+        degrade.miss_rate_ppm < pinned.miss_rate_ppm,
+        "degradation must strictly beat the pinned baseline"
+    );
+
+    let json = format!(
+        "{{\n  \"scenario\": \"deadline 900us, 2000 rps, 5s, seed 11, 2 workers, faults on\",\n  \
+           \"git\": \"{}\",\n  \"degrade\": {},\n  \"no_degrade\": {},\n  \
+           \"wall_ms_degrade\": {:.1},\n  \"wall_ms_no_degrade\": {:.1}\n}}\n",
+        netcut_bench::git_describe(),
+        degrade.to_json(),
+        pinned.to_json(),
+        degrade_ms,
+        pinned_ms
+    );
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("BENCH_serve.json");
+    std::fs::write(&path, json).expect("write BENCH_serve.json");
+    println!("raw data: {}", path.display());
+}

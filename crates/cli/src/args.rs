@@ -15,6 +15,8 @@ usage:
   netcut-cli budget
   netcut-cli explore [--deadline MS] [--extended] [--json] [--jobs N] [--no-cache]
   netcut-cli sweep [--json] [--jobs N] [--no-cache]
+  netcut-cli serve [--deadline-us N] [--rps N] [--duration SECONDS] [--seed N]
+                   [--jobs N] [--workers N] [--no-degrade] [--no-faults] [--json]
   netcut-cli lint <network|all|file.json> [--json]
 
 global options (any command):
@@ -31,6 +33,12 @@ evaluation options (explore, sweep):
                       results are identical for any N
   --no-cache          disable evaluation memoization (recompute every
                       measurement and retraining)
+
+serve: simulate the deadline-aware serving runtime on the TRN ladder —
+defaults reproduce the paper scenario (deadline 900 µs, 2000 rps, 5 s,
+seed 11, 2 workers); `--no-degrade` pins the most accurate network for
+an apples-to-apples miss-rate baseline; summaries are bit-identical for
+any `--jobs` value
 
 lint: analyzes a zoo network (or `all`, or an exported network JSON file)
 plus every blockwise TRN of it, raw and with the transfer head attached;
@@ -101,6 +109,18 @@ pub enum Command {
         jobs: usize,
         no_cache: bool,
     },
+    /// Simulate the deadline-aware serving runtime.
+    Serve {
+        deadline_us: u64,
+        rps: u64,
+        duration_s: f64,
+        seed: u64,
+        jobs: usize,
+        workers: usize,
+        degrade: bool,
+        faults: bool,
+        json: bool,
+    },
     /// Run the `netcut-verify` static analyzer over a network (or the
     /// whole zoo) and every blockwise TRN of it.
     Lint { target: String, json: bool },
@@ -166,6 +186,13 @@ const KNOWN_FLAGS: &[&str] = &[
     "--json",
     "--jobs",
     "--no-cache",
+    "--deadline-us",
+    "--rps",
+    "--duration",
+    "--seed",
+    "--workers",
+    "--no-degrade",
+    "--no-faults",
 ];
 
 /// Parses the subcommand and its own arguments (global flags removed).
@@ -195,8 +222,18 @@ fn parse_command(argv: &[&str]) -> Result<Command, String> {
             }
             if a.starts_with("--") {
                 // Flags with values consume the next token.
-                if matches!(*a, "--precision" | "--deadline" | "--top" | "--jobs")
-                    && i + 1 < rest.len()
+                if matches!(
+                    *a,
+                    "--precision"
+                        | "--deadline"
+                        | "--top"
+                        | "--jobs"
+                        | "--deadline-us"
+                        | "--rps"
+                        | "--duration"
+                        | "--seed"
+                        | "--workers"
+                ) && i + 1 < rest.len()
                 {
                     skip = true;
                 }
@@ -298,6 +335,33 @@ fn parse_command(argv: &[&str]) -> Result<Command, String> {
             jobs: parse_jobs(flag_value("--jobs"))?,
             no_cache: has_flag("--no-cache"),
         }),
+        "serve" => {
+            fn num<T: std::str::FromStr>(
+                value: Option<&str>,
+                flag: &str,
+                default: T,
+            ) -> Result<T, String> {
+                match value {
+                    Some(v) => v.parse().map_err(|_| format!("{flag} must be a number")),
+                    None => Ok(default),
+                }
+            }
+            let duration_s: f64 = num(flag_value("--duration"), "--duration", 5.0)?;
+            if !(duration_s > 0.0 && duration_s.is_finite()) {
+                return Err("--duration must be a positive number of seconds".to_string());
+            }
+            Ok(Command::Serve {
+                deadline_us: num(flag_value("--deadline-us"), "--deadline-us", 900)?,
+                rps: num(flag_value("--rps"), "--rps", 2000)?,
+                duration_s,
+                seed: num(flag_value("--seed"), "--seed", 11)?,
+                jobs: parse_jobs(flag_value("--jobs"))?,
+                workers: num(flag_value("--workers"), "--workers", 2)?,
+                degrade: !has_flag("--no-degrade"),
+                faults: !has_flag("--no-faults"),
+                json: has_flag("--json"),
+            })
+        }
         "lint" => Ok(Command::Lint {
             target: positionals
                 .first()
@@ -414,6 +478,66 @@ mod tests {
             }
         );
         assert!(parse(&argv(&["lint"])).is_err());
+    }
+
+    #[test]
+    fn serve_defaults_match_the_paper_scenario() {
+        assert_eq!(
+            cmd(&["serve"]),
+            Command::Serve {
+                deadline_us: 900,
+                rps: 2000,
+                duration_s: 5.0,
+                seed: 11,
+                jobs: 1,
+                workers: 2,
+                degrade: true,
+                faults: true,
+                json: false
+            }
+        );
+    }
+
+    #[test]
+    fn parses_serve_with_every_flag() {
+        assert_eq!(
+            cmd(&[
+                "serve",
+                "--deadline-us",
+                "1200",
+                "--rps",
+                "500",
+                "--duration",
+                "2.5",
+                "--seed",
+                "7",
+                "--jobs",
+                "8",
+                "--workers",
+                "4",
+                "--no-degrade",
+                "--no-faults",
+                "--json",
+            ]),
+            Command::Serve {
+                deadline_us: 1200,
+                rps: 500,
+                duration_s: 2.5,
+                seed: 7,
+                jobs: 8,
+                workers: 4,
+                degrade: false,
+                faults: false,
+                json: true
+            }
+        );
+    }
+
+    #[test]
+    fn serve_rejects_bad_values() {
+        assert!(parse(&argv(&["serve", "--rps", "lots"])).is_err());
+        assert!(parse(&argv(&["serve", "--duration", "-1"])).is_err());
+        assert!(parse(&argv(&["serve", "--deadline-u", "900"])).is_err());
     }
 
     #[test]

@@ -41,6 +41,7 @@ fn span_name(cmd: &Command) -> &'static str {
         Command::Budget => "cli.budget",
         Command::Explore { .. } => "cli.explore",
         Command::Sweep { .. } => "cli.sweep",
+        Command::Serve { .. } => "cli.serve",
         Command::Lint { .. } => "cli.lint",
     }
 }
@@ -261,6 +262,35 @@ pub fn run(cmd: Command, strict: bool) -> Result<(), String> {
             }
             Ok(())
         }
+        Command::Serve {
+            deadline_us,
+            rps,
+            duration_s,
+            seed,
+            jobs,
+            workers,
+            degrade,
+            faults,
+            json,
+        } => {
+            let summary = netcut_serve::run_scenario(netcut_serve::ScenarioConfig {
+                deadline_us,
+                rps,
+                duration_us: (duration_s * 1e6).round() as u64,
+                seed,
+                jobs,
+                workers,
+                degrade,
+                faults,
+                ..netcut_serve::ScenarioConfig::default()
+            });
+            if json {
+                println!("{}", summary.to_json());
+            } else {
+                print!("{}", summary.render_text());
+            }
+            Ok(())
+        }
         Command::Lint { target, json } => lint(&target, json, strict),
     }
 }
@@ -349,6 +379,25 @@ mod tests {
             false,
         )
         .expect("dot");
+    }
+
+    #[test]
+    fn serve_quick_run() {
+        run(
+            Command::Serve {
+                deadline_us: 900,
+                rps: 2000,
+                duration_s: 0.1,
+                seed: 11,
+                jobs: 1,
+                workers: 2,
+                degrade: true,
+                faults: true,
+                json: true,
+            },
+            false,
+        )
+        .expect("serve");
     }
 
     #[test]

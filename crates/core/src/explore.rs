@@ -52,6 +52,16 @@ impl Exploration {
         pts.sort_by_key(|p| p.cutpoint);
         pts
     }
+
+    /// The Pareto-optimal candidates in ascending-latency order — the TRN
+    /// ladder a serving runtime degrades along (fastest/most-trimmed first,
+    /// most accurate last).
+    pub fn pareto_points(&self) -> Vec<&CandidatePoint> {
+        crate::pareto::pareto_frontier(&self.points)
+            .into_iter()
+            .map(|i| &self.points[i])
+            .collect()
+    }
 }
 
 /// Runs the exhaustive blockwise exploration over `sources`: every TRN of

@@ -90,8 +90,8 @@ proptest! {
 
     #[test]
     fn relaxing_the_deadline_never_hurts(pts in points_strategy(40), d in 0.01f64..4.0) {
-        let tight = best_meeting_deadline(&pts, d).map(|p| p.accuracy).unwrap_or(f64::MIN);
-        let loose = best_meeting_deadline(&pts, d + 1.0).map(|p| p.accuracy).unwrap_or(f64::MIN);
+        let tight = best_meeting_deadline(&pts, d).map_or(f64::MIN, |p| p.accuracy);
+        let loose = best_meeting_deadline(&pts, d + 1.0).map_or(f64::MIN, |p| p.accuracy);
         prop_assert!(loose >= tight);
     }
 

@@ -41,8 +41,8 @@ proptest! {
     fn svr_predictions_are_finite_and_bounded((x, y) in matrix_strategy()) {
         let params = SvrParams { c: 100.0, gamma: 0.5, epsilon: 0.01 };
         let model = Svr::fit(&x, &y, &params);
-        let y_min = y.iter().cloned().fold(f64::INFINITY, f64::min);
-        let y_max = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let y_min = y.iter().copied().fold(f64::INFINITY, f64::min);
+        let y_max = y.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let span = (y_max - y_min).max(0.1);
         for row in &x {
             let p = model.predict(row);
@@ -84,7 +84,7 @@ proptest! {
         let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
         all.sort_unstable();
         prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
-        let sizes: Vec<usize> = folds.iter().map(|f| f.len()).collect();
+        let sizes: Vec<usize> = folds.iter().map(Vec::len).collect();
         let max = sizes.iter().max().expect("non-empty");
         let min = sizes.iter().min().expect("non-empty");
         prop_assert!(max - min <= 1, "unbalanced folds: {sizes:?}");

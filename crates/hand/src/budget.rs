@@ -86,6 +86,18 @@ impl LoopBudget {
         let frame = self.fixed_per_frame_ms() + visual_latency_ms;
         (self.decision_window_ms() / frame).floor() as usize
     }
+
+    /// [`Self::visual_budget_ms`] in integer microseconds — the per-request
+    /// deadline a serving runtime enforces (900 µs with paper constants).
+    pub fn visual_budget_us(&self) -> u64 {
+        (self.visual_budget_ms() * 1000.0).round() as u64
+    }
+
+    /// EMG window classification cost in integer microseconds, the service
+    /// time of an EMG request in the serving runtime.
+    pub fn emg_us(&self) -> u64 {
+        (self.emg_ms * 1000.0).round() as u64
+    }
 }
 
 #[cfg(test)]
@@ -130,5 +142,12 @@ mod tests {
         let base = b.visual_budget_ms();
         b.decisions_required = 60;
         assert!(b.visual_budget_ms() < base);
+    }
+
+    #[test]
+    fn microsecond_budgets_match_paper_constants() {
+        let b = LoopBudget::paper();
+        assert_eq!(b.visual_budget_us(), 900);
+        assert_eq!(b.emg_us(), 800);
     }
 }

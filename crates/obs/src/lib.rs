@@ -46,8 +46,8 @@ mod span;
 
 pub use event::{Event, EventKind, FieldValue, SCHEMA_VERSION};
 pub use metrics::{
-    counter_add, observe, reset as reset_metrics, snapshot, Histogram, HistogramSummary,
-    MetricsSnapshot,
+    counter_add, gauge_set, observe, reset as reset_metrics, snapshot, Gauge, Histogram,
+    HistogramSummary, MetricsSnapshot,
 };
 pub use sink::{ChromeTraceSink, EventSink, JsonLinesSink, MemorySink, MultiSink, StderrSink};
 pub use span::SpanGuard;

@@ -117,9 +117,21 @@ pub struct HistogramSummary {
     pub p95: f64,
 }
 
+/// Last-set value plus the high-water mark, for level-style metrics
+/// (queue depth, in-flight requests) where both the instant value and the
+/// worst case matter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Gauge {
+    /// Most recently set value.
+    pub value: i64,
+    /// Largest value ever set.
+    pub max: i64,
+}
+
 #[derive(Default)]
 struct Registry {
     counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, Gauge>,
     histograms: BTreeMap<&'static str, Histogram>,
 }
 
@@ -135,6 +147,15 @@ pub fn counter_add(name: &'static str, delta: u64) {
     with_registry(|r| *r.counters.entry(name).or_insert(0) += delta);
 }
 
+/// Sets the named gauge to `value`, updating its high-water mark.
+pub fn gauge_set(name: &'static str, value: i64) {
+    with_registry(|r| {
+        let g = r.gauges.entry(name).or_default();
+        g.value = value;
+        g.max = g.max.max(value);
+    });
+}
+
 /// Records one observation into the named histogram.
 pub fn observe(name: &'static str, value: f64) {
     with_registry(|r| r.histograms.entry(name).or_default().observe(value));
@@ -145,6 +166,8 @@ pub fn observe(name: &'static str, value: f64) {
 pub struct MetricsSnapshot {
     /// Counter name → value, sorted by name.
     pub counters: Vec<(&'static str, u64)>,
+    /// Gauge name → last value + high-water mark, sorted by name.
+    pub gauges: Vec<(&'static str, Gauge)>,
     /// Histogram name → summary, sorted by name.
     pub histograms: Vec<(&'static str, HistogramSummary)>,
 }
@@ -158,6 +181,14 @@ impl MetricsSnapshot {
             .map_or(0, |(_, v)| *v)
     }
 
+    /// Last value + high-water mark of a gauge, if it was ever set.
+    pub fn gauge(&self, name: &str) -> Option<Gauge> {
+        self.gauges
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, g)| *g)
+    }
+
     /// Summary of a histogram, if any observation was recorded.
     pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
         self.histograms
@@ -168,7 +199,7 @@ impl MetricsSnapshot {
 
     /// `true` when no metric has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.histograms.is_empty()
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
     }
 
     /// Renders the snapshot as an aligned plain-text block.
@@ -178,6 +209,12 @@ impl MetricsSnapshot {
             let _ = writeln!(out, "counters:");
             for (name, value) in &self.counters {
                 let _ = writeln!(out, "  {name:<32} {value:>12}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "gauges:{:>38} {:>12}", "value", "max");
+            for (name, g) in &self.gauges {
+                let _ = writeln!(out, "  {name:<32} {:>10} {:>12}", g.value, g.max);
             }
         }
         if !self.histograms.is_empty() {
@@ -202,6 +239,7 @@ impl MetricsSnapshot {
 pub fn snapshot() -> MetricsSnapshot {
     with_registry(|r| MetricsSnapshot {
         counters: r.counters.iter().map(|(n, v)| (*n, *v)).collect(),
+        gauges: r.gauges.iter().map(|(n, g)| (*n, *g)).collect(),
         histograms: r
             .histograms
             .iter()
@@ -214,6 +252,7 @@ pub fn snapshot() -> MetricsSnapshot {
 pub fn reset() {
     with_registry(|r| {
         r.counters.clear();
+        r.gauges.clear();
         r.histograms.clear();
     });
 }
@@ -234,6 +273,20 @@ mod tests {
         assert_eq!(snap.counter("test.counter_missing"), 0);
         reset();
         assert_eq!(snapshot().counter("test.counter_a"), 0);
+    }
+
+    #[test]
+    fn gauges_keep_last_value_and_high_water_mark() {
+        reset();
+        gauge_set("test.depth", 3);
+        gauge_set("test.depth", 9);
+        gauge_set("test.depth", 2);
+        let g = snapshot().gauge("test.depth").expect("gauge recorded");
+        assert_eq!(g.value, 2);
+        assert_eq!(g.max, 9);
+        assert!(snapshot().gauge("test.depth_missing").is_none());
+        reset();
+        assert!(snapshot().gauge("test.depth").is_none());
     }
 
     #[test]

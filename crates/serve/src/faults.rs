@@ -1,0 +1,227 @@
+//! Deterministic fault injection for the serving runtime.
+//!
+//! Three fault classes, all expressed as time windows over the run and all
+//! derived deterministically from a seed plus the device model:
+//!
+//! * **Jitter** — the device transiently slows down; every service time
+//!   inside the window is multiplied by a parts-per-million factor (the
+//!   device model's transient-slowdown figure: ramp penalty plus a burst
+//!   of clock jitter).
+//! * **Stall** — some workers wedge (driver hiccup, preempted core) and
+//!   accept no new work until the window closes.
+//! * **Drop** — the input link loses requests; each arrival inside the
+//!   window is dropped with a seeded per-request probability.
+//!
+//! The plan is pure data: the runtime queries it by virtual timestamp, so
+//! identical seeds produce identical fault behaviour at any `--jobs`.
+
+use crate::request::{splitmix64, PPM};
+use netcut_sim::DeviceModel;
+
+/// The class of an injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Service times inside the window are scaled by `magnitude` ppm.
+    Jitter,
+    /// `magnitude` workers (lowest indices) accept no work in the window.
+    Stall,
+    /// Arrivals inside the window are dropped with probability
+    /// `magnitude` ppm.
+    Drop,
+}
+
+/// One fault, active over `[start_us, end_us)`.
+#[derive(Debug, Clone)]
+pub struct FaultWindow {
+    /// Fault class.
+    pub kind: FaultKind,
+    /// Window start, microseconds.
+    pub start_us: u64,
+    /// Window end (exclusive), microseconds.
+    pub end_us: u64,
+    /// Class-specific magnitude — see [`FaultKind`].
+    pub magnitude: u64,
+}
+
+impl FaultWindow {
+    fn contains(&self, t_us: u64) -> bool {
+        (self.start_us..self.end_us).contains(&t_us)
+    }
+}
+
+/// A schedule of fault windows plus the seed for per-request drop
+/// decisions.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// The injected windows, in no particular order.
+    pub windows: Vec<FaultWindow>,
+    /// Seed hashed with each request id for drop decisions.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// A plan with no faults: the baseline run.
+    pub fn none() -> Self {
+        FaultPlan {
+            windows: Vec::new(),
+            seed: 0,
+        }
+    }
+
+    /// The standard demo schedule: one window of each class, placed at
+    /// seed-perturbed offsets inside `duration_us`, with magnitudes taken
+    /// from the device model. The three windows never overlap, so each
+    /// fault's effect (and the recovery after it) is separately visible.
+    pub fn seeded_demo(seed: u64, duration_us: u64, device: &DeviceModel) -> Self {
+        // Perturb each window start by up to 2% of the run so different
+        // seeds exercise different alignments with the arrival process.
+        let wiggle = |salt: u64| splitmix64(seed ^ salt) % (duration_us / 50).max(1);
+        let pct = |p: u64| duration_us / 100 * p;
+        let windows = vec![
+            FaultWindow {
+                kind: FaultKind::Jitter,
+                start_us: pct(10) + wiggle(1),
+                end_us: pct(22) + wiggle(1),
+                magnitude: device.transient_slowdown_ppm(),
+            },
+            FaultWindow {
+                kind: FaultKind::Stall,
+                start_us: pct(40) + wiggle(2),
+                end_us: pct(48) + wiggle(2),
+                magnitude: 1,
+            },
+            FaultWindow {
+                kind: FaultKind::Drop,
+                start_us: pct(65) + wiggle(3),
+                end_us: pct(75) + wiggle(3),
+                magnitude: 50_000, // 5% loss
+            },
+        ];
+        FaultPlan { windows, seed }
+    }
+
+    /// Combined service-time factor at `t_us`, parts per million.
+    /// `PPM` when no jitter window is active; factors of overlapping
+    /// windows multiply.
+    pub fn service_factor_ppm(&self, t_us: u64) -> u64 {
+        let mut factor: u128 = u128::from(PPM);
+        for w in &self.windows {
+            if w.kind == FaultKind::Jitter && w.contains(t_us) {
+                factor = factor * u128::from(w.magnitude) / u128::from(PPM);
+            }
+        }
+        factor as u64
+    }
+
+    /// Number of stalled workers at `t_us` and the instant they come
+    /// back, or `None` outside every stall window. Overlapping stalls
+    /// merge to the larger count and the later release.
+    pub fn stall_at(&self, t_us: u64) -> Option<(u64, u64)> {
+        let mut hit: Option<(u64, u64)> = None;
+        for w in &self.windows {
+            if w.kind == FaultKind::Stall && w.contains(t_us) {
+                let (count, until) = hit.unwrap_or((0, 0));
+                hit = Some((count.max(w.magnitude), until.max(w.end_us)));
+            }
+        }
+        hit
+    }
+
+    /// `true` if the arrival at `t_us` with id `id` is lost to an active
+    /// drop window. Seeded per request: the same `(seed, id)` always
+    /// makes the same call.
+    pub fn should_drop(&self, t_us: u64, id: u64) -> bool {
+        self.windows.iter().any(|w| {
+            w.kind == FaultKind::Drop
+                && w.contains(t_us)
+                && splitmix64(self.seed ^ id.wrapping_mul(0xd6e8_feb8_6659_fd93)) % PPM
+                    < w.magnitude
+        })
+    }
+
+    /// End of the last fault window, microseconds (0 for an empty plan).
+    /// After this instant the plan is guaranteed inert.
+    pub fn quiet_after_us(&self) -> u64 {
+        self.windows.iter().map(|w| w.end_us).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> DeviceModel {
+        DeviceModel::jetson_xavier()
+    }
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let p = FaultPlan::none();
+        assert_eq!(p.service_factor_ppm(123), PPM);
+        assert_eq!(p.stall_at(123), None);
+        assert!(!p.should_drop(123, 7));
+        assert_eq!(p.quiet_after_us(), 0);
+    }
+
+    #[test]
+    fn demo_plan_has_one_window_per_class() {
+        let p = FaultPlan::seeded_demo(11, 5_000_000, &device());
+        assert_eq!(p.windows.len(), 3);
+        for kind in [FaultKind::Jitter, FaultKind::Stall, FaultKind::Drop] {
+            assert_eq!(p.windows.iter().filter(|w| w.kind == kind).count(), 1);
+        }
+        // Windows are disjoint and inside the run.
+        let mut spans: Vec<(u64, u64)> = p.windows.iter().map(|w| (w.start_us, w.end_us)).collect();
+        spans.sort_unstable();
+        for pair in spans.windows(2) {
+            assert!(pair[0].1 <= pair[1].0, "windows overlap: {spans:?}");
+        }
+        assert!(p.quiet_after_us() <= 5_000_000);
+    }
+
+    #[test]
+    fn jitter_scales_service_inside_the_window_only() {
+        let p = FaultPlan::seeded_demo(11, 5_000_000, &device());
+        let w = p
+            .windows
+            .iter()
+            .find(|w| w.kind == FaultKind::Jitter)
+            .expect("demo plan has a jitter window");
+        let mid = (w.start_us + w.end_us) / 2;
+        assert_eq!(p.service_factor_ppm(mid), device().transient_slowdown_ppm());
+        assert!(p.service_factor_ppm(mid) > PPM);
+        assert_eq!(p.service_factor_ppm(w.end_us), PPM);
+    }
+
+    #[test]
+    fn stall_reports_count_and_release_time() {
+        let p = FaultPlan::seeded_demo(11, 5_000_000, &device());
+        let w = p
+            .windows
+            .iter()
+            .find(|w| w.kind == FaultKind::Stall)
+            .expect("demo plan has a stall window");
+        let mid = (w.start_us + w.end_us) / 2;
+        assert_eq!(p.stall_at(mid), Some((1, w.end_us)));
+        assert_eq!(p.stall_at(w.end_us), None);
+    }
+
+    #[test]
+    fn drops_are_seeded_and_bounded_to_the_window() {
+        let p = FaultPlan::seeded_demo(11, 5_000_000, &device());
+        let w = p
+            .windows
+            .iter()
+            .find(|w| w.kind == FaultKind::Drop)
+            .expect("demo plan has a drop window");
+        let mid = (w.start_us + w.end_us) / 2;
+        let dropped = (0..10_000).filter(|&id| p.should_drop(mid, id)).count();
+        // 5% nominal rate over 10k ids.
+        assert!((300..=700).contains(&dropped), "dropped {dropped}");
+        // Deterministic per id, inert outside the window.
+        for id in 0..100 {
+            assert_eq!(p.should_drop(mid, id), p.should_drop(mid, id));
+            assert!(!p.should_drop(w.end_us, id));
+        }
+    }
+}

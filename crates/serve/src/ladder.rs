@@ -1,0 +1,221 @@
+//! The TRN ladder: the Pareto set from exploration, ordered by predicted
+//! latency, that the scheduler degrades along under load.
+//!
+//! Rung 0 is the fastest (most-trimmed) network; the last rung is the most
+//! accurate. All latencies are integer microseconds so rung selection and
+//! the whole serving simulation stay in exact integer arithmetic —
+//! bit-identical summaries across worker counts and platforms.
+
+use netcut::pareto::pareto_frontier;
+use netcut::CandidatePoint;
+
+/// One network on the ladder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rung {
+    /// Network name (`family/cutN`).
+    pub name: String,
+    /// Blockwise cutpoint the rung was trimmed at.
+    pub cutpoint: usize,
+    /// Predicted service latency, microseconds.
+    pub latency_us: u64,
+    /// Fine-tuned accuracy (drives ladder ordering only, not scheduling).
+    pub accuracy: f64,
+}
+
+/// The degradation ladder: rungs strictly ascending in latency.
+#[derive(Debug, Clone)]
+pub struct TrnLadder {
+    rungs: Vec<Rung>,
+}
+
+impl TrnLadder {
+    /// Builds the ladder from evaluated candidates: Pareto-filter, then
+    /// order ascending by measured latency. Rungs with identical integer
+    /// microsecond latency collapse to the more accurate one.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty — a server needs at least one network.
+    pub fn from_points(points: &[CandidatePoint]) -> Self {
+        assert!(
+            !points.is_empty(),
+            "cannot build a ladder from zero candidates"
+        );
+        let mut rungs: Vec<Rung> = pareto_frontier(points)
+            .into_iter()
+            .map(|i| {
+                let p = &points[i];
+                Rung {
+                    name: p.name.clone(),
+                    cutpoint: p.cutpoint,
+                    latency_us: (p.latency_ms * 1000.0).round().max(1.0) as u64,
+                    accuracy: p.accuracy,
+                }
+            })
+            .collect();
+        // pareto_frontier returns ascending latency / ascending accuracy;
+        // integer rounding can still produce duplicate latencies. Keep the
+        // later (more accurate) rung of any equal-latency pair.
+        rungs.dedup_by(|later, earlier| {
+            if later.latency_us == earlier.latency_us {
+                *earlier = later.clone();
+                true
+            } else {
+                false
+            }
+        });
+        TrnLadder { rungs }
+    }
+
+    /// Builds a ladder directly from rungs (tests, synthetic scenarios).
+    /// Rungs are sorted ascending by latency and must be non-empty with
+    /// unique latencies.
+    ///
+    /// # Panics
+    /// Panics on an empty rung list or duplicate latencies.
+    pub fn from_rungs(mut rungs: Vec<Rung>) -> Self {
+        assert!(!rungs.is_empty(), "cannot build an empty ladder");
+        rungs.sort_by_key(|r| r.latency_us);
+        for pair in rungs.windows(2) {
+            assert!(
+                pair[0].latency_us < pair[1].latency_us,
+                "duplicate ladder latency {} µs",
+                pair[0].latency_us
+            );
+        }
+        TrnLadder { rungs }
+    }
+
+    /// Number of rungs.
+    pub fn len(&self) -> usize {
+        self.rungs.len()
+    }
+
+    /// `false` always — constructors reject empty ladders.
+    pub fn is_empty(&self) -> bool {
+        self.rungs.is_empty()
+    }
+
+    /// Index of the most accurate rung (the one served when unloaded).
+    pub fn top(&self) -> usize {
+        self.rungs.len() - 1
+    }
+
+    /// The rung at `index`.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    pub fn rung(&self, index: usize) -> &Rung {
+        &self.rungs[index]
+    }
+
+    /// All rungs, fastest first.
+    pub fn rungs(&self) -> &[Rung] {
+        &self.rungs
+    }
+
+    /// Ladder-degradation policy: the largest (most accurate) rung whose
+    /// predicted latency still meets the deadline after `queue_delay_us` of
+    /// waiting; rung 0 as a best-effort fallback when nothing fits.
+    ///
+    /// Memoryless in the load signal, which makes two properties exact:
+    /// the selected index is monotone non-increasing in `queue_delay_us`,
+    /// and recovery to [`Self::top`] is immediate once queue delay drops
+    /// back below `deadline_us - latency(top)`.
+    pub fn select(&self, queue_delay_us: u64, deadline_us: u64) -> usize {
+        let slack = deadline_us.saturating_sub(queue_delay_us);
+        self.rungs
+            .iter()
+            .rposition(|r| r.latency_us <= slack)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(name: &str, cut: usize, lat_ms: f64, acc: f64) -> CandidatePoint {
+        CandidatePoint {
+            name: name.to_string(),
+            family: "fam".to_string(),
+            cutpoint: cut,
+            kept_layers: 10 - cut,
+            layers_removed: cut,
+            latency_ms: lat_ms,
+            estimated_ms: None,
+            accuracy: acc,
+            train_hours: 1.0,
+        }
+    }
+
+    fn ladder() -> TrnLadder {
+        TrnLadder::from_points(&[
+            point("fam/cut3", 3, 0.100, 0.60),
+            point("fam/cut2", 2, 0.300, 0.70),
+            point("fam/cut1", 1, 0.600, 0.80),
+            point("fam/cut0", 0, 0.750, 0.85),
+        ])
+    }
+
+    #[test]
+    fn ladder_orders_fastest_first() {
+        let l = ladder();
+        assert_eq!(l.len(), 4);
+        assert_eq!(l.rung(0).latency_us, 100);
+        assert_eq!(l.rung(l.top()).latency_us, 750);
+        assert_eq!(l.rung(l.top()).name, "fam/cut0");
+    }
+
+    #[test]
+    fn dominated_points_fall_off_the_ladder() {
+        let l = TrnLadder::from_points(&[
+            point("fam/cut2", 2, 0.300, 0.70),
+            point("fam/slow_and_bad", 1, 0.500, 0.65), // dominated
+            point("fam/cut0", 0, 0.750, 0.85),
+        ]);
+        assert_eq!(l.len(), 2);
+        assert!(l.rungs().iter().all(|r| r.name != "fam/slow_and_bad"));
+    }
+
+    #[test]
+    fn select_picks_most_accurate_feasible_rung() {
+        let l = ladder();
+        // No queueing: the top rung fits inside 900 µs.
+        assert_eq!(l.select(0, 900), 3);
+        // 200 µs of queueing: 750 no longer fits, 600 does.
+        assert_eq!(l.select(200, 900), 2);
+        // 700 µs: only the 100 µs rung fits.
+        assert_eq!(l.select(700, 900), 0);
+        // Hopeless: best-effort fallback to rung 0.
+        assert_eq!(l.select(10_000, 900), 0);
+    }
+
+    #[test]
+    fn select_is_monotone_in_queue_delay() {
+        let l = ladder();
+        let mut last = l.top();
+        for qd in 0..2000 {
+            let r = l.select(qd, 900);
+            assert!(r <= last, "rung rose from {last} to {r} at delay {qd}");
+            last = r;
+        }
+    }
+
+    #[test]
+    fn equal_integer_latencies_collapse() {
+        let l = TrnLadder::from_points(&[
+            point("fam/cut2", 2, 0.1000, 0.70),
+            point("fam/cut1", 1, 0.1001, 0.71), // same µs after rounding
+            point("fam/cut0", 0, 0.750, 0.85),
+        ]);
+        assert_eq!(l.len(), 2);
+        assert!((l.rung(0).accuracy - 0.71).abs() < 1e-12);
+        assert_eq!(l.rung(0).name, "fam/cut1");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero candidates")]
+    fn empty_ladder_is_rejected() {
+        let _ = TrnLadder::from_points(&[]);
+    }
+}

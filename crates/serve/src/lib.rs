@@ -1,0 +1,61 @@
+//! `netcut-serve` — a deadline-aware serving runtime over the TRN ladder.
+//!
+//! NetCut's premise is that a family of trimmed networks (TRNs) trades
+//! accuracy for latency along its Pareto frontier. This crate puts that
+//! frontier to work at serving time: a bounded worker pool schedules
+//! simulated EMG and visual-frame inference requests against the control
+//! loop's per-request deadline (§III-A: 0.9 ms for the visual
+//! classifier), and when queueing pressure would bust the deadline it
+//! *degrades* — serves a faster, more-trimmed rung of the ladder — then
+//! recovers to the most accurate rung as soon as load drops.
+//!
+//! The moving parts:
+//!
+//! * [`TrnLadder`] — the Pareto set from `netcut::explore`, ordered by
+//!   predicted latency in integer microseconds, with the memoryless
+//!   slack-based rung-selection policy.
+//! * [`Workload`] — seeded Poisson arrivals of [`Request`]s (EMG +
+//!   visual mix) with pure-function service-time noise.
+//! * [`FaultPlan`] — deterministic fault injection: device jitter
+//!   windows, worker stalls, and dropped requests.
+//! * [`Server`] — the discrete-event simulation itself: earliest-free
+//!   worker dispatch, admission control (reject when queueing alone
+//!   reaches the deadline), ladder selection, miss accounting.
+//! * [`ServeSummary`] — the integer-only aggregate (miss rate in ppm,
+//!   rung histogram, latency percentiles) with a stable JSON rendering.
+//! * [`Scenario`] — the wiring: explore → ladder → workload → serve,
+//!   with `jobs`-parallel stages confined to order-deterministic work so
+//!   summaries are bit-identical at any parallelism.
+//!
+//! Everything the simulation computes is integer microseconds or parts
+//! per million: determinism is architectural, not incidental.
+//!
+//! # Example
+//!
+//! ```
+//! use netcut_serve::{run_scenario, ScenarioConfig};
+//!
+//! let summary = run_scenario(ScenarioConfig {
+//!     duration_us: 100_000, // 0.1 s keeps the doctest quick
+//!     ..ScenarioConfig::default()
+//! });
+//! assert_eq!(summary.total, summary.served + summary.missed
+//!     + summary.rejected + summary.dropped);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod faults;
+pub mod ladder;
+pub mod request;
+pub mod runtime;
+pub mod scenario;
+pub mod summary;
+
+pub use faults::{FaultKind, FaultPlan, FaultWindow};
+pub use ladder::{Rung, TrnLadder};
+pub use request::{service_noise_ppm, Request, RequestKind, Workload, PPM};
+pub use runtime::{RequestOutcome, Server, ServerConfig, Status};
+pub use scenario::{build_ladder, run_scenario, Scenario, ScenarioConfig};
+pub use summary::ServeSummary;

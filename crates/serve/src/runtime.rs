@@ -1,0 +1,456 @@
+//! The deadline-aware serving runtime: a discrete-event simulation of a
+//! bounded worker pool scheduling EMG + visual requests against a
+//! per-request deadline, degrading along the TRN ladder under load.
+//!
+//! The simulation advances virtual time request by request, entirely in
+//! integer microseconds — no floats, no wall-clock reads — so a run is a
+//! pure function of `(ladder, requests, config, fault plan)` and its
+//! summary is bit-identical across `--jobs` settings and host machines.
+//! Physical parallelism lives upstream (ladder construction and noise
+//! precomputation on `EvalContext`'s scoped-thread pool), never inside
+//! the event loop.
+//!
+//! Scheduling policy, per arrival:
+//!
+//! 1. **Drop fault** — if an active drop window loses the request, it is
+//!    counted and never queued.
+//! 2. **Dispatch** — the request goes to the worker that frees up
+//!    earliest (stalled workers count as busy until their window ends);
+//!    ties break toward the lowest index.
+//! 3. **Admission control** — if the queue delay alone already reaches
+//!    the deadline, the request is rejected immediately (backpressure:
+//!    the client hears "no" at arrival instead of a late answer).
+//! 4. **Ladder selection** — a visual request runs the most accurate
+//!    rung whose predicted latency still fits the remaining slack
+//!    ([`TrnLadder::select`]); EMG requests have a fixed cost. With
+//!    degradation off, visual requests always run the top rung.
+//! 5. **Outcome** — completion after the deadline is a miss; the result
+//!    still ships (the prosthesis fuses stale frames rather than none).
+
+use crate::faults::FaultPlan;
+use crate::ladder::TrnLadder;
+use crate::request::{Request, RequestKind, PPM};
+use netcut_obs as obs;
+
+/// Final disposition of one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Completed within the deadline.
+    Served,
+    /// Completed, but after the deadline.
+    Missed,
+    /// Refused at admission: queueing alone would bust the deadline.
+    Rejected,
+    /// Lost to an injected drop fault before reaching the queue.
+    Dropped,
+}
+
+/// Everything the runtime decided about one request.
+#[derive(Debug, Clone)]
+pub struct RequestOutcome {
+    /// Id of the request this outcome belongs to.
+    pub id: u64,
+    /// Request kind, copied from the input.
+    pub kind: RequestKind,
+    /// Arrival time, microseconds.
+    pub arrival_us: u64,
+    /// Time spent waiting for a worker (0 for rejected/dropped).
+    pub queue_delay_us: u64,
+    /// Ladder rung served (`None` for EMG, rejected, and dropped).
+    pub rung: Option<usize>,
+    /// Actual service time after noise and jitter faults (0 if never
+    /// started).
+    pub service_us: u64,
+    /// Arrival-to-completion latency (0 if never started).
+    pub latency_us: u64,
+    /// Disposition.
+    pub status: Status,
+}
+
+/// Serving runtime parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Per-request deadline, microseconds.
+    pub deadline_us: u64,
+    /// Worker pool size.
+    pub workers: usize,
+    /// `false` pins visual requests to the top rung (`--no-degrade`).
+    pub degrade: bool,
+    /// Fixed service time of an EMG request, microseconds.
+    pub emg_service_us: u64,
+}
+
+impl Default for ServerConfig {
+    /// Paper-calibrated defaults: the 900 µs visual budget and 0.8 ms EMG
+    /// cost from the §III-A control loop, two workers, degradation on.
+    fn default() -> Self {
+        let budget = netcut_hand::LoopBudget::paper();
+        ServerConfig {
+            deadline_us: budget.visual_budget_us(),
+            workers: 2,
+            degrade: true,
+            emg_service_us: budget.emg_us(),
+        }
+    }
+}
+
+/// The serving runtime: a TRN ladder, a configuration, and a fault plan.
+#[derive(Debug, Clone)]
+pub struct Server {
+    ladder: TrnLadder,
+    config: ServerConfig,
+    faults: FaultPlan,
+}
+
+impl Server {
+    /// Builds a server.
+    ///
+    /// # Panics
+    /// Panics if the configuration has zero workers or a zero deadline.
+    pub fn new(ladder: TrnLadder, config: ServerConfig, faults: FaultPlan) -> Self {
+        assert!(config.workers > 0, "server needs at least one worker");
+        assert!(config.deadline_us > 0, "deadline must be positive");
+        Server {
+            ladder,
+            config,
+            faults,
+        }
+    }
+
+    /// The ladder this server degrades along.
+    pub fn ladder(&self) -> &TrnLadder {
+        &self.ladder
+    }
+
+    /// The configuration the server was built with.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Runs the simulation over `requests` (must be sorted by arrival
+    /// time) and returns one outcome per request, in arrival order.
+    ///
+    /// # Panics
+    /// Panics if `requests` is not sorted by `arrival_us`.
+    pub fn run(&self, requests: &[Request]) -> Vec<RequestOutcome> {
+        assert!(
+            requests
+                .windows(2)
+                .all(|p| p[0].arrival_us <= p[1].arrival_us),
+            "requests must arrive in nondecreasing time order"
+        );
+        let mut run_span = obs::span("serve.run");
+        run_span.field("requests", requests.len());
+        run_span.field("workers", self.config.workers);
+        run_span.field("degrade", self.config.degrade);
+
+        let top = self.ladder.top();
+        let mut free_at = vec![0u64; self.config.workers];
+        let mut outcomes = Vec::with_capacity(requests.len());
+        for req in requests {
+            let now = req.arrival_us;
+
+            if self.faults.should_drop(now, req.id) {
+                obs::counter_add("serve.dropped", 1);
+                outcomes.push(RequestOutcome {
+                    id: req.id,
+                    kind: req.kind,
+                    arrival_us: now,
+                    queue_delay_us: 0,
+                    rung: None,
+                    service_us: 0,
+                    latency_us: 0,
+                    status: Status::Dropped,
+                });
+                continue;
+            }
+
+            // Earliest-free worker, stalled workers held until release.
+            let (stall_count, stall_until) = self.faults.stall_at(now).unwrap_or((0, 0));
+            let mut worker = 0usize;
+            let mut start = u64::MAX;
+            for (w, &f) in free_at.iter().enumerate() {
+                let mut avail = f.max(now);
+                if (w as u64) < stall_count {
+                    avail = avail.max(stall_until);
+                }
+                if avail < start {
+                    start = avail;
+                    worker = w;
+                }
+            }
+            let busy = free_at.iter().filter(|&&f| f > now).count();
+            if obs::enabled() {
+                obs::gauge_set("serve.queue_depth", busy as i64);
+            }
+            let queue_delay = start - now;
+
+            if queue_delay >= self.config.deadline_us {
+                obs::counter_add("serve.rejected", 1);
+                outcomes.push(RequestOutcome {
+                    id: req.id,
+                    kind: req.kind,
+                    arrival_us: now,
+                    queue_delay_us: queue_delay,
+                    rung: None,
+                    service_us: 0,
+                    latency_us: 0,
+                    status: Status::Rejected,
+                });
+                continue;
+            }
+
+            let (rung, base_us) = match req.kind {
+                RequestKind::Emg => (None, self.config.emg_service_us),
+                RequestKind::Visual => {
+                    let r = if self.config.degrade {
+                        self.ladder.select(queue_delay, self.config.deadline_us)
+                    } else {
+                        top
+                    };
+                    (Some(r), self.ladder.rung(r).latency_us)
+                }
+            };
+            let noisy = u128::from(base_us) * u128::from(req.noise_ppm) / u128::from(PPM);
+            let service = (noisy * u128::from(self.faults.service_factor_ppm(start))
+                / u128::from(PPM))
+            .max(1) as u64;
+            let finish = start + service;
+            free_at[worker] = finish;
+            let latency = finish - now;
+            let status = if latency > self.config.deadline_us {
+                Status::Missed
+            } else {
+                Status::Served
+            };
+
+            if obs::enabled() {
+                let mut span = obs::span("serve.request");
+                span.field("id", req.id);
+                span.field("queue_delay_us", queue_delay);
+                span.field("service_us", service);
+                span.field("latency_us", latency);
+                if let Some(r) = rung {
+                    span.field("rung", r);
+                }
+            }
+            match status {
+                Status::Served => obs::counter_add("serve.served", 1),
+                Status::Missed => obs::counter_add("serve.missed", 1),
+                Status::Rejected | Status::Dropped => unreachable!(),
+            }
+            if rung.is_some_and(|r| r < top) {
+                obs::counter_add("serve.degraded", 1);
+            }
+            obs::observe("serve.latency_us", latency as f64);
+            obs::observe("serve.queue_delay_us", queue_delay as f64);
+
+            outcomes.push(RequestOutcome {
+                id: req.id,
+                kind: req.kind,
+                arrival_us: now,
+                queue_delay_us: queue_delay,
+                rung,
+                service_us: service,
+                latency_us: latency,
+                status,
+            });
+        }
+        run_span.field("outcomes", outcomes.len());
+        outcomes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{FaultKind, FaultWindow};
+    use crate::ladder::Rung;
+    use crate::request::Workload;
+
+    fn test_ladder() -> TrnLadder {
+        TrnLadder::from_rungs(vec![
+            rung("cut3", 100, 0.60),
+            rung("cut2", 300, 0.70),
+            rung("cut1", 600, 0.80),
+            rung("cut0", 750, 0.85),
+        ])
+    }
+
+    fn rung(name: &str, latency_us: u64, accuracy: f64) -> Rung {
+        Rung {
+            name: name.to_string(),
+            cutpoint: 0,
+            latency_us,
+            accuracy,
+        }
+    }
+
+    fn visual(id: u64, arrival_us: u64) -> Request {
+        Request {
+            id,
+            arrival_us,
+            kind: RequestKind::Visual,
+            noise_ppm: PPM,
+        }
+    }
+
+    fn config() -> ServerConfig {
+        ServerConfig {
+            deadline_us: 900,
+            workers: 1,
+            degrade: true,
+            emg_service_us: 800,
+        }
+    }
+
+    #[test]
+    fn default_config_matches_the_paper_budget() {
+        let c = ServerConfig::default();
+        assert_eq!(c.deadline_us, 900);
+        assert_eq!(c.emg_service_us, 800);
+        assert!(c.degrade);
+    }
+
+    #[test]
+    fn unloaded_server_serves_the_top_rung() {
+        let server = Server::new(test_ladder(), config(), FaultPlan::none());
+        let reqs: Vec<Request> = (0..5).map(|i| visual(i, i * 10_000)).collect();
+        let out = server.run(&reqs);
+        for o in &out {
+            assert_eq!(o.status, Status::Served);
+            assert_eq!(o.rung, Some(3));
+            assert_eq!(o.queue_delay_us, 0);
+            assert_eq!(o.latency_us, 750);
+        }
+    }
+
+    #[test]
+    fn queue_pressure_walks_down_the_ladder() {
+        let server = Server::new(test_ladder(), config(), FaultPlan::none());
+        // Burst at t=0: each request sees the previous ones' backlog.
+        let reqs: Vec<Request> = (0..4).map(|i| visual(i, 0)).collect();
+        let out = server.run(&reqs);
+        assert_eq!(out[0].rung, Some(3)); // slack 900 → 750 fits
+        assert_eq!(out[1].rung, Some(0)); // slack 150 → only 100 fits
+        assert_eq!(out[1].status, Status::Served); // 750 + 100 = 850 ≤ 900
+        assert_eq!(out[2].queue_delay_us, 850);
+        assert_eq!(out[2].rung, Some(0)); // fallback, slack 50 < 100
+        assert_eq!(out[2].status, Status::Missed); // 850 + 100 = 950 > 900
+        assert_eq!(out[3].status, Status::Rejected); // delay 950 ≥ 900
+    }
+
+    #[test]
+    fn no_degrade_pins_the_top_rung_and_misses_more() {
+        let burst: Vec<Request> = (0..3).map(|i| visual(i, 0)).collect();
+        let degrade = Server::new(test_ladder(), config(), FaultPlan::none());
+        let pinned = Server::new(
+            test_ladder(),
+            ServerConfig {
+                degrade: false,
+                ..config()
+            },
+            FaultPlan::none(),
+        );
+        let miss =
+            |outs: &[RequestOutcome]| outs.iter().filter(|o| o.status != Status::Served).count();
+        let d = degrade.run(&burst);
+        let p = pinned.run(&burst);
+        assert!(p.iter().all(|o| o.rung.is_none() || o.rung == Some(3)));
+        assert!(miss(&p) > miss(&d), "pinned {p:?} vs degrading {d:?}");
+    }
+
+    #[test]
+    fn emg_requests_bypass_the_ladder() {
+        let server = Server::new(test_ladder(), config(), FaultPlan::none());
+        let out = server.run(&[Request {
+            id: 0,
+            arrival_us: 0,
+            kind: RequestKind::Emg,
+            noise_ppm: PPM,
+        }]);
+        assert_eq!(out[0].rung, None);
+        assert_eq!(out[0].service_us, 800);
+        assert_eq!(out[0].status, Status::Served);
+    }
+
+    #[test]
+    fn noise_scales_service_time() {
+        let server = Server::new(test_ladder(), config(), FaultPlan::none());
+        let mut req = visual(0, 0);
+        req.noise_ppm = PPM + 100_000; // +10%
+        let out = server.run(&[req]);
+        assert_eq!(out[0].service_us, 825); // 750 × 1.1
+    }
+
+    #[test]
+    fn stall_fault_delays_dispatch() {
+        let faults = FaultPlan {
+            windows: vec![FaultWindow {
+                kind: FaultKind::Stall,
+                start_us: 0,
+                end_us: 500,
+                magnitude: 1,
+            }],
+            seed: 0,
+        };
+        let server = Server::new(test_ladder(), config(), faults);
+        let out = server.run(&[visual(0, 100)]);
+        // Sole worker stalled until t=500: 400 µs queue delay, then the
+        // 300 µs rung is the best fit for the remaining 500 µs of slack.
+        assert_eq!(out[0].queue_delay_us, 400);
+        assert_eq!(out[0].rung, Some(1));
+        assert_eq!(out[0].status, Status::Served);
+    }
+
+    #[test]
+    fn drop_fault_loses_the_request() {
+        let faults = FaultPlan {
+            windows: vec![FaultWindow {
+                kind: FaultKind::Drop,
+                start_us: 0,
+                end_us: 1000,
+                magnitude: PPM, // always drop
+            }],
+            seed: 9,
+        };
+        let server = Server::new(test_ladder(), config(), faults);
+        let out = server.run(&[visual(0, 10)]);
+        assert_eq!(out[0].status, Status::Dropped);
+        assert_eq!(out[0].latency_us, 0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let reqs = Workload {
+            rps: 2000,
+            duration_us: 200_000,
+            emg_share_ppm: 100_000,
+            seed: 7,
+        }
+        .generate();
+        let server = Server::new(
+            test_ladder(),
+            ServerConfig {
+                workers: 2,
+                ..config()
+            },
+            FaultPlan::seeded_demo(7, 200_000, &netcut_sim::DeviceModel::jetson_xavier()),
+        );
+        let a = server.run(&reqs);
+        let b = server.run(&reqs);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.status, y.status);
+            assert_eq!(x.latency_us, y.latency_us);
+            assert_eq!(x.rung, y.rung);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nondecreasing")]
+    fn unsorted_arrivals_are_rejected() {
+        let server = Server::new(test_ladder(), config(), FaultPlan::none());
+        let _ = server.run(&[visual(0, 100), visual(1, 50)]);
+    }
+}

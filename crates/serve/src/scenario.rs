@@ -1,0 +1,242 @@
+//! The end-to-end serve scenario: everything between a CLI invocation and
+//! a [`ServeSummary`].
+//!
+//! A scenario wires the whole pipeline together: it explores a network
+//! family on the simulated device (through [`netcut::eval::EvalContext`],
+//! so `--jobs` parallelizes candidate evaluation), builds the TRN ladder
+//! from the Pareto frontier, generates the seeded workload, attaches
+//! per-request noise on the same worker pool, and runs the serving
+//! simulation. The `jobs` knob only ever touches physically-parallel
+//! stages whose outputs are order-deterministic, so the final summary is
+//! bit-identical at any `jobs` value — the property the determinism
+//! acceptance check and the golden trace rely on.
+
+use crate::faults::FaultPlan;
+use crate::ladder::TrnLadder;
+use crate::request::{service_noise_ppm, Workload};
+use crate::runtime::{RequestOutcome, Server, ServerConfig};
+use crate::summary::ServeSummary;
+use netcut::eval::EvalContext;
+use netcut::explore::exhaustive_blockwise_with;
+use netcut_graph::{zoo, HeadSpec};
+use netcut_obs as obs;
+use netcut_sim::{DeviceModel, Precision, Session};
+use netcut_train::SurrogateRetrainer;
+
+/// Parameters of a full serve run.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Per-request deadline, microseconds.
+    pub deadline_us: u64,
+    /// Mean arrival rate, requests per second.
+    pub rps: u64,
+    /// Run duration, microseconds.
+    pub duration_us: u64,
+    /// Seed for exploration, arrivals, noise, and faults.
+    pub seed: u64,
+    /// Worker threads for ladder construction and noise precompute.
+    pub jobs: usize,
+    /// Simulated serving workers.
+    pub workers: usize,
+    /// `false` reproduces the `--no-degrade` baseline.
+    pub degrade: bool,
+    /// Fraction of EMG requests, parts per million.
+    pub emg_share_ppm: u64,
+    /// Inject the seeded demo fault schedule.
+    pub faults: bool,
+}
+
+impl Default for ScenarioConfig {
+    /// The acceptance-check scenario: 900 µs deadline, 2000 rps, 5 s,
+    /// seed 11, two workers, 10% EMG, degradation on, faults on.
+    fn default() -> Self {
+        ScenarioConfig {
+            deadline_us: 900,
+            rps: 2000,
+            duration_us: 5_000_000,
+            seed: 11,
+            jobs: 1,
+            workers: 2,
+            degrade: true,
+            emg_share_ppm: 100_000,
+            faults: true,
+        }
+    }
+}
+
+/// A fully-built scenario, ready to run (and re-run: the simulation is a
+/// pure function, so [`Scenario::run`] always returns the same outcomes).
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The ladder the server degrades along.
+    pub ladder: TrnLadder,
+    /// The generated request stream, noise attached.
+    pub requests: Vec<crate::request::Request>,
+    /// The fault schedule.
+    pub faults: FaultPlan,
+    /// The runtime configuration.
+    pub server_config: ServerConfig,
+    config: ScenarioConfig,
+}
+
+/// The network family the serve scenario explores: MobileNetV2 ×1.0 gives
+/// a 17-rung ladder spanning roughly 75–760 µs on the Xavier Int8 model —
+/// rich degradation headroom around the 900 µs paper deadline.
+pub fn scenario_networks() -> Vec<netcut_graph::Network> {
+    vec![zoo::mobilenet_v2(1.0)]
+}
+
+/// Builds the ladder for `cfg` by exploring [`scenario_networks`] on the
+/// Jetson Xavier Int8 device model and Pareto-filtering the candidates.
+pub fn build_ladder(cfg: &ScenarioConfig) -> TrnLadder {
+    let session = Session::new(DeviceModel::jetson_xavier(), Precision::Int8);
+    let retrainer = SurrogateRetrainer::paper();
+    let ctx = EvalContext::new(&session, &retrainer).with_jobs(cfg.jobs);
+    let exploration =
+        exhaustive_blockwise_with(&ctx, &scenario_networks(), &HeadSpec::default(), cfg.seed);
+    TrnLadder::from_points(&exploration.points)
+}
+
+impl Scenario {
+    /// Builds the scenario: ladder, workload, noise, faults.
+    pub fn build(cfg: ScenarioConfig) -> Self {
+        let mut span = obs::span("serve.scenario.build");
+        span.field("seed", cfg.seed);
+        span.field("jobs", cfg.jobs);
+        let ladder = build_ladder(&cfg);
+        span.field("rungs", ladder.len());
+
+        let mut requests = Workload {
+            rps: cfg.rps,
+            duration_us: cfg.duration_us,
+            emg_share_ppm: cfg.emg_share_ppm,
+            seed: cfg.seed,
+        }
+        .generate();
+        // Noise is a pure function of (seed, id): attach it on the shared
+        // worker pool — par_map preserves input order, so the result is
+        // identical at any `jobs`.
+        let device = DeviceModel::jetson_xavier();
+        let jitter_ppm = device.jitter_ppm();
+        let seed = cfg.seed;
+        {
+            let session = Session::new(device.clone(), Precision::Int8);
+            let retrainer = SurrogateRetrainer::paper();
+            let ctx = EvalContext::new(&session, &retrainer).with_jobs(cfg.jobs);
+            let noise = ctx.par_map(requests.iter().map(|r| r.id).collect(), |_, id| {
+                service_noise_ppm(seed, id, jitter_ppm)
+            });
+            for (r, n) in requests.iter_mut().zip(noise) {
+                r.noise_ppm = n;
+            }
+        }
+
+        let faults = if cfg.faults {
+            FaultPlan::seeded_demo(cfg.seed, cfg.duration_us, &device)
+        } else {
+            FaultPlan::none()
+        };
+        let server_config = ServerConfig {
+            deadline_us: cfg.deadline_us,
+            workers: cfg.workers,
+            degrade: cfg.degrade,
+            ..ServerConfig::default()
+        };
+        span.field("requests", requests.len());
+        Scenario {
+            ladder,
+            requests,
+            faults,
+            server_config,
+            config: cfg,
+        }
+    }
+
+    /// The configuration this scenario was built from.
+    pub fn config(&self) -> &ScenarioConfig {
+        &self.config
+    }
+
+    /// Runs the serving simulation and returns per-request outcomes.
+    pub fn run(&self) -> Vec<RequestOutcome> {
+        let server = Server::new(
+            self.ladder.clone(),
+            self.server_config.clone(),
+            self.faults.clone(),
+        );
+        server.run(&self.requests)
+    }
+
+    /// Runs the simulation and aggregates the summary.
+    pub fn run_summary(&self) -> ServeSummary {
+        ServeSummary::from_outcomes(
+            &self.run(),
+            &self.ladder,
+            self.server_config.deadline_us,
+            self.server_config.workers,
+            self.server_config.degrade,
+        )
+    }
+}
+
+/// Builds and runs a scenario in one call — what the CLI and bench do.
+pub fn run_scenario(cfg: ScenarioConfig) -> ServeSummary {
+    Scenario::build(cfg).run_summary()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::PPM;
+
+    fn quick() -> ScenarioConfig {
+        ScenarioConfig {
+            duration_us: 300_000,
+            ..ScenarioConfig::default()
+        }
+    }
+
+    #[test]
+    fn ladder_spans_the_deadline() {
+        let ladder = build_ladder(&quick());
+        assert!(ladder.len() >= 8, "only {} rungs", ladder.len());
+        assert!(ladder.rung(0).latency_us < 900);
+        assert!(ladder.rung(ladder.top()).latency_us > 300);
+    }
+
+    #[test]
+    fn noise_is_attached_to_every_request() {
+        let s = Scenario::build(quick());
+        assert!(!s.requests.is_empty());
+        // Noise is uniform around PPM; at least some requests deviate.
+        assert!(s.requests.iter().any(|r| r.noise_ppm != PPM));
+        let jitter = DeviceModel::jetson_xavier().jitter_ppm();
+        for r in &s.requests {
+            assert!((PPM - jitter..=PPM + jitter).contains(&r.noise_ppm));
+        }
+    }
+
+    #[test]
+    fn scenario_summary_is_identical_across_jobs() {
+        let a = run_scenario(ScenarioConfig { jobs: 1, ..quick() });
+        let b = run_scenario(ScenarioConfig { jobs: 4, ..quick() });
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn degradation_beats_the_pinned_baseline() {
+        let degrade = run_scenario(quick());
+        let pinned = run_scenario(ScenarioConfig {
+            degrade: false,
+            ..quick()
+        });
+        assert!(
+            degrade.miss_rate_ppm < pinned.miss_rate_ppm,
+            "degrade {} vs pinned {}",
+            degrade.miss_rate_ppm,
+            pinned.miss_rate_ppm
+        );
+        assert!(degrade.degraded > 0);
+        assert_eq!(pinned.degraded, 0);
+    }
+}

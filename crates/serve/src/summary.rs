@@ -1,0 +1,291 @@
+//! Run summaries: the integer-only aggregate a serve run reports.
+//!
+//! Every field is an integer (counts, microseconds, parts per million), so
+//! the JSON rendering of a summary is byte-identical whenever the outcomes
+//! are — which makes summaries directly comparable across `--jobs`
+//! settings, machines, and the committed golden trace.
+
+use crate::ladder::TrnLadder;
+use crate::request::PPM;
+use crate::runtime::{RequestOutcome, Status};
+use std::fmt::Write as _;
+
+/// Aggregate statistics of one serve run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Per-request deadline, microseconds.
+    pub deadline_us: u64,
+    /// Worker pool size.
+    pub workers: usize,
+    /// Whether ladder degradation was enabled.
+    pub degrade: bool,
+    /// Requests generated.
+    pub total: u64,
+    /// Completed within the deadline.
+    pub served: u64,
+    /// Completed after the deadline.
+    pub missed: u64,
+    /// Refused at admission.
+    pub rejected: u64,
+    /// Lost to injected drop faults.
+    pub dropped: u64,
+    /// Visual requests served below the top rung.
+    pub degraded: u64,
+    /// Missed + rejected + dropped, as parts per million of total — the
+    /// figure the CLI prints and the acceptance check compares.
+    pub miss_rate_ppm: u64,
+    /// Completions (served or missed) per ladder rung, fastest first.
+    /// EMG requests are not on the ladder and are excluded.
+    pub rung_histogram: Vec<u64>,
+    /// Median completion latency, microseconds (nearest-rank).
+    pub latency_p50_us: u64,
+    /// 95th-percentile completion latency, microseconds.
+    pub latency_p95_us: u64,
+    /// 99th-percentile completion latency, microseconds.
+    pub latency_p99_us: u64,
+    /// Worst completion latency, microseconds.
+    pub latency_max_us: u64,
+}
+
+impl ServeSummary {
+    /// Aggregates `outcomes` into a summary. `ladder_len` sizes the rung
+    /// histogram; `deadline_us`, `workers`, `degrade` echo the run
+    /// configuration.
+    pub fn from_outcomes(
+        outcomes: &[RequestOutcome],
+        ladder: &TrnLadder,
+        deadline_us: u64,
+        workers: usize,
+        degrade: bool,
+    ) -> Self {
+        let count = |s: Status| outcomes.iter().filter(|o| o.status == s).count() as u64;
+        let total = outcomes.len() as u64;
+        let served = count(Status::Served);
+        let missed = count(Status::Missed);
+        let rejected = count(Status::Rejected);
+        let dropped = count(Status::Dropped);
+        let top = ladder.top();
+        let degraded = outcomes
+            .iter()
+            .filter(|o| o.rung.is_some_and(|r| r < top))
+            .count() as u64;
+        let mut rung_histogram = vec![0u64; ladder.len()];
+        for o in outcomes {
+            if let Some(r) = o.rung {
+                rung_histogram[r] += 1;
+            }
+        }
+        let mut latencies: Vec<u64> = outcomes
+            .iter()
+            .filter(|o| matches!(o.status, Status::Served | Status::Missed))
+            .map(|o| o.latency_us)
+            .collect();
+        latencies.sort_unstable();
+        let pct = |p: u64| nearest_rank(&latencies, p);
+        ServeSummary {
+            deadline_us,
+            workers,
+            degrade,
+            total,
+            served,
+            missed,
+            rejected,
+            dropped,
+            degraded,
+            miss_rate_ppm: ((missed + rejected + dropped) * PPM)
+                .checked_div(total)
+                .unwrap_or(0),
+            rung_histogram,
+            latency_p50_us: pct(50),
+            latency_p95_us: pct(95),
+            latency_p99_us: pct(99),
+            latency_max_us: latencies.last().copied().unwrap_or(0),
+        }
+    }
+
+    /// Renders the summary as a JSON object. Hand-rolled (integers and a
+    /// flat array only) so the byte output is identical under any JSON
+    /// backend and stable for golden comparison.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(512);
+        s.push('{');
+        let mut field = |name: &str, value: String| {
+            if s.len() > 1 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{name}\":{value}");
+        };
+        field("deadline_us", self.deadline_us.to_string());
+        field("workers", self.workers.to_string());
+        field("degrade", self.degrade.to_string());
+        field("total", self.total.to_string());
+        field("served", self.served.to_string());
+        field("missed", self.missed.to_string());
+        field("rejected", self.rejected.to_string());
+        field("dropped", self.dropped.to_string());
+        field("degraded", self.degraded.to_string());
+        field("miss_rate_ppm", self.miss_rate_ppm.to_string());
+        let hist: Vec<String> = self.rung_histogram.iter().map(u64::to_string).collect();
+        field("rung_histogram", format!("[{}]", hist.join(",")));
+        field("latency_p50_us", self.latency_p50_us.to_string());
+        field("latency_p95_us", self.latency_p95_us.to_string());
+        field("latency_p99_us", self.latency_p99_us.to_string());
+        field("latency_max_us", self.latency_max_us.to_string());
+        s.push('}');
+        s
+    }
+
+    /// Human-readable multi-line report for the CLI.
+    pub fn render_text(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "serve: {} requests, deadline {} µs, {} workers, degradation {}",
+            self.total,
+            self.deadline_us,
+            self.workers,
+            if self.degrade { "on" } else { "off" }
+        );
+        let _ = writeln!(
+            s,
+            "  served {}  missed {}  rejected {}  dropped {}",
+            self.served, self.missed, self.rejected, self.dropped
+        );
+        let _ = writeln!(
+            s,
+            "  miss rate {:.4}%  degraded {} ({:.1}% of completions)",
+            self.miss_rate_ppm as f64 / 10_000.0,
+            self.degraded,
+            if self.served + self.missed == 0 {
+                0.0
+            } else {
+                100.0 * self.degraded as f64 / (self.served + self.missed) as f64
+            }
+        );
+        let _ = writeln!(
+            s,
+            "  latency p50/p95/p99/max: {}/{}/{}/{} µs",
+            self.latency_p50_us, self.latency_p95_us, self.latency_p99_us, self.latency_max_us
+        );
+        let _ = writeln!(
+            s,
+            "  rung histogram (fastest→most accurate): {:?}",
+            self.rung_histogram
+        );
+        s
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice (0 for empty).
+fn nearest_rank(sorted: &[u64], percentile: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (sorted.len() as u64 * percentile).div_ceil(100).max(1) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ladder::Rung;
+    use crate::request::RequestKind;
+
+    fn ladder() -> TrnLadder {
+        TrnLadder::from_rungs(vec![
+            Rung {
+                name: "a".into(),
+                cutpoint: 1,
+                latency_us: 100,
+                accuracy: 0.6,
+            },
+            Rung {
+                name: "b".into(),
+                cutpoint: 0,
+                latency_us: 700,
+                accuracy: 0.8,
+            },
+        ])
+    }
+
+    fn outcome(id: u64, rung: Option<usize>, latency_us: u64, status: Status) -> RequestOutcome {
+        RequestOutcome {
+            id,
+            kind: RequestKind::Visual,
+            arrival_us: id * 100,
+            queue_delay_us: 0,
+            rung,
+            service_us: latency_us,
+            latency_us,
+            status,
+        }
+    }
+
+    fn sample() -> Vec<RequestOutcome> {
+        vec![
+            outcome(0, Some(1), 700, Status::Served),
+            outcome(1, Some(0), 150, Status::Served),
+            outcome(2, Some(0), 950, Status::Missed),
+            outcome(3, None, 0, Status::Rejected),
+            outcome(4, None, 0, Status::Dropped),
+        ]
+    }
+
+    #[test]
+    fn counts_and_miss_rate() {
+        let s = ServeSummary::from_outcomes(&sample(), &ladder(), 900, 2, true);
+        assert_eq!(s.total, 5);
+        assert_eq!(s.served, 2);
+        assert_eq!(s.missed, 1);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.dropped, 1);
+        assert_eq!(s.degraded, 2);
+        assert_eq!(s.miss_rate_ppm, 3 * PPM / 5);
+        assert_eq!(s.rung_histogram, vec![2, 1]);
+    }
+
+    #[test]
+    fn percentiles_use_completion_latencies_only() {
+        let s = ServeSummary::from_outcomes(&sample(), &ladder(), 900, 2, true);
+        // Completions: [150, 700, 950].
+        assert_eq!(s.latency_p50_us, 700);
+        assert_eq!(s.latency_p95_us, 950);
+        assert_eq!(s.latency_max_us, 950);
+    }
+
+    #[test]
+    fn json_is_stable_and_parseable() {
+        let s = ServeSummary::from_outcomes(&sample(), &ladder(), 900, 2, true);
+        let json = s.to_json();
+        assert_eq!(json, s.to_json());
+        assert!(json.starts_with("{\"deadline_us\":900,"));
+        assert!(json.contains("\"rung_histogram\":[2,1]"));
+        assert!(json.contains("\"degrade\":true"));
+        assert!(json.ends_with('}'));
+    }
+
+    #[test]
+    fn empty_run_summarizes_to_zeros() {
+        let s = ServeSummary::from_outcomes(&[], &ladder(), 900, 1, false);
+        assert_eq!(s.total, 0);
+        assert_eq!(s.miss_rate_ppm, 0);
+        assert_eq!(s.latency_max_us, 0);
+    }
+
+    #[test]
+    fn text_report_mentions_the_headline_numbers() {
+        let s = ServeSummary::from_outcomes(&sample(), &ladder(), 900, 2, true);
+        let text = s.render_text();
+        assert!(text.contains("5 requests"));
+        assert!(text.contains("miss rate"));
+        assert!(text.contains("p50/p95/p99/max"));
+    }
+
+    #[test]
+    fn nearest_rank_handles_edges() {
+        assert_eq!(nearest_rank(&[], 50), 0);
+        assert_eq!(nearest_rank(&[7], 1), 7);
+        assert_eq!(nearest_rank(&[1, 2, 3, 4], 50), 2);
+        assert_eq!(nearest_rank(&[1, 2, 3, 4], 100), 4);
+    }
+}

@@ -1,0 +1,209 @@
+//! Property-based tests of the serving runtime — the three invariants the
+//! design document promises:
+//!
+//! 1. Deadline accounting is honest: no request ever completes after its
+//!    deadline without being counted a miss, and every counted outcome is
+//!    consistent with its recorded latency.
+//! 2. Ladder degradation is monotone: as queue delay grows, the selected
+//!    rung index never increases — both for the policy in isolation and
+//!    across all outcomes of a simulated run.
+//! 3. Determinism: a fixed `(seed, rps)` produces bit-identical summaries
+//!    at `--jobs 1` and `--jobs 8`.
+
+use netcut_serve::{
+    run_scenario, FaultPlan, Rung, Scenario, ScenarioConfig, Server, ServerConfig, Status,
+    TrnLadder, Workload, PPM,
+};
+use proptest::prelude::*;
+
+/// Random ladder: strictly-increasing integer latencies via positive
+/// increments, accuracy ascending with latency (as a Pareto set is).
+fn ladder_strategy() -> impl Strategy<Value = TrnLadder> {
+    prop::collection::vec(1u64..400, 1..12).prop_map(|increments| {
+        let mut latency = 40u64;
+        let rungs = increments
+            .iter()
+            .enumerate()
+            .map(|(i, inc)| {
+                latency += inc;
+                Rung {
+                    name: format!("net/cut{}", increments.len() - i),
+                    cutpoint: increments.len() - i,
+                    latency_us: latency,
+                    accuracy: 0.4 + 0.5 * i as f64 / increments.len() as f64,
+                }
+            })
+            .collect();
+        TrnLadder::from_rungs(rungs)
+    })
+}
+
+/// Random workload parameters kept small enough that each case simulates
+/// in well under a millisecond.
+fn workload_strategy() -> impl Strategy<Value = Workload> {
+    (
+        500u64..4000,
+        20_000u64..120_000,
+        0u64..300_000,
+        0u64..1 << 48,
+    )
+        .prop_map(|(rps, duration_us, emg_share_ppm, seed)| Workload {
+            rps,
+            duration_us,
+            emg_share_ppm,
+            seed,
+        })
+}
+
+fn server_config_strategy() -> impl Strategy<Value = ServerConfig> {
+    (300u64..1500, 1usize..4, any::<bool>()).prop_map(|(deadline_us, workers, degrade)| {
+        ServerConfig {
+            deadline_us,
+            workers,
+            degrade,
+            emg_service_us: 800,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Invariant 1: a request that finishes past the deadline is always a
+    /// miss, a served request always made the deadline, and requests that
+    /// never ran carry no latency. The four statuses partition the stream.
+    #[test]
+    fn deadline_misses_are_never_miscounted(
+        ladder in ladder_strategy(),
+        workload in workload_strategy(),
+        config in server_config_strategy(),
+        fault_seed in 0u64..1 << 32,
+    ) {
+        let requests = workload.generate();
+        let faults = FaultPlan::seeded_demo(
+            fault_seed,
+            workload.duration_us,
+            &netcut_sim::DeviceModel::jetson_xavier(),
+        );
+        let deadline = config.deadline_us;
+        let server = Server::new(ladder, config, faults);
+        let outcomes = server.run(&requests);
+        prop_assert_eq!(outcomes.len(), requests.len());
+        for o in &outcomes {
+            match o.status {
+                Status::Served => prop_assert!(
+                    o.latency_us <= deadline,
+                    "id {} served at {} µs past deadline {}", o.id, o.latency_us, deadline
+                ),
+                Status::Missed => prop_assert!(
+                    o.latency_us > deadline,
+                    "id {} counted missed at {} µs within deadline {}", o.id, o.latency_us, deadline
+                ),
+                Status::Rejected | Status::Dropped => {
+                    prop_assert_eq!(o.latency_us, 0);
+                    prop_assert_eq!(o.service_us, 0);
+                    prop_assert!(o.rung.is_none());
+                }
+            }
+        }
+    }
+
+    /// Invariant 2a: the selection policy itself is monotone — more queue
+    /// delay never selects a higher (slower) rung.
+    #[test]
+    fn rung_selection_is_monotone_in_queue_delay(
+        ladder in ladder_strategy(),
+        deadline_us in 100u64..2000,
+        step in 1u64..50,
+    ) {
+        let mut last = ladder.select(0, deadline_us);
+        let mut qd = 0;
+        while qd < deadline_us + 200 {
+            qd += step;
+            let rung = ladder.select(qd, deadline_us);
+            prop_assert!(
+                rung <= last,
+                "rung rose {last} -> {rung} as delay grew to {qd} µs"
+            );
+            last = rung;
+        }
+        prop_assert_eq!(ladder.select(deadline_us, deadline_us), 0);
+    }
+
+    /// Invariant 2b: across a whole simulated run, any visual request that
+    /// waited longer than another was served an equal-or-faster rung.
+    #[test]
+    fn served_rungs_are_monotone_across_a_run(
+        ladder in ladder_strategy(),
+        workload in workload_strategy(),
+        deadline_us in 300u64..1500,
+        workers in 1usize..4,
+    ) {
+        let requests = workload.generate();
+        let server = Server::new(
+            ladder,
+            ServerConfig { deadline_us, workers, degrade: true, emg_service_us: 800 },
+            FaultPlan::none(),
+        );
+        let mut by_delay: Vec<(u64, usize)> = server
+            .run(&requests)
+            .iter()
+            .filter_map(|o| o.rung.map(|r| (o.queue_delay_us, r)))
+            .collect();
+        by_delay.sort();
+        for pair in by_delay.windows(2) {
+            let ((qd_a, rung_a), (qd_b, rung_b)) = (pair[0], pair[1]);
+            prop_assert!(
+                rung_b <= rung_a || qd_b == qd_a,
+                "delay {qd_a} µs got rung {rung_a} but longer delay {qd_b} µs got rung {rung_b}"
+            );
+        }
+    }
+}
+
+proptest! {
+    // Each case explores the ladder twice (jobs 1 and jobs 8), so keep the
+    // case count low and the simulated duration short.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Invariant 3: summaries are bit-identical across `--jobs` settings
+    /// for any seed and rate.
+    #[test]
+    fn summaries_are_bit_identical_across_jobs(
+        seed in 0u64..1 << 32,
+        rps in 800u64..3200,
+        degrade in any::<bool>(),
+    ) {
+        let cfg = |jobs| ScenarioConfig {
+            rps,
+            duration_us: 150_000,
+            seed,
+            jobs,
+            degrade,
+            ..ScenarioConfig::default()
+        };
+        let sequential = run_scenario(cfg(1));
+        let parallel = run_scenario(cfg(8));
+        prop_assert_eq!(sequential.to_json(), parallel.to_json());
+    }
+}
+
+/// Noise attachment happens on the `jobs`-parallel pool; the resulting
+/// request streams must nonetheless be identical (deterministic property,
+/// no randomness beyond the scenario seed — a plain test).
+#[test]
+fn scenario_requests_identical_across_jobs() {
+    let cfg = |jobs| ScenarioConfig {
+        duration_us: 150_000,
+        jobs,
+        ..ScenarioConfig::default()
+    };
+    let a = Scenario::build(cfg(1));
+    let b = Scenario::build(cfg(8));
+    assert_eq!(a.requests.len(), b.requests.len());
+    for (x, y) in a.requests.iter().zip(&b.requests) {
+        assert_eq!(x.arrival_us, y.arrival_us);
+        assert_eq!(x.noise_ppm, y.noise_ppm);
+    }
+    assert!(a.requests.iter().any(|r| r.noise_ppm != PPM));
+}

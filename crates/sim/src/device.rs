@@ -182,11 +182,46 @@ impl DeviceModel {
         1.0 + self.ramp_penalty * self.ramp_halfpoint_ms
             / (self.ramp_halfpoint_ms + steady_ms.max(0.0))
     }
+
+    /// Service-time multiplier (parts-per-million) a serving runtime should
+    /// assume while the device is transiently degraded — thermal throttling
+    /// or a DVFS down-clock. Derived from the device's clock-ramp penalty
+    /// and run-to-run jitter so slower, noisier devices degrade harder.
+    /// Integer ppm so deadline-aware schedulers can stay in exact integer
+    /// arithmetic.
+    pub fn transient_slowdown_ppm(&self) -> u64 {
+        let factor = 1.0 + self.ramp_penalty + 8.0 * self.jitter_rel;
+        (factor * 1_000_000.0).round() as u64
+    }
+
+    /// Per-request service jitter half-range in parts-per-million: requests
+    /// land uniformly in `[1 - jitter_rel, 1 + jitter_rel]` × nominal.
+    pub fn jitter_ppm(&self) -> u64 {
+        (self.jitter_rel * 1_000_000.0).round() as u64
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn transient_slowdown_exceeds_steady_state() {
+        for d in [
+            DeviceModel::jetson_xavier(),
+            DeviceModel::jetson_nano(),
+            DeviceModel::tesla_k20m(),
+        ] {
+            assert!(
+                d.transient_slowdown_ppm() > 1_000_000,
+                "{} must slow down during a transient, got {} ppm",
+                d.name,
+                d.transient_slowdown_ppm()
+            );
+            assert!(d.jitter_ppm() > 0);
+            assert!(d.jitter_ppm() < 1_000_000, "jitter below 100%");
+        }
+    }
 
     #[test]
     fn precision_scales() {

@@ -107,8 +107,8 @@ proptest! {
         let x = uniform(&[1, 2, 6, 6], 3.0, seed);
         let mut pool = MaxPool2::new();
         let out = pool.forward(&x, false);
-        let in_max = x.data().iter().cloned().fold(f32::MIN, f32::max);
-        let out_max = out.data().iter().cloned().fold(f32::MIN, f32::max);
+        let in_max = x.data().iter().copied().fold(f32::MIN, f32::max);
+        let out_max = out.data().iter().copied().fold(f32::MIN, f32::max);
         prop_assert_eq!(in_max, out_max);
         for v in out.data() {
             prop_assert!(*v <= in_max);

@@ -1,0 +1,67 @@
+//! Offline stand-in for `criterion`: compiles benches, runs each closure a
+//! handful of times without statistics.
+
+pub struct Criterion;
+
+pub struct Bencher;
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..3 {
+            std::hint::black_box(f());
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn bench_function<N: std::fmt::Display, F: FnMut(&mut Bencher)>(&mut self, name: N, mut f: F) -> &mut Self {
+        eprintln!("bench {name}");
+        f(&mut Bencher);
+        self
+    }
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+    pub fn finish(&mut self) {}
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, _name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _c: self }
+    }
+    pub fn bench_function<N: std::fmt::Display, F: FnMut(&mut Bencher)>(&mut self, name: N, mut f: F) -> &mut Self {
+        eprintln!("bench {name}");
+        f(&mut Bencher);
+        self
+    }
+}
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident $($rest:tt)*) => {
+        fn $name() {}
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,137 @@
+//! Offline stand-in for `rand` 0.8 — functional xorshift-based RNG with the
+//! API subset this workspace uses. Values differ from real `rand`.
+
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    #[derive(Debug, Clone)]
+    pub struct SmallRng(u64);
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 to spread the seed.
+            let mut z = state.wrapping_add(0x9e3779b97f4a7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            SmallRng((z ^ (z >> 31)) | 1)
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            // xorshift64*
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+    }
+}
+
+pub trait StandardSample {
+    fn from_u64(v: u64) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn from_u64(v: u64) -> Self {
+        (v >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+impl StandardSample for f32 {
+    fn from_u64(v: u64) -> Self {
+        (v >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+impl StandardSample for u64 {
+    fn from_u64(v: u64) -> Self {
+        v
+    }
+}
+impl StandardSample for u32 {
+    fn from_u64(v: u64) -> Self {
+        (v >> 32) as u32
+    }
+}
+impl StandardSample for bool {
+    fn from_u64(v: u64) -> Self {
+        v & 1 == 1
+    }
+}
+
+/// A type with uniform sampling over a `lo..hi(+1)` interval. The single
+/// blanket `SampleRange` impl per range shape (mirroring real `rand`) is
+/// what lets type inference flow from the range literal to the result.
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_in<R: RngCore>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self;
+}
+
+macro_rules! float_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: RngCore>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self {
+                if inclusive {
+                    assert!(lo <= hi, "empty range");
+                } else {
+                    assert!(lo < hi, "empty range");
+                }
+                let u = <$t as StandardSample>::from_u64(rng.next_u64());
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+float_uniform!(f32, f64);
+
+macro_rules! int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: RngCore>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self {
+                let span = (hi as i128 - lo as i128) + i128::from(inclusive);
+                assert!(span > 0, "empty range");
+                let v = (rng.next_u64() as u128) % (span as u128);
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+int_uniform!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+        T::sample_in(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+        T::sample_in(*self.start(), *self.end(), true, rng)
+    }
+}
+
+pub trait Rng: RngCore + Sized {
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::from_u64(self.next_u64())
+    }
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + Sized> Rng for R {}

@@ -1,0 +1,1 @@
+/tmp/stubs/rand/target/debug/librand.rlib: /tmp/stubs/rand/src/lib.rs

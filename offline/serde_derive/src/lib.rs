@@ -1,0 +1,473 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` directly on
+//! top of `proc_macro` (no `syn`/`quote`, which are unreachable offline). It
+//! supports exactly the shapes this workspace uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (arity 1 serialized as the inner value — newtype — and
+//!   arity ≥ 2 as a sequence),
+//! * enums with unit, newtype, tuple, and struct variants, using serde's
+//!   externally tagged representation (`"Variant"`,
+//!   `{"Variant": inner}`, `{"Variant": [..]}`, `{"Variant": {..}}`).
+//!
+//! `#[serde(...)]` attributes and generic parameters are intentionally NOT
+//! supported — the workspace does not use them — and the parser fails loudly
+//! (compile error via panic) if it meets a shape it does not understand, so
+//! a silent divergence from real serde cannot slip in.
+//!
+//! The generated code lowers values to `serde::Content` and rebuilds them
+//! from it; see the sibling `serde` stand-in for the data model.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive stub generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive stub generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (including doc comments) and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // '#' + bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) / pub(super)
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                let kw = id.to_string();
+                if kw == "struct" || kw == "enum" {
+                    break;
+                }
+                panic!("serde_derive stub: unexpected token `{kw}` before item keyword");
+            }
+            other => panic!("serde_derive stub: unexpected input near {other:?}"),
+        }
+    }
+
+    let is_struct = matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "struct");
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected item name, got {other:?}"),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive stub: generic type `{name}` is not supported");
+        }
+    }
+
+    if is_struct {
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+            other => panic!("serde_derive stub: unexpected struct body {other:?}"),
+        };
+        Item {
+            name,
+            kind: ItemKind::Struct(fields),
+        }
+    } else {
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => panic!("serde_derive stub: unexpected enum body {other:?}"),
+        };
+        Item {
+            name,
+            kind: ItemKind::Enum(parse_variants(body)),
+        }
+    }
+}
+
+/// Parse `field: Type, ...` returning field names. Types are skipped by
+/// scanning to the next top-level comma (tracking `<...>` nesting).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Attributes / doc comments on the field.
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '#' {
+                i += 2;
+            } else {
+                break;
+            }
+        }
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break; // trailing comma or end of stream
+        };
+        fields.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive stub: expected `:` after field, got {other:?}"),
+        }
+        // Skip the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        i += 1; // consume the comma (or run past the end)
+    }
+    fields
+}
+
+/// Count top-level comma-separated fields of a tuple struct / tuple variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut saw_tokens_since_comma = false;
+    for tok in &tokens {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    count += 1;
+                    saw_tokens_since_comma = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_tokens_since_comma = true;
+    }
+    if !saw_tokens_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '#' {
+                i += 2;
+            } else {
+                break;
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Named(fields)) => {
+            let mut s = String::from(
+                "let mut fields: Vec<(String, serde::Content)> = Vec::new();\n",
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "fields.push((String::from(\"{f}\"), serde::Serialize::to_content(&self.{f})));\n"
+                ));
+            }
+            s.push_str("serde::Content::Map(fields)");
+            s
+        }
+        ItemKind::Struct(Fields::Tuple(1)) => {
+            "serde::Serialize::to_content(&self.0)".to_string()
+        }
+        ItemKind::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|idx| format!("serde::Serialize::to_content(&self.{idx})"))
+                .collect();
+            format!("serde::Content::Seq(vec![{}])", items.join(", "))
+        }
+        ItemKind::Struct(Fields::Unit) => "serde::Content::Null".to_string(),
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => serde::Content::Str(String::from(\"{vname}\")),\n"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(f0) => serde::Content::Map(vec![(String::from(\"{vname}\"), serde::Serialize::to_content(f0))]),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("serde::Serialize::to_content({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binds}) => serde::Content::Map(vec![(String::from(\"{vname}\"), serde::Content::Seq(vec![{items}]))]),\n",
+                            binds = binds.join(", "),
+                            items = items.join(", "),
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let mut pushes = String::new();
+                        for f in fields {
+                            pushes.push_str(&format!(
+                                "inner.push((String::from(\"{f}\"), serde::Serialize::to_content({f})));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => {{\n\
+                             let mut inner: Vec<(String, serde::Content)> = Vec::new();\n\
+                             {pushes}\
+                             serde::Content::Map(vec![(String::from(\"{vname}\"), serde::Content::Map(inner))])\n\
+                             }}\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> serde::Content {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Named(fields)) => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!("{f}: serde::de_field(m, \"{f}\")?,\n"));
+            }
+            format!(
+                "let m = match content {{\n\
+                 serde::Content::Map(m) => m,\n\
+                 other => return Err(serde::DeError::custom(format!(\"expected map for struct {name}, got {{other:?}}\"))),\n\
+                 }};\n\
+                 Ok({name} {{\n{inits}}})"
+            )
+        }
+        ItemKind::Struct(Fields::Tuple(1)) => {
+            format!("Ok({name}(serde::Deserialize::from_content(content)?))")
+        }
+        ItemKind::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|idx| format!("serde::Deserialize::from_content(&items[{idx}])?"))
+                .collect();
+            format!(
+                "let items = match content {{\n\
+                 serde::Content::Seq(items) if items.len() == {n} => items,\n\
+                 other => return Err(serde::DeError::custom(format!(\"expected sequence of {n} for struct {name}, got {{other:?}}\"))),\n\
+                 }};\n\
+                 Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        ItemKind::Struct(Fields::Unit) => format!("let _ = content;\nOk({name})"),
+        ItemKind::Enum(variants) => {
+            let unit: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .collect();
+            let tagged: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| !matches!(v.fields, Fields::Unit))
+                .collect();
+
+            let str_arm = if unit.is_empty() {
+                format!(
+                    "serde::Content::Str(other) => Err(serde::DeError::custom(format!(\"unexpected string `{{other}}` for enum {name}\"))),\n"
+                )
+            } else {
+                let mut arms = String::new();
+                for v in &unit {
+                    arms.push_str(&format!("\"{v}\" => Ok({name}::{v}),\n", v = v.name));
+                }
+                format!(
+                    "serde::Content::Str(s) => match s.as_str() {{\n\
+                     {arms}\
+                     other => Err(serde::DeError::custom(format!(\"unknown variant `{{other}}` for enum {name}\"))),\n\
+                     }},\n"
+                )
+            };
+
+            let map_arm = if tagged.is_empty() {
+                String::new()
+            } else {
+                let mut arms = String::new();
+                for v in &tagged {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Tuple(1) => arms.push_str(&format!(
+                            "\"{vname}\" => Ok({name}::{vname}(serde::Deserialize::from_content(value)?)),\n"
+                        )),
+                        Fields::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|idx| {
+                                    format!("serde::Deserialize::from_content(&items[{idx}])?")
+                                })
+                                .collect();
+                            arms.push_str(&format!(
+                                "\"{vname}\" => {{\n\
+                                 let items = match value {{\n\
+                                 serde::Content::Seq(items) if items.len() == {n} => items,\n\
+                                 other => return Err(serde::DeError::custom(format!(\"expected sequence of {n} for variant {vname}, got {{other:?}}\"))),\n\
+                                 }};\n\
+                                 Ok({name}::{vname}({items}))\n\
+                                 }}\n",
+                                items = items.join(", ")
+                            ));
+                        }
+                        Fields::Named(fields) => {
+                            let mut inits = String::new();
+                            for f in fields {
+                                inits.push_str(&format!(
+                                    "{f}: serde::de_field(vm, \"{f}\")?,\n"
+                                ));
+                            }
+                            arms.push_str(&format!(
+                                "\"{vname}\" => {{\n\
+                                 let vm = match value {{\n\
+                                 serde::Content::Map(vm) => vm,\n\
+                                 other => return Err(serde::DeError::custom(format!(\"expected map for variant {vname}, got {{other:?}}\"))),\n\
+                                 }};\n\
+                                 Ok({name}::{vname} {{\n{inits}}})\n\
+                                 }}\n"
+                            ));
+                        }
+                        Fields::Unit => unreachable!(),
+                    }
+                }
+                format!(
+                    "serde::Content::Map(m) if m.len() == 1 => {{\n\
+                     let (tag, value) = &m[0];\n\
+                     match tag.as_str() {{\n\
+                     {arms}\
+                     other => Err(serde::DeError::custom(format!(\"unknown variant `{{other}}` for enum {name}\"))),\n\
+                     }}\n\
+                     }},\n"
+                )
+            };
+
+            format!(
+                "match content {{\n\
+                 {str_arm}\
+                 {map_arm}\
+                 other => Err(serde::DeError::custom(format!(\"invalid content for enum {name}: {{other:?}}\"))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+         fn from_content(content: &serde::Content) -> Result<Self, serde::DeError> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}

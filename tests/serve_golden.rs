@@ -1,0 +1,88 @@
+//! Golden-trace regression test for the serving runtime.
+//!
+//! `tests/golden/serve_seed11.json` is the committed summary of a seeded
+//! ~1000-request serve run (deadline 900 µs, 2000 rps, 0.5 s, seed 11,
+//! 2 workers, faults on — the CLI defaults at `--duration 0.5`). The
+//! simulation is all-integer and fully deterministic, so this run must
+//! reproduce the golden summary field for field on every platform and at
+//! any `--jobs` setting.
+//!
+//! If a deliberate behaviour change alters the expected output,
+//! regenerate the golden file with:
+//!
+//! ```text
+//! cargo run -p netcut-cli -- serve --duration 0.5 --json \
+//!     > tests/golden/serve_seed11.json
+//! ```
+//!
+//! and explain the change in the commit message. Note: the committed
+//! values are calibrated against the vendored offline `rand` stand-in
+//! (see `offline/README.md`); building against the real registry `rand`
+//! changes the workload stream and requires regeneration.
+
+use netcut_serve::{run_scenario, ScenarioConfig};
+use serde_json::Value;
+
+const GOLDEN: &str = include_str!("golden/serve_seed11.json");
+
+/// The scenario the golden file was generated from: CLI defaults with
+/// `--duration 0.5`.
+fn golden_config() -> ScenarioConfig {
+    ScenarioConfig {
+        duration_us: 500_000,
+        ..ScenarioConfig::default()
+    }
+}
+
+#[test]
+fn serve_run_matches_the_golden_summary() {
+    let golden: Value = GOLDEN.parse().expect("golden file is valid JSON");
+    let actual: Value = run_scenario(golden_config())
+        .to_json()
+        .parse()
+        .expect("summary renders valid JSON");
+
+    let golden_map = golden.as_object().expect("golden summary is an object");
+    let actual_map = actual.as_object().expect("summary is an object");
+
+    // Field-by-field, so a regression names exactly what moved.
+    let mut mismatches = Vec::new();
+    for (key, expected) in golden_map {
+        match actual_map.get(key) {
+            Some(got) if got == expected => {}
+            Some(got) => mismatches.push(format!("{key}: golden {expected} != actual {got}")),
+            None => mismatches.push(format!("{key}: missing from actual summary")),
+        }
+    }
+    for key in actual_map.keys() {
+        if !golden_map.contains_key(key) {
+            mismatches.push(format!("{key}: not in golden file (regenerate it?)"));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "summary diverged from tests/golden/serve_seed11.json:\n  {}\n\
+         (see file header for the regeneration command)",
+        mismatches.join("\n  ")
+    );
+}
+
+#[test]
+fn golden_summary_sanity() {
+    // Guards against committing a degenerate golden file: the scenario is
+    // supposed to be a loaded, ~1000-request run that actually exercises
+    // degradation and the fault injector.
+    let golden: Value = GOLDEN.parse().expect("golden file is valid JSON");
+    let field = |k: &str| golden.get(k).and_then(Value::as_u64).expect(k);
+    assert!(
+        (900..1100).contains(&field("total")),
+        "total = {}",
+        field("total")
+    );
+    assert!(field("degraded") > 0);
+    assert!(field("served") > field("total") / 2);
+    assert_eq!(
+        field("total"),
+        field("served") + field("missed") + field("rejected") + field("dropped")
+    );
+}
