@@ -1,0 +1,121 @@
+//! bench_check — the CI bench-regression gate for the serving runtime.
+//!
+//! Re-runs the `bench_serve` reference matrix and compares it against the
+//! committed `results/BENCH_serve.json`. Exits non-zero on:
+//!
+//! * **Determinism drift** — the deterministic part of a fresh run (the
+//!   `configs` object: every integer-only summary at the same seed and
+//!   flags) differs from the committed file in any way. The simulation is
+//!   bit-exact by construction, so *any* difference is either a real
+//!   behavior change that must ship with regenerated results, or a
+//!   nondeterminism bug.
+//! * **Miss-rate regression** — the fresh `batch_shard` leg misses more
+//!   than [`serve_matrix::MISS_REGRESSION_PPM`] (1 percentage point)
+//!   beyond the committed leg. Redundant while the equality check is
+//!   exact, but it documents the tolerance and survives a looser future
+//!   equality policy.
+//! * **Acceptance violations** — the fresh matrix breaks the headline
+//!   invariants (degradation beats pinned; batching + sharding strictly
+//!   beats the baseline goodput at an equal-or-lower miss rate).
+//!
+//! The fresh document is always written to `target/BENCH_serve.json` so
+//! CI can upload it as an artifact — on failure it is exactly the file a
+//! developer should inspect (and, for an intentional change, commit).
+
+use netcut_bench::serve_matrix;
+use serve_matrix::SCENARIO;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Extracts an integer field from one leg of a parsed `BENCH_serve.json`.
+fn leg_u64(doc: &serde_json::Value, leg: &str, field: &str) -> Option<u64> {
+    doc.get("configs")?.get(leg)?.get(field)?.as_u64()
+}
+
+/// The deterministic part of a document: the `configs` object, reserialized
+/// canonically so formatting differences cannot mask or fake a drift.
+fn deterministic_part(doc: &serde_json::Value) -> Option<String> {
+    serde_json::to_string(doc.get("configs")?).ok()
+}
+
+fn main() -> ExitCode {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let committed_path = root.join("results/BENCH_serve.json");
+    let fresh_path = root.join("target/BENCH_serve.json");
+
+    let committed: serde_json::Value = match std::fs::read_to_string(&committed_path)
+        .map_err(|e| e.to_string())
+        .and_then(|text| serde_json::from_str(&text).map_err(|e| e.to_string()))
+    {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!(
+                "bench_check: cannot load committed {}: {e}",
+                committed_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("bench_check: re-running the reference matrix ({SCENARIO})...");
+    let legs = serve_matrix::run();
+    let fresh_text = serve_matrix::to_json(&legs, &netcut_bench::git_describe());
+    if let Some(dir) = fresh_path.parent() {
+        std::fs::create_dir_all(dir).expect("create target dir");
+    }
+    std::fs::write(&fresh_path, &fresh_text).expect("write fresh BENCH_serve.json");
+    println!("bench_check: fresh run written to {}", fresh_path.display());
+
+    let fresh: serde_json::Value =
+        serde_json::from_str(&fresh_text).expect("fresh document is valid JSON");
+    let mut failures: Vec<String> = Vec::new();
+
+    match (deterministic_part(&committed), deterministic_part(&fresh)) {
+        (Some(a), Some(b)) if a == b => {
+            println!("bench_check: determinism OK — summaries byte-match the committed file");
+        }
+        (Some(_), Some(_)) => failures.push(format!(
+            "determinism drift: the seeded summaries differ from {} — either a \
+             nondeterminism bug, or a behavior change that must ship with regenerated \
+             results (run `cargo run --release -p netcut-bench --bin bench_serve`)",
+            committed_path.display()
+        )),
+        _ => failures.push("committed BENCH_serve.json has no `configs` object".to_string()),
+    }
+
+    match (
+        leg_u64(&committed, "batch_shard", "miss_rate_ppm"),
+        leg_u64(&fresh, "batch_shard", "miss_rate_ppm"),
+    ) {
+        (Some(was), Some(now)) => {
+            if now > was + serve_matrix::MISS_REGRESSION_PPM {
+                failures.push(format!(
+                    "miss-rate regression: batch_shard {now} ppm vs committed {was} ppm \
+                     (tolerance {} ppm)",
+                    serve_matrix::MISS_REGRESSION_PPM
+                ));
+            } else {
+                println!(
+                    "bench_check: miss rate OK — batch_shard {now} ppm vs committed {was} ppm"
+                );
+            }
+        }
+        _ => failures.push("missing batch_shard.miss_rate_ppm in one of the documents".to_string()),
+    }
+
+    let violations = serve_matrix::acceptance_violations(&legs);
+    if violations.is_empty() {
+        println!("bench_check: acceptance invariants OK");
+    }
+    failures.extend(violations);
+
+    if failures.is_empty() {
+        println!("bench_check: PASS");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("bench_check: FAIL — {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -1,63 +1,56 @@
 //! BENCH_serve — the deadline-aware serving runtime under the paper
-//! scenario (900 µs deadline, 2000 rps, 5 s, seed 11), with and without
-//! TRN-ladder degradation.
+//! scenario (900 µs deadline, 2000 rps, 5 s, seed 11), across the
+//! batching × sharding matrix plus the pinned `no_degrade` baseline.
 //!
-//! Prints both run summaries and the headline comparison (degradation
-//! must strictly reduce the miss rate), and writes the raw summaries to
-//! `results/BENCH_serve.json`. The summaries themselves are hand-rolled
-//! integer-only JSON, so reruns at any `--jobs`-equivalent parallelism
-//! byte-match; only the wall-clock fields vary run to run.
+//! Prints every leg's summary and the headline comparisons (degradation
+//! must beat the pinned ladder; batching + sharding must strictly beat
+//! the single-shard unbatched baseline at an equal-or-lower miss rate),
+//! and writes the raw summaries to `results/BENCH_serve.json`. The
+//! summaries themselves are hand-rolled integer-only JSON, so reruns at
+//! any `--jobs`-equivalent parallelism byte-match; only `git` and the
+//! wall-clock fields vary run to run. `bench_check` compares a fresh run
+//! against the committed file in CI.
 
-use netcut_serve::{run_scenario, ScenarioConfig};
+use netcut_bench::serve_matrix;
 use std::path::PathBuf;
-use std::time::Instant;
-
-fn timed(cfg: ScenarioConfig) -> (netcut_serve::ServeSummary, f64) {
-    let start = Instant::now();
-    let summary = run_scenario(cfg);
-    (summary, start.elapsed().as_secs_f64() * 1e3)
-}
 
 fn main() {
-    let base = ScenarioConfig {
-        jobs: 0, // one evaluation worker per CPU for ladder construction
-        ..ScenarioConfig::default()
-    };
-    println!(
-        "BENCH_serve — serving runtime, paper scenario (seed {})",
-        base.seed
-    );
+    println!("BENCH_serve — serving runtime, paper scenario (seed 11)");
     println!();
 
-    let (degrade, degrade_ms) = timed(base.clone());
-    print!("{}", degrade.render_text());
-    let (pinned, pinned_ms) = timed(ScenarioConfig {
-        degrade: false,
-        ..base
-    });
-    print!("{}", pinned.render_text());
+    let legs = serve_matrix::run();
+    for leg in &legs {
+        println!("[{}]", leg.key);
+        print!("{}", leg.summary.render_text());
+        println!();
+    }
 
-    println!();
+    let baseline = &legs[0].summary;
+    let batch_shard = &legs
+        .iter()
+        .find(|l| l.key == "batch_shard")
+        .expect("matrix has a batch_shard leg")
+        .summary;
     println!(
-        "miss rate: {:.4}% degrading vs {:.4}% pinned to the top rung",
-        degrade.miss_rate_ppm as f64 / 10_000.0,
-        pinned.miss_rate_ppm as f64 / 10_000.0
+        "goodput: {:.1} rps baseline -> {:.1} rps with --batch-max {} --shards {}",
+        baseline.goodput_mrps as f64 / 1e3,
+        batch_shard.goodput_mrps as f64 / 1e3,
+        serve_matrix::BATCH_MAX,
+        serve_matrix::SHARDS,
     );
-    assert!(
-        degrade.miss_rate_ppm < pinned.miss_rate_ppm,
-        "degradation must strictly beat the pinned baseline"
+    println!(
+        "miss rate: {:.4}% baseline vs {:.4}% batch+shard",
+        baseline.miss_rate_ppm as f64 / 10_000.0,
+        batch_shard.miss_rate_ppm as f64 / 10_000.0
     );
 
-    let json = format!(
-        "{{\n  \"scenario\": \"deadline 900us, 2000 rps, 5s, seed 11, 2 workers, faults on\",\n  \
-           \"git\": \"{}\",\n  \"degrade\": {},\n  \"no_degrade\": {},\n  \
-           \"wall_ms_degrade\": {:.1},\n  \"wall_ms_no_degrade\": {:.1}\n}}\n",
-        netcut_bench::git_describe(),
-        degrade.to_json(),
-        pinned.to_json(),
-        degrade_ms,
-        pinned_ms
-    );
+    let violations = serve_matrix::acceptance_violations(&legs);
+    for v in &violations {
+        eprintln!("ACCEPTANCE VIOLATION: {v}");
+    }
+    assert!(violations.is_empty(), "{} violation(s)", violations.len());
+
+    let json = serve_matrix::to_json(&legs, &netcut_bench::git_describe());
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
         .join("results");

@@ -253,6 +253,160 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// The serving-runtime benchmark matrix shared by `bench_serve` (regenerate
+/// `results/BENCH_serve.json`) and `bench_check` (the CI regression gate).
+///
+/// Four scenario legs cross dynamic batching and multi-device sharding on
+/// the reference scenario (900 µs deadline, 2000 rps, 5 s, seed 11, two
+/// workers, faults on), plus the historical `no_degrade` pinned baseline.
+/// Every summary is integer-only hand-rolled JSON, so two runs of the same
+/// code byte-match — which is exactly what lets the CI gate hard-fail on
+/// determinism drift by string equality.
+pub mod serve_matrix {
+    use netcut_serve::{run_scenario, ScenarioConfig, ServeSummary};
+    use std::fmt::Write as _;
+
+    /// Human description of the reference scenario, embedded in the JSON.
+    pub const SCENARIO: &str = "deadline 900us, 2000 rps, 5s, seed 11, 2 workers, faults on";
+
+    /// Largest batch the batching legs may form.
+    pub const BATCH_MAX: usize = 8;
+
+    /// Shard count of the sharding legs (xavier + nano roster).
+    pub const SHARDS: usize = 2;
+
+    /// The documented miss-rate regression tolerance of the CI gate, in
+    /// ppm of total requests: one percentage point.
+    pub const MISS_REGRESSION_PPM: u64 = 10_000;
+
+    /// The matrix legs, keyed by the name used in `BENCH_serve.json`.
+    pub fn configs() -> Vec<(&'static str, ScenarioConfig)> {
+        let base = ScenarioConfig {
+            jobs: 0, // one evaluation worker per CPU for ladder construction
+            ..ScenarioConfig::default()
+        };
+        vec![
+            ("baseline", base.clone()),
+            (
+                "no_degrade",
+                ScenarioConfig {
+                    degrade: false,
+                    ..base.clone()
+                },
+            ),
+            (
+                "batch",
+                ScenarioConfig {
+                    batch_max: BATCH_MAX,
+                    ..base.clone()
+                },
+            ),
+            (
+                "shard",
+                ScenarioConfig {
+                    shards: SHARDS,
+                    ..base.clone()
+                },
+            ),
+            (
+                "batch_shard",
+                ScenarioConfig {
+                    batch_max: BATCH_MAX,
+                    shards: SHARDS,
+                    ..base
+                },
+            ),
+        ]
+    }
+
+    /// One completed leg: key, summary, wall-clock milliseconds.
+    pub struct LegResult {
+        /// Key from [`configs`].
+        pub key: &'static str,
+        /// The deterministic run summary.
+        pub summary: ServeSummary,
+        /// Wall-clock time of the leg (excluded from regression checks).
+        pub wall_ms: f64,
+    }
+
+    /// Runs every leg of the matrix sequentially.
+    pub fn run() -> Vec<LegResult> {
+        configs()
+            .into_iter()
+            .map(|(key, cfg)| {
+                let start = std::time::Instant::now();
+                let summary = run_scenario(cfg);
+                LegResult {
+                    key,
+                    summary,
+                    wall_ms: start.elapsed().as_secs_f64() * 1e3,
+                }
+            })
+            .collect()
+    }
+
+    /// Renders the matrix as the `BENCH_serve.json` document. The
+    /// `configs` object is deterministic; `git` and `wall_ms` carry
+    /// provenance and are ignored by the CI gate.
+    pub fn to_json(legs: &[LegResult], git: &str) -> String {
+        let mut s = String::with_capacity(4096);
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"scenario\": \"{SCENARIO}\",");
+        let _ = writeln!(s, "  \"git\": \"{git}\",");
+        let _ = writeln!(s, "  \"configs\": {{");
+        for (i, leg) in legs.iter().enumerate() {
+            let comma = if i + 1 < legs.len() { "," } else { "" };
+            let _ = writeln!(s, "    \"{}\": {}{comma}", leg.key, leg.summary.to_json());
+        }
+        let _ = writeln!(s, "  }},");
+        let _ = writeln!(s, "  \"wall_ms\": {{");
+        for (i, leg) in legs.iter().enumerate() {
+            let comma = if i + 1 < legs.len() { "," } else { "" };
+            let _ = writeln!(s, "    \"{}\": {:.1}{comma}", leg.key, leg.wall_ms);
+        }
+        let _ = writeln!(s, "  }}");
+        s.push_str("}\n");
+        s
+    }
+
+    /// The acceptance invariants of the matrix; returns every violation
+    /// (empty = the run is acceptable). Checked both when regenerating the
+    /// committed results and by the CI gate on its fresh run.
+    pub fn acceptance_violations(legs: &[LegResult]) -> Vec<String> {
+        let get = |key: &str| -> &ServeSummary {
+            &legs
+                .iter()
+                .find(|l| l.key == key)
+                .unwrap_or_else(|| panic!("matrix leg `{key}` missing"))
+                .summary
+        };
+        let baseline = get("baseline");
+        let pinned = get("no_degrade");
+        let batch_shard = get("batch_shard");
+        let mut violations = Vec::new();
+        if baseline.miss_rate_ppm >= pinned.miss_rate_ppm {
+            violations.push(format!(
+                "degradation must strictly beat the pinned baseline: {} ppm vs {} ppm",
+                baseline.miss_rate_ppm, pinned.miss_rate_ppm
+            ));
+        }
+        if batch_shard.goodput_mrps <= baseline.goodput_mrps {
+            violations.push(format!(
+                "batch+shard goodput must strictly exceed the single-shard unbatched \
+                 baseline: {} mrps vs {} mrps",
+                batch_shard.goodput_mrps, baseline.goodput_mrps
+            ));
+        }
+        if batch_shard.miss_rate_ppm > baseline.miss_rate_ppm {
+            violations.push(format!(
+                "batch+shard miss rate must not exceed the baseline: {} ppm vs {} ppm",
+                batch_shard.miss_rate_ppm, baseline.miss_rate_ppm
+            ));
+        }
+        violations
+    }
+}
+
 /// Estimator-study helpers shared by the Fig. 8 and Fig. 9 binaries.
 pub mod estimator_study {
     use super::Lab;

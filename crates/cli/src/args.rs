@@ -1,6 +1,6 @@
 //! Hand-rolled argument parsing (no external dependencies).
 
-use netcut_sim::Precision;
+use netcut_sim::{DeviceModel, Precision};
 
 /// Usage text printed on parse errors.
 pub const USAGE: &str = "\
@@ -17,6 +17,8 @@ usage:
   netcut-cli sweep [--json] [--jobs N] [--no-cache]
   netcut-cli serve [--deadline-us N] [--rps N] [--duration SECONDS] [--seed N]
                    [--jobs N] [--workers N] [--no-degrade] [--no-faults] [--json]
+                   [--batch-max N] [--batch-slack-us N] [--shards N]
+                   [--devices a,b,...]
   netcut-cli lint <network|all|file.json> [--json]
 
 global options (any command):
@@ -37,8 +39,13 @@ evaluation options (explore, sweep):
 serve: simulate the deadline-aware serving runtime on the TRN ladder —
 defaults reproduce the paper scenario (deadline 900 µs, 2000 rps, 5 s,
 seed 11, 2 workers); `--no-degrade` pins the most accurate network for
-an apples-to-apples miss-rate baseline; summaries are bit-identical for
-any `--jobs` value
+an apples-to-apples miss-rate baseline; `--batch-max N` turns on dynamic
+batching (coalesce queued requests while every member's deadline still
+holds, adding at most `--batch-slack-us` over solo service);
+`--shards N` partitions the workers across the `--devices` roster
+(jetson-xavier, jetson-nano, tesla-k20m; shard i runs roster[i mod len])
+with per-device ladders and least-completion-time routing; summaries are
+bit-identical for any `--jobs` value
 
 lint: analyzes a zoo network (or `all`, or an exported network JSON file)
 plus every blockwise TRN of it, raw and with the transfer head attached;
@@ -120,6 +127,10 @@ pub enum Command {
         degrade: bool,
         faults: bool,
         json: bool,
+        batch_max: usize,
+        batch_slack_us: u64,
+        shards: usize,
+        devices: Vec<String>,
     },
     /// Run the `netcut-verify` static analyzer over a network (or the
     /// whole zoo) and every blockwise TRN of it.
@@ -193,6 +204,10 @@ const KNOWN_FLAGS: &[&str] = &[
     "--workers",
     "--no-degrade",
     "--no-faults",
+    "--batch-max",
+    "--batch-slack-us",
+    "--shards",
+    "--devices",
 ];
 
 /// Parses the subcommand and its own arguments (global flags removed).
@@ -233,6 +248,10 @@ fn parse_command(argv: &[&str]) -> Result<Command, String> {
                         | "--duration"
                         | "--seed"
                         | "--workers"
+                        | "--batch-max"
+                        | "--batch-slack-us"
+                        | "--shards"
+                        | "--devices"
                 ) && i + 1 < rest.len()
                 {
                     skip = true;
@@ -350,6 +369,30 @@ fn parse_command(argv: &[&str]) -> Result<Command, String> {
             if !(duration_s > 0.0 && duration_s.is_finite()) {
                 return Err("--duration must be a positive number of seconds".to_string());
             }
+            let batch_max: usize = num(flag_value("--batch-max"), "--batch-max", 1)?;
+            if batch_max == 0 {
+                return Err("--batch-max must be at least 1 (1 = batching off)".to_string());
+            }
+            let shards: usize = num(flag_value("--shards"), "--shards", 1)?;
+            if shards == 0 {
+                return Err("--shards must be at least 1".to_string());
+            }
+            let devices: Vec<String> = match flag_value("--devices") {
+                Some(list) => list
+                    .split(',')
+                    .map(|raw| {
+                        DeviceModel::by_name(raw.trim())
+                            .map(|d| d.name)
+                            .ok_or_else(|| {
+                                format!(
+                                    "unknown device `{}` (jetson-xavier|jetson-nano|tesla-k20m)",
+                                    raw.trim()
+                                )
+                            })
+                    })
+                    .collect::<Result<_, _>>()?,
+                None => vec!["jetson-xavier".to_string(), "jetson-nano".to_string()],
+            };
             Ok(Command::Serve {
                 deadline_us: num(flag_value("--deadline-us"), "--deadline-us", 900)?,
                 rps: num(flag_value("--rps"), "--rps", 2000)?,
@@ -360,6 +403,10 @@ fn parse_command(argv: &[&str]) -> Result<Command, String> {
                 degrade: !has_flag("--no-degrade"),
                 faults: !has_flag("--no-faults"),
                 json: has_flag("--json"),
+                batch_max,
+                batch_slack_us: num(flag_value("--batch-slack-us"), "--batch-slack-us", 300)?,
+                shards,
+                devices,
             })
         }
         "lint" => Ok(Command::Lint {
@@ -493,7 +540,11 @@ mod tests {
                 workers: 2,
                 degrade: true,
                 faults: true,
-                json: false
+                json: false,
+                batch_max: 1,
+                batch_slack_us: 300,
+                shards: 1,
+                devices: vec!["jetson-xavier".into(), "jetson-nano".into()],
             }
         );
     }
@@ -518,6 +569,14 @@ mod tests {
                 "--no-degrade",
                 "--no-faults",
                 "--json",
+                "--batch-max",
+                "8",
+                "--batch-slack-us",
+                "150",
+                "--shards",
+                "2",
+                "--devices",
+                "xavier,k20m",
             ]),
             Command::Serve {
                 deadline_us: 1200,
@@ -528,7 +587,11 @@ mod tests {
                 workers: 4,
                 degrade: false,
                 faults: false,
-                json: true
+                json: true,
+                batch_max: 8,
+                batch_slack_us: 150,
+                shards: 2,
+                devices: vec!["jetson-xavier".into(), "tesla-k20m".into()],
             }
         );
     }
@@ -538,6 +601,19 @@ mod tests {
         assert!(parse(&argv(&["serve", "--rps", "lots"])).is_err());
         assert!(parse(&argv(&["serve", "--duration", "-1"])).is_err());
         assert!(parse(&argv(&["serve", "--deadline-u", "900"])).is_err());
+        assert!(parse(&argv(&["serve", "--batch-max", "0"])).is_err());
+        assert!(parse(&argv(&["serve", "--shards", "0"])).is_err());
+        assert!(parse(&argv(&["serve", "--devices", "xavier,tpu"])).is_err());
+    }
+
+    #[test]
+    fn serve_device_spellings_canonicalize() {
+        let Command::Serve { devices, .. } =
+            cmd(&["serve", "--devices", "jetson_xavier, nano ,tesla-k20m"])
+        else {
+            panic!("not a serve command");
+        };
+        assert_eq!(devices, vec!["jetson-xavier", "jetson-nano", "tesla-k20m"]);
     }
 
     #[test]

@@ -272,7 +272,23 @@ pub fn run(cmd: Command, strict: bool) -> Result<(), String> {
             degrade,
             faults,
             json,
+            batch_max,
+            batch_slack_us,
+            shards,
+            devices,
         } => {
+            if shards > workers {
+                return Err(format!(
+                    "--shards {shards} needs at least that many workers (got --workers {workers})"
+                ));
+            }
+            let devices: Vec<DeviceModel> = devices
+                .iter()
+                .map(|name| {
+                    DeviceModel::by_name(name)
+                        .ok_or_else(|| format!("unknown device `{name}` in roster"))
+                })
+                .collect::<Result<_, _>>()?;
             let summary = netcut_serve::run_scenario(netcut_serve::ScenarioConfig {
                 deadline_us,
                 rps,
@@ -282,6 +298,10 @@ pub fn run(cmd: Command, strict: bool) -> Result<(), String> {
                 workers,
                 degrade,
                 faults,
+                batch_max,
+                batch_slack_us,
+                shards,
+                devices,
                 ..netcut_serve::ScenarioConfig::default()
             });
             if json {
@@ -394,10 +414,58 @@ mod tests {
                 degrade: true,
                 faults: true,
                 json: true,
+                batch_max: 1,
+                batch_slack_us: 300,
+                shards: 1,
+                devices: vec!["jetson-xavier".into(), "jetson-nano".into()],
             },
             false,
         )
         .expect("serve");
+    }
+
+    #[test]
+    fn serve_batched_sharded_quick_run() {
+        let cmd = Command::Serve {
+            deadline_us: 900,
+            rps: 2000,
+            duration_s: 0.1,
+            seed: 11,
+            jobs: 1,
+            workers: 2,
+            degrade: true,
+            faults: true,
+            json: true,
+            batch_max: 8,
+            batch_slack_us: 300,
+            shards: 2,
+            devices: vec!["jetson-xavier".into(), "jetson-nano".into()],
+        };
+        run(cmd, false).expect("serve --batch-max 8 --shards 2");
+    }
+
+    #[test]
+    fn serve_rejects_more_shards_than_workers() {
+        let err = run(
+            Command::Serve {
+                deadline_us: 900,
+                rps: 2000,
+                duration_s: 0.1,
+                seed: 11,
+                jobs: 1,
+                workers: 2,
+                degrade: true,
+                faults: true,
+                json: true,
+                batch_max: 1,
+                batch_slack_us: 300,
+                shards: 3,
+                devices: vec!["jetson-xavier".into()],
+            },
+            false,
+        )
+        .expect_err("3 shards on 2 workers must fail");
+        assert!(err.contains("--shards"), "{err}");
     }
 
     #[test]

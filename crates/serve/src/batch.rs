@@ -1,0 +1,231 @@
+//! Dynamic batching: the formation policy that coalesces queued visual
+//! requests into one batched inference.
+//!
+//! Batching trades per-request latency for throughput — a batch of `n`
+//! finishes later than a batch of 1, but serves `n` requests in sublinear
+//! time (weights stream once, launches amortize, occupancy rises; see
+//! [`TrnLadder::batch_latency_us`]). The [`Batcher`] decides *when that
+//! trade is safe*: a request may join a forming batch only if
+//!
+//! 1. the batch has not started in virtual time and is below `batch_max`;
+//! 2. some rung's batched latency still fits the **tightest member's**
+//!    remaining slack — batches of two or more are never formed on a
+//!    predicted miss (solo dispatch keeps the best-effort rung-0 fallback);
+//! 3. the batching overhead at that rung — batched latency minus the same
+//!    rung's batch-1 latency — stays within the per-batch `slack_us`
+//!    budget, so existing members are never delayed more than the operator
+//!    allowed.
+//!
+//! Every decision is a pure function of integer-µs queue state, which
+//! gives the batcher exact properties (pinned by property tests):
+//! formation is **monotone in the slack budget** (more slack never shrinks
+//! a batch), and `batch_max == 1` degenerates to the unbatched path
+//! bit-for-bit.
+
+use crate::ladder::TrnLadder;
+
+/// The batch-formation policy: pure data, queried by the runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Batcher {
+    /// Largest batch the runtime may form (1 = batching off).
+    pub batch_max: usize,
+    /// Per-batch slack budget, microseconds: the most extra service time
+    /// batching may add over serving the same rung at batch 1.
+    pub slack_us: u64,
+}
+
+impl Batcher {
+    /// A batcher that never coalesces — the unbatched baseline.
+    pub fn off() -> Self {
+        Batcher {
+            batch_max: 1,
+            slack_us: 0,
+        }
+    }
+
+    /// `true` when this batcher can ever form a batch of two.
+    pub fn enabled(&self) -> bool {
+        self.batch_max > 1
+    }
+
+    /// Decides whether a batch of `size` members (the joiner included)
+    /// starting at `start_us` with tightest absolute deadline
+    /// `tightest_abs_us` is admissible, and if so on which rung: the most
+    /// accurate rung whose batched latency fits the tightest member's
+    /// slack *and* whose batching overhead fits the slack budget. With
+    /// `degrade` off only the top rung is considered.
+    ///
+    /// Returns `None` when no rung qualifies — the runtime then leaves the
+    /// batch as it was and dispatches the request solo.
+    pub fn admit(
+        &self,
+        ladder: &TrnLadder,
+        start_us: u64,
+        tightest_abs_us: u64,
+        size: usize,
+        degrade: bool,
+    ) -> Option<usize> {
+        if size > self.batch_max {
+            return None;
+        }
+        let slack = tightest_abs_us.saturating_sub(start_us);
+        let fits = |r: usize| {
+            let batched = ladder.batch_latency_us(r, size);
+            batched <= slack && batched - ladder.batch_latency_us(r, 1) <= self.slack_us
+        };
+        if degrade {
+            (0..ladder.len()).rev().find(|&r| fits(r))
+        } else {
+            Some(ladder.top()).filter(|&r| fits(r))
+        }
+    }
+
+    /// Plans one batch from the head of a queue: given requests waiting at
+    /// `start_us` with absolute deadlines `deadlines_abs_us` (queue order),
+    /// greedily grows the batch one member at a time through [`Self::admit`]
+    /// and returns `(size, rung)` — the largest admissible prefix. The
+    /// first member always dispatches (size ≥ 1), on the plain
+    /// [`TrnLadder::select`] policy with its rung-0 best-effort fallback,
+    /// exactly as the unbatched runtime would.
+    ///
+    /// # Panics
+    /// Panics if `deadlines_abs_us` is empty.
+    pub fn plan(
+        &self,
+        ladder: &TrnLadder,
+        start_us: u64,
+        deadlines_abs_us: &[u64],
+        degrade: bool,
+    ) -> (usize, usize) {
+        let lead = deadlines_abs_us
+            .first()
+            .expect("plan needs at least one queued request");
+        let solo_rung = if degrade {
+            ladder.select(0, lead.saturating_sub(start_us))
+        } else {
+            ladder.top()
+        };
+        let (mut size, mut rung) = (1, solo_rung);
+        let mut tightest = *lead;
+        for &deadline in &deadlines_abs_us[1..] {
+            let next_tightest = tightest.min(deadline);
+            match self.admit(ladder, start_us, next_tightest, size + 1, degrade) {
+                Some(r) => {
+                    size += 1;
+                    rung = r;
+                    tightest = next_tightest;
+                }
+                None => break,
+            }
+        }
+        (size, rung)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ladder::Rung;
+    use crate::request::PPM;
+
+    fn rung(name: &str, latency_us: u64, accuracy: f64) -> Rung {
+        Rung {
+            name: name.to_string(),
+            cutpoint: 0,
+            latency_us,
+            accuracy,
+        }
+    }
+
+    fn ladder() -> TrnLadder {
+        TrnLadder::from_rungs(vec![
+            rung("cut3", 100, 0.60),
+            rung("cut2", 300, 0.70),
+            rung("cut1", 600, 0.80),
+            rung("cut0", 750, 0.85),
+        ])
+        .with_batch_curves(vec![
+            vec![PPM, 1_300_000, 1_500_000, 1_700_000],
+            vec![PPM, 1_250_000, 1_450_000, 1_600_000],
+            vec![PPM, 1_200_000, 1_400_000, 1_550_000],
+            vec![PPM, 1_200_000, 1_350_000, 1_500_000],
+        ])
+    }
+
+    fn batcher() -> Batcher {
+        Batcher {
+            batch_max: 4,
+            slack_us: 400,
+        }
+    }
+
+    #[test]
+    fn off_batcher_admits_nothing_beyond_one() {
+        let b = Batcher::off();
+        assert!(!b.enabled());
+        assert_eq!(b.admit(&ladder(), 0, 900, 2, true), None);
+    }
+
+    #[test]
+    fn admit_picks_the_most_accurate_feasible_rung() {
+        let b = batcher();
+        // Slack 900, batch 2: top rung needs 900 µs batched (750 × 1.2)
+        // with 150 µs overhead — both fit.
+        assert_eq!(b.admit(&ladder(), 0, 900, 2, true), Some(3));
+        // Slack 600: top no longer fits (900 > 600); rung 2 batched is
+        // 750 > 600; rung 1 batched 375 fits with 75 µs overhead.
+        assert_eq!(b.admit(&ladder(), 0, 600, 2, true), Some(1));
+        // No slack at all: nothing fits, not even rung 0.
+        assert_eq!(b.admit(&ladder(), 900, 900, 2, true), None);
+    }
+
+    #[test]
+    fn overhead_budget_caps_the_batch() {
+        let tight = Batcher {
+            batch_max: 4,
+            slack_us: 100,
+        };
+        // Top rung batch 3: 1013 µs over 750 = 263 µs overhead > 100, and
+        // its batched latency busts the 900 slack anyway; rung 0 batch 3
+        // costs 150 with 50 µs overhead — admissible.
+        assert_eq!(tight.admit(&ladder(), 0, 900, 3, true), Some(0));
+        // Zero budget: every batch of 2+ adds overhead, so none is formed.
+        let zero = Batcher {
+            batch_max: 4,
+            slack_us: 0,
+        };
+        assert_eq!(zero.admit(&ladder(), 0, 900, 2, true), None);
+    }
+
+    #[test]
+    fn no_degrade_only_considers_the_top_rung() {
+        let b = batcher();
+        assert_eq!(b.admit(&ladder(), 0, 900, 2, false), Some(3));
+        // 600 µs slack: the top rung's 900 µs batch-2 latency does not
+        // fit, and degradation is off — no batch.
+        assert_eq!(b.admit(&ladder(), 0, 600, 2, false), None);
+    }
+
+    #[test]
+    fn plan_grows_to_the_largest_admissible_prefix() {
+        let b = batcher();
+        // Four queued requests, all with 900 µs of slack: batch 4 on the
+        // top rung needs 1125 µs (> 900) and 375 µs overhead; batch 4 on
+        // rung 1 is 480 µs with 180 overhead — admissible.
+        let (size, rung) = b.plan(&ladder(), 0, &[900, 900, 900, 900], true);
+        assert_eq!(size, 4);
+        assert_eq!(rung, 1);
+        // A tight third member stops growth at two.
+        let (size, rung) = b.plan(&ladder(), 0, &[900, 900, 90, 900], true);
+        assert_eq!(size, 2);
+        assert_eq!(rung, 3);
+    }
+
+    #[test]
+    fn plan_of_one_matches_the_unbatched_policy() {
+        let b = Batcher::off();
+        let (size, rung) = b.plan(&ladder(), 0, &[900], true);
+        assert_eq!(size, 1);
+        assert_eq!(rung, ladder().select(0, 900));
+    }
+}

@@ -100,6 +100,43 @@ impl FaultPlan {
         FaultPlan { windows, seed }
     }
 
+    /// The demo schedule as seen by shard `shard` of a `shards`-wide
+    /// fleet: the windows of the *global* schedule — the same timeline
+    /// [`Self::seeded_demo`] gives a single-shard run — with each window
+    /// assigned to exactly one shard (seeded, uniform). The fleet as a
+    /// whole therefore experiences the same environment as the
+    /// single-shard baseline: one jitter burst, one stalled worker, one
+    /// lossy input link — not `shards` copies of each. Magnitudes still
+    /// come from this shard's own device model.
+    ///
+    /// For `shards == 1` every window lands on shard 0, so the plan is
+    /// exactly [`Self::seeded_demo`] — single-shard runs are unchanged.
+    ///
+    /// # Panics
+    /// Panics if `shard >= shards`.
+    pub fn seeded_demo_shard(
+        seed: u64,
+        duration_us: u64,
+        device: &DeviceModel,
+        shard: usize,
+        shards: usize,
+    ) -> Self {
+        assert!(shard < shards, "shard {shard} out of {shards}");
+        let mut plan = Self::seeded_demo(seed, duration_us, device);
+        plan.windows = plan
+            .windows
+            .into_iter()
+            .enumerate()
+            .filter(|(j, _)| {
+                let owner = splitmix64(seed ^ (*j as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+                    % shards as u64;
+                owner == shard as u64
+            })
+            .map(|(_, w)| w)
+            .collect();
+        plan
+    }
+
     /// Combined service-time factor at `t_us`, parts per million.
     /// `PPM` when no jitter window is active; factors of overlapping
     /// windows multiply.
@@ -177,6 +214,32 @@ mod tests {
             assert!(pair[0].1 <= pair[1].0, "windows overlap: {spans:?}");
         }
         assert!(p.quiet_after_us() <= 5_000_000);
+    }
+
+    #[test]
+    fn sharded_demo_partitions_the_global_schedule() {
+        let global = FaultPlan::seeded_demo(11, 5_000_000, &device());
+        let shards = 2;
+        let plans: Vec<FaultPlan> = (0..shards)
+            .map(|s| FaultPlan::seeded_demo_shard(11, 5_000_000, &device(), s, shards))
+            .collect();
+        // Every global window lands on exactly one shard, timeline intact.
+        let total: usize = plans.iter().map(|p| p.windows.len()).sum();
+        assert_eq!(total, global.windows.len());
+        for w in &global.windows {
+            let holders = plans
+                .iter()
+                .filter(|p| {
+                    p.windows
+                        .iter()
+                        .any(|v| v.kind == w.kind && v.start_us == w.start_us)
+                })
+                .count();
+            assert_eq!(holders, 1, "{:?} window owned by {holders} shards", w.kind);
+        }
+        // A one-shard fleet sees the unpartitioned schedule.
+        let solo = FaultPlan::seeded_demo_shard(11, 5_000_000, &device(), 0, 1);
+        assert_eq!(solo.windows.len(), global.windows.len());
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! the whole serving simulation stay in exact integer arithmetic —
 //! bit-identical summaries across worker counts and platforms.
 
+use crate::request::PPM;
 use netcut::pareto::pareto_frontier;
 use netcut::CandidatePoint;
 
@@ -23,9 +24,21 @@ pub struct Rung {
 }
 
 /// The degradation ladder: rungs strictly ascending in latency.
+///
+/// Each rung may additionally carry a **batch-scaling curve** — the rung
+/// network's batched latency relative to batch 1, in parts per million
+/// ([`netcut_sim::batch_scale_ppm`]). The curve is what makes batching
+/// decisions exact-integer: `batch_latency_us(r, n)` is the rung's measured
+/// batch-1 latency times the analytic curve, rounded once at evaluation.
+/// Ladders without curves fall back to a linear model (no amortization), so
+/// a batcher over them coalesces only when the deadline slack pays the full
+/// serial cost — the conservative default for synthetic test ladders.
 #[derive(Debug, Clone)]
 pub struct TrnLadder {
     rungs: Vec<Rung>,
+    /// Per-rung batch-scaling curves: `batch_curves[r][n-1]` is the ppm
+    /// factor for a batch of `n` on rung `r`. Empty = linear fallback.
+    batch_curves: Vec<Vec<u64>>,
 }
 
 impl TrnLadder {
@@ -63,7 +76,10 @@ impl TrnLadder {
                 false
             }
         });
-        TrnLadder { rungs }
+        TrnLadder {
+            rungs,
+            batch_curves: Vec::new(),
+        }
     }
 
     /// Builds a ladder directly from rungs (tests, synthetic scenarios).
@@ -82,7 +98,57 @@ impl TrnLadder {
                 pair[0].latency_us
             );
         }
-        TrnLadder { rungs }
+        TrnLadder {
+            rungs,
+            batch_curves: Vec::new(),
+        }
+    }
+
+    /// Attaches batch-scaling curves, one per rung in ladder order. Each
+    /// curve's first entry is normalized to exactly [`PPM`] (batch 1 must
+    /// reproduce the rung's own latency bit-for-bit — the "batch of 1 ≡
+    /// unbatched" invariant the property tests pin).
+    ///
+    /// # Panics
+    /// Panics if the curve count does not match the rung count, any curve
+    /// is empty, or a curve is not nondecreasing (batched inference never
+    /// gets faster as the batch grows).
+    #[must_use]
+    pub fn with_batch_curves(mut self, mut curves: Vec<Vec<u64>>) -> Self {
+        assert_eq!(
+            curves.len(),
+            self.rungs.len(),
+            "one batch curve per ladder rung"
+        );
+        for curve in &mut curves {
+            assert!(!curve.is_empty(), "batch curves need at least batch 1");
+            curve[0] = PPM;
+            assert!(
+                curve.windows(2).all(|p| p[0] <= p[1]),
+                "batch curve must be nondecreasing: {curve:?}"
+            );
+        }
+        self.batch_curves = curves;
+        self
+    }
+
+    /// Predicted latency of serving a batch of `batch` requests on `rung`,
+    /// integer microseconds. Uses the rung's batch-scaling curve when one
+    /// is attached (single rounded integer multiply, so `batch == 1` is
+    /// exactly `latency_us`); otherwise the linear fallback
+    /// `latency_us × batch`.
+    ///
+    /// # Panics
+    /// Panics if `rung` is out of range or `batch` is zero.
+    pub fn batch_latency_us(&self, rung: usize, batch: usize) -> u64 {
+        assert!(batch > 0, "batch must be positive");
+        let base = self.rungs[rung].latency_us;
+        match self.batch_curves.get(rung).and_then(|c| c.get(batch - 1)) {
+            Some(&scale_ppm) => ((u128::from(base) * u128::from(scale_ppm) + u128::from(PPM / 2))
+                / u128::from(PPM))
+            .max(1) as u64,
+            None => base.saturating_mul(batch as u64),
+        }
     }
 
     /// Number of rungs.
@@ -217,5 +283,40 @@ mod tests {
     #[should_panic(expected = "zero candidates")]
     fn empty_ladder_is_rejected() {
         let _ = TrnLadder::from_points(&[]);
+    }
+
+    #[test]
+    fn batch_latency_defaults_to_linear() {
+        let l = ladder();
+        assert_eq!(l.batch_latency_us(0, 1), 100);
+        assert_eq!(l.batch_latency_us(0, 4), 400);
+        assert_eq!(l.batch_latency_us(3, 2), 1500);
+    }
+
+    #[test]
+    fn batch_curves_amortize_and_pin_batch_one() {
+        let l = ladder().with_batch_curves(vec![
+            vec![PPM, 1_500_000, 1_900_000],
+            vec![PPM, 1_400_000],
+            vec![PPM, 1_300_000],
+            vec![PPM, 1_250_000],
+        ]);
+        // Batch 1 is bit-exact the rung latency.
+        for r in 0..l.len() {
+            assert_eq!(l.batch_latency_us(r, 1), l.rung(r).latency_us);
+        }
+        // Curve entries: scaled + rounded.
+        assert_eq!(l.batch_latency_us(0, 2), 150);
+        assert_eq!(l.batch_latency_us(0, 3), 190);
+        assert_eq!(l.batch_latency_us(3, 2), 938); // 750 × 1.25 = 937.5
+                                                   // Past the curve end: linear fallback.
+        assert_eq!(l.batch_latency_us(1, 3), 900);
+    }
+
+    #[test]
+    #[should_panic(expected = "nondecreasing")]
+    fn decreasing_batch_curve_is_rejected() {
+        let _ = TrnLadder::from_points(&[point("fam/cut0", 0, 0.750, 0.85)])
+            .with_batch_curves(vec![vec![PPM, 900_000]]);
     }
 }

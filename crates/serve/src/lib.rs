@@ -18,14 +18,26 @@
 //!   visual mix) with pure-function service-time noise.
 //! * [`FaultPlan`] — deterministic fault injection: device jitter
 //!   windows, worker stalls, and dropped requests.
-//! * [`Server`] — the discrete-event simulation itself: earliest-free
-//!   worker dispatch, admission control (reject when queueing alone
-//!   reaches the deadline), ladder selection, miss accounting.
+//! * [`Batcher`] — dynamic batching: coalesces queued visual requests
+//!   into one batched inference when a rung's *batch-aware* latency still
+//!   meets the tightest member's deadline within a per-batch slack
+//!   budget.
+//! * [`Shard`] / [`ShardRouter`] — multi-device sharding: the worker
+//!   pool partitioned across simulated devices, each with its own
+//!   per-device ladder, fault plan, and noise table; requests route to
+//!   the least predicted completion time, spilling away from full
+//!   shards.
+//! * [`Server`] — the discrete-event simulation itself: candidate
+//!   dispatch (solo or batch join) per shard, routing, admission control
+//!   (reject when queueing alone reaches the deadline), ladder
+//!   selection, miss accounting.
 //! * [`ServeSummary`] — the integer-only aggregate (miss rate in ppm,
-//!   rung histogram, latency percentiles) with a stable JSON rendering.
-//! * [`Scenario`] — the wiring: explore → ladder → workload → serve,
-//!   with `jobs`-parallel stages confined to order-deterministic work so
-//!   summaries are bit-identical at any parallelism.
+//!   goodput, per-shard rung histograms, batch-size histogram, latency
+//!   percentiles) with a stable JSON rendering.
+//! * [`Scenario`] — the wiring: explore each device → ladders + batch
+//!   curves → workload → serve, with `jobs`-parallel stages confined to
+//!   order-deterministic work so summaries are bit-identical at any
+//!   parallelism.
 //!
 //! Everything the simulation computes is integer microseconds or parts
 //! per million: determinism is architectural, not incidental.
@@ -46,16 +58,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod faults;
 pub mod ladder;
 pub mod request;
 pub mod runtime;
 pub mod scenario;
+pub mod shard;
 pub mod summary;
 
+pub use batch::Batcher;
 pub use faults::{FaultKind, FaultPlan, FaultWindow};
 pub use ladder::{Rung, TrnLadder};
 pub use request::{service_noise_ppm, Request, RequestKind, Workload, PPM};
 pub use runtime::{RequestOutcome, Server, ServerConfig, Status};
-pub use scenario::{build_ladder, run_scenario, Scenario, ScenarioConfig};
-pub use summary::ServeSummary;
+pub use scenario::{build_ladder, build_ladder_for, run_scenario, Scenario, ScenarioConfig};
+pub use shard::{Candidate, Shard, ShardRouter};
+pub use summary::{RunMeta, ServeSummary, ShardMeta};

@@ -1,35 +1,51 @@
 //! The deadline-aware serving runtime: a discrete-event simulation of a
-//! bounded worker pool scheduling EMG + visual requests against a
-//! per-request deadline, degrading along the TRN ladder under load.
+//! sharded, batching worker pool scheduling EMG + visual requests against
+//! a per-request deadline, degrading along per-device TRN ladders under
+//! load.
 //!
 //! The simulation advances virtual time request by request, entirely in
 //! integer microseconds — no floats, no wall-clock reads — so a run is a
-//! pure function of `(ladder, requests, config, fault plan)` and its
-//! summary is bit-identical across `--jobs` settings and host machines.
-//! Physical parallelism lives upstream (ladder construction and noise
+//! pure function of `(shards, requests, config)` and its summary is
+//! bit-identical across `--jobs` settings and host machines. Physical
+//! parallelism lives upstream (ladder construction and noise
 //! precomputation on `EvalContext`'s scoped-thread pool), never inside
 //! the event loop.
 //!
 //! Scheduling policy, per arrival:
 //!
-//! 1. **Drop fault** — if an active drop window loses the request, it is
-//!    counted and never queued.
-//! 2. **Dispatch** — the request goes to the worker that frees up
-//!    earliest (stalled workers count as busy until their window ends);
-//!    ties break toward the lowest index.
-//! 3. **Admission control** — if the queue delay alone already reaches
-//!    the deadline, the request is rejected immediately (backpressure:
-//!    the client hears "no" at arrival instead of a late answer).
-//! 4. **Ladder selection** — a visual request runs the most accurate
-//!    rung whose predicted latency still fits the remaining slack
-//!    ([`TrnLadder::select`]); EMG requests have a fixed cost. With
-//!    degradation off, visual requests always run the top rung.
-//! 5. **Outcome** — completion after the deadline is a miss; the result
-//!    still ships (the prosthesis fuses stale frames rather than none).
+//! 1. **Candidates** — every shard offers a *solo* dispatch (its
+//!    earliest-free worker, stalled workers held until their window ends)
+//!    and, when dynamic batching is on, a *join* of its open batch — the
+//!    shard's most recent dispatch, joinable while its start is still in
+//!    the future, it is below `batch_max`, and the [`Batcher`] finds a
+//!    rung whose batched latency fits the tightest member's deadline
+//!    within the per-batch slack budget.
+//! 2. **Routing** — [`ShardRouter`]: least predicted completion time,
+//!    admissible candidates first (spill), joins preferred on ties.
+//! 3. **Drop fault** — if the chosen shard's fault plan loses the
+//!    request, it is counted and never queued.
+//! 4. **Admission control** — if the winning candidate's queue delay
+//!    alone already reaches the deadline, the request is rejected
+//!    immediately (backpressure: the client hears "no" at arrival
+//!    instead of a late answer).
+//! 5. **Ladder selection** — a visual request runs the most accurate
+//!    rung of *its shard's* ladder whose predicted (batch-aware) latency
+//!    still fits the remaining slack; EMG requests have a fixed cost and
+//!    never batch. With degradation off, visual requests always run the
+//!    top rung.
+//! 6. **Outcome** — finalized after the sweep from the batch records
+//!    (members share the batch's finish time); completion after the
+//!    deadline is a miss; the result still ships (the prosthesis fuses
+//!    stale frames rather than none).
+//!
+//! Batches execute as one kernel, so one noise draw — the leader's — and
+//! the fault factor sampled at dispatch apply to the whole batch.
 
+use crate::batch::Batcher;
 use crate::faults::FaultPlan;
 use crate::ladder::TrnLadder;
 use crate::request::{Request, RequestKind, PPM};
+use crate::shard::{Candidate, Shard, ShardRouter};
 use netcut_obs as obs;
 
 /// Final disposition of one request.
@@ -54,15 +70,21 @@ pub struct RequestOutcome {
     pub kind: RequestKind,
     /// Arrival time, microseconds.
     pub arrival_us: u64,
-    /// Time spent waiting for a worker (0 for rejected/dropped).
+    /// Time spent waiting for a worker (0 for dropped).
     pub queue_delay_us: u64,
     /// Ladder rung served (`None` for EMG, rejected, and dropped).
     pub rung: Option<usize>,
     /// Actual service time after noise and jitter faults (0 if never
-    /// started).
+    /// started). Batch members share the whole batch's service time.
     pub service_us: u64,
     /// Arrival-to-completion latency (0 if never started).
     pub latency_us: u64,
+    /// Shard the request was routed to (the reject/drop shard for
+    /// requests that never started).
+    pub shard: usize,
+    /// Size of the batch the request was served in (1 = solo, 0 if never
+    /// started).
+    pub batch_size: usize,
     /// Disposition.
     pub status: Status,
 }
@@ -72,17 +94,24 @@ pub struct RequestOutcome {
 pub struct ServerConfig {
     /// Per-request deadline, microseconds.
     pub deadline_us: u64,
-    /// Worker pool size.
+    /// Total worker pool size (partitioned across shards).
     pub workers: usize,
     /// `false` pins visual requests to the top rung (`--no-degrade`).
     pub degrade: bool,
     /// Fixed service time of an EMG request, microseconds.
     pub emg_service_us: u64,
+    /// Largest batch dynamic batching may form (1 = batching off).
+    pub batch_max: usize,
+    /// Per-batch slack budget, microseconds: the most extra latency
+    /// batching may add over serving the same rung unbatched.
+    pub batch_slack_us: u64,
 }
 
 impl Default for ServerConfig {
     /// Paper-calibrated defaults: the 900 µs visual budget and 0.8 ms EMG
-    /// cost from the §III-A control loop, two workers, degradation on.
+    /// cost from the §III-A control loop, two workers, degradation on,
+    /// batching off (the real-time control loop runs at batch 1; batching
+    /// is the explicit throughput trade-off, opted into per run).
     fn default() -> Self {
         let budget = netcut_hand::LoopBudget::paper();
         ServerConfig {
@@ -90,36 +119,103 @@ impl Default for ServerConfig {
             workers: 2,
             degrade: true,
             emg_service_us: budget.emg_us(),
+            batch_max: 1,
+            batch_slack_us: 300,
         }
     }
 }
 
-/// The serving runtime: a TRN ladder, a configuration, and a fault plan.
-#[derive(Debug, Clone)]
-pub struct Server {
-    ladder: TrnLadder,
-    config: ServerConfig,
-    faults: FaultPlan,
+/// One scheduled execution: a batch of one or more requests on one
+/// shard's worker. Solo dispatches are batches of one; joins grow the
+/// record until its virtual start time passes.
+#[derive(Debug)]
+struct BatchRec {
+    shard: usize,
+    worker: usize,
+    start_us: u64,
+    /// Rung of the shard's ladder (`None` = EMG).
+    rung: Option<usize>,
+    /// Tightest absolute deadline across members.
+    tightest_abs_us: u64,
+    /// The first member's noise draw — one kernel, one draw.
+    leader_noise_ppm: u64,
+    /// Fault service factor sampled at dispatch.
+    fault_ppm: u64,
+    /// Outcome indices of the members, join order.
+    members: Vec<usize>,
 }
 
+/// The serving runtime: device shards and a configuration.
+#[derive(Debug, Clone)]
+pub struct Server {
+    shards: Vec<Shard>,
+    config: ServerConfig,
+}
+
+/// PR4-exact service scaling: `base × noise × fault`, both factors in ppm,
+/// truncating after each multiply, floor 1 µs.
+fn scaled_service(base_us: u64, noise_ppm: u64, fault_ppm: u64) -> u64 {
+    let noisy = u128::from(base_us) * u128::from(noise_ppm) / u128::from(PPM);
+    (noisy * u128::from(fault_ppm) / u128::from(PPM)).max(1) as u64
+}
+
+/// Per-shard busy gauges need static names; shards beyond the table go
+/// unreported (summaries, not gauges, are the source of truth).
+const SHARD_BUSY_GAUGE: [&str; 4] = [
+    "serve.shard0.busy",
+    "serve.shard1.busy",
+    "serve.shard2.busy",
+    "serve.shard3.busy",
+];
+
 impl Server {
-    /// Builds a server.
+    /// Builds a single-shard server — the unsharded path, bit-compatible
+    /// with runs from before sharding existed. The request's own carried
+    /// noise is used (no shard noise table).
     ///
     /// # Panics
     /// Panics if the configuration has zero workers or a zero deadline.
     pub fn new(ladder: TrnLadder, config: ServerConfig, faults: FaultPlan) -> Self {
-        assert!(config.workers > 0, "server needs at least one worker");
-        assert!(config.deadline_us > 0, "deadline must be positive");
-        Server {
+        let shard = Shard {
+            name: "default".to_owned(),
             ladder,
-            config,
+            workers: config.workers,
             faults,
-        }
+            noise_ppm: Vec::new(),
+        };
+        Server::with_shards(vec![shard], config)
     }
 
-    /// The ladder this server degrades along.
+    /// Builds a sharded server. Shard worker counts must sum to
+    /// `config.workers`.
+    ///
+    /// # Panics
+    /// Panics on zero shards, a shard with zero workers, a worker-count
+    /// mismatch, a zero deadline, or a zero `batch_max`.
+    pub fn with_shards(shards: Vec<Shard>, config: ServerConfig) -> Self {
+        assert!(!shards.is_empty(), "server needs at least one shard");
+        assert!(
+            shards.iter().all(|s| s.workers > 0),
+            "every shard needs at least one worker"
+        );
+        assert_eq!(
+            shards.iter().map(|s| s.workers).sum::<usize>(),
+            config.workers,
+            "shard workers must sum to the configured pool size"
+        );
+        assert!(config.deadline_us > 0, "deadline must be positive");
+        assert!(config.batch_max > 0, "batch_max must be at least 1");
+        Server { shards, config }
+    }
+
+    /// The ladder of shard 0 (the only ladder for unsharded servers).
     pub fn ladder(&self) -> &TrnLadder {
-        &self.ladder
+        &self.shards[0].ladder
+    }
+
+    /// All shards, routing order.
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
     }
 
     /// The configuration the server was built with.
@@ -142,15 +238,122 @@ impl Server {
         let mut run_span = obs::span("serve.run");
         run_span.field("requests", requests.len());
         run_span.field("workers", self.config.workers);
+        run_span.field("shards", self.shards.len());
+        run_span.field("batch_max", self.config.batch_max);
         run_span.field("degrade", self.config.degrade);
 
-        let top = self.ladder.top();
-        let mut free_at = vec![0u64; self.config.workers];
-        let mut outcomes = Vec::with_capacity(requests.len());
+        let deadline = self.config.deadline_us;
+        let batcher = Batcher {
+            batch_max: self.config.batch_max,
+            slack_us: self.config.batch_slack_us,
+        };
+        // free_at[s][w]: when shard s's worker w next idles.
+        let mut free_at: Vec<Vec<u64>> =
+            self.shards.iter().map(|s| vec![0u64; s.workers]).collect();
+        // open[s]: index into `batches` of shard s's joinable batch, if any.
+        let mut open: Vec<Option<usize>> = vec![None; self.shards.len()];
+        let mut batches: Vec<BatchRec> = Vec::new();
+        let mut outcomes: Vec<RequestOutcome> = Vec::with_capacity(requests.len());
+
         for req in requests {
             let now = req.arrival_us;
+            let oi = outcomes.len();
 
-            if self.faults.should_drop(now, req.id) {
+            // Batches whose virtual start has passed can no longer grow.
+            for slot in &mut open {
+                if slot.is_some_and(|b| batches[b].start_us <= now) {
+                    *slot = None;
+                }
+            }
+
+            // One solo candidate per shard, plus a join candidate where an
+            // open batch can legally absorb this request.
+            let mut cands: Vec<Candidate> = Vec::with_capacity(self.shards.len() * 2);
+            let mut plans: Vec<DispatchPlan> = Vec::with_capacity(self.shards.len() * 2);
+            for (s, shard) in self.shards.iter().enumerate() {
+                let (stall_count, stall_until) = shard.faults.stall_at(now).unwrap_or((0, 0));
+                let mut worker = 0usize;
+                let mut start = u64::MAX;
+                for (w, &f) in free_at[s].iter().enumerate() {
+                    let mut avail = f.max(now);
+                    if (w as u64) < stall_count {
+                        avail = avail.max(stall_until);
+                    }
+                    if avail < start {
+                        start = avail;
+                        worker = w;
+                    }
+                }
+                let queue_delay = start - now;
+                let (rung, base_us) = match req.kind {
+                    RequestKind::Emg => (None, self.config.emg_service_us),
+                    RequestKind::Visual => {
+                        let r = if self.config.degrade {
+                            shard.ladder.select(queue_delay, deadline)
+                        } else {
+                            shard.ladder.top()
+                        };
+                        (Some(r), shard.ladder.rung(r).latency_us)
+                    }
+                };
+                let service = scaled_service(
+                    base_us,
+                    shard.noise_for(req),
+                    shard.faults.service_factor_ppm(start),
+                );
+                cands.push(Candidate {
+                    shard: s,
+                    join: false,
+                    start_us: start,
+                    completion_us: start + service,
+                    admissible: queue_delay < deadline,
+                });
+                plans.push(DispatchPlan::Solo {
+                    worker,
+                    rung,
+                    service,
+                });
+
+                if req.kind == RequestKind::Visual && batcher.enabled() {
+                    if let Some(b) = open[s] {
+                        let rec = &batches[b];
+                        let size = rec.members.len() + 1;
+                        let tightest = rec.tightest_abs_us.min(now + deadline);
+                        if let Some(r) = batcher.admit(
+                            &shard.ladder,
+                            rec.start_us,
+                            tightest,
+                            size,
+                            self.config.degrade,
+                        ) {
+                            let service = scaled_service(
+                                shard.ladder.batch_latency_us(r, size),
+                                rec.leader_noise_ppm,
+                                rec.fault_ppm,
+                            );
+                            cands.push(Candidate {
+                                shard: s,
+                                join: true,
+                                start_us: rec.start_us,
+                                completion_us: rec.start_us + service,
+                                admissible: true,
+                            });
+                            plans.push(DispatchPlan::Join {
+                                batch: b,
+                                rung: r,
+                                tightest_abs_us: tightest,
+                                service,
+                            });
+                        }
+                    }
+                }
+            }
+
+            let pick = ShardRouter::pick(&cands).expect("at least one shard offers a candidate");
+            let cand = cands[pick];
+            let s = cand.shard;
+
+            if self.shards[s].faults.should_drop(now, req.id) {
                 obs::counter_add("serve.dropped", 1);
                 outcomes.push(RequestOutcome {
                     id: req.id,
@@ -160,105 +363,165 @@ impl Server {
                     rung: None,
                     service_us: 0,
                     latency_us: 0,
+                    shard: s,
+                    batch_size: 0,
                     status: Status::Dropped,
                 });
                 continue;
             }
 
-            // Earliest-free worker, stalled workers held until release.
-            let (stall_count, stall_until) = self.faults.stall_at(now).unwrap_or((0, 0));
-            let mut worker = 0usize;
-            let mut start = u64::MAX;
-            for (w, &f) in free_at.iter().enumerate() {
-                let mut avail = f.max(now);
-                if (w as u64) < stall_count {
-                    avail = avail.max(stall_until);
-                }
-                if avail < start {
-                    start = avail;
-                    worker = w;
-                }
-            }
-            let busy = free_at.iter().filter(|&&f| f > now).count();
             if obs::enabled() {
+                let busy: usize = free_at.iter().flatten().filter(|&&f| f > now).count();
                 obs::gauge_set("serve.queue_depth", busy as i64);
+                if let Some(name) = SHARD_BUSY_GAUGE.get(s) {
+                    let shard_busy = free_at[s].iter().filter(|&&f| f > now).count();
+                    obs::gauge_set(name, shard_busy as i64);
+                }
             }
-            let queue_delay = start - now;
 
-            if queue_delay >= self.config.deadline_us {
+            if !cand.admissible {
                 obs::counter_add("serve.rejected", 1);
                 outcomes.push(RequestOutcome {
                     id: req.id,
                     kind: req.kind,
                     arrival_us: now,
-                    queue_delay_us: queue_delay,
+                    queue_delay_us: cand.start_us - now,
                     rung: None,
                     service_us: 0,
                     latency_us: 0,
+                    shard: s,
+                    batch_size: 0,
                     status: Status::Rejected,
                 });
                 continue;
             }
 
-            let (rung, base_us) = match req.kind {
-                RequestKind::Emg => (None, self.config.emg_service_us),
-                RequestKind::Visual => {
-                    let r = if self.config.degrade {
-                        self.ladder.select(queue_delay, self.config.deadline_us)
-                    } else {
-                        top
-                    };
-                    (Some(r), self.ladder.rung(r).latency_us)
+            match plans[pick] {
+                DispatchPlan::Solo {
+                    worker,
+                    rung,
+                    service,
+                } => {
+                    free_at[s][worker] = cand.start_us + service;
+                    let b = batches.len();
+                    batches.push(BatchRec {
+                        shard: s,
+                        worker,
+                        start_us: cand.start_us,
+                        rung,
+                        tightest_abs_us: now + deadline,
+                        leader_noise_ppm: self.shards[s].noise_for(req),
+                        fault_ppm: self.shards[s].faults.service_factor_ppm(cand.start_us),
+                        members: vec![oi],
+                    });
+                    // Every dispatch supersedes the shard's open batch: the
+                    // open batch must stay the last thing scheduled on its
+                    // worker, or a later join would overlap its successor.
+                    open[s] = (req.kind == RequestKind::Visual
+                        && batcher.enabled()
+                        && cand.start_us > now)
+                        .then_some(b);
                 }
-            };
-            let noisy = u128::from(base_us) * u128::from(req.noise_ppm) / u128::from(PPM);
-            let service = (noisy * u128::from(self.faults.service_factor_ppm(start))
-                / u128::from(PPM))
-            .max(1) as u64;
-            let finish = start + service;
-            free_at[worker] = finish;
-            let latency = finish - now;
-            let status = if latency > self.config.deadline_us {
-                Status::Missed
-            } else {
-                Status::Served
-            };
-
-            if obs::enabled() {
-                let mut span = obs::span("serve.request");
-                span.field("id", req.id);
-                span.field("queue_delay_us", queue_delay);
-                span.field("service_us", service);
-                span.field("latency_us", latency);
-                if let Some(r) = rung {
-                    span.field("rung", r);
+                DispatchPlan::Join {
+                    batch,
+                    rung,
+                    tightest_abs_us,
+                    service,
+                } => {
+                    let rec = &mut batches[batch];
+                    rec.members.push(oi);
+                    rec.rung = Some(rung);
+                    rec.tightest_abs_us = tightest_abs_us;
+                    free_at[s][rec.worker] = rec.start_us + service;
+                    if rec.members.len() >= batcher.batch_max {
+                        open[s] = None;
+                    }
                 }
             }
-            match status {
-                Status::Served => obs::counter_add("serve.served", 1),
-                Status::Missed => obs::counter_add("serve.missed", 1),
-                Status::Rejected | Status::Dropped => unreachable!(),
-            }
-            if rung.is_some_and(|r| r < top) {
-                obs::counter_add("serve.degraded", 1);
-            }
-            obs::observe("serve.latency_us", latency as f64);
-            obs::observe("serve.queue_delay_us", queue_delay as f64);
 
+            // Deferred: a later join can still move this request's finish
+            // time, so real numbers land in the finalization pass.
             outcomes.push(RequestOutcome {
                 id: req.id,
                 kind: req.kind,
                 arrival_us: now,
-                queue_delay_us: queue_delay,
-                rung,
-                service_us: service,
-                latency_us: latency,
-                status,
+                queue_delay_us: 0,
+                rung: None,
+                service_us: 0,
+                latency_us: 0,
+                shard: s,
+                batch_size: 0,
+                status: Status::Served,
             });
         }
+
+        // Finalization: batch sizes are settled, so finish times are too.
+        for rec in &batches {
+            let shard = &self.shards[rec.shard];
+            let size = rec.members.len();
+            let base_us = match rec.rung {
+                Some(r) => shard.ladder.batch_latency_us(r, size),
+                None => self.config.emg_service_us,
+            };
+            let service = scaled_service(base_us, rec.leader_noise_ppm, rec.fault_ppm);
+            let finish = rec.start_us + service;
+            obs::observe("serve.batch_size", size as f64);
+            for &oi in &rec.members {
+                let o = &mut outcomes[oi];
+                o.queue_delay_us = rec.start_us - o.arrival_us;
+                o.rung = rec.rung;
+                o.service_us = service;
+                o.latency_us = finish - o.arrival_us;
+                o.batch_size = size;
+                o.status = if o.latency_us > deadline {
+                    Status::Missed
+                } else {
+                    Status::Served
+                };
+                match o.status {
+                    Status::Served => obs::counter_add("serve.served", 1),
+                    Status::Missed => obs::counter_add("serve.missed", 1),
+                    Status::Rejected | Status::Dropped => unreachable!(),
+                }
+                if rec.rung.is_some_and(|r| r < shard.ladder.top()) {
+                    obs::counter_add("serve.degraded", 1);
+                }
+                obs::observe("serve.latency_us", o.latency_us as f64);
+                obs::observe("serve.queue_delay_us", o.queue_delay_us as f64);
+                if obs::enabled() {
+                    let mut span = obs::span("serve.request");
+                    span.field("id", o.id);
+                    span.field("shard", rec.shard);
+                    span.field("batch_size", size);
+                    span.field("queue_delay_us", o.queue_delay_us);
+                    span.field("service_us", o.service_us);
+                    span.field("latency_us", o.latency_us);
+                    if let Some(r) = o.rung {
+                        span.field("rung", r);
+                    }
+                }
+            }
+        }
         run_span.field("outcomes", outcomes.len());
+        run_span.field("batches", batches.len());
         outcomes
     }
+}
+
+/// What taking a candidate would actually do — precomputed alongside it.
+#[derive(Debug, Clone, Copy)]
+enum DispatchPlan {
+    Solo {
+        worker: usize,
+        rung: Option<usize>,
+        service: u64,
+    },
+    Join {
+        batch: usize,
+        rung: usize,
+        tightest_abs_us: u64,
+        service: u64,
+    },
 }
 
 #[cfg(test)]
@@ -274,6 +537,15 @@ mod tests {
             rung("cut2", 300, 0.70),
             rung("cut1", 600, 0.80),
             rung("cut0", 750, 0.85),
+        ])
+    }
+
+    fn curved_ladder() -> TrnLadder {
+        test_ladder().with_batch_curves(vec![
+            vec![PPM, 1_300_000, 1_500_000, 1_700_000],
+            vec![PPM, 1_250_000, 1_450_000, 1_600_000],
+            vec![PPM, 1_200_000, 1_400_000, 1_550_000],
+            vec![PPM, 1_200_000, 1_350_000, 1_500_000],
         ])
     }
 
@@ -301,6 +573,18 @@ mod tests {
             workers: 1,
             degrade: true,
             emg_service_us: 800,
+            batch_max: 1,
+            batch_slack_us: 300,
+        }
+    }
+
+    fn shard(name: &str, ladder: TrnLadder, workers: usize, faults: FaultPlan) -> Shard {
+        Shard {
+            name: name.to_owned(),
+            ladder,
+            workers,
+            faults,
+            noise_ppm: Vec::new(),
         }
     }
 
@@ -310,6 +594,7 @@ mod tests {
         assert_eq!(c.deadline_us, 900);
         assert_eq!(c.emg_service_us, 800);
         assert!(c.degrade);
+        assert_eq!(c.batch_max, 1, "batching is opt-in");
     }
 
     #[test]
@@ -322,6 +607,8 @@ mod tests {
             assert_eq!(o.rung, Some(3));
             assert_eq!(o.queue_delay_us, 0);
             assert_eq!(o.latency_us, 750);
+            assert_eq!(o.batch_size, 1);
+            assert_eq!(o.shard, 0);
         }
     }
 
@@ -372,6 +659,7 @@ mod tests {
         assert_eq!(out[0].rung, None);
         assert_eq!(out[0].service_us, 800);
         assert_eq!(out[0].status, Status::Served);
+        assert_eq!(out[0].batch_size, 1);
     }
 
     #[test]
@@ -418,6 +706,7 @@ mod tests {
         let out = server.run(&[visual(0, 10)]);
         assert_eq!(out[0].status, Status::Dropped);
         assert_eq!(out[0].latency_us, 0);
+        assert_eq!(out[0].batch_size, 0);
     }
 
     #[test]
@@ -452,5 +741,140 @@ mod tests {
     fn unsorted_arrivals_are_rejected() {
         let server = Server::new(test_ladder(), config(), FaultPlan::none());
         let _ = server.run(&[visual(0, 100), visual(1, 50)]);
+    }
+
+    #[test]
+    fn backlog_coalesces_into_a_batch() {
+        let server = Server::new(
+            curved_ladder(),
+            ServerConfig {
+                batch_max: 4,
+                ..config()
+            },
+            FaultPlan::none(),
+        );
+        // r0 starts immediately (not joinable); r1 queues behind it and
+        // becomes the open batch; r2 joins r1 instead of queueing again.
+        let out = server.run(&[visual(0, 0), visual(1, 10), visual(2, 20)]);
+        assert_eq!(out[0].batch_size, 1);
+        assert_eq!(out[0].latency_us, 750);
+        // r1: starts at 750 with 160 µs slack → rung 0; r2 joins: batch 2
+        // at rung 0 costs 130 µs, finishing at 880.
+        assert_eq!(out[1].batch_size, 2);
+        assert_eq!(out[2].batch_size, 2);
+        assert_eq!(out[1].rung, Some(0));
+        assert_eq!(out[1].latency_us, 880 - 10);
+        assert_eq!(out[2].latency_us, 880 - 20);
+        assert_eq!(out[1].status, Status::Served);
+        assert_eq!(out[2].status, Status::Served);
+    }
+
+    #[test]
+    fn zero_slack_budget_never_batches() {
+        let reqs = Workload {
+            rps: 3000,
+            duration_us: 300_000,
+            emg_share_ppm: 100_000,
+            seed: 11,
+        }
+        .generate();
+        let faults = FaultPlan::seeded_demo(11, 300_000, &netcut_sim::DeviceModel::jetson_xavier());
+        let unbatched = Server::new(curved_ladder(), config(), faults.clone());
+        let zero_slack = Server::new(
+            curved_ladder(),
+            ServerConfig {
+                batch_max: 8,
+                batch_slack_us: 0,
+                ..config()
+            },
+            faults,
+        );
+        let a = unbatched.run(&reqs);
+        let b = zero_slack.run(&reqs);
+        // A zero overhead budget rejects every join (batching always adds
+        // overhead), so the run degenerates to the unbatched path exactly.
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.status, y.status);
+            assert_eq!(x.latency_us, y.latency_us);
+            assert_eq!(x.rung, y.rung);
+            assert_eq!(x.batch_size, y.batch_size);
+        }
+    }
+
+    #[test]
+    fn second_request_routes_to_the_idle_shard() {
+        let server = Server::with_shards(
+            vec![
+                shard("a", test_ladder(), 1, FaultPlan::none()),
+                shard("b", test_ladder(), 1, FaultPlan::none()),
+            ],
+            ServerConfig {
+                workers: 2,
+                ..config()
+            },
+        );
+        let out = server.run(&[visual(0, 0), visual(1, 0)]);
+        assert_eq!(out[0].shard, 0, "ties break to the lowest shard");
+        assert_eq!(out[1].shard, 1, "idle shard finishes sooner");
+        assert_eq!(out[1].queue_delay_us, 0);
+    }
+
+    #[test]
+    fn stalled_shard_spills_to_the_healthy_one() {
+        let stalled = FaultPlan {
+            windows: vec![FaultWindow {
+                kind: FaultKind::Stall,
+                start_us: 0,
+                end_us: 5_000,
+                magnitude: 1,
+            }],
+            seed: 0,
+        };
+        let server = Server::with_shards(
+            vec![
+                shard("a", test_ladder(), 1, stalled),
+                shard("b", test_ladder(), 1, FaultPlan::none()),
+            ],
+            ServerConfig {
+                workers: 2,
+                ..config()
+            },
+        );
+        // Shard 0's worker is stalled past the deadline — inadmissible —
+        // so the request spills to shard 1 instead of being rejected.
+        let out = server.run(&[visual(0, 0)]);
+        assert_eq!(out[0].shard, 1);
+        assert_eq!(out[0].status, Status::Served);
+    }
+
+    #[test]
+    fn batch_growth_stops_when_the_tightest_deadline_binds() {
+        let server = Server::new(
+            curved_ladder(),
+            ServerConfig {
+                batch_max: 8,
+                ..config()
+            },
+            FaultPlan::none(),
+        );
+        // r1 opens a batch at start 750 with 160 µs of leader slack.
+        // Rung 0 batched: 130 µs at 2, 150 at 3, 170 at 4 — so r2 and r3
+        // join, but admitting r4 would predict a miss (170 > 160) and the
+        // batcher refuses; r4 falls back to a solo dispatch.
+        let out = server.run(&[
+            visual(0, 0),
+            visual(1, 10),
+            visual(2, 20),
+            visual(3, 30),
+            visual(4, 40),
+        ]);
+        for o in &out[1..4] {
+            assert_eq!(o.batch_size, 3);
+            assert_eq!(o.rung, Some(0));
+            assert_eq!(o.status, Status::Served);
+            assert_eq!(o.latency_us, 900 - o.arrival_us); // finish at 900
+        }
+        assert_eq!(out[4].batch_size, 1, "join would bust the leader");
+        assert_eq!(out[4].status, Status::Missed); // solo behind the batch
     }
 }

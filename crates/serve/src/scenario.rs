@@ -2,26 +2,38 @@
 //! a [`ServeSummary`].
 //!
 //! A scenario wires the whole pipeline together: it explores a network
-//! family on the simulated device (through [`netcut::eval::EvalContext`],
-//! so `--jobs` parallelizes candidate evaluation), builds the TRN ladder
-//! from the Pareto frontier, generates the seeded workload, attaches
-//! per-request noise on the same worker pool, and runs the serving
-//! simulation. The `jobs` knob only ever touches physically-parallel
-//! stages whose outputs are order-deterministic, so the final summary is
-//! bit-identical at any `jobs` value — the property the determinism
-//! acceptance check and the golden trace rely on.
+//! family on each shard's simulated device (through
+//! [`netcut::eval::EvalContext`], so `--jobs` parallelizes candidate
+//! evaluation), builds one TRN ladder per device from its Pareto frontier
+//! — a slower edge device keeps fewer, faster rungs under the same
+//! deadline — attaches analytic batch-scaling curves when dynamic batching
+//! is on, generates the seeded workload, precomputes per-shard noise
+//! tables on the same worker pool, and runs the serving simulation. The
+//! `jobs` knob only ever touches physically-parallel stages whose outputs
+//! are order-deterministic, so the final summary is bit-identical at any
+//! `jobs` value — the property the determinism acceptance check, the CI
+//! `--jobs` matrix leg, and the golden traces rely on.
+//!
+//! Shard 0 always runs the primary device with the *unsalted* seed and no
+//! shard noise table, so a `shards: 1, batch_max: 1` scenario reproduces
+//! the pre-sharding runtime bit-for-bit.
 
 use crate::faults::FaultPlan;
 use crate::ladder::TrnLadder;
 use crate::request::{service_noise_ppm, Workload};
 use crate::runtime::{RequestOutcome, Server, ServerConfig};
-use crate::summary::ServeSummary;
+use crate::shard::Shard;
+use crate::summary::{RunMeta, ServeSummary};
 use netcut::eval::EvalContext;
 use netcut::explore::exhaustive_blockwise_with;
 use netcut_graph::{zoo, HeadSpec};
 use netcut_obs as obs;
-use netcut_sim::{DeviceModel, Precision, Session};
+use netcut_sim::{batch_scale_ppm, DeviceModel, Precision, Session};
 use netcut_train::SurrogateRetrainer;
+
+/// Salt mixed into per-shard seeds (shard 0 stays unsalted so single-shard
+/// runs reproduce pre-sharding behavior bit-for-bit).
+const SHARD_SEED_SALT: u64 = 0x7368_6172_645f_6964;
 
 /// Parameters of a full serve run.
 #[derive(Debug, Clone)]
@@ -36,19 +48,30 @@ pub struct ScenarioConfig {
     pub seed: u64,
     /// Worker threads for ladder construction and noise precompute.
     pub jobs: usize,
-    /// Simulated serving workers.
+    /// Simulated serving workers (partitioned across shards).
     pub workers: usize,
     /// `false` reproduces the `--no-degrade` baseline.
     pub degrade: bool,
     /// Fraction of EMG requests, parts per million.
     pub emg_share_ppm: u64,
-    /// Inject the seeded demo fault schedule.
+    /// Inject the seeded demo fault schedule (per shard, decorrelated).
     pub faults: bool,
+    /// Largest batch dynamic batching may form (1 = batching off).
+    pub batch_max: usize,
+    /// Per-batch slack budget, microseconds.
+    pub batch_slack_us: u64,
+    /// Number of device shards the worker pool is partitioned into.
+    pub shards: usize,
+    /// Device roster: shard `i` runs `devices[i % devices.len()]`.
+    pub devices: Vec<DeviceModel>,
 }
 
 impl Default for ScenarioConfig {
     /// The acceptance-check scenario: 900 µs deadline, 2000 rps, 5 s,
-    /// seed 11, two workers, 10% EMG, degradation on, faults on.
+    /// seed 11, two workers, 10% EMG, degradation on, faults on, batching
+    /// off, one shard. The device roster defaults to the Jetson Xavier
+    /// (the paper's target) backed by the slower Jetson Nano edge profile,
+    /// which `--shards 2` brings into play.
     fn default() -> Self {
         ScenarioConfig {
             deadline_us: 900,
@@ -60,6 +83,10 @@ impl Default for ScenarioConfig {
             degrade: true,
             emg_share_ppm: 100_000,
             faults: true,
+            batch_max: 1,
+            batch_slack_us: 300,
+            shards: 1,
+            devices: vec![DeviceModel::jetson_xavier(), DeviceModel::jetson_nano()],
         }
     }
 }
@@ -68,12 +95,10 @@ impl Default for ScenarioConfig {
 /// pure function, so [`Scenario::run`] always returns the same outcomes).
 #[derive(Debug, Clone)]
 pub struct Scenario {
-    /// The ladder the server degrades along.
-    pub ladder: TrnLadder,
-    /// The generated request stream, noise attached.
+    /// The device shards the server routes across.
+    pub shards: Vec<Shard>,
+    /// The generated request stream, shard-0 noise attached.
     pub requests: Vec<crate::request::Request>,
-    /// The fault schedule.
-    pub faults: FaultPlan,
     /// The runtime configuration.
     pub server_config: ServerConfig,
     config: ScenarioConfig,
@@ -86,25 +111,91 @@ pub fn scenario_networks() -> Vec<netcut_graph::Network> {
     vec![zoo::mobilenet_v2(1.0)]
 }
 
-/// Builds the ladder for `cfg` by exploring [`scenario_networks`] on the
-/// Jetson Xavier Int8 device model and Pareto-filtering the candidates.
-pub fn build_ladder(cfg: &ScenarioConfig) -> TrnLadder {
-    let session = Session::new(DeviceModel::jetson_xavier(), Precision::Int8);
+/// Builds the ladder for `cfg` on `device`: explores [`scenario_networks`]
+/// under Int8, Pareto-filters the candidates, and — when `cfg.batch_max`
+/// allows batching — attaches the analytic batch-scaling curve of each
+/// rung's trimmed network ([`batch_scale_ppm`]).
+pub fn build_ladder_for(cfg: &ScenarioConfig, device: &DeviceModel) -> TrnLadder {
+    let session = Session::new(device.clone(), Precision::Int8);
     let retrainer = SurrogateRetrainer::paper();
     let ctx = EvalContext::new(&session, &retrainer).with_jobs(cfg.jobs);
     let exploration =
         exhaustive_blockwise_with(&ctx, &scenario_networks(), &HeadSpec::default(), cfg.seed);
-    TrnLadder::from_points(&exploration.points)
+    let ladder = TrnLadder::from_points(&exploration.points);
+    if cfg.batch_max <= 1 {
+        return ladder;
+    }
+    let head = HeadSpec::default();
+    let batch_max = cfg.batch_max;
+    // Curves are pure per-rung work: compute them on the shared pool.
+    // par_map preserves input order, so the curves land rung-aligned.
+    let cutpoints: Vec<usize> = ladder.rungs().iter().map(|r| r.cutpoint).collect();
+    let curves = ctx.par_map(cutpoints, |_, cut| {
+        let trn = scenario_networks()[0]
+            .cut_blocks(cut)
+            .expect("ladder cutpoints come from exploring this same network")
+            .with_head(&head);
+        (1..=batch_max)
+            .map(|b| batch_scale_ppm(&trn, device, Precision::Int8, b))
+            .collect::<Vec<u64>>()
+    });
+    ladder.with_batch_curves(curves)
+}
+
+/// Builds the shard-0 ladder (the primary device) — the pre-sharding API.
+pub fn build_ladder(cfg: &ScenarioConfig) -> TrnLadder {
+    build_ladder_for(cfg, &cfg.devices[0])
+}
+
+/// Splits `workers` across `shards` as evenly as possible, remainder to
+/// the lowest shard indices.
+fn split_workers(workers: usize, shards: usize) -> Vec<usize> {
+    let base = workers / shards;
+    let rem = workers % shards;
+    (0..shards).map(|i| base + usize::from(i < rem)).collect()
 }
 
 impl Scenario {
-    /// Builds the scenario: ladder, workload, noise, faults.
+    /// Builds the scenario: per-device ladders, workload, noise tables,
+    /// fault plans.
+    ///
+    /// # Panics
+    /// Panics if `cfg.shards` is zero, exceeds `cfg.workers`, or the
+    /// device roster is empty.
     pub fn build(cfg: ScenarioConfig) -> Self {
+        assert!(cfg.shards > 0, "scenario needs at least one shard");
+        assert!(
+            cfg.shards <= cfg.workers,
+            "every shard needs at least one worker ({} shards > {} workers)",
+            cfg.shards,
+            cfg.workers
+        );
+        assert!(!cfg.devices.is_empty(), "device roster must not be empty");
         let mut span = obs::span("serve.scenario.build");
         span.field("seed", cfg.seed);
         span.field("jobs", cfg.jobs);
-        let ladder = build_ladder(&cfg);
-        span.field("rungs", ladder.len());
+        span.field("shards", cfg.shards);
+        span.field("batch_max", cfg.batch_max);
+
+        // One ladder per *unique* device on the roster (building a ladder
+        // means a full exploration — don't repeat it per shard).
+        let roster: Vec<&DeviceModel> = (0..cfg.shards)
+            .map(|i| &cfg.devices[i % cfg.devices.len()])
+            .collect();
+        let mut ladders: Vec<(String, TrnLadder)> = Vec::new();
+        for device in &roster {
+            if !ladders.iter().any(|(name, _)| *name == device.name) {
+                ladders.push((device.name.clone(), build_ladder_for(&cfg, device)));
+            }
+        }
+        let ladder_for = |name: &str| -> &TrnLadder {
+            ladders
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, l)| l)
+                .expect("ladder built for every roster device")
+        };
+        span.field("rungs", ladder_for(&roster[0].name).len());
 
         let mut requests = Workload {
             rps: cfg.rps,
@@ -115,38 +206,63 @@ impl Scenario {
         .generate();
         // Noise is a pure function of (seed, id): attach it on the shared
         // worker pool — par_map preserves input order, so the result is
-        // identical at any `jobs`.
-        let device = DeviceModel::jetson_xavier();
-        let jitter_ppm = device.jitter_ppm();
+        // identical at any `jobs`. Shard 0 reads the request's carried
+        // noise (bit-compatible with single-shard runs); shards ≥ 1 get
+        // their own decorrelated tables sized to their device's jitter.
         let seed = cfg.seed;
+        let ids: Vec<u64> = requests.iter().map(|r| r.id).collect();
+        let worker_split = split_workers(cfg.workers, cfg.shards);
+        let mut shards: Vec<Shard> = Vec::with_capacity(cfg.shards);
         {
-            let session = Session::new(device.clone(), Precision::Int8);
+            let session = Session::new(roster[0].clone(), Precision::Int8);
             let retrainer = SurrogateRetrainer::paper();
             let ctx = EvalContext::new(&session, &retrainer).with_jobs(cfg.jobs);
-            let noise = ctx.par_map(requests.iter().map(|r| r.id).collect(), |_, id| {
-                service_noise_ppm(seed, id, jitter_ppm)
+            let jitter0 = roster[0].jitter_ppm();
+            let noise0 = ctx.par_map(ids.clone(), move |_, id| {
+                service_noise_ppm(seed, id, jitter0)
             });
-            for (r, n) in requests.iter_mut().zip(noise) {
+            for (r, n) in requests.iter_mut().zip(noise0) {
                 r.noise_ppm = n;
+            }
+            for (i, device) in roster.iter().enumerate() {
+                let shard_seed = seed ^ (i as u64).wrapping_mul(SHARD_SEED_SALT);
+                let noise_ppm = if i == 0 {
+                    Vec::new() // shard 0 uses the request-carried noise
+                } else {
+                    let jitter = device.jitter_ppm();
+                    ctx.par_map(ids.clone(), move |_, id| {
+                        service_noise_ppm(shard_seed, id, jitter)
+                    })
+                };
+                shards.push(Shard {
+                    name: device.name.clone(),
+                    ladder: ladder_for(&device.name).clone(),
+                    workers: worker_split[i],
+                    faults: if cfg.faults {
+                        // The *global* fault timeline partitioned across the
+                        // fleet: a sharded run faces the same environment as
+                        // the single-shard baseline, not `shards` copies.
+                        FaultPlan::seeded_demo_shard(seed, cfg.duration_us, device, i, cfg.shards)
+                    } else {
+                        FaultPlan::none()
+                    },
+                    noise_ppm,
+                });
             }
         }
 
-        let faults = if cfg.faults {
-            FaultPlan::seeded_demo(cfg.seed, cfg.duration_us, &device)
-        } else {
-            FaultPlan::none()
-        };
         let server_config = ServerConfig {
             deadline_us: cfg.deadline_us,
             workers: cfg.workers,
             degrade: cfg.degrade,
+            batch_max: cfg.batch_max,
+            batch_slack_us: cfg.batch_slack_us,
             ..ServerConfig::default()
         };
         span.field("requests", requests.len());
         Scenario {
-            ladder,
+            shards,
             requests,
-            faults,
             server_config,
             config: cfg,
         }
@@ -157,25 +273,26 @@ impl Scenario {
         &self.config
     }
 
+    /// Shard 0's ladder (the only ladder for single-shard scenarios).
+    pub fn ladder(&self) -> &TrnLadder {
+        &self.shards[0].ladder
+    }
+
+    /// The server this scenario runs.
+    pub fn server(&self) -> Server {
+        Server::with_shards(self.shards.clone(), self.server_config.clone())
+    }
+
     /// Runs the serving simulation and returns per-request outcomes.
     pub fn run(&self) -> Vec<RequestOutcome> {
-        let server = Server::new(
-            self.ladder.clone(),
-            self.server_config.clone(),
-            self.faults.clone(),
-        );
-        server.run(&self.requests)
+        self.server().run(&self.requests)
     }
 
     /// Runs the simulation and aggregates the summary.
     pub fn run_summary(&self) -> ServeSummary {
-        ServeSummary::from_outcomes(
-            &self.run(),
-            &self.ladder,
-            self.server_config.deadline_us,
-            self.server_config.workers,
-            self.server_config.degrade,
-        )
+        let server = self.server();
+        let meta = RunMeta::from_server(&server, self.config.duration_us);
+        ServeSummary::from_outcomes(&server.run(&self.requests), &meta)
     }
 }
 
@@ -193,6 +310,14 @@ mod tests {
         ScenarioConfig {
             duration_us: 300_000,
             ..ScenarioConfig::default()
+        }
+    }
+
+    fn quick_sharded() -> ScenarioConfig {
+        ScenarioConfig {
+            batch_max: 8,
+            shards: 2,
+            ..quick()
         }
     }
 
@@ -224,6 +349,19 @@ mod tests {
     }
 
     #[test]
+    fn sharded_batched_summary_is_identical_across_jobs() {
+        let a = run_scenario(ScenarioConfig {
+            jobs: 1,
+            ..quick_sharded()
+        });
+        let b = run_scenario(ScenarioConfig {
+            jobs: 4,
+            ..quick_sharded()
+        });
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
     fn degradation_beats_the_pinned_baseline() {
         let degrade = run_scenario(quick());
         let pinned = run_scenario(ScenarioConfig {
@@ -238,5 +376,48 @@ mod tests {
         );
         assert!(degrade.degraded > 0);
         assert_eq!(pinned.degraded, 0);
+    }
+
+    #[test]
+    fn sharded_scenario_builds_distinct_device_ladders() {
+        let s = Scenario::build(quick_sharded());
+        assert_eq!(s.shards.len(), 2);
+        assert_eq!(s.shards[0].name, "jetson-xavier");
+        assert_eq!(s.shards[1].name, "jetson-nano");
+        // The Nano is slower across the board: its fastest rung is slower
+        // than the Xavier's fastest rung.
+        assert!(
+            s.shards[1].ladder.rung(0).latency_us > s.shards[0].ladder.rung(0).latency_us,
+            "nano {} µs !> xavier {} µs",
+            s.shards[1].ladder.rung(0).latency_us,
+            s.shards[0].ladder.rung(0).latency_us
+        );
+        // Shard 0 reads request-carried noise; shard 1 has its own table.
+        assert!(s.shards[0].noise_ppm.is_empty());
+        assert_eq!(s.shards[1].noise_ppm.len(), s.requests.len());
+        // Batch curves attached: batch 8 amortizes (sublinear).
+        let l = &s.shards[0].ladder;
+        let top = l.top();
+        assert!(l.batch_latency_us(top, 8) < 8 * l.batch_latency_us(top, 1));
+    }
+
+    #[test]
+    fn batching_and_sharding_fill_the_batch_histogram() {
+        let summary = run_scenario(quick_sharded());
+        assert_eq!(summary.shards, 2);
+        assert_eq!(summary.batch_max, 8);
+        assert_eq!(summary.shard_histogram.iter().sum::<u64>(), summary.total);
+        assert!(
+            summary.batch_histogram[1..].iter().sum::<u64>() > 0,
+            "no batches ever formed: {:?}",
+            summary.batch_histogram
+        );
+    }
+
+    #[test]
+    fn worker_split_is_even_with_low_remainder() {
+        assert_eq!(split_workers(2, 2), vec![1, 1]);
+        assert_eq!(split_workers(5, 2), vec![3, 2]);
+        assert_eq!(split_workers(7, 3), vec![3, 2, 2]);
     }
 }

@@ -1,0 +1,152 @@
+//! Sharded serving: partitioning the worker pool across simulated devices.
+//!
+//! A [`Shard`] is one device's slice of the runtime — its own TRN ladder
+//! (the Pareto set re-explored *on that device*: a Jetson Nano keeps fewer,
+//! faster rungs than a Xavier under the same deadline), its own fault plan,
+//! and its own precomputed per-request noise table. The [`ShardRouter`] is
+//! the placement policy: **least predicted completion time** over every
+//! dispatch candidate the shards offer, with spill — a request that one
+//! shard would reject at admission routes to any shard that can still take
+//! it.
+//!
+//! Routing is a pure function of virtual-time queue state (no wall clock,
+//! no randomness), so placement — like batching — is bit-identical across
+//! `--jobs` settings.
+
+use crate::faults::FaultPlan;
+use crate::ladder::TrnLadder;
+use crate::request::Request;
+
+/// One device's slice of a sharded server.
+#[derive(Debug, Clone)]
+pub struct Shard {
+    /// Device name, used as the shard key in summaries (`jetson-xavier`).
+    pub name: String,
+    /// The degradation ladder explored on this shard's device.
+    pub ladder: TrnLadder,
+    /// Workers this shard owns (its share of the pool).
+    pub workers: usize,
+    /// Fault plan injected on this shard's device.
+    pub faults: FaultPlan,
+    /// Per-request service-noise table, indexed by request id, in parts
+    /// per million. Empty = fall back to the noise attached to the request
+    /// itself (the single-shard path, bit-compatible with pre-shard runs).
+    pub noise_ppm: Vec<u64>,
+}
+
+impl Shard {
+    /// Service noise this shard applies to `req`: its own table when one
+    /// is attached, the request's carried noise otherwise.
+    pub fn noise_for(&self, req: &Request) -> u64 {
+        self.noise_ppm
+            .get(req.id as usize)
+            .copied()
+            .unwrap_or(req.noise_ppm)
+    }
+}
+
+/// One way a request could be dispatched right now: solo on some shard's
+/// earliest-free worker, or joining a shard's still-pending batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// Shard index the dispatch lands on.
+    pub shard: usize,
+    /// `true` when this candidate joins an open batch instead of starting
+    /// a fresh dispatch.
+    pub join: bool,
+    /// Predicted start of service, microseconds of virtual time.
+    pub start_us: u64,
+    /// Predicted completion, microseconds of virtual time.
+    pub completion_us: u64,
+    /// `false` when taking this candidate would bust admission control
+    /// (queue delay alone reaches the deadline).
+    pub admissible: bool,
+}
+
+/// Least-predicted-completion-time placement with spill.
+///
+/// Preference order: admissible candidates before inadmissible ones (the
+/// *spill* rule — one full shard never forces a reject while another shard
+/// has room), then earliest predicted completion, then batch joins over
+/// solo dispatches (a join consumes no extra worker time), then the lowest
+/// shard index. The total order makes routing deterministic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardRouter;
+
+impl ShardRouter {
+    /// Picks the winning candidate's index, or `None` on an empty slate.
+    pub fn pick(candidates: &[Candidate]) -> Option<usize> {
+        (0..candidates.len()).min_by_key(|&i| {
+            let c = &candidates[i];
+            (!c.admissible, c.completion_us, !c.join, c.shard)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(shard: usize, join: bool, completion_us: u64, admissible: bool) -> Candidate {
+        Candidate {
+            shard,
+            join,
+            start_us: 0,
+            completion_us,
+            admissible,
+        }
+    }
+
+    #[test]
+    fn earliest_completion_wins() {
+        let picked = ShardRouter::pick(&[cand(0, false, 900, true), cand(1, false, 700, true)]);
+        assert_eq!(picked, Some(1));
+    }
+
+    #[test]
+    fn admissible_shard_beats_a_faster_but_full_one() {
+        // Shard 0 finishes sooner but would reject at admission: spill to
+        // shard 1 even though its completion is later.
+        let picked = ShardRouter::pick(&[cand(0, false, 700, false), cand(1, false, 1_400, true)]);
+        assert_eq!(picked, Some(1));
+    }
+
+    #[test]
+    fn join_breaks_completion_ties() {
+        let picked = ShardRouter::pick(&[cand(0, false, 900, true), cand(1, true, 900, true)]);
+        assert_eq!(picked, Some(1));
+    }
+
+    #[test]
+    fn lowest_shard_breaks_full_ties() {
+        let picked = ShardRouter::pick(&[cand(1, false, 900, true), cand(0, false, 900, true)]);
+        assert_eq!(picked, Some(1)); // index 1 holds shard 0
+        assert!(ShardRouter::pick(&[]).is_none());
+    }
+
+    #[test]
+    fn shard_noise_table_overrides_request_noise() {
+        use crate::request::{RequestKind, PPM};
+        let shard = Shard {
+            name: "jetson-nano".into(),
+            ladder: crate::ladder::TrnLadder::from_rungs(vec![crate::ladder::Rung {
+                name: "cut0".into(),
+                cutpoint: 0,
+                latency_us: 100,
+                accuracy: 0.8,
+            }]),
+            workers: 1,
+            faults: FaultPlan::none(),
+            noise_ppm: vec![PPM + 5],
+        };
+        let req = Request {
+            id: 0,
+            arrival_us: 0,
+            kind: RequestKind::Visual,
+            noise_ppm: PPM,
+        };
+        assert_eq!(shard.noise_for(&req), PPM + 5);
+        let late = Request { id: 9, ..req };
+        assert_eq!(shard.noise_for(&late), PPM); // past the table: fallback
+    }
+}

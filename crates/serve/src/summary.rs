@@ -4,21 +4,85 @@
 //! the JSON rendering of a summary is byte-identical whenever the outcomes
 //! are — which makes summaries directly comparable across `--jobs`
 //! settings, machines, and the committed golden trace.
+//!
+//! **Tail-latency accounting.** The latency percentiles cover completions
+//! only (served + missed): rejected and dropped requests never produce a
+//! completion latency, so folding their zeros into a percentile would
+//! *flatter* the tail exactly when the server sheds the most load. Instead
+//! the summary reports them explicitly — [`ServeSummary::tail_excluded`]
+//! counts the requests outside the percentile population, and
+//! [`ServeSummary::rejected_queue_p99_us`] shows how long rejected clients
+//! waited to hear "no".
 
-use crate::ladder::TrnLadder;
 use crate::request::PPM;
-use crate::runtime::{RequestOutcome, Status};
+use crate::runtime::{RequestOutcome, Server, Status};
 use std::fmt::Write as _;
+
+/// Per-shard facts the summary needs that outcomes alone don't carry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMeta {
+    /// Shard name (device name in sharded scenarios).
+    pub name: String,
+    /// Workers the shard owns.
+    pub workers: usize,
+    /// Rung count of the shard's ladder (sizes its rung histogram).
+    pub ladder_len: usize,
+}
+
+/// Run-level configuration echoed into the summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunMeta {
+    /// Per-request deadline, microseconds.
+    pub deadline_us: u64,
+    /// Total worker pool size.
+    pub workers: usize,
+    /// Whether ladder degradation was enabled.
+    pub degrade: bool,
+    /// Largest batch dynamic batching could form (1 = off).
+    pub batch_max: usize,
+    /// Run duration, microseconds (0 when unknown; goodput reads 0).
+    pub duration_us: u64,
+    /// One entry per shard, routing order.
+    pub shards: Vec<ShardMeta>,
+}
+
+impl RunMeta {
+    /// Builds the metadata straight off a [`Server`].
+    pub fn from_server(server: &Server, duration_us: u64) -> Self {
+        RunMeta {
+            deadline_us: server.config().deadline_us,
+            workers: server.config().workers,
+            degrade: server.config().degrade,
+            batch_max: server.config().batch_max,
+            duration_us,
+            shards: server
+                .shards()
+                .iter()
+                .map(|s| ShardMeta {
+                    name: s.name.clone(),
+                    workers: s.workers,
+                    ladder_len: s.ladder.len(),
+                })
+                .collect(),
+        }
+    }
+}
 
 /// Aggregate statistics of one serve run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeSummary {
     /// Per-request deadline, microseconds.
     pub deadline_us: u64,
-    /// Worker pool size.
+    /// Total worker pool size.
     pub workers: usize,
     /// Whether ladder degradation was enabled.
     pub degrade: bool,
+    /// Number of shards the pool was partitioned into.
+    pub shards: usize,
+    /// Largest batch dynamic batching could form (1 = off).
+    pub batch_max: usize,
+    /// Run duration, microseconds.
+    pub duration_us: u64,
     /// Requests generated.
     pub total: u64,
     /// Completed within the deadline.
@@ -29,14 +93,30 @@ pub struct ServeSummary {
     pub rejected: u64,
     /// Lost to injected drop faults.
     pub dropped: u64,
-    /// Visual requests served below the top rung.
+    /// Visual requests served below their shard's top rung.
     pub degraded: u64,
     /// Missed + rejected + dropped, as parts per million of total — the
     /// figure the CLI prints and the acceptance check compares.
     pub miss_rate_ppm: u64,
-    /// Completions (served or missed) per ladder rung, fastest first.
-    /// EMG requests are not on the ladder and are excluded.
-    pub rung_histogram: Vec<u64>,
+    /// Deadline-met throughput in milli-requests per second:
+    /// `served × 10⁹ / duration_us` (0 when the duration is unknown).
+    pub goodput_mrps: u64,
+    /// Shard names, routing order.
+    pub shard_names: Vec<String>,
+    /// Requests routed to each shard (every status).
+    pub shard_histogram: Vec<u64>,
+    /// Per-shard completions by ladder rung, fastest rung first. EMG
+    /// requests are not on the ladder and are excluded.
+    pub rung_histograms: Vec<Vec<u64>>,
+    /// Completions by the size of the batch they ran in (`index + 1` =
+    /// batch size).
+    pub batch_histogram: Vec<u64>,
+    /// Requests outside the latency-percentile population (rejected +
+    /// dropped) — reported, never silently folded into the tail.
+    pub tail_excluded: u64,
+    /// 99th-percentile queue delay among *rejected* requests — how long a
+    /// shed client waited before hearing "no".
+    pub rejected_queue_p99_us: u64,
     /// Median completion latency, microseconds (nearest-rank).
     pub latency_p50_us: u64,
     /// 95th-percentile completion latency, microseconds.
@@ -48,31 +128,33 @@ pub struct ServeSummary {
 }
 
 impl ServeSummary {
-    /// Aggregates `outcomes` into a summary. `ladder_len` sizes the rung
-    /// histogram; `deadline_us`, `workers`, `degrade` echo the run
+    /// Aggregates `outcomes` into a summary under `meta`'s run
     /// configuration.
-    pub fn from_outcomes(
-        outcomes: &[RequestOutcome],
-        ladder: &TrnLadder,
-        deadline_us: u64,
-        workers: usize,
-        degrade: bool,
-    ) -> Self {
+    pub fn from_outcomes(outcomes: &[RequestOutcome], meta: &RunMeta) -> Self {
         let count = |s: Status| outcomes.iter().filter(|o| o.status == s).count() as u64;
         let total = outcomes.len() as u64;
         let served = count(Status::Served);
         let missed = count(Status::Missed);
         let rejected = count(Status::Rejected);
         let dropped = count(Status::Dropped);
-        let top = ladder.top();
-        let degraded = outcomes
+        let mut degraded = 0u64;
+        let mut shard_histogram = vec![0u64; meta.shards.len()];
+        let mut rung_histograms: Vec<Vec<u64>> = meta
+            .shards
             .iter()
-            .filter(|o| o.rung.is_some_and(|r| r < top))
-            .count() as u64;
-        let mut rung_histogram = vec![0u64; ladder.len()];
+            .map(|s| vec![0u64; s.ladder_len])
+            .collect();
+        let mut batch_histogram = vec![0u64; meta.batch_max.max(1)];
         for o in outcomes {
+            shard_histogram[o.shard] += 1;
             if let Some(r) = o.rung {
-                rung_histogram[r] += 1;
+                rung_histograms[o.shard][r] += 1;
+                if r + 1 < meta.shards[o.shard].ladder_len {
+                    degraded += 1;
+                }
+            }
+            if o.batch_size > 0 {
+                batch_histogram[o.batch_size - 1] += 1;
             }
         }
         let mut latencies: Vec<u64> = outcomes
@@ -82,10 +164,19 @@ impl ServeSummary {
             .collect();
         latencies.sort_unstable();
         let pct = |p: u64| nearest_rank(&latencies, p);
+        let mut rejected_delays: Vec<u64> = outcomes
+            .iter()
+            .filter(|o| o.status == Status::Rejected)
+            .map(|o| o.queue_delay_us)
+            .collect();
+        rejected_delays.sort_unstable();
         ServeSummary {
-            deadline_us,
-            workers,
-            degrade,
+            deadline_us: meta.deadline_us,
+            workers: meta.workers,
+            degrade: meta.degrade,
+            shards: meta.shards.len(),
+            batch_max: meta.batch_max,
+            duration_us: meta.duration_us,
             total,
             served,
             missed,
@@ -95,7 +186,15 @@ impl ServeSummary {
             miss_rate_ppm: ((missed + rejected + dropped) * PPM)
                 .checked_div(total)
                 .unwrap_or(0),
-            rung_histogram,
+            goodput_mrps: (served as u128 * 1_000_000_000)
+                .checked_div(u128::from(meta.duration_us))
+                .unwrap_or(0) as u64,
+            shard_names: meta.shards.iter().map(|s| s.name.clone()).collect(),
+            shard_histogram,
+            rung_histograms,
+            batch_histogram,
+            tail_excluded: rejected + dropped,
+            rejected_queue_p99_us: nearest_rank(&rejected_delays, 99),
             latency_p50_us: pct(50),
             latency_p95_us: pct(95),
             latency_p99_us: pct(99),
@@ -103,11 +202,11 @@ impl ServeSummary {
         }
     }
 
-    /// Renders the summary as a JSON object. Hand-rolled (integers and a
-    /// flat array only) so the byte output is identical under any JSON
-    /// backend and stable for golden comparison.
+    /// Renders the summary as a JSON object. Hand-rolled (integers, flat
+    /// arrays, and plain-identifier strings only) so the byte output is
+    /// identical under any JSON backend and stable for golden comparison.
     pub fn to_json(&self) -> String {
-        let mut s = String::with_capacity(512);
+        let mut s = String::with_capacity(1024);
         s.push('{');
         let mut field = |name: &str, value: String| {
             if s.len() > 1 {
@@ -115,9 +214,16 @@ impl ServeSummary {
             }
             let _ = write!(s, "\"{name}\":{value}");
         };
+        let int_array = |xs: &[u64]| {
+            let items: Vec<String> = xs.iter().map(u64::to_string).collect();
+            format!("[{}]", items.join(","))
+        };
         field("deadline_us", self.deadline_us.to_string());
         field("workers", self.workers.to_string());
         field("degrade", self.degrade.to_string());
+        field("shards", self.shards.to_string());
+        field("batch_max", self.batch_max.to_string());
+        field("duration_us", self.duration_us.to_string());
         field("total", self.total.to_string());
         field("served", self.served.to_string());
         field("missed", self.missed.to_string());
@@ -125,8 +231,22 @@ impl ServeSummary {
         field("dropped", self.dropped.to_string());
         field("degraded", self.degraded.to_string());
         field("miss_rate_ppm", self.miss_rate_ppm.to_string());
-        let hist: Vec<String> = self.rung_histogram.iter().map(u64::to_string).collect();
-        field("rung_histogram", format!("[{}]", hist.join(",")));
+        field("goodput_mrps", self.goodput_mrps.to_string());
+        let names: Vec<String> = self
+            .shard_names
+            .iter()
+            .map(|n| format!("\"{n}\""))
+            .collect();
+        field("shard_names", format!("[{}]", names.join(",")));
+        field("shard_histogram", int_array(&self.shard_histogram));
+        let rungs: Vec<String> = self.rung_histograms.iter().map(|h| int_array(h)).collect();
+        field("rung_histograms", format!("[{}]", rungs.join(",")));
+        field("batch_histogram", int_array(&self.batch_histogram));
+        field("tail_excluded", self.tail_excluded.to_string());
+        field(
+            "rejected_queue_p99_us",
+            self.rejected_queue_p99_us.to_string(),
+        );
         field("latency_p50_us", self.latency_p50_us.to_string());
         field("latency_p95_us", self.latency_p95_us.to_string());
         field("latency_p99_us", self.latency_p99_us.to_string());
@@ -140,11 +260,14 @@ impl ServeSummary {
         let mut s = String::new();
         let _ = writeln!(
             s,
-            "serve: {} requests, deadline {} µs, {} workers, degradation {}",
+            "serve: {} requests, deadline {} µs, {} workers / {} shard{}, degradation {}, batch ≤ {}",
             self.total,
             self.deadline_us,
             self.workers,
-            if self.degrade { "on" } else { "off" }
+            self.shards,
+            if self.shards == 1 { "" } else { "s" },
+            if self.degrade { "on" } else { "off" },
+            self.batch_max,
         );
         let _ = writeln!(
             s,
@@ -153,8 +276,9 @@ impl ServeSummary {
         );
         let _ = writeln!(
             s,
-            "  miss rate {:.4}%  degraded {} ({:.1}% of completions)",
+            "  miss rate {:.4}%  goodput {:.1} rps  degraded {} ({:.1}% of completions)",
             self.miss_rate_ppm as f64 / 10_000.0,
+            self.goodput_mrps as f64 / 1000.0,
             self.degraded,
             if self.served + self.missed == 0 {
                 0.0
@@ -164,14 +288,22 @@ impl ServeSummary {
         );
         let _ = writeln!(
             s,
-            "  latency p50/p95/p99/max: {}/{}/{}/{} µs",
-            self.latency_p50_us, self.latency_p95_us, self.latency_p99_us, self.latency_max_us
+            "  latency p50/p95/p99/max: {}/{}/{}/{} µs (completions only; {} rejected+dropped excluded, rejected queue p99 {} µs)",
+            self.latency_p50_us,
+            self.latency_p95_us,
+            self.latency_p99_us,
+            self.latency_max_us,
+            self.tail_excluded,
+            self.rejected_queue_p99_us,
         );
-        let _ = writeln!(
-            s,
-            "  rung histogram (fastest→most accurate): {:?}",
-            self.rung_histogram
-        );
+        for (i, name) in self.shard_names.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "  shard {i} ({name}): {} requests, rungs (fastest→most accurate) {:?}",
+                self.shard_histogram[i], self.rung_histograms[i]
+            );
+        }
+        let _ = writeln!(s, "  batch sizes (1..): {:?}", self.batch_histogram);
         s
     }
 }
@@ -188,24 +320,21 @@ fn nearest_rank(sorted: &[u64], percentile: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ladder::Rung;
     use crate::request::RequestKind;
 
-    fn ladder() -> TrnLadder {
-        TrnLadder::from_rungs(vec![
-            Rung {
-                name: "a".into(),
-                cutpoint: 1,
-                latency_us: 100,
-                accuracy: 0.6,
-            },
-            Rung {
-                name: "b".into(),
-                cutpoint: 0,
-                latency_us: 700,
-                accuracy: 0.8,
-            },
-        ])
+    fn meta() -> RunMeta {
+        RunMeta {
+            deadline_us: 900,
+            workers: 2,
+            degrade: true,
+            batch_max: 2,
+            duration_us: 500,
+            shards: vec![ShardMeta {
+                name: "jetson-xavier".into(),
+                workers: 2,
+                ladder_len: 2,
+            }],
+        }
     }
 
     fn outcome(id: u64, rung: Option<usize>, latency_us: u64, status: Status) -> RequestOutcome {
@@ -217,23 +346,27 @@ mod tests {
             rung,
             service_us: latency_us,
             latency_us,
+            shard: 0,
+            batch_size: usize::from(!matches!(status, Status::Rejected | Status::Dropped)),
             status,
         }
     }
 
     fn sample() -> Vec<RequestOutcome> {
-        vec![
+        let mut v = vec![
             outcome(0, Some(1), 700, Status::Served),
             outcome(1, Some(0), 150, Status::Served),
             outcome(2, Some(0), 950, Status::Missed),
             outcome(3, None, 0, Status::Rejected),
             outcome(4, None, 0, Status::Dropped),
-        ]
+        ];
+        v[3].queue_delay_us = 1_200;
+        v
     }
 
     #[test]
     fn counts_and_miss_rate() {
-        let s = ServeSummary::from_outcomes(&sample(), &ladder(), 900, 2, true);
+        let s = ServeSummary::from_outcomes(&sample(), &meta());
         assert_eq!(s.total, 5);
         assert_eq!(s.served, 2);
         assert_eq!(s.missed, 1);
@@ -241,12 +374,16 @@ mod tests {
         assert_eq!(s.dropped, 1);
         assert_eq!(s.degraded, 2);
         assert_eq!(s.miss_rate_ppm, 3 * PPM / 5);
-        assert_eq!(s.rung_histogram, vec![2, 1]);
+        assert_eq!(s.rung_histograms, vec![vec![2, 1]]);
+        assert_eq!(s.shard_histogram, vec![5]);
+        assert_eq!(s.batch_histogram, vec![3, 0]);
+        // 2 served over 500 µs = 4000 rps.
+        assert_eq!(s.goodput_mrps, 4_000_000);
     }
 
     #[test]
     fn percentiles_use_completion_latencies_only() {
-        let s = ServeSummary::from_outcomes(&sample(), &ladder(), 900, 2, true);
+        let s = ServeSummary::from_outcomes(&sample(), &meta());
         // Completions: [150, 700, 950].
         assert_eq!(s.latency_p50_us, 700);
         assert_eq!(s.latency_p95_us, 950);
@@ -254,31 +391,56 @@ mod tests {
     }
 
     #[test]
+    fn rejected_requests_are_counted_not_folded_into_the_tail() {
+        // Regression: rejected/dropped requests must never enter the
+        // percentile population as zero-latency samples (which would pull
+        // the tail *down* under load shedding), and must instead be
+        // reported through the explicit side counters.
+        let mut outs = sample();
+        let with = ServeSummary::from_outcomes(&outs, &meta());
+        outs.retain(|o| !matches!(o.status, Status::Rejected | Status::Dropped));
+        let without = ServeSummary::from_outcomes(&outs, &meta());
+        assert_eq!(with.latency_p50_us, without.latency_p50_us);
+        assert_eq!(with.latency_p99_us, without.latency_p99_us);
+        assert_eq!(with.tail_excluded, 2);
+        assert_eq!(without.tail_excluded, 0);
+        // The shed clients' wait is visible, just in its own counter.
+        assert_eq!(with.rejected_queue_p99_us, 1_200);
+        assert_eq!(without.rejected_queue_p99_us, 0);
+    }
+
+    #[test]
     fn json_is_stable_and_parseable() {
-        let s = ServeSummary::from_outcomes(&sample(), &ladder(), 900, 2, true);
+        let s = ServeSummary::from_outcomes(&sample(), &meta());
         let json = s.to_json();
         assert_eq!(json, s.to_json());
         assert!(json.starts_with("{\"deadline_us\":900,"));
-        assert!(json.contains("\"rung_histogram\":[2,1]"));
+        assert!(json.contains("\"rung_histograms\":[[2,1]]"));
+        assert!(json.contains("\"shard_names\":[\"jetson-xavier\"]"));
+        assert!(json.contains("\"batch_histogram\":[3,0]"));
+        assert!(json.contains("\"tail_excluded\":2"));
         assert!(json.contains("\"degrade\":true"));
         assert!(json.ends_with('}'));
     }
 
     #[test]
     fn empty_run_summarizes_to_zeros() {
-        let s = ServeSummary::from_outcomes(&[], &ladder(), 900, 1, false);
+        let s = ServeSummary::from_outcomes(&[], &meta());
         assert_eq!(s.total, 0);
         assert_eq!(s.miss_rate_ppm, 0);
+        assert_eq!(s.goodput_mrps, 0);
         assert_eq!(s.latency_max_us, 0);
     }
 
     #[test]
     fn text_report_mentions_the_headline_numbers() {
-        let s = ServeSummary::from_outcomes(&sample(), &ladder(), 900, 2, true);
+        let s = ServeSummary::from_outcomes(&sample(), &meta());
         let text = s.render_text();
         assert!(text.contains("5 requests"));
         assert!(text.contains("miss rate"));
+        assert!(text.contains("goodput"));
         assert!(text.contains("p50/p95/p99/max"));
+        assert!(text.contains("jetson-xavier"));
     }
 
     #[test]

@@ -11,8 +11,8 @@
 //!    at `--jobs 1` and `--jobs 8`.
 
 use netcut_serve::{
-    run_scenario, FaultPlan, Rung, Scenario, ScenarioConfig, Server, ServerConfig, Status,
-    TrnLadder, Workload, PPM,
+    run_scenario, Batcher, FaultPlan, Rung, Scenario, ScenarioConfig, Server, ServerConfig, Shard,
+    Status, TrnLadder, Workload, PPM,
 };
 use proptest::prelude::*;
 
@@ -62,8 +62,33 @@ fn server_config_strategy() -> impl Strategy<Value = ServerConfig> {
             workers,
             degrade,
             emg_service_us: 800,
+            batch_max: 1,
+            batch_slack_us: 0,
         }
     })
+}
+
+/// A ladder plus random nondecreasing batch-scaling curves (what scenario
+/// construction computes analytically).
+fn curved_ladder_strategy() -> impl Strategy<Value = TrnLadder> {
+    (
+        ladder_strategy(),
+        prop::collection::vec(prop::collection::vec(0u64..400_000, 7), 12),
+    )
+        .prop_map(|(ladder, curve_steps)| {
+            let curves = (0..ladder.len())
+                .map(|r| {
+                    let mut level = PPM;
+                    let mut curve = vec![PPM];
+                    for step in &curve_steps[r % curve_steps.len()] {
+                        level += step;
+                        curve.push(level);
+                    }
+                    curve
+                })
+                .collect();
+            ladder.with_batch_curves(curves)
+        })
 }
 
 proptest! {
@@ -142,7 +167,14 @@ proptest! {
         let requests = workload.generate();
         let server = Server::new(
             ladder,
-            ServerConfig { deadline_us, workers, degrade: true, emg_service_us: 800 },
+            ServerConfig {
+                deadline_us,
+                workers,
+                degrade: true,
+                emg_service_us: 800,
+                batch_max: 1,
+                batch_slack_us: 0,
+            },
             FaultPlan::none(),
         );
         let mut by_delay: Vec<(u64, usize)> = server
@@ -185,6 +217,176 @@ proptest! {
         let sequential = run_scenario(cfg(1));
         let parallel = run_scenario(cfg(8));
         prop_assert_eq!(sequential.to_json(), parallel.to_json());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Batcher invariant 1: a server allowed batches of one behaves
+    /// bit-for-bit like one whose slack budget forbids every join — the
+    /// batched runtime strictly generalizes the unbatched one.
+    #[test]
+    fn batch_of_one_is_the_unbatched_path(
+        ladder in curved_ladder_strategy(),
+        workload in workload_strategy(),
+        deadline_us in 300u64..1500,
+        workers in 1usize..4,
+    ) {
+        let requests = workload.generate();
+        let base = ServerConfig {
+            deadline_us,
+            workers,
+            degrade: true,
+            emg_service_us: 800,
+            batch_max: 1,
+            batch_slack_us: 300,
+        };
+        let unbatched = Server::new(ladder.clone(), base.clone(), FaultPlan::none());
+        let no_slack = Server::new(
+            ladder,
+            ServerConfig { batch_max: 8, batch_slack_us: 0, ..base },
+            FaultPlan::none(),
+        );
+        let a = unbatched.run(&requests);
+        let b = no_slack.run(&requests);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(&x.status, &y.status);
+            prop_assert_eq!(x.latency_us, y.latency_us);
+            prop_assert_eq!(x.rung, y.rung);
+            prop_assert_eq!(x.batch_size, y.batch_size);
+        }
+    }
+
+    /// Batcher invariant 2: at formation time, the planned batch never
+    /// predicts a violation of its tightest member's deadline — for every
+    /// batch of two or more, the batched latency fits the tightest slack.
+    #[test]
+    fn formation_never_predicts_a_tightest_member_miss(
+        ladder in curved_ladder_strategy(),
+        start_us in 0u64..2000,
+        slacks in prop::collection::vec(0u64..2500, 1..10),
+        batch_max in 1usize..8,
+        slack_budget in 0u64..600,
+        degrade in any::<bool>(),
+    ) {
+        let deadlines: Vec<u64> = slacks.iter().map(|s| start_us + s).collect();
+        let batcher = Batcher { batch_max, slack_us: slack_budget };
+        let (size, rung) = batcher.plan(&ladder, start_us, &deadlines, degrade);
+        prop_assert!(size >= 1 && size <= batch_max.max(1));
+        if size >= 2 {
+            let tightest = *deadlines[..size].iter().min().expect("nonempty");
+            let predicted = ladder.batch_latency_us(rung, size);
+            prop_assert!(
+                start_us + predicted <= tightest,
+                "batch of {size} on rung {rung} predicts {predicted} µs past tightest slack {}",
+                tightest - start_us
+            );
+            prop_assert!(
+                predicted - ladder.batch_latency_us(rung, 1) <= slack_budget,
+                "batching overhead exceeds the {slack_budget} µs budget"
+            );
+        }
+    }
+
+    /// Batcher invariant 3: formation is monotone in the slack budget —
+    /// allowing more batching overhead never shrinks the planned batch.
+    #[test]
+    fn more_slack_never_shrinks_the_batch(
+        ladder in curved_ladder_strategy(),
+        start_us in 0u64..2000,
+        slacks in prop::collection::vec(0u64..2500, 1..10),
+        batch_max in 1usize..8,
+        budget_lo in 0u64..600,
+        budget_extra in 0u64..600,
+        degrade in any::<bool>(),
+    ) {
+        let deadlines: Vec<u64> = slacks.iter().map(|s| start_us + s).collect();
+        let tight = Batcher { batch_max, slack_us: budget_lo };
+        let loose = Batcher { batch_max, slack_us: budget_lo + budget_extra };
+        let (size_tight, _) = tight.plan(&ladder, start_us, &deadlines, degrade);
+        let (size_loose, _) = loose.plan(&ladder, start_us, &deadlines, degrade);
+        prop_assert!(
+            size_loose >= size_tight,
+            "budget {} formed {size_tight} but larger budget {} formed {size_loose}",
+            budget_lo,
+            budget_lo + budget_extra
+        );
+    }
+}
+
+/// Router invariant: under symmetric load on symmetric shards, no shard
+/// starves — least-completion routing with lowest-index tie-breaks still
+/// spreads work across the pool. Pinned on the two reference seeds.
+#[test]
+fn symmetric_shards_never_starve() {
+    for seed in [11u64, 13] {
+        let requests = Workload {
+            rps: 3000,
+            duration_us: 1_000_000,
+            emg_share_ppm: 100_000,
+            seed,
+        }
+        .generate();
+        let ladder = || {
+            TrnLadder::from_rungs(vec![
+                Rung {
+                    name: "net/cut1".into(),
+                    cutpoint: 1,
+                    latency_us: 150,
+                    accuracy: 0.6,
+                },
+                Rung {
+                    name: "net/cut0".into(),
+                    cutpoint: 0,
+                    latency_us: 700,
+                    accuracy: 0.85,
+                },
+            ])
+        };
+        let shard = |name: &str| Shard {
+            name: name.to_owned(),
+            ladder: ladder(),
+            workers: 1,
+            faults: FaultPlan::none(),
+            noise_ppm: Vec::new(),
+        };
+        let server = Server::with_shards(
+            vec![shard("a"), shard("b")],
+            ServerConfig {
+                workers: 2,
+                ..ServerConfig::default()
+            },
+        );
+        let outcomes = server.run(&requests);
+        let per_shard = [0usize, 1].map(|s| outcomes.iter().filter(|o| o.shard == s).count());
+        let total = outcomes.len();
+        for (s, &n) in per_shard.iter().enumerate() {
+            assert!(
+                n * 4 > total,
+                "seed {seed}: shard {s} got {n} of {total} requests — starved"
+            );
+        }
+    }
+}
+
+/// The full sharded + batched pipeline stays bit-identical across `--jobs`
+/// settings — the property the CI matrix leg enforces end to end. Pinned
+/// on the two reference seeds to keep ladder exploration cost bounded.
+#[test]
+fn sharded_batched_summaries_identical_across_jobs() {
+    for seed in [11u64, 13] {
+        let cfg = |jobs| ScenarioConfig {
+            duration_us: 150_000,
+            seed,
+            jobs,
+            batch_max: 8,
+            shards: 2,
+            ..ScenarioConfig::default()
+        };
+        let sequential = run_scenario(cfg(1));
+        let parallel = run_scenario(cfg(8));
+        assert_eq!(sequential.to_json(), parallel.to_json(), "seed {seed}");
     }
 }
 

@@ -49,6 +49,8 @@ fn config() -> ServerConfig {
         workers: 1,
         degrade: true,
         emg_service_us: 800,
+        batch_max: 1,
+        batch_slack_us: 0,
     }
 }
 

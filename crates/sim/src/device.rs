@@ -147,6 +147,19 @@ impl DeviceModel {
         }
     }
 
+    /// Looks a preset up by name — the form CLI flags and scenario configs
+    /// use. Accepts the canonical report name (`jetson-xavier`), the
+    /// underscore variant (`jetson_xavier`), and the bare model
+    /// (`xavier` / `nano` / `k20m`).
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "jetson-xavier" | "jetson_xavier" | "xavier" => Some(Self::jetson_xavier()),
+            "jetson-nano" | "jetson_nano" | "nano" => Some(Self::jetson_nano()),
+            "tesla-k20m" | "tesla_k20m" | "k20m" => Some(Self::tesla_k20m()),
+            _ => None,
+        }
+    }
+
     /// Efficiency (fraction of peak throughput) achieved by an operation
     /// kind at full occupancy. Depthwise convolutions are notoriously
     /// inefficient on GPUs; elementwise ops are bandwidth-limited.
@@ -221,6 +234,21 @@ mod tests {
             assert!(d.jitter_ppm() > 0);
             assert!(d.jitter_ppm() < 1_000_000, "jitter below 100%");
         }
+    }
+
+    #[test]
+    fn by_name_accepts_every_spelling() {
+        for (name, canonical) in [
+            ("jetson-xavier", "jetson-xavier"),
+            ("jetson_xavier", "jetson-xavier"),
+            ("xavier", "jetson-xavier"),
+            ("jetson_nano", "jetson-nano"),
+            ("nano", "jetson-nano"),
+            ("k20m", "tesla-k20m"),
+        ] {
+            assert_eq!(DeviceModel::by_name(name).expect(name).name, canonical);
+        }
+        assert!(DeviceModel::by_name("tpu").is_none());
     }
 
     #[test]

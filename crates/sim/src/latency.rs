@@ -67,6 +67,54 @@ pub fn batched_network_latency_ms(
     steady * device.ramp_factor(steady)
 }
 
+/// Noise-free latency of one batched inference of `net` in **integer
+/// microseconds** (rounded, at least 1). The integer form is what
+/// deadline-aware schedulers consume: every downstream comparison stays in
+/// exact integer arithmetic, so scheduling decisions are bit-identical
+/// across platforms and worker counts.
+///
+/// # Panics
+///
+/// Panics if `batch` is zero.
+pub fn batched_network_latency_us(
+    net: &Network,
+    device: &DeviceModel,
+    precision: Precision,
+    batch: usize,
+) -> u64 {
+    (batched_network_latency_ms(net, device, precision, batch) * 1000.0)
+        .round()
+        .max(1.0) as u64
+}
+
+/// Batch-scaling factor in **parts per million**: the latency of a
+/// `batch`-sized inference relative to batch 1 on the same device and
+/// precision, rounded to integer ppm. `batch == 1` returns exactly
+/// [`crate::PPM_SCALE`] (1 000 000).
+///
+/// This is the form a serving runtime stores per ladder rung: multiplying a
+/// measured batch-1 latency (integer µs) by this factor reproduces the
+/// analytic batching curve — weight-streaming and launch-overhead
+/// amortization, occupancy growth — without any float entering the
+/// scheduler's arithmetic.
+///
+/// # Panics
+///
+/// Panics if `batch` is zero.
+pub fn batch_scale_ppm(
+    net: &Network,
+    device: &DeviceModel,
+    precision: Precision,
+    batch: usize,
+) -> u64 {
+    if batch == 1 {
+        return crate::PPM_SCALE;
+    }
+    let base = batched_network_latency_ms(net, device, precision, 1);
+    let batched = batched_network_latency_ms(net, device, precision, batch);
+    (batched / base * crate::PPM_SCALE as f64).round() as u64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,6 +191,37 @@ mod tests {
             );
             prev_latency = lat;
             prev_throughput = throughput;
+        }
+    }
+
+    #[test]
+    fn integer_form_tracks_the_float_model() {
+        let d = DeviceModel::jetson_xavier();
+        let net = zoo::mobilenet_v2(1.0);
+        for batch in [1usize, 2, 4, 8] {
+            let ms = batched_network_latency_ms(&net, &d, Precision::Int8, batch);
+            let us = batched_network_latency_us(&net, &d, Precision::Int8, batch);
+            assert!((us as f64 - ms * 1000.0).abs() <= 0.5, "batch {batch}");
+        }
+    }
+
+    #[test]
+    fn batch_scale_is_ppm_exact_at_one_and_monotone() {
+        let d = DeviceModel::jetson_xavier();
+        let net = zoo::mobilenet_v2(1.0);
+        assert_eq!(batch_scale_ppm(&net, &d, Precision::Int8, 1), 1_000_000);
+        let mut prev = 0;
+        for batch in 1..=16 {
+            let scale = batch_scale_ppm(&net, &d, Precision::Int8, batch);
+            assert!(scale > prev, "scale not monotone at batch {batch}");
+            // Sublinear for batch >= 2: batching amortizes weights and
+            // launches, so the scale grows slower than the batch size
+            // itself. Batch 1 is exactly PPM by construction.
+            assert!(
+                batch == 1 || scale < 1_000_000 * batch as u64,
+                "batch {batch} scale {scale} is not sublinear"
+            );
+            prev = scale;
         }
     }
 

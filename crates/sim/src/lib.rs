@@ -41,7 +41,15 @@ mod trace;
 pub use device::{DeviceModel, Precision};
 pub use energy::EnergyModel;
 pub use fusion::{fuse_network, FusedKernel};
-pub use latency::{batched_network_latency_ms, kernel_latency_ms, network_latency_ms};
+pub use latency::{
+    batch_scale_ppm, batched_network_latency_ms, batched_network_latency_us, kernel_latency_ms,
+    network_latency_ms,
+};
+
+/// One million — the fixed-point base for every parts-per-million quantity
+/// this crate exports to integer-arithmetic consumers ([`batch_scale_ppm`],
+/// [`DeviceModel::jitter_ppm`], [`DeviceModel::transient_slowdown_ppm`]).
+pub const PPM_SCALE: u64 = 1_000_000;
 pub use measure::{Measurement, Session};
 pub use profile::{LatencyTable, LayerProfile};
 pub use trace::{trace_network, Bound, Trace, TraceEntry};
