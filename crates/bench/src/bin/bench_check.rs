@@ -17,13 +17,21 @@
 //! * **Acceptance violations** — the fresh matrix breaks the headline
 //!   invariants (degradation beats pinned; batching + sharding strictly
 //!   beats the baseline goodput at an equal-or-lower miss rate).
+//! * **Timeline drift** — the fresh `batch_shard` timeline differs from
+//!   the committed `results/BENCH_timeline.jsonl`. Non-alert lines
+//!   (header, window rows, residual cells) are compared canonically per
+//!   line and must match exactly; per-`OBS0xx` alert counts may differ by
+//!   up to [`serve_matrix::ALERT_COUNT_TOLERANCE`] so an intentional
+//!   threshold retune fails loudly only when it moves the alert volume.
 //!
-//! The fresh document is always written to `target/BENCH_serve.json` so
-//! CI can upload it as an artifact — on failure it is exactly the file a
-//! developer should inspect (and, for an intentional change, commit).
+//! The fresh documents are always written to `target/BENCH_serve.json`
+//! and `target/BENCH_timeline.jsonl` so CI can upload them as artifacts —
+//! on failure they are exactly the files a developer should inspect (and,
+//! for an intentional change, commit).
 
 use netcut_bench::serve_matrix;
 use serve_matrix::SCENARIO;
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -36,6 +44,77 @@ fn leg_u64(doc: &serde_json::Value, leg: &str, field: &str) -> Option<u64> {
 /// canonically so formatting differences cannot mask or fake a drift.
 fn deterministic_part(doc: &serde_json::Value) -> Option<String> {
     serde_json::to_string(doc.get("configs")?).ok()
+}
+
+/// Splits a timeline JSON-lines document into its canonically-reserialized
+/// non-alert lines (in order) and per-code alert counts. `Err` names the
+/// first malformed line.
+type TimelineParts = (Vec<String>, BTreeMap<String, u64>);
+fn split_timeline(text: &str) -> Result<TimelineParts, String> {
+    let mut lines = Vec::new();
+    let mut alerts: BTreeMap<String, u64> = BTreeMap::new();
+    for (i, line) in text.lines().enumerate() {
+        let doc: serde_json::Value =
+            serde_json::from_str(line).map_err(|e| format!("line {}: invalid JSON: {e}", i + 1))?;
+        let kind = doc
+            .get("kind")
+            .and_then(|k| k.as_str())
+            .ok_or_else(|| format!("line {}: missing `kind`", i + 1))?;
+        if kind == "alert" {
+            let code = doc
+                .get("code")
+                .and_then(|c| c.as_str())
+                .ok_or_else(|| format!("line {}: alert missing `code`", i + 1))?;
+            *alerts.entry(code.to_string()).or_insert(0) += 1;
+        } else {
+            lines.push(serde_json::to_string(&doc).expect("reserialize parsed JSON"));
+        }
+    }
+    Ok((lines, alerts))
+}
+
+/// Compares a fresh timeline against the committed one per the policy in
+/// the module docs. Returns failure messages (empty = pass).
+fn timeline_failures(committed: &str, fresh: &str) -> Vec<String> {
+    let committed = match split_timeline(committed) {
+        Ok(parts) => parts,
+        Err(e) => return vec![format!("committed BENCH_timeline.jsonl: {e}")],
+    };
+    let fresh = match split_timeline(fresh) {
+        Ok(parts) => parts,
+        Err(e) => return vec![format!("fresh BENCH_timeline.jsonl: {e}")],
+    };
+
+    let mut failures = Vec::new();
+    if committed.0.len() != fresh.0.len() {
+        failures.push(format!(
+            "timeline drift: {} non-alert lines committed vs {} fresh",
+            committed.0.len(),
+            fresh.0.len()
+        ));
+    } else if let Some(i) = (0..fresh.0.len()).find(|&i| committed.0[i] != fresh.0[i]) {
+        failures.push(format!(
+            "timeline drift at non-alert line {}: committed {} vs fresh {}",
+            i + 1,
+            committed.0[i],
+            fresh.0[i]
+        ));
+    }
+
+    let codes: std::collections::BTreeSet<&String> =
+        committed.1.keys().chain(fresh.1.keys()).collect();
+    for code in codes {
+        let was = committed.1.get(code).copied().unwrap_or(0);
+        let now = fresh.1.get(code).copied().unwrap_or(0);
+        if was.abs_diff(now) > serve_matrix::ALERT_COUNT_TOLERANCE {
+            failures.push(format!(
+                "timeline alert drift: {code} fired {now}x fresh vs {was}x committed \
+                 (tolerance +/-{})",
+                serve_matrix::ALERT_COUNT_TOLERANCE
+            ));
+        }
+    }
+    failures
 }
 
 fn main() -> ExitCode {
@@ -108,6 +187,32 @@ fn main() -> ExitCode {
         println!("bench_check: acceptance invariants OK");
     }
     failures.extend(violations);
+
+    let committed_tl_path = root.join("results/BENCH_timeline.jsonl");
+    let fresh_tl_path = root.join("target/BENCH_timeline.jsonl");
+    let fresh_tl = serve_matrix::timeline_leg(&legs).timeline.to_jsonl();
+    std::fs::write(&fresh_tl_path, &fresh_tl).expect("write fresh BENCH_timeline.jsonl");
+    println!(
+        "bench_check: fresh timeline written to {}",
+        fresh_tl_path.display()
+    );
+    match std::fs::read_to_string(&committed_tl_path) {
+        Ok(committed_tl) => {
+            let tl_failures = timeline_failures(&committed_tl, &fresh_tl);
+            if tl_failures.is_empty() {
+                println!(
+                    "bench_check: timeline OK — {} leg matches the committed file",
+                    serve_matrix::TIMELINE_LEG
+                );
+            }
+            failures.extend(tl_failures);
+        }
+        Err(e) => failures.push(format!(
+            "cannot load committed {}: {e} (run `cargo run --release -p netcut-bench \
+             --bin bench_serve` and commit the result)",
+            committed_tl_path.display()
+        )),
+    }
 
     if failures.is_empty() {
         println!("bench_check: PASS");

@@ -10,6 +10,11 @@
 //! any `--jobs`-equivalent parallelism byte-match; only `git` and the
 //! wall-clock fields vary run to run. `bench_check` compares a fresh run
 //! against the committed file in CI.
+//!
+//! Also prints a per-leg SLO burn-rate table and writes the `batch_shard`
+//! leg's windowed timeline to `results/BENCH_timeline.jsonl` (schema v1
+//! JSON-lines, same format as `serve --timeline-out`), which `bench_check`
+//! gates the same way.
 
 use netcut_bench::serve_matrix;
 use std::path::PathBuf;
@@ -43,6 +48,12 @@ fn main() {
         baseline.miss_rate_ppm as f64 / 10_000.0,
         batch_shard.miss_rate_ppm as f64 / 10_000.0
     );
+    println!();
+    println!(
+        "SLO burn rates (x of the {} ppm budget):",
+        batch_shard.slo_miss_budget_ppm
+    );
+    print!("{}", serve_matrix::burn_table(&legs));
 
     let violations = serve_matrix::acceptance_violations(&legs);
     for v in &violations {
@@ -58,4 +69,13 @@ fn main() {
     let path = dir.join("BENCH_serve.json");
     std::fs::write(&path, json).expect("write BENCH_serve.json");
     println!("raw data: {}", path.display());
+
+    let tl_path = dir.join("BENCH_timeline.jsonl");
+    let tl = serve_matrix::timeline_leg(&legs);
+    std::fs::write(&tl_path, tl.timeline.to_jsonl()).expect("write BENCH_timeline.jsonl");
+    println!(
+        "timeline ({} leg): {}",
+        serve_matrix::TIMELINE_LEG,
+        tl_path.display()
+    );
 }

@@ -108,6 +108,126 @@ fn serving_section(md: &mut String) {
     }
 }
 
+/// Renders the serving-timeline section: per-leg SLO burn rates from
+/// `results/BENCH_serve.json` plus the worst windows and the alert tally
+/// of the committed `results/BENCH_timeline.jsonl` (the `batch_shard`
+/// leg's windowed telemetry). Skips with a note when either file is
+/// absent.
+fn timeline_section(md: &mut String) {
+    let _ = writeln!(md, "\n## Serving timeline (windowed telemetry)\n");
+    let root = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let doc: Option<serde_json::Value> =
+        std::fs::read_to_string(root.join("results/BENCH_serve.json"))
+            .ok()
+            .and_then(|text| serde_json::from_str(&text).ok());
+    let timeline = std::fs::read_to_string(root.join("results/BENCH_timeline.jsonl")).ok();
+    let (Some(doc), Some(timeline)) = (doc, timeline) else {
+        let _ = writeln!(
+            md,
+            "_results/BENCH_serve.json or results/BENCH_timeline.jsonl not found — \
+             run `cargo run --release -p netcut-bench --bin bench_serve` first._"
+        );
+        return;
+    };
+
+    // Per-leg burn rates out of the summary document.
+    let _ = writeln!(
+        md,
+        "| configuration | run burn (× budget) | worst window (× budget) | alerts |"
+    );
+    let _ = writeln!(md, "|---|---|---|---|");
+    for key in ["no_degrade", "baseline", "batch", "shard", "batch_shard"] {
+        let Some(leg) = doc.get("configs").and_then(|c| c.get(key)) else {
+            continue;
+        };
+        let u = |field: &str| leg.get(field).and_then(serde_json::Value::as_u64);
+        let alerts: u64 = leg
+            .get("alerts")
+            .and_then(|a| a.as_object())
+            .map_or(0, |a| {
+                a.values().filter_map(serde_json::Value::as_u64).sum()
+            });
+        let (Some(burn), Some(worst)) = (u("burn_rate_ppm"), u("worst_window_burn_ppm")) else {
+            continue;
+        };
+        let _ = writeln!(
+            md,
+            "| {key} | {:.2} | {:.2} | {alerts} |",
+            burn as f64 / 1e6,
+            worst as f64 / 1e6
+        );
+    }
+
+    // Worst windows + alert tally out of the timeline JSON-lines.
+    let rows: Vec<serde_json::Value> = timeline
+        .lines()
+        .filter_map(|l| serde_json::from_str(l).ok())
+        .collect();
+    let mut windows: Vec<&serde_json::Value> = rows
+        .iter()
+        .filter(|r| r.get("kind").and_then(|k| k.as_str()) == Some("window"))
+        .collect();
+    windows.sort_by_key(|r| {
+        let burn = r
+            .get("burn_ppm")
+            .and_then(serde_json::Value::as_u64)
+            .unwrap_or(0);
+        let w = r.get("w").and_then(serde_json::Value::as_u64).unwrap_or(0);
+        (std::cmp::Reverse(burn), w)
+    });
+    let _ = writeln!(
+        md,
+        "\nWorst windows of the `batch_shard` leg (burn = bad / arrivals, \
+         scaled by the miss budget):\n"
+    );
+    let _ = writeln!(
+        md,
+        "| window | start (µs) | shard | arrivals | served | bad | queue p95 (µs) | burn (× budget) |"
+    );
+    let _ = writeln!(md, "|---|---|---|---|---|---|---|---|");
+    for r in windows.iter().take(5) {
+        let u = |field: &str| {
+            r.get(field)
+                .and_then(serde_json::Value::as_u64)
+                .unwrap_or(0)
+        };
+        let bad = u("missed") + u("rejected") + u("dropped");
+        let _ = writeln!(
+            md,
+            "| {} | {} | {} | {} | {} | {bad} | {} | {:.2} |",
+            u("w"),
+            u("start_us"),
+            u("shard"),
+            u("arrivals"),
+            u("served"),
+            u("queue_p95_us"),
+            u("burn_ppm") as f64 / 1e6
+        );
+    }
+
+    let mut alert_counts: std::collections::BTreeMap<(String, String), u64> =
+        std::collections::BTreeMap::new();
+    for r in rows
+        .iter()
+        .filter(|r| r.get("kind").and_then(|k| k.as_str()) == Some("alert"))
+    {
+        let code = r.get("code").and_then(|v| v.as_str()).unwrap_or("?");
+        let name = r.get("name").and_then(|v| v.as_str()).unwrap_or("?");
+        *alert_counts
+            .entry((code.to_string(), name.to_string()))
+            .or_insert(0) += 1;
+    }
+    if alert_counts.is_empty() {
+        let _ = writeln!(md, "\nNo SLO alerts fired on this leg.");
+    } else {
+        let _ = writeln!(md, "\n| alert | name | fired |");
+        let _ = writeln!(md, "|---|---|---|");
+        for ((code, name), n) in &alert_counts {
+            let _ = writeln!(md, "| {code} | {name} | {n} |");
+        }
+    }
+}
+
 fn main() {
     let lab = Lab::new();
     let mut md = String::new();
@@ -276,6 +396,10 @@ fn main() {
     // bench results (results/BENCH_serve.json — regenerated by bench_serve,
     // gated against drift by bench_check in CI).
     serving_section(&mut md);
+
+    // Serving timeline: windowed burn rates and alerts from the committed
+    // bench artifacts (BENCH_serve.json + BENCH_timeline.jsonl).
+    timeline_section(&mut md);
 
     // Static verification: the graph-IR analyzer over every graph the suite
     // touched — each source plus every blockwise TRN, raw and with the

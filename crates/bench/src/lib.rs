@@ -263,7 +263,7 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
 /// code byte-match — which is exactly what lets the CI gate hard-fail on
 /// determinism drift by string equality.
 pub mod serve_matrix {
-    use netcut_serve::{run_scenario, ScenarioConfig, ServeSummary};
+    use netcut_serve::{RunMeta, Scenario, ScenarioConfig, ServeSummary, Timeline};
     use std::fmt::Write as _;
 
     /// Human description of the reference scenario, embedded in the JSON.
@@ -278,6 +278,16 @@ pub mod serve_matrix {
     /// The documented miss-rate regression tolerance of the CI gate, in
     /// ppm of total requests: one percentage point.
     pub const MISS_REGRESSION_PPM: u64 = 10_000;
+
+    /// The leg whose timeline ships as `BENCH_timeline.jsonl` — the
+    /// batched two-shard run, the richest telemetry the matrix produces.
+    pub const TIMELINE_LEG: &str = "batch_shard";
+
+    /// Per-`OBS0xx`-code tolerance of the CI timeline gate: the alert
+    /// counts of a fresh run may differ from the committed file by this
+    /// much before the gate fails (the non-alert lines must byte-match,
+    /// so this only absorbs intentional threshold retunes under review).
+    pub const ALERT_COUNT_TOLERANCE: u64 = 2;
 
     /// The matrix legs, keyed by the name used in `BENCH_serve.json`.
     pub fn configs() -> Vec<(&'static str, ScenarioConfig)> {
@@ -319,12 +329,14 @@ pub mod serve_matrix {
         ]
     }
 
-    /// One completed leg: key, summary, wall-clock milliseconds.
+    /// One completed leg: key, summary, timeline, wall-clock milliseconds.
     pub struct LegResult {
         /// Key from [`configs`].
         pub key: &'static str,
-        /// The deterministic run summary.
+        /// The deterministic run summary, timeline attached.
         pub summary: ServeSummary,
+        /// The deterministic windowed timeline of the leg.
+        pub timeline: Timeline,
         /// Wall-clock time of the leg (excluded from regression checks).
         pub wall_ms: f64,
     }
@@ -335,14 +347,54 @@ pub mod serve_matrix {
             .into_iter()
             .map(|(key, cfg)| {
                 let start = std::time::Instant::now();
-                let summary = run_scenario(cfg);
+                let scenario = Scenario::build(cfg);
+                let server = scenario.server();
+                let meta = RunMeta::from_server(&server, scenario.config().duration_us);
+                let (outcomes, timeline) = scenario.run_full();
+                let mut summary = ServeSummary::from_outcomes(&outcomes, &meta);
+                summary.attach_timeline(&timeline);
                 LegResult {
                     key,
                     summary,
+                    timeline,
                     wall_ms: start.elapsed().as_secs_f64() * 1e3,
                 }
             })
             .collect()
+    }
+
+    /// The [`TIMELINE_LEG`] of a completed matrix.
+    ///
+    /// # Panics
+    /// Panics if the leg is missing (the matrix always contains it).
+    pub fn timeline_leg(legs: &[LegResult]) -> &LegResult {
+        legs.iter()
+            .find(|l| l.key == TIMELINE_LEG)
+            .expect("matrix has the timeline leg")
+    }
+
+    /// The per-leg burn-rate table `bench_serve` prints: one line per leg
+    /// with the run burn rate, the worst window, and the alert total.
+    pub fn burn_table(legs: &[LegResult]) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{:<12} {:>10} {:>8} {:>11} {:>7}",
+            "leg", "miss_ppm", "burn", "worst_win", "alerts"
+        );
+        for leg in legs {
+            let sm = &leg.summary;
+            let _ = writeln!(
+                s,
+                "{:<12} {:>10} {:>7.2}x {:>10.2}x {:>7}",
+                leg.key,
+                sm.miss_rate_ppm,
+                sm.burn_rate_ppm as f64 / 1e6,
+                sm.worst_window_burn_ppm as f64 / 1e6,
+                sm.alert_counts.iter().sum::<u64>(),
+            );
+        }
+        s
     }
 
     /// Renders the matrix as the `BENCH_serve.json` document. The

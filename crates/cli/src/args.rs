@@ -18,7 +18,8 @@ usage:
   netcut-cli serve [--deadline-us N] [--rps N] [--duration SECONDS] [--seed N]
                    [--jobs N] [--workers N] [--no-degrade] [--no-faults] [--json]
                    [--batch-max N] [--batch-slack-us N] [--shards N]
-                   [--devices a,b,...]
+                   [--devices a,b,...] [--timeline-out <path>]
+                   [--timeline-window-us N]
   netcut-cli lint <network|all|file.json> [--json]
 
 global options (any command):
@@ -45,7 +46,11 @@ holds, adding at most `--batch-slack-us` over solo service);
 `--shards N` partitions the workers across the `--devices` roster
 (jetson-xavier, jetson-nano, tesla-k20m; shard i runs roster[i mod len])
 with per-device ladders and least-completion-time routing; summaries are
-bit-identical for any `--jobs` value
+bit-identical for any `--jobs` value; `--timeline-out <path>` writes the
+windowed telemetry timeline (per-shard disposition counts, residual
+EWMAs, burn rates, OBS0xx alerts per `--timeline-window-us` window of
+virtual time): `.jsonl` -> schema-v1 JSON-lines, any other extension ->
+Chrome trace_event JSON on the virtual-time clock
 
 lint: analyzes a zoo network (or `all`, or an exported network JSON file)
 plus every blockwise TRN of it, raw and with the transfer head attached;
@@ -131,6 +136,8 @@ pub enum Command {
         batch_slack_us: u64,
         shards: usize,
         devices: Vec<String>,
+        timeline_out: Option<String>,
+        timeline_window_us: u64,
     },
     /// Run the `netcut-verify` static analyzer over a network (or the
     /// whole zoo) and every blockwise TRN of it.
@@ -208,6 +215,8 @@ const KNOWN_FLAGS: &[&str] = &[
     "--batch-slack-us",
     "--shards",
     "--devices",
+    "--timeline-out",
+    "--timeline-window-us",
 ];
 
 /// Parses the subcommand and its own arguments (global flags removed).
@@ -252,6 +261,8 @@ fn parse_command(argv: &[&str]) -> Result<Command, String> {
                         | "--batch-slack-us"
                         | "--shards"
                         | "--devices"
+                        | "--timeline-out"
+                        | "--timeline-window-us"
                 ) && i + 1 < rest.len()
                 {
                     skip = true;
@@ -393,6 +404,17 @@ fn parse_command(argv: &[&str]) -> Result<Command, String> {
                     .collect::<Result<_, _>>()?,
                 None => vec!["jetson-xavier".to_string(), "jetson-nano".to_string()],
             };
+            if rest.contains(&"--timeline-out") && flag_value("--timeline-out").is_none() {
+                return Err("--timeline-out requires a file path".to_string());
+            }
+            let timeline_window_us: u64 = num(
+                flag_value("--timeline-window-us"),
+                "--timeline-window-us",
+                100_000,
+            )?;
+            if timeline_window_us == 0 {
+                return Err("--timeline-window-us must be positive".to_string());
+            }
             Ok(Command::Serve {
                 deadline_us: num(flag_value("--deadline-us"), "--deadline-us", 900)?,
                 rps: num(flag_value("--rps"), "--rps", 2000)?,
@@ -407,6 +429,8 @@ fn parse_command(argv: &[&str]) -> Result<Command, String> {
                 batch_slack_us: num(flag_value("--batch-slack-us"), "--batch-slack-us", 300)?,
                 shards,
                 devices,
+                timeline_out: flag_value("--timeline-out").map(ToString::to_string),
+                timeline_window_us,
             })
         }
         "lint" => Ok(Command::Lint {
@@ -545,6 +569,8 @@ mod tests {
                 batch_slack_us: 300,
                 shards: 1,
                 devices: vec!["jetson-xavier".into(), "jetson-nano".into()],
+                timeline_out: None,
+                timeline_window_us: 100_000,
             }
         );
     }
@@ -577,6 +603,10 @@ mod tests {
                 "2",
                 "--devices",
                 "xavier,k20m",
+                "--timeline-out",
+                "tl.jsonl",
+                "--timeline-window-us",
+                "50000",
             ]),
             Command::Serve {
                 deadline_us: 1200,
@@ -592,6 +622,8 @@ mod tests {
                 batch_slack_us: 150,
                 shards: 2,
                 devices: vec!["jetson-xavier".into(), "tesla-k20m".into()],
+                timeline_out: Some("tl.jsonl".into()),
+                timeline_window_us: 50_000,
             }
         );
     }
@@ -604,6 +636,8 @@ mod tests {
         assert!(parse(&argv(&["serve", "--batch-max", "0"])).is_err());
         assert!(parse(&argv(&["serve", "--shards", "0"])).is_err());
         assert!(parse(&argv(&["serve", "--devices", "xavier,tpu"])).is_err());
+        assert!(parse(&argv(&["serve", "--timeline-out"])).is_err());
+        assert!(parse(&argv(&["serve", "--timeline-window-us", "0"])).is_err());
     }
 
     #[test]

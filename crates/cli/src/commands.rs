@@ -276,6 +276,8 @@ pub fn run(cmd: Command, strict: bool) -> Result<(), String> {
             batch_slack_us,
             shards,
             devices,
+            timeline_out,
+            timeline_window_us,
         } => {
             if shards > workers {
                 return Err(format!(
@@ -289,7 +291,7 @@ pub fn run(cmd: Command, strict: bool) -> Result<(), String> {
                         .ok_or_else(|| format!("unknown device `{name}` in roster"))
                 })
                 .collect::<Result<_, _>>()?;
-            let summary = netcut_serve::run_scenario(netcut_serve::ScenarioConfig {
+            let scenario = netcut_serve::Scenario::build(netcut_serve::ScenarioConfig {
                 deadline_us,
                 rps,
                 duration_us: (duration_s * 1e6).round() as u64,
@@ -302,8 +304,25 @@ pub fn run(cmd: Command, strict: bool) -> Result<(), String> {
                 batch_slack_us,
                 shards,
                 devices,
+                timeline_window_us,
                 ..netcut_serve::ScenarioConfig::default()
             });
+            let server = scenario.server();
+            let meta = netcut_serve::RunMeta::from_server(&server, scenario.config().duration_us);
+            let (outcomes, timeline) = scenario.run_full();
+            let mut summary = netcut_serve::ServeSummary::from_outcomes(&outcomes, &meta);
+            summary.attach_timeline(&timeline);
+            if let Some(path) = timeline_out {
+                // Same convention as --trace-out: `.jsonl` means the
+                // line-oriented schema, anything else a Chrome trace.
+                let doc = if path.ends_with(".jsonl") {
+                    timeline.to_jsonl()
+                } else {
+                    timeline.to_chrome_trace()
+                };
+                std::fs::write(&path, doc)
+                    .map_err(|e| format!("cannot write timeline to `{path}`: {e}"))?;
+            }
             if json {
                 println!("{}", summary.to_json());
             } else {
@@ -418,6 +437,8 @@ mod tests {
                 batch_slack_us: 300,
                 shards: 1,
                 devices: vec!["jetson-xavier".into(), "jetson-nano".into()],
+                timeline_out: None,
+                timeline_window_us: 100_000,
             },
             false,
         )
@@ -440,6 +461,8 @@ mod tests {
             batch_slack_us: 300,
             shards: 2,
             devices: vec!["jetson-xavier".into(), "jetson-nano".into()],
+            timeline_out: None,
+            timeline_window_us: 100_000,
         };
         run(cmd, false).expect("serve --batch-max 8 --shards 2");
     }
@@ -461,6 +484,8 @@ mod tests {
                 batch_slack_us: 300,
                 shards: 3,
                 devices: vec!["jetson-xavier".into()],
+                timeline_out: None,
+                timeline_window_us: 100_000,
             },
             false,
         )

@@ -4,10 +4,45 @@
 //! installed (one mutexed map update per observation — negligible next to
 //! the measurement and retraining work they count) and rendered on demand
 //! via [`snapshot`].
+//!
+//! Metric names are either `&'static str` literals (the common case — no
+//! allocation) or owned strings built with [`labeled`], which renders the
+//! `name{label=value}` convention for per-entity series such as
+//! `serve.shard.busy{shard=5}`. Labeled names let a dynamic population
+//! (shards, devices, deadline classes) report without a static name table,
+//! so no entity is ever silently unreported. Base names must appear in
+//! [`crate::registry::METRIC_NAMES`]; the repo's registry-check test fails
+//! when an unregistered name is introduced.
+//!
+//! # Quantile rule
+//!
+//! Histograms bucket observations by `floor(log2(value))` and estimate
+//! quantile `q` by **nearest rank**: the estimate for rank
+//! `ceil(q × count)` is the **upper edge** of the bucket holding that rank,
+//! clamped to the observed `[min, max]`. There is no interpolation inside a
+//! bucket — the estimate is exact to within one power of two, and because
+//! it is pure integer bucket arithmetic (integer observations are bucketed
+//! with `leading_zeros`, never `f64::log2`), the same observations produce
+//! bit-identical quantiles on every platform.
 
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::Mutex;
+
+/// A metric name: a static literal or an owned labeled name. All the
+/// registry entry points take `impl Into<MetricName>`, so existing
+/// `&'static str` call sites and [`labeled`] strings both work.
+pub type MetricName = Cow<'static, str>;
+
+/// Renders the labeled-metric convention: `base{label=value}`.
+///
+/// ```
+/// assert_eq!(netcut_obs::labeled("serve.shard.busy", "shard", 5), "serve.shard.busy{shard=5}");
+/// ```
+pub fn labeled<V: std::fmt::Display>(base: &str, label: &str, value: V) -> String {
+    format!("{base}{{{label}={value}}}")
+}
 
 /// Number of log-scaled histogram buckets.
 const BUCKETS: usize = 44;
@@ -15,7 +50,7 @@ const BUCKETS: usize = 44;
 const BUCKET_OFFSET: i32 = 20;
 
 /// Streaming histogram: count/sum/min/max plus power-of-two buckets for
-/// approximate quantiles.
+/// approximate quantiles (see the module-level quantile rule).
 #[derive(Debug, Clone)]
 pub struct Histogram {
     count: u64,
@@ -45,6 +80,16 @@ fn bucket_index(value: f64) -> usize {
     exp.clamp(0, BUCKETS as i32 - 1) as usize
 }
 
+/// Bucket index of a positive integer: `floor(log2)` via `leading_zeros`,
+/// so integer observations never touch floating point on the way in.
+fn bucket_index_int(value: u64) -> usize {
+    if value == 0 {
+        return 0;
+    }
+    let exp = 63 - i32::from(value.leading_zeros() as u8);
+    (exp + BUCKET_OFFSET).clamp(0, BUCKETS as i32 - 1) as usize
+}
+
 /// Upper edge of bucket `i`, used as the quantile estimate.
 fn bucket_upper(i: usize) -> f64 {
     2f64.powi(i as i32 - BUCKET_OFFSET + 1)
@@ -63,8 +108,20 @@ impl Histogram {
         self.buckets[bucket_index(value)] += 1;
     }
 
-    /// Approximate quantile `q` in `[0, 1]` from the log buckets (within a
-    /// factor of 2), clamped to the observed min/max.
+    /// Records one integer-microsecond observation. The bucket is computed
+    /// with integer bit arithmetic and min/max/sum stay exact (integers up
+    /// to 2^53 are exact in the f64 accumulators), so a histogram fed only
+    /// through this path renders bit-identically on every platform.
+    pub fn observe_us(&mut self, value: u64) {
+        self.count += 1;
+        self.sum += value as f64;
+        self.min = self.min.min(value as f64);
+        self.max = self.max.max(value as f64);
+        self.buckets[bucket_index_int(value)] += 1;
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`: nearest rank, bucket upper
+    /// edge, clamped to the observed min/max (the module-level rule).
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
@@ -78,6 +135,32 @@ impl Histogram {
             }
         }
         self.max
+    }
+
+    /// Integer quantile for histograms fed through [`Self::observe_us`]:
+    /// the same nearest-rank / upper-edge / clamp rule with `q` in parts
+    /// per million, evaluated entirely in integer arithmetic.
+    pub fn quantile_us(&self, q_ppm: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (u128::from(q_ppm) * u128::from(self.count))
+            .div_ceil(1_000_000)
+            .max(1) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let upper_exp = i as i32 - BUCKET_OFFSET + 1;
+                let upper = if upper_exp <= 0 {
+                    1
+                } else {
+                    1u64 << upper_exp.min(63)
+                };
+                return upper.clamp(self.min as u64, self.max as u64);
+            }
+        }
+        self.max as u64
     }
 
     /// Immutable summary of the histogram.
@@ -130,9 +213,9 @@ pub struct Gauge {
 
 #[derive(Default)]
 struct Registry {
-    counters: BTreeMap<&'static str, u64>,
-    gauges: BTreeMap<&'static str, Gauge>,
-    histograms: BTreeMap<&'static str, Histogram>,
+    counters: BTreeMap<MetricName, u64>,
+    gauges: BTreeMap<MetricName, Gauge>,
+    histograms: BTreeMap<MetricName, Histogram>,
 }
 
 static REGISTRY: Mutex<Option<Registry>> = Mutex::new(None);
@@ -143,12 +226,14 @@ fn with_registry<T>(f: impl FnOnce(&mut Registry) -> T) -> T {
 }
 
 /// Adds `delta` to the named counter.
-pub fn counter_add(name: &'static str, delta: u64) {
+pub fn counter_add(name: impl Into<MetricName>, delta: u64) {
+    let name = name.into();
     with_registry(|r| *r.counters.entry(name).or_insert(0) += delta);
 }
 
 /// Sets the named gauge to `value`, updating its high-water mark.
-pub fn gauge_set(name: &'static str, value: i64) {
+pub fn gauge_set(name: impl Into<MetricName>, value: i64) {
+    let name = name.into();
     with_registry(|r| {
         let g = r.gauges.entry(name).or_default();
         g.value = value;
@@ -157,19 +242,27 @@ pub fn gauge_set(name: &'static str, value: i64) {
 }
 
 /// Records one observation into the named histogram.
-pub fn observe(name: &'static str, value: f64) {
+pub fn observe(name: impl Into<MetricName>, value: f64) {
+    let name = name.into();
     with_registry(|r| r.histograms.entry(name).or_default().observe(value));
+}
+
+/// Records one integer-microsecond observation into the named histogram —
+/// the platform-exact path hot loops use (see [`Histogram::observe_us`]).
+pub fn observe_us(name: impl Into<MetricName>, value: u64) {
+    let name = name.into();
+    with_registry(|r| r.histograms.entry(name).or_default().observe_us(value));
 }
 
 /// Point-in-time copy of every metric.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsSnapshot {
     /// Counter name → value, sorted by name.
-    pub counters: Vec<(&'static str, u64)>,
+    pub counters: Vec<(MetricName, u64)>,
     /// Gauge name → last value + high-water mark, sorted by name.
-    pub gauges: Vec<(&'static str, Gauge)>,
+    pub gauges: Vec<(MetricName, Gauge)>,
     /// Histogram name → summary, sorted by name.
-    pub histograms: Vec<(&'static str, HistogramSummary)>,
+    pub histograms: Vec<(MetricName, HistogramSummary)>,
 }
 
 impl MetricsSnapshot {
@@ -177,23 +270,20 @@ impl MetricsSnapshot {
     pub fn counter(&self, name: &str) -> u64 {
         self.counters
             .iter()
-            .find(|(n, _)| *n == name)
+            .find(|(n, _)| n == name)
             .map_or(0, |(_, v)| *v)
     }
 
     /// Last value + high-water mark of a gauge, if it was ever set.
     pub fn gauge(&self, name: &str) -> Option<Gauge> {
-        self.gauges
-            .iter()
-            .find(|(n, _)| *n == name)
-            .map(|(_, g)| *g)
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, g)| *g)
     }
 
     /// Summary of a histogram, if any observation was recorded.
     pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
         self.histograms
             .iter()
-            .find(|(n, _)| *n == name)
+            .find(|(n, _)| n == name)
             .map(|(_, s)| s)
     }
 
@@ -238,12 +328,12 @@ impl MetricsSnapshot {
 /// Copies the current state of every counter and histogram.
 pub fn snapshot() -> MetricsSnapshot {
     with_registry(|r| MetricsSnapshot {
-        counters: r.counters.iter().map(|(n, v)| (*n, *v)).collect(),
-        gauges: r.gauges.iter().map(|(n, g)| (*n, *g)).collect(),
+        counters: r.counters.iter().map(|(n, v)| (n.clone(), *v)).collect(),
+        gauges: r.gauges.iter().map(|(n, g)| (n.clone(), *g)).collect(),
         histograms: r
             .histograms
             .iter()
-            .map(|(n, h)| (*n, h.summary()))
+            .map(|(n, h)| (n.clone(), h.summary()))
             .collect(),
     })
 }
@@ -290,6 +380,22 @@ mod tests {
     }
 
     #[test]
+    fn labeled_names_form_distinct_series() {
+        reset();
+        for shard in 0..6 {
+            gauge_set(labeled("test.shard.busy", "shard", shard), shard);
+        }
+        let snap = snapshot();
+        // Every shard reports — including indices past any static table.
+        for shard in 0..6i64 {
+            let name = labeled("test.shard.busy", "shard", shard);
+            assert_eq!(snap.gauge(&name).expect("series exists").value, shard);
+        }
+        assert_eq!(labeled("test.x", "k", "v"), "test.x{k=v}");
+        reset();
+    }
+
+    #[test]
     fn histogram_summary_tracks_distribution() {
         let mut h = Histogram::default();
         for i in 1..=100 {
@@ -303,6 +409,41 @@ mod tests {
         // Log-bucketed quantiles are within a factor of two.
         assert!(s.p50 >= 25.0 && s.p50 <= 100.0, "p50 = {}", s.p50);
         assert!(s.p95 >= 64.0 && s.p95 <= 100.0, "p95 = {}", s.p95);
+    }
+
+    #[test]
+    fn integer_path_matches_float_path_buckets() {
+        // The integer entry point must land every value in the same bucket
+        // as the f64 path, for the widest plausible latency range.
+        for exp in 0..44u32 {
+            for value in [1u64 << exp, (1u64 << exp) + 1, (1u64 << exp) * 3 / 2] {
+                assert_eq!(
+                    bucket_index_int(value),
+                    bucket_index(value as f64),
+                    "value {value}"
+                );
+            }
+        }
+        assert_eq!(bucket_index_int(0), 0);
+    }
+
+    #[test]
+    fn integer_quantiles_are_exact_rank_and_clamped() {
+        let mut h = Histogram::default();
+        for v in [100u64, 200, 300, 400, 1_000] {
+            h.observe_us(v);
+        }
+        // Rank for p50 over 5 samples is ceil(0.5×5)=3 → the 300 µs sample's
+        // bucket [256,512) → upper edge 512.
+        assert_eq!(h.quantile_us(500_000), 512);
+        // p99 rank 5 → bucket [512,1024) upper edge 1024 clamps to max 1000.
+        assert_eq!(h.quantile_us(990_000), 1_000);
+        // Degenerate: single value clamps to itself at every quantile.
+        let mut one = Histogram::default();
+        one.observe_us(750);
+        assert_eq!(one.quantile_us(1), 750);
+        assert_eq!(one.quantile_us(1_000_000), 750);
+        assert_eq!(Histogram::default().quantile_us(500_000), 0);
     }
 
     #[test]
@@ -328,9 +469,11 @@ mod tests {
         reset();
         counter_add("test.render", 7);
         observe("test.render_ms", 0.5);
+        observe_us("test.render_us", 500);
         let text = snapshot().render_text();
         assert!(text.contains("test.render"));
         assert!(text.contains("test.render_ms"));
+        assert!(text.contains("test.render_us"));
         assert!(text.contains('7'));
         reset();
     }

@@ -1,0 +1,59 @@
+//! Stability contract for the `OBS0xx` alert codes.
+//!
+//! Alert codes are an append-only public surface, mirroring the `NC0xx`
+//! contract of `netcut-verify`: dashboards, runbooks, and the committed
+//! `BENCH_timeline.jsonl` all key on the literal strings. A code may gain
+//! a successor but must never be renumbered, renamed, or removed. These
+//! tests pin the full table; when adding `OBS005`, extend `EXPECTED` —
+//! any other diff here is a breaking change and must not ship.
+
+use netcut_obs::AlertCode;
+
+/// The frozen (code, name) table. Append-only.
+const EXPECTED: &[(&str, &str)] = &[
+    ("OBS001", "budget-burn"),
+    ("OBS002", "residual-drift"),
+    ("OBS003", "shard-starvation"),
+    ("OBS004", "fault-window-entered"),
+];
+
+#[test]
+fn alert_code_table_is_stable() {
+    let actual: Vec<(&str, &str)> = AlertCode::ALL
+        .iter()
+        .map(|c| (c.code(), c.name()))
+        .collect();
+    assert_eq!(
+        actual, EXPECTED,
+        "OBS0xx codes are append-only: never renumber, rename, or remove"
+    );
+}
+
+#[test]
+fn codes_are_sequential_and_indexed() {
+    for (i, c) in AlertCode::ALL.iter().enumerate() {
+        assert_eq!(c.index(), i, "{} out of order", c.code());
+        assert_eq!(c.code(), format!("OBS{:03}", i + 1), "codes are OBS001..");
+    }
+}
+
+#[test]
+fn codes_and_names_are_unique() {
+    for (i, a) in AlertCode::ALL.iter().enumerate() {
+        for b in AlertCode::ALL.iter().skip(i + 1) {
+            assert_ne!(a.code(), b.code());
+            assert_ne!(a.name(), b.name());
+        }
+    }
+}
+
+#[test]
+fn every_code_has_a_description() {
+    for c in AlertCode::ALL {
+        assert!(
+            !c.description().is_empty(),
+            "{} needs a description",
+            c.code()
+        );
+    }
+}

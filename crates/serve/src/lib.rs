@@ -34,6 +34,10 @@
 //! * [`ServeSummary`] — the integer-only aggregate (miss rate in ppm,
 //!   goodput, per-shard rung histograms, batch-size histogram, latency
 //!   percentiles) with a stable JSON rendering.
+//! * [`Timeline`] — virtual-time windowed telemetry: per-(window, shard)
+//!   disposition counts, queue quantiles, predicted-vs-observed residual
+//!   EWMAs, SLO burn rates, and `OBS0xx` alerts, exportable as JSON-lines
+//!   or a Chrome trace.
 //! * [`Scenario`] — the wiring: explore each device → ladders + batch
 //!   curves → workload → serve, with `jobs`-parallel stages confined to
 //!   order-deterministic work so summaries are bit-identical at any
@@ -66,6 +70,7 @@ pub mod runtime;
 pub mod scenario;
 pub mod shard;
 pub mod summary;
+pub mod timeline;
 
 pub use batch::Batcher;
 pub use faults::{FaultKind, FaultPlan, FaultWindow};
@@ -75,3 +80,4 @@ pub use runtime::{RequestOutcome, Server, ServerConfig, Status};
 pub use scenario::{build_ladder, build_ladder_for, run_scenario, Scenario, ScenarioConfig};
 pub use shard::{Candidate, Shard, ShardRouter};
 pub use summary::{RunMeta, ServeSummary, ShardMeta};
+pub use timeline::{Timeline, TimelineConfig, WindowRow};

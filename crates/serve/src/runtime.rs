@@ -46,6 +46,7 @@ use crate::faults::FaultPlan;
 use crate::ladder::TrnLadder;
 use crate::request::{Request, RequestKind, PPM};
 use crate::shard::{Candidate, Shard, ShardRouter};
+use crate::timeline::{Timeline, TimelineBuilder, TimelineConfig};
 use netcut_obs as obs;
 
 /// Final disposition of one request.
@@ -159,15 +160,6 @@ fn scaled_service(base_us: u64, noise_ppm: u64, fault_ppm: u64) -> u64 {
     (noisy * u128::from(fault_ppm) / u128::from(PPM)).max(1) as u64
 }
 
-/// Per-shard busy gauges need static names; shards beyond the table go
-/// unreported (summaries, not gauges, are the source of truth).
-const SHARD_BUSY_GAUGE: [&str; 4] = [
-    "serve.shard0.busy",
-    "serve.shard1.busy",
-    "serve.shard2.busy",
-    "serve.shard3.busy",
-];
-
 impl Server {
     /// Builds a single-shard server — the unsharded path, bit-compatible
     /// with runs from before sharding existed. The request's own carried
@@ -229,6 +221,32 @@ impl Server {
     /// # Panics
     /// Panics if `requests` is not sorted by `arrival_us`.
     pub fn run(&self, requests: &[Request]) -> Vec<RequestOutcome> {
+        self.run_impl(requests, None)
+    }
+
+    /// Runs the simulation and additionally records the windowed
+    /// [`Timeline`] under `cfg`: per-(window, shard) disposition counts,
+    /// queue quantiles, residual EWMAs, burn rates, and `OBS0xx` alerts.
+    /// The outcomes are byte-identical to [`Server::run`]'s — the
+    /// timeline observes the event loop, it never steers it.
+    ///
+    /// # Panics
+    /// Panics if `requests` is not sorted by `arrival_us`.
+    pub fn run_with_timeline(
+        &self,
+        requests: &[Request],
+        cfg: &TimelineConfig,
+    ) -> (Vec<RequestOutcome>, Timeline) {
+        let mut tb = TimelineBuilder::new(*cfg, &self.shards, self.config.deadline_us);
+        let outcomes = self.run_impl(requests, Some(&mut tb));
+        (outcomes, tb.finish())
+    }
+
+    fn run_impl(
+        &self,
+        requests: &[Request],
+        mut tb: Option<&mut TimelineBuilder>,
+    ) -> Vec<RequestOutcome> {
         assert!(
             requests
                 .windows(2)
@@ -243,6 +261,15 @@ impl Server {
         run_span.field("degrade", self.config.degrade);
 
         let deadline = self.config.deadline_us;
+        // Labeled per-shard busy-gauge names, built once per run so every
+        // shard reports — there is no fixed-size name table to fall off.
+        let busy_gauges: Vec<String> = if obs::enabled() {
+            (0..self.shards.len())
+                .map(|s| obs::labeled("serve.shard.busy", "shard", s))
+                .collect()
+        } else {
+            Vec::new()
+        };
         let batcher = Batcher {
             batch_max: self.config.batch_max,
             slack_us: self.config.batch_slack_us,
@@ -355,6 +382,9 @@ impl Server {
 
             if self.shards[s].faults.should_drop(now, req.id) {
                 obs::counter_add("serve.dropped", 1);
+                if let Some(tb) = tb.as_deref_mut() {
+                    tb.dropped(now, s);
+                }
                 outcomes.push(RequestOutcome {
                     id: req.id,
                     kind: req.kind,
@@ -373,14 +403,15 @@ impl Server {
             if obs::enabled() {
                 let busy: usize = free_at.iter().flatten().filter(|&&f| f > now).count();
                 obs::gauge_set("serve.queue_depth", busy as i64);
-                if let Some(name) = SHARD_BUSY_GAUGE.get(s) {
-                    let shard_busy = free_at[s].iter().filter(|&&f| f > now).count();
-                    obs::gauge_set(name, shard_busy as i64);
-                }
+                let shard_busy = free_at[s].iter().filter(|&&f| f > now).count();
+                obs::gauge_set(busy_gauges[s].clone(), shard_busy as i64);
             }
 
             if !cand.admissible {
                 obs::counter_add("serve.rejected", 1);
+                if let Some(tb) = tb.as_deref_mut() {
+                    tb.rejected(now, s);
+                }
                 outcomes.push(RequestOutcome {
                     id: req.id,
                     kind: req.kind,
@@ -465,7 +496,12 @@ impl Server {
             };
             let service = scaled_service(base_us, rec.leader_noise_ppm, rec.fault_ppm);
             let finish = rec.start_us + service;
-            obs::observe("serve.batch_size", size as f64);
+            obs::observe_us("serve.batch_size", size as u64);
+            if let Some(tb) = tb.as_deref_mut() {
+                // `base_us` is the ladder's prediction; `service` is what
+                // the noise- and fault-scaled device actually took.
+                tb.batch(rec.start_us, rec.shard, rec.rung, base_us, service);
+            }
             for &oi in &rec.members {
                 let o = &mut outcomes[oi];
                 o.queue_delay_us = rec.start_us - o.arrival_us;
@@ -483,11 +519,21 @@ impl Server {
                     Status::Missed => obs::counter_add("serve.missed", 1),
                     Status::Rejected | Status::Dropped => unreachable!(),
                 }
-                if rec.rung.is_some_and(|r| r < shard.ladder.top()) {
+                let degraded = rec.rung.is_some_and(|r| r < shard.ladder.top());
+                if degraded {
                     obs::counter_add("serve.degraded", 1);
                 }
-                obs::observe("serve.latency_us", o.latency_us as f64);
-                obs::observe("serve.queue_delay_us", o.queue_delay_us as f64);
+                if let Some(tb) = tb.as_deref_mut() {
+                    tb.completion(
+                        o.arrival_us,
+                        rec.shard,
+                        o.status == Status::Missed,
+                        degraded,
+                        o.queue_delay_us,
+                    );
+                }
+                obs::observe_us("serve.latency_us", o.latency_us);
+                obs::observe_us("serve.queue_delay_us", o.queue_delay_us);
                 if obs::enabled() {
                     let mut span = obs::span("serve.request");
                     span.field("id", o.id);

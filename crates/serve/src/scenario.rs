@@ -24,6 +24,7 @@ use crate::request::{service_noise_ppm, Workload};
 use crate::runtime::{RequestOutcome, Server, ServerConfig};
 use crate::shard::Shard;
 use crate::summary::{RunMeta, ServeSummary};
+use crate::timeline::{Timeline, TimelineConfig};
 use netcut::eval::EvalContext;
 use netcut::explore::exhaustive_blockwise_with;
 use netcut_graph::{zoo, HeadSpec};
@@ -64,6 +65,8 @@ pub struct ScenarioConfig {
     pub shards: usize,
     /// Device roster: shard `i` runs `devices[i % devices.len()]`.
     pub devices: Vec<DeviceModel>,
+    /// Timeline window width, microseconds of virtual time.
+    pub timeline_window_us: u64,
 }
 
 impl Default for ScenarioConfig {
@@ -87,6 +90,7 @@ impl Default for ScenarioConfig {
             batch_slack_us: 300,
             shards: 1,
             devices: vec![DeviceModel::jetson_xavier(), DeviceModel::jetson_nano()],
+            timeline_window_us: TimelineConfig::default().window_us,
         }
     }
 }
@@ -288,11 +292,30 @@ impl Scenario {
         self.server().run(&self.requests)
     }
 
-    /// Runs the simulation and aggregates the summary.
+    /// The timeline configuration this scenario records under.
+    pub fn timeline_config(&self) -> TimelineConfig {
+        TimelineConfig {
+            window_us: self.config.timeline_window_us,
+            ..TimelineConfig::default()
+        }
+    }
+
+    /// Runs the simulation recording the windowed [`Timeline`] alongside
+    /// the per-request outcomes.
+    pub fn run_full(&self) -> (Vec<RequestOutcome>, Timeline) {
+        self.server()
+            .run_with_timeline(&self.requests, &self.timeline_config())
+    }
+
+    /// Runs the simulation and aggregates the summary, timeline attached.
     pub fn run_summary(&self) -> ServeSummary {
         let server = self.server();
         let meta = RunMeta::from_server(&server, self.config.duration_us);
-        ServeSummary::from_outcomes(&server.run(&self.requests), &meta)
+        let (outcomes, timeline) =
+            server.run_with_timeline(&self.requests, &self.timeline_config());
+        let mut summary = ServeSummary::from_outcomes(&outcomes, &meta);
+        summary.attach_timeline(&timeline);
+        summary
     }
 }
 

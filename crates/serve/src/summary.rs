@@ -16,6 +16,9 @@
 
 use crate::request::PPM;
 use crate::runtime::{RequestOutcome, Server, Status};
+use crate::timeline::Timeline;
+use netcut_obs as obs;
+use obs::alert::{Alert, AlertCode};
 use std::fmt::Write as _;
 
 /// Per-shard facts the summary needs that outcomes alone don't carry.
@@ -125,6 +128,24 @@ pub struct ServeSummary {
     pub latency_p99_us: u64,
     /// Worst completion latency, microseconds.
     pub latency_max_us: u64,
+    /// SLO error budget the timeline was evaluated against, ppm (0 until
+    /// [`ServeSummary::attach_timeline`]).
+    pub slo_miss_budget_ppm: u64,
+    /// Run-level SLO burn rate: miss rate over budget, ppm.
+    pub burn_rate_ppm: u64,
+    /// Timeline window width, microseconds (0 = no timeline attached).
+    pub timeline_window_us: u64,
+    /// Number of windows the timeline spans.
+    pub timeline_windows: u64,
+    /// Burn rate of the worst fleet-wide window, ppm.
+    pub worst_window_burn_ppm: u64,
+    /// Virtual-time start of that worst window, microseconds.
+    pub worst_window_start_us: u64,
+    /// Fired-alert count per `OBS0xx` code, [`AlertCode::ALL`] order
+    /// (empty until a timeline is attached).
+    pub alert_counts: Vec<u64>,
+    /// The first few fired alerts, chronological.
+    pub top_alerts: Vec<Alert>,
 }
 
 impl ServeSummary {
@@ -199,7 +220,43 @@ impl ServeSummary {
             latency_p95_us: pct(95),
             latency_p99_us: pct(99),
             latency_max_us: latencies.last().copied().unwrap_or(0),
+            slo_miss_budget_ppm: 0,
+            burn_rate_ppm: 0,
+            timeline_window_us: 0,
+            timeline_windows: 0,
+            worst_window_burn_ppm: 0,
+            worst_window_start_us: 0,
+            alert_counts: Vec::new(),
+            top_alerts: Vec::new(),
         }
+    }
+
+    /// How many [`ServeSummary::top_alerts`] a summary keeps.
+    pub const TOP_ALERTS: usize = 8;
+
+    /// Folds a run's [`Timeline`] into the summary: the SLO budget, run-
+    /// and worst-window burn rates, per-code alert counts, and the first
+    /// [`ServeSummary::TOP_ALERTS`] fired alerts.
+    pub fn attach_timeline(&mut self, timeline: &Timeline) {
+        self.slo_miss_budget_ppm = timeline.slo.miss_budget_ppm;
+        self.burn_rate_ppm = obs::burn_rate_ppm(
+            self.missed + self.rejected + self.dropped,
+            self.total,
+            timeline.slo.miss_budget_ppm,
+        );
+        self.timeline_window_us = timeline.window_us;
+        self.timeline_windows = timeline.windows;
+        if let Some((_, start_us, burn_ppm)) = timeline.worst_burn() {
+            self.worst_window_start_us = start_us;
+            self.worst_window_burn_ppm = burn_ppm;
+        }
+        self.alert_counts = timeline.alert_counts();
+        self.top_alerts = timeline
+            .alerts
+            .iter()
+            .copied()
+            .take(Self::TOP_ALERTS)
+            .collect();
     }
 
     /// Renders the summary as a JSON object. Hand-rolled (integers, flat
@@ -251,6 +308,40 @@ impl ServeSummary {
         field("latency_p95_us", self.latency_p95_us.to_string());
         field("latency_p99_us", self.latency_p99_us.to_string());
         field("latency_max_us", self.latency_max_us.to_string());
+        field("slo_miss_budget_ppm", self.slo_miss_budget_ppm.to_string());
+        field("burn_rate_ppm", self.burn_rate_ppm.to_string());
+        field("timeline_window_us", self.timeline_window_us.to_string());
+        field("timeline_windows", self.timeline_windows.to_string());
+        field(
+            "worst_window_burn_ppm",
+            self.worst_window_burn_ppm.to_string(),
+        );
+        field(
+            "worst_window_start_us",
+            self.worst_window_start_us.to_string(),
+        );
+        let counts: Vec<String> = AlertCode::ALL
+            .iter()
+            .zip(&self.alert_counts)
+            .map(|(c, n)| format!("\"{}\":{n}", c.code()))
+            .collect();
+        field("alerts", format!("{{{}}}", counts.join(",")));
+        let tops: Vec<String> = self
+            .top_alerts
+            .iter()
+            .map(|a| {
+                format!(
+                    "{{\"code\":\"{}\",\"name\":\"{}\",\"w\":{},\"t_us\":{},\"shard\":{},\"value_ppm\":{}}}",
+                    a.code.code(),
+                    a.code.name(),
+                    a.window,
+                    a.t_us,
+                    a.shard,
+                    a.value_ppm,
+                )
+            })
+            .collect();
+        field("top_alerts", format!("[{}]", tops.join(",")));
         s.push('}');
         s
     }
@@ -304,6 +395,32 @@ impl ServeSummary {
             );
         }
         let _ = writeln!(s, "  batch sizes (1..): {:?}", self.batch_histogram);
+        if self.timeline_window_us > 0 {
+            let _ = writeln!(
+                s,
+                "  timeline: {} windows × {} µs, run burn {:.2}× budget, worst window {:.2}× @ {} µs",
+                self.timeline_windows,
+                self.timeline_window_us,
+                self.burn_rate_ppm as f64 / PPM as f64,
+                self.worst_window_burn_ppm as f64 / PPM as f64,
+                self.worst_window_start_us,
+            );
+            let fired: Vec<String> = AlertCode::ALL
+                .iter()
+                .zip(&self.alert_counts)
+                .filter(|(_, &n)| n > 0)
+                .map(|(c, n)| format!("{} {} ×{n}", c.code(), c.name()))
+                .collect();
+            let _ = writeln!(
+                s,
+                "  alerts: {}",
+                if fired.is_empty() {
+                    "none".to_owned()
+                } else {
+                    fired.join(", ")
+                }
+            );
+        }
         s
     }
 }

@@ -1,0 +1,684 @@
+//! The serving timeline: virtual-time windowed telemetry for one run.
+//!
+//! Whole-run aggregates say *how much* went wrong; the timeline says
+//! *when and where*. The runtime feeds a [`TimelineBuilder`] from inside
+//! its serial event loop — request dispositions at their arrival window,
+//! batch starts and predicted-vs-observed residual samples at the batch's
+//! dispatch window — so the finished [`Timeline`] is a pure function of
+//! the run, bit-identical across `--jobs` settings and platforms like
+//! every other serve artifact.
+//!
+//! Per (window, shard) the timeline reports arrivals, dispositions,
+//! degradations, batch starts, queue-delay quantiles, the shard's running
+//! residual EWMA ([`obs::ResidualTracker`]), and the window's SLO
+//! error-budget burn rate; [`obs::SloPolicy`] turns those into `OBS0xx`
+//! alerts (budget-burn, residual-drift, shard-starvation,
+//! fault-window-entered). Every count lands in the window of the
+//! *arrival* it belongs to, so per window and shard
+//! `arrivals = served + missed + rejected + dropped` exactly — an
+//! invariant the property tests pin.
+//!
+//! # JSON-lines schema (v1)
+//!
+//! [`Timeline::to_jsonl`] renders one JSON object per line, every value
+//! an integer or plain string, hand-rolled like [`crate::ServeSummary`]
+//! so the bytes are stable for golden comparison:
+//!
+//! * `{"v":1,"kind":"header",...}` — run shape: window width, window
+//!   count, deadline, SLO budget, shard names.
+//! * `{"v":1,"kind":"window","w":...,"shard":...}` — one line per
+//!   (window, shard), dense over the run.
+//! * `{"v":1,"kind":"residual","shard":...,"rung":...}` — final
+//!   per-(shard, rung) EWMA cells.
+//! * `{"v":1,"kind":"alert","code":"OBS001",...}` — fired alerts in
+//!   (window, shard, code) order.
+//!
+//! [`Timeline::to_chrome_trace`] maps the same data onto Chrome
+//! `trace_event` counters (`ph: "C"`, one track per shard) and instants
+//! (alerts), with the trace clock *being* virtual time — microsecond
+//! timestamps straight from the simulation.
+
+use crate::faults::FaultPlan;
+use crate::shard::Shard;
+use netcut_obs as obs;
+use obs::alert::{Alert, AlertCode, SloPolicy, WindowObservation};
+use obs::residual::ResidualTracker;
+use obs::window::WindowedMetrics;
+use std::fmt::Write as _;
+
+/// Timeline parameters: window width, SLO policy, residual smoothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimelineConfig {
+    /// Window width, microseconds of virtual time.
+    pub window_us: u64,
+    /// SLO policy alerts are evaluated under.
+    pub slo: SloPolicy,
+    /// Residual EWMA smoothing factor, ppm.
+    pub alpha_ppm: u64,
+}
+
+impl Default for TimelineConfig {
+    /// 100 ms windows (50 per default 5 s run), the default serving SLO
+    /// policy, 1/8 residual smoothing.
+    fn default() -> Self {
+        TimelineConfig {
+            window_us: 100_000,
+            slo: SloPolicy::default(),
+            alpha_ppm: obs::DEFAULT_ALPHA_PPM,
+        }
+    }
+}
+
+/// One (window, shard) cell of the finished timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowRow {
+    /// Window index.
+    pub window: u64,
+    /// Window start, microseconds of virtual time.
+    pub start_us: u64,
+    /// Shard index.
+    pub shard: usize,
+    /// Requests routed to this shard arriving in this window.
+    pub arrivals: u64,
+    /// ... of which completed within the deadline.
+    pub served: u64,
+    /// ... of which completed late.
+    pub missed: u64,
+    /// ... of which were refused at admission.
+    pub rejected: u64,
+    /// ... of which were lost to drop faults.
+    pub dropped: u64,
+    /// Completions served below the shard's top rung.
+    pub degraded: u64,
+    /// Batches dispatched on this shard starting in this window.
+    pub batches: u64,
+    /// 95th-percentile queue delay of completions arriving here, µs.
+    pub queue_p95_us: u64,
+    /// Worst queue delay of completions arriving here, µs.
+    pub queue_max_us: u64,
+    /// Shard's blended residual EWMA as of this window's end, ppm.
+    pub residual_ppm: u64,
+    /// Worst per-rung residual drift as of this window's end, ppm.
+    pub drift_ppm: u64,
+    /// SLO error-budget burn rate of this cell, ppm.
+    pub burn_ppm: u64,
+}
+
+impl WindowRow {
+    /// Missed + rejected + dropped.
+    pub fn bad(&self) -> u64 {
+        self.missed + self.rejected + self.dropped
+    }
+}
+
+/// The finished timeline of one serve run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Timeline {
+    /// Window width, microseconds.
+    pub window_us: u64,
+    /// Dense window count (every row's `window` is below this).
+    pub windows: u64,
+    /// Per-request deadline the run was scheduled against, µs.
+    pub deadline_us: u64,
+    /// SLO policy the alerts were evaluated under.
+    pub slo: SloPolicy,
+    /// Shard names, routing order.
+    pub shard_names: Vec<String>,
+    /// One row per (window, shard), windows outermost, dense.
+    pub rows: Vec<WindowRow>,
+    /// Final residual state, every (shard, rung) cell.
+    pub residuals: ResidualTracker,
+    /// Fired alerts, (window, shard, code) order.
+    pub alerts: Vec<Alert>,
+}
+
+impl Timeline {
+    /// Alert count per table code, [`AlertCode::ALL`] order.
+    pub fn alert_counts(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; AlertCode::ALL.len()];
+        for a in &self.alerts {
+            counts[a.code.index()] += 1;
+        }
+        counts
+    }
+
+    /// The window burning the SLO budget fastest, fleet-wide:
+    /// `(window, start_us, burn_ppm)`. `None` for an empty timeline.
+    pub fn worst_burn(&self) -> Option<(u64, u64, u64)> {
+        let shards = self.shard_names.len() as u64;
+        if shards == 0 {
+            return None;
+        }
+        (0..self.windows)
+            .map(|w| {
+                let cells = &self.rows[(w * shards) as usize..((w + 1) * shards) as usize];
+                let arrivals: u64 = cells.iter().map(|r| r.arrivals).sum();
+                let bad: u64 = cells.iter().map(WindowRow::bad).sum();
+                (
+                    w,
+                    w * self.window_us,
+                    obs::burn_rate_ppm(bad, arrivals, self.slo.miss_budget_ppm),
+                )
+            })
+            .max_by_key(|&(w, _, burn)| (burn, std::cmp::Reverse(w)))
+    }
+
+    /// Renders the schema-v1 JSON-lines document (see the module docs).
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::with_capacity(256 * (self.rows.len() + 8));
+        let names: Vec<String> = self
+            .shard_names
+            .iter()
+            .map(|n| format!("\"{n}\""))
+            .collect();
+        let _ = writeln!(
+            s,
+            "{{\"v\":1,\"kind\":\"header\",\"window_us\":{},\"windows\":{},\"deadline_us\":{},\"miss_budget_ppm\":{},\"shards\":[{}]}}",
+            self.window_us,
+            self.windows,
+            self.deadline_us,
+            self.slo.miss_budget_ppm,
+            names.join(","),
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                s,
+                "{{\"v\":1,\"kind\":\"window\",\"w\":{},\"start_us\":{},\"shard\":{},\"arrivals\":{},\"served\":{},\"missed\":{},\"rejected\":{},\"dropped\":{},\"degraded\":{},\"batches\":{},\"queue_p95_us\":{},\"queue_max_us\":{},\"residual_ppm\":{},\"drift_ppm\":{},\"burn_ppm\":{}}}",
+                r.window,
+                r.start_us,
+                r.shard,
+                r.arrivals,
+                r.served,
+                r.missed,
+                r.rejected,
+                r.dropped,
+                r.degraded,
+                r.batches,
+                r.queue_p95_us,
+                r.queue_max_us,
+                r.residual_ppm,
+                r.drift_ppm,
+                r.burn_ppm,
+            );
+        }
+        for shard in 0..self.residuals.shards() {
+            for rung in 0..self.residuals.rungs(shard) {
+                let cell = self.residuals.cell(shard, rung);
+                let _ = writeln!(
+                    s,
+                    "{{\"v\":1,\"kind\":\"residual\",\"shard\":{shard},\"rung\":{rung},\"ewma_ppm\":{},\"samples\":{}}}",
+                    cell.ewma_ppm(),
+                    cell.samples(),
+                );
+            }
+        }
+        for a in &self.alerts {
+            let _ = writeln!(
+                s,
+                "{{\"v\":1,\"kind\":\"alert\",\"code\":\"{}\",\"name\":\"{}\",\"w\":{},\"t_us\":{},\"shard\":{},\"value_ppm\":{}}}",
+                a.code.code(),
+                a.code.name(),
+                a.window,
+                a.t_us,
+                a.shard,
+                a.value_ppm,
+            );
+        }
+        s
+    }
+
+    /// Renders the timeline as a Chrome `trace_event` document. The trace
+    /// clock is virtual time: a window's counters sit at its start
+    /// microsecond, alerts at their exact virtual instant, one counter
+    /// track (`tid`) per shard.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut s = String::with_capacity(256 * (self.rows.len() + 8));
+        s.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+        let mut first = true;
+        let mut push = |line: String, s: &mut String| {
+            if !first {
+                s.push_str(",\n");
+            }
+            first = false;
+            s.push_str(&line);
+        };
+        for r in &self.rows {
+            push(
+                format!(
+                    "{{\"name\":\"serve.window ({})\",\"cat\":\"netcut\",\"ph\":\"C\",\"ts\":{},\"pid\":1,\"tid\":{},\"args\":{{\"served\":{},\"missed\":{},\"rejected\":{},\"dropped\":{},\"degraded\":{},\"burn_ppm\":{}}}}}",
+                    self.shard_names[r.shard],
+                    r.start_us,
+                    r.shard,
+                    r.served,
+                    r.missed,
+                    r.rejected,
+                    r.dropped,
+                    r.degraded,
+                    r.burn_ppm,
+                ),
+                &mut s,
+            );
+        }
+        for a in &self.alerts {
+            push(
+                format!(
+                    "{{\"name\":\"{} {}\",\"cat\":\"netcut\",\"ph\":\"i\",\"ts\":{},\"pid\":1,\"tid\":{},\"args\":{{\"value_ppm\":{}}}}}",
+                    a.code.code(),
+                    a.code.name(),
+                    a.t_us,
+                    a.shard,
+                    a.value_ppm,
+                ),
+                &mut s,
+            );
+        }
+        s.push_str("\n]}\n");
+        s
+    }
+}
+
+/// One raw residual sample, held until [`TimelineBuilder::finish`] folds
+/// them in virtual-time order.
+#[derive(Debug, Clone, Copy)]
+struct ResidualSample {
+    start_us: u64,
+    seq: u64,
+    shard: usize,
+    rung: usize,
+    predicted_us: u64,
+    observed_us: u64,
+}
+
+/// Accumulates timeline facts from inside the runtime's serial event
+/// loop. Everything is deterministic because every call site is.
+#[derive(Debug)]
+pub(crate) struct TimelineBuilder {
+    cfg: TimelineConfig,
+    deadline_us: u64,
+    shard_names: Vec<String>,
+    ladder_lens: Vec<usize>,
+    wm: WindowedMetrics,
+    /// Prebuilt labeled counter keys, `[shard][metric]` (allocation-free
+    /// hot path).
+    keys: Vec<ShardKeys>,
+    samples: Vec<ResidualSample>,
+    /// Fault windows opening per shard: `(window, shard, t_us, magnitude)`.
+    fault_entries: Vec<(u64, usize, u64, u64)>,
+}
+
+/// The labeled metric names of one shard.
+#[derive(Debug)]
+struct ShardKeys {
+    arrivals: String,
+    served: String,
+    missed: String,
+    rejected: String,
+    dropped: String,
+    degraded: String,
+    batches: String,
+    queue_delay: String,
+}
+
+impl ShardKeys {
+    fn new(shard: usize) -> Self {
+        ShardKeys {
+            arrivals: obs::labeled("serve.arrivals", "shard", shard),
+            served: obs::labeled("serve.served", "shard", shard),
+            missed: obs::labeled("serve.missed", "shard", shard),
+            rejected: obs::labeled("serve.rejected", "shard", shard),
+            dropped: obs::labeled("serve.dropped", "shard", shard),
+            degraded: obs::labeled("serve.degraded", "shard", shard),
+            batches: obs::labeled("serve.batches", "shard", shard),
+            queue_delay: obs::labeled("serve.queue_delay_us", "shard", shard),
+        }
+    }
+}
+
+impl TimelineBuilder {
+    /// Builds the recorder for a server's shards. Fault-window entries are
+    /// plan-static, so they are indexed up front.
+    pub(crate) fn new(cfg: TimelineConfig, shards: &[Shard], deadline_us: u64) -> Self {
+        let wm = WindowedMetrics::new(cfg.window_us);
+        let mut fault_entries = Vec::new();
+        for (s, shard) in shards.iter().enumerate() {
+            let FaultPlan { windows, .. } = &shard.faults;
+            for w in windows {
+                fault_entries.push((wm.index_of(w.start_us), s, w.start_us, w.magnitude));
+            }
+        }
+        fault_entries.sort_unstable();
+        TimelineBuilder {
+            cfg,
+            deadline_us,
+            shard_names: shards.iter().map(|s| s.name.clone()).collect(),
+            ladder_lens: shards.iter().map(|s| s.ladder.len()).collect(),
+            wm,
+            keys: (0..shards.len()).map(ShardKeys::new).collect(),
+            samples: Vec::new(),
+            fault_entries,
+        }
+    }
+
+    /// A request arriving at `t_us` was dropped on `shard`.
+    pub(crate) fn dropped(&mut self, t_us: u64, shard: usize) {
+        self.wm.add(t_us, &self.keys[shard].arrivals, 1);
+        self.wm.add(t_us, &self.keys[shard].dropped, 1);
+    }
+
+    /// A request arriving at `t_us` was rejected at admission on `shard`.
+    pub(crate) fn rejected(&mut self, t_us: u64, shard: usize) {
+        self.wm.add(t_us, &self.keys[shard].arrivals, 1);
+        self.wm.add(t_us, &self.keys[shard].rejected, 1);
+    }
+
+    /// A request arriving at `arrival_us` completed on `shard`. Counted in
+    /// its *arrival* window, so the per-window disposition invariant holds.
+    pub(crate) fn completion(
+        &mut self,
+        arrival_us: u64,
+        shard: usize,
+        missed: bool,
+        degraded: bool,
+        queue_delay_us: u64,
+    ) {
+        let keys = &self.keys[shard];
+        self.wm.add(arrival_us, &keys.arrivals, 1);
+        let disposition = if missed { &keys.missed } else { &keys.served };
+        self.wm.add(arrival_us, disposition, 1);
+        if degraded {
+            self.wm.add(arrival_us, &keys.degraded, 1);
+        }
+        self.wm
+            .observe(arrival_us, &keys.queue_delay, queue_delay_us);
+    }
+
+    /// A batch started on `shard` at `start_us`. Ladder batches
+    /// (`rung.is_some()`) contribute a residual sample comparing the
+    /// predicted batch latency against the observed (noise- and
+    /// fault-scaled) service time.
+    pub(crate) fn batch(
+        &mut self,
+        start_us: u64,
+        shard: usize,
+        rung: Option<usize>,
+        predicted_us: u64,
+        observed_us: u64,
+    ) {
+        self.wm.add(start_us, &self.keys[shard].batches, 1);
+        if let Some(rung) = rung {
+            self.samples.push(ResidualSample {
+                start_us,
+                seq: self.samples.len() as u64,
+                shard,
+                rung,
+                predicted_us,
+                observed_us,
+            });
+        }
+    }
+
+    /// Folds everything into the finished [`Timeline`]: residual samples
+    /// in virtual-time order, dense (window, shard) rows, alerts in
+    /// (window, shard, code) order.
+    pub(crate) fn finish(mut self) -> Timeline {
+        let shards = self.shard_names.len();
+        let last_fault = self.fault_entries.iter().map(|&(w, ..)| w).max();
+        let windows = self
+            .wm
+            .last_window()
+            .into_iter()
+            .chain(last_fault)
+            .max()
+            .map_or(0, |w| w + 1);
+        self.samples.sort_unstable_by_key(|s| (s.start_us, s.seq));
+        let mut residuals = ResidualTracker::new(&self.ladder_lens, self.cfg.alpha_ppm);
+        let mut rows = Vec::with_capacity((windows as usize) * shards);
+        let mut alerts = Vec::new();
+        let mut next_sample = 0usize;
+        for w in 0..windows {
+            // Residual state "as of the end of window w": fold every batch
+            // that started inside it before reading the EWMAs.
+            while next_sample < self.samples.len()
+                && self.wm.index_of(self.samples[next_sample].start_us) <= w
+            {
+                let s = self.samples[next_sample];
+                residuals.observe(s.shard, s.rung, s.predicted_us, s.observed_us);
+                next_sample += 1;
+            }
+            let fleet_arrivals: u64 = (0..shards)
+                .map(|s| self.wm.counter(w, &self.keys[s].arrivals))
+                .sum();
+            for s in 0..shards {
+                let keys = &self.keys[s];
+                let arrivals = self.wm.counter(w, &keys.arrivals);
+                let served = self.wm.counter(w, &keys.served);
+                let missed = self.wm.counter(w, &keys.missed);
+                let rejected = self.wm.counter(w, &keys.rejected);
+                let dropped = self.wm.counter(w, &keys.dropped);
+                let bad = missed + rejected + dropped;
+                let queue = self.wm.histogram(w, &keys.queue_delay);
+                let row = WindowRow {
+                    window: w,
+                    start_us: self.wm.start_of(w),
+                    shard: s,
+                    arrivals,
+                    served,
+                    missed,
+                    rejected,
+                    dropped,
+                    degraded: self.wm.counter(w, &keys.degraded),
+                    batches: self.wm.counter(w, &keys.batches),
+                    queue_p95_us: queue.map_or(0, |h| h.quantile(950_000)),
+                    queue_max_us: queue.map_or(0, netcut_obs::WindowHistogram::max),
+                    residual_ppm: residuals.blended(s).ewma_ppm(),
+                    drift_ppm: residuals.max_drift_ppm(s),
+                    burn_ppm: obs::burn_rate_ppm(bad, arrivals, self.cfg.slo.miss_budget_ppm),
+                };
+                let fault = self
+                    .fault_entries
+                    .iter()
+                    .filter(|&&(fw, fs, ..)| fw == w && fs == s)
+                    .map(|&(_, _, t_us, magnitude)| (t_us, magnitude))
+                    .min();
+                let mut fired = self.cfg.slo.evaluate(&WindowObservation {
+                    window: w,
+                    start_us: row.start_us,
+                    shard: s,
+                    arrivals,
+                    bad,
+                    fleet_arrivals,
+                    max_drift_ppm: row.drift_ppm,
+                    drift_samples: residuals.shard_samples(s),
+                    fault_entered_ppm: fault.map(|(_, magnitude)| magnitude),
+                });
+                // OBS004 anchors at the fault window's exact opening
+                // instant, not the telemetry window's start.
+                if let Some((t_us, _)) = fault {
+                    for a in &mut fired {
+                        if a.code == AlertCode::FaultWindowEntered {
+                            a.t_us = t_us;
+                        }
+                    }
+                }
+                alerts.extend(fired);
+                rows.push(row);
+            }
+        }
+        Timeline {
+            window_us: self.cfg.window_us,
+            windows,
+            deadline_us: self.deadline_us,
+            slo: self.cfg.slo,
+            shard_names: self.shard_names,
+            rows,
+            residuals,
+            alerts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{FaultKind, FaultWindow};
+    use crate::ladder::{Rung, TrnLadder};
+
+    fn shard(name: &str, faults: FaultPlan) -> Shard {
+        Shard {
+            name: name.to_owned(),
+            ladder: TrnLadder::from_rungs(vec![
+                Rung {
+                    name: "cut1".into(),
+                    cutpoint: 1,
+                    latency_us: 100,
+                    accuracy: 0.7,
+                },
+                Rung {
+                    name: "cut0".into(),
+                    cutpoint: 0,
+                    latency_us: 700,
+                    accuracy: 0.9,
+                },
+            ]),
+            workers: 1,
+            faults,
+            noise_ppm: Vec::new(),
+        }
+    }
+
+    fn builder(shards: &[Shard]) -> TimelineBuilder {
+        TimelineBuilder::new(TimelineConfig::default(), shards, 900)
+    }
+
+    #[test]
+    fn dispositions_land_in_their_arrival_window() {
+        let shards = vec![shard("a", FaultPlan::none())];
+        let mut b = builder(&shards);
+        b.completion(10, 0, false, false, 5);
+        b.completion(150_000, 0, true, true, 800);
+        b.rejected(160_000, 0);
+        b.dropped(250_000, 0);
+        b.batch(10, 0, Some(1), 700, 721);
+        let tl = b.finish();
+        assert_eq!(tl.windows, 3);
+        assert_eq!(tl.rows.len(), 3);
+        let row0 = &tl.rows[0];
+        assert_eq!((row0.arrivals, row0.served, row0.batches), (1, 1, 1));
+        let row1 = &tl.rows[1];
+        assert_eq!(row1.arrivals, 2);
+        assert_eq!((row1.missed, row1.rejected, row1.degraded), (1, 1, 1));
+        assert_eq!(row1.queue_max_us, 800);
+        let row2 = &tl.rows[2];
+        assert_eq!((row2.arrivals, row2.dropped), (1, 1));
+        for r in &tl.rows {
+            assert_eq!(r.arrivals, r.served + r.missed + r.rejected + r.dropped);
+        }
+        // Residual: one sample, 721/700 = 1.03 → ppm, visible from its
+        // window onward.
+        assert_eq!(row0.residual_ppm, 1_030_000);
+        assert_eq!(row2.residual_ppm, 1_030_000);
+        assert_eq!(tl.residuals.cell(0, 1).samples(), 1);
+    }
+
+    #[test]
+    fn fault_windows_raise_obs004_at_their_exact_instant() {
+        let faults = FaultPlan {
+            windows: vec![FaultWindow {
+                kind: FaultKind::Jitter,
+                start_us: 123_456,
+                end_us: 200_000,
+                magnitude: 1_250_000,
+            }],
+            seed: 0,
+        };
+        let shards = vec![shard("a", FaultPlan::none()), shard("b", faults)];
+        let tl = builder(&shards).finish();
+        // No traffic at all, but the fault entry still shapes the span.
+        assert_eq!(tl.windows, 2);
+        let obs004: Vec<&Alert> = tl
+            .alerts
+            .iter()
+            .filter(|a| a.code == AlertCode::FaultWindowEntered)
+            .collect();
+        assert_eq!(obs004.len(), 1);
+        assert_eq!(obs004[0].shard, 1);
+        assert_eq!(obs004[0].window, 1);
+        assert_eq!(obs004[0].t_us, 123_456);
+        assert_eq!(obs004[0].value_ppm, 1_250_000);
+        assert_eq!(tl.alert_counts(), vec![0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn starved_shard_is_called_out() {
+        let shards = vec![shard("a", FaultPlan::none()), shard("b", FaultPlan::none())];
+        let mut b = builder(&shards);
+        for i in 0..20 {
+            b.completion(i * 1_000, 0, false, false, 0);
+        }
+        let tl = b.finish();
+        let starved: Vec<&Alert> = tl
+            .alerts
+            .iter()
+            .filter(|a| a.code == AlertCode::ShardStarvation)
+            .collect();
+        assert_eq!(starved.len(), 1);
+        assert_eq!(starved[0].shard, 1);
+        assert_eq!(starved[0].value_ppm, 20);
+    }
+
+    #[test]
+    fn burn_alert_fires_on_a_bad_window() {
+        let shards = vec![shard("a", FaultPlan::none())];
+        let mut b = builder(&shards);
+        for i in 0..20 {
+            // Half the window's arrivals go bad: 50% miss rate against a
+            // 5% budget = 10× burn, far past the 2× alert threshold.
+            b.completion(i * 1_000, 0, i % 2 == 0, false, 0);
+        }
+        let tl = b.finish();
+        assert_eq!(tl.rows[0].burn_ppm, 10_000_000);
+        let burns: Vec<&Alert> = tl
+            .alerts
+            .iter()
+            .filter(|a| a.code == AlertCode::BudgetBurn)
+            .collect();
+        assert_eq!(burns.len(), 1);
+        assert_eq!(burns[0].value_ppm, 10_000_000);
+        assert_eq!(tl.worst_burn(), Some((0, 0, 10_000_000)));
+    }
+
+    #[test]
+    fn jsonl_is_stable_line_oriented_and_parseable() {
+        let shards = vec![shard("a", FaultPlan::none())];
+        let mut b = builder(&shards);
+        b.completion(10, 0, false, false, 5);
+        b.batch(10, 0, Some(0), 100, 100);
+        let tl = b.finish();
+        let doc = tl.to_jsonl();
+        assert_eq!(doc, tl.to_jsonl());
+        let lines: Vec<&str> = doc.lines().collect();
+        // header + 1 window row + 2 residual rows (2 rungs), no alerts.
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("{\"v\":1,\"kind\":\"header\",\"window_us\":100000,"));
+        assert!(lines[1].contains("\"kind\":\"window\""));
+        assert!(lines[2].contains("\"kind\":\"residual\""));
+        for line in &lines {
+            let _: serde_json::Value = line.parse().expect("every line is valid JSON");
+        }
+        let trace = tl.to_chrome_trace();
+        assert!(trace.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(trace.contains("\"ph\":\"C\""));
+        assert!(trace.ends_with("]}\n"));
+    }
+
+    #[test]
+    fn empty_run_is_an_empty_timeline() {
+        let shards = vec![shard("a", FaultPlan::none())];
+        let tl = builder(&shards).finish();
+        assert_eq!(tl.windows, 0);
+        assert!(tl.rows.is_empty());
+        assert!(tl.alerts.is_empty());
+        assert_eq!(tl.worst_burn(), None);
+        assert_eq!(tl.alert_counts(), vec![0, 0, 0, 0]);
+    }
+}

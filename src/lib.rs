@@ -23,6 +23,7 @@ pub use netcut_graph as graph;
 pub use netcut_hand as hand;
 pub use netcut_obs as obs;
 pub use netcut_quant as quant;
+pub use netcut_serve as serve;
 pub use netcut_sim as sim;
 pub use netcut_tensor as tensor;
 pub use netcut_train as train;

@@ -1,0 +1,39 @@
+//! Every shard of a many-shard run must report its busy gauge.
+//!
+//! The runtime used to pick gauge names from a static four-entry table,
+//! so shards beyond the table silently reported nothing. Gauge names are
+//! now built with `obs::labeled`, which works for any shard count — this
+//! test runs five shards (one past the old table) and checks each one's
+//! `serve.shard.busy{shard=N}` series exists. Kept in its own integration
+//! binary: the obs sink and metrics registry are process-global.
+
+use netcut_repro::obs;
+use netcut_repro::serve::{Scenario, ScenarioConfig};
+use std::sync::Arc;
+
+#[test]
+fn all_five_shards_report_their_busy_gauge() {
+    obs::reset_metrics();
+    obs::set_sink(Arc::new(obs::MemorySink::new()));
+    let scenario = Scenario::build(ScenarioConfig {
+        duration_us: 200_000,
+        shards: 5,
+        workers: 5,
+        ..ScenarioConfig::default()
+    });
+    let _ = scenario.run_full();
+    obs::clear_sink();
+
+    let snapshot = obs::snapshot();
+    for shard in 0..5 {
+        let name = obs::labeled("serve.shard.busy", "shard", shard);
+        assert!(
+            snapshot.gauge(&name).is_some(),
+            "`{name}` was never set — a shard fell off the telemetry"
+        );
+    }
+    assert!(
+        snapshot.gauge("serve.shard.busy{shard=5}").is_none(),
+        "only the five real shards report"
+    );
+}

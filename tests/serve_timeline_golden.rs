@@ -1,0 +1,143 @@
+//! Golden-trace regression test for the windowed serving timeline.
+//!
+//! `tests/golden/serve_seed11_timeline.jsonl` is the committed schema-v1
+//! timeline of the batched two-shard golden scenario (deadline 900 µs,
+//! 2000 rps, 0.5 s, seed 11, faults on, `--batch-max 8 --shards 2`) —
+//! the same run as `serve_seed11_batch2x.json`, windowed. The timeline is
+//! all-integer and deterministic, so a fresh run must reproduce it field
+//! for field at any `NETCUT_TEST_JOBS` and on every platform.
+//!
+//! If a deliberate behaviour change alters the expected output,
+//! regenerate the golden file with:
+//!
+//! ```text
+//! cargo run -p netcut-cli -- serve --duration 0.5 --batch-max 8 \
+//!     --shards 2 --timeline-out tests/golden/serve_seed11_timeline.jsonl
+//! ```
+//!
+//! and explain the change in the commit message. The CI golden-freshness
+//! step runs exactly that command and fails on any diff. The committed
+//! values are calibrated against the vendored offline `rand` stand-in
+//! (see `offline/README.md`).
+
+use netcut_serve::{Scenario, ScenarioConfig};
+use serde_json::Value;
+
+const GOLDEN: &str = include_str!("golden/serve_seed11_timeline.jsonl");
+
+/// Evaluation parallelism for this run: `NETCUT_TEST_JOBS` when set (the
+/// CI determinism matrix pins 1 and 8), the library default of 1 otherwise.
+fn jobs_from_env() -> usize {
+    std::env::var("NETCUT_TEST_JOBS").ok().map_or(1, |v| {
+        v.parse().expect("NETCUT_TEST_JOBS must be an integer")
+    })
+}
+
+/// The scenario the golden file was generated from: CLI defaults with
+/// `--duration 0.5 --batch-max 8 --shards 2`.
+fn golden_config() -> ScenarioConfig {
+    ScenarioConfig {
+        duration_us: 500_000,
+        jobs: jobs_from_env(),
+        batch_max: 8,
+        shards: 2,
+        ..ScenarioConfig::default()
+    }
+}
+
+#[test]
+fn timeline_matches_the_golden_file_field_by_field() {
+    let (_, timeline) = Scenario::build(golden_config()).run_full();
+    let actual_text = timeline.to_jsonl();
+
+    let golden_lines: Vec<&str> = GOLDEN.lines().collect();
+    let actual_lines: Vec<&str> = actual_text.lines().collect();
+    assert_eq!(
+        golden_lines.len(),
+        actual_lines.len(),
+        "line count diverged from the golden timeline \
+         (see file header for the regeneration command)"
+    );
+
+    let mut mismatches = Vec::new();
+    for (i, (g, a)) in golden_lines.iter().zip(&actual_lines).enumerate() {
+        let golden: Value = g.parse().expect("golden line is valid JSON");
+        let actual: Value = a.parse().expect("timeline line is valid JSON");
+        let golden_map = golden.as_object().expect("golden line is an object");
+        let actual_map = actual.as_object().expect("timeline line is an object");
+        for (key, expected) in golden_map {
+            match actual_map.get(key) {
+                Some(got) if got == expected => {}
+                Some(got) => {
+                    mismatches.push(format!("line {}: {key}: golden {expected} != {got}", i + 1));
+                }
+                None => mismatches.push(format!("line {}: {key}: missing", i + 1)),
+            }
+        }
+        for key in actual_map.keys() {
+            if !golden_map.contains_key(key) {
+                mismatches.push(format!(
+                    "line {}: {key}: not in golden (regenerate?)",
+                    i + 1
+                ));
+            }
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "timeline diverged from tests/golden/serve_seed11_timeline.jsonl:\n  {}\n\
+         (see file header for the regeneration command)",
+        mismatches.join("\n  ")
+    );
+}
+
+#[test]
+fn golden_timeline_sanity() {
+    // Guards against committing a degenerate golden: the scenario is a
+    // loaded two-shard run whose timeline must cover every shard in every
+    // window, carry residual cells, and have fired at least one alert.
+    let lines: Vec<Value> = GOLDEN
+        .lines()
+        .map(|l| l.parse().expect("golden line is valid JSON"))
+        .collect();
+    let kind = |v: &Value| v.get("kind").and_then(Value::as_str).map(str::to_owned);
+    let header = &lines[0];
+    assert_eq!(kind(header).as_deref(), Some("header"));
+    assert_eq!(header.get("v").and_then(Value::as_u64), Some(1));
+    let windows = header
+        .get("windows")
+        .and_then(Value::as_u64)
+        .expect("windows");
+    let shards = header
+        .get("shards")
+        .and_then(Value::as_array)
+        .expect("shards")
+        .len() as u64;
+    assert_eq!(shards, 2, "golden covers both shards");
+
+    let rows: Vec<&Value> = lines
+        .iter()
+        .filter(|l| kind(l).as_deref() == Some("window"))
+        .collect();
+    assert_eq!(
+        rows.len() as u64,
+        windows * shards,
+        "full window × shard grid"
+    );
+    for row in &rows {
+        let u = |k: &str| row.get(k).and_then(Value::as_u64).expect(k);
+        assert_eq!(
+            u("arrivals"),
+            u("served") + u("missed") + u("rejected") + u("dropped"),
+            "window accounting identity"
+        );
+    }
+    assert!(
+        lines.iter().any(|l| kind(l).as_deref() == Some("residual")),
+        "golden carries residual cells"
+    );
+    assert!(
+        lines.iter().any(|l| kind(l).as_deref() == Some("alert")),
+        "golden scenario fires at least one alert"
+    );
+}
