@@ -14,6 +14,12 @@
 //!   beyond the committed leg. Redundant while the equality check is
 //!   exact, but it documents the tolerance and survives a looser future
 //!   equality policy.
+//! * **Accuracy-weighted-goodput regression** — the fresh `batch_shard`
+//!   leg's `acc_goodput_mrps` falls more than
+//!   [`serve_matrix::ACC_GOODPUT_REGRESSION_PPM`] (1%) below the
+//!   committed value — the same drift budget as the miss-rate leg, on the
+//!   metric that catches "serves more by degrading harder" regressions
+//!   the raw goodput figure cannot see.
 //! * **Acceptance violations** — the fresh matrix breaks the headline
 //!   invariants (degradation beats pinned; batching + sharding strictly
 //!   beats the baseline goodput at an equal-or-lower miss rate).
@@ -180,6 +186,29 @@ fn main() -> ExitCode {
             }
         }
         _ => failures.push("missing batch_shard.miss_rate_ppm in one of the documents".to_string()),
+    }
+
+    match (
+        leg_u64(&committed, "batch_shard", "acc_goodput_mrps"),
+        leg_u64(&fresh, "batch_shard", "acc_goodput_mrps"),
+    ) {
+        (Some(was), Some(now)) => {
+            let floor = was - was * serve_matrix::ACC_GOODPUT_REGRESSION_PPM / 1_000_000;
+            if now < floor {
+                failures.push(format!(
+                    "accuracy-weighted-goodput regression: batch_shard {now} mrps vs \
+                     committed {was} mrps (tolerance {} ppm of committed)",
+                    serve_matrix::ACC_GOODPUT_REGRESSION_PPM
+                ));
+            } else {
+                println!(
+                    "bench_check: accuracy-weighted goodput OK — batch_shard {now} mrps \
+                     vs committed {was} mrps"
+                );
+            }
+        }
+        _ => failures
+            .push("missing batch_shard.acc_goodput_mrps in one of the documents".to_string()),
     }
 
     let violations = serve_matrix::acceptance_violations(&legs);

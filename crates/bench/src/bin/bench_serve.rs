@@ -4,7 +4,11 @@
 //!
 //! Prints every leg's summary and the headline comparisons (degradation
 //! must beat the pinned ladder; batching + sharding must strictly beat
-//! the single-shard unbatched baseline at an equal-or-lower miss rate),
+//! the single-shard unbatched baseline in raw goodput at an
+//! equal-or-lower miss rate; batching must strictly raise
+//! accuracy-weighted goodput against the equal-roster unbatched leg;
+//! and the multi-exit refactor must keep one resident network per
+//! device at least 10× smaller than the per-rung-network fleet),
 //! and writes the raw summaries to `results/BENCH_serve.json`. The
 //! summaries themselves are hand-rolled integer-only JSON, so reruns at
 //! any `--jobs`-equivalent parallelism byte-match; only `git` and the
@@ -43,10 +47,29 @@ fn main() {
         serve_matrix::BATCH_MAX,
         serve_matrix::SHARDS,
     );
+    let shard = &legs
+        .iter()
+        .find(|l| l.key == "shard")
+        .expect("matrix has a shard leg")
+        .summary;
+    println!(
+        "accuracy-weighted goodput: {:.1} rps sharded -> {:.1} rps batch+shard \
+         ({:.1} rps single-device baseline)",
+        shard.acc_goodput_mrps as f64 / 1e3,
+        batch_shard.acc_goodput_mrps as f64 / 1e3,
+        baseline.acc_goodput_mrps as f64 / 1e3,
+    );
     println!(
         "miss rate: {:.4}% baseline vs {:.4}% batch+shard",
         baseline.miss_rate_ppm as f64 / 10_000.0,
         batch_shard.miss_rate_ppm as f64 / 10_000.0
+    );
+    println!(
+        "model memory: one multi-exit network per device is {:.1}x smaller than \
+         the per-rung-network fleet ({:.1} vs {:.1} MiB on the batch+shard leg)",
+        batch_shard.model_reduction_ppm as f64 / 1e6,
+        batch_shard.model_bytes.iter().sum::<u64>() as f64 / (1024.0 * 1024.0),
+        batch_shard.baseline_model_bytes.iter().sum::<u64>() as f64 / (1024.0 * 1024.0),
     );
     println!();
     println!(

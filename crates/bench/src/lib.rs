@@ -279,6 +279,18 @@ pub mod serve_matrix {
     /// ppm of total requests: one percentage point.
     pub const MISS_REGRESSION_PPM: u64 = 10_000;
 
+    /// The accuracy-weighted-goodput regression tolerance of the CI gate:
+    /// a fresh run's `acc_goodput_mrps` may fall below the committed value
+    /// by at most this fraction of it (ppm) — the same one-percent drift
+    /// budget the miss-rate leg uses.
+    pub const ACC_GOODPUT_REGRESSION_PPM: u64 = 10_000;
+
+    /// Minimum fleet-memory reduction the multi-exit refactor must show on
+    /// the batched sharded leg: the one resident multi-exit network per
+    /// device must be at least 10× smaller than the per-rung-network
+    /// baseline fleet (the paper-scale figure is ~17×).
+    pub const MODEL_REDUCTION_MIN_PPM: u64 = 10_000_000;
+
     /// The leg whose timeline ships as `BENCH_timeline.jsonl` — the
     /// batched two-shard run, the richest telemetry the matrix produces.
     pub const TIMELINE_LEG: &str = "batch_shard";
@@ -374,24 +386,27 @@ pub mod serve_matrix {
     }
 
     /// The per-leg burn-rate table `bench_serve` prints: one line per leg
-    /// with the run burn rate, the worst window, and the alert total.
+    /// with the run burn rate, the worst window, the alert total, and the
+    /// raw vs accuracy-weighted goodput columns.
     pub fn burn_table(legs: &[LegResult]) -> String {
         let mut s = String::new();
         let _ = writeln!(
             s,
-            "{:<12} {:>10} {:>8} {:>11} {:>7}",
-            "leg", "miss_ppm", "burn", "worst_win", "alerts"
+            "{:<12} {:>10} {:>8} {:>11} {:>7} {:>10} {:>10}",
+            "leg", "miss_ppm", "burn", "worst_win", "alerts", "goodput", "acc_gput"
         );
         for leg in legs {
             let sm = &leg.summary;
             let _ = writeln!(
                 s,
-                "{:<12} {:>10} {:>7.2}x {:>10.2}x {:>7}",
+                "{:<12} {:>10} {:>7.2}x {:>10.2}x {:>7} {:>10.1} {:>10.1}",
                 leg.key,
                 sm.miss_rate_ppm,
                 sm.burn_rate_ppm as f64 / 1e6,
                 sm.worst_window_burn_ppm as f64 / 1e6,
                 sm.alert_counts.iter().sum::<u64>(),
+                sm.goodput_mrps as f64 / 1e3,
+                sm.acc_goodput_mrps as f64 / 1e3,
             );
         }
         s
@@ -453,6 +468,43 @@ pub mod serve_matrix {
             violations.push(format!(
                 "batch+shard miss rate must not exceed the baseline: {} ppm vs {} ppm",
                 batch_shard.miss_rate_ppm, baseline.miss_rate_ppm
+            ));
+        }
+        for leg in legs {
+            if leg.summary.acc_goodput_mrps > leg.summary.goodput_mrps {
+                violations.push(format!(
+                    "leg `{}`: accuracy-weighted goodput cannot exceed raw goodput \
+                     ({} mrps vs {} mrps) — exits cannot be more than 100% accurate",
+                    leg.key, leg.summary.acc_goodput_mrps, leg.summary.goodput_mrps
+                ));
+            }
+        }
+        // Accuracy-weighted goodput is only comparable between legs on the
+        // same device roster (the nano shard's shallower ladder lowers the
+        // fleet-wide accuracy weight by construction), so batching must pay
+        // for itself against the equal-roster unbatched leg in each case.
+        let batch = get("batch");
+        let shard = get("shard");
+        if batch.acc_goodput_mrps <= baseline.acc_goodput_mrps {
+            violations.push(format!(
+                "batching must strictly raise accuracy-weighted goodput on the \
+                 single-device roster: {} mrps vs {} mrps",
+                batch.acc_goodput_mrps, baseline.acc_goodput_mrps
+            ));
+        }
+        if batch_shard.acc_goodput_mrps <= shard.acc_goodput_mrps {
+            violations.push(format!(
+                "batching must strictly raise accuracy-weighted goodput on the \
+                 sharded roster: {} mrps vs {} mrps",
+                batch_shard.acc_goodput_mrps, shard.acc_goodput_mrps
+            ));
+        }
+        if batch_shard.model_reduction_ppm < MODEL_REDUCTION_MIN_PPM {
+            violations.push(format!(
+                "multi-exit fleet must be ≥ {}× smaller than the per-rung-network \
+                 baseline, got {} ppm",
+                MODEL_REDUCTION_MIN_PPM / 1_000_000,
+                batch_shard.model_reduction_ppm
             ));
         }
         violations

@@ -19,7 +19,7 @@ usage:
                    [--jobs N] [--workers N] [--no-degrade] [--no-faults] [--json]
                    [--batch-max N] [--batch-slack-us N] [--shards N]
                    [--devices a,b,...] [--timeline-out <path>]
-                   [--timeline-window-us N]
+                   [--timeline-window-us N] [--exit-table full|N]
   netcut-cli lint <network|all|file.json> [--json]
 
 global options (any command):
@@ -45,8 +45,12 @@ batching (coalesce queued requests while every member's deadline still
 holds, adding at most `--batch-slack-us` over solo service);
 `--shards N` partitions the workers across the `--devices` roster
 (jetson-xavier, jetson-nano, tesla-k20m; shard i runs roster[i mod len])
-with per-device ladders and least-completion-time routing; summaries are
-bit-identical for any `--jobs` value; `--timeline-out <path>` writes the
+with per-device exit tables and least-completion-time routing; each
+device serves ONE multi-exit network whose heads are the ladder's rungs,
+so degradation is a free choice of exit at dispatch; `--exit-table N`
+pins every visual request to exit N (deepest exit = the `--no-degrade`
+baseline bit-for-bit) while `full` (the default) serves the whole
+adaptive table; summaries are bit-identical for any `--jobs` value; `--timeline-out <path>` writes the
 windowed telemetry timeline (per-shard disposition counts, residual
 EWMAs, burn rates, OBS0xx alerts per `--timeline-window-us` window of
 virtual time): `.jsonl` -> schema-v1 JSON-lines, any other extension ->
@@ -138,6 +142,7 @@ pub enum Command {
         devices: Vec<String>,
         timeline_out: Option<String>,
         timeline_window_us: u64,
+        exit_pin: Option<usize>,
     },
     /// Run the `netcut-verify` static analyzer over a network (or the
     /// whole zoo) and every blockwise TRN of it.
@@ -217,6 +222,7 @@ const KNOWN_FLAGS: &[&str] = &[
     "--devices",
     "--timeline-out",
     "--timeline-window-us",
+    "--exit-table",
 ];
 
 /// Parses the subcommand and its own arguments (global flags removed).
@@ -263,6 +269,7 @@ fn parse_command(argv: &[&str]) -> Result<Command, String> {
                         | "--devices"
                         | "--timeline-out"
                         | "--timeline-window-us"
+                        | "--exit-table"
                 ) && i + 1 < rest.len()
                 {
                     skip = true;
@@ -407,6 +414,16 @@ fn parse_command(argv: &[&str]) -> Result<Command, String> {
             if rest.contains(&"--timeline-out") && flag_value("--timeline-out").is_none() {
                 return Err("--timeline-out requires a file path".to_string());
             }
+            let exit_pin: Option<usize> = match flag_value("--exit-table") {
+                None if rest.contains(&"--exit-table") => {
+                    return Err("--exit-table requires `full` or an exit index".to_string());
+                }
+                None | Some("full") => None,
+                Some(v) => Some(
+                    v.parse()
+                        .map_err(|_| "--exit-table must be `full` or an exit index".to_string())?,
+                ),
+            };
             let timeline_window_us: u64 = num(
                 flag_value("--timeline-window-us"),
                 "--timeline-window-us",
@@ -431,6 +448,7 @@ fn parse_command(argv: &[&str]) -> Result<Command, String> {
                 devices,
                 timeline_out: flag_value("--timeline-out").map(ToString::to_string),
                 timeline_window_us,
+                exit_pin,
             })
         }
         "lint" => Ok(Command::Lint {
@@ -571,6 +589,7 @@ mod tests {
                 devices: vec!["jetson-xavier".into(), "jetson-nano".into()],
                 timeline_out: None,
                 timeline_window_us: 100_000,
+                exit_pin: None,
             }
         );
     }
@@ -607,6 +626,8 @@ mod tests {
                 "tl.jsonl",
                 "--timeline-window-us",
                 "50000",
+                "--exit-table",
+                "3",
             ]),
             Command::Serve {
                 deadline_us: 1200,
@@ -624,6 +645,7 @@ mod tests {
                 devices: vec!["jetson-xavier".into(), "tesla-k20m".into()],
                 timeline_out: Some("tl.jsonl".into()),
                 timeline_window_us: 50_000,
+                exit_pin: Some(3),
             }
         );
     }
@@ -638,6 +660,20 @@ mod tests {
         assert!(parse(&argv(&["serve", "--devices", "xavier,tpu"])).is_err());
         assert!(parse(&argv(&["serve", "--timeline-out"])).is_err());
         assert!(parse(&argv(&["serve", "--timeline-window-us", "0"])).is_err());
+        assert!(parse(&argv(&["serve", "--exit-table"])).is_err());
+        assert!(parse(&argv(&["serve", "--exit-table", "deep"])).is_err());
+    }
+
+    #[test]
+    fn exit_table_full_is_the_adaptive_default() {
+        let Command::Serve { exit_pin, .. } = cmd(&["serve", "--exit-table", "full"]) else {
+            panic!("not a serve command");
+        };
+        assert_eq!(exit_pin, None);
+        let Command::Serve { exit_pin, .. } = cmd(&["serve", "--exit-table", "0"]) else {
+            panic!("not a serve command");
+        };
+        assert_eq!(exit_pin, Some(0));
     }
 
     #[test]

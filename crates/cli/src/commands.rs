@@ -278,6 +278,7 @@ pub fn run(cmd: Command, strict: bool) -> Result<(), String> {
             devices,
             timeline_out,
             timeline_window_us,
+            exit_pin,
         } => {
             if shards > workers {
                 return Err(format!(
@@ -291,7 +292,7 @@ pub fn run(cmd: Command, strict: bool) -> Result<(), String> {
                         .ok_or_else(|| format!("unknown device `{name}` in roster"))
                 })
                 .collect::<Result<_, _>>()?;
-            let scenario = netcut_serve::Scenario::build(netcut_serve::ScenarioConfig {
+            let scenario = netcut_serve::Scenario::try_build(netcut_serve::ScenarioConfig {
                 deadline_us,
                 rps,
                 duration_us: (duration_s * 1e6).round() as u64,
@@ -305,8 +306,10 @@ pub fn run(cmd: Command, strict: bool) -> Result<(), String> {
                 shards,
                 devices,
                 timeline_window_us,
+                exit_pin,
                 ..netcut_serve::ScenarioConfig::default()
-            });
+            })
+            .map_err(|e| e.to_string())?;
             let server = scenario.server();
             let meta = netcut_serve::RunMeta::from_server(&server, scenario.config().duration_us);
             let (outcomes, timeline) = scenario.run_full();
@@ -334,18 +337,25 @@ pub fn run(cmd: Command, strict: bool) -> Result<(), String> {
     }
 }
 
-/// The networks `lint` analyzes for one source: the source itself, then for
-/// every blockwise cut depth the raw (headless) TRN and the TRN with the
-/// transfer head attached. Head-attached TRNs are checked against the
-/// default [`HeadSpec`] (NC009) on top of the structural rules.
+/// The networks `lint` analyzes for one source: the source itself, its
+/// multi-head early-exit form, then for every blockwise cut depth the raw
+/// (headless) TRN, the TRN with the transfer head attached, and the TRN's
+/// own multi-exit form. Head-attached TRNs are checked against the
+/// default [`HeadSpec`] (NC009) on top of the structural rules;
+/// multi-exit graphs additionally exercise the NC013+ exit rules.
 fn lint_reports(source: &Network) -> Vec<netcut_verify::Report> {
     let structural = netcut_verify::Analyzer::new();
     let with_head = netcut_verify::Analyzer::with_expected_head(HeadSpec::default());
-    let mut reports = vec![structural.analyze(source)];
+    let head = HeadSpec::default();
+    let mut reports = vec![
+        structural.analyze(source),
+        structural.analyze(&source.with_exit_heads(&head)),
+    ];
     for k in 0..source.num_blocks() {
         if let Ok(trn) = source.cut_blocks(k) {
             reports.push(structural.analyze(&trn));
-            reports.push(with_head.analyze(&trn.with_head(&HeadSpec::default())));
+            reports.push(with_head.analyze(&trn.with_head(&head)));
+            reports.push(structural.analyze(&trn.with_exit_heads(&head)));
         }
     }
     reports
@@ -439,6 +449,7 @@ mod tests {
                 devices: vec!["jetson-xavier".into(), "jetson-nano".into()],
                 timeline_out: None,
                 timeline_window_us: 100_000,
+                exit_pin: None,
             },
             false,
         )
@@ -463,8 +474,34 @@ mod tests {
             devices: vec!["jetson-xavier".into(), "jetson-nano".into()],
             timeline_out: None,
             timeline_window_us: 100_000,
+            exit_pin: None,
         };
         run(cmd, false).expect("serve --batch-max 8 --shards 2");
+    }
+
+    #[test]
+    fn serve_pinned_exit_runs_and_out_of_range_pin_fails() {
+        let base = |exit_pin| Command::Serve {
+            deadline_us: 900,
+            rps: 2000,
+            duration_s: 0.1,
+            seed: 11,
+            jobs: 1,
+            workers: 2,
+            degrade: true,
+            faults: true,
+            json: true,
+            batch_max: 1,
+            batch_slack_us: 300,
+            shards: 1,
+            devices: vec!["jetson-xavier".into()],
+            timeline_out: None,
+            timeline_window_us: 100_000,
+            exit_pin,
+        };
+        run(base(Some(0)), false).expect("serve --exit-table 0");
+        let err = run(base(Some(999)), false).expect_err("pin past the table must fail");
+        assert!(err.contains("out of range"), "{err}");
     }
 
     #[test]
@@ -486,6 +523,7 @@ mod tests {
                 devices: vec!["jetson-xavier".into()],
                 timeline_out: None,
                 timeline_window_us: 100_000,
+                exit_pin: None,
             },
             false,
         )

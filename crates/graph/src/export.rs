@@ -133,6 +133,15 @@ impl Network {
                 self.shape(block.output())
             );
         }
+        for (k, exit) in self.exits().iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  exit {k:2} @ block `{}` -> {} ({:.1} MFLOPs to reach)",
+                self.blocks()[exit.block()].name(),
+                self.shape(exit.output()),
+                self.stats_to_exit(k).total_flops as f64 / 1e6
+            );
+        }
         let totals = self.stats();
         let _ = writeln!(
             out,

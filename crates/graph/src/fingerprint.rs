@@ -17,8 +17,9 @@ use crate::network::Network;
 use crate::shape::Shape;
 
 /// Version tag mixed into every fingerprint; bump when the encoding changes
-/// so stale cross-process caches can never alias.
-const ENCODING_VERSION: u64 = 1;
+/// so stale cross-process caches can never alias. Version 2 added the
+/// multi-exit head table ([`crate::ExitPoint`]) to the encoding.
+const ENCODING_VERSION: u64 = 2;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -222,6 +223,12 @@ impl Network {
             }
             None => h.byte(0),
         }
+        h.usize(self.exits.len());
+        for exit in &self.exits {
+            h.usize(exit.block());
+            h.usize(exit.head_start().index());
+            h.usize(exit.output().index());
+        }
         h.0
     }
 }
@@ -274,6 +281,38 @@ mod tests {
         fps.sort_unstable();
         fps.dedup();
         assert_eq!(fps.len(), net.num_blocks());
+    }
+
+    #[test]
+    fn exit_heads_change_fingerprint_but_not_the_backbone() {
+        let net = zoo::mobilenet_v1(0.25);
+        let bb = net.backbone();
+        let multi = net.with_exit_heads(&HeadSpec::default());
+        assert_ne!(
+            bb.structural_fingerprint(),
+            multi.structural_fingerprint(),
+            "exit table must be part of the structural identity"
+        );
+        // Attachment is a pure append: extracting the backbone back out
+        // recovers the exact pre-attachment fingerprint.
+        assert_eq!(
+            bb.structural_fingerprint(),
+            multi.backbone().structural_fingerprint(),
+            "attaching exit heads must not perturb the backbone"
+        );
+    }
+
+    #[test]
+    fn exit_table_is_fingerprinted() {
+        let multi = zoo::mobilenet_v1(0.25).with_exit_heads(&HeadSpec::default());
+        let mut reordered = multi.clone();
+        let mut exits = reordered.exits().to_vec();
+        exits.swap(0, 1);
+        reordered = reordered.with_exit_points(exits);
+        assert_ne!(
+            multi.structural_fingerprint(),
+            reordered.structural_fingerprint()
+        );
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod zoo;
 
 pub use error::GraphError;
 pub use layer::{Activation, LayerKind, Padding};
-pub use network::{infer_shape, Block, Network, NetworkBuilder, Node, NodeId};
+pub use network::{infer_shape, Block, ExitPoint, Network, NetworkBuilder, Node, NodeId};
 pub use shape::Shape;
 pub use stats::{layer_stats, LayerStats, NetworkStats};
 pub use trim::HeadSpec;

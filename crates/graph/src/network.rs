@@ -71,6 +71,50 @@ impl Node {
     }
 }
 
+/// One early-exit classifier head of a multi-exit network: the attachment
+/// point (a block boundary) plus the contiguous node range implementing the
+/// head (GAP → FC/ReLU… → FC/Softmax), ending in the exit's class-vector
+/// output.
+///
+/// Exit heads are appended after the backbone by
+/// [`Network::with_exit_heads`]; they are pure sinks (no backbone node and
+/// no other exit consumes their nodes), so attaching them never perturbs
+/// the backbone structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExitPoint {
+    pub(crate) block: usize,
+    pub(crate) head_start: NodeId,
+    pub(crate) output: NodeId,
+}
+
+impl ExitPoint {
+    /// Constructs an exit point from raw parts, unchecked; see
+    /// [`Node::new`]. Run the `netcut-verify` analyzer (rules NC013+) over
+    /// anything assembled this way.
+    pub fn new(block: usize, head_start: NodeId, output: NodeId) -> Self {
+        ExitPoint {
+            block,
+            head_start,
+            output,
+        }
+    }
+
+    /// Index of the backbone block whose boundary this exit taps.
+    pub fn block(self) -> usize {
+        self.block
+    }
+
+    /// First node of this exit's head.
+    pub fn head_start(self) -> NodeId {
+        self.head_start
+    }
+
+    /// The exit's class-vector output node (the softmax).
+    pub fn output(self) -> NodeId {
+        self.output
+    }
+}
+
 /// A removable backbone unit ("block" in the paper's terminology): a
 /// contiguous run of nodes ending in the block's output node.
 ///
@@ -149,6 +193,9 @@ pub struct Network {
     /// the paper ("N is the total number of layers excluding classification
     /// layers").
     pub(crate) head_start: Option<NodeId>,
+    /// Early-exit heads of a multi-exit network, in depth order (exit `k`
+    /// taps the boundary of block `k`). Empty for single-output networks.
+    pub(crate) exits: Vec<ExitPoint>,
 }
 
 impl Network {
@@ -230,9 +277,37 @@ impl Network {
         self.blocks.len()
     }
 
-    /// First node of the classification head, if present.
+    /// First node of the classification head, if present. For a multi-exit
+    /// network this is the first node of the shallowest exit's head — every
+    /// exit head counts as head territory.
     pub fn head_start(&self) -> Option<NodeId> {
         self.head_start
+    }
+
+    /// The early-exit heads in depth order (empty for single-output
+    /// networks).
+    pub fn exits(&self) -> &[ExitPoint] {
+        &self.exits
+    }
+
+    /// Number of early-exit heads.
+    pub fn num_exits(&self) -> usize {
+        self.exits.len()
+    }
+
+    /// `true` when the network carries more than one exit head.
+    pub fn is_multi_exit(&self) -> bool {
+        self.exits.len() > 1
+    }
+
+    /// Replaces the exit-point table, unchecked. The escape hatch for
+    /// importers and verification tooling that assemble multi-exit graphs
+    /// outside [`Network::with_exit_heads`]; run the `netcut-verify`
+    /// analyzer over the result.
+    #[must_use]
+    pub fn with_exit_points(mut self, exits: Vec<ExitPoint>) -> Network {
+        self.exits = exits;
+        self
     }
 
     /// `true` if `id` belongs to the classification head.
@@ -303,6 +378,7 @@ impl Network {
             output,
             blocks,
             head_start,
+            exits: Vec::new(),
         }
     }
 
@@ -808,6 +884,7 @@ impl NetworkBuilder {
             output,
             blocks: self.blocks,
             head_start: self.head_start,
+            exits: Vec::new(),
         };
         net.check_built()?;
         Ok(net)

@@ -169,6 +169,68 @@ impl Network {
         self.stats_over(self.backbone_nodes())
     }
 
+    /// Model weight footprint in bytes at FP32 (`total_params × 4`) — the
+    /// per-device memory a resident copy of this network costs a serving
+    /// fleet. A multi-exit network pays this once for all its exits, where
+    /// a per-rung ladder pays it once per rung.
+    pub fn param_bytes(&self) -> u64 {
+        self.stats().total_params * F32
+    }
+
+    /// Peak activation arena in bytes at FP32 and batch 1: the largest
+    /// single-node working set (inputs live + output being written) over
+    /// all compute nodes. Serving engines preallocate this arena per
+    /// resident model, so it is part of the per-device footprint; note that
+    /// a *trimmed* rung still pays nearly the full arena, because the
+    /// largest activations sit in the early layers every rung keeps.
+    pub fn peak_activation_bytes(&self) -> u64 {
+        self.nodes()
+            .iter()
+            .filter(|n| !matches!(n.kind(), LayerKind::Input))
+            .map(|n| {
+                let ins: u64 = n.inputs().iter().map(|&i| elems(self.shape(i)) * F32).sum();
+                ins + elems(self.shape(n.id())) * F32
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Aggregated statistics of one exit head of a multi-exit network: the
+    /// nodes in `[head_start, output]` of exit `k` only (the shared
+    /// backbone is excluded, so summing these over all exits plus
+    /// [`Network::backbone_stats`] recovers [`Network::stats`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not an exit of this network.
+    pub fn exit_head_stats(&self, k: usize) -> NetworkStats {
+        let exit = self.exits()[k];
+        let span = exit.head_start().index()..=exit.output().index();
+        self.stats_over(self.nodes()[span].iter())
+    }
+
+    /// The static cost of *reaching* exit `k`: the ancestor closure of the
+    /// exit's output (backbone up to the tapped block boundary plus that
+    /// exit's head). This is what a request served at exit `k` actually
+    /// computes, so it is the per-exit latency/energy feature source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not an exit of this network.
+    pub fn stats_to_exit(&self, k: usize) -> NetworkStats {
+        let exit = self.exits()[k];
+        let mut keep = vec![false; self.len()];
+        keep[exit.output().index()] = true;
+        for idx in (0..=exit.output().index()).rev() {
+            if keep[idx] {
+                for &inp in self.node(NodeId::new(idx)).inputs() {
+                    keep[inp.index()] = true;
+                }
+            }
+        }
+        self.stats_over(self.nodes().iter().filter(|n| keep[n.id().index()]))
+    }
+
     fn stats_over<'a>(
         &self,
         nodes: impl Iterator<Item = &'a crate::network::Node>,
@@ -258,6 +320,66 @@ mod tests {
             per_layer.iter().map(|l| l.params).sum::<u64>()
         );
         assert_eq!(total.weighted_layers, 2);
+    }
+
+    #[test]
+    fn exit_stats_partition_the_network() {
+        use crate::trim::HeadSpec;
+        let multi = crate::zoo::mobilenet_v1(0.25).with_exit_heads(&HeadSpec::default());
+        let total = multi.stats();
+        let backbone = multi.backbone_stats();
+        let heads: u64 = (0..multi.num_exits())
+            .map(|k| multi.exit_head_stats(k).total_params)
+            .sum();
+        assert_eq!(total.total_params, backbone.total_params + heads);
+        // Reaching a deeper exit costs strictly more FLOPs.
+        let shallow = multi.stats_to_exit(0).total_flops;
+        let deep = multi.stats_to_exit(multi.num_exits() - 1).total_flops;
+        assert!(shallow < deep);
+        // The deepest exit computes the whole network minus the other
+        // exits' heads, never more than the total.
+        assert!(deep < total.total_flops);
+    }
+
+    #[test]
+    fn multi_exit_param_bytes_shares_the_backbone() {
+        use crate::trim::HeadSpec;
+        let net = crate::zoo::mobilenet_v2(1.0);
+        let head = HeadSpec::default();
+        let multi = net.with_exit_heads(&head);
+        let per_rung: u64 = (0..net.num_blocks())
+            .map(|k| net.cut_blocks(k).unwrap().with_head(&head).param_bytes())
+            .sum();
+        assert!(
+            multi.param_bytes() * 2 < per_rung,
+            "sharing one backbone must beat {} separate rung networks by 2x+ \
+             ({} vs {} bytes)",
+            net.num_blocks(),
+            multi.param_bytes(),
+            per_rung
+        );
+    }
+
+    #[test]
+    fn trimmed_rungs_keep_nearly_the_full_activation_arena() {
+        use crate::trim::HeadSpec;
+        let net = crate::zoo::mobilenet_v2(1.0);
+        let head = HeadSpec::default();
+        let full_arena = net.peak_activation_bytes();
+        // The largest activations live in the early layers every rung keeps,
+        // so even the shallowest rung pays (almost) the whole arena. This is
+        // why per-rung serving cannot amortise engine memory the way one
+        // multi-exit network can.
+        for k in 0..net.num_blocks() {
+            let rung = net.cut_blocks(k).unwrap().with_head(&head);
+            let arena = rung.peak_activation_bytes();
+            assert!(arena * 4 > full_arena, "rung {k}: {arena} vs {full_arena}");
+        }
+        assert_eq!(
+            net.with_exit_heads(&head).peak_activation_bytes(),
+            full_arena,
+            "exit heads are tiny dense layers; they must not grow the arena"
+        );
     }
 
     #[test]

@@ -121,6 +121,7 @@ impl Network {
             output: NodeId(remap[v.0]),
             blocks,
             head_start: None,
+            exits: Vec::new(),
         }
     }
 
@@ -170,9 +171,14 @@ impl Network {
             None => self.clone(),
             Some(h) => {
                 // The backbone output is the last non-head input feeding the
-                // head; for all zoo networks this is the input of the head's
-                // first node.
-                let first_head = &self.nodes[h.0];
+                // head. For a multi-exit network that is the *deepest*
+                // exit's tap (the shallowest exit taps block 0, which would
+                // discard the rest of the backbone); for all single-exit
+                // zoo networks it is the input of the head's first node.
+                let first_head = match self.exits.last() {
+                    Some(deepest) => &self.nodes[deepest.head_start.0],
+                    None => &self.nodes[h.0],
+                };
                 let backbone_out = first_head
                     .inputs
                     .first()
@@ -188,7 +194,16 @@ impl Network {
     ///
     /// If the output is already a flat vector the global-average-pool step is
     /// skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a multi-exit network — strip the exit table first
+    /// ([`Network::backbone`]) or use [`Network::with_exit_heads`].
     pub fn with_head(&self, spec: &HeadSpec) -> Network {
+        assert!(
+            self.exits.is_empty(),
+            "with_head on a multi-exit network; take backbone() first"
+        );
         let mut net = self.clone();
         net.head_start = Some(NodeId(net.nodes.len()));
         let mut cur = net.output;
@@ -243,6 +258,103 @@ impl Network {
             "head/softmax",
         );
         net.output = cur;
+        net
+    }
+
+    /// Attaches one transfer-learning head (GAP → FC/ReLU… → FC/Softmax)
+    /// at *every* block boundary, turning the backbone into a single
+    /// multi-exit network: the anytime-TRN form where each ladder rung is
+    /// an exit of one shared model instead of a separate trimmed network.
+    ///
+    /// Any existing head (single or multi-exit) is stripped first, so the
+    /// call is idempotent on the backbone. Exit `k` taps the output of
+    /// block `k`; heads are appended after the backbone in depth order, so
+    /// every exit node is head territory ([`Network::is_head_node`]) and
+    /// the backbone's node ids — and hence its structural fingerprint —
+    /// are untouched by the attachment. The graph output is the deepest
+    /// exit's softmax.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network has no blocks (there is no boundary to tap).
+    pub fn with_exit_heads(&self, spec: &HeadSpec) -> Network {
+        let backbone = self.backbone();
+        assert!(
+            !backbone.blocks.is_empty(),
+            "cannot attach exit heads to a network with no blocks"
+        );
+        // Trim trailing stem-top nodes (e.g. DenseNet's final BN/ReLU after
+        // the last block): every exit taps a block output, so anything past
+        // the deepest tap would dangle from every exit.
+        let deepest_tap = backbone.blocks.last().expect("checked non-empty").output;
+        let mut net = backbone.cut_at_node(deepest_tap, backbone.name.clone());
+        net.name = format!("{}/exits{}", self.base_name(), net.blocks.len());
+        net.head_start = Some(NodeId(net.nodes.len()));
+        let push = |net: &mut Network, kind, inputs: &[NodeId], name: &str| -> NodeId {
+            let id = NodeId(net.nodes.len());
+            let node = Node {
+                id,
+                name: name.to_owned(),
+                kind,
+                inputs: inputs.to_vec(),
+            };
+            let shape = infer_shape(&node, &net.shapes, net.input_shape)
+                .expect("exit-head shape inference cannot fail on a valid backbone");
+            net.nodes.push(node);
+            net.shapes.push(shape);
+            id
+        };
+        let taps: Vec<NodeId> = net.blocks.iter().map(|b| b.output).collect();
+        let mut exits = Vec::with_capacity(taps.len());
+        let mut deepest = net.output;
+        for (k, &tap) in taps.iter().enumerate() {
+            let head_start = NodeId(net.nodes.len());
+            let mut cur = tap;
+            if net.shapes[cur.0].is_map() {
+                cur = push(
+                    &mut net,
+                    crate::layer::LayerKind::GlobalAvgPool,
+                    &[cur],
+                    &format!("exit{k}/gap"),
+                );
+            }
+            for (i, &units) in spec.hidden.iter().enumerate() {
+                cur = push(
+                    &mut net,
+                    crate::layer::LayerKind::Dense { units },
+                    &[cur],
+                    &format!("exit{k}/fc{i}"),
+                );
+                cur = push(
+                    &mut net,
+                    crate::layer::LayerKind::Activation(Activation::Relu),
+                    &[cur],
+                    &format!("exit{k}/relu{i}"),
+                );
+            }
+            cur = push(
+                &mut net,
+                crate::layer::LayerKind::Dense {
+                    units: spec.classes,
+                },
+                &[cur],
+                &format!("exit{k}/logits"),
+            );
+            cur = push(
+                &mut net,
+                crate::layer::LayerKind::Activation(Activation::Softmax),
+                &[cur],
+                &format!("exit{k}/softmax"),
+            );
+            exits.push(crate::network::ExitPoint {
+                block: k,
+                head_start,
+                output: cur,
+            });
+            deepest = cur;
+        }
+        net.output = deepest;
+        net.exits = exits;
         net
     }
 }
@@ -338,6 +450,63 @@ mod tests {
         assert_eq!(bb.weighted_layer_count(), 3);
         let again = bb.with_head(&HeadSpec::default());
         assert_eq!(again.output_shape(), Shape::vector(5));
+    }
+
+    #[test]
+    fn exit_heads_attach_at_every_boundary() {
+        let net = chain(4);
+        let spec = HeadSpec::default();
+        let multi = net.with_exit_heads(&spec);
+        assert_eq!(multi.num_exits(), 4);
+        assert!(multi.is_multi_exit());
+        assert_eq!(multi.name(), "chain/exits4");
+        multi.check_built().unwrap();
+        for (k, exit) in multi.exits().iter().enumerate() {
+            assert_eq!(exit.block(), k);
+            assert_eq!(multi.shape(exit.output()), Shape::vector(spec.classes));
+            // The exit taps exactly its block's boundary.
+            let first = multi.node(exit.head_start());
+            assert_eq!(first.inputs(), &[multi.blocks()[k].output()]);
+            assert!(multi.is_head_node(exit.head_start()));
+        }
+        // The graph output is the deepest exit.
+        assert_eq!(multi.output(), multi.exits().last().unwrap().output());
+        // Exit head node ranges tile [head_start, len) without gaps.
+        let mut expected = multi.head_start().unwrap().index();
+        for exit in multi.exits() {
+            assert_eq!(exit.head_start().index(), expected);
+            expected = exit.output().index() + 1;
+        }
+        assert_eq!(expected, multi.len());
+    }
+
+    #[test]
+    fn exit_heads_strip_an_existing_head_first() {
+        let net = chain(3);
+        let a = net.with_exit_heads(&HeadSpec::default());
+        let b = net.backbone().with_exit_heads(&HeadSpec::default());
+        assert_eq!(
+            a.structural_fingerprint(),
+            b.structural_fingerprint(),
+            "with_exit_heads must be head-idempotent"
+        );
+    }
+
+    #[test]
+    fn backbone_of_multi_exit_keeps_every_block() {
+        let net = chain(4);
+        let multi = net.with_exit_heads(&HeadSpec::default());
+        let bb = multi.backbone();
+        assert_eq!(bb.num_blocks(), 4);
+        assert!(bb.exits().is_empty());
+        assert!(bb.head_start().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "multi-exit")]
+    fn with_head_rejects_multi_exit_networks() {
+        let multi = chain(2).with_exit_heads(&HeadSpec::default());
+        let _ = multi.with_head(&HeadSpec::default());
     }
 
     #[test]

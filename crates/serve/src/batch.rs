@@ -80,6 +80,28 @@ impl Batcher {
         }
     }
 
+    /// Like [`Self::admit`], but the exit table is pinned
+    /// (`--exit-table N`): the batch either fits at exit `pin` — clamped
+    /// to the table, as everywhere in the pinned runtime — or is not
+    /// formed at all. No other exit is ever considered.
+    pub fn admit_pinned(
+        &self,
+        ladder: &TrnLadder,
+        start_us: u64,
+        tightest_abs_us: u64,
+        size: usize,
+        pin: usize,
+    ) -> Option<usize> {
+        if size > self.batch_max {
+            return None;
+        }
+        let slack = tightest_abs_us.saturating_sub(start_us);
+        let pin = pin.min(ladder.top());
+        let batched = ladder.batch_latency_us(pin, size);
+        (batched <= slack && batched - ladder.batch_latency_us(pin, 1) <= self.slack_us)
+            .then_some(pin)
+    }
+
     /// Plans one batch from the head of a queue: given requests waiting at
     /// `start_us` with absolute deadlines `deadlines_abs_us` (queue order),
     /// greedily grows the batch one member at a time through [`Self::admit`]
@@ -204,6 +226,20 @@ mod tests {
         // 600 µs slack: the top rung's 900 µs batch-2 latency does not
         // fit, and degradation is off — no batch.
         assert_eq!(b.admit(&ladder(), 0, 600, 2, false), None);
+    }
+
+    #[test]
+    fn pinned_admit_considers_only_the_pinned_exit() {
+        let b = batcher();
+        // Pinned to exit 1 with 600 µs slack: its batch-2 latency of 375 µs
+        // fits (75 µs overhead) — same answer as adaptive admit.
+        assert_eq!(b.admit_pinned(&ladder(), 0, 600, 2, 1), Some(1));
+        // Pinned to the top with 600 µs slack: 900 µs batched does not fit,
+        // and no fallback exit is tried.
+        assert_eq!(b.admit_pinned(&ladder(), 0, 600, 2, 3), None);
+        // A pin past the table clamps to the top exit.
+        assert_eq!(b.admit_pinned(&ladder(), 0, 900, 2, 99), Some(3));
+        assert_eq!(b.admit_pinned(&ladder(), 0, 900, 5, 0), None, "batch_max");
     }
 
     #[test]

@@ -1,14 +1,84 @@
-//! The TRN ladder: the Pareto set from exploration, ordered by predicted
-//! latency, that the scheduler degrades along under load.
+//! The TRN exit table: the Pareto set from exploration, ordered by
+//! predicted latency, that the scheduler degrades along under load.
 //!
-//! Rung 0 is the fastest (most-trimmed) network; the last rung is the most
-//! accurate. All latencies are integer microseconds so rung selection and
-//! the whole serving simulation stay in exact integer arithmetic —
-//! bit-identical summaries across worker counts and platforms.
+//! Since the multi-exit refactor the rungs are no longer separate trimmed
+//! networks: they are the **exit heads of one backbone**
+//! ([`netcut_graph::Network::with_exit_heads`]), so a rung switch is free —
+//! the runtime just reads a different head's logits, no model swap, no
+//! reload. One resident engine per device replaces one engine per rung,
+//! which is what the [`LadderMemory`] accounting quantifies (weights plus
+//! the peak activation arena at the configured batch size, versus the sum
+//! of the same for every per-rung engine the pre-refactor ladder kept
+//! resident).
+//!
+//! Rung 0 is the fastest (shallowest) exit; the last rung is the deepest,
+//! most accurate one. All latencies are integer microseconds so exit
+//! selection and the whole serving simulation stay in exact integer
+//! arithmetic — bit-identical summaries across worker counts and
+//! platforms.
 
 use crate::request::PPM;
 use netcut::pareto::pareto_frontier;
 use netcut::CandidatePoint;
+use std::fmt;
+
+/// Typed construction/configuration errors of the exit table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LadderError {
+    /// A ladder was requested from an empty candidate set — a misconfigured
+    /// sweep (wrong family, impossible deadline) rather than a bug, so it
+    /// is reported instead of aborting the server.
+    NoCandidates,
+    /// `--exit-table N` pinned an exit index past the end of some shard's
+    /// exit table.
+    ExitPinOutOfRange {
+        /// The requested exit index.
+        pin: usize,
+        /// Exits available on the shortest table.
+        exits: usize,
+    },
+}
+
+impl fmt::Display for LadderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LadderError::NoCandidates => {
+                write!(f, "cannot build an exit table from zero candidates")
+            }
+            LadderError::ExitPinOutOfRange { pin, exits } => write!(
+                f,
+                "exit {pin} is out of range: the exit table has {exits} exit(s) (0..={})",
+                exits.saturating_sub(1)
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LadderError {}
+
+/// Per-device resident model-memory footprint of serving an exit table,
+/// in bytes (FP32 weights + FP32 activation arena × batch size).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LadderMemory {
+    /// The multi-exit engine: one backbone + every exit head, one arena.
+    pub model_bytes: u64,
+    /// The pre-refactor baseline: one resident engine per rung, each with
+    /// its own weights and arena (what instant rung switching used to
+    /// cost).
+    pub baseline_model_bytes: u64,
+}
+
+impl LadderMemory {
+    /// Baseline-over-multi footprint ratio in parts per million
+    /// (10_000_000 = a 10× reduction); 0 when either side is unknown.
+    pub fn reduction_ppm(&self) -> u64 {
+        if self.model_bytes == 0 {
+            return 0;
+        }
+        (u128::from(self.baseline_model_bytes) * u128::from(PPM) / u128::from(self.model_bytes))
+            as u64
+    }
+}
 
 /// One network on the ladder.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,20 +109,29 @@ pub struct TrnLadder {
     /// Per-rung batch-scaling curves: `batch_curves[r][n-1]` is the ppm
     /// factor for a batch of `n` on rung `r`. Empty = linear fallback.
     batch_curves: Vec<Vec<u64>>,
+    /// Resident-memory accounting of the exit table vs the per-rung
+    /// baseline (`None` for synthetic test ladders).
+    memory: Option<LadderMemory>,
 }
 
+/// The exit table *is* the ladder: every rung is one exit head of the
+/// single multi-exit network, so this alias names the same type by its
+/// post-refactor role.
+pub type ExitTable = TrnLadder;
+
 impl TrnLadder {
-    /// Builds the ladder from evaluated candidates: Pareto-filter, then
-    /// order ascending by measured latency. Rungs with identical integer
-    /// microsecond latency collapse to the more accurate one.
+    /// Builds the exit table from evaluated candidates: Pareto-filter,
+    /// then order ascending by measured latency. Rungs with identical
+    /// integer microsecond latency collapse to the more accurate one.
     ///
-    /// # Panics
-    /// Panics if `points` is empty — a server needs at least one network.
-    pub fn from_points(points: &[CandidatePoint]) -> Self {
-        assert!(
-            !points.is_empty(),
-            "cannot build a ladder from zero candidates"
-        );
+    /// # Errors
+    /// [`LadderError::NoCandidates`] when `points` is empty — a server
+    /// needs at least one exit, and an empty sweep is an operator error to
+    /// report, not a panic.
+    pub fn from_points(points: &[CandidatePoint]) -> Result<Self, LadderError> {
+        if points.is_empty() {
+            return Err(LadderError::NoCandidates);
+        }
         let mut rungs: Vec<Rung> = pareto_frontier(points)
             .into_iter()
             .map(|i| {
@@ -76,10 +155,11 @@ impl TrnLadder {
                 false
             }
         });
-        TrnLadder {
+        Ok(TrnLadder {
             rungs,
             batch_curves: Vec::new(),
-        }
+            memory: None,
+        })
     }
 
     /// Builds a ladder directly from rungs (tests, synthetic scenarios).
@@ -101,7 +181,29 @@ impl TrnLadder {
         TrnLadder {
             rungs,
             batch_curves: Vec::new(),
+            memory: None,
         }
+    }
+
+    /// Attaches the resident-memory accounting of this exit table.
+    #[must_use]
+    pub fn with_memory(mut self, memory: LadderMemory) -> Self {
+        self.memory = Some(memory);
+        self
+    }
+
+    /// The resident-memory accounting, when one was attached.
+    pub fn memory(&self) -> Option<LadderMemory> {
+        self.memory
+    }
+
+    /// Per-exit deployed accuracy in parts per million, rung order —
+    /// what the summary's accuracy-weighted goodput is computed from.
+    pub fn exit_accuracy_ppm(&self) -> Vec<u64> {
+        self.rungs
+            .iter()
+            .map(|r| (r.accuracy.clamp(0.0, 1.0) * PPM as f64).round() as u64)
+            .collect()
     }
 
     /// Attaches batch-scaling curves, one per rung in ladder order. Each
@@ -221,6 +323,7 @@ mod tests {
             point("fam/cut1", 1, 0.600, 0.80),
             point("fam/cut0", 0, 0.750, 0.85),
         ])
+        .expect("non-empty candidate set")
     }
 
     #[test]
@@ -238,7 +341,8 @@ mod tests {
             point("fam/cut2", 2, 0.300, 0.70),
             point("fam/slow_and_bad", 1, 0.500, 0.65), // dominated
             point("fam/cut0", 0, 0.750, 0.85),
-        ]);
+        ])
+        .expect("non-empty candidate set");
         assert_eq!(l.len(), 2);
         assert!(l.rungs().iter().all(|r| r.name != "fam/slow_and_bad"));
     }
@@ -273,16 +377,33 @@ mod tests {
             point("fam/cut2", 2, 0.1000, 0.70),
             point("fam/cut1", 1, 0.1001, 0.71), // same µs after rounding
             point("fam/cut0", 0, 0.750, 0.85),
-        ]);
+        ])
+        .expect("non-empty candidate set");
         assert_eq!(l.len(), 2);
         assert!((l.rung(0).accuracy - 0.71).abs() < 1e-12);
         assert_eq!(l.rung(0).name, "fam/cut1");
     }
 
     #[test]
-    #[should_panic(expected = "zero candidates")]
-    fn empty_ladder_is_rejected() {
-        let _ = TrnLadder::from_points(&[]);
+    fn empty_ladder_is_a_typed_error_not_a_panic() {
+        let err = TrnLadder::from_points(&[]).expect_err("zero candidates");
+        assert_eq!(err, LadderError::NoCandidates);
+        assert!(err.to_string().contains("zero candidates"), "{err}");
+    }
+
+    #[test]
+    fn exit_accuracy_and_memory_accounting_round_trip() {
+        let l = ladder().with_memory(LadderMemory {
+            model_bytes: 100,
+            baseline_model_bytes: 1_700,
+        });
+        assert_eq!(
+            l.exit_accuracy_ppm(),
+            vec![600_000, 700_000, 800_000, 850_000]
+        );
+        let mem = l.memory().expect("memory attached");
+        assert_eq!(mem.reduction_ppm(), 17 * PPM);
+        assert_eq!(LadderMemory::default().reduction_ppm(), 0);
     }
 
     #[test]
@@ -317,6 +438,7 @@ mod tests {
     #[should_panic(expected = "nondecreasing")]
     fn decreasing_batch_curve_is_rejected() {
         let _ = TrnLadder::from_points(&[point("fam/cut0", 0, 0.750, 0.85)])
+            .expect("non-empty candidate set")
             .with_batch_curves(vec![vec![PPM, 900_000]]);
     }
 }

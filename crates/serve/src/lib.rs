@@ -9,11 +9,19 @@
 //! *degrades* — serves a faster, more-trimmed rung of the ladder — then
 //! recovers to the most accurate rung as soon as load drops.
 //!
+//! Since the multi-exit refactor the ladder's rungs are no longer
+//! separate trimmed networks: they are the **exit heads of one backbone**
+//! (`netcut_graph::Network::with_exit_heads`), so a rung switch is a free
+//! change of which head's logits to read — no model swap — and each
+//! device keeps one resident network instead of one per rung
+//! ([`LadderMemory`] quantifies the ~17× footprint reduction).
+//!
 //! The moving parts:
 //!
-//! * [`TrnLadder`] — the Pareto set from `netcut::explore`, ordered by
-//!   predicted latency in integer microseconds, with the memoryless
-//!   slack-based rung-selection policy.
+//! * [`TrnLadder`] (alias [`ExitTable`]) — the Pareto set from
+//!   `netcut::explore`, ordered by predicted latency in integer
+//!   microseconds, with the memoryless slack-based exit-selection policy
+//!   and the per-device memory accounting.
 //! * [`Workload`] — seeded Poisson arrivals of [`Request`]s (EMG +
 //!   visual mix) with pure-function service-time noise.
 //! * [`FaultPlan`] — deterministic fault injection: device jitter
@@ -74,7 +82,7 @@ pub mod timeline;
 
 pub use batch::Batcher;
 pub use faults::{FaultKind, FaultPlan, FaultWindow};
-pub use ladder::{Rung, TrnLadder};
+pub use ladder::{ExitTable, LadderError, LadderMemory, Rung, TrnLadder};
 pub use request::{service_noise_ppm, Request, RequestKind, Workload, PPM};
 pub use runtime::{RequestOutcome, Server, ServerConfig, Status};
 pub use scenario::{build_ladder, build_ladder_for, run_scenario, Scenario, ScenarioConfig};

@@ -28,11 +28,13 @@
 //!    alone already reaches the deadline, the request is rejected
 //!    immediately (backpressure: the client hears "no" at arrival
 //!    instead of a late answer).
-//! 5. **Ladder selection** — a visual request runs the most accurate
-//!    rung of *its shard's* ladder whose predicted (batch-aware) latency
+//! 5. **Exit selection** — a visual request runs the most accurate exit
+//!    of *its shard's* exit table whose predicted (batch-aware) latency
 //!    still fits the remaining slack; EMG requests have a fixed cost and
 //!    never batch. With degradation off, visual requests always run the
-//!    top rung.
+//!    top exit; with `exit_pin` set they always run that exit (a free
+//!    choice at dispatch — the exits are heads of one resident network,
+//!    not separate models to swap in).
 //! 6. **Outcome** — finalized after the sweep from the batch records
 //!    (members share the batch's finish time); completion after the
 //!    deadline is a miss; the result still ships (the prosthesis fuses
@@ -63,7 +65,7 @@ pub enum Status {
 }
 
 /// Everything the runtime decided about one request.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RequestOutcome {
     /// Id of the request this outcome belongs to.
     pub id: u64,
@@ -106,6 +108,10 @@ pub struct ServerConfig {
     /// Per-batch slack budget, microseconds: the most extra latency
     /// batching may add over serving the same rung unbatched.
     pub batch_slack_us: u64,
+    /// `Some(k)` pins every visual request to exit `k` of its shard's exit
+    /// table (clamped to the table top), overriding `degrade` — the
+    /// `--exit-table N` operating mode. `None` serves the full table.
+    pub exit_pin: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -122,6 +128,7 @@ impl Default for ServerConfig {
             emg_service_us: budget.emg_us(),
             batch_max: 1,
             batch_slack_us: 300,
+            exit_pin: None,
         }
     }
 }
@@ -315,10 +322,12 @@ impl Server {
                 let (rung, base_us) = match req.kind {
                     RequestKind::Emg => (None, self.config.emg_service_us),
                     RequestKind::Visual => {
-                        let r = if self.config.degrade {
-                            shard.ladder.select(queue_delay, deadline)
-                        } else {
-                            shard.ladder.top()
+                        let r = match self.config.exit_pin {
+                            Some(pin) => pin.min(shard.ladder.top()),
+                            None if self.config.degrade => {
+                                shard.ladder.select(queue_delay, deadline)
+                            }
+                            None => shard.ladder.top(),
                         };
                         (Some(r), shard.ladder.rung(r).latency_us)
                     }
@@ -346,13 +355,23 @@ impl Server {
                         let rec = &batches[b];
                         let size = rec.members.len() + 1;
                         let tightest = rec.tightest_abs_us.min(now + deadline);
-                        if let Some(r) = batcher.admit(
-                            &shard.ladder,
-                            rec.start_us,
-                            tightest,
-                            size,
-                            self.config.degrade,
-                        ) {
+                        let admitted = match self.config.exit_pin {
+                            Some(pin) => batcher.admit_pinned(
+                                &shard.ladder,
+                                rec.start_us,
+                                tightest,
+                                size,
+                                pin,
+                            ),
+                            None => batcher.admit(
+                                &shard.ladder,
+                                rec.start_us,
+                                tightest,
+                                size,
+                                self.config.degrade,
+                            ),
+                        };
+                        if let Some(r) = admitted {
                             let service = scaled_service(
                                 shard.ladder.batch_latency_us(r, size),
                                 rec.leader_noise_ppm,
@@ -621,6 +640,7 @@ mod tests {
             emg_service_us: 800,
             batch_max: 1,
             batch_slack_us: 300,
+            exit_pin: None,
         }
     }
 
@@ -691,6 +711,64 @@ mod tests {
         let p = pinned.run(&burst);
         assert!(p.iter().all(|o| o.rung.is_none() || o.rung == Some(3)));
         assert!(miss(&p) > miss(&d), "pinned {p:?} vs degrading {d:?}");
+    }
+
+    #[test]
+    fn pinned_exit_overrides_degradation() {
+        let server = Server::new(
+            test_ladder(),
+            ServerConfig {
+                exit_pin: Some(2),
+                ..config()
+            },
+            FaultPlan::none(),
+        );
+        // A burst that would normally walk down the ladder: pinned, every
+        // visual request runs exit 2 regardless of queue pressure.
+        let reqs: Vec<Request> = (0..4).map(|i| visual(i, 0)).collect();
+        let out = server.run(&reqs);
+        for o in out.iter().filter(|o| o.status != Status::Rejected) {
+            assert_eq!(o.rung, Some(2));
+        }
+        assert!(
+            out.iter().any(|o| o.status == Status::Missed),
+            "a pin has no fallback: the backlogged tail must miss: {out:?}"
+        );
+    }
+
+    #[test]
+    fn pin_past_the_table_clamps_to_the_top_exit() {
+        let server = Server::new(
+            test_ladder(),
+            ServerConfig {
+                exit_pin: Some(99),
+                ..config()
+            },
+            FaultPlan::none(),
+        );
+        let out = server.run(&[visual(0, 0)]);
+        assert_eq!(out[0].rung, Some(3));
+        assert_eq!(out[0].latency_us, 750);
+    }
+
+    #[test]
+    fn pinned_batches_stay_on_the_pinned_exit() {
+        let server = Server::new(
+            curved_ladder(),
+            ServerConfig {
+                batch_max: 4,
+                exit_pin: Some(0),
+                ..config()
+            },
+            FaultPlan::none(),
+        );
+        // Same arrival pattern as `backlog_coalesces_into_a_batch`: the
+        // r1/r2 batch forms at the pinned exit (its batched latency fits),
+        // and nothing ever serves another exit.
+        let out = server.run(&[visual(0, 0), visual(1, 10), visual(2, 20)]);
+        assert!(out.iter().all(|o| o.rung == Some(0)), "{out:?}");
+        assert_eq!(out[1].batch_size, 2);
+        assert_eq!(out[2].batch_size, 2);
     }
 
     #[test]

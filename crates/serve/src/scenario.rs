@@ -19,7 +19,7 @@
 //! the pre-sharding runtime bit-for-bit.
 
 use crate::faults::FaultPlan;
-use crate::ladder::TrnLadder;
+use crate::ladder::{LadderError, LadderMemory, TrnLadder};
 use crate::request::{service_noise_ppm, Workload};
 use crate::runtime::{RequestOutcome, Server, ServerConfig};
 use crate::shard::Shard;
@@ -67,6 +67,9 @@ pub struct ScenarioConfig {
     pub devices: Vec<DeviceModel>,
     /// Timeline window width, microseconds of virtual time.
     pub timeline_window_us: u64,
+    /// `Some(k)` pins every visual request to exit `k` of the table
+    /// (`--exit-table N`); `None` serves the full adaptive exit table.
+    pub exit_pin: Option<usize>,
 }
 
 impl Default for ScenarioConfig {
@@ -91,6 +94,7 @@ impl Default for ScenarioConfig {
             shards: 1,
             devices: vec![DeviceModel::jetson_xavier(), DeviceModel::jetson_nano()],
             timeline_window_us: TimelineConfig::default().window_us,
+            exit_pin: None,
         }
     }
 }
@@ -115,19 +119,62 @@ pub fn scenario_networks() -> Vec<netcut_graph::Network> {
     vec![zoo::mobilenet_v2(1.0)]
 }
 
-/// Builds the ladder for `cfg` on `device`: explores [`scenario_networks`]
-/// under Int8, Pareto-filters the candidates, and — when `cfg.batch_max`
+/// Per-device model-memory accounting of `ladder`: the multi-exit network
+/// it now indexes into, versus the pre-refactor fleet of one trimmed
+/// network per rung. A resident model costs its FP32 weights plus a
+/// preallocated activation arena per batch slot; the exit table pays that
+/// once for the whole ladder (exit heads are near-free — a pooled linear
+/// layer each), while the baseline pays weights *and* arena per rung, and
+/// trimmed rungs keep nearly the full arena because the largest
+/// activations live in the early layers every rung retains.
+fn exit_table_memory(ladder: &TrnLadder, batch_max: usize) -> LadderMemory {
+    let head = HeadSpec::default();
+    let batch = batch_max.max(1) as u64;
+    let source = &scenario_networks()[0];
+    let footprint =
+        |net: &netcut_graph::Network| net.param_bytes() + net.peak_activation_bytes() * batch;
+    let multi = source.with_exit_heads(&head);
+    let baseline: u64 = ladder
+        .rungs()
+        .iter()
+        .map(|r| {
+            let trn = source
+                .cut_blocks(r.cutpoint)
+                .expect("ladder cutpoints come from exploring this same network")
+                .with_head(&head);
+            footprint(&trn)
+        })
+        .sum();
+    LadderMemory {
+        model_bytes: footprint(&multi),
+        baseline_model_bytes: baseline,
+    }
+}
+
+/// Builds the exit table for `cfg` on `device`: explores
+/// [`scenario_networks`] under Int8, Pareto-filters the candidates into
+/// the exit table of one multi-exit network, attaches the per-device
+/// memory accounting ([`exit_table_memory`]), and — when `cfg.batch_max`
 /// allows batching — attaches the analytic batch-scaling curve of each
-/// rung's trimmed network ([`batch_scale_ppm`]).
-pub fn build_ladder_for(cfg: &ScenarioConfig, device: &DeviceModel) -> TrnLadder {
+/// exit ([`batch_scale_ppm`]).
+///
+/// # Errors
+/// [`LadderError::NoCandidates`] if the exploration produced no points —
+/// a misconfigured sweep, not a bug.
+pub fn build_ladder_for(
+    cfg: &ScenarioConfig,
+    device: &DeviceModel,
+) -> Result<TrnLadder, LadderError> {
     let session = Session::new(device.clone(), Precision::Int8);
     let retrainer = SurrogateRetrainer::paper();
     let ctx = EvalContext::new(&session, &retrainer).with_jobs(cfg.jobs);
     let exploration =
         exhaustive_blockwise_with(&ctx, &scenario_networks(), &HeadSpec::default(), cfg.seed);
-    let ladder = TrnLadder::from_points(&exploration.points);
+    let ladder = TrnLadder::from_points(&exploration.points)?;
+    let memory = exit_table_memory(&ladder, cfg.batch_max);
+    let ladder = ladder.with_memory(memory);
     if cfg.batch_max <= 1 {
-        return ladder;
+        return Ok(ladder);
     }
     let head = HeadSpec::default();
     let batch_max = cfg.batch_max;
@@ -143,11 +190,15 @@ pub fn build_ladder_for(cfg: &ScenarioConfig, device: &DeviceModel) -> TrnLadder
             .map(|b| batch_scale_ppm(&trn, device, Precision::Int8, b))
             .collect::<Vec<u64>>()
     });
-    ladder.with_batch_curves(curves)
+    Ok(ladder.with_batch_curves(curves))
 }
 
-/// Builds the shard-0 ladder (the primary device) — the pre-sharding API.
-pub fn build_ladder(cfg: &ScenarioConfig) -> TrnLadder {
+/// Builds the shard-0 exit table (the primary device) — the pre-sharding
+/// API.
+///
+/// # Errors
+/// Propagates [`build_ladder_for`] errors.
+pub fn build_ladder(cfg: &ScenarioConfig) -> Result<TrnLadder, LadderError> {
     build_ladder_for(cfg, &cfg.devices[0])
 }
 
@@ -160,13 +211,31 @@ fn split_workers(workers: usize, shards: usize) -> Vec<usize> {
 }
 
 impl Scenario {
-    /// Builds the scenario: per-device ladders, workload, noise tables,
-    /// fault plans.
+    /// Builds the scenario, panicking on exit-table configuration errors —
+    /// the pre-refactor API, for callers that construct configs they know
+    /// are valid. Prefer [`Scenario::try_build`] at trust boundaries (the
+    /// CLI goes through it).
+    ///
+    /// # Panics
+    /// Panics if `cfg.shards` is zero, exceeds `cfg.workers`, the device
+    /// roster is empty, or [`Scenario::try_build`] reports a
+    /// [`LadderError`].
+    pub fn build(cfg: ScenarioConfig) -> Self {
+        Self::try_build(cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds the scenario: per-device exit tables, workload, noise
+    /// tables, fault plans.
+    ///
+    /// # Errors
+    /// [`LadderError::NoCandidates`] if a device's exploration yields no
+    /// exit candidates; [`LadderError::ExitPinOutOfRange`] if
+    /// `cfg.exit_pin` indexes past the end of some shard's exit table.
     ///
     /// # Panics
     /// Panics if `cfg.shards` is zero, exceeds `cfg.workers`, or the
-    /// device roster is empty.
-    pub fn build(cfg: ScenarioConfig) -> Self {
+    /// device roster is empty — programmer errors, not configuration ones.
+    pub fn try_build(cfg: ScenarioConfig) -> Result<Self, LadderError> {
         assert!(cfg.shards > 0, "scenario needs at least one shard");
         assert!(
             cfg.shards <= cfg.workers,
@@ -189,7 +258,17 @@ impl Scenario {
         let mut ladders: Vec<(String, TrnLadder)> = Vec::new();
         for device in &roster {
             if !ladders.iter().any(|(name, _)| *name == device.name) {
-                ladders.push((device.name.clone(), build_ladder_for(&cfg, device)));
+                ladders.push((device.name.clone(), build_ladder_for(&cfg, device)?));
+            }
+        }
+        if let Some(pin) = cfg.exit_pin {
+            for (_, ladder) in &ladders {
+                if pin >= ladder.len() {
+                    return Err(LadderError::ExitPinOutOfRange {
+                        pin,
+                        exits: ladder.len(),
+                    });
+                }
             }
         }
         let ladder_for = |name: &str| -> &TrnLadder {
@@ -261,15 +340,16 @@ impl Scenario {
             degrade: cfg.degrade,
             batch_max: cfg.batch_max,
             batch_slack_us: cfg.batch_slack_us,
+            exit_pin: cfg.exit_pin,
             ..ServerConfig::default()
         };
         span.field("requests", requests.len());
-        Scenario {
+        Ok(Scenario {
             shards,
             requests,
             server_config,
             config: cfg,
-        }
+        })
     }
 
     /// The configuration this scenario was built from.
@@ -346,10 +426,56 @@ mod tests {
 
     #[test]
     fn ladder_spans_the_deadline() {
-        let ladder = build_ladder(&quick());
+        let ladder = build_ladder(&quick()).expect("scenario family yields candidates");
         assert!(ladder.len() >= 8, "only {} rungs", ladder.len());
         assert!(ladder.rung(0).latency_us < 900);
         assert!(ladder.rung(ladder.top()).latency_us > 300);
+    }
+
+    #[test]
+    fn exit_table_memory_beats_the_per_rung_fleet_tenfold() {
+        let ladder = build_ladder(&quick_sharded()).expect("scenario family yields candidates");
+        let mem = ladder
+            .memory()
+            .expect("scenario ladders carry memory accounting");
+        assert!(mem.model_bytes > 0);
+        assert!(
+            mem.reduction_ppm() >= 10 * PPM,
+            "multi-exit table is only {}ppm smaller than the per-rung fleet \
+             ({} vs {} bytes)",
+            mem.reduction_ppm(),
+            mem.model_bytes,
+            mem.baseline_model_bytes
+        );
+    }
+
+    #[test]
+    fn exit_pin_past_the_table_is_a_typed_error() {
+        let err = Scenario::try_build(ScenarioConfig {
+            exit_pin: Some(usize::MAX),
+            ..quick()
+        })
+        .expect_err("pin past the table");
+        assert!(
+            matches!(err, crate::ladder::LadderError::ExitPinOutOfRange { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn pinned_top_exit_matches_the_no_degrade_baseline() {
+        // Pinning the exit table to its deepest exit is exactly the
+        // `--no-degrade` server: same rung for every visual request, so
+        // the whole outcome stream must be identical.
+        let pinned = Scenario::build(ScenarioConfig {
+            exit_pin: Some(build_ladder(&quick()).expect("candidates").top()),
+            ..quick()
+        });
+        let baseline = Scenario::build(ScenarioConfig {
+            degrade: false,
+            ..quick()
+        });
+        assert_eq!(pinned.run(), baseline.run());
     }
 
     #[test]

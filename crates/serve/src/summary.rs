@@ -30,6 +30,15 @@ pub struct ShardMeta {
     pub workers: usize,
     /// Rung count of the shard's ladder (sizes its rung histogram).
     pub ladder_len: usize,
+    /// Post-retraining accuracy of each exit, ppm, fastest exit first —
+    /// the weights of the accuracy-weighted goodput figure.
+    pub exit_accuracy_ppm: Vec<u64>,
+    /// Resident model memory of the shard's multi-exit network, bytes
+    /// (weights + activation arena × batch slots).
+    pub model_bytes: u64,
+    /// What the same exit table would cost as the pre-refactor fleet of
+    /// one trimmed network per rung, bytes.
+    pub baseline_model_bytes: u64,
 }
 
 /// Run-level configuration echoed into the summary.
@@ -61,10 +70,16 @@ impl RunMeta {
             shards: server
                 .shards()
                 .iter()
-                .map(|s| ShardMeta {
-                    name: s.name.clone(),
-                    workers: s.workers,
-                    ladder_len: s.ladder.len(),
+                .map(|s| {
+                    let memory = s.ladder.memory().unwrap_or_default();
+                    ShardMeta {
+                        name: s.name.clone(),
+                        workers: s.workers,
+                        ladder_len: s.ladder.len(),
+                        exit_accuracy_ppm: s.ladder.exit_accuracy_ppm(),
+                        model_bytes: memory.model_bytes,
+                        baseline_model_bytes: memory.baseline_model_bytes,
+                    }
                 })
                 .collect(),
         }
@@ -146,6 +161,22 @@ pub struct ServeSummary {
     pub alert_counts: Vec<u64>,
     /// The first few fired alerts, chronological.
     pub top_alerts: Vec<Alert>,
+    /// Per-shard exit accuracies, ppm, fastest exit first — the exit
+    /// table of each shard's multi-exit network.
+    pub exit_accuracy_ppm: Vec<Vec<u64>>,
+    /// Accuracy-weighted goodput, milli-requests per second: each served
+    /// request counts at its exit's accuracy (EMG at full weight), so
+    /// degrading to shallow exits shows up as a discount instead of
+    /// hiding inside the raw served count.
+    pub acc_goodput_mrps: u64,
+    /// Per-shard resident model memory, bytes (one multi-exit network:
+    /// weights + activation arena × batch slots).
+    pub model_bytes: Vec<u64>,
+    /// Per-shard memory of the pre-refactor per-rung fleet, bytes.
+    pub baseline_model_bytes: Vec<u64>,
+    /// Fleet-wide memory reduction of the multi-exit refactor, ppm of the
+    /// multi-exit footprint (`10_000_000` = the fleet shrank 10×).
+    pub model_reduction_ppm: u64,
 }
 
 impl ServeSummary {
@@ -191,6 +222,27 @@ impl ServeSummary {
             .map(|o| o.queue_delay_us)
             .collect();
         rejected_delays.sort_unstable();
+        // Accuracy-weighted goodput: Σ over served requests of the exit's
+        // accuracy fraction, per second. In ppm arithmetic that is
+        // Σ acc_ppm × 10⁹ / (10⁶ × duration) = Σ acc_ppm × 10³ / duration.
+        let acc_sum_ppm: u128 = outcomes
+            .iter()
+            .filter(|o| o.status == Status::Served)
+            .map(|o| {
+                u128::from(o.rung.map_or(PPM, |r| {
+                    meta.shards[o.shard]
+                        .exit_accuracy_ppm
+                        .get(r)
+                        .copied()
+                        .unwrap_or(PPM)
+                }))
+            })
+            .sum();
+        let model_bytes: Vec<u64> = meta.shards.iter().map(|s| s.model_bytes).collect();
+        let baseline_model_bytes: Vec<u64> =
+            meta.shards.iter().map(|s| s.baseline_model_bytes).collect();
+        let fleet_model: u128 = model_bytes.iter().map(|&b| u128::from(b)).sum();
+        let fleet_baseline: u128 = baseline_model_bytes.iter().map(|&b| u128::from(b)).sum();
         ServeSummary {
             deadline_us: meta.deadline_us,
             workers: meta.workers,
@@ -228,6 +280,19 @@ impl ServeSummary {
             worst_window_start_us: 0,
             alert_counts: Vec::new(),
             top_alerts: Vec::new(),
+            exit_accuracy_ppm: meta
+                .shards
+                .iter()
+                .map(|s| s.exit_accuracy_ppm.clone())
+                .collect(),
+            acc_goodput_mrps: (acc_sum_ppm * 1_000)
+                .checked_div(u128::from(meta.duration_us))
+                .unwrap_or(0) as u64,
+            model_bytes,
+            baseline_model_bytes,
+            model_reduction_ppm: (fleet_baseline * u128::from(PPM))
+                .checked_div(fleet_model)
+                .unwrap_or(0) as u64,
         }
     }
 
@@ -342,6 +407,19 @@ impl ServeSummary {
             })
             .collect();
         field("top_alerts", format!("[{}]", tops.join(",")));
+        let exits: Vec<String> = self
+            .exit_accuracy_ppm
+            .iter()
+            .map(|a| int_array(a))
+            .collect();
+        field("exit_accuracy_ppm", format!("[{}]", exits.join(",")));
+        field("acc_goodput_mrps", self.acc_goodput_mrps.to_string());
+        field("model_bytes", int_array(&self.model_bytes));
+        field(
+            "baseline_model_bytes",
+            int_array(&self.baseline_model_bytes),
+        );
+        field("model_reduction_ppm", self.model_reduction_ppm.to_string());
         s.push('}');
         s
     }
@@ -377,6 +455,24 @@ impl ServeSummary {
                 100.0 * self.degraded as f64 / (self.served + self.missed) as f64
             }
         );
+        if !self.exit_accuracy_ppm.is_empty() {
+            let _ = writeln!(
+                s,
+                "  accuracy-weighted goodput {:.1} rps",
+                self.acc_goodput_mrps as f64 / 1000.0,
+            );
+        }
+        if self.model_reduction_ppm > 0 {
+            let fleet: u64 = self.model_bytes.iter().sum();
+            let baseline: u64 = self.baseline_model_bytes.iter().sum();
+            let _ = writeln!(
+                s,
+                "  model memory: {:.1} MiB resident (multi-exit) vs {:.1} MiB per-rung fleet — {:.1}× smaller",
+                fleet as f64 / (1024.0 * 1024.0),
+                baseline as f64 / (1024.0 * 1024.0),
+                self.model_reduction_ppm as f64 / PPM as f64,
+            );
+        }
         let _ = writeln!(
             s,
             "  latency p50/p95/p99/max: {}/{}/{}/{} µs (completions only; {} rejected+dropped excluded, rejected queue p99 {} µs)",
@@ -450,6 +546,9 @@ mod tests {
                 name: "jetson-xavier".into(),
                 workers: 2,
                 ladder_len: 2,
+                exit_accuracy_ppm: vec![600_000, 850_000],
+                model_bytes: 10,
+                baseline_model_bytes: 170,
             }],
         }
     }
@@ -499,6 +598,30 @@ mod tests {
     }
 
     #[test]
+    fn accuracy_weighted_goodput_discounts_shallow_exits() {
+        let s = ServeSummary::from_outcomes(&sample(), &meta());
+        // Served: exit 1 at 0.85 + exit 0 at 0.60 → 1.45 accuracy-weighted
+        // requests over 500 µs = 2900 rps — strictly below raw goodput.
+        assert_eq!(s.acc_goodput_mrps, 2_900_000);
+        assert!(s.acc_goodput_mrps < s.goodput_mrps);
+        // An EMG request has no exit: it is served at full weight.
+        let mut outs = sample();
+        outs[1].kind = RequestKind::Emg;
+        outs[1].rung = None;
+        let s = ServeSummary::from_outcomes(&outs, &meta());
+        assert_eq!(s.acc_goodput_mrps, (850_000 + 1_000_000) * 1_000 / 500);
+    }
+
+    #[test]
+    fn model_memory_accounting_reaches_the_summary() {
+        let s = ServeSummary::from_outcomes(&sample(), &meta());
+        assert_eq!(s.exit_accuracy_ppm, vec![vec![600_000, 850_000]]);
+        assert_eq!(s.model_bytes, vec![10]);
+        assert_eq!(s.baseline_model_bytes, vec![170]);
+        assert_eq!(s.model_reduction_ppm, 17 * PPM);
+    }
+
+    #[test]
     fn percentiles_use_completion_latencies_only() {
         let s = ServeSummary::from_outcomes(&sample(), &meta());
         // Completions: [150, 700, 950].
@@ -537,6 +660,9 @@ mod tests {
         assert!(json.contains("\"batch_histogram\":[3,0]"));
         assert!(json.contains("\"tail_excluded\":2"));
         assert!(json.contains("\"degrade\":true"));
+        assert!(json.contains("\"exit_accuracy_ppm\":[[600000,850000]]"));
+        assert!(json.contains("\"acc_goodput_mrps\":2900000"));
+        assert!(json.contains("\"model_reduction_ppm\":17000000"));
         assert!(json.ends_with('}'));
     }
 

@@ -64,6 +64,7 @@ fn server_config_strategy() -> impl Strategy<Value = ServerConfig> {
             emg_service_us: 800,
             batch_max: 1,
             batch_slack_us: 0,
+            exit_pin: None,
         }
     })
 }
@@ -174,6 +175,7 @@ proptest! {
                 emg_service_us: 800,
                 batch_max: 1,
                 batch_slack_us: 0,
+                exit_pin: None,
             },
             FaultPlan::none(),
         );
@@ -241,6 +243,7 @@ proptest! {
             emg_service_us: 800,
             batch_max: 1,
             batch_slack_us: 300,
+            exit_pin: None,
         };
         let unbatched = Server::new(ladder.clone(), base.clone(), FaultPlan::none());
         let no_slack = Server::new(

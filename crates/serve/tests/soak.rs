@@ -51,6 +51,7 @@ fn config() -> ServerConfig {
         emg_service_us: 800,
         batch_max: 1,
         batch_slack_us: 0,
+        exit_pin: None,
     }
 }
 

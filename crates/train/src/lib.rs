@@ -35,11 +35,15 @@
 
 mod cost;
 pub mod engine;
+pub mod multihead;
 mod retrain;
 mod schedule;
 mod surrogate;
 
 pub use cost::TrainingCostModel;
+pub use multihead::{
+    calibrated_exit_curve, joint_fine_tune, JointOutcome, JointTrainConfig, MultiHeadNet,
+};
 pub use retrain::{Retrainer, SurrogateRetrainer, TrainedTrn};
 pub use schedule::{EarlyStopping, LrSchedule};
 pub use surrogate::{TransferModel, TransferProfile, WidthPruningModel};

@@ -1,0 +1,393 @@
+//! Joint multi-head fine-tuning: the mini-scale counterpart of the
+//! "anytime TRN" refactor. Instead of fine-tuning one trimmed network per
+//! rung, a single backbone carries a classifier head at *every* block
+//! boundary and all heads train jointly against a weighted sum of per-head
+//! soft-cross-entropy losses. The result is one set of weights whose exits
+//! form the serve ladder's exit table.
+//!
+//! Training is deliberately serial and seed-driven: a joint fine-tune with
+//! the same seeds is bit-identical run to run (and therefore independent of
+//! the evaluation `--jobs` level that may sit above it).
+
+use crate::engine::MiniConfig;
+use netcut_data::{mean_angular_similarity, Dataset, IMAGE_CHANNELS};
+use netcut_tensor::layers::{Conv2d, Dense, GlobalAvgPool, MaxPool2, Relu};
+use netcut_tensor::{Adam, Optimizer, Param, Sequential, SoftCrossEntropy, Tensor};
+
+/// One backbone, one exit head per block boundary.
+///
+/// Segment `k` is the `k`-th conv block of the [`MiniConfig`] architecture;
+/// head `k` (GAP + dense classifier) taps the output of segment `k`, so
+/// exit `k` computes segments `0..=k` plus its own head — exactly the
+/// multi-exit graph [`netcut_graph::Network::with_exit_heads`] describes
+/// statically.
+pub struct MultiHeadNet {
+    segments: Vec<Sequential>,
+    heads: Vec<Sequential>,
+}
+
+/// Joint fine-tuning schedule.
+#[derive(Debug, Clone)]
+pub struct JointTrainConfig {
+    /// Training epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Shuffling seed.
+    pub seed: u64,
+    /// Per-head loss weights, shallowest first. Empty means uniform. Extra
+    /// entries are ignored; missing entries default to 1.
+    pub head_weights: Vec<f32>,
+}
+
+impl Default for JointTrainConfig {
+    fn default() -> Self {
+        JointTrainConfig {
+            epochs: 8,
+            lr: 1e-3,
+            batch_size: 32,
+            seed: 7,
+            head_weights: Vec::new(),
+        }
+    }
+}
+
+/// Result of one joint fine-tune.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JointOutcome {
+    /// Final per-head training loss, shallowest exit first.
+    pub head_losses: Vec<f32>,
+    /// Raw per-exit angular-similarity accuracy on the held-out set.
+    pub exit_accuracy: Vec<f64>,
+    /// [`calibrated_exit_curve`] of `exit_accuracy` — the monotone curve
+    /// the serve exit table deploys.
+    pub calibrated_accuracy: Vec<f64>,
+}
+
+impl MultiHeadNet {
+    /// Builds a fresh multi-head network: `cfg.conv_blocks` backbone
+    /// segments (3×3 conv + ReLU, a 2×2 max-pool after the first) and one
+    /// GAP + dense head of `classes` outputs per segment.
+    pub fn build(cfg: &MiniConfig, classes: usize) -> Self {
+        let mut segments = Vec::with_capacity(cfg.conv_blocks);
+        let mut in_ch = IMAGE_CHANNELS;
+        for b in 0..cfg.conv_blocks {
+            let mut layers: Vec<Box<dyn netcut_tensor::Layer>> = vec![
+                Box::new(Conv2d::new(in_ch, cfg.width, 3, cfg.seed + b as u64)),
+                Box::new(Relu::new()),
+            ];
+            if b == 0 {
+                layers.push(Box::new(MaxPool2::new()));
+            }
+            segments.push(Sequential::new(layers));
+            in_ch = cfg.width;
+        }
+        let mut heads = Vec::with_capacity(cfg.conv_blocks);
+        for k in 0..cfg.conv_blocks {
+            let mut head = Sequential::new(vec![
+                Box::new(GlobalAvgPool::new()),
+                Box::new(Dense::new(cfg.width, classes, cfg.seed + 2000 + k as u64)),
+            ]);
+            // Same damping as the single-head builder: near-zero classifier
+            // weights keep the initial softmax soft on every exit.
+            for p in head.params_mut() {
+                p.value = p.value.scaled(0.05);
+            }
+            heads.push(head);
+        }
+        MultiHeadNet { segments, heads }
+    }
+
+    /// Builds the multi-head network and restores its backbone from a
+    /// pretrained single-head snapshot (two parameters per conv block, as
+    /// produced by [`crate::engine::snapshot`]). Heads stay fresh.
+    pub fn from_pretrained(cfg: &MiniConfig, weights: &[Tensor], classes: usize) -> Self {
+        let mut net = MultiHeadNet::build(cfg, classes);
+        for (b, segment) in net.segments.iter_mut().enumerate() {
+            for (param, saved) in segment
+                .params_mut()
+                .into_iter()
+                .zip(weights.iter().skip(2 * b).take(2))
+            {
+                if param.value.shape() == saved.shape() {
+                    param.value = saved.clone();
+                }
+            }
+        }
+        net
+    }
+
+    /// Number of exits (= backbone segments).
+    pub fn num_exits(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// Forward pass returning the logits of every exit, shallowest first.
+    pub fn forward_exits(&mut self, x: &Tensor, train: bool) -> Vec<Tensor> {
+        let mut cur = x.clone();
+        let mut logits = Vec::with_capacity(self.heads.len());
+        for (segment, head) in self.segments.iter_mut().zip(&mut self.heads) {
+            cur = segment.forward(&cur, train);
+            logits.push(head.forward(&cur, train));
+        }
+        logits
+    }
+
+    /// One joint training step: every head's soft-cross-entropy against the
+    /// same labels, weighted per head, gradients accumulated down the
+    /// shared backbone, one Adam step over all parameters. Returns the
+    /// per-head batch losses.
+    pub fn joint_train_step(
+        &mut self,
+        x: &Tensor,
+        target: &Tensor,
+        weights: &[f32],
+        opt: &mut Adam,
+    ) -> Vec<f32> {
+        let logits = self.forward_exits(x, true);
+        let mut head_losses = Vec::with_capacity(logits.len());
+        let mut feature_grads = Vec::with_capacity(logits.len());
+        for (k, (head, logit)) in self.heads.iter_mut().zip(&logits).enumerate() {
+            let w = weights.get(k).copied().unwrap_or(1.0);
+            let mut loss = SoftCrossEntropy::new();
+            head_losses.push(loss.forward(logit, target));
+            feature_grads.push(head.backward(&loss.grad().scaled(w)));
+        }
+        // Walk the backbone deepest-first: each segment receives its own
+        // head's gradient plus whatever flowed down from deeper segments.
+        let mut pending: Option<Tensor> = None;
+        for (segment, head_grad) in self.segments.iter_mut().zip(feature_grads).rev() {
+            let total = match pending.take() {
+                Some(deeper) => head_grad.add(&deeper),
+                None => head_grad,
+            };
+            pending = Some(segment.backward(&total));
+        }
+        let mut params: Vec<&mut Param> = Vec::new();
+        for segment in &mut self.segments {
+            params.extend(segment.params_mut());
+        }
+        for head in &mut self.heads {
+            params.extend(head.params_mut());
+        }
+        opt.step(&mut params);
+        head_losses
+    }
+
+    /// Per-exit mean angular similarity on `data`, shallowest exit first.
+    pub fn evaluate_exits(&mut self, data: &Dataset) -> Vec<f64> {
+        let (x, y) = data.full_batch();
+        self.forward_exits(&x, false)
+            .iter()
+            .map(|logits| {
+                let probs = SoftCrossEntropy::softmax(logits);
+                mean_angular_similarity(probs.data(), y.data(), data.classes())
+            })
+            .collect()
+    }
+}
+
+/// Running maximum of a raw per-exit accuracy curve: the curve the exit
+/// table deploys. Serving never loses accuracy by going deeper, because a
+/// deeper exit whose raw head underperforms is calibrated to answer with
+/// the best shallower head's quality.
+pub fn calibrated_exit_curve(raw: &[f64]) -> Vec<f64> {
+    let mut best = f64::NEG_INFINITY;
+    raw.iter()
+        .map(|&a| {
+            best = best.max(a);
+            best
+        })
+        .collect()
+}
+
+/// Jointly fine-tunes `net` on `train_data` and evaluates every exit on
+/// `test_data`.
+///
+/// Deterministic: serial mini-batch descent driven entirely by
+/// `cfg.seed`, so two runs with equal inputs are bit-identical.
+pub fn joint_fine_tune(
+    net: &mut MultiHeadNet,
+    train_data: &Dataset,
+    test_data: &Dataset,
+    cfg: &JointTrainConfig,
+) -> JointOutcome {
+    let mut span = netcut_obs::span("train.joint_fit");
+    span.field("epochs", cfg.epochs);
+    span.field("exits", net.num_exits());
+    let mut opt = Adam::new(cfg.lr);
+    let mut head_losses = vec![0.0; net.num_exits()];
+    for epoch in 0..cfg.epochs {
+        let batches = train_data.epoch_batches(cfg.batch_size, cfg.seed + epoch as u64);
+        let n = batches.len() as f32;
+        let mut epoch_losses = vec![0.0f32; net.num_exits()];
+        for idx in batches {
+            let (x, y) = train_data.batch(&idx);
+            let losses = net.joint_train_step(&x, &y, &cfg.head_weights, &mut opt);
+            for (acc, l) in epoch_losses.iter_mut().zip(losses) {
+                *acc += l;
+            }
+        }
+        for (slot, total) in head_losses.iter_mut().zip(&epoch_losses) {
+            *slot = total / n;
+        }
+        if netcut_obs::enabled() {
+            netcut_obs::instant(
+                "train.joint_epoch",
+                &[
+                    ("epoch", epoch.into()),
+                    (
+                        "deepest_loss",
+                        (*head_losses.last().unwrap_or(&0.0) as f64).into(),
+                    ),
+                ],
+            );
+        }
+    }
+    let exit_accuracy = net.evaluate_exits(test_data);
+    let calibrated_accuracy = calibrated_exit_curve(&exit_accuracy);
+    span.field(
+        "deepest_accuracy",
+        *calibrated_accuracy.last().unwrap_or(&0.0),
+    );
+    JointOutcome {
+        head_losses,
+        exit_accuracy,
+        calibrated_accuracy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{pretrain, snapshot};
+
+    fn mini() -> MiniConfig {
+        MiniConfig {
+            conv_blocks: 3,
+            width: 6,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn forward_produces_one_logit_set_per_exit() {
+        let cfg = mini();
+        let mut net = MultiHeadNet::build(&cfg, 5);
+        let x = Tensor::zeros(&[2, IMAGE_CHANNELS, 12, 12]);
+        let logits = net.forward_exits(&x, false);
+        assert_eq!(logits.len(), cfg.conv_blocks);
+        for l in &logits {
+            assert_eq!(l.shape(), &[2, 5]);
+        }
+    }
+
+    #[test]
+    fn joint_training_reduces_every_heads_loss() {
+        let cfg = mini();
+        let (train_data, test_data) = Dataset::hands(200, 11).split(0.2);
+        let mut net = MultiHeadNet::build(&cfg, 5);
+        let short = JointTrainConfig {
+            epochs: 1,
+            ..JointTrainConfig::default()
+        };
+        let first = joint_fine_tune(&mut net, &train_data, &test_data, &short);
+        let more = JointTrainConfig {
+            epochs: 10,
+            ..JointTrainConfig::default()
+        };
+        let later = joint_fine_tune(&mut net, &train_data, &test_data, &more);
+        for (k, (a, b)) in first.head_losses.iter().zip(&later.head_losses).enumerate() {
+            assert!(b < a, "head {k} loss {a} -> {b}");
+        }
+    }
+
+    #[test]
+    fn joint_fine_tune_is_bit_deterministic() {
+        let cfg = mini();
+        let (train_data, test_data) = Dataset::hands(150, 13).split(0.2);
+        let run = || {
+            let mut net = MultiHeadNet::build(&cfg, 5);
+            joint_fine_tune(
+                &mut net,
+                &train_data,
+                &test_data,
+                &JointTrainConfig::default(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn pretrained_backbone_transfers_into_every_segment() {
+        let cfg = mini();
+        let source = Dataset::objects(120, 21);
+        let mut pre = pretrain(&cfg, &source, 3);
+        let weights = snapshot(&mut pre);
+        let mut net = MultiHeadNet::from_pretrained(&cfg, &weights, 5);
+        for (b, segment) in net.segments.iter_mut().enumerate() {
+            assert_eq!(segment.params_mut()[0].value, weights[2 * b]);
+        }
+    }
+
+    #[test]
+    fn calibrated_curve_is_monotone_and_tops_the_raw() {
+        let raw = [0.6, 0.55, 0.7, 0.68];
+        let cal = calibrated_exit_curve(&raw);
+        assert_eq!(cal, vec![0.6, 0.6, 0.7, 0.7]);
+        for pair in cal.windows(2) {
+            assert!(pair[1] >= pair[0]);
+        }
+        let cfg = mini();
+        let (train_data, test_data) = Dataset::hands(200, 11).split(0.2);
+        let mut net = MultiHeadNet::build(&cfg, 5);
+        let out = joint_fine_tune(
+            &mut net,
+            &train_data,
+            &test_data,
+            &JointTrainConfig::default(),
+        );
+        assert_eq!(out.calibrated_accuracy.len(), cfg.conv_blocks);
+        for pair in out.calibrated_accuracy.windows(2) {
+            assert!(pair[1] >= pair[0]);
+        }
+        assert_eq!(
+            *out.calibrated_accuracy.last().unwrap(),
+            out.exit_accuracy.iter().copied().fold(f64::MIN, f64::max)
+        );
+    }
+
+    #[test]
+    fn head_weights_bias_training_toward_weighted_exits() {
+        // With all weight on the deepest head, the deepest loss must drop
+        // markedly more than the (frozen-in-all-but-name) shallow one.
+        let cfg = mini();
+        let (train_data, test_data) = Dataset::hands(200, 17).split(0.2);
+        let weighted = JointTrainConfig {
+            epochs: 6,
+            head_weights: vec![0.0, 0.0, 1.0],
+            ..JointTrainConfig::default()
+        };
+        let mut net = MultiHeadNet::build(&cfg, 5);
+        let start = joint_fine_tune(
+            &mut net,
+            &train_data,
+            &test_data,
+            &JointTrainConfig {
+                epochs: 0,
+                ..weighted.clone()
+            },
+        );
+        let _ = start;
+        let out = joint_fine_tune(&mut net, &train_data, &test_data, &weighted);
+        let deep_drop = out.head_losses[0] - out.head_losses[2];
+        assert!(
+            out.head_losses[2] < out.head_losses[0],
+            "deepest head (weight 1) should out-train the shallow head (weight 0): {:?} \
+             (drop {deep_drop})",
+            out.head_losses
+        );
+    }
+}

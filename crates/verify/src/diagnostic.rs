@@ -78,6 +78,24 @@ pub enum Code {
     /// NC012 — estimator-feature sanity: a backbone statistic that feeds a
     /// zero (or NaN, after normalization) feature to the latency SVR.
     NC012,
+    /// NC013 — exit-head structure: an exit whose node range is out of
+    /// range or inverted, holds no weighted layer, whose output is not a
+    /// class-probability vector, or whose class count disagrees with the
+    /// other exits.
+    NC013,
+    /// NC014 — exit monotonicity: exit heads not stored shallowest-first
+    /// (head starts strictly increasing), or the deepest exit's output is
+    /// not the graph output.
+    NC014,
+    /// NC015 — one head per boundary: the exit table does not claim every
+    /// block exactly once, or an exit's entry node does not consume its
+    /// claimed block's output.
+    NC015,
+    /// NC016 — exit isolation: an exit range outside the head region,
+    /// overlapping exit ranges, an exit node consumed from outside its exit
+    /// (not a pure sink), or a backbone fingerprint that is unstable under
+    /// exit-head attachment.
+    NC016,
 }
 
 impl Code {
@@ -96,6 +114,10 @@ impl Code {
             Code::NC010 => "NC010",
             Code::NC011 => "NC011",
             Code::NC012 => "NC012",
+            Code::NC013 => "NC013",
+            Code::NC014 => "NC014",
+            Code::NC015 => "NC015",
+            Code::NC016 => "NC016",
         }
     }
 
@@ -114,6 +136,10 @@ impl Code {
             Code::NC010 => "stats-coherence",
             Code::NC011 => "fingerprint-stability",
             Code::NC012 => "estimator-features",
+            Code::NC013 => "exit-head-structure",
+            Code::NC014 => "exit-monotonicity",
+            Code::NC015 => "one-head-per-boundary",
+            Code::NC016 => "exit-isolation",
         }
     }
 

@@ -8,7 +8,7 @@
 //! but fail these.
 
 use crate::diagnostic::Code;
-use netcut_graph::{infer_shape, Block, LayerKind, Network, Node, NodeId, Shape};
+use netcut_graph::{infer_shape, Block, ExitPoint, LayerKind, Network, Node, NodeId, Shape};
 
 /// A structured corruption applied to a valid network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,11 +32,26 @@ pub enum Mutation {
     /// Rewire one input to point at the consumer itself, breaking
     /// topological order → NC002.
     ForwardEdge,
+    /// Grow the logits layer of the *shallowest* exit head by one unit
+    /// (shapes re-inferred), so its class count disagrees with the other
+    /// exits → NC013. Requires a multi-exit network.
+    MismatchExitClasses,
+    /// Swap the first two entries of the exit table, so exits are no longer
+    /// stored shallowest-first → NC014. Requires ≥ 2 exits.
+    SwapExitOrder,
+    /// Point the second exit's `block` at the first exit's boundary, so one
+    /// boundary carries two heads and another none → NC015. Requires ≥ 2
+    /// exits.
+    DuplicateExitBoundary,
+    /// Stretch the shallowest exit's range one node down into the backbone,
+    /// so the exit is no longer isolated in the head region → NC016.
+    /// Requires a multi-exit network.
+    IntrudeExitRange,
 }
 
 impl Mutation {
     /// Every mutation class, for exhaustive harness loops.
-    pub fn all() -> [Mutation; 6] {
+    pub fn all() -> [Mutation; 10] {
         [
             Mutation::DropEdge,
             Mutation::CorruptShape,
@@ -44,6 +59,10 @@ impl Mutation {
             Mutation::OverlapBlocks,
             Mutation::MismatchHeadClasses,
             Mutation::ForwardEdge,
+            Mutation::MismatchExitClasses,
+            Mutation::SwapExitOrder,
+            Mutation::DuplicateExitBoundary,
+            Mutation::IntrudeExitRange,
         ]
     }
 
@@ -56,7 +75,23 @@ impl Mutation {
             Mutation::OverlapBlocks => Code::NC007,
             Mutation::MismatchHeadClasses => Code::NC009,
             Mutation::ForwardEdge => Code::NC002,
+            Mutation::MismatchExitClasses => Code::NC013,
+            Mutation::SwapExitOrder => Code::NC014,
+            Mutation::DuplicateExitBoundary => Code::NC015,
+            Mutation::IntrudeExitRange => Code::NC016,
         }
+    }
+
+    /// `true` for classes that corrupt the exit table and therefore need a
+    /// multi-exit base network (see [`netcut_graph::Network::with_exit_heads`]).
+    pub fn needs_exit_table(self) -> bool {
+        matches!(
+            self,
+            Mutation::MismatchExitClasses
+                | Mutation::SwapExitOrder
+                | Mutation::DuplicateExitBoundary
+                | Mutation::IntrudeExitRange
+        )
     }
 }
 
@@ -78,6 +113,14 @@ fn rebuild(net: &Network, nodes: Vec<Node>, shapes: Vec<Shape>, blocks: Vec<Bloc
         blocks,
         net.head_start(),
     )
+    .with_exit_points(net.exits().to_vec())
+}
+
+/// Rebuilds with only the exit table replaced — the node-level structure of
+/// the network stays byte-identical.
+fn rebuild_exits(net: &Network, exits: Vec<ExitPoint>) -> Network {
+    let (nodes, shapes, blocks) = parts(net);
+    rebuild(net, nodes, shapes, blocks).with_exit_points(exits)
 }
 
 /// Number of consumers of `id` within the node list (graph-output use not
@@ -197,6 +240,77 @@ pub fn apply(net: &Network, mutation: Mutation) -> Option<Network> {
             // can accompany NC002 — the harness asserts membership, not
             // exact equality, for this class.
             Some(rebuild(net, nodes, shapes, blocks))
+        }
+        Mutation::MismatchExitClasses => {
+            if net.num_exits() < 2 {
+                return None; // One lone exit has nothing to disagree with.
+            }
+            let (mut nodes, _, blocks) = parts(net);
+            let exit = net.exits()[0];
+            let range = exit.head_start().index()..=exit.output().index();
+            let pos = exit.head_start().index()
+                + nodes[range]
+                    .iter()
+                    .rposition(|n| matches!(n.kind(), LayerKind::Dense { .. }))?;
+            let node = &nodes[pos];
+            let LayerKind::Dense { units } = *node.kind() else {
+                return None;
+            };
+            nodes[pos] = Node::new(
+                node.id(),
+                node.name(),
+                LayerKind::Dense { units: units + 1 },
+                node.inputs().to_vec(),
+            );
+            // Re-infer every shape (as MismatchHeadClasses does) so the only
+            // finding left is the class disagreement between exits — NC013
+            // exactly.
+            let mut inferred: Vec<Shape> = Vec::with_capacity(nodes.len());
+            for node in &nodes {
+                let s = infer_shape(node, &inferred, net.input_shape()).ok()?;
+                inferred.push(s);
+            }
+            Some(rebuild(net, nodes, inferred, blocks))
+        }
+        Mutation::SwapExitOrder => {
+            if net.num_exits() < 2 {
+                return None;
+            }
+            let mut exits = net.exits().to_vec();
+            exits.swap(0, 1);
+            // Each swapped entry stays internally consistent (it still taps
+            // its own block), so coverage and isolation hold and the sole
+            // finding is the broken shallowest-first order — NC014 exactly.
+            Some(rebuild_exits(net, exits))
+        }
+        Mutation::DuplicateExitBoundary => {
+            if net.num_exits() < 2 {
+                return None;
+            }
+            let mut exits = net.exits().to_vec();
+            exits[1] = ExitPoint::new(exits[0].block(), exits[1].head_start(), exits[1].output());
+            // Node ranges are untouched, so ordering (NC014) and isolation
+            // (NC016) hold; the double-claimed boundary, the uncovered one,
+            // and the mismatched tap are all NC015.
+            Some(rebuild_exits(net, exits))
+        }
+        Mutation::IntrudeExitRange => {
+            let mut exits = net.exits().to_vec();
+            let first = *exits.first()?;
+            if first.head_start().index() == 0 {
+                return None;
+            }
+            exits[0] = ExitPoint::new(
+                first.block(),
+                NodeId::new(first.head_start().index() - 1),
+                first.output(),
+            );
+            // The swallowed node is the deepest backbone output — a node
+            // other exits still consume — so both the head-region intrusion
+            // and the broken sink property are NC016 findings, and nothing
+            // else changes (the tap check defers to NC016 for intruding
+            // exits).
+            Some(rebuild_exits(net, exits))
         }
     }
 }

@@ -1,4 +1,4 @@
-//! The [`Rule`] trait, the individual rules (NC001–NC012), and the
+//! The [`Rule`] trait, the individual rules (NC001–NC016), and the
 //! [`Analyzer`] registry that runs them.
 //!
 //! Rules are deliberately defensive: each one guards every index before
@@ -205,6 +205,14 @@ impl Rule for Reachability {
         }
         let mut reachable = vec![false; n];
         reachable[net.output().index()] = true;
+        // Every exit of a multi-exit network is a live output: a shallow
+        // exit head is not dangling just because the graph output is the
+        // deepest one.
+        for exit in net.exits() {
+            if exit.output().index() < n {
+                reachable[exit.output().index()] = true;
+            }
+        }
         // Inputs point backward on well-ordered graphs, so one reverse pass
         // marks every ancestor; forward references are skipped (NC002).
         for i in (0..n).rev() {
@@ -502,6 +510,9 @@ impl Rule for HeadSpecRule {
     }
 
     fn check(&self, net: &Network, out: &mut Vec<Diagnostic>) {
+        if !net.exits().is_empty() {
+            return; // Multi-exit heads are NC013–NC016 territory.
+        }
         let Some(head) = net.head_start() else {
             out.push(Diagnostic::new(
                 Code::NC009,
@@ -750,6 +761,303 @@ impl Rule for EstimatorFeatures {
 }
 
 // ---------------------------------------------------------------------------
+// NC013–NC016 multi-exit rules
+// ---------------------------------------------------------------------------
+
+/// `true` when every exit's `[head_start, output]` range is inside the
+/// graph and not inverted. Rules that *walk* exit ranges use this to defer
+/// to NC013 (which owns the report) instead of indexing blindly.
+fn exit_ranges_sane(net: &Network) -> bool {
+    net.exits()
+        .iter()
+        .all(|e| e.output().index() < net.len() && e.head_start() <= e.output())
+}
+
+fn exit_span(net: &Network, k: usize) -> GraphSpan {
+    GraphSpan::Head {
+        start: net.exits()[k].head_start(),
+    }
+}
+
+struct ExitHeadStructure;
+
+impl Rule for ExitHeadStructure {
+    fn code(&self) -> Code {
+        Code::NC013
+    }
+
+    fn check(&self, net: &Network, out: &mut Vec<Diagnostic>) {
+        if net.exits().is_empty() {
+            return; // Single-head and raw networks have no exit table.
+        }
+        let n = net.len();
+        for (k, exit) in net.exits().iter().enumerate() {
+            if exit.output().index() >= n || exit.head_start() > exit.output() {
+                out.push(Diagnostic::new(
+                    Code::NC013,
+                    GraphSpan::Network,
+                    format!(
+                        "exit {k} spans [{}, {}], not a forward range inside the {n}-node \
+                         graph",
+                        exit.head_start(),
+                        exit.output()
+                    ),
+                ));
+                continue;
+            }
+            let range = exit.head_start().index()..=exit.output().index();
+            if !net.nodes()[range].iter().any(|n| n.kind().is_weighted()) {
+                out.push(Diagnostic::new(
+                    Code::NC013,
+                    exit_span(net, k),
+                    format!("exit {k} contains no weighted layer (no conv or dense)"),
+                ));
+            }
+            if exit.output().index() < net.shapes().len() {
+                let shape = net.shape(exit.output());
+                if !matches!(shape, Shape::Vector { .. }) {
+                    out.push(Diagnostic::new(
+                        Code::NC013,
+                        exit_span(net, k),
+                        format!("exit {k} produces {shape}, not a class-probability vector"),
+                    ));
+                }
+            }
+        }
+        // Every exit must classify into the same label set.
+        let classes: Vec<Option<usize>> = net
+            .exits()
+            .iter()
+            .map(|e| match net.shapes().get(e.output().index()) {
+                Some(Shape::Vector { n }) => Some(*n),
+                _ => None,
+            })
+            .collect();
+        if let Some(first) = classes.first().copied().flatten() {
+            for (k, c) in classes.iter().enumerate().skip(1) {
+                if let Some(c) = c {
+                    if *c != first {
+                        out.push(Diagnostic::new(
+                            Code::NC013,
+                            exit_span(net, k),
+                            format!("exit {k} classifies into {c} classes but exit 0 into {first}"),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+struct ExitMonotonicity;
+
+impl Rule for ExitMonotonicity {
+    fn code(&self) -> Code {
+        Code::NC014
+    }
+
+    fn check(&self, net: &Network, out: &mut Vec<Diagnostic>) {
+        if net.exits().is_empty() {
+            return;
+        }
+        for (k, pair) in net.exits().windows(2).enumerate() {
+            if pair[1].head_start() <= pair[0].head_start() {
+                out.push(Diagnostic::new(
+                    Code::NC014,
+                    GraphSpan::Network,
+                    format!(
+                        "exit {} starts at {}, not after exit {k} at {} — exits must be \
+                         stored shallowest-first",
+                        k + 1,
+                        pair[1].head_start(),
+                        pair[0].head_start()
+                    ),
+                ));
+            }
+        }
+        let deepest = net.exits().last().expect("checked non-empty");
+        if deepest.output() != net.output() {
+            out.push(Diagnostic::new(
+                Code::NC014,
+                GraphSpan::Network,
+                format!(
+                    "deepest exit produces {} but the graph output is {} — the full-depth \
+                     exit must be the network's answer",
+                    deepest.output(),
+                    net.output()
+                ),
+            ));
+        }
+    }
+}
+
+struct ExitCoverage;
+
+impl Rule for ExitCoverage {
+    fn code(&self) -> Code {
+        Code::NC015
+    }
+
+    fn check(&self, net: &Network, out: &mut Vec<Diagnostic>) {
+        if net.exits().is_empty() {
+            return;
+        }
+        // Every block boundary carries exactly one head.
+        let nb = net.num_blocks();
+        let mut claims = vec![0usize; nb];
+        for (k, exit) in net.exits().iter().enumerate() {
+            match claims.get_mut(exit.block()) {
+                Some(c) => *c += 1,
+                None => out.push(Diagnostic::new(
+                    Code::NC015,
+                    exit_span(net, k),
+                    format!(
+                        "exit {k} claims block #{}, but the network has {nb} blocks",
+                        exit.block()
+                    ),
+                )),
+            }
+        }
+        for (bi, &count) in claims.iter().enumerate() {
+            if count != 1 {
+                out.push(Diagnostic::new(
+                    Code::NC015,
+                    block_span(bi, net),
+                    format!("block boundary carries {count} exit heads, not exactly one"),
+                ));
+            }
+        }
+        // Each exit's entry node must consume its claimed block's output.
+        if !exit_ranges_sane(net) {
+            return; // NC013 territory.
+        }
+        for (k, exit) in net.exits().iter().enumerate() {
+            let Some(block) = net.blocks().get(exit.block()) else {
+                continue; // reported above
+            };
+            if net.head_start().is_some_and(|h| exit.head_start() < h) {
+                continue; // Intrusion into the backbone is NC016's finding.
+            }
+            let entry = &net.nodes()[exit.head_start().index()];
+            if entry.inputs().iter().any(|&inp| inp != block.output()) {
+                out.push(Diagnostic::new(
+                    Code::NC015,
+                    exit_span(net, k),
+                    format!(
+                        "exit {k} claims block #{} `{}` but its entry node `{}` does not \
+                         tap that block's output {}",
+                        exit.block(),
+                        block.name(),
+                        entry.name(),
+                        block.output()
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+struct ExitIsolation;
+
+impl Rule for ExitIsolation {
+    fn code(&self) -> Code {
+        Code::NC016
+    }
+
+    fn check(&self, net: &Network, out: &mut Vec<Diagnostic>) {
+        if net.exits().is_empty() {
+            return;
+        }
+        if !exit_ranges_sane(net) {
+            return; // NC013 territory.
+        }
+        // Exit heads live in the head region, after every backbone node.
+        if let Some(head) = net.head_start() {
+            for (k, exit) in net.exits().iter().enumerate() {
+                if exit.head_start() < head {
+                    out.push(Diagnostic::new(
+                        Code::NC016,
+                        exit_span(net, k),
+                        format!(
+                            "exit {k} starts at {}, inside the backbone (head region starts \
+                             at {head})",
+                            exit.head_start()
+                        ),
+                    ));
+                }
+            }
+        }
+        // Ranges are pairwise disjoint: no node computes for two exits.
+        for a in 0..net.exits().len() {
+            for b in a + 1..net.exits().len() {
+                let (ea, eb) = (net.exits()[a], net.exits()[b]);
+                if ea.head_start() <= eb.output() && eb.head_start() <= ea.output() {
+                    out.push(Diagnostic::new(
+                        Code::NC016,
+                        exit_span(net, b),
+                        format!(
+                            "exit {b} [{}, {}] overlaps exit {a} [{}, {}]",
+                            eb.head_start(),
+                            eb.output(),
+                            ea.head_start(),
+                            ea.output()
+                        ),
+                    ));
+                }
+            }
+        }
+        // Exits are pure sinks: nothing outside an exit consumes its nodes,
+        // so detaching heads (backbone()) can never sever the backbone.
+        let mut owner = vec![None::<usize>; net.len()];
+        for (k, exit) in net.exits().iter().enumerate() {
+            for slot in &mut owner[exit.head_start().index()..=exit.output().index()] {
+                slot.get_or_insert(k);
+            }
+        }
+        for (pos, node) in net.nodes().iter().enumerate() {
+            let consumer = owner[pos];
+            for &inp in node.inputs() {
+                let Some(Some(k)) = owner.get(inp.index()).copied() else {
+                    continue;
+                };
+                if consumer != Some(k) {
+                    out.push(Diagnostic::new(
+                        Code::NC016,
+                        GraphSpan::Edge {
+                            from: inp,
+                            to: node.id(),
+                            to_name: node.name().to_owned(),
+                        },
+                        format!("edge consumes exit {k}'s interior from outside the exit"),
+                    ));
+                }
+            }
+        }
+        // Stripping the heads must be deterministic: the backbone's
+        // fingerprint is the memo-cache key joint training is keyed on.
+        // `backbone()` walks edges, so only a fully consistent graph can be
+        // stripped without panicking (broken ones are NC002/NC003 findings).
+        let deepest_entry =
+            &net.nodes()[net.exits().last().expect("non-empty").head_start().index()];
+        if !shapes_fully_consistent(net) || deepest_entry.inputs().is_empty() {
+            return;
+        }
+        let first = net.backbone().structural_fingerprint();
+        let again = net.backbone().structural_fingerprint();
+        if first != again {
+            out.push(Diagnostic::new(
+                Code::NC016,
+                GraphSpan::Network,
+                format!(
+                    "backbone fingerprint is unstable under exit-head detachment: \
+                     {first:#018x} vs {again:#018x}"
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Analyzer
 // ---------------------------------------------------------------------------
 
@@ -770,8 +1078,9 @@ pub struct Analyzer {
 
 impl Analyzer {
     /// The default registry: every structural rule (NC001–NC008,
-    /// NC010–NC012). The head-spec rule (NC009) needs an expected
-    /// [`HeadSpec`]; add it via [`Analyzer::with_expected_head`].
+    /// NC010–NC016, the multi-exit rules included). The head-spec rule
+    /// (NC009) needs an expected [`HeadSpec`]; add it via
+    /// [`Analyzer::with_expected_head`].
     pub fn new() -> Self {
         Analyzer {
             rules: vec![
@@ -786,6 +1095,10 @@ impl Analyzer {
                 Box::new(StatsCoherence),
                 Box::new(FingerprintStability),
                 Box::new(EstimatorFeatures),
+                Box::new(ExitHeadStructure),
+                Box::new(ExitMonotonicity),
+                Box::new(ExitCoverage),
+                Box::new(ExitIsolation),
             ],
         }
     }

@@ -7,8 +7,9 @@ use netcut_verify::mutate::{self, Mutation};
 use netcut_verify::{Analyzer, Code, Severity};
 use std::collections::BTreeMap;
 
-/// Every zoo architecture and every blockwise TRN — raw and with the HANDS
-/// head reattached — passes the analyzer with zero findings of any severity.
+/// Every zoo architecture and every blockwise TRN — raw, with the HANDS
+/// head reattached, and as a multi-exit network with a head at every block
+/// boundary — passes the analyzer with zero findings of any severity.
 #[test]
 fn zoo_and_every_trn_are_clean() {
     let structural = Analyzer::new();
@@ -24,6 +25,16 @@ fn zoo_and_every_trn_are_clean() {
             report.render_text()
         );
         graphs += 1;
+        let multi = net.with_exit_heads(&HeadSpec::default());
+        let report = structural.analyze(&multi);
+        assert_eq!(
+            report.summary().total(),
+            0,
+            "{} is not clean:\n{}",
+            multi.name(),
+            report.render_text()
+        );
+        graphs += 1;
         for k in 0..net.num_blocks() {
             let trn = net.cut_blocks(k).expect("zoo cutpoints are valid");
             let raw = structural.analyze(&trn);
@@ -31,7 +42,12 @@ fn zoo_and_every_trn_are_clean() {
             let headed = trn.with_head(&HeadSpec::default());
             let report = with_head.analyze(&headed);
             assert_eq!(report.summary().total(), 0, "{}", report.render_text());
-            graphs += 2;
+            // A multi-exit network built over the *trimmed* backbone is
+            // exactly what the serve ladder runs; it must verify too.
+            let trn_multi = trn.with_exit_heads(&HeadSpec::default());
+            let report = structural.analyze(&trn_multi);
+            assert_eq!(report.summary().total(), 0, "{}", report.render_text());
+            graphs += 3;
         }
     }
     // Ten architectures, dozens of cutpoints: a regression that skipped the
@@ -49,6 +65,10 @@ fn is_exact(mutation: Mutation) -> bool {
             | Mutation::CorruptShape
             | Mutation::SpliceBlockBoundary
             | Mutation::MismatchHeadClasses
+            | Mutation::MismatchExitClasses
+            | Mutation::SwapExitOrder
+            | Mutation::DuplicateExitBoundary
+            | Mutation::IntrudeExitRange
     )
 }
 
@@ -64,11 +84,14 @@ fn mutation_harness_catches_each_class() {
         for mutation in Mutation::all() {
             let expected = mutation.expected_code();
             // The head-spec rule only makes sense on a TRN carrying the
-            // HANDS head; every other class mutates the zoo net directly.
+            // HANDS head; the exit-table classes need a multi-exit network;
+            // every other class mutates the zoo net directly.
             let (base, analyzer) = if mutation == Mutation::MismatchHeadClasses {
                 let k = net.num_blocks() / 2;
                 let trn = net.cut_blocks(k).expect("valid cutpoint");
                 (trn.with_head(&head), &spec_checked)
+            } else if mutation.needs_exit_table() {
+                (net.with_exit_heads(&head), &structural)
             } else {
                 (net.clone(), &structural)
             };
