@@ -11,6 +11,25 @@ use netcut_estimate::{mean_relative_error, LatencyEstimator};
 use netcut_graph::HeadSpec;
 use std::fmt::Write as _;
 
+/// The workspace root the determinism lint scans: the nearest ancestor of
+/// the current directory carrying the allowlist, falling back to the
+/// compile-time layout (two levels above this crate).
+fn workspace_root() -> std::path::PathBuf {
+    if let Ok(mut dir) = std::env::current_dir() {
+        loop {
+            if dir.join(netcut_verify::detlint::ALLOWLIST_FILE).is_file() {
+                return dir;
+            }
+            if !dir.pop() {
+                break;
+            }
+        }
+    }
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .to_path_buf()
+}
+
 fn exploration_table(md: &mut String, sweep: &Exploration, frontier_only: bool) {
     let frontier = pareto_frontier(&sweep.points);
     let rows: Vec<usize> = if frontier_only {
@@ -436,6 +455,50 @@ fn main() {
         "suite ran on structurally broken graphs"
     );
 
+    // Serve-plane verification: the SV rules over every reference-matrix
+    // scenario — the exact configurations the serving section above
+    // benched — plus the workspace determinism lint against its committed
+    // allowlist. A ladder-construction failure becomes an SV002 finding.
+    let (serve_verify, serve_configs) = timed_phase("phase.verify_serve_s", || {
+        let mut total = netcut_verify::Summary::default();
+        let mut configs = 0usize;
+        for (key, cfg) in netcut_serve::reference_matrix() {
+            let name = format!("serve:{key}");
+            let report = match netcut_serve::Scenario::try_build(cfg.clone()) {
+                Ok(scenario) => {
+                    netcut_verify::analyze_serve(&netcut_serve::serve_artifact(&name, &scenario))
+                }
+                Err(err) => netcut_serve::ladder_error_report(&name, &cfg, &err),
+            };
+            total.merge(report.summary());
+            configs += 1;
+        }
+        (total, configs)
+    });
+    let detlint = timed_phase("phase.detlint_s", || {
+        let root = workspace_root();
+        netcut_verify::detlint::scan_workspace(&root).expect("detlint scan")
+    });
+    let _ = writeln!(
+        md,
+        "\nSV serve-plane rules over **{serve_configs} reference scenarios** \
+         (the bench matrix legs): {} error(s), {} warning(s). Determinism \
+         lint over **{} source files**: {} finding(s), {} allowed, {} stale.",
+        serve_verify.errors,
+        serve_verify.warnings,
+        detlint.files_scanned,
+        detlint.findings.len(),
+        detlint.allowed.len(),
+        detlint.stale.len()
+    );
+    assert_eq!(
+        serve_verify.errors, 0,
+        "suite benched an unsound serve configuration"
+    );
+    assert!(detlint.is_clean(), "determinism lint failed:\n{}", {
+        detlint.render_text()
+    });
+
     // Run metadata & metrics: provenance plus the counters and per-phase
     // wall-clock accumulated across the whole suite.
     let meta = RunMetadata::collect(&lab, 17);
@@ -455,6 +518,12 @@ fn main() {
                 "errors": verify_summary.errors,
                 "warnings": verify_summary.warnings,
                 "notes": verify_summary.notes,
+                "serve_configs": serve_configs,
+                "serve_errors": serve_verify.errors,
+                "detlint_files": detlint.files_scanned,
+                "detlint_findings": detlint.findings.len(),
+                "detlint_allowed": detlint.allowed.len(),
+                "detlint_stale": detlint.stale.len(),
             },
             "metadata": meta,
         }),

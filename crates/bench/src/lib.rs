@@ -269,11 +269,13 @@ pub mod serve_matrix {
     /// Human description of the reference scenario, embedded in the JSON.
     pub const SCENARIO: &str = "deadline 900us, 2000 rps, 5s, seed 11, 2 workers, faults on";
 
-    /// Largest batch the batching legs may form.
-    pub const BATCH_MAX: usize = 8;
+    /// Largest batch the batching legs may form (the serve crate's
+    /// reference matrix owns the value; re-exported for the gate docs).
+    pub const BATCH_MAX: usize = netcut_serve::splane::BATCH_MAX;
 
-    /// Shard count of the sharding legs (xavier + nano roster).
-    pub const SHARDS: usize = 2;
+    /// Shard count of the sharding legs (xavier + nano roster), likewise
+    /// owned by the serve crate's reference matrix.
+    pub const SHARDS: usize = netcut_serve::splane::SHARDS;
 
     /// The documented miss-rate regression tolerance of the CI gate, in
     /// ppm of total requests: one percentage point.
@@ -302,43 +304,11 @@ pub mod serve_matrix {
     pub const ALERT_COUNT_TOLERANCE: u64 = 2;
 
     /// The matrix legs, keyed by the name used in `BENCH_serve.json`.
+    /// Delegates to the serve crate's reference matrix so the bench, the
+    /// `lint serve` pass, and CI all exercise the identical
+    /// `Scenario::try_build` configurations.
     pub fn configs() -> Vec<(&'static str, ScenarioConfig)> {
-        let base = ScenarioConfig {
-            jobs: 0, // one evaluation worker per CPU for ladder construction
-            ..ScenarioConfig::default()
-        };
-        vec![
-            ("baseline", base.clone()),
-            (
-                "no_degrade",
-                ScenarioConfig {
-                    degrade: false,
-                    ..base.clone()
-                },
-            ),
-            (
-                "batch",
-                ScenarioConfig {
-                    batch_max: BATCH_MAX,
-                    ..base.clone()
-                },
-            ),
-            (
-                "shard",
-                ScenarioConfig {
-                    shards: SHARDS,
-                    ..base.clone()
-                },
-            ),
-            (
-                "batch_shard",
-                ScenarioConfig {
-                    batch_max: BATCH_MAX,
-                    shards: SHARDS,
-                    ..base
-                },
-            ),
-        ]
+        netcut_serve::reference_matrix()
     }
 
     /// One completed leg: key, summary, timeline, wall-clock milliseconds.

@@ -20,7 +20,7 @@ usage:
                    [--batch-max N] [--batch-slack-us N] [--shards N]
                    [--devices a,b,...] [--timeline-out <path>]
                    [--timeline-window-us N] [--exit-table full|N]
-  netcut-cli lint <network|all|file.json> [--json]
+  netcut-cli lint <network|all|serve|det|file.json> [--json]
 
 global options (any command):
   -v, --verbose       log structured events to stderr
@@ -58,7 +58,13 @@ Chrome trace_event JSON on the virtual-time clock
 
 lint: analyzes a zoo network (or `all`, or an exported network JSON file)
 plus every blockwise TRN of it, raw and with the transfer head attached;
-exits non-zero when any Error-severity diagnostic is reported";
+`lint serve` builds every reference-matrix scenario and runs the SV
+serve-plane rules (ladder soundness, batch-curve sanity, fault-plan
+well-formedness, SLO feasibility) — a broken configuration is reported
+as an SV diagnostic, not a process error; `lint det` runs the workspace
+determinism lint (wall-clock, unordered collections, float-µs) against
+the committed `detlint_allow.txt`; `lint all` covers every plane; exits
+non-zero when any Error-severity diagnostic is reported";
 
 /// Process-wide observability options, settable on any subcommand.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -454,7 +460,7 @@ fn parse_command(argv: &[&str]) -> Result<Command, String> {
         "lint" => Ok(Command::Lint {
             target: positionals
                 .first()
-                .ok_or("lint requires a network name, `all`, or a .json file")?
+                .ok_or("lint requires a network name, `all`, `serve`, `det`, or a .json file")?
                 .to_string(),
             json: has_flag("--json"),
         }),
@@ -563,6 +569,20 @@ mod tests {
             cmd(&["lint", "all", "--json"]),
             Command::Lint {
                 target: "all".into(),
+                json: true
+            }
+        );
+        assert_eq!(
+            cmd(&["lint", "serve"]),
+            Command::Lint {
+                target: "serve".into(),
+                json: false
+            }
+        );
+        assert_eq!(
+            cmd(&["lint", "det", "--json"]),
+            Command::Lint {
+                target: "det".into(),
                 json: true
             }
         );

@@ -361,20 +361,60 @@ fn lint_reports(source: &Network) -> Vec<netcut_verify::Report> {
     reports
 }
 
-/// `netcut-cli lint`: run the static analyzer over the target and all its
-/// blockwise TRNs; non-zero exit on any Error (or, under `--strict`, any
-/// Warning).
+/// One serve-plane report per reference-matrix leg: build the scenario,
+/// extract its [`netcut_verify::ServeArtifact`], and run the SV rules. A
+/// configuration whose ladder construction fails is surfaced as an SV002
+/// diagnostic report instead of aborting the lint run.
+fn serve_lint_reports() -> Vec<netcut_verify::Report> {
+    netcut_serve::reference_matrix()
+        .into_iter()
+        .map(|(key, cfg)| {
+            let name = format!("serve:{key}");
+            match netcut_serve::Scenario::try_build(cfg.clone()) {
+                Ok(scenario) => {
+                    netcut_verify::analyze_serve(&netcut_serve::serve_artifact(&name, &scenario))
+                }
+                Err(err) => netcut_serve::ladder_error_report(&name, &cfg, &err),
+            }
+        })
+        .collect()
+}
+
+/// The workspace root `lint det` scans: the nearest ancestor of the
+/// current directory carrying the detlint allowlist, falling back to the
+/// compile-time workspace layout (two levels above this crate).
+fn workspace_root() -> std::path::PathBuf {
+    if let Ok(mut dir) = std::env::current_dir() {
+        loop {
+            if dir.join(netcut_verify::detlint::ALLOWLIST_FILE).is_file() {
+                return dir;
+            }
+            if !dir.pop() {
+                break;
+            }
+        }
+    }
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .to_path_buf()
+}
+
+/// `netcut-cli lint`: run the static analyzer over the target; non-zero
+/// exit on any Error (or, under `--strict`, any Warning). Graph targets
+/// lint the network and all its blockwise TRNs; `serve` lints the
+/// reference scenario matrix through the SV rules; `det` runs the
+/// workspace determinism lint; `all` covers every plane.
 fn lint(target: &str, json: bool, strict: bool) -> Result<(), String> {
-    let sources: Vec<Network> = if target == "all" {
-        networks(true)
-    } else if target.ends_with(".json") {
-        let text =
-            std::fs::read_to_string(target).map_err(|e| format!("cannot read `{target}`: {e}"))?;
-        let net: Network = serde_json::from_str(&text)
-            .map_err(|e| format!("`{target}` is not an exported network: {e}"))?;
-        vec![net]
-    } else {
-        vec![find_network(target)?]
+    let sources: Vec<Network> = match target {
+        "all" => networks(true),
+        "serve" | "det" => Vec::new(),
+        t if t.ends_with(".json") => {
+            let text = std::fs::read_to_string(t).map_err(|e| format!("cannot read `{t}`: {e}"))?;
+            let net: Network = serde_json::from_str(&text)
+                .map_err(|e| format!("`{t}` is not an exported network: {e}"))?;
+            vec![net]
+        }
+        t => vec![find_network(t)?],
     };
     let mut total = netcut_verify::Summary::default();
     let mut graphs = 0usize;
@@ -389,10 +429,50 @@ fn lint(target: &str, json: bool, strict: bool) -> Result<(), String> {
             }
         }
     }
+    let mut configs = 0usize;
+    if matches!(target, "serve" | "all") {
+        for report in serve_lint_reports() {
+            configs += 1;
+            total.merge(report.summary());
+            if json {
+                print!("{}", report.to_json_lines());
+            } else if report.summary().total() > 0 {
+                print!("{}", report.render_text());
+            }
+        }
+    }
+    let mut det_files = 0usize;
+    let mut det_findings = 0usize;
+    if matches!(target, "det" | "all") {
+        let outcome = netcut_verify::detlint::scan_workspace(&workspace_root())?;
+        det_files = outcome.files_scanned;
+        det_findings = outcome.findings.len() + outcome.stale.len();
+        total.errors += det_findings;
+        if json {
+            print!("{}", outcome.to_json_lines());
+        } else if !outcome.is_clean() {
+            print!("{}", outcome.render_text());
+        }
+    }
     if !json {
+        let mut scope = Vec::new();
+        if !matches!(target, "serve" | "det") {
+            scope.push(format!("{graphs} graphs"));
+        }
+        if matches!(target, "serve" | "all") {
+            scope.push(format!("{configs} serve configs"));
+        }
+        if matches!(target, "det" | "all") {
+            scope.push(format!(
+                "{det_files} source files ({det_findings} determinism finding(s))"
+            ));
+        }
         println!(
-            "linted {graphs} graphs: {} error(s), {} warning(s), {} note(s)",
-            total.errors, total.warnings, total.notes
+            "linted {}: {} error(s), {} warning(s), {} note(s)",
+            scope.join(", "),
+            total.errors,
+            total.warnings,
+            total.notes
         );
     }
     if total.errors > 0 {
@@ -613,6 +693,46 @@ mod tests {
             true,
         )
         .expect("lint --strict --json");
+    }
+
+    #[test]
+    fn lint_serve_analyzes_the_reference_matrix_clean() {
+        let reports = serve_lint_reports();
+        assert_eq!(reports.len(), netcut_serve::reference_matrix().len());
+        for report in &reports {
+            assert!(
+                report.is_clean(),
+                "serve plane must lint clean:\n{}",
+                report.render_text()
+            );
+        }
+        // The CLI surface over the same reports, strict + both renderings.
+        run(
+            Command::Lint {
+                target: "serve".into(),
+                json: false,
+            },
+            true,
+        )
+        .expect("lint serve --strict");
+    }
+
+    #[test]
+    fn lint_det_passes_against_the_committed_allowlist() {
+        let root = workspace_root();
+        assert!(
+            root.join(netcut_verify::detlint::ALLOWLIST_FILE).is_file(),
+            "workspace root discovery must find the allowlist (got {})",
+            root.display()
+        );
+        run(
+            Command::Lint {
+                target: "det".into(),
+                json: true,
+            },
+            false,
+        )
+        .expect("lint det --json");
     }
 
     #[test]

@@ -281,6 +281,15 @@ impl TrnLadder {
         &self.rungs
     }
 
+    /// The attached batch-scaling curves, one per rung in ladder order
+    /// (`curves[r][n-1]` is the ppm cost of a batch of `n` on rung `r`).
+    /// Empty when batching is disabled — the serve-plane lint reads this
+    /// to check curve sanity without re-deriving it from
+    /// [`Self::batch_latency_us`] roundings.
+    pub fn batch_curves(&self) -> &[Vec<u64>] {
+        &self.batch_curves
+    }
+
     /// Ladder-degradation policy: the largest (most accurate) rung whose
     /// predicted latency still meets the deadline after `queue_delay_us` of
     /// waiting; rung 0 as a best-effort fallback when nothing fits.

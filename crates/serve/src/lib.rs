@@ -77,6 +77,7 @@ pub mod request;
 pub mod runtime;
 pub mod scenario;
 pub mod shard;
+pub mod splane;
 pub mod summary;
 pub mod timeline;
 
@@ -87,5 +88,6 @@ pub use request::{service_noise_ppm, Request, RequestKind, Workload, PPM};
 pub use runtime::{RequestOutcome, Server, ServerConfig, Status};
 pub use scenario::{build_ladder, build_ladder_for, run_scenario, Scenario, ScenarioConfig};
 pub use shard::{Candidate, Shard, ShardRouter};
+pub use splane::{ladder_error_report, reference_matrix, serve_artifact};
 pub use summary::{RunMeta, ServeSummary, ShardMeta};
 pub use timeline::{Timeline, TimelineConfig, WindowRow};

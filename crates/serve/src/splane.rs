@@ -1,0 +1,214 @@
+//! Serve-plane artifact extraction: the bridge from a built [`Scenario`]
+//! to the data model `netcut_verify::serve_plane` analyzes.
+//!
+//! `netcut-verify` sits below this crate in the dependency DAG, so the SV
+//! rules cannot read [`crate::TrnLadder`] or [`crate::FaultPlan`] directly;
+//! this module flattens them into the verify crate's plain
+//! [`ServeArtifact`] — ladder rungs with integer accuracies, per-rung batch
+//! curves, the per-shard fault windows *and* the global timeline they must
+//! partition, and the SLO policy. Extraction is lossless for everything
+//! the rules check, so `lint serve` validates exactly what the runtime
+//! will execute.
+//!
+//! [`reference_matrix`] is the single source of truth for the scenario
+//! configurations the bench matrix (and therefore `lint serve` / CI)
+//! exercises; `netcut_bench::serve_matrix` delegates to it.
+
+use crate::faults::{FaultKind, FaultPlan};
+use crate::ladder::LadderError;
+use crate::scenario::{Scenario, ScenarioConfig};
+use netcut_verify::serve_plane::{
+    FaultClass, LadderSpec, RungSpec, ServeArtifact, ShardSpec, SloSpec, WindowSpec,
+};
+use netcut_verify::Report;
+
+/// Largest batch the batching legs of the reference matrix may form.
+pub const BATCH_MAX: usize = 8;
+
+/// Shard count of the reference matrix's sharding legs (xavier + nano).
+pub const SHARDS: usize = 2;
+
+/// The reference scenario matrix, keyed by the leg name used in
+/// `BENCH_serve.json`: the baseline, the no-degradation ablation, and the
+/// batching/sharding legs. Every `Scenario::try_build` configuration CI
+/// benches is linted through this same list.
+pub fn reference_matrix() -> Vec<(&'static str, ScenarioConfig)> {
+    let base = ScenarioConfig {
+        jobs: 0, // one evaluation worker per CPU for ladder construction
+        ..ScenarioConfig::default()
+    };
+    vec![
+        ("baseline", base.clone()),
+        (
+            "no_degrade",
+            ScenarioConfig {
+                degrade: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "batch",
+            ScenarioConfig {
+                batch_max: BATCH_MAX,
+                ..base.clone()
+            },
+        ),
+        (
+            "shard",
+            ScenarioConfig {
+                shards: SHARDS,
+                ..base.clone()
+            },
+        ),
+        (
+            "batch_shard",
+            ScenarioConfig {
+                batch_max: BATCH_MAX,
+                shards: SHARDS,
+                ..base
+            },
+        ),
+    ]
+}
+
+fn class_of(kind: FaultKind) -> FaultClass {
+    match kind {
+        FaultKind::Jitter => FaultClass::Jitter,
+        FaultKind::Stall => FaultClass::Stall,
+        FaultKind::Drop => FaultClass::Drop,
+    }
+}
+
+fn windows_of(plan: &FaultPlan) -> Vec<WindowSpec> {
+    plan.windows
+        .iter()
+        .map(|w| WindowSpec {
+            class: class_of(w.kind),
+            start_us: w.start_us,
+            end_us: w.end_us,
+        })
+        .collect()
+}
+
+/// Flattens a built scenario into the artifact the SV rules analyze.
+/// `name` becomes the report subject (`"serve:baseline"`).
+pub fn serve_artifact(name: &str, scenario: &Scenario) -> ServeArtifact {
+    let cfg = scenario.config();
+    let shards = scenario
+        .shards
+        .iter()
+        .enumerate()
+        .map(|(i, shard)| {
+            let accuracy_ppm = shard.ladder.exit_accuracy_ppm();
+            ShardSpec {
+                name: format!("shard{i}:{}", shard.name),
+                ladder: LadderSpec {
+                    device: shard.name.clone(),
+                    rungs: shard
+                        .ladder
+                        .rungs()
+                        .iter()
+                        .zip(accuracy_ppm)
+                        .map(|(r, acc)| RungSpec {
+                            name: r.name.clone(),
+                            latency_us: r.latency_us,
+                            accuracy_ppm: acc,
+                        })
+                        .collect(),
+                    batch_curves: shard.ladder.batch_curves().to_vec(),
+                    exit_pin: cfg.exit_pin,
+                },
+                fault_windows: windows_of(&shard.faults),
+            }
+        })
+        .collect();
+    // The global timeline the per-shard plans partition. Window extents are
+    // a pure function of (seed, duration) — only magnitudes are per-device —
+    // so any roster device reproduces it.
+    let global_faults = if cfg.faults {
+        windows_of(&FaultPlan::seeded_demo(
+            cfg.seed,
+            cfg.duration_us,
+            &cfg.devices[0],
+        ))
+    } else {
+        Vec::new()
+    };
+    let slo = scenario.timeline_config().slo;
+    ServeArtifact {
+        scenario: name.to_owned(),
+        duration_us: cfg.duration_us,
+        deadline_us: cfg.deadline_us,
+        shards,
+        global_faults,
+        slo: SloSpec {
+            miss_budget_ppm: slo.miss_budget_ppm,
+            burn_alert_ppm: slo.burn_alert_ppm,
+            drift_alert_ppm: slo.drift_alert_ppm,
+            min_drift_samples: slo.min_drift_samples,
+            min_window_arrivals: slo.min_window_arrivals,
+        },
+    }
+}
+
+/// Wraps a scenario-construction failure as an SV002 diagnostic report, so
+/// `lint` surfaces a broken configuration as a finding instead of a
+/// process error. `name` is the report subject, matching
+/// [`serve_artifact`]'s naming.
+pub fn ladder_error_report(name: &str, cfg: &ScenarioConfig, err: &LadderError) -> Report {
+    let shard = cfg
+        .devices
+        .first()
+        .map_or_else(|| "roster".to_owned(), |d| format!("shard0:{}", d.name));
+    netcut_verify::serve_plane::build_failure_report(name, &shard, &err.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcut_verify::serve_plane::analyze_serve;
+
+    #[test]
+    fn a_quick_sharded_scenario_extracts_clean() {
+        let scenario = Scenario::try_build(ScenarioConfig {
+            duration_us: 300_000,
+            batch_max: 4,
+            shards: 2,
+            ..ScenarioConfig::default()
+        })
+        .expect("quick scenario builds");
+        let artifact = serve_artifact("serve:quick", &scenario);
+        assert_eq!(artifact.shards.len(), 2);
+        assert!(artifact.shards.iter().all(|s| !s.ladder.rungs.is_empty()));
+        assert_eq!(artifact.global_faults.len(), 3);
+        let report = analyze_serve(&artifact);
+        assert!(
+            report.summary().total() == 0,
+            "extracted artifact must lint clean:\n{}",
+            report.render_text()
+        );
+    }
+
+    #[test]
+    fn the_reference_matrix_is_pinned() {
+        let keys: Vec<&str> = reference_matrix().iter().map(|(k, _)| *k).collect();
+        assert_eq!(
+            keys,
+            ["baseline", "no_degrade", "batch", "shard", "batch_shard"]
+        );
+        for (key, cfg) in reference_matrix() {
+            assert_eq!(cfg.jobs, 0, "{key} must use all cores");
+            assert_eq!(cfg.seed, ScenarioConfig::default().seed);
+        }
+    }
+
+    #[test]
+    fn ladder_errors_become_sv002_reports() {
+        let cfg = ScenarioConfig::default();
+        let err = LadderError::ExitPinOutOfRange { pin: 99, exits: 17 };
+        let report = ladder_error_report("serve:pinned", &cfg, &err);
+        assert!(!report.is_clean());
+        assert_eq!(report.first_error().unwrap().code.as_str(), "SV002");
+        assert!(report.first_error().unwrap().message.contains("99"));
+    }
+}

@@ -202,7 +202,10 @@ mod tests {
     fn kernels_cover_all_compute_nodes_once() {
         let net = netcut_graph::zoo::resnet50();
         let kernels = fuse_network(&net);
-        let mut seen = std::collections::HashSet::new();
+        // BTreeSet keeps even test-side iteration order deterministic
+        // (the detlint pass bans unordered collections in this crate's
+        // runtime code; tests follow the same convention).
+        let mut seen = std::collections::BTreeSet::new();
         for k in &kernels {
             for m in &k.members {
                 assert!(seen.insert(*m), "node in two kernels");

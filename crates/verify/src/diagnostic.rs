@@ -96,6 +96,52 @@ pub enum Code {
     /// (not a pure sink), or a backbone fingerprint that is unstable under
     /// exit-head attachment.
     NC016,
+    /// SV001 — ladder order: exit-table rungs not strictly ascending in
+    /// predicted latency (ties included — equal latencies must be deduped
+    /// at build time), or a rung with zero predicted latency.
+    SV001,
+    /// SV002 — exit-table range: an empty ladder (no exit candidates
+    /// survived the Pareto filter) or an exit pin that addresses a rung
+    /// outside the table.
+    SV002,
+    /// SV003 — dominated rung: a rung that is both slower and no more
+    /// accurate than an earlier rung, so the selector would never have a
+    /// reason to pick it.
+    SV003,
+    /// SV004 — batch-curve shape: the curve roster does not carry exactly
+    /// one curve per rung, a curve is empty, or `curve[0]` is not `PPM`
+    /// (batch size 1 must cost exactly one request).
+    SV004,
+    /// SV005 — batch-curve scaling: a curve that decreases with batch size,
+    /// or exceeds linear scaling (`curve[n-1] > n·PPM`) for batch ≥ 2 —
+    /// batching that is slower than serial dispatch is never sound.
+    SV005,
+    /// SV006 — roster consistency: two shards serving the same device
+    /// disagree on the ladder (rungs, curves, or pin), so routing between
+    /// them would change latency predictions for identical hardware.
+    SV006,
+    /// SV007 — fault-window bounds: a fault window that is empty
+    /// (`start >= end`) or extends past the scenario duration.
+    SV007,
+    /// SV008 — fault-window overlap: two windows of the same fault class
+    /// overlap on one shard (or in the global plan), making the injected
+    /// magnitude order-dependent.
+    SV008,
+    /// SV009 — fault partition: the per-shard fault plans do not partition
+    /// the global timeline — a global window owned by zero or several
+    /// shards, or a shard window absent from the global plan.
+    SV009,
+    /// SV010 — SLO budget: the miss budget is zero (every miss is an
+    /// instant page) or exceeds `PPM` (not a rate).
+    SV010,
+    /// SV011 — SLO threshold order: the burn alert fires below the
+    /// on-budget line (`burn_alert_ppm < PPM`), a zero drift threshold, or
+    /// zero minimum sample/arrival floors (every empty window would alert).
+    SV011,
+    /// SV012 — alert reachability: a policy constant that makes one of the
+    /// stable `OBS0xx` alert codes impossible to emit, e.g. a burn
+    /// threshold above the burn rate of an all-miss window.
+    SV012,
 }
 
 impl Code {
@@ -118,6 +164,18 @@ impl Code {
             Code::NC014 => "NC014",
             Code::NC015 => "NC015",
             Code::NC016 => "NC016",
+            Code::SV001 => "SV001",
+            Code::SV002 => "SV002",
+            Code::SV003 => "SV003",
+            Code::SV004 => "SV004",
+            Code::SV005 => "SV005",
+            Code::SV006 => "SV006",
+            Code::SV007 => "SV007",
+            Code::SV008 => "SV008",
+            Code::SV009 => "SV009",
+            Code::SV010 => "SV010",
+            Code::SV011 => "SV011",
+            Code::SV012 => "SV012",
         }
     }
 
@@ -140,6 +198,18 @@ impl Code {
             Code::NC014 => "exit-monotonicity",
             Code::NC015 => "one-head-per-boundary",
             Code::NC016 => "exit-isolation",
+            Code::SV001 => "ladder-order",
+            Code::SV002 => "exit-table-range",
+            Code::SV003 => "dominated-rung",
+            Code::SV004 => "batch-curve-shape",
+            Code::SV005 => "batch-curve-scaling",
+            Code::SV006 => "roster-consistency",
+            Code::SV007 => "fault-window-bounds",
+            Code::SV008 => "fault-window-overlap",
+            Code::SV009 => "fault-partition",
+            Code::SV010 => "slo-budget",
+            Code::SV011 => "slo-threshold-order",
+            Code::SV012 => "alert-reachability",
         }
     }
 
@@ -192,6 +262,28 @@ pub enum GraphSpan {
         /// First head node.
         start: NodeId,
     },
+    /// One serve-plane shard (serve-plane rules only).
+    Shard {
+        /// The shard's roster name, e.g. `"shard0:jetson_xavier"`.
+        name: String,
+    },
+    /// One exit-table rung of a shard's ladder.
+    Rung {
+        /// The owning shard's roster name.
+        shard: String,
+        /// Rung index, shallowest-first.
+        index: usize,
+    },
+    /// One fault window of a shard's plan (`"global"` for the scenario-wide
+    /// timeline before shard ownership is assigned).
+    Fault {
+        /// The owning shard's roster name, or `"global"`.
+        shard: String,
+        /// Window index in plan order.
+        index: usize,
+    },
+    /// The scenario's SLO policy.
+    SloPolicy,
 }
 
 impl fmt::Display for GraphSpan {
@@ -204,6 +296,12 @@ impl fmt::Display for GraphSpan {
             }
             GraphSpan::Block { index, name } => write!(f, "block #{index} `{name}`"),
             GraphSpan::Head { start } => write!(f, "head (from {start})"),
+            GraphSpan::Shard { name } => write!(f, "shard `{name}`"),
+            GraphSpan::Rung { shard, index } => write!(f, "rung #{index} of `{shard}`"),
+            GraphSpan::Fault { shard, index } => {
+                write!(f, "fault window #{index} of `{shard}`")
+            }
+            GraphSpan::SloPolicy => write!(f, "slo policy"),
         }
     }
 }

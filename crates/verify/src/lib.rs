@@ -1,20 +1,31 @@
-//! Rule-based static analyzer for the `netcut-graph` IR.
+//! Two-plane static analyzer: the `netcut-graph` IR and the serve plane.
 //!
 //! NetCut's correctness rests on every trimmed-and-reheaded network (TRN)
 //! being structurally sound: a cut that severs a residual branch, a stored
 //! shape that drifts from what the wiring implies, or a head whose class
 //! count disagrees with the target task silently poisons every downstream
-//! latency estimate and retraining run. This crate makes those invariants
-//! explicit and machine-checkable.
+//! latency estimate and retraining run. Since PR 4 the same holds one level
+//! up: the serving stack commits offline to an exit ladder, batch-scaling
+//! curves, a fault plan, and an SLO policy, and a broken one of *those*
+//! poisons every dispatch decision. This crate makes both sets of
+//! invariants explicit and machine-checkable.
 //!
-//! - [`Diagnostic`]: one finding — a stable `NC0xx` [`Code`], a fixed
-//!   [`Severity`], a [`GraphSpan`] locating it, and a message.
-//! - [`Rule`] / [`Analyzer`]: the registry of ~11 structural rules (shape
-//!   consistency, reachability, block-boundary integrity, cutpoint
+//! - [`Diagnostic`]: one finding — a stable [`Code`] (`NC0xx` for the
+//!   graph plane, `SV0xx` for the serve plane), a fixed [`Severity`], a
+//!   [`GraphSpan`] locating it, and a message.
+//! - [`Rule`] / [`Analyzer`]: the registry of ~11 structural graph rules
+//!   (shape consistency, reachability, block-boundary integrity, cutpoint
 //!   monotonicity, head structure, stats coherence, fingerprint stability,
 //!   estimator-feature sanity, …) producing a [`Report`].
-//! - [`mutate`]: a harness of structured corruptions, each documented with
-//!   the exact code the analyzer must produce — the negative test surface.
+//! - [`serve_plane`]: the SV rule registry over extracted serving
+//!   artifacts — ladder soundness, batch-curve sanity, fault-plan
+//!   well-formedness, SLO feasibility.
+//! - [`detlint`]: a workspace determinism lint scanning the virtual-time
+//!   crates for wall-clock reads, unordered collections, and float
+//!   arithmetic in integer-µs code, with an audited allowlist.
+//! - [`mutate`]: a harness of structured corruptions on both planes, each
+//!   documented with the exact code the analyzer must produce — the
+//!   negative test surface.
 //! - [`validate`]: drop-in replacement for the old ad-hoc
 //!   `Network::validate()`, returning the first Error-severity finding.
 //!
@@ -38,12 +49,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod detlint;
 mod diagnostic;
 pub mod mutate;
 mod rules;
+pub mod serve_plane;
 
 pub use diagnostic::{Code, Diagnostic, GraphSpan, Report, Severity, Summary};
 pub use rules::{Analyzer, HeadSpecRule, Rule};
+pub use serve_plane::{analyze_serve, ServeAnalyzer, ServeArtifact, ServeRule};
 
 use netcut_graph::Network;
 

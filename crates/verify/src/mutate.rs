@@ -8,6 +8,7 @@
 //! but fail these.
 
 use crate::diagnostic::Code;
+use crate::serve_plane::{ServeArtifact, WindowSpec, PPM};
 use netcut_graph::{infer_shape, Block, ExitPoint, LayerKind, Network, Node, NodeId, Shape};
 
 /// A structured corruption applied to a valid network.
@@ -311,6 +312,242 @@ pub fn apply(net: &Network, mutation: Mutation) -> Option<Network> {
             // else changes (the tap check defers to NC016 for intruding
             // exits).
             Some(rebuild_exits(net, exits))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serve-plane mutations (SV001–SV012)
+// ---------------------------------------------------------------------------
+
+/// A structured corruption applied to a valid [`ServeArtifact`] — the
+/// serve-plane half of the harness, one class per SV code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeMutation {
+    /// Swap the first two rungs' latencies on a single-device shard, so the
+    /// ladder is no longer strictly ascending → SV001.
+    SwapRungLatencies,
+    /// Pin the exit one past the end of the table → SV002.
+    PinPastTable,
+    /// Drop the deepest rung's accuracy below the shallowest's, making it
+    /// strictly dominated (slower *and* less accurate) → SV003.
+    DominateRung,
+    /// Lift a curve's batch-1 cost off the `PPM` anchor → SV004.
+    UnanchorBatchCurve,
+    /// Push a curve's deepest point past the linear ceiling, so a batch
+    /// costs more than serial dispatch → SV005.
+    SuperlinearBatchCurve,
+    /// Nudge one rung's latency on a shard whose device another shard also
+    /// serves, so identical hardware predicts different latencies → SV006.
+    /// Requires two shards on one device.
+    DivergeRoster,
+    /// Stretch a shard's fault window past the scenario duration → SV007.
+    StretchFaultWindow,
+    /// Duplicate a fault window one microsecond later (in both the global
+    /// plan and its owning shard), so two same-class windows overlap →
+    /// SV008.
+    OverlapFaultWindows,
+    /// Remove a window from its owning shard while the global timeline
+    /// keeps it, leaving the global window owned by nobody → SV009.
+    OrphanFaultWindow,
+    /// Zero the SLO miss budget → SV010.
+    ZeroBudget,
+    /// Lower the burn alert below the on-budget line → SV011.
+    InvertBurnThreshold,
+    /// Raise the burn alert above the all-miss burn rate, so OBS001 can
+    /// never fire → SV012.
+    UnreachableBurnAlert,
+}
+
+impl ServeMutation {
+    /// Every serve-plane mutation class, for exhaustive harness loops.
+    pub fn all() -> [ServeMutation; 12] {
+        [
+            ServeMutation::SwapRungLatencies,
+            ServeMutation::PinPastTable,
+            ServeMutation::DominateRung,
+            ServeMutation::UnanchorBatchCurve,
+            ServeMutation::SuperlinearBatchCurve,
+            ServeMutation::DivergeRoster,
+            ServeMutation::StretchFaultWindow,
+            ServeMutation::OverlapFaultWindows,
+            ServeMutation::OrphanFaultWindow,
+            ServeMutation::ZeroBudget,
+            ServeMutation::InvertBurnThreshold,
+            ServeMutation::UnreachableBurnAlert,
+        ]
+    }
+
+    /// The diagnostic code the serve-plane analyzer must produce for this
+    /// mutation.
+    pub fn expected_code(self) -> Code {
+        match self {
+            ServeMutation::SwapRungLatencies => Code::SV001,
+            ServeMutation::PinPastTable => Code::SV002,
+            ServeMutation::DominateRung => Code::SV003,
+            ServeMutation::UnanchorBatchCurve => Code::SV004,
+            ServeMutation::SuperlinearBatchCurve => Code::SV005,
+            ServeMutation::DivergeRoster => Code::SV006,
+            ServeMutation::StretchFaultWindow => Code::SV007,
+            ServeMutation::OverlapFaultWindows => Code::SV008,
+            ServeMutation::OrphanFaultWindow => Code::SV009,
+            ServeMutation::ZeroBudget => Code::SV010,
+            ServeMutation::InvertBurnThreshold => Code::SV011,
+            ServeMutation::UnreachableBurnAlert => Code::SV012,
+        }
+    }
+}
+
+/// Index of a shard whose device no other shard serves — the safe target
+/// for ladder corruptions, which must not also diverge a multi-shard
+/// roster (SV006 owns that).
+fn lone_device_shard(artifact: &ServeArtifact) -> Option<usize> {
+    artifact.shards.iter().position(|s| {
+        artifact
+            .shards
+            .iter()
+            .filter(|o| o.ladder.device == s.ladder.device)
+            .count()
+            == 1
+    })
+}
+
+/// Applies `mutation` to a copy of `artifact`, returning `None` when the
+/// artifact has no site for it (e.g. [`ServeMutation::DivergeRoster`] on a
+/// roster with no shared device). As with the NC half, each result is
+/// crafted so the serve-plane analyzer reports the mutation's
+/// [`expected_code`](ServeMutation::expected_code) and nothing else.
+pub fn apply_serve(artifact: &ServeArtifact, mutation: ServeMutation) -> Option<ServeArtifact> {
+    let mut out = artifact.clone();
+    out.scenario = format!("{}~mutated", artifact.scenario);
+    match mutation {
+        ServeMutation::SwapRungLatencies => {
+            let shard = &mut out.shards[lone_device_shard(artifact)?];
+            if shard.ladder.rungs.len() < 2 {
+                return None;
+            }
+            let l0 = shard.ladder.rungs[0].latency_us;
+            shard.ladder.rungs[0].latency_us = shard.ladder.rungs[1].latency_us;
+            shard.ladder.rungs[1].latency_us = l0;
+            // Accuracies are untouched and SV003 defers on unordered
+            // ladders, so the broken order is the sole finding.
+            Some(out)
+        }
+        ServeMutation::PinPastTable => {
+            let shard = &mut out.shards[lone_device_shard(artifact)?];
+            shard.ladder.exit_pin = Some(shard.ladder.rungs.len());
+            Some(out)
+        }
+        ServeMutation::DominateRung => {
+            let shard = &mut out.shards[lone_device_shard(artifact)?];
+            if shard.ladder.rungs.len() < 2 {
+                return None;
+            }
+            let floor = shard.ladder.rungs[0].accuracy_ppm;
+            shard.ladder.rungs.last_mut()?.accuracy_ppm = floor.checked_sub(1)?;
+            // Latencies keep their strict order, so SV001 stays quiet and
+            // the dominated deepest rung is the sole finding.
+            Some(out)
+        }
+        ServeMutation::UnanchorBatchCurve => {
+            let shard = &mut out.shards[lone_device_shard(artifact)?];
+            let curve = shard.ladder.batch_curves.first_mut()?;
+            // Keep the curve nondecreasing (SV005's property) by nudging the
+            // anchor only when the next point sits strictly above it.
+            if curve.len() >= 2 && curve[1] <= PPM + 1 {
+                return None;
+            }
+            curve[0] = PPM + 1;
+            Some(out)
+        }
+        ServeMutation::SuperlinearBatchCurve => {
+            let shard = &mut out.shards[lone_device_shard(artifact)?];
+            let curve = shard.ladder.batch_curves.last_mut()?;
+            if curve.len() < 2 {
+                return None;
+            }
+            let batch = curve.len() as u64;
+            // One past the linear ceiling; in a valid curve every earlier
+            // point is below it, so the curve stays nondecreasing.
+            *curve.last_mut()? = batch * PPM + 1;
+            Some(out)
+        }
+        ServeMutation::DivergeRoster => {
+            let twin = artifact.shards.iter().position(|s| {
+                artifact
+                    .shards
+                    .iter()
+                    .filter(|o| o.ladder.device == s.ladder.device)
+                    .count()
+                    > 1
+            })?;
+            let rung = out.shards[twin].ladder.rungs.last_mut()?;
+            // The deepest rung only grows, so the ladder stays strictly
+            // ordered and undominated — the divergence is the sole finding.
+            rung.latency_us = rung.latency_us.checked_add(1)?;
+            Some(out)
+        }
+        ServeMutation::StretchFaultWindow => {
+            let duration = artifact.duration_us;
+            let shard = out.shards.iter_mut().find(|s| {
+                s.fault_windows
+                    .iter()
+                    .any(|w| w.start_us < w.end_us && w.end_us <= duration)
+            })?;
+            let w = shard
+                .fault_windows
+                .iter_mut()
+                .find(|w| w.start_us < w.end_us && w.end_us <= duration)?;
+            // The partition rule matches on (class, start), so stretching
+            // the end past the duration trips only the bounds rule.
+            w.end_us = duration.checked_add(1_000)?;
+            Some(out)
+        }
+        ServeMutation::OverlapFaultWindows => {
+            let seed = artifact.global_faults.first()?.clone();
+            if seed.end_us.saturating_sub(seed.start_us) < 2 || seed.end_us >= artifact.duration_us
+            {
+                return None;
+            }
+            let twin = WindowSpec {
+                class: seed.class,
+                start_us: seed.start_us + 1,
+                end_us: seed.end_us + 1,
+            };
+            let owner = out.shards.iter_mut().find(|s| {
+                s.fault_windows
+                    .iter()
+                    .any(|w| w.class == seed.class && w.start_us == seed.start_us)
+            })?;
+            // Mirror the twin into both the global plan and the owning
+            // shard, so the partition stays a bijection and the same-class
+            // overlap is the sole finding.
+            owner.fault_windows.push(twin.clone());
+            out.global_faults.push(twin);
+            Some(out)
+        }
+        ServeMutation::OrphanFaultWindow => {
+            let shard = out
+                .shards
+                .iter_mut()
+                .find(|s| !s.fault_windows.is_empty())?;
+            shard.fault_windows.remove(0);
+            Some(out)
+        }
+        ServeMutation::ZeroBudget => {
+            out.slo.miss_budget_ppm = 0;
+            Some(out)
+        }
+        ServeMutation::InvertBurnThreshold => {
+            out.slo.burn_alert_ppm = PPM - 1;
+            Some(out)
+        }
+        ServeMutation::UnreachableBurnAlert => {
+            let max_burn = ((u128::from(PPM) * u128::from(PPM))
+                / u128::from(artifact.slo.miss_budget_ppm.max(1)))
+            .min(u128::from(u64::MAX - 1)) as u64;
+            out.slo.burn_alert_ppm = max_burn + 1;
+            Some(out)
         }
     }
 }

@@ -1,0 +1,197 @@
+//! Serve-plane analyzer tests: the reference artifact is clean, every
+//! mutation class trips exactly its documented SV code, and the
+//! code↔mutation registry itself is pinned (the meta-test).
+
+use netcut_verify::mutate::{self, Mutation, ServeMutation};
+use netcut_verify::serve_plane::{self, demo_artifact};
+use netcut_verify::{Code, Severity};
+
+#[test]
+fn the_demo_artifact_is_clean() {
+    let artifact = demo_artifact();
+    let report = serve_plane::analyze_serve(&artifact);
+    assert!(
+        report.summary().total() == 0,
+        "reference artifact must be spotless:\n{}",
+        report.render_text()
+    );
+    assert_eq!(report.network(), "serve:demo");
+    assert_eq!(report.fingerprint(), artifact.fingerprint());
+}
+
+#[test]
+fn the_fingerprint_tracks_content() {
+    let artifact = demo_artifact();
+    let mut tweaked = artifact.clone();
+    tweaked.deadline_us += 1;
+    assert_ne!(artifact.fingerprint(), tweaked.fingerprint());
+    assert_eq!(artifact.fingerprint(), artifact.clone().fingerprint());
+}
+
+#[test]
+fn every_serve_mutation_trips_exactly_its_code() {
+    let base = demo_artifact();
+    for mutation in ServeMutation::all() {
+        let broken = mutate::apply_serve(&base, mutation)
+            .unwrap_or_else(|| panic!("{mutation:?} must apply to the demo artifact"));
+        let report = serve_plane::analyze_serve(&broken);
+        let expected = mutation.expected_code();
+        assert!(
+            report.diagnostics().iter().any(|d| d.code == expected),
+            "{mutation:?} must produce {expected}, got:\n{}",
+            report.render_text()
+        );
+        // The serve mutations are all exact: corrupting one invariant must
+        // not cascade into other rules' findings.
+        for d in report.diagnostics() {
+            assert_eq!(
+                d.code,
+                expected,
+                "{mutation:?} leaked a companion finding:\n{}",
+                report.render_text()
+            );
+        }
+    }
+}
+
+#[test]
+fn build_failures_surface_as_sv002() {
+    let report = serve_plane::build_failure_report(
+        "serve:broken",
+        "shard0:jetson_xavier",
+        "cannot build an exit table from zero candidates",
+    );
+    assert!(!report.is_clean());
+    let d = report.first_error().expect("one error");
+    assert_eq!(d.code, Code::SV002);
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(report.network(), "serve:broken");
+}
+
+// ---------------------------------------------------------------------------
+// Meta-test: the code ↔ mutation registry is a pinned, append-only table.
+// ---------------------------------------------------------------------------
+
+/// Every stable code, in table order. Append-only: entries are never
+/// removed or renumbered.
+const ALL_CODES: &[Code] = &[
+    Code::NC001,
+    Code::NC002,
+    Code::NC003,
+    Code::NC004,
+    Code::NC005,
+    Code::NC006,
+    Code::NC007,
+    Code::NC008,
+    Code::NC009,
+    Code::NC010,
+    Code::NC011,
+    Code::NC012,
+    Code::NC013,
+    Code::NC014,
+    Code::NC015,
+    Code::NC016,
+    Code::SV001,
+    Code::SV002,
+    Code::SV003,
+    Code::SV004,
+    Code::SV005,
+    Code::SV006,
+    Code::SV007,
+    Code::SV008,
+    Code::SV009,
+    Code::SV010,
+    Code::SV011,
+    Code::SV012,
+];
+
+/// NC codes with no data-mutation class, each for a pinned reason. This
+/// list is append-averse: shrinking it (adding a mutation) is progress,
+/// growing it needs a documented impossibility argument.
+///
+/// * NC001 — the graph constructors reject empty node lists, so no valid
+///   network can be mutated into one.
+/// * NC005 / NC008 — the block/head corruptions that are expressible
+///   through `from_parts` are already owned by the NC006/NC007 classes;
+///   the remaining NC005/NC008 arms guard constructor-rejected states.
+/// * NC010 — aggregate stats are recomputed from the node list on build,
+///   so a data mutation cannot desynchronize them.
+/// * NC011 — fingerprint instability is a property of the hash function,
+///   not of any graph value a mutation could corrupt.
+/// * NC012 — the zero-feature warning needs a degenerate *architecture*
+///   (no convolutions), not a corruption of a sound one.
+const UNMUTATED_NC: &[Code] = &[
+    Code::NC001,
+    Code::NC005,
+    Code::NC008,
+    Code::NC010,
+    Code::NC011,
+    Code::NC012,
+];
+
+#[test]
+fn every_code_has_exactly_one_mutation_class_or_a_pinned_exemption() {
+    // Graph plane: each mutation names a distinct NC code…
+    let nc_covered: Vec<Code> = Mutation::all().iter().map(|m| m.expected_code()).collect();
+    for (i, code) in nc_covered.iter().enumerate() {
+        assert!(
+            !nc_covered[..i].contains(code),
+            "two NC mutation classes claim {code}"
+        );
+    }
+    // …and together with the pinned exemptions they tile the NC table.
+    for code in ALL_CODES.iter().filter(|c| c.as_str().starts_with("NC")) {
+        let mutated = nc_covered.contains(code);
+        let exempt = UNMUTATED_NC.contains(code);
+        assert!(
+            mutated != exempt,
+            "{code} must have exactly one mutation class or one pinned \
+             exemption (mutated={mutated}, exempt={exempt})"
+        );
+    }
+
+    // Serve plane: a full bijection, no exemptions.
+    let sv_covered: Vec<Code> = ServeMutation::all()
+        .iter()
+        .map(|m| m.expected_code())
+        .collect();
+    for (i, code) in sv_covered.iter().enumerate() {
+        assert!(
+            !sv_covered[..i].contains(code),
+            "two SV mutation classes claim {code}"
+        );
+    }
+    for code in ALL_CODES.iter().filter(|c| c.as_str().starts_with("SV")) {
+        assert!(
+            sv_covered.contains(code),
+            "{code} has no serve-plane mutation class"
+        );
+    }
+    assert_eq!(sv_covered.len(), 12, "SV table is pinned at 12 codes");
+}
+
+#[test]
+fn code_names_are_stable_and_unique() {
+    for (i, code) in ALL_CODES.iter().enumerate() {
+        // Wire names match the variant and appear exactly once.
+        assert_eq!(code.as_str(), format!("{code:?}"));
+        for other in &ALL_CODES[..i] {
+            assert_ne!(code.as_str(), other.as_str());
+            assert_ne!(
+                code.rule_name(),
+                other.rule_name(),
+                "{code} and {other} share a rule name"
+            );
+        }
+    }
+}
+
+#[test]
+fn serve_json_lines_reuse_the_schema() {
+    let broken = mutate::apply_serve(&demo_artifact(), ServeMutation::ZeroBudget).unwrap();
+    let json = serve_plane::analyze_serve(&broken).to_json_lines();
+    assert!(json.contains("\"verify.diagnostic\""));
+    assert!(json.contains("\"verify.summary\""));
+    assert!(json.contains("SV010"));
+    assert!(json.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+}

@@ -1,0 +1,69 @@
+//! Workspace determinism lint (`verify::detlint`): the virtual-time crates
+//! (`serve`, `obs`, `sim`) must stay free of wall-clock reads, unordered
+//! collections, and float-µs arithmetic outside the audited allowlist.
+//!
+//! This is the enforcement half of the bit-identical-summaries contract:
+//! `tests/determinism.rs` proves the current build is deterministic, this
+//! lint keeps the *sources* of nondeterminism from being reintroduced.
+
+use netcut_repro::verify::detlint;
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn the_deterministic_crates_pass_detlint() {
+    let outcome = detlint::scan_workspace(workspace_root()).expect("scan");
+    // Structural floor: an empty scan would vacuously pass.
+    assert!(
+        outcome.files_scanned > 20,
+        "detlint walked only {} files; the crate roots moved?",
+        outcome.files_scanned
+    );
+    assert!(
+        outcome.is_clean(),
+        "detlint found unaudited nondeterminism:\n{}",
+        outcome.render_text()
+    );
+}
+
+#[test]
+fn the_allowlist_is_small_and_justified() {
+    let text = std::fs::read_to_string(workspace_root().join(detlint::ALLOWLIST_FILE))
+        .expect("committed allowlist");
+    let entries = detlint::parse_allowlist(&text).expect("well-formed allowlist");
+    // Every audited exception is wall-clock telemetry or float math that
+    // never feeds back into virtual-time state. The list may only shrink
+    // without review — growing it means a new nondeterminism source.
+    assert!(
+        !entries.is_empty() && entries.len() <= 8,
+        "allowlist has {} entries; audit before growing it",
+        entries.len()
+    );
+    for e in &entries {
+        assert!(
+            workspace_root().join(&e.file).is_file(),
+            "allowlist names a missing file: {}",
+            e.file
+        );
+    }
+}
+
+#[test]
+fn detlint_still_catches_each_pattern() {
+    // Guard against the scanner itself rotting: synthetic bad sources must
+    // keep producing findings (the precedent of the metrics-registry scan).
+    let wall = detlint::scan_source("x.rs", "fn f() { let t = std::time::Instant::now(); }");
+    assert_eq!(wall.len(), 1);
+    assert_eq!(wall[0].pattern, "wall-clock");
+
+    let map = detlint::scan_source("x.rs", "use std::collections::HashMap;\n");
+    assert_eq!(map.len(), 1);
+    assert_eq!(map[0].pattern, "unordered-collection");
+
+    let float = detlint::scan_source("x.rs", "let d_us = (x as f64).round() as u64;\n");
+    assert_eq!(float.len(), 1);
+    assert_eq!(float[0].pattern, "float-us");
+}

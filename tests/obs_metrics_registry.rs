@@ -100,3 +100,34 @@ fn the_hot_serve_metrics_are_actually_in_the_tree() {
         assert!(names.contains(expected), "scan lost `{expected}`");
     }
 }
+
+#[test]
+fn the_timeline_label_literals_are_scanned_and_registered() {
+    // The windowed-telemetry counters live only in `timeline.rs` as
+    // `labeled(...)` literals; pin them file-by-file so a rename there
+    // can't silently drop them out of both the scan and the registry.
+    let timeline: std::collections::HashSet<String> = metric_literals()
+        .into_iter()
+        .filter(|(file, _, _)| file.ends_with("serve/src/timeline.rs"))
+        .map(|(_, _, name)| name)
+        .collect();
+    for expected in [
+        "serve.arrivals",
+        "serve.served",
+        "serve.missed",
+        "serve.rejected",
+        "serve.dropped",
+        "serve.degraded",
+        "serve.batches",
+        "serve.queue_delay_us",
+    ] {
+        assert!(
+            timeline.contains(expected),
+            "timeline.rs lost labeled literal `{expected}`"
+        );
+        assert!(
+            registry::is_registered(expected),
+            "`{expected}` missing from METRIC_NAMES"
+        );
+    }
+}
