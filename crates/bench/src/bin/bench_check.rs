@@ -22,7 +22,15 @@
 //!   the raw goodput figure cannot see.
 //! * **Acceptance violations** — the fresh matrix breaks the headline
 //!   invariants (degradation beats pinned; batching + sharding strictly
-//!   beats the baseline goodput at an equal-or-lower miss rate).
+//!   beats the baseline goodput at an equal-or-lower miss rate; the
+//!   closed recalibration loop recovers ≥ 5 pp of drift-leg miss rate and
+//!   strictly beats its open-loop twin on accuracy-weighted goodput).
+//! * **Recalibration regression** — the fresh `drift` leg's
+//!   `acc_goodput_mrps` falls more than
+//!   [`serve_matrix::ACC_GOODPUT_REGRESSION_PPM`] (1%) below the
+//!   committed value, the same drift budget the `batch_shard` leg gets —
+//!   so a quietly weakening control loop fails CI even while it still
+//!   clears the 5 pp acceptance floor.
 //! * **Timeline drift** — the fresh `batch_shard` timeline differs from
 //!   the committed `results/BENCH_timeline.jsonl`. Non-alert lines
 //!   (header, window rows, residual cells) are compared canonically per
@@ -209,6 +217,27 @@ fn main() -> ExitCode {
         }
         _ => failures
             .push("missing batch_shard.acc_goodput_mrps in one of the documents".to_string()),
+    }
+
+    match (
+        leg_u64(&committed, "drift", "acc_goodput_mrps"),
+        leg_u64(&fresh, "drift", "acc_goodput_mrps"),
+    ) {
+        (Some(was), Some(now)) => {
+            let floor = was - was * serve_matrix::ACC_GOODPUT_REGRESSION_PPM / 1_000_000;
+            if now < floor {
+                failures.push(format!(
+                    "recalibration regression: drift {now} mrps vs committed {was} mrps \
+                     (tolerance {} ppm of committed)",
+                    serve_matrix::ACC_GOODPUT_REGRESSION_PPM
+                ));
+            } else {
+                println!(
+                    "bench_check: recalibration OK — drift {now} mrps vs committed {was} mrps"
+                );
+            }
+        }
+        _ => failures.push("missing drift.acc_goodput_mrps in one of the documents".to_string()),
     }
 
     let violations = serve_matrix::acceptance_violations(&legs);

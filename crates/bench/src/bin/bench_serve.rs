@@ -1,6 +1,8 @@
 //! BENCH_serve — the deadline-aware serving runtime under the paper
 //! scenario (900 µs deadline, 2000 rps, 5 s, seed 11), across the
-//! batching × sharding matrix plus the pinned `no_degrade` baseline.
+//! batching × sharding matrix, the pinned `no_degrade` baseline, and the
+//! drift pair (`drift_norecal` / `drift`) that quantifies what closing
+//! the recalibration loop recovers under a +30% thermal throttle.
 //!
 //! Prints every leg's summary and the headline comparisons (degradation
 //! must beat the pinned ladder; batching + sharding must strictly beat
@@ -70,6 +72,25 @@ fn main() {
         batch_shard.model_reduction_ppm as f64 / 1e6,
         batch_shard.model_bytes.iter().sum::<u64>() as f64 / (1024.0 * 1024.0),
         batch_shard.baseline_model_bytes.iter().sum::<u64>() as f64 / (1024.0 * 1024.0),
+    );
+    let open = &legs
+        .iter()
+        .find(|l| l.key == "drift_norecal")
+        .expect("matrix has an open-loop drift leg")
+        .summary;
+    let closed = &legs
+        .iter()
+        .find(|l| l.key == "drift")
+        .expect("matrix has a closed-loop drift leg")
+        .summary;
+    println!(
+        "recalibration (+30% thermal drift): miss rate {:.4}% open loop -> {:.4}% \
+         closed loop ({} swap(s)), acc-goodput {:.1} -> {:.1} rps",
+        open.miss_rate_ppm as f64 / 10_000.0,
+        closed.miss_rate_ppm as f64 / 10_000.0,
+        closed.recalibrations,
+        open.acc_goodput_mrps as f64 / 1e3,
+        closed.acc_goodput_mrps as f64 / 1e3,
     );
     println!();
     println!(

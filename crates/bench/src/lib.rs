@@ -258,7 +258,10 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
 ///
 /// Four scenario legs cross dynamic batching and multi-device sharding on
 /// the reference scenario (900 µs deadline, 2000 rps, 5 s, seed 11, two
-/// workers, faults on), plus the historical `no_degrade` pinned baseline.
+/// workers, faults on), plus the historical `no_degrade` pinned baseline
+/// and the drift pair (`drift_norecal` / `drift`): the same +30% thermal
+/// throttle with the recalibration loop open and closed, quantifying what
+/// the closed loop recovers.
 /// Every summary is integer-only hand-rolled JSON, so two runs of the same
 /// code byte-match — which is exactly what lets the CI gate hard-fail on
 /// determinism drift by string equality.
@@ -296,6 +299,11 @@ pub mod serve_matrix {
     /// The leg whose timeline ships as `BENCH_timeline.jsonl` — the
     /// batched two-shard run, the richest telemetry the matrix produces.
     pub const TIMELINE_LEG: &str = "batch_shard";
+
+    /// Minimum miss-rate reduction the closed recalibration loop must
+    /// deliver on the drift leg versus its open-loop twin: five
+    /// percentage points, in ppm of total requests.
+    pub const RECALIB_MISS_REDUCTION_PPM: u64 = 50_000;
 
     /// Per-`OBS0xx`-code tolerance of the CI timeline gate: the alert
     /// counts of a fresh run may differ from the committed file by this
@@ -475,6 +483,35 @@ pub mod serve_matrix {
                  baseline, got {} ppm",
                 MODEL_REDUCTION_MIN_PPM / 1_000_000,
                 batch_shard.model_reduction_ppm
+            ));
+        }
+        // The drift pair: closing the recalibration loop on the thermal
+        // scenario must recover at least five percentage points of miss
+        // rate and strictly raise accuracy-weighted goodput over the
+        // open-loop twin — and it must actually have swapped a ladder.
+        let open = get("drift_norecal");
+        let closed = get("drift");
+        if closed.miss_rate_ppm + RECALIB_MISS_REDUCTION_PPM > open.miss_rate_ppm {
+            violations.push(format!(
+                "recalibration must cut the drift-leg miss rate by ≥ {} ppm: \
+                 closed {} ppm vs open {} ppm",
+                RECALIB_MISS_REDUCTION_PPM, closed.miss_rate_ppm, open.miss_rate_ppm
+            ));
+        }
+        if closed.acc_goodput_mrps <= open.acc_goodput_mrps {
+            violations.push(format!(
+                "recalibration must strictly raise drift-leg accuracy-weighted \
+                 goodput: {} mrps vs {} mrps",
+                closed.acc_goodput_mrps, open.acc_goodput_mrps
+            ));
+        }
+        if closed.recalibrations == 0 {
+            violations.push("the drift leg must record at least one recalibration".into());
+        }
+        if open.recalibrations != 0 {
+            violations.push(format!(
+                "the open-loop drift leg must never recalibrate, got {}",
+                open.recalibrations
             ));
         }
         violations

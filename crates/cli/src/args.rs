@@ -20,6 +20,8 @@ usage:
                    [--batch-max N] [--batch-slack-us N] [--shards N]
                    [--devices a,b,...] [--timeline-out <path>]
                    [--timeline-window-us N] [--exit-table full|N]
+                   [--thermal-ppm N] [--recalibrate]
+                   [--recalib-drift-ppm N] [--recalib-cooldown-us N]
   netcut-cli lint <network|all|serve|det|file.json> [--json]
 
 global options (any command):
@@ -54,7 +56,16 @@ adaptive table; summaries are bit-identical for any `--jobs` value; `--timeline-
 windowed telemetry timeline (per-shard disposition counts, residual
 EWMAs, burn rates, OBS0xx alerts per `--timeline-window-us` window of
 virtual time): `.jsonl` -> schema-v1 JSON-lines, any other extension ->
-Chrome trace_event JSON on the virtual-time clock
+Chrome trace_event JSON on the virtual-time clock; `--thermal-ppm N`
+injects a deterministic thermal-throttle window (25%-85% of the run,
+every shard) scaling observed service time by N/1e6 — the drift
+scenario; `--recalibrate` closes the control loop: when a shard's predicted-vs-observed residual
+drifts past `--recalib-drift-ppm` (default 150000), the estimator is
+refit on the recent observed window, the Pareto front re-derived from
+the primed evaluation caches, and a generation-tagged exit table
+hot-swapped in (at most once per `--recalib-cooldown-us`, default
+500000, per shard); in-flight requests finish on the generation they
+were admitted under, and each swap is an OBS005 alert in the timeline
 
 lint: analyzes a zoo network (or `all`, or an exported network JSON file)
 plus every blockwise TRN of it, raw and with the transfer head attached;
@@ -149,6 +160,10 @@ pub enum Command {
         timeline_out: Option<String>,
         timeline_window_us: u64,
         exit_pin: Option<usize>,
+        thermal_ppm: u64,
+        recalibrate: bool,
+        recalib_drift_ppm: u64,
+        recalib_cooldown_us: u64,
     },
     /// Run the `netcut-verify` static analyzer over a network (or the
     /// whole zoo) and every blockwise TRN of it.
@@ -229,6 +244,10 @@ const KNOWN_FLAGS: &[&str] = &[
     "--timeline-out",
     "--timeline-window-us",
     "--exit-table",
+    "--thermal-ppm",
+    "--recalibrate",
+    "--recalib-drift-ppm",
+    "--recalib-cooldown-us",
 ];
 
 /// Parses the subcommand and its own arguments (global flags removed).
@@ -276,6 +295,9 @@ fn parse_command(argv: &[&str]) -> Result<Command, String> {
                         | "--timeline-out"
                         | "--timeline-window-us"
                         | "--exit-table"
+                        | "--thermal-ppm"
+                        | "--recalib-drift-ppm"
+                        | "--recalib-cooldown-us"
                 ) && i + 1 < rest.len()
                 {
                     skip = true;
@@ -438,6 +460,23 @@ fn parse_command(argv: &[&str]) -> Result<Command, String> {
             if timeline_window_us == 0 {
                 return Err("--timeline-window-us must be positive".to_string());
             }
+            let thermal_ppm: u64 = num(flag_value("--thermal-ppm"), "--thermal-ppm", 0)?;
+            let recalib_drift_ppm: u64 = num(
+                flag_value("--recalib-drift-ppm"),
+                "--recalib-drift-ppm",
+                150_000,
+            )?;
+            if recalib_drift_ppm == 0 {
+                return Err("--recalib-drift-ppm must be positive".to_string());
+            }
+            let recalib_cooldown_us: u64 = num(
+                flag_value("--recalib-cooldown-us"),
+                "--recalib-cooldown-us",
+                500_000,
+            )?;
+            if recalib_cooldown_us == 0 {
+                return Err("--recalib-cooldown-us must be positive".to_string());
+            }
             Ok(Command::Serve {
                 deadline_us: num(flag_value("--deadline-us"), "--deadline-us", 900)?,
                 rps: num(flag_value("--rps"), "--rps", 2000)?,
@@ -455,6 +494,10 @@ fn parse_command(argv: &[&str]) -> Result<Command, String> {
                 timeline_out: flag_value("--timeline-out").map(ToString::to_string),
                 timeline_window_us,
                 exit_pin,
+                thermal_ppm,
+                recalibrate: has_flag("--recalibrate"),
+                recalib_drift_ppm,
+                recalib_cooldown_us,
             })
         }
         "lint" => Ok(Command::Lint {
@@ -610,6 +653,10 @@ mod tests {
                 timeline_out: None,
                 timeline_window_us: 100_000,
                 exit_pin: None,
+                thermal_ppm: 0,
+                recalibrate: false,
+                recalib_drift_ppm: 150_000,
+                recalib_cooldown_us: 500_000,
             }
         );
     }
@@ -648,6 +695,13 @@ mod tests {
                 "50000",
                 "--exit-table",
                 "3",
+                "--thermal-ppm",
+                "1300000",
+                "--recalibrate",
+                "--recalib-drift-ppm",
+                "200000",
+                "--recalib-cooldown-us",
+                "250000",
             ]),
             Command::Serve {
                 deadline_us: 1200,
@@ -666,6 +720,10 @@ mod tests {
                 timeline_out: Some("tl.jsonl".into()),
                 timeline_window_us: 50_000,
                 exit_pin: Some(3),
+                thermal_ppm: 1_300_000,
+                recalibrate: true,
+                recalib_drift_ppm: 200_000,
+                recalib_cooldown_us: 250_000,
             }
         );
     }
@@ -682,6 +740,8 @@ mod tests {
         assert!(parse(&argv(&["serve", "--timeline-window-us", "0"])).is_err());
         assert!(parse(&argv(&["serve", "--exit-table"])).is_err());
         assert!(parse(&argv(&["serve", "--exit-table", "deep"])).is_err());
+        assert!(parse(&argv(&["serve", "--recalib-drift-ppm", "0"])).is_err());
+        assert!(parse(&argv(&["serve", "--recalib-cooldown-us", "0"])).is_err());
     }
 
     #[test]

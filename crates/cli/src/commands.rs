@@ -279,6 +279,10 @@ pub fn run(cmd: Command, strict: bool) -> Result<(), String> {
             timeline_out,
             timeline_window_us,
             exit_pin,
+            thermal_ppm,
+            recalibrate,
+            recalib_drift_ppm,
+            recalib_cooldown_us,
         } => {
             if shards > workers {
                 return Err(format!(
@@ -307,6 +311,10 @@ pub fn run(cmd: Command, strict: bool) -> Result<(), String> {
                 devices,
                 timeline_window_us,
                 exit_pin,
+                thermal_ppm,
+                recalibrate,
+                recalib_drift_ppm,
+                recalib_cooldown_us,
                 ..netcut_serve::ScenarioConfig::default()
             })
             .map_err(|e| e.to_string())?;
@@ -530,6 +538,10 @@ mod tests {
                 timeline_out: None,
                 timeline_window_us: 100_000,
                 exit_pin: None,
+                thermal_ppm: 0,
+                recalibrate: false,
+                recalib_drift_ppm: 150_000,
+                recalib_cooldown_us: 500_000,
             },
             false,
         )
@@ -555,6 +567,10 @@ mod tests {
             timeline_out: None,
             timeline_window_us: 100_000,
             exit_pin: None,
+            thermal_ppm: 0,
+            recalibrate: false,
+            recalib_drift_ppm: 150_000,
+            recalib_cooldown_us: 500_000,
         };
         run(cmd, false).expect("serve --batch-max 8 --shards 2");
     }
@@ -578,6 +594,10 @@ mod tests {
             timeline_out: None,
             timeline_window_us: 100_000,
             exit_pin,
+            thermal_ppm: 0,
+            recalibrate: false,
+            recalib_drift_ppm: 150_000,
+            recalib_cooldown_us: 500_000,
         };
         run(base(Some(0)), false).expect("serve --exit-table 0");
         let err = run(base(Some(999)), false).expect_err("pin past the table must fail");
@@ -604,6 +624,10 @@ mod tests {
                 timeline_out: None,
                 timeline_window_us: 100_000,
                 exit_pin: None,
+                thermal_ppm: 0,
+                recalibrate: false,
+                recalib_drift_ppm: 150_000,
+                recalib_cooldown_us: 500_000,
             },
             false,
         )

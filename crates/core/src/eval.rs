@@ -158,6 +158,19 @@ impl Default for EvalCaches {
     }
 }
 
+impl std::fmt::Debug for EvalCaches {
+    /// Summarizes the accounting rather than dumping cached networks —
+    /// holders (e.g. a serve `Scenario`) stay debug-printable.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("EvalCaches")
+            .field("entries", &s.entries)
+            .field("hits", &s.hits)
+            .field("misses", &s.misses)
+            .finish()
+    }
+}
+
 /// Point-in-time cache statistics, embeddable in benchmark summaries.
 #[derive(Debug, Clone, Serialize)]
 pub struct EvalStats {

@@ -34,6 +34,7 @@ mod linreg;
 mod modelsel;
 mod per_family;
 mod profiler;
+mod refit;
 mod svr;
 
 pub use analytical::{AnalyticalEstimator, LinearLatencyEstimator, SourceInfo};
@@ -42,6 +43,7 @@ pub use linreg::LinearModel;
 pub use modelsel::{grid_search, k_fold_indices, random_search, GridSearchResult};
 pub use per_family::PerFamilyLinear;
 pub use profiler::ProfilerEstimator;
+pub use refit::{refit_scale_ppm, RecalibratedEstimator};
 pub use svr::{Svr, SvrParams};
 
 use netcut_graph::Network;

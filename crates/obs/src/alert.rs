@@ -32,15 +32,19 @@ pub enum AlertCode {
     ShardStarvation,
     /// `OBS004` — an injected fault window opened on a shard.
     FaultWindowEntered,
+    /// `OBS005` — the closed-loop controller recalibrated a shard's
+    /// estimator and hot-swapped its ladder to a new generation.
+    Recalibrated,
 }
 
 impl AlertCode {
     /// Every code, ascending — iteration order is the stable table order.
-    pub const ALL: [AlertCode; 4] = [
+    pub const ALL: [AlertCode; 5] = [
         AlertCode::BudgetBurn,
         AlertCode::ResidualDrift,
         AlertCode::ShardStarvation,
         AlertCode::FaultWindowEntered,
+        AlertCode::Recalibrated,
     ];
 
     /// The stable code string (`OBS001`...).
@@ -50,6 +54,7 @@ impl AlertCode {
             AlertCode::ResidualDrift => "OBS002",
             AlertCode::ShardStarvation => "OBS003",
             AlertCode::FaultWindowEntered => "OBS004",
+            AlertCode::Recalibrated => "OBS005",
         }
     }
 
@@ -60,6 +65,7 @@ impl AlertCode {
             AlertCode::ResidualDrift => "residual-drift",
             AlertCode::ShardStarvation => "shard-starvation",
             AlertCode::FaultWindowEntered => "fault-window-entered",
+            AlertCode::Recalibrated => "recalibrated",
         }
     }
 
@@ -72,6 +78,9 @@ impl AlertCode {
             }
             AlertCode::ShardStarvation => "shard received no arrivals while the fleet was loaded",
             AlertCode::FaultWindowEntered => "an injected fault window opened on this shard",
+            AlertCode::Recalibrated => {
+                "the estimator was refit and the shard's ladder hot-swapped to a new generation"
+            }
         }
     }
 
@@ -95,7 +104,8 @@ pub struct Alert {
     pub shard: usize,
     /// Code-specific magnitude, ppm: burn rate for `OBS001`, drift for
     /// `OBS002`, the fleet's window arrivals for `OBS003` (a count, not
-    /// ppm), fault magnitude for `OBS004`.
+    /// ppm), fault magnitude for `OBS004`, the new calibration factor for
+    /// `OBS005`.
     pub value_ppm: u64,
 }
 
@@ -131,6 +141,9 @@ pub struct WindowObservation {
     pub drift_samples: u64,
     /// Magnitude of a fault window opening in this window, if one did.
     pub fault_entered_ppm: Option<u64>,
+    /// New calibration factor (ppm) of a recalibration landing in this
+    /// window, if one did.
+    pub recalibrated_ppm: Option<u64>,
 }
 
 /// The SLO policy one deadline class is evaluated under.
@@ -210,6 +223,15 @@ impl SloPolicy {
                 value_ppm: magnitude,
             });
         }
+        if let Some(calib) = o.recalibrated_ppm {
+            alerts.push(Alert {
+                code: AlertCode::Recalibrated,
+                window: o.window,
+                t_us: o.start_us,
+                shard: o.shard,
+                value_ppm: calib,
+            });
+        }
         alerts
     }
 }
@@ -229,6 +251,7 @@ mod tests {
             max_drift_ppm: 0,
             drift_samples: 50,
             fault_entered_ppm: None,
+            recalibrated_ppm: None,
         }
     }
 
@@ -306,13 +329,24 @@ mod tests {
     }
 
     #[test]
+    fn recalibration_reports_the_new_factor() {
+        let mut o = quiet(7, 1);
+        o.recalibrated_ppm = Some(1_300_000);
+        let alerts = SloPolicy::default().evaluate(&o);
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].code, AlertCode::Recalibrated);
+        assert_eq!(alerts[0].value_ppm, 1_300_000);
+    }
+
+    #[test]
     fn multiple_alerts_come_out_in_table_order() {
         let mut o = quiet(6, 0);
         o.bad = 50;
         o.max_drift_ppm = 300_000;
         o.fault_entered_ppm = Some(PPM);
+        o.recalibrated_ppm = Some(1_200_000);
         let alerts = SloPolicy::default().evaluate(&o);
         let codes: Vec<&str> = alerts.iter().map(|a| a.code.code()).collect();
-        assert_eq!(codes, vec!["OBS001", "OBS002", "OBS004"]);
+        assert_eq!(codes, vec!["OBS001", "OBS002", "OBS004", "OBS005"]);
     }
 }

@@ -26,6 +26,9 @@ pub const METRIC_NAMES: &[&str] = &[
     "explore.train_hours",
     "netcut.residual_ms",
     "netcut.steps",
+    "recalib.scale_ppm",
+    "recalib.swaps",
+    "recalib.triggers",
     "serve.arrivals",
     "serve.batch_size",
     "serve.batches",

@@ -25,6 +25,11 @@ pub const PPM: u64 = 1_000_000;
 /// within a dozen samples.
 pub const DEFAULT_ALPHA_PPM: u64 = 125_000;
 
+/// Default capacity of the per-shard recent-sample window the refit API
+/// reads: large enough for a robust median, small enough that stale
+/// pre-drift samples age out within a telemetry window or two.
+pub const DEFAULT_WINDOW: usize = 64;
+
 /// One (shard, rung) residual cell: the running EWMA and sample count.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ResidualCell {
@@ -75,10 +80,16 @@ pub struct ResidualTracker {
     alpha_ppm: u64,
     cells: Vec<Vec<ResidualCell>>,
     blended: Vec<ResidualCell>,
+    /// Per-shard bounded window of the most recent raw samples (ppm),
+    /// oldest first — the refit API's evidence. FIFO eviction at
+    /// `window_cap`.
+    recent: Vec<Vec<u64>>,
+    window_cap: usize,
 }
 
 impl ResidualTracker {
-    /// Builds a tracker for shards with the given ladder lengths.
+    /// Builds a tracker for shards with the given ladder lengths, keeping
+    /// the default [`DEFAULT_WINDOW`] recent samples per shard.
     ///
     /// # Panics
     /// Panics if `alpha_ppm` is zero or exceeds [`PPM`].
@@ -94,7 +105,19 @@ impl ResidualTracker {
                 .map(|&len| vec![ResidualCell::default(); len])
                 .collect(),
             blended: vec![ResidualCell::default(); ladder_lens.len()],
+            recent: vec![Vec::new(); ladder_lens.len()],
+            window_cap: DEFAULT_WINDOW,
         }
+    }
+
+    /// Same tracker with a recent-sample window of `capacity` per shard.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn with_window(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        self.window_cap = capacity;
+        self
     }
 
     /// Records one prediction/observation pair and returns the sample in
@@ -114,7 +137,43 @@ impl ResidualTracker {
             (u128::from(observed_us) * u128::from(PPM) / u128::from(predicted_us.max(1))) as u64;
         self.cells[shard][rung].observe(sample_ppm, self.alpha_ppm);
         self.blended[shard].observe(sample_ppm, self.alpha_ppm);
+        let window = &mut self.recent[shard];
+        if window.len() == self.window_cap {
+            window.remove(0);
+        }
+        window.push(sample_ppm);
         sample_ppm
+    }
+
+    /// The shard's bounded window of recent raw samples (ppm), oldest
+    /// first — at most the window capacity, FIFO-evicted. This is the
+    /// refit API's input: the EWMA says *whether* to recalibrate, the
+    /// window says *by how much*.
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range.
+    pub fn recent_samples(&self, shard: usize) -> &[u64] {
+        &self.recent[shard]
+    }
+
+    /// Capacity of the per-shard recent-sample window.
+    pub fn window_capacity(&self) -> usize {
+        self.window_cap
+    }
+
+    /// Forgets everything tracked for `shard` — EWMA cells, blended cell,
+    /// and the recent-sample window. Called after a recalibration swap so
+    /// pre-swap drift (measured against the old calibration) cannot
+    /// re-trigger against the new one.
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range.
+    pub fn reset_shard(&mut self, shard: usize) {
+        for cell in &mut self.cells[shard] {
+            *cell = ResidualCell::default();
+        }
+        self.blended[shard] = ResidualCell::default();
+        self.recent[shard].clear();
     }
 
     /// The (shard, rung) cell.
@@ -231,5 +290,38 @@ mod tests {
     #[should_panic(expected = "alpha")]
     fn zero_alpha_is_rejected() {
         let _ = ResidualTracker::new(&[1], 0);
+    }
+
+    #[test]
+    fn recent_window_is_bounded_fifo_oldest_first() {
+        let mut t = ResidualTracker::new(&[2, 2], DEFAULT_ALPHA_PPM).with_window(3);
+        assert_eq!(t.window_capacity(), 3);
+        assert!(t.recent_samples(0).is_empty());
+        for (i, obs) in [110, 120, 130].into_iter().enumerate() {
+            t.observe(0, 0, 100, obs);
+            assert_eq!(t.recent_samples(0).len(), i + 1);
+        }
+        // Full at capacity, oldest first.
+        assert_eq!(t.recent_samples(0), &[1_100_000, 1_200_000, 1_300_000]);
+        // A fourth sample evicts exactly the oldest (FIFO, not LIFO).
+        t.observe(0, 1, 100, 140);
+        assert_eq!(t.recent_samples(0), &[1_200_000, 1_300_000, 1_400_000]);
+        // Windows are per shard: shard 1 is untouched.
+        assert!(t.recent_samples(1).is_empty());
+    }
+
+    #[test]
+    fn reset_shard_forgets_cells_blend_and_window() {
+        let mut t = ResidualTracker::new(&[2, 2], DEFAULT_ALPHA_PPM).with_window(4);
+        t.observe(0, 0, 100, 150);
+        t.observe(1, 0, 100, 150);
+        t.reset_shard(0);
+        assert_eq!(t.cell(0, 0).ewma_ppm(), PPM);
+        assert_eq!(t.shard_samples(0), 0);
+        assert_eq!(t.max_drift_ppm(0), 0);
+        assert!(t.recent_samples(0).is_empty());
+        // Only the named shard is reset.
+        assert_eq!(t.shard_samples(1), 1);
+        assert_eq!(t.recent_samples(1), &[1_500_000]);
     }
 }

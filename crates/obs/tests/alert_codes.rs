@@ -15,6 +15,7 @@ const EXPECTED: &[(&str, &str)] = &[
     ("OBS002", "residual-drift"),
     ("OBS003", "shard-starvation"),
     ("OBS004", "fault-window-entered"),
+    ("OBS005", "recalibrated"),
 ];
 
 #[test]

@@ -21,6 +21,11 @@
 //! formation is **monotone in the slack budget** (more slack never shrinks
 //! a batch), and `batch_max == 1` degenerates to the unbatched path
 //! bit-for-bit.
+//!
+//! Admission compares the ladder's **calibrated** batch predictions
+//! ([`TrnLadder::predicted_batch_latency_us`]) — identical to the
+//! physical curve at the default identity calibration, and reflecting
+//! the closed-loop controller's corrections after a hot-swap.
 
 use crate::ladder::TrnLadder;
 
@@ -70,8 +75,8 @@ impl Batcher {
         }
         let slack = tightest_abs_us.saturating_sub(start_us);
         let fits = |r: usize| {
-            let batched = ladder.batch_latency_us(r, size);
-            batched <= slack && batched - ladder.batch_latency_us(r, 1) <= self.slack_us
+            let batched = ladder.predicted_batch_latency_us(r, size);
+            batched <= slack && batched - ladder.predicted_batch_latency_us(r, 1) <= self.slack_us
         };
         if degrade {
             (0..ladder.len()).rev().find(|&r| fits(r))
@@ -97,8 +102,8 @@ impl Batcher {
         }
         let slack = tightest_abs_us.saturating_sub(start_us);
         let pin = pin.min(ladder.top());
-        let batched = ladder.batch_latency_us(pin, size);
-        (batched <= slack && batched - ladder.batch_latency_us(pin, 1) <= self.slack_us)
+        let batched = ladder.predicted_batch_latency_us(pin, size);
+        (batched <= slack && batched - ladder.predicted_batch_latency_us(pin, 1) <= self.slack_us)
             .then_some(pin)
     }
 
@@ -240,6 +245,20 @@ mod tests {
         // A pin past the table clamps to the top exit.
         assert_eq!(b.admit_pinned(&ladder(), 0, 900, 2, 99), Some(3));
         assert_eq!(b.admit_pinned(&ladder(), 0, 900, 5, 0), None, "batch_max");
+    }
+
+    #[test]
+    fn admit_compares_calibrated_predictions() {
+        let b = batcher();
+        // Uncalibrated, slack 900, batch 2: the top rung fits (900 µs).
+        assert_eq!(b.admit(&ladder(), 0, 900, 2, true), Some(3));
+        // At a 1.5× calibration the top rung predicts 1350 µs and rung 2
+        // predicts 1080 µs — neither fits 900; rung 1 predicts 562 µs
+        // with 112 µs predicted overhead, inside the 400 µs budget.
+        let hot = ladder().with_calibration(1_500_000);
+        assert_eq!(b.admit(&hot, 0, 900, 2, true), Some(1));
+        assert_eq!(b.admit_pinned(&hot, 0, 900, 2, 3), None);
+        assert_eq!(b.admit_pinned(&hot, 0, 900, 2, 1), Some(1));
     }
 
     #[test]

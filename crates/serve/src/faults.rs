@@ -47,6 +47,22 @@ impl FaultWindow {
     fn contains(&self, t_us: u64) -> bool {
         (self.start_us..self.end_us).contains(&t_us)
     }
+
+    /// A sustained thermal-throttle window: the device sheds clocks and
+    /// every service time scales by `thermal_ppm` over the middle of the
+    /// run — exactly 25% to 85% of `duration_us`, *no* seed wiggle, so
+    /// drift scenarios hit their virtual-time watermarks at identical
+    /// instants across seeds (the recalibration soak test compares the
+    /// pre-drift and post-swap windows and needs both placed
+    /// predictably).
+    pub fn thermal(duration_us: u64, thermal_ppm: u64) -> Self {
+        FaultWindow {
+            kind: FaultKind::Jitter,
+            start_us: duration_us / 100 * 25,
+            end_us: duration_us / 100 * 85,
+            magnitude: thermal_ppm,
+        }
+    }
 }
 
 /// A schedule of fault windows plus the seed for per-request drop
@@ -135,6 +151,17 @@ impl FaultPlan {
             .map(|(_, w)| w)
             .collect();
         plan
+    }
+
+    /// Appends a thermal-throttle window ([`FaultWindow::thermal`]) to
+    /// this plan. Thermal drift is an *ambient* condition — heat soaks
+    /// the whole box — so unlike the demo schedule it is not partitioned
+    /// across shards; every shard's plan gets the window.
+    #[must_use]
+    pub fn with_thermal(mut self, duration_us: u64, thermal_ppm: u64) -> Self {
+        self.windows
+            .push(FaultWindow::thermal(duration_us, thermal_ppm));
+        self
     }
 
     /// Combined service-time factor at `t_us`, parts per million.
@@ -240,6 +267,23 @@ mod tests {
         // A one-shard fleet sees the unpartitioned schedule.
         let solo = FaultPlan::seeded_demo_shard(11, 5_000_000, &device(), 0, 1);
         assert_eq!(solo.windows.len(), global.windows.len());
+    }
+
+    #[test]
+    fn thermal_window_is_exact_and_seed_free() {
+        let w = FaultWindow::thermal(5_000_000, 1_300_000);
+        assert_eq!(w.kind, FaultKind::Jitter);
+        assert_eq!(w.start_us, 1_250_000);
+        assert_eq!(w.end_us, 4_250_000);
+        assert_eq!(w.magnitude, 1_300_000);
+        // Appended on top of an empty plan it is the only active fault,
+        // and it multiplies service time by exactly its magnitude.
+        let p = FaultPlan::none().with_thermal(5_000_000, 1_300_000);
+        assert_eq!(p.service_factor_ppm(1_249_999), PPM);
+        assert_eq!(p.service_factor_ppm(1_250_000), 1_300_000);
+        assert_eq!(p.service_factor_ppm(4_249_999), 1_300_000);
+        assert_eq!(p.service_factor_ppm(4_250_000), PPM);
+        assert_eq!(p.quiet_after_us(), 4_250_000);
     }
 
     #[test]

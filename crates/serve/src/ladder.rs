@@ -112,6 +112,15 @@ pub struct TrnLadder {
     /// Resident-memory accounting of the exit table vs the per-rung
     /// baseline (`None` for synthetic test ladders).
     memory: Option<LadderMemory>,
+    /// Estimator calibration, ppm: every *predicted* latency this ladder
+    /// reports (selection, admission, batching) is the rung's physical
+    /// latency scaled by this factor. [`PPM`] — the constructor default —
+    /// is an exact integer identity, so uncalibrated ladders predict the
+    /// raw table bit-for-bit. The closed-loop recalibrator installs
+    /// corrected factors via [`Self::with_calibration`]; physical service
+    /// times always come from the raw `latency_us`, so calibration changes
+    /// *policy*, never physics.
+    calib_ppm: u64,
 }
 
 /// The exit table *is* the ladder: every rung is one exit head of the
@@ -159,6 +168,7 @@ impl TrnLadder {
             rungs,
             batch_curves: Vec::new(),
             memory: None,
+            calib_ppm: PPM,
         })
     }
 
@@ -182,6 +192,7 @@ impl TrnLadder {
             rungs,
             batch_curves: Vec::new(),
             memory: None,
+            calib_ppm: PPM,
         }
     }
 
@@ -190,6 +201,55 @@ impl TrnLadder {
     pub fn with_memory(mut self, memory: LadderMemory) -> Self {
         self.memory = Some(memory);
         self
+    }
+
+    /// Installs an estimator calibration factor, ppm: every predicted
+    /// latency ([`Self::predicted_latency_us`],
+    /// [`Self::predicted_batch_latency_us`], and through them
+    /// [`Self::select`] and batch admission) is scaled by
+    /// `calib_ppm / PPM`. Physical latencies (`latency_us`,
+    /// [`Self::batch_latency_us`]) are untouched.
+    ///
+    /// # Panics
+    /// Panics if `calib_ppm` is zero — a ladder that predicts 0 µs for
+    /// every rung would defeat admission control entirely.
+    #[must_use]
+    pub fn with_calibration(mut self, calib_ppm: u64) -> Self {
+        assert!(calib_ppm > 0, "calibration factor must be positive");
+        self.calib_ppm = calib_ppm;
+        self
+    }
+
+    /// The installed calibration factor, ppm ([`PPM`] = identity).
+    pub fn calib_ppm(&self) -> u64 {
+        self.calib_ppm
+    }
+
+    /// Calibrated latency prediction for a solo dispatch on `rung`,
+    /// integer microseconds: `latency_us × calib_ppm / PPM` (truncating,
+    /// floored at 1 µs). At the identity calibration this *is*
+    /// `latency_us`, bit-for-bit.
+    ///
+    /// # Panics
+    /// Panics if `rung` is out of range.
+    pub fn predicted_latency_us(&self, rung: usize) -> u64 {
+        self.calibrate(self.rungs[rung].latency_us)
+    }
+
+    /// Calibrated latency prediction for a batch of `batch` on `rung`:
+    /// [`Self::batch_latency_us`] scaled by the calibration factor.
+    ///
+    /// # Panics
+    /// Panics if `rung` is out of range or `batch` is zero.
+    pub fn predicted_batch_latency_us(&self, rung: usize, batch: usize) -> u64 {
+        self.calibrate(self.batch_latency_us(rung, batch))
+    }
+
+    fn calibrate(&self, latency_us: u64) -> u64 {
+        if self.calib_ppm == PPM {
+            return latency_us;
+        }
+        ((u128::from(latency_us) * u128::from(self.calib_ppm)) / u128::from(PPM)).max(1) as u64
     }
 
     /// The resident-memory accounting, when one was attached.
@@ -291,18 +351,19 @@ impl TrnLadder {
     }
 
     /// Ladder-degradation policy: the largest (most accurate) rung whose
-    /// predicted latency still meets the deadline after `queue_delay_us` of
-    /// waiting; rung 0 as a best-effort fallback when nothing fits.
+    /// *calibrated* predicted latency still meets the deadline after
+    /// `queue_delay_us` of waiting; rung 0 as a best-effort fallback when
+    /// nothing fits. At the identity calibration this compares the raw
+    /// latency table, bit-identical to the pre-recalibration selector.
     ///
     /// Memoryless in the load signal, which makes two properties exact:
     /// the selected index is monotone non-increasing in `queue_delay_us`,
     /// and recovery to [`Self::top`] is immediate once queue delay drops
-    /// back below `deadline_us - latency(top)`.
+    /// back below `deadline_us - predicted(top)`.
     pub fn select(&self, queue_delay_us: u64, deadline_us: u64) -> usize {
         let slack = deadline_us.saturating_sub(queue_delay_us);
-        self.rungs
-            .iter()
-            .rposition(|r| r.latency_us <= slack)
+        (0..self.rungs.len())
+            .rposition(|r| self.predicted_latency_us(r) <= slack)
             .unwrap_or(0)
     }
 }
@@ -441,6 +502,45 @@ mod tests {
         assert_eq!(l.batch_latency_us(3, 2), 938); // 750 × 1.25 = 937.5
                                                    // Past the curve end: linear fallback.
         assert_eq!(l.batch_latency_us(1, 3), 900);
+    }
+
+    #[test]
+    fn calibration_scales_predictions_not_physics() {
+        let l = ladder().with_calibration(1_300_000);
+        assert_eq!(l.calib_ppm(), 1_300_000);
+        // Predictions scale; the physical table does not.
+        assert_eq!(l.predicted_latency_us(3), 975); // 750 × 1.3
+        assert_eq!(l.rung(3).latency_us, 750);
+        assert_eq!(l.batch_latency_us(3, 1), 750);
+        assert_eq!(l.predicted_batch_latency_us(3, 1), 975);
+        // Selection degrades against the calibrated table: at 900 µs of
+        // slack the top rung's 975 µs prediction no longer fits, rung 2
+        // (600 × 1.3 = 780) does.
+        assert_eq!(l.select(0, 900), 2);
+        // The identity calibration is bit-exact the uncalibrated ladder.
+        let id = ladder().with_calibration(PPM);
+        for r in 0..id.len() {
+            assert_eq!(id.predicted_latency_us(r), id.rung(r).latency_us);
+        }
+        assert_eq!(id.select(0, 900), ladder().select(0, 900));
+        assert_eq!(ladder().calib_ppm(), PPM, "constructors default neutral");
+    }
+
+    #[test]
+    fn select_stays_monotone_under_calibration() {
+        let l = ladder().with_calibration(1_460_000);
+        let mut last = l.top();
+        for qd in 0..2000 {
+            let r = l.select(qd, 900);
+            assert!(r <= last, "rung rose from {last} to {r} at delay {qd}");
+            last = r;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "calibration factor must be positive")]
+    fn zero_calibration_is_rejected() {
+        let _ = ladder().with_calibration(0);
     }
 
     #[test]

@@ -73,6 +73,7 @@
 pub mod batch;
 pub mod faults;
 pub mod ladder;
+pub mod recalib;
 pub mod request;
 pub mod runtime;
 pub mod scenario;
@@ -84,9 +85,12 @@ pub mod timeline;
 pub use batch::Batcher;
 pub use faults::{FaultKind, FaultPlan, FaultWindow};
 pub use ladder::{ExitTable, LadderError, LadderMemory, Rung, TrnLadder};
+pub use recalib::{CalibrateOnly, RecalibConfig, Recalibrator};
 pub use request::{service_noise_ppm, Request, RequestKind, Workload, PPM};
 pub use runtime::{RequestOutcome, Server, ServerConfig, Status};
-pub use scenario::{build_ladder, build_ladder_for, run_scenario, Scenario, ScenarioConfig};
+pub use scenario::{
+    build_ladder, build_ladder_for, run_scenario, Scenario, ScenarioConfig, ScenarioRecalibrator,
+};
 pub use shard::{Candidate, Shard, ShardRouter};
 pub use splane::{ladder_error_report, reference_matrix, serve_artifact};
 pub use summary::{RunMeta, ServeSummary, ShardMeta};

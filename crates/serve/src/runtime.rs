@@ -46,10 +46,14 @@
 use crate::batch::Batcher;
 use crate::faults::FaultPlan;
 use crate::ladder::TrnLadder;
+use crate::recalib::{RecalibConfig, Recalibrator};
 use crate::request::{Request, RequestKind, PPM};
 use crate::shard::{Candidate, Shard, ShardRouter};
 use crate::timeline::{Timeline, TimelineBuilder, TimelineConfig};
+use netcut_estimate::refit_scale_ppm;
 use netcut_obs as obs;
+use obs::ResidualTracker;
+use std::sync::Arc;
 
 /// Final disposition of one request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,6 +92,10 @@ pub struct RequestOutcome {
     /// Size of the batch the request was served in (1 = solo, 0 if never
     /// started).
     pub batch_size: usize,
+    /// Ladder generation of the request's shard at admission (0 until the
+    /// closed-loop controller hot-swaps). Requests finish on the
+    /// generation they were admitted under, even across a swap.
+    pub generation: u64,
     /// Disposition.
     pub status: Status,
 }
@@ -149,8 +157,25 @@ struct BatchRec {
     leader_noise_ppm: u64,
     /// Fault service factor sampled at dispatch.
     fault_ppm: u64,
+    /// Ladder generation the batch was admitted under.
+    generation: u64,
+    /// The admission generation's ladder — finalization prices the batch
+    /// on this, so a hot-swap never touches in-flight work.
+    ladder: Arc<TrnLadder>,
     /// Outcome indices of the members, join order.
     members: Vec<usize>,
+}
+
+/// The closed-loop controller's per-run state: its own residual window,
+/// the next watermark, batches awaiting fold, and per-shard cooldowns.
+struct Controller<'a> {
+    cfg: RecalibConfig,
+    recalibrator: &'a dyn Recalibrator,
+    tracker: ResidualTracker,
+    next_check_us: u64,
+    /// Batch indices not yet folded into the tracker.
+    pending: Vec<usize>,
+    last_swap_us: Vec<Option<u64>>,
 }
 
 /// The serving runtime: device shards and a configuration.
@@ -228,7 +253,7 @@ impl Server {
     /// # Panics
     /// Panics if `requests` is not sorted by `arrival_us`.
     pub fn run(&self, requests: &[Request]) -> Vec<RequestOutcome> {
-        self.run_impl(requests, None)
+        self.run_impl(requests, None, None)
     }
 
     /// Runs the simulation and additionally records the windowed
@@ -245,7 +270,32 @@ impl Server {
         cfg: &TimelineConfig,
     ) -> (Vec<RequestOutcome>, Timeline) {
         let mut tb = TimelineBuilder::new(*cfg, &self.shards, self.config.deadline_us);
-        let outcomes = self.run_impl(requests, Some(&mut tb));
+        let outcomes = self.run_impl(requests, Some(&mut tb), None);
+        (outcomes, tb.finish())
+    }
+
+    /// Runs the simulation with the closed-loop controller armed: at
+    /// every `recalib.watermark_us` of virtual time the controller folds
+    /// closed batches into its own residual window, and when a shard's
+    /// drift crosses `recalib.drift_ppm` (with `min_samples` accumulated
+    /// and the cooldown expired) it refits the calibration factor from
+    /// the recent-sample window, asks `recalibrator` for the corrected
+    /// ladder, and hot-swaps it under a bumped generation. Queued and
+    /// in-flight requests finish on their admission generation; the
+    /// timeline gains an OBS005 alert per swap.
+    ///
+    /// # Panics
+    /// Panics if `requests` is not sorted by `arrival_us` or `recalib`
+    /// fails [`RecalibConfig::validate`].
+    pub fn run_recalibrating(
+        &self,
+        requests: &[Request],
+        cfg: &TimelineConfig,
+        recalib: &RecalibConfig,
+        recalibrator: &dyn Recalibrator,
+    ) -> (Vec<RequestOutcome>, Timeline) {
+        let mut tb = TimelineBuilder::new(*cfg, &self.shards, self.config.deadline_us);
+        let outcomes = self.run_impl(requests, Some(&mut tb), Some((recalib, recalibrator)));
         (outcomes, tb.finish())
     }
 
@@ -253,6 +303,7 @@ impl Server {
         &self,
         requests: &[Request],
         mut tb: Option<&mut TimelineBuilder>,
+        recalib: Option<(&RecalibConfig, &dyn Recalibrator)>,
     ) -> Vec<RequestOutcome> {
         assert!(
             requests
@@ -288,10 +339,101 @@ impl Server {
         let mut open: Vec<Option<usize>> = vec![None; self.shards.len()];
         let mut batches: Vec<BatchRec> = Vec::new();
         let mut outcomes: Vec<RequestOutcome> = Vec::with_capacity(requests.len());
+        // The generation-tagged serving state: admission reads the
+        // current ladder; hot-swaps replace the Arc and bump the tag.
+        let mut ladders: Vec<Arc<TrnLadder>> = self
+            .shards
+            .iter()
+            .map(|s| Arc::new(s.ladder.clone()))
+            .collect();
+        let mut generations: Vec<u64> = vec![0; self.shards.len()];
+        let mut controller = recalib.map(|(cfg, recalibrator)| {
+            cfg.validate();
+            let lens: Vec<usize> = self.shards.iter().map(|s| s.ladder.len()).collect();
+            Controller {
+                cfg: *cfg,
+                recalibrator,
+                tracker: ResidualTracker::new(&lens, obs::DEFAULT_ALPHA_PPM)
+                    .with_window(cfg.window),
+                next_check_us: cfg.watermark_us,
+                pending: Vec::new(),
+                last_swap_us: vec![None; self.shards.len()],
+            }
+        });
 
         for req in requests {
             let now = req.arrival_us;
             let oi = outcomes.len();
+
+            // Closed-loop control, strictly at virtual-time watermarks:
+            // fold batches that can no longer grow into the controller's
+            // residual window, then trigger any due recalibrations.
+            if let Some(ctl) = controller.as_mut() {
+                while now >= ctl.next_check_us {
+                    let watermark = ctl.next_check_us;
+                    ctl.next_check_us += ctl.cfg.watermark_us;
+                    let mut due: Vec<(u64, usize)> = Vec::new();
+                    ctl.pending.retain(|&b| {
+                        if batches[b].start_us <= watermark {
+                            due.push((batches[b].start_us, b));
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    // Virtual-time order, dispatch order on ties — the
+                    // fold is a pure function of the run.
+                    due.sort_unstable();
+                    for &(_, b) in &due {
+                        let rec = &batches[b];
+                        let Some(r) = rec.rung else { continue };
+                        if r >= ctl.tracker.rungs(rec.shard) {
+                            continue;
+                        }
+                        let size = rec.members.len();
+                        let observed = scaled_service(
+                            rec.ladder.batch_latency_us(r, size),
+                            rec.leader_noise_ppm,
+                            rec.fault_ppm,
+                        );
+                        let predicted = rec.ladder.predicted_batch_latency_us(r, size);
+                        ctl.tracker.observe(rec.shard, r, predicted, observed);
+                    }
+                    for s in 0..self.shards.len() {
+                        if ctl.tracker.shard_samples(s) < ctl.cfg.min_samples
+                            || ctl.tracker.max_drift_ppm(s) < ctl.cfg.drift_ppm
+                            || ctl.last_swap_us[s]
+                                .is_some_and(|t| watermark < t + ctl.cfg.cooldown_us)
+                        {
+                            continue;
+                        }
+                        obs::counter_add("recalib.triggers", 1);
+                        let Some(scale) = refit_scale_ppm(ctl.tracker.recent_samples(s)) else {
+                            continue;
+                        };
+                        let new_calib = ((u128::from(ladders[s].calib_ppm()) * u128::from(scale))
+                            / u128::from(PPM))
+                        .max(1) as u64;
+                        let generation = generations[s] + 1;
+                        let Some(swapped) = ctl.recalibrator.recalibrate(s, generation, new_calib)
+                        else {
+                            continue;
+                        };
+                        ladders[s] = Arc::new(swapped);
+                        generations[s] = generation;
+                        ctl.last_swap_us[s] = Some(watermark);
+                        ctl.tracker.reset_shard(s);
+                        // The open batch was admitted under the old
+                        // generation: close it so no batch spans a swap.
+                        open[s] = None;
+                        obs::counter_add("recalib.swaps", 1);
+                        obs::gauge_set("recalib.scale_ppm", new_calib as i64);
+                        if let Some(tb) = tb.as_deref_mut() {
+                            tb.recalibrated(watermark, s, generation, new_calib);
+                        }
+                    }
+                }
+            }
 
             // Batches whose virtual start has passed can no longer grow.
             for slot in &mut open {
@@ -305,6 +447,7 @@ impl Server {
             let mut cands: Vec<Candidate> = Vec::with_capacity(self.shards.len() * 2);
             let mut plans: Vec<DispatchPlan> = Vec::with_capacity(self.shards.len() * 2);
             for (s, shard) in self.shards.iter().enumerate() {
+                let ladder = &ladders[s];
                 let (stall_count, stall_until) = shard.faults.stall_at(now).unwrap_or((0, 0));
                 let mut worker = 0usize;
                 let mut start = u64::MAX;
@@ -323,13 +466,11 @@ impl Server {
                     RequestKind::Emg => (None, self.config.emg_service_us),
                     RequestKind::Visual => {
                         let r = match self.config.exit_pin {
-                            Some(pin) => pin.min(shard.ladder.top()),
-                            None if self.config.degrade => {
-                                shard.ladder.select(queue_delay, deadline)
-                            }
-                            None => shard.ladder.top(),
+                            Some(pin) => pin.min(ladder.top()),
+                            None if self.config.degrade => ladder.select(queue_delay, deadline),
+                            None => ladder.top(),
                         };
-                        (Some(r), shard.ladder.rung(r).latency_us)
+                        (Some(r), ladder.rung(r).latency_us)
                     }
                 };
                 let service = scaled_service(
@@ -356,15 +497,11 @@ impl Server {
                         let size = rec.members.len() + 1;
                         let tightest = rec.tightest_abs_us.min(now + deadline);
                         let admitted = match self.config.exit_pin {
-                            Some(pin) => batcher.admit_pinned(
-                                &shard.ladder,
-                                rec.start_us,
-                                tightest,
-                                size,
-                                pin,
-                            ),
+                            Some(pin) => {
+                                batcher.admit_pinned(ladder, rec.start_us, tightest, size, pin)
+                            }
                             None => batcher.admit(
-                                &shard.ladder,
+                                ladder,
                                 rec.start_us,
                                 tightest,
                                 size,
@@ -373,7 +510,7 @@ impl Server {
                         };
                         if let Some(r) = admitted {
                             let service = scaled_service(
-                                shard.ladder.batch_latency_us(r, size),
+                                ladder.batch_latency_us(r, size),
                                 rec.leader_noise_ppm,
                                 rec.fault_ppm,
                             );
@@ -414,6 +551,7 @@ impl Server {
                     latency_us: 0,
                     shard: s,
                     batch_size: 0,
+                    generation: generations[s],
                     status: Status::Dropped,
                 });
                 continue;
@@ -441,6 +579,7 @@ impl Server {
                     latency_us: 0,
                     shard: s,
                     batch_size: 0,
+                    generation: generations[s],
                     status: Status::Rejected,
                 });
                 continue;
@@ -462,8 +601,13 @@ impl Server {
                         tightest_abs_us: now + deadline,
                         leader_noise_ppm: self.shards[s].noise_for(req),
                         fault_ppm: self.shards[s].faults.service_factor_ppm(cand.start_us),
+                        generation: generations[s],
+                        ladder: Arc::clone(&ladders[s]),
                         members: vec![oi],
                     });
+                    if let Some(ctl) = controller.as_mut() {
+                        ctl.pending.push(b);
+                    }
                     // Every dispatch supersedes the shard's open batch: the
                     // open batch must stay the last thing scheduled on its
                     // worker, or a later join would overlap its successor.
@@ -501,28 +645,39 @@ impl Server {
                 latency_us: 0,
                 shard: s,
                 batch_size: 0,
+                generation: generations[s],
                 status: Status::Served,
             });
         }
 
         // Finalization: batch sizes are settled, so finish times are too.
+        // Every batch prices on its *admission* generation's ladder —
+        // hot-swaps never touch in-flight work.
         for rec in &batches {
-            let shard = &self.shards[rec.shard];
             let size = rec.members.len();
             let base_us = match rec.rung {
-                Some(r) => shard.ladder.batch_latency_us(r, size),
+                Some(r) => rec.ladder.batch_latency_us(r, size),
                 None => self.config.emg_service_us,
             };
             let service = scaled_service(base_us, rec.leader_noise_ppm, rec.fault_ppm);
             let finish = rec.start_us + service;
             obs::observe_us("serve.batch_size", size as u64);
             if let Some(tb) = tb.as_deref_mut() {
-                // `base_us` is the ladder's prediction; `service` is what
-                // the noise- and fault-scaled device actually took.
-                tb.batch(rec.start_us, rec.shard, rec.rung, base_us, service);
+                // The calibrated prediction against what the noise- and
+                // fault-scaled device actually took: identical to the raw
+                // curve at generation 0, corrected after a hot-swap so
+                // OBS002 sees the recovery.
+                let predicted = match rec.rung {
+                    Some(r) => rec.ladder.predicted_batch_latency_us(r, size),
+                    None => base_us,
+                };
+                tb.batch(rec.start_us, rec.shard, rec.rung, predicted, service);
             }
             for &oi in &rec.members {
                 let o = &mut outcomes[oi];
+                // Open batches close at a swap, so a member's admission
+                // generation is always its batch's generation.
+                assert_eq!(o.generation, rec.generation, "batch spans a hot-swap");
                 o.queue_delay_us = rec.start_us - o.arrival_us;
                 o.rung = rec.rung;
                 o.service_us = service;
@@ -538,7 +693,7 @@ impl Server {
                     Status::Missed => obs::counter_add("serve.missed", 1),
                     Status::Rejected | Status::Dropped => unreachable!(),
                 }
-                let degraded = rec.rung.is_some_and(|r| r < shard.ladder.top());
+                let degraded = rec.rung.is_some_and(|r| r < rec.ladder.top());
                 if degraded {
                     obs::counter_add("serve.degraded", 1);
                 }
@@ -1000,5 +1155,95 @@ mod tests {
         }
         assert_eq!(out[4].batch_size, 1, "join would bust the leader");
         assert_eq!(out[4].status, Status::Missed); // solo behind the batch
+    }
+
+    #[test]
+    fn recalibration_recovers_the_miss_rate() {
+        use crate::recalib::CalibrateOnly;
+        // Every observation runs +50% over prediction: uncalibrated, the
+        // top rung (750 µs predicted, 1125 µs actual) systematically
+        // busts the 900 µs deadline.
+        let reqs: Vec<Request> = (0..30)
+            .map(|i| {
+                let mut r = visual(i, i * 2_000);
+                r.noise_ppm = 1_500_000;
+                r
+            })
+            .collect();
+        let server = Server::new(test_ladder(), config(), FaultPlan::none());
+        let rc = RecalibConfig {
+            drift_ppm: 200_000,
+            cooldown_us: 1_000_000,
+            watermark_us: 10_000,
+            min_samples: 4,
+            window: 16,
+        };
+        let (out, tl) = server.run_recalibrating(
+            &reqs,
+            &TimelineConfig::default(),
+            &rc,
+            &CalibrateOnly::new(vec![test_ladder()]),
+        );
+        // Before the first watermark: generation 0, top rung, every one a
+        // miss. From the 10 ms watermark on: the refit (median ratio
+        // 1.5e6 ppm) hot-swaps a 1.5× calibrated ladder, selection drops
+        // to the rung whose *calibrated* prediction fits (600 × 1.5 =
+        // 900), and every request is served on generation 1.
+        for o in &out[..5] {
+            assert_eq!(
+                (o.status, o.rung, o.generation),
+                (Status::Missed, Some(3), 0)
+            );
+        }
+        for o in &out[5..] {
+            assert_eq!(
+                (o.status, o.rung, o.generation),
+                (Status::Served, Some(2), 1)
+            );
+        }
+        let obs005: Vec<_> = tl
+            .alerts
+            .iter()
+            .filter(|a| a.code == obs::alert::AlertCode::Recalibrated)
+            .collect();
+        assert_eq!(obs005.len(), 1, "one decisive swap, then the loop is calm");
+        assert_eq!(obs005[0].t_us, 10_000, "anchored at the watermark");
+        assert_eq!(obs005[0].value_ppm, 1_500_000);
+        assert_eq!(tl.alert_counts()[4], 1);
+    }
+
+    #[test]
+    fn quiet_controller_leaves_the_run_bit_identical() {
+        use crate::recalib::CalibrateOnly;
+        let reqs = Workload {
+            rps: 2000,
+            duration_us: 200_000,
+            emg_share_ppm: 100_000,
+            seed: 7,
+        }
+        .generate();
+        let server = Server::new(
+            test_ladder(),
+            ServerConfig {
+                workers: 2,
+                ..config()
+            },
+            FaultPlan::seeded_demo(7, 200_000, &netcut_sim::DeviceModel::jetson_xavier()),
+        );
+        // A trigger threshold no drift can reach: the armed-but-idle
+        // controller must not perturb a single byte of the run.
+        let rc = RecalibConfig {
+            drift_ppm: u64::MAX,
+            ..RecalibConfig::default()
+        };
+        let (out, tl) = server.run_recalibrating(
+            &reqs,
+            &TimelineConfig::default(),
+            &rc,
+            &CalibrateOnly::new(vec![test_ladder()]),
+        );
+        let (base_out, base_tl) = server.run_with_timeline(&reqs, &TimelineConfig::default());
+        assert_eq!(out, base_out);
+        assert_eq!(tl.to_jsonl(), base_tl.to_jsonl());
     }
 }

@@ -20,17 +20,19 @@
 
 use crate::faults::FaultPlan;
 use crate::ladder::{LadderError, LadderMemory, TrnLadder};
+use crate::recalib::{RecalibConfig, Recalibrator};
 use crate::request::{service_noise_ppm, Workload};
 use crate::runtime::{RequestOutcome, Server, ServerConfig};
 use crate::shard::Shard;
 use crate::summary::{RunMeta, ServeSummary};
 use crate::timeline::{Timeline, TimelineConfig};
-use netcut::eval::EvalContext;
-use netcut::explore::exhaustive_blockwise_with;
+use netcut::eval::{EvalCaches, EvalContext};
+use netcut::explore::{exhaustive_blockwise_with, reexplore_with};
 use netcut_graph::{zoo, HeadSpec};
 use netcut_obs as obs;
 use netcut_sim::{batch_scale_ppm, DeviceModel, Precision, Session};
 use netcut_train::SurrogateRetrainer;
+use std::sync::Arc;
 
 /// Salt mixed into per-shard seeds (shard 0 stays unsalted so single-shard
 /// runs reproduce pre-sharding behavior bit-for-bit).
@@ -70,6 +72,20 @@ pub struct ScenarioConfig {
     /// `Some(k)` pins every visual request to exit `k` of the table
     /// (`--exit-table N`); `None` serves the full adaptive exit table.
     pub exit_pin: Option<usize>,
+    /// Thermal-throttle drift magnitude, ppm service-time factor over the
+    /// middle 25%–85% of the run ([`crate::faults::FaultWindow::thermal`]);
+    /// `0` injects no thermal window.
+    pub thermal_ppm: u64,
+    /// `true` closes the loop (`--recalibrate`): residual drift past
+    /// `recalib_drift_ppm` refits the estimator, re-explores through the
+    /// primed caches, and hot-swaps a corrected exit table.
+    pub recalibrate: bool,
+    /// Residual drift that arms a recalibration, ppm
+    /// (`--recalib-drift-ppm`).
+    pub recalib_drift_ppm: u64,
+    /// Minimum virtual time between hot-swaps of one shard, microseconds
+    /// (`--recalib-cooldown-us`).
+    pub recalib_cooldown_us: u64,
 }
 
 impl Default for ScenarioConfig {
@@ -95,6 +111,10 @@ impl Default for ScenarioConfig {
             devices: vec![DeviceModel::jetson_xavier(), DeviceModel::jetson_nano()],
             timeline_window_us: TimelineConfig::default().window_us,
             exit_pin: None,
+            thermal_ppm: 0,
+            recalibrate: false,
+            recalib_drift_ppm: RecalibConfig::default().drift_ppm,
+            recalib_cooldown_us: RecalibConfig::default().cooldown_us,
         }
     }
 }
@@ -110,6 +130,9 @@ pub struct Scenario {
     /// The runtime configuration.
     pub server_config: ServerConfig,
     config: ScenarioConfig,
+    /// The evaluation caches the exit tables were built through, kept so
+    /// a mid-run recalibration re-explores on pure memo hits.
+    caches: Arc<EvalCaches>,
 }
 
 /// The network family the serve scenario explores: MobileNetV2 ×1.0 gives
@@ -168,9 +191,31 @@ pub fn build_ladder_for(
     let session = Session::new(device.clone(), Precision::Int8);
     let retrainer = SurrogateRetrainer::paper();
     let ctx = EvalContext::new(&session, &retrainer).with_jobs(cfg.jobs);
+    build_ladder_in(cfg, device, &ctx)
+}
+
+/// [`build_ladder_for`] through an existing context — the scenario build
+/// and the recalibrator both come through here, so a recalibration's
+/// re-exploration hits the caches the build primed.
+fn build_ladder_in(
+    cfg: &ScenarioConfig,
+    device: &DeviceModel,
+    ctx: &EvalContext<'_, SurrogateRetrainer>,
+) -> Result<TrnLadder, LadderError> {
     let exploration =
-        exhaustive_blockwise_with(&ctx, &scenario_networks(), &HeadSpec::default(), cfg.seed);
-    let ladder = TrnLadder::from_points(&exploration.points)?;
+        exhaustive_blockwise_with(ctx, &scenario_networks(), &HeadSpec::default(), cfg.seed);
+    finish_ladder(cfg, device, ctx, &exploration.points)
+}
+
+/// Pareto points → deployable exit table: memory accounting attached,
+/// batch curves when batching is on.
+fn finish_ladder(
+    cfg: &ScenarioConfig,
+    device: &DeviceModel,
+    ctx: &EvalContext<'_, SurrogateRetrainer>,
+    points: &[netcut::CandidatePoint],
+) -> Result<TrnLadder, LadderError> {
+    let ladder = TrnLadder::from_points(points)?;
     let memory = exit_table_memory(&ladder, cfg.batch_max);
     let ladder = ladder.with_memory(memory);
     if cfg.batch_max <= 1 {
@@ -251,14 +296,23 @@ impl Scenario {
         span.field("batch_max", cfg.batch_max);
 
         // One ladder per *unique* device on the roster (building a ladder
-        // means a full exploration — don't repeat it per shard).
+        // means a full exploration — don't repeat it per shard). All
+        // builds share one cache set, which the scenario keeps: a mid-run
+        // recalibration re-explores against these primed caches, so the
+        // corrected front costs memo lookups, not fresh sweeps.
         let roster: Vec<&DeviceModel> = (0..cfg.shards)
             .map(|i| &cfg.devices[i % cfg.devices.len()])
             .collect();
+        let caches = Arc::new(EvalCaches::new());
         let mut ladders: Vec<(String, TrnLadder)> = Vec::new();
         for device in &roster {
             if !ladders.iter().any(|(name, _)| *name == device.name) {
-                ladders.push((device.name.clone(), build_ladder_for(&cfg, device)?));
+                let session = Session::new((*device).clone(), Precision::Int8);
+                let retrainer = SurrogateRetrainer::paper();
+                let ctx = EvalContext::new(&session, &retrainer)
+                    .with_jobs(cfg.jobs)
+                    .with_shared_caches(caches.clone());
+                ladders.push((device.name.clone(), build_ladder_in(&cfg, device, &ctx)?));
             }
         }
         if let Some(pin) = cfg.exit_pin {
@@ -321,13 +375,29 @@ impl Scenario {
                     name: device.name.clone(),
                     ladder: ladder_for(&device.name).clone(),
                     workers: worker_split[i],
-                    faults: if cfg.faults {
-                        // The *global* fault timeline partitioned across the
-                        // fleet: a sharded run faces the same environment as
-                        // the single-shard baseline, not `shards` copies.
-                        FaultPlan::seeded_demo_shard(seed, cfg.duration_us, device, i, cfg.shards)
-                    } else {
-                        FaultPlan::none()
+                    faults: {
+                        let plan = if cfg.faults {
+                            // The *global* fault timeline partitioned across
+                            // the fleet: a sharded run faces the same
+                            // environment as the single-shard baseline, not
+                            // `shards` copies.
+                            FaultPlan::seeded_demo_shard(
+                                seed,
+                                cfg.duration_us,
+                                device,
+                                i,
+                                cfg.shards,
+                            )
+                        } else {
+                            FaultPlan::none()
+                        };
+                        if cfg.thermal_ppm > 0 {
+                            // Ambient heat soaks the whole box: every shard
+                            // gets the window, unpartitioned.
+                            plan.with_thermal(cfg.duration_us, cfg.thermal_ppm)
+                        } else {
+                            plan
+                        }
                     },
                     noise_ppm,
                 });
@@ -349,6 +419,7 @@ impl Scenario {
             requests,
             server_config,
             config: cfg,
+            caches,
         })
     }
 
@@ -380,22 +451,90 @@ impl Scenario {
         }
     }
 
+    /// The recalibration thresholds this scenario's control loop runs
+    /// under (watermark cadence and refit-window sizing stay at the
+    /// [`RecalibConfig`] defaults; only the CLI-exposed knobs vary).
+    pub fn recalib_config(&self) -> RecalibConfig {
+        RecalibConfig {
+            drift_ppm: self.config.recalib_drift_ppm,
+            cooldown_us: self.config.recalib_cooldown_us,
+            ..RecalibConfig::default()
+        }
+    }
+
+    /// The closed-loop recalibrator for this scenario: re-explores each
+    /// shard's device through the caches the build primed and reissues
+    /// the exit table at the corrected calibration.
+    pub fn recalibrator(&self) -> ScenarioRecalibrator {
+        ScenarioRecalibrator {
+            cfg: self.config.clone(),
+            devices: self.shards.iter().map(|s| s.name.clone()).collect(),
+            caches: self.caches.clone(),
+        }
+    }
+
     /// Runs the simulation recording the windowed [`Timeline`] alongside
-    /// the per-request outcomes.
+    /// the per-request outcomes. With `recalibrate` on, the run goes
+    /// through the closed loop ([`Server::run_recalibrating`]); otherwise
+    /// the plain timeline run — bit-identical to pre-recalibration
+    /// builds.
     pub fn run_full(&self) -> (Vec<RequestOutcome>, Timeline) {
-        self.server()
-            .run_with_timeline(&self.requests, &self.timeline_config())
+        if self.config.recalibrate {
+            let recalibrator = self.recalibrator();
+            self.server().run_recalibrating(
+                &self.requests,
+                &self.timeline_config(),
+                &self.recalib_config(),
+                &recalibrator,
+            )
+        } else {
+            self.server()
+                .run_with_timeline(&self.requests, &self.timeline_config())
+        }
     }
 
     /// Runs the simulation and aggregates the summary, timeline attached.
     pub fn run_summary(&self) -> ServeSummary {
-        let server = self.server();
-        let meta = RunMeta::from_server(&server, self.config.duration_us);
-        let (outcomes, timeline) =
-            server.run_with_timeline(&self.requests, &self.timeline_config());
+        let meta = RunMeta::from_server(&self.server(), self.config.duration_us);
+        let (outcomes, timeline) = self.run_full();
         let mut summary = ServeSummary::from_outcomes(&outcomes, &meta);
         summary.attach_timeline(&timeline);
         summary
+    }
+}
+
+/// The scenario's [`Recalibrator`]: when the serving runtime's drift
+/// controller arms, re-derive the shard's Pareto front through the
+/// [`EvalCaches`] the scenario build primed ([`reexplore_with`] — pure
+/// memo hits), rebuild the exit table exactly as the build did (memory
+/// accounting, batch curves), and return it carrying the corrected
+/// calibration. Everything is a pure function of the scenario config plus
+/// `calib_ppm`, so recalibrating runs stay bit-identical across `--jobs`.
+#[derive(Debug, Clone)]
+pub struct ScenarioRecalibrator {
+    cfg: ScenarioConfig,
+    /// Device name per shard, roster order.
+    devices: Vec<String>,
+    caches: Arc<EvalCaches>,
+}
+
+impl Recalibrator for ScenarioRecalibrator {
+    fn recalibrate(&self, shard: usize, _generation: u64, calib_ppm: u64) -> Option<TrnLadder> {
+        let name = self.devices.get(shard)?;
+        let device = self.cfg.devices.iter().find(|d| d.name == *name)?.clone();
+        let session = Session::new(device.clone(), Precision::Int8);
+        let retrainer = SurrogateRetrainer::paper();
+        let ctx = EvalContext::new(&session, &retrainer)
+            .with_jobs(self.cfg.jobs)
+            .with_shared_caches(self.caches.clone());
+        let exploration = reexplore_with(
+            &ctx,
+            &scenario_networks(),
+            &HeadSpec::default(),
+            self.cfg.seed,
+        );
+        let ladder = finish_ladder(&self.cfg, &device, &ctx, &exploration.points).ok()?;
+        Some(ladder.with_calibration(calib_ppm))
     }
 }
 
@@ -561,6 +700,73 @@ mod tests {
             "no batches ever formed: {:?}",
             summary.batch_histogram
         );
+    }
+
+    /// The drift scenario: no demo faults, a +30% thermal-throttle window
+    /// over the middle of the run, single shard — the bench drift legs'
+    /// shape at test duration.
+    fn drifting(recalibrate: bool) -> ScenarioConfig {
+        ScenarioConfig {
+            duration_us: 600_000,
+            faults: false,
+            thermal_ppm: 1_300_000,
+            recalibrate,
+            recalib_cooldown_us: 150_000,
+            ..ScenarioConfig::default()
+        }
+    }
+
+    #[test]
+    fn recalibration_recovers_the_drift_scenario() {
+        let open = run_scenario(drifting(false));
+        let closed = run_scenario(drifting(true));
+        assert_eq!(open.recalibrations, 0);
+        assert!(closed.recalibrations >= 1, "controller never armed");
+        assert!(
+            closed.generations[0] >= 1,
+            "no hot-swap recorded: {:?}",
+            closed.generations
+        );
+        assert!(
+            closed.miss_rate_ppm < open.miss_rate_ppm,
+            "closed loop {} ppm !< open loop {} ppm",
+            closed.miss_rate_ppm,
+            open.miss_rate_ppm
+        );
+    }
+
+    #[test]
+    fn recalibrating_summary_is_identical_across_jobs() {
+        let a = run_scenario(ScenarioConfig {
+            jobs: 1,
+            ..drifting(true)
+        });
+        let b = run_scenario(ScenarioConfig {
+            jobs: 4,
+            ..drifting(true)
+        });
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn recalibrator_reexplores_on_pure_cache_hits() {
+        let s = Scenario::build(quick());
+        let misses_before = s.caches.stats().misses;
+        let recal = s.recalibrator();
+        let ladder = recal
+            .recalibrate(0, 1, 1_200_000)
+            .expect("shard 0 recalibrates");
+        assert_eq!(
+            s.caches.stats().misses,
+            misses_before,
+            "re-exploration missed the memo"
+        );
+        assert_eq!(ladder.calib_ppm(), 1_200_000);
+        // Same front, new calibration: raw latencies match the original.
+        assert_eq!(ladder.len(), s.ladder().len());
+        for r in 0..ladder.len() {
+            assert_eq!(ladder.rung(r).latency_us, s.ladder().rung(r).latency_us);
+        }
     }
 
     #[test]

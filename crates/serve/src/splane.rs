@@ -14,11 +14,11 @@
 //! configurations the bench matrix (and therefore `lint serve` / CI)
 //! exercises; `netcut_bench::serve_matrix` delegates to it.
 
-use crate::faults::{FaultKind, FaultPlan};
+use crate::faults::{FaultKind, FaultPlan, FaultWindow};
 use crate::ladder::LadderError;
 use crate::scenario::{Scenario, ScenarioConfig};
 use netcut_verify::serve_plane::{
-    FaultClass, LadderSpec, RungSpec, ServeArtifact, ShardSpec, SloSpec, WindowSpec,
+    FaultClass, LadderSpec, RecalibSpec, RungSpec, ServeArtifact, ShardSpec, SloSpec, WindowSpec,
 };
 use netcut_verify::Report;
 
@@ -28,14 +28,29 @@ pub const BATCH_MAX: usize = 8;
 /// Shard count of the reference matrix's sharding legs (xavier + nano).
 pub const SHARDS: usize = 2;
 
+/// Thermal-throttle magnitude of the drift legs: +30% service time, the
+/// drift the closed loop must calibrate away.
+pub const DRIFT_THERMAL_PPM: u64 = 1_300_000;
+
 /// The reference scenario matrix, keyed by the leg name used in
-/// `BENCH_serve.json`: the baseline, the no-degradation ablation, and the
-/// batching/sharding legs. Every `Scenario::try_build` configuration CI
-/// benches is linted through this same list.
+/// `BENCH_serve.json`: the baseline, the no-degradation ablation, the
+/// batching/sharding legs, and the drift pair — the same +30% thermal
+/// scenario with the recalibration loop open (`drift_norecal`) and closed
+/// (`drift`), so the bench quantifies what closing the loop recovers.
+/// Every `Scenario::try_build` configuration CI benches is linted through
+/// this same list.
 pub fn reference_matrix() -> Vec<(&'static str, ScenarioConfig)> {
     let base = ScenarioConfig {
         jobs: 0, // one evaluation worker per CPU for ladder construction
         ..ScenarioConfig::default()
+    };
+    // The drift legs isolate the thermal signal: demo faults off, one
+    // shard, so the only drift the controller sees is the throttle.
+    let drift = ScenarioConfig {
+        faults: false,
+        thermal_ppm: DRIFT_THERMAL_PPM,
+        shards: 1,
+        ..base.clone()
     };
     vec![
         ("baseline", base.clone()),
@@ -66,6 +81,14 @@ pub fn reference_matrix() -> Vec<(&'static str, ScenarioConfig)> {
                 batch_max: BATCH_MAX,
                 shards: SHARDS,
                 ..base
+            },
+        ),
+        ("drift_norecal", drift.clone()),
+        (
+            "drift",
+            ScenarioConfig {
+                recalibrate: true,
+                ..drift
             },
         ),
     ]
@@ -124,8 +147,10 @@ pub fn serve_artifact(name: &str, scenario: &Scenario) -> ServeArtifact {
         .collect();
     // The global timeline the per-shard plans partition. Window extents are
     // a pure function of (seed, duration) — only magnitudes are per-device —
-    // so any roster device reproduces it.
-    let global_faults = if cfg.faults {
+    // so any roster device reproduces it. A thermal window joins the global
+    // timeline once (it is ambient, not partitioned; the drift legs run a
+    // single shard, which then owns it).
+    let mut global_faults = if cfg.faults {
         windows_of(&FaultPlan::seeded_demo(
             cfg.seed,
             cfg.duration_us,
@@ -134,7 +159,25 @@ pub fn serve_artifact(name: &str, scenario: &Scenario) -> ServeArtifact {
     } else {
         Vec::new()
     };
+    if cfg.thermal_ppm > 0 {
+        let w = FaultWindow::thermal(cfg.duration_us, cfg.thermal_ppm);
+        global_faults.push(WindowSpec {
+            class: class_of(w.kind),
+            start_us: w.start_us,
+            end_us: w.end_us,
+        });
+    }
     let slo = scenario.timeline_config().slo;
+    let recalib = cfg.recalibrate.then(|| {
+        let rc = scenario.recalib_config();
+        RecalibSpec {
+            drift_ppm: rc.drift_ppm,
+            cooldown_us: rc.cooldown_us,
+            watermark_us: rc.watermark_us,
+            min_samples: rc.min_samples,
+            window: rc.window as u64,
+        }
+    });
     ServeArtifact {
         scenario: name.to_owned(),
         duration_us: cfg.duration_us,
@@ -148,6 +191,7 @@ pub fn serve_artifact(name: &str, scenario: &Scenario) -> ServeArtifact {
             min_drift_samples: slo.min_drift_samples,
             min_window_arrivals: slo.min_window_arrivals,
         },
+        recalib,
     }
 }
 
@@ -194,12 +238,66 @@ mod tests {
         let keys: Vec<&str> = reference_matrix().iter().map(|(k, _)| *k).collect();
         assert_eq!(
             keys,
-            ["baseline", "no_degrade", "batch", "shard", "batch_shard"]
+            [
+                "baseline",
+                "no_degrade",
+                "batch",
+                "shard",
+                "batch_shard",
+                "drift_norecal",
+                "drift"
+            ]
         );
         for (key, cfg) in reference_matrix() {
             assert_eq!(cfg.jobs, 0, "{key} must use all cores");
             assert_eq!(cfg.seed, ScenarioConfig::default().seed);
+            let drift_leg = key.starts_with("drift");
+            assert_eq!(cfg.thermal_ppm > 0, drift_leg, "{key} thermal config");
+            assert_eq!(cfg.recalibrate, key == "drift", "{key} loop state");
+            if drift_leg {
+                assert_eq!(cfg.shards, 1, "{key} must isolate the thermal signal");
+                assert!(!cfg.faults, "{key} must not mix demo faults into drift");
+            }
         }
+    }
+
+    #[test]
+    fn a_drift_scenario_extracts_clean_with_its_recalib_policy() {
+        let scenario = Scenario::try_build(ScenarioConfig {
+            duration_us: 300_000,
+            faults: false,
+            thermal_ppm: DRIFT_THERMAL_PPM,
+            recalibrate: true,
+            ..ScenarioConfig::default()
+        })
+        .expect("drift scenario builds");
+        let artifact = serve_artifact("serve:drift", &scenario);
+        // The thermal window is the only fault, owned by the lone shard
+        // and present in the global timeline.
+        assert_eq!(artifact.global_faults.len(), 1);
+        assert_eq!(artifact.shards[0].fault_windows.len(), 1);
+        assert_eq!(artifact.global_faults[0].start_us, 75_000);
+        assert_eq!(artifact.global_faults[0].end_us, 255_000);
+        let recalib = artifact.recalib.expect("closed loop carries its policy");
+        assert_eq!(recalib.drift_ppm, scenario.recalib_config().drift_ppm);
+        let report = analyze_serve(&artifact);
+        assert!(
+            report.summary().total() == 0,
+            "drift artifact must lint clean:\n{}",
+            report.render_text()
+        );
+        // The open-loop twin omits the policy and keeps its fingerprint
+        // distinct.
+        let open = Scenario::try_build(ScenarioConfig {
+            duration_us: 300_000,
+            faults: false,
+            thermal_ppm: DRIFT_THERMAL_PPM,
+            ..ScenarioConfig::default()
+        })
+        .expect("open-loop drift scenario builds");
+        let open_artifact = serve_artifact("serve:drift", &open);
+        assert!(open_artifact.recalib.is_none());
+        assert_ne!(open_artifact.fingerprint(), artifact.fingerprint());
     }
 
     #[test]

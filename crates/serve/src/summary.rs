@@ -177,6 +177,14 @@ pub struct ServeSummary {
     /// Fleet-wide memory reduction of the multi-exit refactor, ppm of the
     /// multi-exit footprint (`10_000_000` = the fleet shrank 10×).
     pub model_reduction_ppm: u64,
+    /// Closed-loop recalibrations performed (OBS005 count; 0 when the
+    /// controller is off or never triggered).
+    pub recalibrations: u64,
+    /// Final ladder generation of each shard (0 = never hot-swapped).
+    pub generations: Vec<u64>,
+    /// Final calibration factor of each shard, ppm (the last OBS005 value;
+    /// 0 for shards never recalibrated).
+    pub recalib_scale_ppm: Vec<u64>,
 }
 
 impl ServeSummary {
@@ -243,6 +251,10 @@ impl ServeSummary {
             meta.shards.iter().map(|s| s.baseline_model_bytes).collect();
         let fleet_model: u128 = model_bytes.iter().map(|&b| u128::from(b)).sum();
         let fleet_baseline: u128 = baseline_model_bytes.iter().map(|&b| u128::from(b)).sum();
+        let mut generations = vec![0u64; meta.shards.len()];
+        for o in outcomes {
+            generations[o.shard] = generations[o.shard].max(o.generation);
+        }
         ServeSummary {
             deadline_us: meta.deadline_us,
             workers: meta.workers,
@@ -293,6 +305,9 @@ impl ServeSummary {
             model_reduction_ppm: (fleet_baseline * u128::from(PPM))
                 .checked_div(fleet_model)
                 .unwrap_or(0) as u64,
+            recalibrations: 0,
+            generations,
+            recalib_scale_ppm: vec![0; meta.shards.len()],
         }
     }
 
@@ -316,6 +331,12 @@ impl ServeSummary {
             self.worst_window_burn_ppm = burn_ppm;
         }
         self.alert_counts = timeline.alert_counts();
+        self.recalibrations = self.alert_counts[AlertCode::Recalibrated.index()];
+        for a in &timeline.alerts {
+            if a.code == AlertCode::Recalibrated {
+                self.recalib_scale_ppm[a.shard] = a.value_ppm;
+            }
+        }
         self.top_alerts = timeline
             .alerts
             .iter()
@@ -385,9 +406,16 @@ impl ServeSummary {
             "worst_window_start_us",
             self.worst_window_start_us.to_string(),
         );
+        // The alerts object trims trailing never-fired codes beyond the
+        // four v1 entries, so runs that never recalibrate render the exact
+        // bytes the committed goldens were taken from.
+        let mut alert_len = self.alert_counts.len().min(AlertCode::ALL.len());
+        while alert_len > 4 && self.alert_counts[alert_len - 1] == 0 {
+            alert_len -= 1;
+        }
         let counts: Vec<String> = AlertCode::ALL
             .iter()
-            .zip(&self.alert_counts)
+            .zip(&self.alert_counts[..alert_len])
             .map(|(c, n)| format!("\"{}\":{n}", c.code()))
             .collect();
         field("alerts", format!("{{{}}}", counts.join(",")));
@@ -420,6 +448,13 @@ impl ServeSummary {
             int_array(&self.baseline_model_bytes),
         );
         field("model_reduction_ppm", self.model_reduction_ppm.to_string());
+        // Recalibration block renders only when the controller acted, so
+        // off-path summaries keep the exact golden byte layout.
+        if self.recalibrations > 0 {
+            field("recalibrations", self.recalibrations.to_string());
+            field("generations", int_array(&self.generations));
+            field("recalib_scale_ppm", int_array(&self.recalib_scale_ppm));
+        }
         s.push('}');
         s
     }
@@ -517,6 +552,13 @@ impl ServeSummary {
                 }
             );
         }
+        if self.recalibrations > 0 {
+            let _ = writeln!(
+                s,
+                "  recalibrations: {} (shard generations {:?}, scale ppm {:?})",
+                self.recalibrations, self.generations, self.recalib_scale_ppm,
+            );
+        }
         s
     }
 }
@@ -564,6 +606,7 @@ mod tests {
             latency_us,
             shard: 0,
             batch_size: usize::from(!matches!(status, Status::Rejected | Status::Dropped)),
+            generation: 0,
             status,
         }
     }

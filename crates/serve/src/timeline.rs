@@ -13,7 +13,7 @@
 //! residual EWMA ([`obs::ResidualTracker`]), and the window's SLO
 //! error-budget burn rate; [`obs::SloPolicy`] turns those into `OBS0xx`
 //! alerts (budget-burn, residual-drift, shard-starvation,
-//! fault-window-entered). Every count lands in the window of the
+//! fault-window-entered, recalibrated). Every count lands in the window of the
 //! *arrival* it belongs to, so per window and shard
 //! `arrivals = served + missed + rejected + dropped` exactly — an
 //! invariant the property tests pin.
@@ -96,6 +96,9 @@ pub struct WindowRow {
     pub queue_p95_us: u64,
     /// Worst queue delay of completions arriving here, µs.
     pub queue_max_us: u64,
+    /// Ladder generation serving this shard as of the window's end (0
+    /// until the closed-loop controller performs a hot-swap).
+    pub generation: u64,
     /// Shard's blended residual EWMA as of this window's end, ppm.
     pub residual_ppm: u64,
     /// Worst per-rung residual drift as of this window's end, ppm.
@@ -181,9 +184,17 @@ impl Timeline {
             names.join(","),
         );
         for r in &self.rows {
+            // `gen` renders only on post-swap rows, so runs that never
+            // recalibrate (including every committed golden) keep the v1
+            // line bytes unchanged.
+            let generation = if r.generation > 0 {
+                format!(",\"gen\":{}", r.generation)
+            } else {
+                String::new()
+            };
             let _ = writeln!(
                 s,
-                "{{\"v\":1,\"kind\":\"window\",\"w\":{},\"start_us\":{},\"shard\":{},\"arrivals\":{},\"served\":{},\"missed\":{},\"rejected\":{},\"dropped\":{},\"degraded\":{},\"batches\":{},\"queue_p95_us\":{},\"queue_max_us\":{},\"residual_ppm\":{},\"drift_ppm\":{},\"burn_ppm\":{}}}",
+                "{{\"v\":1,\"kind\":\"window\",\"w\":{},\"start_us\":{},\"shard\":{},\"arrivals\":{},\"served\":{},\"missed\":{},\"rejected\":{},\"dropped\":{},\"degraded\":{},\"batches\":{},\"queue_p95_us\":{},\"queue_max_us\":{}{generation},\"residual_ppm\":{},\"drift_ppm\":{},\"burn_ppm\":{}}}",
                 r.window,
                 r.start_us,
                 r.shard,
@@ -304,6 +315,9 @@ pub(crate) struct TimelineBuilder {
     samples: Vec<ResidualSample>,
     /// Fault windows opening per shard: `(window, shard, t_us, magnitude)`.
     fault_entries: Vec<(u64, usize, u64, u64)>,
+    /// Hot-swaps landing per shard:
+    /// `(window, shard, t_us, calib_ppm, generation)`.
+    recalib_entries: Vec<(u64, usize, u64, u64, u64)>,
 }
 
 /// The labeled metric names of one shard.
@@ -356,7 +370,22 @@ impl TimelineBuilder {
             keys: (0..shards.len()).map(ShardKeys::new).collect(),
             samples: Vec::new(),
             fault_entries,
+            recalib_entries: Vec::new(),
         }
+    }
+
+    /// The closed-loop controller recalibrated `shard` at `t_us`,
+    /// hot-swapping in ladder generation `generation` with calibration
+    /// factor `calib_ppm`.
+    pub(crate) fn recalibrated(
+        &mut self,
+        t_us: u64,
+        shard: usize,
+        generation: u64,
+        calib_ppm: u64,
+    ) {
+        self.recalib_entries
+            .push((self.wm.index_of(t_us), shard, t_us, calib_ppm, generation));
     }
 
     /// A request arriving at `t_us` was dropped on `shard`.
@@ -423,18 +452,22 @@ impl TimelineBuilder {
     pub(crate) fn finish(mut self) -> Timeline {
         let shards = self.shard_names.len();
         let last_fault = self.fault_entries.iter().map(|&(w, ..)| w).max();
+        let last_recalib = self.recalib_entries.iter().map(|&(w, ..)| w).max();
         let windows = self
             .wm
             .last_window()
             .into_iter()
             .chain(last_fault)
+            .chain(last_recalib)
             .max()
             .map_or(0, |w| w + 1);
         self.samples.sort_unstable_by_key(|s| (s.start_us, s.seq));
+        self.recalib_entries.sort_unstable();
         let mut residuals = ResidualTracker::new(&self.ladder_lens, self.cfg.alpha_ppm);
         let mut rows = Vec::with_capacity((windows as usize) * shards);
         let mut alerts = Vec::new();
         let mut next_sample = 0usize;
+        let mut generations = vec![0u64; shards];
         for w in 0..windows {
             // Residual state "as of the end of window w": fold every batch
             // that started inside it before reading the EWMAs.
@@ -448,7 +481,7 @@ impl TimelineBuilder {
             let fleet_arrivals: u64 = (0..shards)
                 .map(|s| self.wm.counter(w, &self.keys[s].arrivals))
                 .sum();
-            for s in 0..shards {
+            for (s, shard_generation) in generations.iter_mut().enumerate() {
                 let keys = &self.keys[s];
                 let arrivals = self.wm.counter(w, &keys.arrivals);
                 let served = self.wm.counter(w, &keys.served);
@@ -457,6 +490,17 @@ impl TimelineBuilder {
                 let dropped = self.wm.counter(w, &keys.dropped);
                 let bad = missed + rejected + dropped;
                 let queue = self.wm.histogram(w, &keys.queue_delay);
+                // First swap landing in this (window, shard), if any; the
+                // row's generation reflects every swap through the window.
+                let mut recalib: Option<(u64, u64)> = None;
+                for &(rw, rs, t_us, calib_ppm, generation) in &self.recalib_entries {
+                    if rw == w && rs == s {
+                        if recalib.is_none() {
+                            recalib = Some((t_us, calib_ppm));
+                        }
+                        *shard_generation = (*shard_generation).max(generation);
+                    }
+                }
                 let row = WindowRow {
                     window: w,
                     start_us: self.wm.start_of(w),
@@ -470,6 +514,7 @@ impl TimelineBuilder {
                     batches: self.wm.counter(w, &keys.batches),
                     queue_p95_us: queue.map_or(0, |h| h.quantile(950_000)),
                     queue_max_us: queue.map_or(0, netcut_obs::WindowHistogram::max),
+                    generation: *shard_generation,
                     residual_ppm: residuals.blended(s).ewma_ppm(),
                     drift_ppm: residuals.max_drift_ppm(s),
                     burn_ppm: obs::burn_rate_ppm(bad, arrivals, self.cfg.slo.miss_budget_ppm),
@@ -490,12 +535,21 @@ impl TimelineBuilder {
                     max_drift_ppm: row.drift_ppm,
                     drift_samples: residuals.shard_samples(s),
                     fault_entered_ppm: fault.map(|(_, magnitude)| magnitude),
+                    recalibrated_ppm: recalib.map(|(_, calib_ppm)| calib_ppm),
                 });
                 // OBS004 anchors at the fault window's exact opening
-                // instant, not the telemetry window's start.
+                // instant, not the telemetry window's start; OBS005
+                // likewise at the swap's exact watermark instant.
                 if let Some((t_us, _)) = fault {
                     for a in &mut fired {
                         if a.code == AlertCode::FaultWindowEntered {
+                            a.t_us = t_us;
+                        }
+                    }
+                }
+                if let Some((t_us, _)) = recalib {
+                    for a in &mut fired {
+                        if a.code == AlertCode::Recalibrated {
                             a.t_us = t_us;
                         }
                     }
@@ -605,7 +659,38 @@ mod tests {
         assert_eq!(obs004[0].window, 1);
         assert_eq!(obs004[0].t_us, 123_456);
         assert_eq!(obs004[0].value_ppm, 1_250_000);
-        assert_eq!(tl.alert_counts(), vec![0, 0, 0, 1]);
+        assert_eq!(tl.alert_counts(), vec![0, 0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn recalibration_raises_obs005_and_tags_generations() {
+        let shards = vec![shard("a", FaultPlan::none())];
+        let mut b = builder(&shards);
+        b.completion(10, 0, false, false, 5);
+        b.completion(150_000, 0, false, false, 5);
+        b.recalibrated(123_456, 0, 1, 1_300_000);
+        let tl = b.finish();
+        let obs005: Vec<&Alert> = tl
+            .alerts
+            .iter()
+            .filter(|a| a.code == AlertCode::Recalibrated)
+            .collect();
+        assert_eq!(obs005.len(), 1);
+        assert_eq!(obs005[0].window, 1);
+        assert_eq!(obs005[0].t_us, 123_456, "anchored at the swap instant");
+        assert_eq!(obs005[0].value_ppm, 1_300_000);
+        assert_eq!(tl.alert_counts(), vec![0, 0, 0, 0, 1]);
+        // Generation is 0 before the swap window, 1 from it onward.
+        assert_eq!(tl.rows[0].generation, 0);
+        assert_eq!(tl.rows[1].generation, 1);
+        // Post-swap rows render `gen`; pre-swap rows keep the v1 bytes.
+        let doc = tl.to_jsonl();
+        let window_lines: Vec<&str> = doc
+            .lines()
+            .filter(|l| l.contains("\"kind\":\"window\""))
+            .collect();
+        assert!(!window_lines[0].contains("\"gen\""));
+        assert!(window_lines[1].contains(",\"gen\":1,"));
     }
 
     #[test]
@@ -679,6 +764,6 @@ mod tests {
         assert!(tl.rows.is_empty());
         assert!(tl.alerts.is_empty());
         assert_eq!(tl.worst_burn(), None);
-        assert_eq!(tl.alert_counts(), vec![0, 0, 0, 0]);
+        assert_eq!(tl.alert_counts(), vec![0, 0, 0, 0, 0]);
     }
 }

@@ -1,0 +1,149 @@
+//! Property tests of the closed recalibration loop — the invariants the
+//! generation-tagged hot-swap must preserve:
+//!
+//! 1. Conservation: every timeline window of a recalibrating run still
+//!    partitions its arrivals into served + missed + rejected + dropped —
+//!    a swap never drops or double-counts an in-flight request.
+//! 2. Admission tagging: every outcome carries the generation its shard
+//!    was serving when the request arrived, so generations are
+//!    nondecreasing in arrival order per shard and agree with the
+//!    timeline's per-window generation column.
+//! 3. Monotonicity: a shard's generation never moves backwards, and the
+//!    summary's final generations match the timeline's last windows.
+//! 4. Determinism: the recalibrating scenario's summary is bit-identical
+//!    at `--jobs 1` and `--jobs 8`.
+
+use netcut_serve::{Scenario, ScenarioConfig, ServeSummary};
+
+/// The drifting scenario all properties run against: +30% thermal
+/// throttle, demo faults off, one shard, loop closed with a short
+/// cooldown so multiple swaps occur.
+fn drifting_config(jobs: usize) -> ScenarioConfig {
+    ScenarioConfig {
+        duration_us: 1_200_000,
+        jobs,
+        faults: false,
+        shards: 1,
+        thermal_ppm: 1_300_000,
+        recalibrate: true,
+        recalib_cooldown_us: 200_000,
+        ..ScenarioConfig::default()
+    }
+}
+
+fn run_drifting(jobs: usize) -> (Scenario, ServeSummary) {
+    let scenario = Scenario::try_build(drifting_config(jobs)).expect("drifting scenario builds");
+    let summary = scenario.run_summary();
+    (scenario, summary)
+}
+
+#[test]
+fn windows_conserve_arrivals_across_swaps() {
+    let (scenario, summary) = run_drifting(1);
+    assert!(
+        summary.recalibrations >= 2,
+        "fixture must actually swap more than once, got {}",
+        summary.recalibrations
+    );
+    let (_, timeline) = scenario.run_full();
+    for row in &timeline.rows {
+        assert_eq!(
+            row.arrivals,
+            row.served + row.missed + row.rejected + row.dropped,
+            "window {} shard {} leaks requests across a swap",
+            row.window,
+            row.shard
+        );
+    }
+    // And run-wide, straight from the outcomes.
+    assert_eq!(
+        summary.total,
+        summary.served + summary.missed + summary.rejected + summary.dropped
+    );
+}
+
+#[test]
+fn outcomes_carry_their_admission_generation() {
+    let (scenario, _) = run_drifting(1);
+    let (outcomes, timeline) = scenario.run_full();
+
+    // Nondecreasing in arrival order per shard (outcomes are in request
+    // order, which is arrival order).
+    let shard_count = timeline.shard_names.len();
+    let mut last_gen = vec![0u64; shard_count];
+    for o in &outcomes {
+        assert!(
+            o.generation >= last_gen[o.shard],
+            "request {} regressed shard {} from generation {} to {}",
+            o.id,
+            o.shard,
+            last_gen[o.shard],
+            o.generation
+        );
+        last_gen[o.shard] = o.generation;
+    }
+    assert!(
+        last_gen.iter().any(|&g| g > 0),
+        "fixture must reach a swapped generation"
+    );
+
+    // Each outcome's generation agrees with the timeline: a request
+    // arriving in a window can be at most the generation the window ends
+    // at, and at least the generation the previous window ended at.
+    for o in &outcomes {
+        let w = (o.arrival_us / timeline.window_us).min(timeline.windows - 1);
+        let row = |win: u64| &timeline.rows[(win as usize) * shard_count + o.shard];
+        let upper = row(w).generation;
+        let lower = if w == 0 { 0 } else { row(w - 1).generation };
+        assert!(
+            o.generation >= lower && o.generation <= upper,
+            "request {} (arrival {} µs) has generation {}, outside window {}'s [{lower}, {upper}]",
+            o.id,
+            o.arrival_us,
+            o.generation,
+            w
+        );
+    }
+}
+
+#[test]
+fn timeline_generations_are_monotone_and_match_the_summary() {
+    let (scenario, summary) = run_drifting(1);
+    let (_, timeline) = scenario.run_full();
+    let shard_count = timeline.shard_names.len();
+    for shard in 0..shard_count {
+        let gens: Vec<u64> = (0..timeline.windows)
+            .map(|w| timeline.rows[(w as usize) * shard_count + shard].generation)
+            .collect();
+        assert!(
+            gens.windows(2).all(|p| p[0] <= p[1]),
+            "shard {shard} generation went backwards: {gens:?}"
+        );
+        assert_eq!(
+            *gens.last().unwrap(),
+            summary.generations[shard],
+            "summary must report shard {shard}'s final generation"
+        );
+    }
+    assert_eq!(
+        summary.recalibrations,
+        summary.generations.iter().sum::<u64>(),
+        "every swap bumps exactly one shard's generation by one"
+    );
+}
+
+#[test]
+fn recalibrating_summaries_are_bit_identical_across_jobs() {
+    let (scenario_seq, summary_seq) = run_drifting(1);
+    let (scenario_par, summary_par) = run_drifting(8);
+    assert_eq!(
+        summary_seq.to_json(),
+        summary_par.to_json(),
+        "recalibrating summaries must be bit-identical at --jobs 1 and --jobs 8"
+    );
+    assert!(summary_seq.recalibrations > 0);
+    // The timelines (including OBS005 alert placement) match too.
+    let (_, tl_seq) = scenario_seq.run_full();
+    let (_, tl_par) = scenario_par.run_full();
+    assert_eq!(tl_seq.to_jsonl(), tl_par.to_jsonl());
+}

@@ -1,0 +1,156 @@
+//! Drift soak tests for the closed recalibration loop: a deterministic
+//! thermal-throttle window inflates observed service time +30% mid-run
+//! and the controller must sense it (OBS002), refit + hot-swap at most
+//! once per cooldown (OBS005), and recover the miss rate.
+//!
+//! The scenario is the drift leg of the reference matrix at soak length:
+//! demo faults off and a single shard, so the thermal window is the only
+//! drift the controller sees and the recovery comparison is exact.
+
+use netcut_obs::alert::AlertCode;
+use netcut_serve::{Scenario, ScenarioConfig, Timeline, WindowRow};
+
+/// Soak duration: 3 s of virtual time (~6000 requests at the default
+/// 2000 rps). The thermal window spans exactly 25%–85% of it.
+const DURATION_US: u64 = 3_000_000;
+
+/// +30% observed service time while the throttle window is open.
+const THERMAL_PPM: u64 = 1_300_000;
+
+/// Two percentage points, in ppm: the recovery tolerance between the
+/// pre-drift and post-swap window miss rates.
+const RECOVERY_TOLERANCE_PPM: u64 = 20_000;
+
+fn soak_config(seed: u64) -> ScenarioConfig {
+    ScenarioConfig {
+        duration_us: DURATION_US,
+        seed,
+        faults: false,
+        shards: 1,
+        thermal_ppm: THERMAL_PPM,
+        recalibrate: true,
+        ..ScenarioConfig::default()
+    }
+}
+
+/// Aggregate miss rate (ppm of arrivals) over a set of timeline rows.
+fn miss_rate_ppm<'a>(rows: impl Iterator<Item = &'a WindowRow>) -> u64 {
+    let (mut bad, mut arrivals) = (0u64, 0u64);
+    for r in rows {
+        bad += r.missed;
+        arrivals += r.arrivals;
+    }
+    assert!(arrivals > 0, "window set must contain traffic");
+    bad * 1_000_000 / arrivals
+}
+
+fn swap_times(timeline: &Timeline) -> Vec<u64> {
+    timeline
+        .alerts
+        .iter()
+        .filter(|a| a.code == AlertCode::Recalibrated)
+        .map(|a| a.t_us)
+        .collect()
+}
+
+fn assert_drift_soak_recovers(seed: u64) {
+    let scenario = Scenario::try_build(soak_config(seed)).expect("soak scenario builds");
+    let cfg = scenario.recalib_config();
+    let (_, timeline) = scenario.run_full();
+
+    let thermal_start = DURATION_US / 100 * 25;
+
+    // The sensing half: the throttle must push the residual EWMA past the
+    // SLO drift tolerance, so OBS002 fires while the window is open.
+    let drift_alerts: Vec<u64> = timeline
+        .alerts
+        .iter()
+        .filter(|a| a.code == AlertCode::ResidualDrift)
+        .map(|a| a.t_us)
+        .collect();
+    assert!(
+        drift_alerts.iter().any(|&t| t >= thermal_start),
+        "seed {seed}: OBS002 must fire inside the thermal window, alerts at {drift_alerts:?}"
+    );
+
+    // The acting half: at least one swap, and never two within a cooldown.
+    let swaps = swap_times(&timeline);
+    assert!(
+        !swaps.is_empty(),
+        "seed {seed}: the controller must recalibrate at least once"
+    );
+    assert!(
+        swaps[0] >= thermal_start,
+        "seed {seed}: no swap before the drift exists (first at {} µs)",
+        swaps[0]
+    );
+    for pair in swaps.windows(2) {
+        assert!(
+            pair[1] - pair[0] >= cfg.cooldown_us,
+            "seed {seed}: swaps at {} and {} µs violate the {} µs cooldown",
+            pair[0],
+            pair[1],
+            cfg.cooldown_us
+        );
+    }
+    assert!(
+        swaps.len() as u64 <= DURATION_US / cfg.cooldown_us + 1,
+        "seed {seed}: {} swaps cannot fit one-per-cooldown in {} µs",
+        swaps.len(),
+        DURATION_US
+    );
+
+    // The recovery guarantee: once the last swap has settled for one full
+    // window, the per-window miss rate is back within 2 pp of the
+    // pre-drift (throttle-free, generation-0) windows.
+    let pre_drift = miss_rate_ppm(
+        timeline
+            .rows
+            .iter()
+            .filter(|r| r.start_us + timeline.window_us <= thermal_start),
+    );
+    let settled = swaps.last().expect("at least one swap") + timeline.window_us;
+    let post_swap = miss_rate_ppm(timeline.rows.iter().filter(|r| r.start_us >= settled));
+    println!("seed {seed}: swaps {swaps:?}, pre-drift {pre_drift} ppm, post-swap {post_swap} ppm");
+    assert!(
+        post_swap <= pre_drift + RECOVERY_TOLERANCE_PPM,
+        "seed {seed}: post-swap miss rate {post_swap} ppm must recover to within \
+         {RECOVERY_TOLERANCE_PPM} ppm of the pre-drift {pre_drift} ppm"
+    );
+}
+
+#[test]
+fn drift_soak_recovers_at_seed_11() {
+    assert_drift_soak_recovers(11);
+}
+
+#[test]
+fn drift_soak_recovers_at_seed_13() {
+    assert_drift_soak_recovers(13);
+}
+
+#[test]
+fn open_loop_soak_never_swaps_and_keeps_missing() {
+    // The ablation: the identical drifting scenario with the loop open
+    // must record no OBS005, stay at generation 0, and miss strictly more
+    // than the closed loop over the throttled region.
+    let open = Scenario::try_build(ScenarioConfig {
+        recalibrate: false,
+        ..soak_config(11)
+    })
+    .expect("open-loop soak builds");
+    let (_, open_tl) = open.run_full();
+    assert!(swap_times(&open_tl).is_empty());
+    assert!(open_tl.rows.iter().all(|r| r.generation == 0));
+
+    let closed = Scenario::try_build(soak_config(11)).expect("closed-loop soak builds");
+    let (_, closed_tl) = closed.run_full();
+    let thermal_start = DURATION_US / 100 * 25;
+    let throttled =
+        |r: &&WindowRow| r.start_us >= thermal_start && r.start_us < DURATION_US / 100 * 85;
+    assert!(
+        miss_rate_ppm(closed_tl.rows.iter().filter(throttled))
+            < miss_rate_ppm(open_tl.rows.iter().filter(throttled)),
+        "closing the loop must reduce the throttled-region miss rate"
+    );
+}

@@ -92,7 +92,7 @@ fn pinned_ladder_burns_budget_and_alerts() {
         "a pinned ladder under faults burns SLO budget"
     );
     let counts = timeline.alert_counts();
-    assert_eq!(counts.len(), 4);
+    assert_eq!(counts.len(), 5);
     assert!(counts[0] > 0, "OBS001 budget-burn fires on the bad run");
     // Faults are on, so the fault-window-entered marker fires too.
     assert!(counts[3] > 0, "OBS004 marks the seeded fault windows");

@@ -142,6 +142,12 @@ pub enum Code {
     /// stable `OBS0xx` alert codes impossible to emit, e.g. a burn
     /// threshold above the burn rate of an all-miss window.
     SV012,
+    /// SV013 — recalibration-config sanity: a closed-loop scenario whose
+    /// controller can never act soundly — zero drift threshold, cooldown,
+    /// watermark cadence, or sample floor, a refit window smaller than the
+    /// sample floor it must satisfy, or a saturated drift threshold that
+    /// makes OBS005 unreachable.
+    SV013,
 }
 
 impl Code {
@@ -176,6 +182,7 @@ impl Code {
             Code::SV010 => "SV010",
             Code::SV011 => "SV011",
             Code::SV012 => "SV012",
+            Code::SV013 => "SV013",
         }
     }
 
@@ -210,6 +217,7 @@ impl Code {
             Code::SV010 => "slo-budget",
             Code::SV011 => "slo-threshold-order",
             Code::SV012 => "alert-reachability",
+            Code::SV013 => "recalib-config",
         }
     }
 
@@ -284,6 +292,8 @@ pub enum GraphSpan {
     },
     /// The scenario's SLO policy.
     SloPolicy,
+    /// The scenario's closed-loop recalibration policy.
+    RecalibPolicy,
 }
 
 impl fmt::Display for GraphSpan {
@@ -302,6 +312,7 @@ impl fmt::Display for GraphSpan {
                 write!(f, "fault window #{index} of `{shard}`")
             }
             GraphSpan::SloPolicy => write!(f, "slo policy"),
+            GraphSpan::RecalibPolicy => write!(f, "recalib policy"),
         }
     }
 }

@@ -317,7 +317,7 @@ pub fn apply(net: &Network, mutation: Mutation) -> Option<Network> {
 }
 
 // ---------------------------------------------------------------------------
-// Serve-plane mutations (SV001–SV012)
+// Serve-plane mutations (SV001–SV013)
 // ---------------------------------------------------------------------------
 
 /// A structured corruption applied to a valid [`ServeArtifact`] — the
@@ -357,11 +357,14 @@ pub enum ServeMutation {
     /// Raise the burn alert above the all-miss burn rate, so OBS001 can
     /// never fire → SV012.
     UnreachableBurnAlert,
+    /// Shrink the recalibration refit window below the sample floor the
+    /// trigger requires, starving every refit → SV013.
+    StarveRecalibWindow,
 }
 
 impl ServeMutation {
     /// Every serve-plane mutation class, for exhaustive harness loops.
-    pub fn all() -> [ServeMutation; 12] {
+    pub fn all() -> [ServeMutation; 13] {
         [
             ServeMutation::SwapRungLatencies,
             ServeMutation::PinPastTable,
@@ -375,6 +378,7 @@ impl ServeMutation {
             ServeMutation::ZeroBudget,
             ServeMutation::InvertBurnThreshold,
             ServeMutation::UnreachableBurnAlert,
+            ServeMutation::StarveRecalibWindow,
         ]
     }
 
@@ -394,6 +398,7 @@ impl ServeMutation {
             ServeMutation::ZeroBudget => Code::SV010,
             ServeMutation::InvertBurnThreshold => Code::SV011,
             ServeMutation::UnreachableBurnAlert => Code::SV012,
+            ServeMutation::StarveRecalibWindow => Code::SV013,
         }
     }
 }
@@ -547,6 +552,13 @@ pub fn apply_serve(artifact: &ServeArtifact, mutation: ServeMutation) -> Option<
                 / u128::from(artifact.slo.miss_budget_ppm.max(1)))
             .min(u128::from(u64::MAX - 1)) as u64;
             out.slo.burn_alert_ppm = max_burn + 1;
+            Some(out)
+        }
+        ServeMutation::StarveRecalibWindow => {
+            let r = out.recalib.as_mut()?;
+            // A zero sample floor is SV013's own finding; the starved
+            // window needs a nonzero floor to undercut.
+            r.window = r.min_samples.checked_sub(1)?;
             Some(out)
         }
     }

@@ -11,7 +11,7 @@
 //! arbitrarily broken artifacts, and each invariant is owned by exactly one
 //! code (a rule defers when the broken input belongs to another rule).
 //!
-//! The stable `SV001`–`SV012` codes live in [`Code`](crate::Code) next to
+//! The stable `SV001`–`SV013` codes live in [`Code`](crate::Code) next to
 //! the NC table; the full rule table is DESIGN.md §16.
 
 use crate::diagnostic::{Code, Diagnostic, GraphSpan, Report};
@@ -107,9 +107,27 @@ pub struct SloSpec {
     pub min_window_arrivals: u64,
 }
 
+/// The closed-loop recalibration policy, mirroring
+/// `netcut_serve::RecalibConfig`. Present only for scenarios run with
+/// `--recalibrate`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecalibSpec {
+    /// Residual drift (ppm) that arms a recalibration.
+    pub drift_ppm: u64,
+    /// Minimum virtual time between hot-swaps of one shard, microseconds.
+    pub cooldown_us: u64,
+    /// Controller watermark cadence, virtual microseconds.
+    pub watermark_us: u64,
+    /// Observed samples a shard needs before its drift is trusted.
+    pub min_samples: u64,
+    /// Bounded recent-sample window the refit draws from.
+    pub window: u64,
+}
+
 /// Everything the serve plane commits to before the first request: the
 /// shard roster with ladders and fault plans, the global fault timeline
-/// those plans partition, and the SLO policy watching the run.
+/// those plans partition, the SLO policy watching the run, and — for
+/// closed-loop runs — the recalibration policy.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeArtifact {
     /// Scenario name, used as the report subject (`"serve:baseline"`).
@@ -125,6 +143,10 @@ pub struct ServeArtifact {
     pub global_faults: Vec<WindowSpec>,
     /// The SLO policy.
     pub slo: SloSpec,
+    /// The recalibration policy; `None` when the loop is open
+    /// (`--no-recalibrate`), which leaves the fingerprint bit-identical
+    /// to pre-recalibration artifacts.
+    pub recalib: Option<RecalibSpec>,
 }
 
 impl ServeArtifact {
@@ -163,6 +185,16 @@ impl ServeArtifact {
         h.u64(self.slo.drift_alert_ppm);
         h.u64(self.slo.min_drift_samples);
         h.u64(self.slo.min_window_arrivals);
+        // Open-loop artifacts hash nothing here, so their fingerprints
+        // survive the field addition unchanged.
+        if let Some(r) = &self.recalib {
+            h.byte(1);
+            h.u64(r.drift_ppm);
+            h.u64(r.cooldown_us);
+            h.u64(r.watermark_us);
+            h.u64(r.min_samples);
+            h.u64(r.window);
+        }
         h.0
     }
 }
@@ -769,6 +801,68 @@ impl ServeRule for AlertReachability {
 }
 
 // ---------------------------------------------------------------------------
+// Recalibration-policy sanity (SV013)
+// ---------------------------------------------------------------------------
+
+/// SV013 — a closed-loop scenario's controller constants are usable: no
+/// zero threshold/cadence/floor, the refit window holds at least the
+/// sample floor, and the drift threshold is not saturated (OBS005 must
+/// stay reachable). Open-loop artifacts (`recalib: None`) are skipped.
+struct RecalibSanity;
+
+impl ServeRule for RecalibSanity {
+    fn code(&self) -> Code {
+        Code::SV013
+    }
+
+    fn check(&self, artifact: &ServeArtifact, out: &mut Vec<Diagnostic>) {
+        let Some(r) = &artifact.recalib else {
+            return; // open loop — nothing to police
+        };
+        let finding = |msg: String| Diagnostic::new(Code::SV013, GraphSpan::RecalibPolicy, msg);
+        if r.drift_ppm == 0 {
+            out.push(finding(
+                "zero drift threshold: a perfectly calibrated shard would re-arm \
+                 every watermark"
+                    .to_owned(),
+            ));
+        } else if r.drift_ppm == u64::MAX {
+            out.push(finding(
+                "OBS005 is unreachable: the recalibration drift threshold is \
+                 saturated"
+                    .to_owned(),
+            ));
+        }
+        if r.cooldown_us == 0 {
+            out.push(finding(
+                "zero cooldown: nothing rate-limits hot-swaps, so one drifting \
+                 shard could swap every watermark"
+                    .to_owned(),
+            ));
+        }
+        if r.watermark_us == 0 {
+            out.push(finding(
+                "zero watermark cadence: the controller would fold after every \
+                 arrival"
+                    .to_owned(),
+            ));
+        }
+        if r.min_samples == 0 {
+            out.push(finding(
+                "zero sample floor: a refit would trigger on no evidence".to_owned(),
+            ));
+        }
+        if r.window < r.min_samples {
+            out.push(finding(format!(
+                "refit window ({}) cannot hold the {} sample(s) the trigger \
+                 requires",
+                r.window, r.min_samples
+            )));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Registry
 // ---------------------------------------------------------------------------
 
@@ -784,7 +878,7 @@ impl Default for ServeAnalyzer {
 }
 
 impl ServeAnalyzer {
-    /// The default registry: every SV rule (SV001–SV012).
+    /// The default registry: every SV rule (SV001–SV013).
     pub fn new() -> Self {
         ServeAnalyzer {
             rules: vec![
@@ -800,6 +894,7 @@ impl ServeAnalyzer {
                 Box::new(SloBudget),
                 Box::new(SloThresholdOrder),
                 Box::new(AlertReachability),
+                Box::new(RecalibSanity),
             ],
         }
     }
@@ -928,5 +1023,12 @@ pub fn demo_artifact() -> ServeArtifact {
             min_drift_samples: 8,
             min_window_arrivals: 10,
         },
+        recalib: Some(RecalibSpec {
+            drift_ppm: 150_000,
+            cooldown_us: 500_000,
+            watermark_us: 100_000,
+            min_samples: 8,
+            window: 64,
+        }),
     }
 }
