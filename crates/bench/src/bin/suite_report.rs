@@ -247,6 +247,69 @@ fn timeline_section(md: &mut String) {
     }
 }
 
+/// Renders the simulator-throughput section from the committed
+/// `results/BENCH_simcore.json`: requests simulated per second of
+/// wall-clock for every reference-matrix leg plus the million-request
+/// stress leg, with the iteration counts behind each number. Skips with a
+/// note when the results file is absent (run `bench_simcore --bless`
+/// first).
+fn simcore_section(md: &mut String) {
+    let _ = writeln!(md, "\n## Simulator throughput (bench_simcore)\n");
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results/BENCH_simcore.json");
+    let doc: Option<serde_json::Value> = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|text| serde_json::from_str(&text).ok());
+    let Some(doc) = doc else {
+        let _ = writeln!(
+            md,
+            "_results/BENCH_simcore.json not found — run \
+             `cargo run --release -p netcut-bench --bin bench_simcore -- --bless` first._"
+        );
+        return;
+    };
+    let _ = writeln!(
+        md,
+        "Requests simulated per second of wall-clock (`run_full` only; \
+         scenario construction excluded), gated in CI against a 10 % \
+         regression budget by `bench_simcore`.\n"
+    );
+    let _ = writeln!(md, "| leg | requests | iters | wall (ms) | req/s |");
+    let _ = writeln!(md, "|---|---|---|---|---|");
+    let field = |section: &str, key: &str| doc.get(section).and_then(|s| s.get(key));
+    for (key, _) in netcut_bench::simcore::configs() {
+        let (Some(cfg), Some(rps), Some(iters), Some(wall)) = (
+            field("configs", key),
+            field("rps", key).and_then(serde_json::Value::as_u64),
+            field("iters", key).and_then(serde_json::Value::as_u64),
+            field("wall_ms", key).and_then(serde_json::Value::as_f64),
+        ) else {
+            continue;
+        };
+        let requests = cfg
+            .get("requests")
+            .and_then(serde_json::Value::as_u64)
+            .unwrap_or(0);
+        let _ = writeln!(md, "| {key} | {requests} | {iters} | {wall:.1} | {rps} |");
+    }
+    if let (Some(stress_rps), Some(stress_req)) = (
+        field("rps", "stress_1m").and_then(serde_json::Value::as_u64),
+        field("configs", "stress_1m")
+            .and_then(|c| c.get("requests"))
+            .and_then(serde_json::Value::as_u64),
+    ) {
+        let _ = writeln!(
+            md,
+            "\nThe stress leg pushes **{stress_req}** requests through the \
+             SoA event loop at **{:.2} M req/s**; the summary and timeline \
+             it emits are byte-identical at `--jobs 1` and `--jobs 8` \
+             (checked by `crates/serve/tests/simcore_stress.rs`).",
+            stress_rps as f64 / 1e6
+        );
+    }
+}
+
 fn main() {
     let lab = Lab::new();
     let mut md = String::new();
@@ -419,6 +482,10 @@ fn main() {
     // Serving timeline: windowed burn rates and alerts from the committed
     // bench artifacts (BENCH_serve.json + BENCH_timeline.jsonl).
     timeline_section(&mut md);
+
+    // Simulator throughput: the committed bench_simcore numbers
+    // (results/BENCH_simcore.json — gated against regression in CI).
+    simcore_section(&mut md);
 
     // Static verification: the graph-IR analyzer over every graph the suite
     // touched — each source plus every blockwise TRN, raw and with the

@@ -483,58 +483,80 @@ impl<'a, R: Retrainer> EvalContext<'a, R> {
         U: Send,
         F: Fn(usize, T) -> U + Sync,
     {
-        let workers = self.jobs.min(items.len());
-        if workers <= 1 {
-            return items
-                .into_iter()
-                .enumerate()
-                .map(|(i, t)| f(i, t))
-                .collect();
-        }
-        let n = items.len();
-        let items: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-        let slots: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
-        let parent = obs::current_span_id();
-        std::thread::scope(|scope| {
-            for worker in 0..workers {
-                let items = &items;
-                let slots = &slots;
-                let next = &next;
-                let f = &f;
-                scope.spawn(move || {
-                    let mut span = obs::span_with_parent("eval.worker", parent);
-                    if span.is_recording() {
-                        span.field("worker", worker as u64);
-                    }
-                    let mut done = 0u64;
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        let item = items[i]
-                            .lock()
-                            .expect("eval work item")
-                            .take()
-                            .expect("each item is claimed exactly once");
-                        let out = f(i, item);
-                        *slots[i].lock().expect("eval result slot") = Some(out);
-                        done += 1;
-                    }
-                    span.field("tasks", done);
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("eval result slot")
-                    .expect("every slot is filled before the scope ends")
-            })
-            .collect()
+        par_map_with_jobs(self.jobs, items, f)
     }
+}
+
+/// Runs `f` over `items` on a scoped-thread work queue with `jobs` workers,
+/// returning outputs in input order — the standalone form of
+/// [`EvalContext::par_map`] for callers with no evaluation context (e.g.
+/// the serving runtime's per-shard finalization). `jobs == 0` means one
+/// worker per available CPU; `jobs <= 1` (or a single item) runs inline on
+/// the caller's thread with no spawning, preserving the caller's exact
+/// trace shape. Output order never depends on scheduling, so any `jobs`
+/// value yields identical results.
+pub fn par_map_with_jobs<T, U, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, T) -> U + Sync,
+{
+    let jobs = if jobs == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        jobs
+    };
+    let workers = jobs.min(items.len());
+    if workers <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+    let n = items.len();
+    let items: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let parent = obs::current_span_id();
+    std::thread::scope(|scope| {
+        for worker in 0..workers {
+            let items = &items;
+            let slots = &slots;
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || {
+                let mut span = obs::span_with_parent("eval.worker", parent);
+                if span.is_recording() {
+                    span.field("worker", worker as u64);
+                }
+                let mut done = 0u64;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = items[i]
+                        .lock()
+                        .expect("eval work item")
+                        .take()
+                        .expect("each item is claimed exactly once");
+                    let out = f(i, item);
+                    *slots[i].lock().expect("eval result slot") = Some(out);
+                    done += 1;
+                }
+                span.field("tasks", done);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("eval result slot")
+                .expect("every slot is filled before the scope ends")
+        })
+        .collect()
 }
 
 impl<'a, R: Retrainer> netcut_estimate::ProfileProvider for EvalContext<'a, R> {

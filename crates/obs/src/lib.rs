@@ -59,8 +59,8 @@ pub mod window;
 pub use alert::{burn_rate_ppm, Alert, AlertCode, SloPolicy, WindowObservation};
 pub use event::{Event, EventKind, FieldValue, SCHEMA_VERSION};
 pub use metrics::{
-    counter_add, gauge_set, labeled, observe, observe_us, reset as reset_metrics, snapshot, Gauge,
-    Histogram, HistogramSummary, MetricName, MetricsSnapshot,
+    counter_add, gauge_set, histogram_merge, labeled, observe, observe_us, reset as reset_metrics,
+    snapshot, Gauge, Histogram, HistogramSummary, MetricName, MetricsSnapshot,
 };
 pub use residual::{ResidualCell, ResidualTracker, DEFAULT_ALPHA_PPM, DEFAULT_WINDOW, PPM};
 pub use sink::{ChromeTraceSink, EventSink, JsonLinesSink, MemorySink, MultiSink, StderrSink};

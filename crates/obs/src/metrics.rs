@@ -163,6 +163,24 @@ impl Histogram {
         self.max as u64
     }
 
+    /// Folds `other` into `self`. A histogram is an order-independent fold
+    /// of its observation multiset, so accumulating locally in a hot loop
+    /// and merging once is bit-identical to observing one at a time (the
+    /// f64 sums stay exact for integer-µs inputs below 2^53). Merging an
+    /// empty histogram is a no-op, so min/max sentinels never leak.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += *o;
+        }
+    }
+
     /// Immutable summary of the histogram.
     pub fn summary(&self) -> HistogramSummary {
         HistogramSummary {
@@ -252,6 +270,18 @@ pub fn observe(name: impl Into<MetricName>, value: f64) {
 pub fn observe_us(name: impl Into<MetricName>, value: u64) {
     let name = name.into();
     with_registry(|r| r.histograms.entry(name).or_default().observe_us(value));
+}
+
+/// Folds a locally-accumulated histogram into the named registry series in
+/// one registry operation — the batch flush for hot loops that would
+/// otherwise pay a mutex + map lookup per [`observe_us`] call. A no-op for
+/// an empty histogram, so flushing never creates a phantom series.
+pub fn histogram_merge(name: impl Into<MetricName>, local: &Histogram) {
+    if local.count == 0 {
+        return;
+    }
+    let name = name.into();
+    with_registry(|r| r.histograms.entry(name).or_default().merge(local));
 }
 
 /// Point-in-time copy of every metric.
@@ -444,6 +474,44 @@ mod tests {
         assert_eq!(one.quantile_us(1), 750);
         assert_eq!(one.quantile_us(1_000_000), 750);
         assert_eq!(Histogram::default().quantile_us(500_000), 0);
+    }
+
+    #[test]
+    fn merged_histogram_matches_streaming_observation() {
+        // Split one observation stream across two local histograms, merge,
+        // and compare against observing the whole stream into one — the
+        // hot-loop batching contract.
+        let stream: Vec<u64> = (1..=500).map(|i| i * 37 % 1_024 + 1).collect();
+        let mut whole = Histogram::default();
+        let mut left = Histogram::default();
+        let mut right = Histogram::default();
+        for (i, &v) in stream.iter().enumerate() {
+            whole.observe_us(v);
+            if i % 2 == 0 {
+                left.observe_us(v);
+            } else {
+                right.observe_us(v);
+            }
+        }
+        left.merge(&right);
+        left.merge(&Histogram::default()); // empty merge is a no-op
+        assert_eq!(left.summary(), whole.summary());
+        assert_eq!(left.quantile_us(950_000), whole.quantile_us(950_000));
+
+        // The registry flush: merging creates/extends the named series, and
+        // an empty flush creates nothing.
+        reset();
+        histogram_merge("test.merge_us", &left);
+        histogram_merge("test.merge_empty", &Histogram::default());
+        let snap = snapshot();
+        assert_eq!(
+            snap.histogram("test.merge_us")
+                .expect("series exists")
+                .count,
+            whole.summary().count
+        );
+        assert!(snap.histogram("test.merge_empty").is_none());
+        reset();
     }
 
     #[test]

@@ -29,9 +29,7 @@ pub const METRIC_NAMES: &[&str] = &[
     "recalib.scale_ppm",
     "recalib.swaps",
     "recalib.triggers",
-    "serve.arrivals",
     "serve.batch_size",
-    "serve.batches",
     "serve.degraded",
     "serve.dropped",
     "serve.latency_us",

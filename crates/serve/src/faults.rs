@@ -208,6 +208,112 @@ impl FaultPlan {
     pub fn quiet_after_us(&self) -> u64 {
         self.windows.iter().map(|w| w.end_us).max().unwrap_or(0)
     }
+
+    /// Compiles the plan into its piecewise-constant lookup table — the
+    /// event loop's fast path (see [`FaultTable`]).
+    pub fn table(&self) -> FaultTable {
+        // Every window edge starts a new segment; between consecutive
+        // edges the set of active windows — and so every per-class answer
+        // — is constant.
+        let mut bounds: Vec<u64> = self
+            .windows
+            .iter()
+            .flat_map(|w| [w.start_us, w.end_us])
+            .collect();
+        bounds.sort_unstable();
+        bounds.dedup();
+        let segments = bounds.len().saturating_sub(1);
+        let mut factor_ppm = Vec::with_capacity(segments);
+        let mut stall = Vec::with_capacity(segments);
+        let mut drop_ppm = Vec::with_capacity(segments);
+        for &t in bounds.iter().take(segments) {
+            // Evaluate the scan-based queries once per segment; any instant
+            // inside the segment sees the same active set, so the segment
+            // start is representative. The jitter fold in particular runs
+            // in the exact `windows` order the scan uses, keeping its
+            // integer rounding bit-identical.
+            factor_ppm.push(self.service_factor_ppm(t));
+            stall.push(self.stall_at(t).unwrap_or((0, 0)));
+            // One seeded coin per request id (`should_drop` hashes the id,
+            // never the window), so "any active window fires" collapses to
+            // a single threshold: the largest active drop magnitude.
+            drop_ppm.push(
+                self.windows
+                    .iter()
+                    .filter(|w| w.kind == FaultKind::Drop && w.contains(t))
+                    .map(|w| w.magnitude)
+                    .max()
+                    .unwrap_or(0),
+            );
+        }
+        FaultTable {
+            bounds,
+            factor_ppm,
+            stall,
+            drop_ppm,
+            seed: self.seed,
+        }
+    }
+}
+
+/// A [`FaultPlan`] compiled to a piecewise-constant segment table.
+///
+/// The plan's query methods scan every window (with a 128-bit multiply
+/// per active jitter window) on each call; the serving event loop makes
+/// several such calls per request, which made the scans a measurable
+/// slice of the simulator's per-request budget. The table pays one
+/// `O(windows log windows)` compile per run and answers each query with a
+/// binary search over the handful of window edges. Answers are
+/// bit-identical to the plan's by construction: each segment's values are
+/// produced by the plan's own queries at the segment start.
+#[derive(Debug, Clone)]
+pub struct FaultTable {
+    /// Segment edges, sorted; segment `i` covers `[bounds[i], bounds[i+1])`.
+    bounds: Vec<u64>,
+    /// Combined jitter factor per segment, ppm.
+    factor_ppm: Vec<u64>,
+    /// `(stalled workers, release instant)` per segment; `(0, 0)` = none.
+    stall: Vec<(u64, u64)>,
+    /// Largest active drop magnitude per segment, ppm; `0` = none.
+    drop_ppm: Vec<u64>,
+    seed: u64,
+}
+
+impl FaultTable {
+    /// Segment index covering `t_us`, or `None` outside every window.
+    #[inline]
+    fn segment(&self, t_us: u64) -> Option<usize> {
+        if self.bounds.first().is_none_or(|&first| t_us < first) {
+            return None;
+        }
+        let i = self.bounds.partition_point(|&b| b <= t_us);
+        // `t_us` at or past the last edge is past every window.
+        (i < self.bounds.len()).then(|| i - 1)
+    }
+
+    /// [`FaultPlan::service_factor_ppm`], table form.
+    #[inline]
+    pub fn service_factor_ppm(&self, t_us: u64) -> u64 {
+        self.segment(t_us).map_or(PPM, |s| self.factor_ppm[s])
+    }
+
+    /// [`FaultPlan::stall_at`], table form.
+    #[inline]
+    pub fn stall_at(&self, t_us: u64) -> Option<(u64, u64)> {
+        let (count, until) = self.segment(t_us).map(|s| self.stall[s])?;
+        (count > 0).then_some((count, until))
+    }
+
+    /// [`FaultPlan::should_drop`], table form.
+    #[inline]
+    pub fn should_drop(&self, t_us: u64, id: u64) -> bool {
+        match self.segment(t_us).map(|s| self.drop_ppm[s]) {
+            None | Some(0) => false,
+            Some(magnitude) => {
+                splitmix64(self.seed ^ id.wrapping_mul(0xd6e8_feb8_6659_fd93)) % PPM < magnitude
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -225,6 +331,59 @@ mod tests {
         assert_eq!(p.stall_at(123), None);
         assert!(!p.should_drop(123, 7));
         assert_eq!(p.quiet_after_us(), 0);
+        let t = p.table();
+        assert_eq!(t.service_factor_ppm(123), PPM);
+        assert_eq!(t.stall_at(123), None);
+        assert!(!t.should_drop(123, 7));
+    }
+
+    #[test]
+    fn table_answers_match_the_plan_scan_everywhere() {
+        // Demo + thermal + a deliberately overlapping extra of each class,
+        // so segments see multiplied jitter, merged stalls and competing
+        // drop magnitudes.
+        let mut p =
+            FaultPlan::seeded_demo(11, 1_000_000, &device()).with_thermal(1_000_000, 1_300_000);
+        p.windows.push(FaultWindow {
+            kind: FaultKind::Stall,
+            start_us: 390_000,
+            end_us: 500_000,
+            magnitude: 3,
+        });
+        p.windows.push(FaultWindow {
+            kind: FaultKind::Drop,
+            start_us: 600_000,
+            end_us: 760_000,
+            magnitude: 250_000,
+        });
+        let t = p.table();
+        // Dense sweep plus every edge and its neighbours.
+        let mut probes: Vec<u64> = (0..1_100_000).step_by(997).collect();
+        for w in &p.windows {
+            for d in [
+                w.start_us.saturating_sub(1),
+                w.start_us,
+                w.end_us - 1,
+                w.end_us,
+            ] {
+                probes.push(d);
+            }
+        }
+        for t_us in probes {
+            assert_eq!(
+                t.service_factor_ppm(t_us),
+                p.service_factor_ppm(t_us),
+                "factor at {t_us}"
+            );
+            assert_eq!(t.stall_at(t_us), p.stall_at(t_us), "stall at {t_us}");
+            for id in [0u64, 7, 8_191, 65_536] {
+                assert_eq!(
+                    t.should_drop(t_us, id),
+                    p.should_drop(t_us, id),
+                    "drop at {t_us} id {id}"
+                );
+            }
+        }
     }
 
     #[test]

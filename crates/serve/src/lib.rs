@@ -71,6 +71,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod calqueue;
 pub mod faults;
 pub mod ladder;
 pub mod recalib;
@@ -83,7 +84,8 @@ pub mod summary;
 pub mod timeline;
 
 pub use batch::Batcher;
-pub use faults::{FaultKind, FaultPlan, FaultWindow};
+pub use calqueue::CalendarQueue;
+pub use faults::{FaultKind, FaultPlan, FaultTable, FaultWindow};
 pub use ladder::{ExitTable, LadderError, LadderMemory, Rung, TrnLadder};
 pub use recalib::{CalibrateOnly, RecalibConfig, Recalibrator};
 pub use request::{service_noise_ppm, Request, RequestKind, Workload, PPM};
@@ -92,6 +94,6 @@ pub use scenario::{
     build_ladder, build_ladder_for, run_scenario, Scenario, ScenarioConfig, ScenarioRecalibrator,
 };
 pub use shard::{Candidate, Shard, ShardRouter};
-pub use splane::{ladder_error_report, reference_matrix, serve_artifact};
+pub use splane::{ladder_error_report, reference_matrix, serve_artifact, stress_scenario};
 pub use summary::{RunMeta, ServeSummary, ShardMeta};
 pub use timeline::{Timeline, TimelineConfig, WindowRow};

@@ -8,8 +8,10 @@
 //! pure function of `(shards, requests, config)` and its summary is
 //! bit-identical across `--jobs` settings and host machines. Physical
 //! parallelism lives upstream (ladder construction and noise
-//! precomputation on `EvalContext`'s scoped-thread pool), never inside
-//! the event loop.
+//! precomputation on `EvalContext`'s scoped-thread pool) and in the
+//! finalization *pricing* pass — a pure per-batch function sharded across
+//! [`ServerConfig::sim_jobs`] workers and merged back in dispatch order —
+//! never inside the event loop itself.
 //!
 //! Scheduling policy, per arrival:
 //!
@@ -35,25 +37,50 @@
 //!    top exit; with `exit_pin` set they always run that exit (a free
 //!    choice at dispatch — the exits are heads of one resident network,
 //!    not separate models to swap in).
-//! 6. **Outcome** — finalized after the sweep from the batch records
+//! 6. **Outcome** — finalized after the sweep from the batch ledger
 //!    (members share the batch's finish time); completion after the
 //!    deadline is a miss; the result still ships (the prosthesis fuses
 //!    stale frames rather than none).
 //!
 //! Batches execute as one kernel, so one noise draw — the leader's — and
 //! the fault factor sampled at dispatch apply to the whole batch.
-
+//!
+//! # Hot-path layout
+//!
+//! The loop runs at millions of simulated requests per second, so its
+//! bookkeeping is structured for raw throughput without touching the
+//! decision logic:
+//!
+//! * **Struct-of-arrays ledgers** — per-request results live in
+//!   [`OutcomeSoa`] and per-batch state in [`BatchSoa`]: parallel column
+//!   vectors indexed by outcome/batch id, with batch members threaded
+//!   through a shared linked-list arena (`first`/`last`/`next`) so a
+//!   join is two index writes, never an allocation. [`RequestOutcome`]s
+//!   are assembled once, at the end.
+//! * **Ladder generation table** — hot-swaps append to a table of
+//!   ladders; batches hold a `u32` index into it, so admission under any
+//!   generation is an index copy, not an `Arc` clone, and in-flight
+//!   batches still price on their admission ladder.
+//! * **Calendar queue** — the controller's batches-awaiting-fold set is
+//!   a [`CalendarQueue`] keyed on dispatch start, drained in
+//!   `(start, dispatch order)` at each watermark — the same order the
+//!   old sort produced, without re-sorting per watermark.
+//! * **Run-local metrics** — the global counters and histograms the loop
+//!   used to update per event accumulate in a run-local [`HotMetrics`]
+//!   and flush to the `obs` registry once per run (histograms are
+//!   order-independent folds, so the registry ends bit-identical).
 use crate::batch::Batcher;
+use crate::calqueue::{CalendarQueue, EVENT_BUCKET_US};
 use crate::faults::FaultPlan;
 use crate::ladder::TrnLadder;
 use crate::recalib::{RecalibConfig, Recalibrator};
 use crate::request::{Request, RequestKind, PPM};
 use crate::shard::{Candidate, Shard, ShardRouter};
 use crate::timeline::{Timeline, TimelineBuilder, TimelineConfig};
+use netcut::eval::par_map_with_jobs;
 use netcut_estimate::refit_scale_ppm;
 use netcut_obs as obs;
 use obs::ResidualTracker;
-use std::sync::Arc;
 
 /// Final disposition of one request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,6 +147,12 @@ pub struct ServerConfig {
     /// table (clamped to the table top), overriding `degrade` — the
     /// `--exit-table N` operating mode. `None` serves the full table.
     pub exit_pin: Option<usize>,
+    /// Worker threads for the finalization pricing pass (`0` = one per
+    /// CPU, `1` = fully serial). Pricing is a pure function of each
+    /// batch, partitioned by shard and merged back in dispatch order, so
+    /// **every value produces bit-identical outcomes** — this only trades
+    /// wall-clock time.
+    pub sim_jobs: usize,
 }
 
 impl Default for ServerConfig {
@@ -137,33 +170,172 @@ impl Default for ServerConfig {
             batch_max: 1,
             batch_slack_us: 300,
             exit_pin: None,
+            sim_jobs: 1,
         }
     }
 }
 
-/// One scheduled execution: a batch of one or more requests on one
-/// shard's worker. Solo dispatches are batches of one; joins grow the
-/// record until its virtual start time passes.
-#[derive(Debug)]
-struct BatchRec {
-    shard: usize,
-    worker: usize,
-    start_us: u64,
-    /// Rung of the shard's ladder (`None` = EMG).
-    rung: Option<usize>,
+/// Column sentinel for "no rung" / "no member" in the SoA ledgers.
+const NONE_U32: u32 = u32::MAX;
+
+/// Finalization goes parallel only past this many batches — below it the
+/// thread-scope setup costs more than the pricing it spreads.
+const PAR_FINALIZE_MIN_BATCHES: usize = 4096;
+
+/// Struct-of-arrays ledger of scheduled executions: column `b` describes
+/// batch `b` (a solo dispatch is a batch of one; joins grow it until its
+/// virtual start passes). Members are threaded through the shared
+/// `next_member` arena in [`OutcomeSoa`]-index space, join order.
+#[derive(Debug, Default)]
+struct BatchSoa {
+    shard: Vec<u32>,
+    worker: Vec<u32>,
+    start_us: Vec<u64>,
+    /// Rung of the shard's ladder ([`NONE_U32`] = EMG).
+    rung: Vec<u32>,
     /// Tightest absolute deadline across members.
-    tightest_abs_us: u64,
+    tightest_abs_us: Vec<u64>,
     /// The first member's noise draw — one kernel, one draw.
-    leader_noise_ppm: u64,
+    leader_noise_ppm: Vec<u64>,
     /// Fault service factor sampled at dispatch.
-    fault_ppm: u64,
+    fault_ppm: Vec<u64>,
     /// Ladder generation the batch was admitted under.
-    generation: u64,
-    /// The admission generation's ladder — finalization prices the batch
+    generation: Vec<u64>,
+    /// Index into the run's ladder table — finalization prices the batch
     /// on this, so a hot-swap never touches in-flight work.
-    ladder: Arc<TrnLadder>,
-    /// Outcome indices of the members, join order.
-    members: Vec<usize>,
+    ladder_idx: Vec<u32>,
+    /// Head / tail of the member list, outcome-index space.
+    first_member: Vec<u32>,
+    last_member: Vec<u32>,
+    /// Member count.
+    members: Vec<u32>,
+}
+
+impl BatchSoa {
+    fn len(&self) -> usize {
+        self.start_us.len()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push_solo(
+        &mut self,
+        shard: u32,
+        worker: u32,
+        start_us: u64,
+        rung: u32,
+        tightest_abs_us: u64,
+        leader_noise_ppm: u64,
+        fault_ppm: u64,
+        generation: u64,
+        ladder_idx: u32,
+        leader: u32,
+    ) -> usize {
+        let b = self.len();
+        self.shard.push(shard);
+        self.worker.push(worker);
+        self.start_us.push(start_us);
+        self.rung.push(rung);
+        self.tightest_abs_us.push(tightest_abs_us);
+        self.leader_noise_ppm.push(leader_noise_ppm);
+        self.fault_ppm.push(fault_ppm);
+        self.generation.push(generation);
+        self.ladder_idx.push(ladder_idx);
+        self.first_member.push(leader);
+        self.last_member.push(leader);
+        self.members.push(1);
+        b
+    }
+}
+
+/// Struct-of-arrays ledger of per-request results, outcome-index order
+/// (= arrival order). Identity columns (`id`, `kind`, `arrival_us`) are
+/// not stored — they are read back from the request slice when the
+/// [`RequestOutcome`]s are assembled at the end of the run.
+#[derive(Debug, Default)]
+struct OutcomeSoa {
+    queue_delay_us: Vec<u64>,
+    /// [`NONE_U32`] = no rung (EMG, rejected, dropped).
+    rung: Vec<u32>,
+    service_us: Vec<u64>,
+    latency_us: Vec<u64>,
+    shard: Vec<u32>,
+    batch_size: Vec<u32>,
+    generation: Vec<u64>,
+    status: Vec<Status>,
+}
+
+impl OutcomeSoa {
+    fn with_capacity(n: usize) -> Self {
+        OutcomeSoa {
+            queue_delay_us: Vec::with_capacity(n),
+            rung: Vec::with_capacity(n),
+            service_us: Vec::with_capacity(n),
+            latency_us: Vec::with_capacity(n),
+            shard: Vec::with_capacity(n),
+            batch_size: Vec::with_capacity(n),
+            generation: Vec::with_capacity(n),
+            status: Vec::with_capacity(n),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.status.len()
+    }
+
+    /// Appends a row; dispatched rows are finalized in place later.
+    fn push(&mut self, queue_delay_us: u64, shard: u32, generation: u64, status: Status) {
+        self.queue_delay_us.push(queue_delay_us);
+        self.rung.push(NONE_U32);
+        self.service_us.push(0);
+        self.latency_us.push(0);
+        self.shard.push(shard);
+        self.batch_size.push(0);
+        self.generation.push(generation);
+        self.status.push(status);
+    }
+}
+
+/// Run-local accumulator for the global `obs` registry series the event
+/// loop feeds. Counters sum and histograms fold order-independently, so
+/// accumulating locally and flushing once leaves the registry
+/// bit-identical to per-event updates — without a mutex + map lookup per
+/// request. Zero counters and empty histograms are not flushed, so no
+/// series appears that per-event updates would not have created.
+#[derive(Default)]
+struct HotMetrics {
+    served: u64,
+    missed: u64,
+    rejected: u64,
+    dropped: u64,
+    degraded: u64,
+    batch_size: obs::Histogram,
+    latency_us: obs::Histogram,
+    queue_delay_us: obs::Histogram,
+}
+
+impl HotMetrics {
+    fn flush(self) {
+        // Literal names at the call sites so the repo-level registry-check
+        // lint keeps scanning them.
+        if self.served > 0 {
+            obs::counter_add("serve.served", self.served);
+        }
+        if self.missed > 0 {
+            obs::counter_add("serve.missed", self.missed);
+        }
+        if self.rejected > 0 {
+            obs::counter_add("serve.rejected", self.rejected);
+        }
+        if self.dropped > 0 {
+            obs::counter_add("serve.dropped", self.dropped);
+        }
+        if self.degraded > 0 {
+            obs::counter_add("serve.degraded", self.degraded);
+        }
+        obs::histogram_merge("serve.batch_size", &self.batch_size);
+        obs::histogram_merge("serve.latency_us", &self.latency_us);
+        obs::histogram_merge("serve.queue_delay_us", &self.queue_delay_us);
+    }
 }
 
 /// The closed-loop controller's per-run state: its own residual window,
@@ -173,8 +345,10 @@ struct Controller<'a> {
     recalibrator: &'a dyn Recalibrator,
     tracker: ResidualTracker,
     next_check_us: u64,
-    /// Batch indices not yet folded into the tracker.
-    pending: Vec<usize>,
+    /// Batches not yet folded into the tracker, keyed on dispatch start —
+    /// each watermark drains the due prefix in `(start, dispatch order)`,
+    /// the exact order the former per-watermark sort produced.
+    pending: CalendarQueue<u32>,
     last_swap_us: Vec<Option<u64>>,
 }
 
@@ -332,21 +506,39 @@ impl Server {
             batch_max: self.config.batch_max,
             slack_us: self.config.batch_slack_us,
         };
-        // free_at[s][w]: when shard s's worker w next idles.
-        let mut free_at: Vec<Vec<u64>> =
-            self.shards.iter().map(|s| vec![0u64; s.workers]).collect();
-        // open[s]: index into `batches` of shard s's joinable batch, if any.
+        // The worker pool, flattened: shard s's workers live at
+        // `free_at[worker_off[s] .. worker_off[s] + shards[s].workers]`,
+        // each slot holding when that worker next idles.
+        let mut worker_off: Vec<usize> = Vec::with_capacity(self.shards.len());
+        let mut pool = 0usize;
+        for s in &self.shards {
+            worker_off.push(pool);
+            pool += s.workers;
+        }
+        let mut free_at: Vec<u64> = vec![0; pool];
+        // Fault plans compiled to segment tables: the admission loop
+        // queries them several times per request, and the table answers
+        // bit-identically to the plan's window scans at a fraction of the
+        // cost (see [`crate::faults::FaultTable`]).
+        let fault_tables: Vec<crate::faults::FaultTable> =
+            self.shards.iter().map(|s| s.faults.table()).collect();
+        // open[s]: index into the batch ledger of shard s's joinable
+        // batch, if any.
         let mut open: Vec<Option<usize>> = vec![None; self.shards.len()];
-        let mut batches: Vec<BatchRec> = Vec::new();
-        let mut outcomes: Vec<RequestOutcome> = Vec::with_capacity(requests.len());
-        // The generation-tagged serving state: admission reads the
-        // current ladder; hot-swaps replace the Arc and bump the tag.
-        let mut ladders: Vec<Arc<TrnLadder>> = self
-            .shards
-            .iter()
-            .map(|s| Arc::new(s.ladder.clone()))
-            .collect();
+        let mut batches = BatchSoa::default();
+        let mut out = OutcomeSoa::with_capacity(requests.len());
+        // Batch-member linked-list arena: next member in join order,
+        // outcome-index space ([`NONE_U32`] terminates).
+        let mut next_member: Vec<u32> = vec![NONE_U32; requests.len()];
+        // The generation-tagged serving state: admission reads the shard's
+        // current ladder through `cur_ladder`; hot-swaps append to the
+        // table and repoint the index, so in-flight batches keep pricing
+        // on their admission entry.
+        let mut ladder_table: Vec<TrnLadder> =
+            self.shards.iter().map(|s| s.ladder.clone()).collect();
+        let mut cur_ladder: Vec<u32> = (0..self.shards.len() as u32).collect();
         let mut generations: Vec<u64> = vec![0; self.shards.len()];
+        let mut hot = HotMetrics::default();
         let mut controller = recalib.map(|(cfg, recalibrator)| {
             cfg.validate();
             let lens: Vec<usize> = self.shards.iter().map(|s| s.ladder.len()).collect();
@@ -356,14 +548,18 @@ impl Server {
                 tracker: ResidualTracker::new(&lens, obs::DEFAULT_ALPHA_PPM)
                     .with_window(cfg.window),
                 next_check_us: cfg.watermark_us,
-                pending: Vec::new(),
+                pending: CalendarQueue::new(EVENT_BUCKET_US),
                 last_swap_us: vec![None; self.shards.len()],
             }
         });
+        // Candidate scratch, reused across arrivals — the event loop
+        // allocates nothing per request.
+        let mut cands: Vec<Candidate> = Vec::with_capacity(self.shards.len() * 2);
+        let mut plans: Vec<DispatchPlan> = Vec::with_capacity(self.shards.len() * 2);
 
         for req in requests {
             let now = req.arrival_us;
-            let oi = outcomes.len();
+            let oi = out.len();
 
             // Closed-loop control, strictly at virtual-time watermarks:
             // fold batches that can no longer grow into the controller's
@@ -372,32 +568,27 @@ impl Server {
                 while now >= ctl.next_check_us {
                     let watermark = ctl.next_check_us;
                     ctl.next_check_us += ctl.cfg.watermark_us;
-                    let mut due: Vec<(u64, usize)> = Vec::new();
-                    ctl.pending.retain(|&b| {
-                        if batches[b].start_us <= watermark {
-                            due.push((batches[b].start_us, b));
-                            false
-                        } else {
-                            true
-                        }
-                    });
                     // Virtual-time order, dispatch order on ties — the
                     // fold is a pure function of the run.
-                    due.sort_unstable();
-                    for &(_, b) in &due {
-                        let rec = &batches[b];
-                        let Some(r) = rec.rung else { continue };
-                        if r >= ctl.tracker.rungs(rec.shard) {
+                    while let Some((_, b)) = ctl.pending.pop_at_or_before(watermark) {
+                        let b = b as usize;
+                        if batches.rung[b] == NONE_U32 {
                             continue;
                         }
-                        let size = rec.members.len();
+                        let r = batches.rung[b] as usize;
+                        let s = batches.shard[b] as usize;
+                        if r >= ctl.tracker.rungs(s) {
+                            continue;
+                        }
+                        let size = batches.members[b] as usize;
+                        let ladder = &ladder_table[batches.ladder_idx[b] as usize];
                         let observed = scaled_service(
-                            rec.ladder.batch_latency_us(r, size),
-                            rec.leader_noise_ppm,
-                            rec.fault_ppm,
+                            ladder.batch_latency_us(r, size),
+                            batches.leader_noise_ppm[b],
+                            batches.fault_ppm[b],
                         );
-                        let predicted = rec.ladder.predicted_batch_latency_us(r, size);
-                        ctl.tracker.observe(rec.shard, r, predicted, observed);
+                        let predicted = ladder.predicted_batch_latency_us(r, size);
+                        ctl.tracker.observe(s, r, predicted, observed);
                     }
                     for s in 0..self.shards.len() {
                         if ctl.tracker.shard_samples(s) < ctl.cfg.min_samples
@@ -411,15 +602,16 @@ impl Server {
                         let Some(scale) = refit_scale_ppm(ctl.tracker.recent_samples(s)) else {
                             continue;
                         };
-                        let new_calib = ((u128::from(ladders[s].calib_ppm()) * u128::from(scale))
-                            / u128::from(PPM))
-                        .max(1) as u64;
+                        let calib = ladder_table[cur_ladder[s] as usize].calib_ppm();
+                        let new_calib = ((u128::from(calib) * u128::from(scale)) / u128::from(PPM))
+                            .max(1) as u64;
                         let generation = generations[s] + 1;
                         let Some(swapped) = ctl.recalibrator.recalibrate(s, generation, new_calib)
                         else {
                             continue;
                         };
-                        ladders[s] = Arc::new(swapped);
+                        ladder_table.push(swapped);
+                        cur_ladder[s] = (ladder_table.len() - 1) as u32;
                         generations[s] = generation;
                         ctl.last_swap_us[s] = Some(watermark);
                         ctl.tracker.reset_shard(s);
@@ -437,21 +629,22 @@ impl Server {
 
             // Batches whose virtual start has passed can no longer grow.
             for slot in &mut open {
-                if slot.is_some_and(|b| batches[b].start_us <= now) {
+                if slot.is_some_and(|b| batches.start_us[b] <= now) {
                     *slot = None;
                 }
             }
 
             // One solo candidate per shard, plus a join candidate where an
             // open batch can legally absorb this request.
-            let mut cands: Vec<Candidate> = Vec::with_capacity(self.shards.len() * 2);
-            let mut plans: Vec<DispatchPlan> = Vec::with_capacity(self.shards.len() * 2);
+            cands.clear();
+            plans.clear();
             for (s, shard) in self.shards.iter().enumerate() {
-                let ladder = &ladders[s];
-                let (stall_count, stall_until) = shard.faults.stall_at(now).unwrap_or((0, 0));
+                let ladder = &ladder_table[cur_ladder[s] as usize];
+                let (stall_count, stall_until) = fault_tables[s].stall_at(now).unwrap_or((0, 0));
+                let base = worker_off[s];
                 let mut worker = 0usize;
                 let mut start = u64::MAX;
-                for (w, &f) in free_at[s].iter().enumerate() {
+                for (w, &f) in free_at[base..base + shard.workers].iter().enumerate() {
                     let mut avail = f.max(now);
                     if (w as u64) < stall_count {
                         avail = avail.max(stall_until);
@@ -476,7 +669,7 @@ impl Server {
                 let service = scaled_service(
                     base_us,
                     shard.noise_for(req),
-                    shard.faults.service_factor_ppm(start),
+                    fault_tables[s].service_factor_ppm(start),
                 );
                 cands.push(Candidate {
                     shard: s,
@@ -493,16 +686,16 @@ impl Server {
 
                 if req.kind == RequestKind::Visual && batcher.enabled() {
                     if let Some(b) = open[s] {
-                        let rec = &batches[b];
-                        let size = rec.members.len() + 1;
-                        let tightest = rec.tightest_abs_us.min(now + deadline);
+                        let size = batches.members[b] as usize + 1;
+                        let batch_start = batches.start_us[b];
+                        let tightest = batches.tightest_abs_us[b].min(now + deadline);
                         let admitted = match self.config.exit_pin {
                             Some(pin) => {
-                                batcher.admit_pinned(ladder, rec.start_us, tightest, size, pin)
+                                batcher.admit_pinned(ladder, batch_start, tightest, size, pin)
                             }
                             None => batcher.admit(
                                 ladder,
-                                rec.start_us,
+                                batch_start,
                                 tightest,
                                 size,
                                 self.config.degrade,
@@ -511,14 +704,14 @@ impl Server {
                         if let Some(r) = admitted {
                             let service = scaled_service(
                                 ladder.batch_latency_us(r, size),
-                                rec.leader_noise_ppm,
-                                rec.fault_ppm,
+                                batches.leader_noise_ppm[b],
+                                batches.fault_ppm[b],
                             );
                             cands.push(Candidate {
                                 shard: s,
                                 join: true,
-                                start_us: rec.start_us,
-                                completion_us: rec.start_us + service,
+                                start_us: batch_start,
+                                completion_us: batch_start + service,
                                 admissible: true,
                             });
                             plans.push(DispatchPlan::Join {
@@ -536,52 +729,37 @@ impl Server {
             let cand = cands[pick];
             let s = cand.shard;
 
-            if self.shards[s].faults.should_drop(now, req.id) {
-                obs::counter_add("serve.dropped", 1);
+            if fault_tables[s].should_drop(now, req.id) {
+                hot.dropped += 1;
                 if let Some(tb) = tb.as_deref_mut() {
                     tb.dropped(now, s);
                 }
-                outcomes.push(RequestOutcome {
-                    id: req.id,
-                    kind: req.kind,
-                    arrival_us: now,
-                    queue_delay_us: 0,
-                    rung: None,
-                    service_us: 0,
-                    latency_us: 0,
-                    shard: s,
-                    batch_size: 0,
-                    generation: generations[s],
-                    status: Status::Dropped,
-                });
+                out.push(0, s as u32, generations[s], Status::Dropped);
                 continue;
             }
 
             if obs::enabled() {
-                let busy: usize = free_at.iter().flatten().filter(|&&f| f > now).count();
+                let busy: usize = free_at.iter().filter(|&&f| f > now).count();
                 obs::gauge_set("serve.queue_depth", busy as i64);
-                let shard_busy = free_at[s].iter().filter(|&&f| f > now).count();
+                let base = worker_off[s];
+                let shard_busy = free_at[base..base + self.shards[s].workers]
+                    .iter()
+                    .filter(|&&f| f > now)
+                    .count();
                 obs::gauge_set(busy_gauges[s].clone(), shard_busy as i64);
             }
 
             if !cand.admissible {
-                obs::counter_add("serve.rejected", 1);
+                hot.rejected += 1;
                 if let Some(tb) = tb.as_deref_mut() {
                     tb.rejected(now, s);
                 }
-                outcomes.push(RequestOutcome {
-                    id: req.id,
-                    kind: req.kind,
-                    arrival_us: now,
-                    queue_delay_us: cand.start_us - now,
-                    rung: None,
-                    service_us: 0,
-                    latency_us: 0,
-                    shard: s,
-                    batch_size: 0,
-                    generation: generations[s],
-                    status: Status::Rejected,
-                });
+                out.push(
+                    cand.start_us - now,
+                    s as u32,
+                    generations[s],
+                    Status::Rejected,
+                );
                 continue;
             }
 
@@ -591,22 +769,21 @@ impl Server {
                     rung,
                     service,
                 } => {
-                    free_at[s][worker] = cand.start_us + service;
-                    let b = batches.len();
-                    batches.push(BatchRec {
-                        shard: s,
-                        worker,
-                        start_us: cand.start_us,
-                        rung,
-                        tightest_abs_us: now + deadline,
-                        leader_noise_ppm: self.shards[s].noise_for(req),
-                        fault_ppm: self.shards[s].faults.service_factor_ppm(cand.start_us),
-                        generation: generations[s],
-                        ladder: Arc::clone(&ladders[s]),
-                        members: vec![oi],
-                    });
+                    free_at[worker_off[s] + worker] = cand.start_us + service;
+                    let b = batches.push_solo(
+                        s as u32,
+                        worker as u32,
+                        cand.start_us,
+                        rung.map_or(NONE_U32, |r| r as u32),
+                        now + deadline,
+                        self.shards[s].noise_for(req),
+                        fault_tables[s].service_factor_ppm(cand.start_us),
+                        generations[s],
+                        cur_ladder[s],
+                        oi as u32,
+                    );
                     if let Some(ctl) = controller.as_mut() {
-                        ctl.pending.push(b);
+                        ctl.pending.push(cand.start_us, b as u32);
                     }
                     // Every dispatch supersedes the shard's open batch: the
                     // open batch must stay the last thing scheduled on its
@@ -622,12 +799,14 @@ impl Server {
                     tightest_abs_us,
                     service,
                 } => {
-                    let rec = &mut batches[batch];
-                    rec.members.push(oi);
-                    rec.rung = Some(rung);
-                    rec.tightest_abs_us = tightest_abs_us;
-                    free_at[s][rec.worker] = rec.start_us + service;
-                    if rec.members.len() >= batcher.batch_max {
+                    next_member[batches.last_member[batch] as usize] = oi as u32;
+                    batches.last_member[batch] = oi as u32;
+                    batches.members[batch] += 1;
+                    batches.rung[batch] = rung as u32;
+                    batches.tightest_abs_us[batch] = tightest_abs_us;
+                    free_at[worker_off[s] + batches.worker[batch] as usize] =
+                        batches.start_us[batch] + service;
+                    if batches.members[batch] as usize >= batcher.batch_max {
                         open[s] = None;
                     }
                 }
@@ -635,95 +814,151 @@ impl Server {
 
             // Deferred: a later join can still move this request's finish
             // time, so real numbers land in the finalization pass.
-            outcomes.push(RequestOutcome {
-                id: req.id,
-                kind: req.kind,
-                arrival_us: now,
-                queue_delay_us: 0,
-                rung: None,
-                service_us: 0,
-                latency_us: 0,
-                shard: s,
-                batch_size: 0,
-                generation: generations[s],
-                status: Status::Served,
-            });
+            out.push(0, s as u32, generations[s], Status::Served);
         }
 
-        // Finalization: batch sizes are settled, so finish times are too.
-        // Every batch prices on its *admission* generation's ladder —
-        // hot-swaps never touch in-flight work.
-        for rec in &batches {
-            let size = rec.members.len();
-            let base_us = match rec.rung {
-                Some(r) => rec.ladder.batch_latency_us(r, size),
-                None => self.config.emg_service_us,
+        // Finalization, phase A — pricing: batch sizes are settled, so
+        // each batch's (service, predicted) pair is a pure function of
+        // its ledger row and its admission ladder. Past the gate the work
+        // is partitioned by shard, priced on `sim_jobs` workers, and
+        // merged back into dispatch order — bit-identical at any job
+        // count because nothing here reads or writes shared state.
+        let nbatches = batches.len();
+        let price = |b: usize| -> (u64, u64) {
+            let size = batches.members[b] as usize;
+            let ladder = &ladder_table[batches.ladder_idx[b] as usize];
+            let (base_us, predicted) = if batches.rung[b] == NONE_U32 {
+                (self.config.emg_service_us, self.config.emg_service_us)
+            } else {
+                let r = batches.rung[b] as usize;
+                (
+                    ladder.batch_latency_us(r, size),
+                    // The calibrated prediction against what the noise-
+                    // and fault-scaled device actually took: identical to
+                    // the raw curve at generation 0, corrected after a
+                    // hot-swap so OBS002 sees the recovery.
+                    ladder.predicted_batch_latency_us(r, size),
+                )
             };
-            let service = scaled_service(base_us, rec.leader_noise_ppm, rec.fault_ppm);
-            let finish = rec.start_us + service;
-            obs::observe_us("serve.batch_size", size as u64);
+            let service =
+                scaled_service(base_us, batches.leader_noise_ppm[b], batches.fault_ppm[b]);
+            (service, predicted)
+        };
+        let priced: Vec<(u64, u64)> =
+            if self.config.sim_jobs != 1 && nbatches >= PAR_FINALIZE_MIN_BATCHES {
+                let mut by_shard: Vec<Vec<u32>> = vec![Vec::new(); self.shards.len()];
+                for b in 0..nbatches {
+                    by_shard[batches.shard[b] as usize].push(b as u32);
+                }
+                let shard_prices = par_map_with_jobs(
+                    self.config.sim_jobs,
+                    (0..self.shards.len()).collect(),
+                    |_, s: usize| -> Vec<(u64, u64)> {
+                        by_shard[s].iter().map(|&b| price(b as usize)).collect()
+                    },
+                );
+                let mut priced = vec![(0u64, 0u64); nbatches];
+                for (ids, prices) in by_shard.iter().zip(&shard_prices) {
+                    for (&b, &p) in ids.iter().zip(prices) {
+                        priced[b as usize] = p;
+                    }
+                }
+                priced
+            } else {
+                (0..nbatches).map(price).collect()
+            };
+
+        // Finalization, phase B — serial application, dispatch order:
+        // every batch prices on its *admission* generation's ladder —
+        // hot-swaps never touch in-flight work.
+        for b in 0..nbatches {
+            let size = batches.members[b] as usize;
+            let (service, predicted) = priced[b];
+            let start = batches.start_us[b];
+            let finish = start + service;
+            let s = batches.shard[b] as usize;
+            hot.batch_size.observe_us(size as u64);
+            let rung = batches.rung[b];
             if let Some(tb) = tb.as_deref_mut() {
-                // The calibrated prediction against what the noise- and
-                // fault-scaled device actually took: identical to the raw
-                // curve at generation 0, corrected after a hot-swap so
-                // OBS002 sees the recovery.
-                let predicted = match rec.rung {
-                    Some(r) => rec.ladder.predicted_batch_latency_us(r, size),
-                    None => base_us,
-                };
-                tb.batch(rec.start_us, rec.shard, rec.rung, predicted, service);
+                let rung_opt = (rung != NONE_U32).then_some(rung as usize);
+                tb.batch(start, s, rung_opt, predicted, service);
             }
-            for &oi in &rec.members {
-                let o = &mut outcomes[oi];
+            let degraded = rung != NONE_U32
+                && (rung as usize) < ladder_table[batches.ladder_idx[b] as usize].top();
+            let mut m = batches.first_member[b];
+            while m != NONE_U32 {
+                let oi = m as usize;
                 // Open batches close at a swap, so a member's admission
                 // generation is always its batch's generation.
-                assert_eq!(o.generation, rec.generation, "batch spans a hot-swap");
-                o.queue_delay_us = rec.start_us - o.arrival_us;
-                o.rung = rec.rung;
-                o.service_us = service;
-                o.latency_us = finish - o.arrival_us;
-                o.batch_size = size;
-                o.status = if o.latency_us > deadline {
+                assert_eq!(
+                    out.generation[oi], batches.generation[b],
+                    "batch spans a hot-swap"
+                );
+                let arrival = requests[oi].arrival_us;
+                let queue_delay = start - arrival;
+                let latency = finish - arrival;
+                out.queue_delay_us[oi] = queue_delay;
+                out.rung[oi] = rung;
+                out.service_us[oi] = service;
+                out.latency_us[oi] = latency;
+                out.batch_size[oi] = size as u32;
+                let missed = latency > deadline;
+                out.status[oi] = if missed {
                     Status::Missed
                 } else {
                     Status::Served
                 };
-                match o.status {
-                    Status::Served => obs::counter_add("serve.served", 1),
-                    Status::Missed => obs::counter_add("serve.missed", 1),
-                    Status::Rejected | Status::Dropped => unreachable!(),
+                if missed {
+                    hot.missed += 1;
+                } else {
+                    hot.served += 1;
                 }
-                let degraded = rec.rung.is_some_and(|r| r < rec.ladder.top());
                 if degraded {
-                    obs::counter_add("serve.degraded", 1);
+                    hot.degraded += 1;
                 }
                 if let Some(tb) = tb.as_deref_mut() {
-                    tb.completion(
-                        o.arrival_us,
-                        rec.shard,
-                        o.status == Status::Missed,
-                        degraded,
-                        o.queue_delay_us,
-                    );
+                    tb.completion(arrival, s, missed, degraded, queue_delay);
                 }
-                obs::observe_us("serve.latency_us", o.latency_us);
-                obs::observe_us("serve.queue_delay_us", o.queue_delay_us);
+                hot.latency_us.observe_us(latency);
+                hot.queue_delay_us.observe_us(queue_delay);
                 if obs::enabled() {
                     let mut span = obs::span("serve.request");
-                    span.field("id", o.id);
-                    span.field("shard", rec.shard);
+                    span.field("id", requests[oi].id);
+                    span.field("shard", s);
                     span.field("batch_size", size);
-                    span.field("queue_delay_us", o.queue_delay_us);
-                    span.field("service_us", o.service_us);
-                    span.field("latency_us", o.latency_us);
-                    if let Some(r) = o.rung {
-                        span.field("rung", r);
+                    span.field("queue_delay_us", queue_delay);
+                    span.field("service_us", service);
+                    span.field("latency_us", latency);
+                    if rung != NONE_U32 {
+                        span.field("rung", rung as usize);
                     }
                 }
+                m = next_member[oi];
             }
         }
+        hot.flush();
+
+        // Assembly: the SoA columns plus the request identity fields
+        // become the public arrival-order outcome records.
+        let outcomes: Vec<RequestOutcome> = requests
+            .iter()
+            .enumerate()
+            .map(|(i, req)| RequestOutcome {
+                id: req.id,
+                kind: req.kind,
+                arrival_us: req.arrival_us,
+                queue_delay_us: out.queue_delay_us[i],
+                rung: (out.rung[i] != NONE_U32).then_some(out.rung[i] as usize),
+                service_us: out.service_us[i],
+                latency_us: out.latency_us[i],
+                shard: out.shard[i] as usize,
+                batch_size: out.batch_size[i] as usize,
+                generation: out.generation[i],
+                status: out.status[i],
+            })
+            .collect();
         run_span.field("outcomes", outcomes.len());
-        run_span.field("batches", batches.len());
+        run_span.field("batches", nbatches);
         outcomes
     }
 }
@@ -796,6 +1031,7 @@ mod tests {
             batch_max: 1,
             batch_slack_us: 300,
             exit_pin: None,
+            sim_jobs: 1,
         }
     }
 
@@ -816,6 +1052,7 @@ mod tests {
         assert_eq!(c.emg_service_us, 800);
         assert!(c.degrade);
         assert_eq!(c.batch_max, 1, "batching is opt-in");
+        assert_eq!(c.sim_jobs, 1, "finalization parallelism is opt-in");
     }
 
     #[test]
@@ -1013,6 +1250,39 @@ mod tests {
             assert_eq!(x.latency_us, y.latency_us);
             assert_eq!(x.rung, y.rung);
         }
+    }
+
+    #[test]
+    fn sim_jobs_never_changes_a_single_outcome() {
+        // The finalization pricing pass is the only parallel code inside
+        // the runtime: every `sim_jobs` setting must produce bit-identical
+        // outcomes (the stress-scale cross-check lives in
+        // `tests/simcore_stress.rs`; this is the fast in-crate pin, sized
+        // past the parallel gate).
+        let reqs = Workload {
+            rps: 40_000,
+            duration_us: 300_000,
+            emg_share_ppm: 100_000,
+            seed: 11,
+        }
+        .generate();
+        assert!(reqs.len() >= PAR_FINALIZE_MIN_BATCHES, "gate must open");
+        let server = |jobs: usize| {
+            Server::new(
+                test_ladder(),
+                ServerConfig {
+                    workers: 16,
+                    sim_jobs: jobs,
+                    ..config()
+                },
+                FaultPlan::seeded_demo(11, 300_000, &netcut_sim::DeviceModel::jetson_xavier()),
+            )
+        };
+        let serial = server(1).run(&reqs);
+        let parallel = server(8).run(&reqs);
+        let all_cores = server(0).run(&reqs);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial, all_cores);
     }
 
     #[test]

@@ -411,6 +411,7 @@ impl Scenario {
             batch_max: cfg.batch_max,
             batch_slack_us: cfg.batch_slack_us,
             exit_pin: cfg.exit_pin,
+            sim_jobs: cfg.jobs,
             ..ServerConfig::default()
         };
         span.field("requests", requests.len());

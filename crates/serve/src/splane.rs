@@ -94,6 +94,31 @@ pub fn reference_matrix() -> Vec<(&'static str, ScenarioConfig)> {
     ]
 }
 
+/// The simulator-throughput stress leg `bench_simcore` runs *in addition
+/// to* the reference matrix (it is deliberately not a matrix leg — the
+/// matrix key list is pinned and every matrix leg also feeds the serving
+/// quality gates): 200k requests per second for the standard 5 s window,
+/// ~10⁶ Poisson arrivals against a 128-worker two-shard batching pool.
+/// The deadline is widened to 5 ms so the pool genuinely serves (and
+/// batches) the load instead of rejecting it at admission — the point is
+/// to stress the event loop's served path, which is its most expensive.
+/// Everything stays a pure function of the seed, so the leg also anchors
+/// the jobs 1-vs-8 byte-identity tests.
+pub fn stress_scenario() -> (&'static str, ScenarioConfig) {
+    (
+        "stress_1m",
+        ScenarioConfig {
+            jobs: 0,
+            rps: 210_000,
+            deadline_us: 5_000,
+            workers: 128,
+            batch_max: BATCH_MAX,
+            shards: SHARDS,
+            ..ScenarioConfig::default()
+        },
+    )
+}
+
 fn class_of(kind: FaultKind) -> FaultClass {
     match kind {
         FaultKind::Jitter => FaultClass::Jitter,
@@ -259,6 +284,26 @@ mod tests {
                 assert!(!cfg.faults, "{key} must not mix demo faults into drift");
             }
         }
+    }
+
+    #[test]
+    fn the_stress_leg_is_million_request_scale_and_not_a_matrix_leg() {
+        let (key, cfg) = stress_scenario();
+        assert_eq!(key, "stress_1m");
+        assert!(
+            !reference_matrix().iter().any(|(k, _)| *k == key),
+            "the stress leg must not join the pinned matrix"
+        );
+        assert_eq!(cfg.seed, ScenarioConfig::default().seed);
+        assert_eq!(cfg.shards, SHARDS);
+        assert_eq!(cfg.batch_max, BATCH_MAX);
+        // ~10⁶ expected arrivals: rps × duration, in whole requests.
+        let expected = cfg.rps * cfg.duration_us / 1_000_000;
+        assert!(expected >= 1_000_000, "only {expected} expected arrivals");
+        assert!(
+            cfg.deadline_us > ScenarioConfig::default().deadline_us,
+            "the widened deadline keeps the pool serving instead of rejecting"
+        );
     }
 
     #[test]

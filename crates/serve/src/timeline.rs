@@ -38,12 +38,13 @@
 //! (alerts), with the trace clock *being* virtual time — microsecond
 //! timestamps straight from the simulation.
 
+use crate::calqueue::{CalendarQueue, EVENT_BUCKET_US};
 use crate::faults::FaultPlan;
 use crate::shard::Shard;
 use netcut_obs as obs;
 use obs::alert::{Alert, AlertCode, SloPolicy, WindowObservation};
 use obs::residual::ResidualTracker;
-use obs::window::WindowedMetrics;
+use obs::window::WindowHistogram;
 use std::fmt::Write as _;
 
 /// Timeline parameters: window width, SLO policy, residual smoothing.
@@ -288,31 +289,58 @@ impl Timeline {
     }
 }
 
-/// One raw residual sample, held until [`TimelineBuilder::finish`] folds
-/// them in virtual-time order.
+/// One raw residual sample, queued on its batch's start time until
+/// [`TimelineBuilder::finish`] folds them in virtual-time order.
 #[derive(Debug, Clone, Copy)]
 struct ResidualSample {
-    start_us: u64,
-    seq: u64,
     shard: usize,
     rung: usize,
     predicted_us: u64,
     observed_us: u64,
 }
 
+/// One dense (window, shard) accumulator cell. An untouched cell reads
+/// exactly like an untouched sparse entry used to: zero counts, and the
+/// empty [`WindowHistogram`]'s quantile/max are 0.
+#[derive(Debug, Clone, Default)]
+struct Cell {
+    arrivals: u64,
+    served: u64,
+    missed: u64,
+    rejected: u64,
+    dropped: u64,
+    degraded: u64,
+    batches: u64,
+    queue: WindowHistogram,
+}
+
 /// Accumulates timeline facts from inside the runtime's serial event
 /// loop. Everything is deterministic because every call site is.
+///
+/// Cells are a dense window-major vector indexed `w × shards + s`, grown
+/// on first touch — every event is a bump of an indexed integer field,
+/// with no string keys or map lookups on the runtime's hot path.
 #[derive(Debug)]
 pub(crate) struct TimelineBuilder {
     cfg: TimelineConfig,
     deadline_us: u64,
     shard_names: Vec<String>,
     ladder_lens: Vec<usize>,
-    wm: WindowedMetrics,
-    /// Prebuilt labeled counter keys, `[shard][metric]` (allocation-free
-    /// hot path).
-    keys: Vec<ShardKeys>,
-    samples: Vec<ResidualSample>,
+    /// Dense (window, shard) cells, window-major.
+    cells: Vec<Cell>,
+    /// Highest window any event touched (`None` when no event landed).
+    last_window: Option<u64>,
+    /// Start of the most recently touched window — virtual time is nearly
+    /// monotone across events, so caching one window's bounds turns almost
+    /// every [`Self::cell_mut`] into a bounds check instead of a division.
+    cached_start_us: u64,
+    /// Cell index of the cached window's shard-0 cell.
+    cached_base: usize,
+    /// `true` once any event primed the cache.
+    cache_live: bool,
+    /// Residual samples keyed on batch start; the queue's FIFO tie-break
+    /// reproduces the former `(start_us, push order)` sort exactly.
+    samples: CalendarQueue<ResidualSample>,
     /// Fault windows opening per shard: `(window, shard, t_us, magnitude)`.
     fault_entries: Vec<(u64, usize, u64, u64)>,
     /// Hot-swaps landing per shard:
@@ -320,44 +348,16 @@ pub(crate) struct TimelineBuilder {
     recalib_entries: Vec<(u64, usize, u64, u64, u64)>,
 }
 
-/// The labeled metric names of one shard.
-#[derive(Debug)]
-struct ShardKeys {
-    arrivals: String,
-    served: String,
-    missed: String,
-    rejected: String,
-    dropped: String,
-    degraded: String,
-    batches: String,
-    queue_delay: String,
-}
-
-impl ShardKeys {
-    fn new(shard: usize) -> Self {
-        ShardKeys {
-            arrivals: obs::labeled("serve.arrivals", "shard", shard),
-            served: obs::labeled("serve.served", "shard", shard),
-            missed: obs::labeled("serve.missed", "shard", shard),
-            rejected: obs::labeled("serve.rejected", "shard", shard),
-            dropped: obs::labeled("serve.dropped", "shard", shard),
-            degraded: obs::labeled("serve.degraded", "shard", shard),
-            batches: obs::labeled("serve.batches", "shard", shard),
-            queue_delay: obs::labeled("serve.queue_delay_us", "shard", shard),
-        }
-    }
-}
-
 impl TimelineBuilder {
     /// Builds the recorder for a server's shards. Fault-window entries are
     /// plan-static, so they are indexed up front.
     pub(crate) fn new(cfg: TimelineConfig, shards: &[Shard], deadline_us: u64) -> Self {
-        let wm = WindowedMetrics::new(cfg.window_us);
+        assert!(cfg.window_us > 0, "window width must be positive");
         let mut fault_entries = Vec::new();
         for (s, shard) in shards.iter().enumerate() {
             let FaultPlan { windows, .. } = &shard.faults;
             for w in windows {
-                fault_entries.push((wm.index_of(w.start_us), s, w.start_us, w.magnitude));
+                fault_entries.push((w.start_us / cfg.window_us, s, w.start_us, w.magnitude));
             }
         }
         fault_entries.sort_unstable();
@@ -366,12 +366,36 @@ impl TimelineBuilder {
             deadline_us,
             shard_names: shards.iter().map(|s| s.name.clone()).collect(),
             ladder_lens: shards.iter().map(|s| s.ladder.len()).collect(),
-            wm,
-            keys: (0..shards.len()).map(ShardKeys::new).collect(),
-            samples: Vec::new(),
+            cells: Vec::new(),
+            last_window: None,
+            cached_start_us: 0,
+            cached_base: 0,
+            cache_live: false,
+            samples: CalendarQueue::new(EVENT_BUCKET_US),
             fault_entries,
             recalib_entries: Vec::new(),
         }
+    }
+
+    /// The dense cell of `(t_us`'s window, `shard)`, grown on demand.
+    fn cell_mut(&mut self, t_us: u64, shard: usize) -> &mut Cell {
+        // Fast path: `t_us` lands in the most recently touched window
+        // (wrapping_sub rejects both earlier and later windows in one
+        // compare) — no division, no resize check.
+        if self.cache_live && t_us.wrapping_sub(self.cached_start_us) < self.cfg.window_us {
+            return &mut self.cells[self.cached_base + shard];
+        }
+        let w = t_us / self.cfg.window_us;
+        let shards = self.shard_names.len();
+        let needed = (w as usize + 1) * shards;
+        if self.cells.len() < needed {
+            self.cells.resize_with(needed, Cell::default);
+        }
+        self.last_window = Some(self.last_window.map_or(w, |l| l.max(w)));
+        self.cached_start_us = w * self.cfg.window_us;
+        self.cached_base = w as usize * shards;
+        self.cache_live = true;
+        &mut self.cells[self.cached_base + shard]
     }
 
     /// The closed-loop controller recalibrated `shard` at `t_us`,
@@ -384,20 +408,27 @@ impl TimelineBuilder {
         generation: u64,
         calib_ppm: u64,
     ) {
-        self.recalib_entries
-            .push((self.wm.index_of(t_us), shard, t_us, calib_ppm, generation));
+        self.recalib_entries.push((
+            t_us / self.cfg.window_us,
+            shard,
+            t_us,
+            calib_ppm,
+            generation,
+        ));
     }
 
     /// A request arriving at `t_us` was dropped on `shard`.
     pub(crate) fn dropped(&mut self, t_us: u64, shard: usize) {
-        self.wm.add(t_us, &self.keys[shard].arrivals, 1);
-        self.wm.add(t_us, &self.keys[shard].dropped, 1);
+        let cell = self.cell_mut(t_us, shard);
+        cell.arrivals += 1;
+        cell.dropped += 1;
     }
 
     /// A request arriving at `t_us` was rejected at admission on `shard`.
     pub(crate) fn rejected(&mut self, t_us: u64, shard: usize) {
-        self.wm.add(t_us, &self.keys[shard].arrivals, 1);
-        self.wm.add(t_us, &self.keys[shard].rejected, 1);
+        let cell = self.cell_mut(t_us, shard);
+        cell.arrivals += 1;
+        cell.rejected += 1;
     }
 
     /// A request arriving at `arrival_us` completed on `shard`. Counted in
@@ -410,15 +441,17 @@ impl TimelineBuilder {
         degraded: bool,
         queue_delay_us: u64,
     ) {
-        let keys = &self.keys[shard];
-        self.wm.add(arrival_us, &keys.arrivals, 1);
-        let disposition = if missed { &keys.missed } else { &keys.served };
-        self.wm.add(arrival_us, disposition, 1);
-        if degraded {
-            self.wm.add(arrival_us, &keys.degraded, 1);
+        let cell = self.cell_mut(arrival_us, shard);
+        cell.arrivals += 1;
+        if missed {
+            cell.missed += 1;
+        } else {
+            cell.served += 1;
         }
-        self.wm
-            .observe(arrival_us, &keys.queue_delay, queue_delay_us);
+        if degraded {
+            cell.degraded += 1;
+        }
+        cell.queue.observe(queue_delay_us);
     }
 
     /// A batch started on `shard` at `start_us`. Ladder batches
@@ -433,16 +466,17 @@ impl TimelineBuilder {
         predicted_us: u64,
         observed_us: u64,
     ) {
-        self.wm.add(start_us, &self.keys[shard].batches, 1);
+        self.cell_mut(start_us, shard).batches += 1;
         if let Some(rung) = rung {
-            self.samples.push(ResidualSample {
+            self.samples.push(
                 start_us,
-                seq: self.samples.len() as u64,
-                shard,
-                rung,
-                predicted_us,
-                observed_us,
-            });
+                ResidualSample {
+                    shard,
+                    rung,
+                    predicted_us,
+                    observed_us,
+                },
+            );
         }
     }
 
@@ -454,42 +488,42 @@ impl TimelineBuilder {
         let last_fault = self.fault_entries.iter().map(|&(w, ..)| w).max();
         let last_recalib = self.recalib_entries.iter().map(|&(w, ..)| w).max();
         let windows = self
-            .wm
-            .last_window()
+            .last_window
             .into_iter()
             .chain(last_fault)
             .chain(last_recalib)
             .max()
             .map_or(0, |w| w + 1);
-        self.samples.sort_unstable_by_key(|s| (s.start_us, s.seq));
+        // Fault/recalib entries can reach past the last event window:
+        // extend the dense cells so every row reads a real (empty) cell.
+        self.cells
+            .resize_with((windows as usize) * shards, Cell::default);
         self.recalib_entries.sort_unstable();
         let mut residuals = ResidualTracker::new(&self.ladder_lens, self.cfg.alpha_ppm);
         let mut rows = Vec::with_capacity((windows as usize) * shards);
         let mut alerts = Vec::new();
-        let mut next_sample = 0usize;
         let mut generations = vec![0u64; shards];
         for w in 0..windows {
             // Residual state "as of the end of window w": fold every batch
-            // that started inside it before reading the EWMAs.
-            while next_sample < self.samples.len()
-                && self.wm.index_of(self.samples[next_sample].start_us) <= w
-            {
-                let s = self.samples[next_sample];
+            // that started inside it before reading the EWMAs. The queue
+            // pops in (start, push order) — the former sorted order.
+            let window_end_us = (w + 1) * self.cfg.window_us - 1;
+            while let Some((_, s)) = self.samples.pop_at_or_before(window_end_us) {
                 residuals.observe(s.shard, s.rung, s.predicted_us, s.observed_us);
-                next_sample += 1;
             }
-            let fleet_arrivals: u64 = (0..shards)
-                .map(|s| self.wm.counter(w, &self.keys[s].arrivals))
+            let base = (w as usize) * shards;
+            let fleet_arrivals: u64 = self.cells[base..base + shards]
+                .iter()
+                .map(|c| c.arrivals)
                 .sum();
             for (s, shard_generation) in generations.iter_mut().enumerate() {
-                let keys = &self.keys[s];
-                let arrivals = self.wm.counter(w, &keys.arrivals);
-                let served = self.wm.counter(w, &keys.served);
-                let missed = self.wm.counter(w, &keys.missed);
-                let rejected = self.wm.counter(w, &keys.rejected);
-                let dropped = self.wm.counter(w, &keys.dropped);
+                let cell = &self.cells[base + s];
+                let arrivals = cell.arrivals;
+                let served = cell.served;
+                let missed = cell.missed;
+                let rejected = cell.rejected;
+                let dropped = cell.dropped;
                 let bad = missed + rejected + dropped;
-                let queue = self.wm.histogram(w, &keys.queue_delay);
                 // First swap landing in this (window, shard), if any; the
                 // row's generation reflects every swap through the window.
                 let mut recalib: Option<(u64, u64)> = None;
@@ -503,17 +537,17 @@ impl TimelineBuilder {
                 }
                 let row = WindowRow {
                     window: w,
-                    start_us: self.wm.start_of(w),
+                    start_us: w * self.cfg.window_us,
                     shard: s,
                     arrivals,
                     served,
                     missed,
                     rejected,
                     dropped,
-                    degraded: self.wm.counter(w, &keys.degraded),
-                    batches: self.wm.counter(w, &keys.batches),
-                    queue_p95_us: queue.map_or(0, |h| h.quantile(950_000)),
-                    queue_max_us: queue.map_or(0, netcut_obs::WindowHistogram::max),
+                    degraded: cell.degraded,
+                    batches: cell.batches,
+                    queue_p95_us: cell.queue.quantile(950_000),
+                    queue_max_us: cell.queue.max(),
                     generation: *shard_generation,
                     residual_ppm: residuals.blended(s).ewma_ppm(),
                     drift_ppm: residuals.max_drift_ppm(s),

@@ -14,6 +14,7 @@ const CALLS: &[&str] = &[
     "gauge_set(\"",
     "observe(\"",
     "observe_us(\"",
+    "histogram_merge(\"",
     "labeled(\"",
 ];
 
@@ -91,7 +92,6 @@ fn the_hot_serve_metrics_are_actually_in_the_tree() {
         .map(|(_, _, name)| name)
         .collect();
     for expected in [
-        "serve.arrivals",
         "serve.batch_size",
         "serve.latency_us",
         "serve.queue_delay_us",
@@ -102,28 +102,29 @@ fn the_hot_serve_metrics_are_actually_in_the_tree() {
 }
 
 #[test]
-fn the_timeline_label_literals_are_scanned_and_registered() {
-    // The windowed-telemetry counters live only in `timeline.rs` as
-    // `labeled(...)` literals; pin them file-by-file so a rename there
-    // can't silently drop them out of both the scan and the registry.
-    let timeline: std::collections::HashSet<String> = metric_literals()
+fn the_hot_flush_literals_are_scanned_and_registered() {
+    // The event loop's registry series are accumulated run-locally and
+    // flushed once from `runtime.rs` (`HotMetrics::flush`); pin them
+    // file-by-file so a rename there can't silently drop them out of both
+    // the scan and the registry.
+    let runtime: std::collections::HashSet<String> = metric_literals()
         .into_iter()
-        .filter(|(file, _, _)| file.ends_with("serve/src/timeline.rs"))
+        .filter(|(file, _, _)| file.ends_with("serve/src/runtime.rs"))
         .map(|(_, _, name)| name)
         .collect();
     for expected in [
-        "serve.arrivals",
         "serve.served",
         "serve.missed",
         "serve.rejected",
         "serve.dropped",
         "serve.degraded",
-        "serve.batches",
+        "serve.batch_size",
+        "serve.latency_us",
         "serve.queue_delay_us",
     ] {
         assert!(
-            timeline.contains(expected),
-            "timeline.rs lost labeled literal `{expected}`"
+            runtime.contains(expected),
+            "runtime.rs lost flush literal `{expected}`"
         );
         assert!(
             registry::is_registered(expected),
